@@ -1,0 +1,111 @@
+// Reproduces Theorems 11 and 12 (E9 in DESIGN.md): in the message model
+// SW1 is tightly (1 + 2*omega)-competitive (alternating adversary) and SWk
+// (k > 1) is tightly ((1 + omega/2)(k+1) + omega)-competitive (block
+// adversary).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mobrep/analysis/competitive.h"
+#include "mobrep/common/random.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/trace/adversary.h"
+#include "mobrep/trace/generators.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintSw1() {
+  Banner("Theorem 11 — SW1 is tightly (1 + 2*omega)-competitive",
+         "Adversary: 1000 alternating requests w r w r ... The offline "
+         "optimum keeps the copy and pays one data message per write.");
+  Table table({"omega", "claimed 1+2w", "alternating ratio", "tight"});
+  for (const double omega : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const CostModel model = CostModel::Message(omega);
+    auto sw1 = SlidingWindowPolicy::NewSw1();
+    const Schedule s = AlternatingSchedule(1000);
+    const double ratio = MeasureRatio(sw1.get(), s, model).ratio;
+    const double factor = 1.0 + 2.0 * omega;
+    table.AddRow({Fmt(omega, 2), Fmt(factor, 2), Fmt(ratio),
+                  ratio > 0.97 * factor && ratio <= factor + 1e-9 ? "yes"
+                                                                  : "NO"});
+  }
+  table.Print();
+}
+
+void PrintSwk() {
+  Banner("Theorem 12 — SWk is tightly ((1+omega/2)(k+1)+omega)-competitive",
+         "Adversary: 250 cycles of (k writes, k reads).");
+  Table table({"k", "omega", "claimed factor", "block ratio", "tight"});
+  for (const int k : {3, 5, 9}) {
+    for (const double omega : {0.1, 0.5, 1.0}) {
+      const CostModel model = CostModel::Message(omega);
+      SlidingWindowPolicy policy(k);
+      const Schedule s = BlockSchedule(250, k, k);
+      const double ratio = MeasureRatio(&policy, s, model).ratio;
+      const double factor = (1.0 + omega / 2.0) * (k + 1.0) + omega;
+      table.AddRow({FmtInt(k), Fmt(omega, 2), Fmt(factor, 3), Fmt(ratio),
+                    ratio > 0.97 * factor && ratio <= factor + 1e-9
+                        ? "yes"
+                        : "NO"});
+    }
+  }
+  table.Print();
+}
+
+void PrintComparison() {
+  Banner("Worst case: SW1 vs SWk (paper §6.4 conclusion)",
+         "SW1 has the best worst case in the message model; the factor "
+         "deteriorates as k grows.");
+  Table table({"omega", "SW1", "SW3", "SW5", "SW9", "SW15"});
+  for (const double omega : {0.1, 0.4, 0.7, 1.0}) {
+    std::vector<std::string> row = {Fmt(omega, 2),
+                                    Fmt(1.0 + 2.0 * omega, 2)};
+    for (const int k : {3, 5, 9, 15}) {
+      row.push_back(Fmt((1.0 + omega / 2.0) * (k + 1.0) + omega, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void PrintRandomBound() {
+  Banner("Bound check on random schedules (omega = 0.5)",
+         "Worst b-adjusted ratio over 60 random schedules per k; must stay "
+         "at or below the claimed factor.");
+  const double omega = 0.5;
+  const CostModel model = CostModel::Message(omega);
+  Table table({"algorithm", "claimed factor", "worst random ratio",
+               "within bound"});
+  Rng rng(77);
+  for (const int k : {1, 3, 5, 9}) {
+    std::unique_ptr<AllocationPolicy> policy =
+        k == 1 ? std::unique_ptr<AllocationPolicy>(
+                     SlidingWindowPolicy::NewSw1())
+               : std::make_unique<SlidingWindowPolicy>(k);
+    const double factor = k == 1 ? 1.0 + 2.0 * omega
+                                 : (1.0 + omega / 2.0) * (k + 1.0) + omega;
+    const double b = 2.0 * (k + 2.0) * (1.0 + omega);
+    double worst = 0.0;
+    for (int trial = 0; trial < 60; ++trial) {
+      const Schedule s =
+          GenerateBernoulliSchedule(500, rng.NextDouble(), &rng);
+      worst = std::max(worst, MeasureRatio(policy.get(), s, model, b).ratio);
+    }
+    table.AddRow({policy->name(), Fmt(factor, 2), Fmt(worst),
+                  worst <= factor + 1e-9 ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintSw1();
+  mobrep::bench::PrintSwk();
+  mobrep::bench::PrintComparison();
+  mobrep::bench::PrintRandomBound();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Figure 1 of the paper (E1 in DESIGN.md): the superiority
+// regions of ST1, ST2 and SW1 in the (theta, omega) plane of the message
+// cost model, bounded by theta = (1+omega)/(1+2omega) (above: ST1) and
+// theta = 2omega/(1+2omega) (below: ST2), with SW1 dominating the band in
+// between (Theorem 6).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mobrep/analysis/dominance.h"
+#include "mobrep/analysis/expected_cost.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintRegionMap() {
+  Banner("Figure 1 — superiority coverage in the message model",
+         "Rows: omega from 1.00 down to 0.00; columns: theta from 0.00 to "
+         "1.00.\nCell: the expected-cost-optimal algorithm (1 = ST1, 2 = "
+         "ST2, * = SW1).");
+  std::printf("omega\\theta |");
+  for (int t = 0; t <= 20; ++t) std::printf("%s", t % 5 == 0 ? "|" : "-");
+  std::printf("\n");
+  for (int o = 20; o >= 0; --o) {
+    const double omega = o / 20.0;
+    std::printf("      %4.2f  ", omega);
+    for (int t = 0; t <= 20; ++t) {
+      const double theta = t / 20.0;
+      const MessageDominant which = ClassifyByTheorem6(theta, omega);
+      const char cell = which == MessageDominant::kSt1   ? '1'
+                        : which == MessageDominant::kSt2 ? '2'
+                                                         : '*';
+      std::printf("%c", cell);
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintBoundaries() {
+  Banner("Figure 1 boundaries",
+         "theta_upper = (1+omega)/(1+2omega); theta_lower = "
+         "2omega/(1+2omega).");
+  Table table({"omega", "theta_lower(->ST2 below)", "theta_upper(->ST1 above)",
+               "SW1 band width"});
+  for (double omega = 0.0; omega <= 1.0001; omega += 0.1) {
+    const double lower = DominanceLowerBoundary(omega);
+    const double upper = DominanceUpperBoundary(omega);
+    table.AddRow({Fmt(omega, 2), Fmt(lower), Fmt(upper), Fmt(upper - lower)});
+  }
+  table.Print();
+}
+
+void VerifyWithSimulation() {
+  Banner("Region spot-checks by simulation",
+         "At interior points of each region the winner predicted by Theorem "
+         "6 must have the lowest simulated mean cost per request.");
+  Table table({"theta", "omega", "predicted", "sim ST1", "sim ST2", "sim SW1",
+               "agrees"});
+  const struct {
+    double theta, omega;
+  } points[] = {{0.95, 0.50}, {0.60, 0.50}, {0.20, 0.50}, {0.85, 0.10},
+                {0.40, 0.10}, {0.05, 0.10}, {0.90, 0.90}, {0.55, 0.30},
+                {0.30, 0.80}};
+  for (const auto& p : points) {
+    const CostModel model = CostModel::Message(p.omega);
+    const double st1 = SimulatedExpectedCost(*ParsePolicySpec("st1"), model,
+                                             p.theta);
+    const double st2 = SimulatedExpectedCost(*ParsePolicySpec("st2"), model,
+                                             p.theta);
+    const double sw1 = SimulatedExpectedCost(*ParsePolicySpec("sw1"), model,
+                                             p.theta);
+    const MessageDominant predicted = ClassifyByTheorem6(p.theta, p.omega);
+    const double best = std::min({st1, st2, sw1});
+    const double winner = predicted == MessageDominant::kSt1   ? st1
+                          : predicted == MessageDominant::kSt2 ? st2
+                                                               : sw1;
+    const bool agrees = winner <= best + 5e-3;  // Monte-Carlo tolerance
+    table.AddRow({Fmt(p.theta, 2), Fmt(p.omega, 2),
+                  MessageDominantName(predicted), Fmt(st1), Fmt(st2),
+                  Fmt(sw1), agrees ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintRegionMap();
+  mobrep::bench::PrintBoundaries();
+  mobrep::bench::VerifyWithSimulation();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces the unnumbered figure of §6.3 (E2 in DESIGN.md): the minimal
+// odd window size k0 for which SWk's average expected cost drops below
+// SW1's, as a function of omega. Paper worked examples: omega = 0.45 ->
+// k >= 39; omega = 0.8 -> k >= 7. For omega <= 0.4, SW1 is always best
+// (Corollary 3).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mobrep/analysis/average_cost.h"
+#include "mobrep/analysis/thresholds.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintThresholdCurve() {
+  Banner("Figure (§6.3) — minimal odd k with AVG_SWk <= AVG_SW1",
+         "k0_real = ((10-omega)+sqrt(100-68omega+121omega^2))/(2(5omega-2)) "
+         "(Corollary 4); searched k0 is the smallest odd k > 1 at/above it.");
+  Table table({"omega", "k0_real (closed form)", "k0 (searched)", "AVG_SW1",
+               "AVG_SWk0"});
+  for (const double omega : {0.40, 0.41, 0.42, 0.43, 0.45, 0.50, 0.55, 0.60,
+                             0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00}) {
+    const auto root = KThresholdReal(omega);
+    const auto k0 = MinOddKBeatingSw1(omega);
+    if (!k0.ok()) {
+      table.AddRow({Fmt(omega, 2), root.ok() ? Fmt(*root, 2) : "-", "none",
+                    Fmt(AvgSw1Message(omega)), "-"});
+      continue;
+    }
+    table.AddRow({Fmt(omega, 2), Fmt(*root, 2), FmtInt(*k0),
+                  Fmt(AvgSw1Message(omega)), Fmt(AvgSwkMessage(*k0, omega))});
+  }
+  table.Print();
+}
+
+void PrintPaperExamples() {
+  Banner("Paper worked examples");
+  Table table({"omega", "paper k0", "reproduced k0", "match"});
+  const struct {
+    double omega;
+    int expected;
+  } cases[] = {{0.45, 39}, {0.8, 7}};
+  for (const auto& c : cases) {
+    const auto k0 = MinOddKBeatingSw1(c.omega);
+    table.AddRow({Fmt(c.omega, 2), FmtInt(c.expected),
+                  k0.ok() ? FmtInt(*k0) : "none",
+                  k0.ok() && *k0 == c.expected ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+void PrintAxisPoints() {
+  Banner("Figure axis k values {3,5,7,11,21,39,95}",
+         "Largest omega (to 0.001 resolution) for which each k is the "
+         "threshold — reconstructing the step curve in the paper's figure.");
+  Table table({"k", "omega range where k0 == k"});
+  for (const int k : {3, 5, 7, 11, 21, 39, 95}) {
+    double lo = 2.0, hi = -1.0;
+    for (int milli = 401; milli <= 1000; ++milli) {
+      const double omega = milli / 1000.0;
+      const auto k0 = MinOddKBeatingSw1(omega);
+      if (k0.ok() && *k0 == k) {
+        lo = std::min(lo, omega);
+        hi = std::max(hi, omega);
+      }
+    }
+    table.AddRow({FmtInt(k), hi < 0 ? "(not a threshold value)"
+                                    : Fmt(lo, 3) + " .. " + Fmt(hi, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintThresholdCurve();
+  mobrep::bench::PrintPaperExamples();
+  mobrep::bench::PrintAxisPoints();
+  return 0;
+}

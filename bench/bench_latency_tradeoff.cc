@@ -1,0 +1,65 @@
+// Extension experiment X3 (DESIGN.md §3): the cost/performance trade-off
+// the paper's §8.2 contrasts with the caching literature — "if overall
+// performance is the principal optimization criterion, then the mobile
+// computer should always keep a copy ... every read is local, thus
+// fastest. Obviously this approach may incur excessive communication."
+// This bench measures both axes at once on the distributed protocol:
+// wireless cost per request vs. read service time.
+
+#include <cstdio>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/trace/generators.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintTradeoff(double theta) {
+  Banner(
+      "Cost vs read latency (theta = " + Fmt(theta, 2) +
+          ", one-way link latency 1.0)",
+      "4000 requests; cost under the message model (omega = 0.5); latency "
+      "in link round trips. ST2 pins the copy: zero read latency, maximal "
+      "update traffic. ST1 is the mirror. The window algorithms buy most "
+      "of ST2's latency win at a fraction of its cost when reads dominate.");
+  Table table({"policy", "cost/request", "mean read latency",
+               "max read latency", "local read %"});
+  Rng rng(1212);
+  const Schedule schedule = GenerateBernoulliSchedule(4000, theta, &rng);
+  for (const char* spec : {"st1", "st2", "sw1", "sw:9", "sw:25", "t2:7"}) {
+    ProtocolConfig config;
+    config.spec = *ParsePolicySpec(spec);
+    config.link_latency = 1.0;
+    ProtocolSimulation sim(config);
+    sim.Run(schedule);
+    const ProtocolMetrics m = sim.metrics();
+    const double reads =
+        static_cast<double>(m.local_reads + m.remote_reads);
+    table.AddRow(
+        {spec,
+         Fmt(m.PriceUnder(CostModel::Message(0.5)) /
+             static_cast<double>(m.requests)),
+         Fmt(m.mean_read_latency, 3), Fmt(m.max_read_latency, 1),
+         Fmt(reads > 0 ? 100.0 * static_cast<double>(m.local_reads) / reads
+                       : 0.0,
+             1) + "%"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintTradeoff(0.2);  // read-heavy
+  mobrep::bench::PrintTradeoff(0.8);  // write-heavy
+  std::printf(
+      "\nPaper §8.2's point, quantified: pinning the copy (ST2) always "
+      "minimizes read\nlatency but its cost explodes when writes dominate; "
+      "the window algorithms track\nthe regime, paying remote-read latency "
+      "only around the transitions.\n");
+  return 0;
+}

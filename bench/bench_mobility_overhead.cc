@@ -1,0 +1,79 @@
+// Extension experiment X1 (not a paper artifact; DESIGN.md §3): the
+// paper's §1 observes that the stationary computer is fixed, so moving
+// between cells never affects the allocation decision. This bench runs the
+// full protocol over the cellular substrate at increasing mobility rates
+// and separates replication traffic (invariant) from handoff signaling
+// (linear in the move rate).
+
+#include <cstdio>
+
+#include "mobrep/common/random.h"
+#include "mobrep/mobility/roaming_sim.h"
+#include "mobrep/trace/generators.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintOverhead() {
+  Banner("Mobility overhead vs replication traffic (SW9, omega = 0.5)",
+         "2000 requests from merged Poisson streams (rates 2 reads / 1 "
+         "write per unit time) while the MC random-walks a 7-cell ring at "
+         "the given handoff rate. Replication columns must not vary with "
+         "mobility.");
+  Table table({"moves/unit time", "handoffs", "repl data msgs",
+               "repl ctrl msgs", "handoff ctrl msgs", "repl cost",
+               "total wireless cost"});
+  Rng rng(2025);
+  const TimedSchedule schedule = GenerateTimedPoisson(2000, 2.0, 1.0, &rng);
+  for (const double rate : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0}) {
+    RoamingConfig config;
+    config.spec = *ParsePolicySpec("sw:9");
+    config.cells.num_cells = 7;
+    config.move_rate = rate;
+    RoamingSimulation sim(config);
+    sim.Run(schedule);
+    const RoamingMetrics m = sim.metrics();
+    table.AddRow({Fmt(rate, 2), FmtInt(m.handoffs),
+                  FmtInt(m.wireless_data_messages),
+                  FmtInt(m.wireless_control_messages),
+                  FmtInt(m.handoff_control_messages),
+                  Fmt(m.ReplicationCost(0.5), 1), Fmt(m.TotalCost(0.5), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nReplication traffic is identical in every row — allocation "
+      "decisions are mobility-independent because the SC is fixed (§1); "
+      "only registration signaling grows with the move rate.\n");
+}
+
+void PrintPolicyComparisonWhileRoaming() {
+  Banner("Policy comparison under roaming (move rate 0.5)",
+         "Same workload and mobility for every policy; the paper's "
+         "rankings carry over unchanged to the cellular setting.");
+  Table table({"policy", "repl cost (w=0.5)", "handoffs",
+               "total wireless cost", "subscriptions", "drops"});
+  Rng rng(31415);
+  const TimedSchedule schedule = GenerateTimedPoisson(2000, 2.0, 1.0, &rng);
+  for (const char* spec : {"st1", "st2", "sw1", "sw:9", "t1:7"}) {
+    RoamingConfig config;
+    config.spec = *ParsePolicySpec(spec);
+    config.move_rate = 0.5;
+    RoamingSimulation sim(config);
+    sim.Run(schedule);
+    const RoamingMetrics m = sim.metrics();
+    table.AddRow({spec, Fmt(m.ReplicationCost(0.5), 1), FmtInt(m.handoffs),
+                  Fmt(m.TotalCost(0.5), 1), FmtInt(m.allocations),
+                  FmtInt(m.deallocations)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintOverhead();
+  mobrep::bench::PrintPolicyComparisonWhileRoaming();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Extension experiment X4 (DESIGN.md §3): many mobile computers sharing
+// one item. The paper analyzes a single MC (§3); the protocol generalizes
+// pairwise, and a write's data cost becomes its *fan-out* — the number of
+// currently subscribed terminals. This bench shows how the per-MC windows
+// partition a mixed population (avid readers subscribe, casual ones stay
+// on-demand) and how the write fan-out tracks that partition.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mobrep/common/random.h"
+#include "mobrep/protocol/multi_client_sim.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintPopulationSplit() {
+  Banner("Mixed population of terminals (SW9, 6 MCs)",
+         "Clients 0-2 are avid readers (8 reads per write each), clients "
+         "3-5 are casual (1 read per 4 writes each). 4000 events.");
+  MultiClientSimulation::Options options;
+  options.num_clients = 6;
+  options.spec = *ParsePolicySpec("sw:9");
+  MultiClientSimulation sim(options);
+
+  Rng rng(112358);
+  // Event mix: writes arrive at rate 1; avid clients read at 8/3 each
+  // (8 reads per write, split over 3 clients handled below); casual at
+  // 1/12 each.
+  const double write_weight = 1.0;
+  const double avid_weight = 8.0;   // total across the 3 avid clients
+  const double casual_weight = 0.75;  // total across the 3 casual clients
+  const double total = write_weight + avid_weight + casual_weight;
+  for (int event = 0; event < 4000; ++event) {
+    const double pick = rng.NextDouble() * total;
+    if (pick < write_weight) {
+      sim.StepWrite();
+    } else if (pick < write_weight + avid_weight) {
+      sim.StepRead(static_cast<int>(rng.UniformInt(3)));
+    } else {
+      sim.StepRead(3 + static_cast<int>(rng.UniformInt(3)));
+    }
+  }
+
+  Table table({"client", "profile", "subscribed now", "data msgs",
+               "control msgs"});
+  for (int c = 0; c < 6; ++c) {
+    table.AddRow({FmtInt(c), c < 3 ? "avid reader" : "casual",
+                  sim.HasCopy(c) ? "yes" : "no",
+                  FmtInt(sim.client_data_messages(c)),
+                  FmtInt(sim.client_control_messages(c))});
+  }
+  table.Print();
+  std::printf(
+      "\nCurrent write fan-out: %d data messages per write (the avid "
+      "readers hold copies;\nthe casual terminals read on demand). The "
+      "per-MC windows discovered the split\nwithout any global "
+      "coordination.\n",
+      sim.SubscriberCount());
+}
+
+void PrintFanoutVsReadShare() {
+  Banner("Write fan-out vs population read appetite (SW9, 8 MCs)",
+         "All 8 clients identical; the per-client read:write ratio varies "
+         "by column. Fan-out = mean subscriber count over the second "
+         "half of a 3000-event run.");
+  Table table({"reads per write (per client)", "mean subscribers (of 8)",
+               "data msgs/event"});
+  for (const double reads_per_write : {0.05, 0.25, 0.5, 1.0, 2.0, 8.0}) {
+    MultiClientSimulation::Options options;
+    options.num_clients = 8;
+    options.spec = *ParsePolicySpec("sw:9");
+    MultiClientSimulation sim(options);
+    Rng rng(1000 + static_cast<uint64_t>(reads_per_write * 100));
+    const double read_weight = reads_per_write * 8.0;
+    const double total = 1.0 + read_weight;
+    const int events = 3000;
+    // The clients' windows are correlated through the shared write stream
+    // (a write burst deallocates everyone at once), so a final snapshot is
+    // noisy; average the subscriber count over the second half of the run.
+    int64_t subscriber_sum = 0;
+    int64_t samples = 0;
+    for (int event = 0; event < events; ++event) {
+      if (rng.NextDouble() * total < 1.0) {
+        sim.StepWrite();
+      } else {
+        sim.StepRead(static_cast<int>(rng.UniformInt(8)));
+      }
+      if (event >= events / 2) {
+        subscriber_sum += sim.SubscriberCount();
+        ++samples;
+      }
+    }
+    table.AddRow({Fmt(reads_per_write, 2),
+                  Fmt(static_cast<double>(subscriber_sum) /
+                          static_cast<double>(samples),
+                      2),
+                  Fmt(static_cast<double>(sim.data_messages()) / events, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nEach terminal's window sees its own theta_i = writes/(writes + "
+      "its reads);\nas the read appetite crosses the theta = 1/2 boundary "
+      "the whole population\nflips from on-demand to subscribed, and write "
+      "fan-out jumps accordingly.\n");
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintPopulationSplit();
+  mobrep::bench::PrintFanoutVsReadShare();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces the non-competitiveness of the static algorithms (E6 in
+// DESIGN.md; paper §5.3 and §6.4): on all-read schedules ST1's cost ratio
+// against the offline optimum grows linearly without bound, and on
+// all-write schedules ST2 pays linearly while the optimum pays nothing.
+
+#include <cmath>
+#include <cstdio>
+
+#include "mobrep/analysis/competitive.h"
+#include "mobrep/core/static_policies.h"
+#include "mobrep/trace/adversary.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintSt1() {
+  Banner("ST1 on all-read schedules",
+         "Every read is a remote read; the offline optimum acquires the "
+         "copy once. Ratio grows linearly with the schedule length in both "
+         "cost models.");
+  Table table({"length n", "ST1 cost (conn)", "OPT (conn)", "ratio (conn)",
+               "ST1 cost (msg w=0.5)", "OPT (msg)", "ratio (msg)"});
+  St1Policy st1;
+  const CostModel conn = CostModel::Connection();
+  const CostModel msg = CostModel::Message(0.5);
+  for (const int64_t n : {10, 30, 100, 300, 1000, 3000}) {
+    const Schedule s = UniformSchedule(n, Op::kRead);
+    const RatioReport rc = MeasureRatio(&st1, s, conn);
+    const RatioReport rm = MeasureRatio(&st1, s, msg);
+    table.AddRow({FmtInt(n), Fmt(rc.policy_cost, 1), Fmt(rc.offline_cost, 1),
+                  Fmt(rc.ratio, 1), Fmt(rm.policy_cost, 1),
+                  Fmt(rm.offline_cost, 1), Fmt(rm.ratio, 1)});
+  }
+  table.Print();
+}
+
+void PrintSt2() {
+  Banner("ST2 on all-write schedules",
+         "Every write is propagated to the MC; the offline optimum simply "
+         "never holds a copy and pays 0 — the ratio is unbounded "
+         "(infinite) at every length.");
+  Table table({"length n", "ST2 cost (conn)", "OPT (conn)", "ratio",
+               "ST2 cost (msg w=0.5)", "OPT (msg)", "ratio"});
+  St2Policy st2;
+  const CostModel conn = CostModel::Connection();
+  const CostModel msg = CostModel::Message(0.5);
+  for (const int64_t n : {10, 100, 1000}) {
+    const Schedule s = UniformSchedule(n, Op::kWrite);
+    const RatioReport rc = MeasureRatio(&st2, s, conn);
+    const RatioReport rm = MeasureRatio(&st2, s, msg);
+    const auto ratio_str = [](double r) {
+      return std::isinf(r) ? std::string("inf") : Fmt(r, 1);
+    };
+    table.AddRow({FmtInt(n), Fmt(rc.policy_cost, 1), Fmt(rc.offline_cost, 1),
+                  ratio_str(rc.ratio), Fmt(rm.policy_cost, 1),
+                  Fmt(rm.offline_cost, 1), ratio_str(rm.ratio)});
+  }
+  table.Print();
+  std::printf(
+      "\nConclusion (paper §5.3/§6.4): no constant c bounds either static "
+      "algorithm; only the dynamic algorithms are competitive.\n");
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintSt1();
+  mobrep::bench::PrintSt2();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces §7.1 (E10 in DESIGN.md): the modified static methods T1m and
+// T2m. Claims: EXP_T1m = (1-theta) + (1-theta)^m (2 theta - 1) in the
+// connection model; T1m is (m+1)-competitive; for theta > 0.5 it has a
+// slightly lower expected cost than SWm; for m = 15, theta = 0.75 it is
+// within 4% of the optimum (§9).
+
+#include <cstdio>
+
+#include "mobrep/analysis/competitive.h"
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/core/threshold_policies.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintExpectedCost() {
+  Banner("T1m expected cost (connection model)",
+         "formula = (1-theta) + (1-theta)^m (2 theta - 1); the second term "
+         "is the price of competitiveness over static ST1.");
+  Table table({"m", "theta", "formula", "simulated", "EXP_SWm",
+               "T1m < SWm", "EXP_ST1 (optimum)"});
+  for (const int m : {3, 7, 15}) {
+    for (const double theta : {0.55, 0.65, 0.75, 0.9}) {
+      const double formula = ExpT1mConnection(m, theta);
+      const double sim = SimulatedExpectedCost({PolicyKind::kT1, m},
+                                               CostModel::Connection(),
+                                               theta);
+      const double swm = ExpSwkConnection(m, theta);
+      table.AddRow({FmtInt(m), Fmt(theta, 2), Fmt(formula), Fmt(sim),
+                    Fmt(swm), formula < swm ? "yes" : "NO",
+                    Fmt(ExpSt1Connection(theta))});
+    }
+  }
+  table.Print();
+}
+
+void PrintPaperClaim() {
+  Banner("§9 worked number",
+         "m = 15, theta = 0.75: T1m within 4% of the optimum (the best "
+         "static expected cost, 1 - theta = 0.25).");
+  const double t1m = ExpT1mConnection(15, 0.75);
+  const double optimum = ExpSt1Connection(0.75);
+  const double above = (t1m - optimum) / optimum * 100.0;
+  Table table({"EXP_T1-15(0.75)", "optimum", "% above", "within 4%"});
+  table.AddRow({Fmt(t1m, 5), Fmt(optimum, 5), Fmt(above, 2) + "%",
+                above < 4.0 ? "yes" : "NO"});
+  table.Print();
+}
+
+void PrintCompetitiveness() {
+  Banner("T1m / T2m competitiveness (connection model)",
+         "T1m adversary: (m reads, 1 write)*; T2m adversary: "
+         "(m writes, 1 read)*. Claimed factor: m + 1.");
+  Table table({"policy", "claimed m+1", "adversary ratio", "tight"});
+  const CostModel model = CostModel::Connection();
+  for (const int m : {2, 4, 8, 15}) {
+    T1mPolicy t1(m);
+    Schedule s1;
+    for (int cycle = 0; cycle < 300; ++cycle) {
+      for (int i = 0; i < m; ++i) s1.push_back(Op::kRead);
+      s1.push_back(Op::kWrite);
+    }
+    const double r1 = MeasureRatio(&t1, s1, model).ratio;
+    table.AddRow({"T1-" + FmtInt(m), Fmt(m + 1.0, 1), Fmt(r1),
+                  r1 > 0.97 * (m + 1) && r1 <= m + 1 + 1e-9 ? "yes" : "NO"});
+
+    T2mPolicy t2(m);
+    Schedule s2;
+    for (int cycle = 0; cycle < 300; ++cycle) {
+      for (int i = 0; i < m; ++i) s2.push_back(Op::kWrite);
+      s2.push_back(Op::kRead);
+    }
+    const double r2 = MeasureRatio(&t2, s2, model).ratio;
+    table.AddRow({"T2-" + FmtInt(m), Fmt(m + 1.0, 1), Fmt(r2),
+                  r2 > 0.9 * (m + 1) && r2 <= m + 1 + 1e-9 ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+void PrintPriceOfCompetitiveness() {
+  Banner("The price of competitiveness",
+         "Extra expected cost of T1m over static ST1 at each theta: "
+         "(1-theta)^m (2 theta - 1) — vanishing in m for theta > 0.5.");
+  Table table({"theta", "m=3", "m=7", "m=15", "m=31"});
+  for (const double theta : {0.55, 0.65, 0.75, 0.9}) {
+    std::vector<std::string> row = {Fmt(theta, 2)};
+    for (const int m : {3, 7, 15, 31}) {
+      row.push_back(
+          Fmt(ExpT1mConnection(m, theta) - ExpSt1Connection(theta), 5));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintExpectedCost();
+  mobrep::bench::PrintPaperClaim();
+  mobrep::bench::PrintCompetitiveness();
+  mobrep::bench::PrintPriceOfCompetitiveness();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces the message-model average-expected-cost results (E8 in
+// DESIGN.md): eq. 8 (statics), Theorem 7 / eq. 10 (SW1), Theorem 10 /
+// eq. 12 (SWk), Corollary 2 (monotone decrease toward 1/4 + omega/8) and
+// Corollaries 3-4 (the omega = 0.4 watershed between SW1 and large-k SWk).
+
+#include <cstdio>
+
+#include "mobrep/analysis/average_cost.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintAvgVsK() {
+  Banner("Message model: average expected cost vs window size",
+         "Closed forms; the last row is the k -> infinity bound "
+         "1/4 + omega/8 (Cor. 2).");
+  Table table({"algorithm", "w=0.1", "w=0.3", "w=0.4", "w=0.5", "w=0.8",
+               "w=1.0"});
+  const double omegas[] = {0.1, 0.3, 0.4, 0.5, 0.8, 1.0};
+  auto row = [&](const std::string& name, auto fn) {
+    std::vector<std::string> cells = {name};
+    for (const double omega : omegas) cells.push_back(Fmt(fn(omega)));
+    table.AddRow(cells);
+  };
+  row("ST1", [](double w) { return AvgSt1Message(w); });
+  row("ST2", [](double w) { return AvgSt2Message(w); });
+  row("SW1", [](double w) { return AvgSw1Message(w); });
+  for (const int k : {3, 7, 15, 39, 95}) {
+    row("SW" + FmtInt(k), [k](double w) { return AvgSwkMessage(k, w); });
+  }
+  row("bound 1/4+w/8", [](double w) { return AvgSwkMessageLowerBound(w); });
+  table.Print();
+  std::printf(
+      "\nShape check (Cor. 3/4): for omega <= 0.4 the SW1 row is the "
+      "minimum of each column; for larger omega, sufficiently large k "
+      "eventually undercuts SW1 (SW39 at w=0.5, SW7-ish at w=0.8).\n");
+}
+
+void PrintSimulatedColumn() {
+  Banner("Validation on the AVG regime",
+         "theta ~ U[0,1] redrawn every 2500 requests; 1M requests; "
+         "omega = 0.5.");
+  const CostModel model = CostModel::Message(0.5);
+  Table table({"algorithm", "AVG closed form", "simulated"});
+  const struct {
+    const char* name;
+    PolicySpec spec;
+    double avg;
+  } rows[] = {
+      {"ST1", {PolicyKind::kSt1, 0}, AvgSt1Message(0.5)},
+      {"ST2", {PolicyKind::kSt2, 0}, AvgSt2Message(0.5)},
+      {"SW1", {PolicyKind::kSw1, 1}, AvgSw1Message(0.5)},
+      {"SW9", {PolicyKind::kSw, 9}, AvgSwkMessage(9, 0.5)},
+      {"SW39", {PolicyKind::kSw, 39}, AvgSwkMessage(39, 0.5)},
+  };
+  for (const auto& r : rows) {
+    table.AddRow(
+        {r.name, Fmt(r.avg), Fmt(SimulatedAverageCost(r.spec, model))});
+  }
+  table.Print();
+}
+
+void PrintWatershed() {
+  Banner("Corollaries 3-4 — the omega = 0.4 watershed",
+         "AVG_SWk - AVG_SW1 for large k: positive for omega <= 0.4 "
+         "(SW1 wins), eventually negative beyond.");
+  Table table({"omega", "AVG_SW1", "AVG_SW999", "SW999 - SW1",
+               "large-k SWk beats SW1"});
+  for (const double omega : {0.0, 0.2, 0.4, 0.41, 0.5, 0.7, 1.0}) {
+    const double sw1 = AvgSw1Message(omega);
+    const double swk = AvgSwkMessage(999, omega);
+    table.AddRow({Fmt(omega, 2), Fmt(sw1), Fmt(swk), Fmt(swk - sw1),
+                  swk < sw1 ? "yes" : "no"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintAvgVsK();
+  mobrep::bench::PrintSimulatedColumn();
+  mobrep::bench::PrintWatershed();
+  return 0;
+}

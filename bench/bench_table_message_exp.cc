@@ -1,0 +1,99 @@
+// Reproduces the message-model expected-cost results (E7 in DESIGN.md):
+// eq. 7 (statics), Theorem 5 / eq. 9 (SW1), Theorem 8 / eq. 11 (SWk),
+// Theorem 6's ordering, and Theorem 9's pointwise domination of SWk
+// (k > 1) by the best of {SW1, ST1, ST2}.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "mobrep/analysis/dominance.h"
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/analysis/markov_oracle.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintExpectedCosts(double omega) {
+  Banner("Message model: expected cost per request (omega = " +
+             Fmt(omega, 2) + ")",
+         "Columns per eq. 7, eq. 9, eq. 11; 'best' per Theorem 6 among "
+         "{ST1, ST2, SW1}.");
+  Table table({"theta", "ST1", "ST2", "SW1", "SW3", "SW9", "best (Thm 6)"});
+  for (double theta = 0.0; theta <= 1.0001; theta += 0.1) {
+    table.AddRow({Fmt(theta, 2), Fmt(ExpSt1Message(theta, omega)),
+                  Fmt(ExpSt2Message(theta, omega)),
+                  Fmt(ExpSw1Message(theta, omega)),
+                  Fmt(ExpSwkMessage(3, theta, omega)),
+                  Fmt(ExpSwkMessage(9, theta, omega)),
+                  MessageDominantName(ClassifyByTheorem6(theta, omega))});
+  }
+  table.Print();
+}
+
+void PrintValidation() {
+  Banner("Validation: eq. 11 vs Markov oracle vs simulation",
+         "Simulation: 200k requests per cell.");
+  Table table({"algo", "theta", "omega", "formula", "oracle", "simulated"});
+  for (const double omega : {0.25, 0.75}) {
+    const CostModel model = CostModel::Message(omega);
+    for (const int k : {3, 9}) {
+      for (const double theta : {0.3, 0.6}) {
+        table.AddRow(
+            {"SW" + FmtInt(k), Fmt(theta, 2), Fmt(omega, 2),
+             Fmt(ExpSwkMessage(k, theta, omega)),
+             Fmt(MarkovExpectedCostSlidingWindow(k, false, theta, model)),
+             Fmt(SimulatedExpectedCost({PolicyKind::kSw, k}, model, theta))});
+      }
+    }
+    for (const double theta : {0.3, 0.6}) {
+      table.AddRow(
+          {"SW1", Fmt(theta, 2), Fmt(omega, 2),
+           Fmt(ExpSw1Message(theta, omega)),
+           Fmt(MarkovExpectedCostSlidingWindow(1, true, theta, model)),
+           Fmt(SimulatedExpectedCost({PolicyKind::kSw1, 1}, model, theta))});
+    }
+  }
+  table.Print();
+}
+
+void PrintTheorem9() {
+  Banner("Theorem 9 — SWk (k>1) never beats the best of {SW1, ST1, ST2}",
+         "Worst margin min over a 101x11 (theta, omega) grid of "
+         "EXP_SWk - min(EXP_SW1, EXP_ST1, EXP_ST2); must be >= 0.");
+  Table table({"k", "min margin over grid", "holds"});
+  for (const int k : {3, 5, 9, 15, 21}) {
+    double min_margin = 1e9;
+    for (int o = 0; o <= 10; ++o) {
+      const double omega = o / 10.0;
+      for (int t = 0; t <= 100; ++t) {
+        const double theta = t / 100.0;
+        const double margin =
+            ExpSwkMessage(k, theta, omega) -
+            std::min({ExpSw1Message(theta, omega),
+                      ExpSt1Message(theta, omega),
+                      ExpSt2Message(theta, omega)});
+        min_margin = std::min(min_margin, margin);
+      }
+    }
+    table.AddRow({FmtInt(k), Fmt(min_margin, 6),
+                  min_margin >= -1e-9 ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "\nInterpretation (paper §6.3): when theta is known and fixed, pick "
+      "among ST1/ST2/SW1 by Figure 1; larger windows only pay off for the "
+      "*average* cost when theta drifts (see bench_table_message_avg).\n");
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintExpectedCosts(0.25);
+  mobrep::bench::PrintExpectedCosts(0.75);
+  mobrep::bench::PrintValidation();
+  mobrep::bench::PrintTheorem9();
+  return 0;
+}

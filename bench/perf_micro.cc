@@ -1,0 +1,112 @@
+// Micro-benchmarks (P1 in DESIGN.md): throughput of the building blocks —
+// policy decisions, window updates, the offline DP, the analytical
+// formulas and the full distributed protocol step.
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/window_tracker.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+void BM_WindowTrackerPush(benchmark::State& state) {
+  WindowTracker window(static_cast<int>(state.range(0)));
+  window.Fill(Op::kWrite);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        window.Push((i++ & 1) != 0 ? Op::kWrite : Op::kRead));
+  }
+}
+BENCHMARK(BM_WindowTrackerPush)->Arg(9)->Arg(101)->Arg(1001);
+
+void BM_PolicyDecision(benchmark::State& state, const char* spec_text) {
+  auto policy = CreatePolicyFromString(spec_text).value();
+  Rng rng(1);
+  // Pre-generate requests so the RNG is off the hot path.
+  std::vector<Op> requests(4096);
+  for (auto& op : requests) {
+    op = rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->OnRequest(requests[i]));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyDecision, st1, "st1");
+BENCHMARK_CAPTURE(BM_PolicyDecision, sw1, "sw1");
+BENCHMARK_CAPTURE(BM_PolicyDecision, sw9, "sw:9");
+BENCHMARK_CAPTURE(BM_PolicyDecision, sw101, "sw:101");
+BENCHMARK_CAPTURE(BM_PolicyDecision, t1_15, "t1:15");
+
+void BM_CostMeter(benchmark::State& state) {
+  auto policy = CreatePolicyFromString("sw:9").value();
+  const CostModel model = CostModel::Message(0.5);
+  CostMeter meter(policy.get(), &model);
+  Rng rng(2);
+  std::vector<Op> requests(4096);
+  for (auto& op : requests) {
+    op = rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.OnRequest(requests[i]));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_CostMeter);
+
+void BM_OfflineOptimalDp(benchmark::State& state) {
+  Rng rng(3);
+  const Schedule s = GenerateBernoulliSchedule(state.range(0), 0.5, &rng);
+  const CostModel model = CostModel::Connection();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OfflineOptimalCost(s, model));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OfflineOptimalDp)->Arg(1000)->Arg(100000);
+
+void BM_AlphaK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  double theta = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlphaK(k, theta));
+    theta = theta < 0.9 ? theta + 0.1 : 0.1;
+  }
+}
+BENCHMARK(BM_AlphaK)->Arg(9)->Arg(101);
+
+void BM_ProtocolStep(benchmark::State& state) {
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec("sw:9");
+  ProtocolSimulation sim(config);
+  Rng rng(4);
+  std::vector<Op> requests(4096);
+  for (auto& op : requests) {
+    op = rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    sim.Step(requests[i]);
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolStep);
+
+}  // namespace
+}  // namespace mobrep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mobrep/common/random.h"
+#include "mobrep/common/strings.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep::bench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(c + 1 < widths.size() ? 2 : 0, ' ');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string FmtInt(int64_t value) {
+  return StrFormat("%lld", static_cast<long long>(value));
+}
+
+void Banner(const std::string& title, const std::string& note) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+double SimulatedExpectedCost(const PolicySpec& spec, const CostModel& model,
+                             double theta, int64_t n, int64_t warmup,
+                             uint64_t seed) {
+  auto policy = CreatePolicy(spec);
+  CostMeter meter(policy.get(), &model);
+  Rng rng(seed);
+  for (int64_t i = 0; i < warmup; ++i) {
+    meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead);
+  }
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead);
+  }
+  return total / static_cast<double>(n);
+}
+
+double SimulatedAverageCost(const PolicySpec& spec, const CostModel& model,
+                            int64_t periods, int64_t period_length,
+                            uint64_t seed) {
+  auto policy = CreatePolicy(spec);
+  CostMeter meter(policy.get(), &model);
+  PeriodRequestStream stream(period_length, Rng(seed));
+  const int64_t n = periods * period_length;
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += meter.OnRequest(stream.Next());
+  return total / static_cast<double>(n);
+}
+
+}  // namespace mobrep::bench

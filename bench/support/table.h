@@ -1,0 +1,51 @@
+#ifndef MOBREP_BENCH_SUPPORT_TABLE_H_
+#define MOBREP_BENCH_SUPPORT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep::bench {
+
+// Fixed-width text table, the output format of every experiment binary.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders to stdout with aligned columns.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Shorthand numeric formatting.
+std::string Fmt(double value, int precision = 4);
+std::string FmtInt(int64_t value);
+
+// Prints a section banner:
+//   ==== <title> ====
+//   <note>
+void Banner(const std::string& title, const std::string& note = "");
+
+// Steady-state mean cost per request of `spec` under `model` at
+// write-probability theta, estimated from `n` requests after `warmup`
+// discarded ones. Deterministic in `seed`.
+double SimulatedExpectedCost(const PolicySpec& spec, const CostModel& model,
+                             double theta, int64_t n = 200000,
+                             int64_t warmup = 2000, uint64_t seed = 42);
+
+// Mean cost per request on the paper's AVG regime: periods of
+// `period_length` requests with theta ~ U[0,1] redrawn per period.
+double SimulatedAverageCost(const PolicySpec& spec, const CostModel& model,
+                            int64_t periods = 400,
+                            int64_t period_length = 2500, uint64_t seed = 42);
+
+}  // namespace mobrep::bench
+
+#endif  // MOBREP_BENCH_SUPPORT_TABLE_H_

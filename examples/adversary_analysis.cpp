@@ -1,0 +1,109 @@
+// Worst-case analysis walkthrough: what competitiveness means, concretely.
+//
+// Builds the adversarial schedules from the paper's tightness arguments,
+// shows the offline optimal algorithm's decisions side by side with the
+// online policy's, and reports the measured ratios against the claimed
+// competitive factors.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "mobrep/analysis/competitive.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/trace/adversary.h"
+
+namespace {
+
+using namespace mobrep;
+
+void ShowDecisionTrace() {
+  // Three cycles of (3 writes, 3 reads) against SW3.
+  const int k = 3;
+  const Schedule s = BlockSchedule(3, k, k);
+  const CostModel model = CostModel::Connection();
+
+  SlidingWindowPolicy policy(k);
+  const OfflineSolution offline = SolveOfflineOptimal(s, model);
+
+  std::string requests, online_state, offline_state, online_paid,
+      offline_paid;
+  bool prev_offline = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    requests += OpToChar(s[i]);
+    const bool copy_before = policy.has_copy();
+    const ActionKind action = policy.OnRequest(s[i]);
+    online_state += policy.has_copy() ? 'C' : '.';
+    online_paid += model.Price(action) > 0 ? '$' : ' ';
+    offline_state += offline.copy_during[i] ? 'C' : '.';
+    offline_paid += OfflineTransitionCost(s[i], prev_offline,
+                                          offline.copy_during[i], model) > 0
+                        ? '$'
+                        : ' ';
+    prev_offline = offline.copy_during[i];
+    (void)copy_before;
+  }
+
+  std::printf("Adversarial schedule against SW3, connection model "
+              "(C = MC holds a copy, $ = paid):\n\n");
+  std::printf("  requests        %s\n", requests.c_str());
+  std::printf("  SW3 copy state  %s\n", online_state.c_str());
+  std::printf("  SW3 charged     %s\n", online_paid.c_str());
+  std::printf("  OPT copy state  %s\n", offline_state.c_str());
+  std::printf("  OPT charged     %s\n", offline_paid.c_str());
+  std::printf(
+      "\nThe window trails the regime by (k+1)/2 requests in each "
+      "direction, paying k+1\nper cycle, while the clairvoyant optimum "
+      "pre-positions the copy for 1 per cycle.\n\n");
+}
+
+void ShowRatios() {
+  std::printf("Measured worst-case ratios vs claimed factors:\n\n");
+  std::printf("  %-8s %-22s %-12s %-10s\n", "policy", "adversary",
+              "measured", "claimed");
+  const CostModel conn = CostModel::Connection();
+  const CostModel msg = CostModel::Message(0.5);
+
+  for (const int k : {3, 9}) {
+    SlidingWindowPolicy policy(k);
+    const Schedule s = BlockSchedule(300, k, k);
+    std::printf("  %-8s %-22s %-12.3f %-10.1f\n",
+                policy.name().c_str(),
+                ("(" + std::to_string(k) + "w," + std::to_string(k) +
+                 "r)x300")
+                    .c_str(),
+                MeasureRatio(&policy, s, conn).ratio, k + 1.0);
+  }
+  {
+    auto sw1 = SlidingWindowPolicy::NewSw1();
+    const Schedule s = AlternatingSchedule(2000);
+    std::printf("  %-8s %-22s %-12.3f %-10.1f  (message, omega=0.5)\n",
+                "SW1", "wrwr... x1000", MeasureRatio(sw1.get(), s, msg).ratio,
+                1.0 + 2.0 * 0.5);
+  }
+  {
+    auto st1 = CreatePolicyFromString("st1").value();
+    for (const int64_t n : {100, 1000, 10000}) {
+      const Schedule s = UniformSchedule(n, Op::kRead);
+      std::printf("  %-8s %-22s %-12.1f %-10s\n", "ST1",
+                  ("r x" + std::to_string(n)).c_str(),
+                  MeasureRatio(st1.get(), s, conn).ratio,
+                  "unbounded");
+    }
+  }
+  std::printf(
+      "\nThe statics' ratio grows with the schedule length — they are not "
+      "competitive.\nThe window algorithms trade expected cost for exactly "
+      "this bounded worst case.\n");
+}
+
+}  // namespace
+
+int main() {
+  ShowDecisionTrace();
+  ShowRatios();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Field-sales scenario (paper §1: "salespeople will access inventory
+// data"), showing the multi-item ReplicationManager and the PolicyAdvisor.
+//
+// A salesperson's notebook works against the company database: a product
+// catalog (read-mostly), live stock levels (update-heavy), and the rep's
+// own open orders (mixed, drifting with the time of day). The advisor
+// picks a policy per data class from what is known about each class's
+// read/write mix; the manager runs them side by side and reports where the
+// wireless budget went.
+
+#include <cstdio>
+
+#include "mobrep/analysis/advisor.h"
+#include "mobrep/common/random.h"
+#include "mobrep/manager/replication_manager.h"
+#include "mobrep/trace/generators.h"
+
+namespace {
+
+using namespace mobrep;
+
+PolicySpec Advise(const CostModel& model, std::optional<double> theta,
+                  double max_factor, const char* label) {
+  AdvisorQuery query;
+  query.model = model;
+  query.theta = theta;
+  query.max_competitive_factor = max_factor;
+  const auto rec = RecommendPolicy(query);
+  std::printf("  %-12s -> %-7s %s\n", label, rec->spec.ToString().c_str(),
+              rec->rationale.c_str());
+  return rec->spec;
+}
+
+}  // namespace
+
+int main() {
+  const CostModel model = CostModel::Message(/*omega=*/0.4);
+
+  std::printf("Advisor decisions (message model, omega = 0.4):\n");
+  // Catalog: known read-mostly (theta ~ 0.05), worst case within 8x.
+  const PolicySpec catalog = Advise(model, 0.05, 8.0, "catalog");
+  // Stock: known update-heavy (theta ~ 0.9), worst case within 8x.
+  const PolicySpec stock = Advise(model, 0.9, 8.0, "stock");
+  // Orders: drifting mix -> AVG regime, worst case within 8x.
+  const PolicySpec orders = Advise(model, std::nullopt, 8.0, "orders");
+
+  ReplicationManager::Options options;
+  options.model = model;
+  ReplicationManager manager(options);
+  manager.SetItemPolicy("catalog/laptops", catalog);
+  manager.SetItemPolicy("catalog/phones", catalog);
+  manager.SetItemPolicy("stock/laptops", stock);
+  manager.SetItemPolicy("stock/phones", stock);
+  manager.SetItemPolicy("orders/mine", orders);
+
+  // A day in the field: catalog reads dominate; stock is hammered by the
+  // warehouse; the rep's orders swing between entry bursts (writes at the
+  // SC as the back office confirms) and review bursts (reads).
+  Rng rng(1234);
+  BernoulliRequestStream catalog_mix(0.05, rng.Fork(1));
+  BernoulliRequestStream stock_mix(0.9, rng.Fork(2));
+  PeriodRequestStream orders_mix(/*period_length=*/500, rng.Fork(3));
+
+  for (int i = 0; i < 20000; ++i) {
+    const char* catalog_key =
+        rng.Bernoulli(0.5) ? "catalog/laptops" : "catalog/phones";
+    if (catalog_mix.Next() == Op::kWrite) {
+      manager.OnWrite(catalog_key);
+    } else {
+      manager.OnRead(catalog_key);
+    }
+    const char* stock_key =
+        rng.Bernoulli(0.5) ? "stock/laptops" : "stock/phones";
+    if (stock_mix.Next() == Op::kWrite) {
+      manager.OnWrite(stock_key);
+    } else {
+      manager.OnRead(stock_key);
+    }
+    if (orders_mix.Next() == Op::kWrite) {
+      manager.OnWrite("orders/mine");
+    } else {
+      manager.OnRead("orders/mine");
+    }
+  }
+
+  std::printf("\nPer-item wireless spend after 60k requests:\n");
+  std::printf("  %-18s %-9s %-10s %-8s %-6s %-6s\n", "item", "policy",
+              "cost/req", "requests", "subs", "drops");
+  for (const char* key :
+       {"catalog/laptops", "catalog/phones", "stock/laptops", "stock/phones",
+        "orders/mine"}) {
+    const auto b = manager.ItemBreakdown(key);
+    std::printf("  %-18s %-9s %-10.4f %-8lld %-6lld %-6lld\n", key,
+                manager.HasCopy(key) ? "(copy)" : "(remote)",
+                b->MeanCostPerRequest(), static_cast<long long>(b->requests),
+                static_cast<long long>(b->allocations),
+                static_cast<long long>(b->deallocations));
+  }
+  const CostBreakdown total = manager.TotalBreakdown();
+  std::printf("\nTotal: %.1f message-units over %lld requests "
+              "(%.4f per request); %zu items, %zu replicated right now.\n",
+              total.total_cost, static_cast<long long>(total.requests),
+              total.MeanCostPerRequest(), manager.item_count(),
+              manager.ReplicatedItems().size());
+  std::printf(
+      "\nNote how the advisor kept the catalog permanently subscribed "
+      "(reads are free),\nleft stock on-demand (subscribing would relay "
+      "every warehouse update), and gave\nthe drifting orders item a "
+      "sliding window that re-decides as the day's mix swings.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Stock ticker scenario (paper §1: "investors will access prices of
+// financial instruments").
+//
+// An investor's mobile terminal tracks one instrument's quote, which lives
+// in the brokerage's online database. The day alternates between regimes:
+//   * trading hours   — the exchange updates the quote constantly
+//                       (write-heavy at the SC),
+//   * research time   — the investor refreshes charts and reads the quote
+//                       repeatedly (read-heavy at the MC).
+//
+// This example runs the *distributed protocol* (real messages, versioned
+// store, replica cache) and shows the sliding-window algorithm subscribing
+// and unsubscribing the terminal as the regime flips, against both static
+// allocations.
+
+#include <cstdio>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/trace/generators.h"
+
+namespace {
+
+using namespace mobrep;
+
+// Six alternating market regimes, 600 requests each.
+Schedule MakeTradingDay(Rng* rng) {
+  Schedule day;
+  for (int phase = 0; phase < 6; ++phase) {
+    const bool trading_hours = phase % 2 == 0;
+    const double theta = trading_hours ? 0.85 : 0.10;
+    const Schedule part = GenerateBernoulliSchedule(600, theta, rng);
+    day.insert(day.end(), part.begin(), part.end());
+  }
+  return day;
+}
+
+void RunPolicy(const char* spec_text, const Schedule& day) {
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec(spec_text);
+  config.key = "quote/ACME";
+  config.initial_value = "187.20";
+  ProtocolSimulation sim(config);
+
+  // Replay the day phase by phase so we can watch the subscription state.
+  std::printf("%-6s |", spec_text);
+  size_t i = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    for (int r = 0; r < 600; ++r) sim.Step(day[i++]);
+    std::printf(" %s", sim.mc_has_copy() ? "subscribed  " : "on-demand   ");
+  }
+  const ProtocolMetrics m = sim.metrics();
+  const double conn = m.PriceUnder(CostModel::Connection());
+  const double msg = m.PriceUnder(CostModel::Message(0.4));
+  std::printf("| %8.0f %10.1f %6lld %6lld\n", conn, msg,
+              static_cast<long long>(m.allocations),
+              static_cast<long long>(m.deallocations));
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(777);
+  const Schedule day = MakeTradingDay(&rng);
+
+  std::printf(
+      "Trading day: 6 phases x 600 requests, alternating write-heavy "
+      "(trading, theta=0.85)\nand read-heavy (research, theta=0.10) "
+      "regimes. Costs over the whole day:\n\n");
+  std::printf("%-6s | %-77s | %8s %10s %6s %6s\n", "policy",
+              "MC state at the end of each phase (trading/research "
+              "alternating)",
+              "conn", "msg(w=.4)", "subs", "drops");
+  std::printf("%s\n", std::string(125, '-').c_str());
+
+  for (const char* spec : {"st1", "st2", "sw1", "sw:9", "sw:25"}) {
+    RunPolicy(spec, day);
+  }
+
+  std::printf(
+      "\nReading the table: the window algorithms subscribe the terminal "
+      "during research\nphases (reads become free) and drop the "
+      "subscription during trading hours (updates\nstop flowing), beating "
+      "both static choices on the full day. Larger windows react\nmore "
+      "slowly but hold the subscription more steadily; SW1 reacts "
+      "instantly but churns\n(see the subs/drops columns).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Trace workflow: capture a workload, persist it, replay it against every
+// policy, and compare with the clairvoyant lower bound.
+//
+// This is the offline-tuning loop a deployment would actually run: record
+// the relevant requests of a real day, then pick tomorrow's policy from
+// measured — not assumed — read/write behaviour.
+
+#include <cstdio>
+#include <string>
+
+#include "mobrep/analysis/advisor.h"
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/trace/generators.h"
+#include "mobrep/trace/serializer.h"
+#include "mobrep/trace/stats.h"
+#include "mobrep/trace/trace_io.h"
+
+int main() {
+  using namespace mobrep;
+  const CostModel model = CostModel::Message(/*omega=*/0.5);
+
+  // --- 1. "Capture": two concurrent request streams, serialized (§3). ---
+  Rng rng(8842);
+  std::vector<double> read_times, write_times;
+  double t = 0.0;
+  for (int i = 0; i < 6000; ++i) read_times.push_back(t += rng.Exponential(3.0));
+  t = 0.0;
+  for (int i = 0; i < 2500; ++i) write_times.push_back(t += rng.Exponential(1.2));
+  const TimedSchedule timed = *SerializeStreams(read_times, write_times);
+  const Schedule day = StripTimes(timed);
+
+  const std::string path = "/tmp/mobrep_example_day.trace";
+  if (!SaveScheduleToFile(path, day).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("captured %zu requests to %s\n", day.size(), path.c_str());
+
+  // --- 2. Reload and profile. ---
+  const Schedule replay = *LoadScheduleFromFile(path);
+  const ScheduleStats stats = ComputeStats(replay);
+  std::printf("workload: %s\n\n", stats.ToString().c_str());
+
+  // --- 3. Replay against the roster; compare to the clairvoyant bound. ---
+  const double optimal = OfflineOptimalCost(replay, model);
+  std::printf("clairvoyant optimum: %.1f message-units\n\n", optimal);
+  std::printf("%-8s %12s %14s\n", "policy", "total cost", "vs optimum");
+  for (const PolicySpec& spec : StandardPolicyRoster()) {
+    auto policy = CreatePolicy(spec);
+    const double cost = PolicyCostOnSchedule(policy.get(), replay, model);
+    std::printf("%-8s %12.1f %13.2fx\n", policy->name().c_str(), cost,
+                cost / optimal);
+  }
+
+  // --- 4. Ask the advisor, using the measured theta. ---
+  AdvisorQuery query;
+  query.model = model;
+  query.theta = stats.theta_hat;
+  query.max_competitive_factor = 10.0;
+  const auto rec = RecommendPolicy(query);
+  std::printf("\nadvisor (theta_hat=%.3f, worst case <= 10x): use %s\n",
+              stats.theta_hat, rec->spec.ToString().c_str());
+  std::printf("  %s\n", rec->rationale.c_str());
+
+  std::remove(path.c_str());
+  return 0;
+}

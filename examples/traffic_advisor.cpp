@@ -1,0 +1,116 @@
+// Route-planning scenario (paper §1: "route-planning computers in cars
+// will access traffic information"), exercising the multi-object extension
+// of §7.2.
+//
+// A car's navigation computer works with traffic data for 8 road segments.
+// Operations touch *sets* of segments in one request: planning reads the
+// whole current route, spot checks read one segment, and the traffic
+// service writes per-segment updates (congested downtown segments update
+// far more often).
+
+#include <cstdio>
+#include <string>
+
+#include "mobrep/common/random.h"
+#include "mobrep/multi/dynamic_allocator.h"
+#include "mobrep/multi/joint_workload.h"
+#include "mobrep/multi/static_allocator.h"
+
+namespace {
+
+using namespace mobrep;
+
+constexpr int kSegments = 8;
+
+std::string MaskToString(AllocationMask mask) {
+  std::string s;
+  for (int i = 0; i < kSegments; ++i) {
+    s += ((mask >> i) & 1u) ? 'R' : '.';
+  }
+  return s;  // R = replicated on the car's computer
+}
+
+// Segments 0..3: highway (rarely updated); 4..7: downtown (congested,
+// updated constantly). The commute route is segments {0,1,4,5}.
+MultiObjectWorkload CommuteWorkload() {
+  MultiObjectWorkload w;
+  w.num_objects = kSegments;
+  // Route planning: joint read of the active route, often.
+  w.classes.push_back({Op::kRead, {0, 1, 4, 5}, 30.0});
+  // Spot checks of individual route segments.
+  for (const int s : {0, 1, 4, 5}) {
+    w.classes.push_back({Op::kRead, {s}, 6.0});
+  }
+  // Occasional look at alternatives.
+  w.classes.push_back({Op::kRead, {2, 3}, 2.0});
+  w.classes.push_back({Op::kRead, {6, 7}, 2.0});
+  // Traffic updates: highway segments are quiet, downtown is noisy.
+  for (const int s : {0, 1, 2, 3}) {
+    w.classes.push_back({Op::kWrite, {s}, 1.0});
+  }
+  for (const int s : {4, 5, 6, 7}) {
+    w.classes.push_back({Op::kWrite, {s}, 25.0});
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const MultiObjectWorkload workload = CommuteWorkload();
+  const CostModel model = CostModel::Message(0.3);
+
+  std::printf("Traffic advisor: %d road segments, %zu operation classes, "
+              "message model (omega = 0.3).\n\n",
+              kSegments, workload.classes.size());
+
+  // --- Known frequencies: the optimal static allocation (§7.2). ---
+  const StaticAllocation best = OptimalStaticAllocation(workload, model);
+  std::printf("Optimal static allocation  : %s   expected cost %.4f\n",
+              MaskToString(best.mask).c_str(), best.expected_cost);
+  std::printf("Replicate nothing          : %s   expected cost %.4f\n",
+              MaskToString(0).c_str(),
+              ExpectedCostForAllocation(workload, 0, model));
+  std::printf("Replicate everything       : %s   expected cost %.4f\n",
+              MaskToString((1u << kSegments) - 1).c_str(),
+              ExpectedCostForAllocation(workload, (1u << kSegments) - 1,
+                                        model));
+
+  std::printf(
+      "\nThe optimizer subscribes every segment some frequent read needs — "
+      "the whole\ncommute route (so the joint route read becomes free, "
+      "which is worth absorbing\neven the noisy downtown updates of "
+      "segments 4,5) plus the quiet highway\nalternatives — and leaves "
+      "only the noisy downtown segments no route read\nuses (6,7) "
+      "on-demand.\n\n");
+
+  // --- Unknown frequencies: the window-based dynamic allocator. ---
+  DynamicMultiObjectAllocator::Options options;
+  options.num_objects = kSegments;
+  options.window_size = 512;
+  options.recompute_period = 128;
+  DynamicMultiObjectAllocator allocator(options, model);
+
+  Rng rng(99);
+  const auto sequence = SampleClassSequence(workload, 20000, &rng);
+  double total = 0.0;
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    total += allocator.OnOperation(
+        workload.classes[static_cast<size_t>(sequence[i])]);
+    if ((i + 1) % 4000 == 0) {
+      std::printf("after %5zu ops: allocation %s, mean cost %.4f\n", i + 1,
+                  MaskToString(allocator.allocation_mask()).c_str(),
+                  total / static_cast<double>(i + 1));
+    }
+  }
+
+  std::printf(
+      "\nDynamic allocator converged to %s (optimal: %s) with %lld "
+      "re-optimizations;\nmean cost %.4f vs the known-frequency optimum "
+      "%.4f.\n",
+      MaskToString(allocator.allocation_mask()).c_str(),
+      MaskToString(best.mask).c_str(),
+      static_cast<long long>(allocator.recomputations()),
+      total / static_cast<double>(sequence.size()), best.expected_cost);
+  return 0;
+}

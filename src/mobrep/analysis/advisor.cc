@@ -1,0 +1,189 @@
+#include "mobrep/analysis/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mobrep/analysis/average_cost.h"
+#include "mobrep/analysis/competitive.h"
+#include "mobrep/analysis/dominance.h"
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int LargestOddAtMost(int value) {
+  if (value < 1) return 0;
+  return value % 2 == 1 ? value : value - 1;
+}
+
+// Candidate under consideration.
+struct Candidate {
+  PolicySpec spec;
+  double cost;
+  double factor;
+  std::string why;
+};
+
+// The largest odd window size whose claimed competitive factor fits the
+// budget, or 0 if none does.
+int MaxFeasibleWindow(const CostModel& model, double max_factor,
+                      int max_parameter) {
+  if (!std::isfinite(max_factor)) return LargestOddAtMost(max_parameter);
+  const bool connection = model.kind() == CostModelKind::kConnection;
+  const double omega = model.omega();
+  double bound;
+  if (connection) {
+    // k + 1 <= max_factor.
+    bound = std::floor(max_factor - 1.0);
+  } else {
+    // (1 + omega/2)(k+1) + omega <= max_factor.
+    bound = std::floor((max_factor - omega) / (1.0 + omega / 2.0) - 1.0);
+  }
+  bound = std::clamp(bound, 0.0, static_cast<double>(max_parameter));
+  return LargestOddAtMost(static_cast<int>(bound));
+}
+
+// The largest threshold parameter m whose T-policy factor fits the budget.
+int MaxFeasibleThreshold(const CostModel& model, bool t1, double max_factor,
+                         int max_parameter) {
+  if (!std::isfinite(max_factor)) return max_parameter;
+  const bool connection = model.kind() == CostModelKind::kConnection;
+  const double omega = model.omega();
+  double bound;
+  if (connection) {
+    bound = max_factor - 1.0;  // m + 1 <= max_factor
+  } else if (t1) {
+    bound = max_factor / (1.0 + omega) - 1.0;  // (m+1)(1+omega)
+  } else {
+    bound = max_factor - 2.0 * omega - 1.0;  // (m+1) + 2 omega
+  }
+  bound = std::clamp(std::floor(bound), 0.0,
+                     static_cast<double>(max_parameter));
+  return static_cast<int>(bound);
+}
+
+}  // namespace
+
+Result<Recommendation> RecommendPolicy(const AdvisorQuery& query) {
+  if (query.theta.has_value() &&
+      (*query.theta < 0.0 || *query.theta > 1.0)) {
+    return InvalidArgumentError("theta must lie in [0, 1]");
+  }
+  if (query.max_competitive_factor < 1.0) {
+    return InvalidArgumentError("no online algorithm beats factor 1");
+  }
+  if (query.max_parameter < 1) {
+    return InvalidArgumentError("max_parameter must be at least 1");
+  }
+
+  const CostModel& model = query.model;
+  const bool need_bound = std::isfinite(query.max_competitive_factor);
+  std::vector<Candidate> candidates;
+
+  auto add = [&](const PolicySpec& spec, std::string why) {
+    const auto cost = query.theta.has_value()
+                          ? ExpectedCost(spec, model, *query.theta)
+                          : AverageExpectedCost(spec, model);
+    if (!cost.ok()) return;
+    const auto factor = ClaimedCompetitiveFactor(spec, model);
+    const double f = factor.ok() ? *factor : kInf;
+    if (need_bound && f > query.max_competitive_factor + 1e-9) return;
+    candidates.push_back({spec, *cost, f, std::move(why)});
+  };
+
+  // Statics: admissible only when no worst-case bound is demanded.
+  if (!need_bound) {
+    add({PolicyKind::kSt1, 0},
+        "static one-copy; best expected cost when writes dominate "
+        "(not competitive)");
+    add({PolicyKind::kSt2, 0},
+        "static two-copies; best expected cost when reads dominate "
+        "(not competitive)");
+  }
+
+  // SW1 and the best feasible SWk.
+  add({PolicyKind::kSw1, 1},
+      model.kind() == CostModelKind::kConnection
+          ? "window of one: smallest competitive factor (2) in the "
+            "connection model"
+          : "SW1: best worst case in the message model (Thm. 11) and best "
+            "AVG for omega <= 0.4 (Cor. 3)");
+  const int k = MaxFeasibleWindow(
+      model, need_bound ? query.max_competitive_factor : kInf,
+      query.max_parameter);
+  if (k >= 3) {
+    add({PolicyKind::kSw, k},
+        StrFormat("largest window within the worst-case budget; AVG "
+                  "decreases with k (eq. %s)",
+                  model.kind() == CostModelKind::kConnection ? "6" : "12"));
+  }
+
+  // T-policies: sensible when theta is known (they approximate the better
+  // static with a competitiveness guarantee, §7.1).
+  if (query.theta.has_value()) {
+    const int m1 = MaxFeasibleThreshold(
+        model, /*t1=*/true, need_bound ? query.max_competitive_factor : kInf,
+        query.max_parameter);
+    if (m1 >= 1) {
+      add({PolicyKind::kT1, m1},
+          "modified static one-copy: approaches ST1's expected cost while "
+          "staying (m+1)-competitive (§7.1)");
+    }
+    const int m2 = MaxFeasibleThreshold(
+        model, /*t1=*/false,
+        need_bound ? query.max_competitive_factor : kInf,
+        query.max_parameter);
+    if (m2 >= 1) {
+      add({PolicyKind::kT2, m2},
+          "modified static two-copies: approaches ST2's expected cost "
+          "while staying (m+1)-competitive (§7.1)");
+    }
+  }
+
+  if (candidates.empty()) {
+    return FailedPreconditionError(StrFormat(
+        "no policy satisfies a competitive factor of %.3f under the %s "
+        "model",
+        query.max_competitive_factor, model.name().c_str()));
+  }
+
+  // Minimize predicted cost; break ties toward the simpler policy (smaller
+  // parameter), then toward the smaller worst-case factor.
+  const auto better = [](const Candidate& a, const Candidate& b) {
+    constexpr double kEps = 1e-12;
+    if (a.cost < b.cost - kEps) return true;
+    if (a.cost > b.cost + kEps) return false;
+    if (a.spec.parameter != b.spec.parameter) {
+      return a.spec.parameter < b.spec.parameter;
+    }
+    return a.factor < b.factor;
+  };
+  const Candidate* best = &candidates.front();
+  for (const Candidate& c : candidates) {
+    if (better(c, *best)) best = &c;
+  }
+
+  Recommendation rec;
+  rec.spec = best->spec;
+  rec.predicted_cost = best->cost;
+  rec.competitive_factor = best->factor;
+  rec.rationale = StrFormat(
+      "%s policy %s: predicted %s cost %.4f per request%s. %s",
+      query.theta.has_value() ? "theta known —" : "theta unknown (AVG) —",
+      best->spec.ToString().c_str(),
+      query.theta.has_value() ? "expected" : "average expected",
+      best->cost,
+      std::isfinite(best->factor)
+          ? StrFormat(", worst case within %.2fx of clairvoyant optimal",
+                      best->factor)
+                .c_str()
+          : ", no worst-case guarantee",
+      best->why.c_str());
+  return rec;
+}
+
+}  // namespace mobrep

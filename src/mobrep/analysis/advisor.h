@@ -1,0 +1,53 @@
+#ifndef MOBREP_ANALYSIS_ADVISOR_H_
+#define MOBREP_ANALYSIS_ADVISOR_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep {
+
+// Codifies the paper's §9 guidance: "an allocation method should be chosen
+// to minimize the expected cost, provided that it has some bound on the
+// worst case behavior."
+//
+// Given the cost model, what is known about theta, and the tolerable
+// worst-case (competitive) factor, recommends a policy and explains why.
+
+struct AdvisorQuery {
+  CostModel model = CostModel::Connection();
+
+  // The write fraction, when it is known and stable. nullopt means theta
+  // is unknown or drifts uniformly over [0, 1] — the AVG regime.
+  std::optional<double> theta;
+
+  // Largest acceptable competitive factor; infinity lifts the requirement
+  // entirely (then, with a known theta, a static method may win).
+  double max_competitive_factor = std::numeric_limits<double>::infinity();
+
+  // Cap on window/threshold parameters the caller is willing to maintain.
+  int max_parameter = 1001;
+};
+
+struct Recommendation {
+  PolicySpec spec;
+  // EXP(theta) when theta is known, AVG otherwise.
+  double predicted_cost = 0.0;
+  // Claimed competitive factor; infinity for the statics.
+  double competitive_factor = std::numeric_limits<double>::infinity();
+  // Human-readable reasoning referencing the paper's results.
+  std::string rationale;
+};
+
+// Fails only on inconsistent input (theta outside [0,1], factor < 1, or no
+// policy satisfying the worst-case bound — e.g. max factor below 2 in the
+// connection model).
+Result<Recommendation> RecommendPolicy(const AdvisorQuery& query);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_ADVISOR_H_

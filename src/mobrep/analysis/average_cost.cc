@@ -1,0 +1,91 @@
+#include "mobrep/analysis/average_cost.h"
+
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/common/check.h"
+#include "mobrep/common/math.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+namespace {
+
+void CheckOddK(int k) {
+  MOBREP_CHECK_MSG(k >= 1 && k % 2 == 1,
+                   "the paper's SWk analysis assumes an odd window size");
+}
+
+}  // namespace
+
+double AvgStConnection() { return 0.5; }
+
+double AvgSwkConnection(int k) {
+  CheckOddK(k);
+  return 0.25 + 1.0 / (4.0 * (k + 2));
+}
+
+double AvgSt1Message(double omega) { return (1.0 + omega) / 2.0; }
+
+double AvgSt2Message(double omega) {
+  (void)omega;
+  return 0.5;
+}
+
+double AvgSw1Message(double omega) { return (1.0 + 2.0 * omega) / 6.0; }
+
+double AvgSwkMessage(int k, double omega) {
+  CheckOddK(k);
+  const double kd = k;
+  return 0.25 + 1.0 / (4.0 * (kd + 2)) +
+         omega * (1.0 / 8.0 + 3.0 / (8.0 * (kd + 2)) +
+                  1.0 / (4.0 * kd * (kd + 2)));
+}
+
+double AvgSwkMessageLowerBound(double omega) { return 0.25 + omega / 8.0; }
+
+double AvgT1mConnection(int m) {
+  MOBREP_CHECK(m >= 1);
+  const double md = m;
+  return 0.5 - md / ((md + 1) * (md + 2));
+}
+
+double AvgT2mConnection(int m) { return AvgT1mConnection(m); }
+
+Result<double> AverageExpectedCost(const PolicySpec& spec,
+                                   const CostModel& model) {
+  const bool connection = model.kind() == CostModelKind::kConnection;
+  const double omega = model.omega();
+  switch (spec.kind) {
+    case PolicyKind::kSt1:
+      return connection ? AvgStConnection() : AvgSt1Message(omega);
+    case PolicyKind::kSt2:
+      return connection ? AvgStConnection() : AvgSt2Message(omega);
+    case PolicyKind::kSw1:
+      return connection ? AvgSwkConnection(1) : AvgSw1Message(omega);
+    case PolicyKind::kSw:
+      if (spec.parameter % 2 == 0) {
+        return InvalidArgumentError(StrFormat(
+            "no closed form for even window size %d", spec.parameter));
+      }
+      return connection ? AvgSwkConnection(spec.parameter)
+                        : AvgSwkMessage(spec.parameter, omega);
+    case PolicyKind::kT1:
+      if (connection) return AvgT1mConnection(spec.parameter);
+      // EXP_T1m scales by (1 + omega) in the message model.
+      return (1.0 + omega) * AvgT1mConnection(spec.parameter);
+    case PolicyKind::kT2:
+      if (connection) return AvgT2mConnection(spec.parameter);
+      return AverageExpectedCostNumeric(spec, model);
+  }
+  return InternalError("unreachable policy kind");
+}
+
+Result<double> AverageExpectedCostNumeric(const PolicySpec& spec,
+                                          const CostModel& model, double tol) {
+  // Probe one point first so invalid specs fail fast with a clear status.
+  auto probe = ExpectedCost(spec, model, 0.5);
+  if (!probe.ok()) return probe.status();
+  return AdaptiveSimpson(
+      [&](double theta) { return *ExpectedCost(spec, model, theta); }, 0.0,
+      1.0, tol);
+}
+
+}  // namespace mobrep

@@ -1,0 +1,58 @@
+#ifndef MOBREP_ANALYSIS_AVERAGE_COST_H_
+#define MOBREP_ANALYSIS_AVERAGE_COST_H_
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep {
+
+// Average expected cost AVG_A = Integral_0^1 EXP_A(theta) d theta
+// (paper eq. 1): the right measure when theta is unknown or drifts over
+// time, equally likely to take any value in [0, 1].
+
+// --- Connection model (paper §5) ---
+
+// AVG_ST1 = AVG_ST2 = 1/2 (paper eq. 3).
+double AvgStConnection();
+// AVG_SWk = 1/4 + 1/(4(k+2)) (paper Thm. 3 / eq. 6); odd k.
+double AvgSwkConnection(int k);
+
+// --- Message model (paper §6) ---
+
+// AVG_ST1 = (1 + omega)/2 (paper eq. 8).
+double AvgSt1Message(double omega);
+// AVG_ST2 = 1/2 (paper eq. 8).
+double AvgSt2Message(double omega);
+// AVG_SW1 = (1 + 2*omega)/6 (paper Thm. 7 / eq. 10).
+double AvgSw1Message(double omega);
+// AVG_SWk = 1/4 + 1/(4(k+2))
+//           + omega*(1/8 + 3/(8(k+2)) + 1/(4k(k+2)))
+// (paper Thm. 10 / eq. 12); odd k; k == 1 means the unoptimized variant.
+double AvgSwkMessage(int k, double omega);
+// The k -> infinity limit of AVG_SWk: 1/4 + omega/8 (paper Cor. 2 states
+// AVG_SWk strictly exceeds this bound for every finite k).
+double AvgSwkMessageLowerBound(double omega);
+
+// Our closed forms for the T-policies (derived by integrating the expected
+// costs; verified numerically in tests):
+//   connection: AVG_T1m = 1/2 - m/((m+1)(m+2)),
+//               AVG_T2m identical by symmetry.
+double AvgT1mConnection(int m);
+double AvgT2mConnection(int m);
+
+// Generic dispatcher mirroring ExpectedCost(); uses closed forms where we
+// have them and falls back to adaptive quadrature of ExpectedCost(theta)
+// otherwise.
+Result<double> AverageExpectedCost(const PolicySpec& spec,
+                                   const CostModel& model);
+
+// Numeric Integral_0^1 EXP(theta) d theta for any spec/model with a closed
+// form EXP; used by tests to validate the AVG closed forms.
+Result<double> AverageExpectedCostNumeric(const PolicySpec& spec,
+                                          const CostModel& model,
+                                          double tol = 1e-10);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_AVERAGE_COST_H_

@@ -1,0 +1,88 @@
+#include "mobrep/analysis/competitive.h"
+
+#include <limits>
+
+#include "mobrep/common/check.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+
+namespace mobrep {
+
+Result<double> ClaimedCompetitiveFactor(const PolicySpec& spec,
+                                        const CostModel& model) {
+  const bool connection = model.kind() == CostModelKind::kConnection;
+  const double omega = model.omega();
+  switch (spec.kind) {
+    case PolicyKind::kSt1:
+    case PolicyKind::kSt2:
+      return FailedPreconditionError(
+          "the static algorithms are not competitive (paper §5.3, §6.4)");
+    case PolicyKind::kSw1:
+      return connection ? 2.0 : 1.0 + 2.0 * omega;
+    case PolicyKind::kSw: {
+      const double k = spec.parameter;
+      if (connection) return k + 1.0;
+      // Thm. 12 (stated for k > 1); k == 1 unoptimized satisfies the same
+      // expression, (1 + omega/2)*2 + omega = 2 + 2*omega.
+      return (1.0 + omega / 2.0) * (k + 1.0) + omega;
+    }
+    case PolicyKind::kT1: {
+      const double m = spec.parameter;
+      return connection ? m + 1.0 : (m + 1.0) * (1.0 + omega);
+    }
+    case PolicyKind::kT2: {
+      const double m = spec.parameter;
+      return connection ? m + 1.0 : (m + 1.0) + 2.0 * omega;
+    }
+  }
+  return InternalError("unreachable policy kind");
+}
+
+ExhaustiveWorstCase ExhaustiveWorstRatio(AllocationPolicy* policy,
+                                         const CostModel& model, int length,
+                                         double additive_b) {
+  MOBREP_CHECK_MSG(length >= 1 && length <= 24,
+                   "exhaustive search enumerates 2^length schedules");
+  ExhaustiveWorstCase worst;
+  Schedule schedule(static_cast<size_t>(length), Op::kRead);
+  const uint64_t combos = uint64_t{1} << length;
+  for (uint64_t bits = 0; bits < combos; ++bits) {
+    for (int i = 0; i < length; ++i) {
+      schedule[static_cast<size_t>(i)] =
+          ((bits >> i) & 1) != 0 ? Op::kWrite : Op::kRead;
+    }
+    const RatioReport report = MeasureRatio(policy, schedule, model,
+                                            additive_b);
+    if (report.ratio > worst.ratio) {
+      worst.ratio = report.ratio;
+      worst.schedule = schedule;
+      worst.policy_cost = report.policy_cost;
+      worst.offline_cost = report.offline_cost;
+    }
+  }
+  return worst;
+}
+
+RatioReport MeasureRatio(AllocationPolicy* policy, const Schedule& s,
+                         const CostModel& model, double additive_b) {
+  RatioReport report;
+  // The offline adversary starts from the same copy state as the policy's
+  // initial state (matters for ST2/T2m, which begin with a replica).
+  policy->Reset();
+  const bool initial_copy = policy->has_copy();
+  report.policy_cost = PolicyCostOnSchedule(policy, s, model);
+  report.offline_cost = OfflineOptimalCost(s, model, initial_copy);
+
+  const double adjusted = report.policy_cost - additive_b;
+  constexpr double kEps = 1e-12;
+  if (report.offline_cost > kEps) {
+    report.ratio = adjusted / report.offline_cost;
+  } else if (adjusted <= kEps) {
+    report.ratio = 1.0;
+  } else {
+    report.ratio = std::numeric_limits<double>::infinity();
+  }
+  return report;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,64 @@
+#ifndef MOBREP_ANALYSIS_COMPETITIVE_H_
+#define MOBREP_ANALYSIS_COMPETITIVE_H_
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Competitiveness (paper §3): algorithm A is c-competitive if there are
+// constants c >= 1 and b >= 0 with COST_A(s) <= c * COST_M(s) + b for every
+// schedule s, M being the offline optimal. This module provides the paper's
+// claimed (tight) factors and tools to measure ratios empirically.
+
+// The competitive factor the paper claims (and proves tight) for `spec`
+// under `model`:
+//   * SWk, connection model: k + 1 (Thm. 4); also SW1 (k = 1).
+//   * SW1, message model: 1 + 2*omega (Thm. 11).
+//   * SWk (k > 1), message model: (1 + omega/2)*(k + 1) + omega (Thm. 12).
+//   * T1m / T2m, connection model: m + 1 (§7.1).
+//   * T1m, message model: (m + 1)*(1 + omega); T2m: (m + 1) + 2*omega.
+//     (Our derivations — the paper analyzes T-policies in the connection
+//     model only; verified empirically in tests/benches.)
+//   * ST1 / ST2: not competitive in either model — returns an error.
+Result<double> ClaimedCompetitiveFactor(const PolicySpec& spec,
+                                        const CostModel& model);
+
+// COST_A(s) and COST_M(s) for one schedule, plus their ratio.
+struct RatioReport {
+  double policy_cost = 0.0;
+  double offline_cost = 0.0;
+  // (policy_cost - additive_b) / offline_cost; +infinity when the offline
+  // cost is zero but the policy paid more than additive_b; 1.0 when both
+  // are effectively zero.
+  double ratio = 1.0;
+};
+
+// Resets the policy and measures it against the offline optimal on `s`.
+// `additive_b` is subtracted from the policy cost before dividing (the
+// constant b in the competitiveness definition; useful to discount the
+// fixed start-state transient).
+RatioReport MeasureRatio(AllocationPolicy* policy, const Schedule& s,
+                         const CostModel& model, double additive_b = 0.0);
+
+// Exhaustive worst case over *every* schedule of exactly `length` requests
+// (2^length of them; practical to ~20): the supremum the adversary can
+// force at that horizon and a schedule attaining it. Ground truth for the
+// adversarial constructions used elsewhere.
+struct ExhaustiveWorstCase {
+  double ratio = 0.0;
+  Schedule schedule;
+  double policy_cost = 0.0;
+  double offline_cost = 0.0;
+};
+
+ExhaustiveWorstCase ExhaustiveWorstRatio(AllocationPolicy* policy,
+                                         const CostModel& model, int length,
+                                         double additive_b = 0.0);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_COMPETITIVE_H_

@@ -1,0 +1,45 @@
+#include "mobrep/analysis/dominance.h"
+
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+const char* MessageDominantName(MessageDominant which) {
+  switch (which) {
+    case MessageDominant::kSt1:
+      return "ST1";
+    case MessageDominant::kSw1:
+      return "SW1";
+    case MessageDominant::kSt2:
+      return "ST2";
+  }
+  return "unknown";
+}
+
+double DominanceUpperBoundary(double omega) {
+  MOBREP_CHECK(omega >= 0.0 && omega <= 1.0);
+  return (1.0 + omega) / (1.0 + 2.0 * omega);
+}
+
+double DominanceLowerBoundary(double omega) {
+  MOBREP_CHECK(omega >= 0.0 && omega <= 1.0);
+  return 2.0 * omega / (1.0 + 2.0 * omega);
+}
+
+MessageDominant ClassifyByTheorem6(double theta, double omega) {
+  if (theta > DominanceUpperBoundary(omega)) return MessageDominant::kSt1;
+  if (theta < DominanceLowerBoundary(omega)) return MessageDominant::kSt2;
+  return MessageDominant::kSw1;
+}
+
+MessageDominant ClassifyByExpectedCosts(double theta, double omega) {
+  const double st1 = ExpSt1Message(theta, omega);
+  const double st2 = ExpSt2Message(theta, omega);
+  const double sw1 = ExpSw1Message(theta, omega);
+  if (sw1 <= st1 && sw1 <= st2) return MessageDominant::kSw1;
+  if (st1 <= st2) return MessageDominant::kSt1;
+  return MessageDominant::kSt2;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,36 @@
+#ifndef MOBREP_ANALYSIS_DOMINANCE_H_
+#define MOBREP_ANALYSIS_DOMINANCE_H_
+
+#include "mobrep/common/status.h"
+
+namespace mobrep {
+
+// Theorem 6 / Figure 1 of the paper: for a known, fixed theta in the
+// message model, the expected-cost-optimal algorithm among {ST1, ST2, SW1}
+// as a function of (theta, omega).
+
+enum class MessageDominant : uint8_t {
+  kSt1,  // theta above the upper boundary: writes dominate, keep one copy
+  kSw1,  // middle band: the dynamic window-of-one algorithm wins
+  kSt2,  // theta below the lower boundary: reads dominate, keep two copies
+};
+
+const char* MessageDominantName(MessageDominant which);
+
+// Upper region boundary theta = (1 + omega) / (1 + 2*omega).
+double DominanceUpperBoundary(double omega);
+
+// Lower region boundary theta = 2*omega / (1 + 2*omega).
+double DominanceLowerBoundary(double omega);
+
+// Classification using Theorem 6's inequalities (boundary values resolved
+// toward SW1, matching the theorem's strict inequalities).
+MessageDominant ClassifyByTheorem6(double theta, double omega);
+
+// Classification by directly comparing the three closed-form expected
+// costs. Tests assert this agrees with ClassifyByTheorem6 off-boundary.
+MessageDominant ClassifyByExpectedCosts(double theta, double omega);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_DOMINANCE_H_

@@ -1,0 +1,132 @@
+#include "mobrep/analysis/expected_cost.h"
+
+#include <cmath>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/math.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+namespace {
+
+void CheckTheta(double theta) {
+  MOBREP_CHECK_MSG(theta >= 0.0 && theta <= 1.0, "theta must be in [0, 1]");
+}
+
+void CheckOddK(int k) {
+  MOBREP_CHECK_MSG(k >= 1 && k % 2 == 1,
+                   "the paper's SWk analysis assumes an odd window size");
+}
+
+}  // namespace
+
+double AlphaK(int k, double theta) {
+  CheckOddK(k);
+  CheckTheta(theta);
+  const int n = (k - 1) / 2;
+  // P[#writes among k <= n] with per-request write probability theta.
+  return BinomialCdf(k, n, theta);
+}
+
+double SwkTransitionProbability(int k, double theta) {
+  CheckOddK(k);
+  CheckTheta(theta);
+  const int n = (k - 1) / 2;
+  if (theta == 0.0 || theta == 1.0) return 0.0;
+  // newest = write (theta), dropped = read (1-theta), shared 2n split n/n.
+  return BinomialCoefficient(2 * n, n) * std::pow(theta, n + 1) *
+         std::pow(1.0 - theta, n + 1);
+}
+
+double ExpSt1Connection(double theta) {
+  CheckTheta(theta);
+  return 1.0 - theta;
+}
+
+double ExpSt2Connection(double theta) {
+  CheckTheta(theta);
+  return theta;
+}
+
+double ExpSwkConnection(int k, double theta) {
+  const double alpha = AlphaK(k, theta);
+  return theta * alpha + (1.0 - theta) * (1.0 - alpha);
+}
+
+double ExpT1mConnection(int m, double theta) {
+  MOBREP_CHECK(m >= 1);
+  CheckTheta(theta);
+  return (1.0 - theta) + std::pow(1.0 - theta, m) * (2.0 * theta - 1.0);
+}
+
+double ExpT2mConnection(int m, double theta) {
+  MOBREP_CHECK(m >= 1);
+  CheckTheta(theta);
+  return theta + std::pow(theta, m) * (1.0 - 2.0 * theta);
+}
+
+double ExpSt1Message(double theta, double omega) {
+  CheckTheta(theta);
+  return (1.0 + omega) * (1.0 - theta);
+}
+
+double ExpSt2Message(double theta, double omega) {
+  CheckTheta(theta);
+  (void)omega;  // ST2 never sends control messages.
+  return theta;
+}
+
+double ExpSw1Message(double theta, double omega) {
+  CheckTheta(theta);
+  return theta * (1.0 - theta) * (1.0 + 2.0 * omega);
+}
+
+double ExpSwkMessage(int k, double theta, double omega) {
+  const double alpha = AlphaK(k, theta);
+  return theta * alpha + (1.0 - theta) * (1.0 - alpha) * (1.0 + omega) +
+         omega * SwkTransitionProbability(k, theta);
+}
+
+double ExpT1mMessage(int m, double theta, double omega) {
+  return (1.0 + omega) * ExpT1mConnection(m, theta);
+}
+
+double ExpT2mMessage(int m, double theta, double omega) {
+  MOBREP_CHECK(m >= 1);
+  CheckTheta(theta);
+  const double tm = std::pow(theta, m);
+  return theta * (1.0 - tm) + (1.0 - theta) * tm * (1.0 + 2.0 * omega);
+}
+
+Result<double> ExpectedCost(const PolicySpec& spec, const CostModel& model,
+                            double theta) {
+  const bool connection = model.kind() == CostModelKind::kConnection;
+  const double omega = model.omega();
+  switch (spec.kind) {
+    case PolicyKind::kSt1:
+      return connection ? ExpSt1Connection(theta)
+                        : ExpSt1Message(theta, omega);
+    case PolicyKind::kSt2:
+      return connection ? ExpSt2Connection(theta)
+                        : ExpSt2Message(theta, omega);
+    case PolicyKind::kSw1:
+      return connection ? ExpSwkConnection(1, theta)
+                        : ExpSw1Message(theta, omega);
+    case PolicyKind::kSw:
+      if (spec.parameter % 2 == 0) {
+        return InvalidArgumentError(StrFormat(
+            "no closed form for even window size %d", spec.parameter));
+      }
+      return connection ? ExpSwkConnection(spec.parameter, theta)
+                        : ExpSwkMessage(spec.parameter, theta, omega);
+    case PolicyKind::kT1:
+      return connection ? ExpT1mConnection(spec.parameter, theta)
+                        : ExpT1mMessage(spec.parameter, theta, omega);
+    case PolicyKind::kT2:
+      return connection ? ExpT2mConnection(spec.parameter, theta)
+                        : ExpT2mMessage(spec.parameter, theta, omega);
+  }
+  return InternalError("unreachable policy kind");
+}
+
+}  // namespace mobrep

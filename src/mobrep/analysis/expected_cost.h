@@ -1,0 +1,70 @@
+#ifndef MOBREP_ANALYSIS_EXPECTED_COST_H_
+#define MOBREP_ANALYSIS_EXPECTED_COST_H_
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep {
+
+// Closed-form expected cost per relevant request, as a function of
+// theta = lambda_w / (lambda_w + lambda_r), the probability that the next
+// relevant request is a write (paper §2, §5, §6). All formulas are the
+// paper's equations; each is cross-checked in tests against an exact Markov
+// steady-state oracle and against Monte-Carlo simulation.
+
+// alpha_k (paper eq. 4): the probability that the majority of k = 2n+1
+// consecutive requests are reads, i.e. that Binomial(k, theta) <= n.
+double AlphaK(int k, double theta);
+
+// Steady-state probability that one SWk request triggers a deallocation
+// (equivalently, by symmetry, an allocation): the newest request is a write,
+// the dropped one a read, and the shared 2n requests split n/n. Equals
+// C(2n, n) * theta^(n+1) * (1-theta)^(n+1). Requires odd k.
+double SwkTransitionProbability(int k, double theta);
+
+// --- Connection (time-based) cost model (paper §5) ---
+
+// EXP_ST1 = 1 - theta (paper eq. 2).
+double ExpSt1Connection(double theta);
+// EXP_ST2 = theta (paper eq. 2).
+double ExpSt2Connection(double theta);
+// EXP_SWk = theta*alpha_k + (1-theta)*(1-alpha_k) (paper Thm. 1 / eq. 5).
+// Holds for every odd k >= 1 (SW1's delete optimization does not change
+// connection-model cost).
+double ExpSwkConnection(int k, double theta);
+// EXP_T1m = (1-theta) + (1-theta)^m * (2*theta - 1) (paper §7.1).
+double ExpT1mConnection(int m, double theta);
+// EXP_T2m = theta + theta^m * (1 - 2*theta) (mirror image of T1m).
+double ExpT2mConnection(int m, double theta);
+
+// --- Message cost model (paper §6), omega in [0, 1] ---
+
+// EXP_ST1 = (1 + omega) * (1 - theta) (paper eq. 7).
+double ExpSt1Message(double theta, double omega);
+// EXP_ST2 = theta (paper eq. 7).
+double ExpSt2Message(double theta, double omega);
+// EXP_SW1 = theta * (1-theta) * (1 + 2*omega) (paper Thm. 5 / eq. 9).
+double ExpSw1Message(double theta, double omega);
+// EXP_SWk = theta*alpha_k + (1-theta)*(1-alpha_k)*(1+omega)
+//           + omega * C(2n,n) * theta^(n+1) * (1-theta)^(n+1)
+// (paper Thm. 8 / eq. 11; requires odd k; k == 1 gives the *unoptimized*
+// window-of-one algorithm, not SW1).
+double ExpSwkMessage(int k, double theta, double omega);
+// Our derivation under the repo's pricing (T-policies are analyzed by the
+// paper in the connection model only): EXP_T1m scales by (1 + omega)
+// because both its chargeable events (remote reads; the reverting
+// propagate+deallocate write) cost 1 + omega.
+double ExpT1mMessage(int m, double theta, double omega);
+// EXP_T2m = theta*(1 - theta^m) + (1-theta)*theta^m*(1 + 2*omega).
+double ExpT2mMessage(int m, double theta, double omega);
+
+// Generic dispatcher: the closed-form expected cost of `spec` under `model`
+// at write-probability `theta`. Fails for specs/models with no closed form
+// (none currently) or invalid parameters (even window sizes).
+Result<double> ExpectedCost(const PolicySpec& spec, const CostModel& model,
+                            double theta);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_EXPECTED_COST_H_

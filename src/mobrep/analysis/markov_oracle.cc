@@ -1,0 +1,146 @@
+#include "mobrep/analysis/markov_oracle.h"
+
+#include <cmath>
+#include <functional>
+#include <cstdint>
+#include <vector>
+
+#include "mobrep/common/check.h"
+#include "mobrep/core/sliding_window_policy.h"
+
+namespace mobrep {
+namespace {
+
+// Stationary distribution of a small chain by power iteration.
+// transition[s] = {(next_state, probability), ...} with probabilities
+// summing to 1 per state.
+std::vector<double> StationaryDistribution(
+    const std::vector<std::vector<std::pair<int, double>>>& transitions) {
+  const size_t n = transitions.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < 200000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t s = 0; s < n; ++s) {
+      for (const auto& [t, p] : transitions[s]) {
+        next[static_cast<size_t>(t)] += pi[s] * p;
+      }
+    }
+    double delta = 0.0;
+    for (size_t s = 0; s < n; ++s) delta += std::fabs(next[s] - pi[s]);
+    pi.swap(next);
+    if (delta < 1e-15) break;
+  }
+  return pi;
+}
+
+}  // namespace
+
+double MarkovExpectedCostSlidingWindow(int k, bool sw1_delete_optimization,
+                                       double theta, const CostModel& model) {
+  return MarkovExpectedCostSlidingWindowPriced(
+      k, sw1_delete_optimization, theta,
+      [&model](ActionKind action) { return model.Price(action); });
+}
+
+double MarkovExpectedCostSlidingWindowPriced(
+    int k, bool sw1_delete_optimization, double theta,
+    const std::function<double(ActionKind)>& price) {
+  MOBREP_CHECK_MSG(k >= 1 && k <= 24, "oracle enumerates 2^k windows");
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+
+  SlidingWindowPolicy policy(k, sw1_delete_optimization);
+  std::vector<Op> window(static_cast<size_t>(k), Op::kRead);
+
+  double expected = 0.0;
+  const uint64_t count = uint64_t{1} << k;
+  for (uint64_t bits = 0; bits < count; ++bits) {
+    int writes = 0;
+    for (int i = 0; i < k; ++i) {
+      const bool is_write = (bits >> i) & 1;
+      window[static_cast<size_t>(i)] = is_write ? Op::kWrite : Op::kRead;
+      writes += is_write ? 1 : 0;
+    }
+    const int reads = k - writes;
+    const double p_window =
+        std::pow(theta, writes) * std::pow(1.0 - theta, reads);
+    if (p_window == 0.0) continue;
+
+    // In steady state the copy exists iff the window majority is reads.
+    const bool has_copy = reads > writes;
+    for (const Op op : {Op::kRead, Op::kWrite}) {
+      const double p_op = op == Op::kWrite ? theta : 1.0 - theta;
+      if (p_op == 0.0) continue;
+      policy.SetState(has_copy, window);
+      const ActionKind action = policy.OnRequest(op);
+      expected += p_window * p_op * price(action);
+    }
+  }
+  return expected;
+}
+
+double MarkovExpectedCostT1m(int m, double theta, const CostModel& model) {
+  MOBREP_CHECK(m >= 1);
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+  // States 0..m-1: one-copy scheme with j consecutive reads seen.
+  // State m: two-copies scheme.
+  const int kTwoCopy = m;
+  std::vector<std::vector<std::pair<int, double>>> transitions(
+      static_cast<size_t>(m + 1));
+  for (int j = 0; j < m; ++j) {
+    const int on_read = j + 1 == m ? kTwoCopy : j + 1;
+    transitions[static_cast<size_t>(j)] = {{on_read, 1.0 - theta},
+                                           {0, theta}};
+  }
+  transitions[static_cast<size_t>(kTwoCopy)] = {{kTwoCopy, 1.0 - theta},
+                                                {0, theta}};
+
+  const std::vector<double> pi = StationaryDistribution(transitions);
+
+  const double remote_read = model.Price(ActionKind::kRemoteRead);
+  const double alloc_read = model.Price(ActionKind::kRemoteReadAllocate);
+  const double revert_write =
+      model.Price(ActionKind::kWritePropagateDeallocate);
+  double expected = 0.0;
+  for (int j = 0; j < m; ++j) {
+    const double read_price = j + 1 == m ? alloc_read : remote_read;
+    expected += pi[static_cast<size_t>(j)] * (1.0 - theta) * read_price;
+    // Writes in the one-copy scheme are free.
+  }
+  expected += pi[static_cast<size_t>(kTwoCopy)] * theta * revert_write;
+  return expected;
+}
+
+double MarkovExpectedCostT2m(int m, double theta, const CostModel& model) {
+  MOBREP_CHECK(m >= 1);
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+  // States 0..m-1: two-copies scheme with j consecutive writes seen.
+  // State m: one-copy scheme.
+  const int kOneCopy = m;
+  std::vector<std::vector<std::pair<int, double>>> transitions(
+      static_cast<size_t>(m + 1));
+  for (int j = 0; j < m; ++j) {
+    const int on_write = j + 1 == m ? kOneCopy : j + 1;
+    transitions[static_cast<size_t>(j)] = {{on_write, theta},
+                                           {0, 1.0 - theta}};
+  }
+  transitions[static_cast<size_t>(kOneCopy)] = {{kOneCopy, theta},
+                                                {0, 1.0 - theta}};
+
+  const std::vector<double> pi = StationaryDistribution(transitions);
+
+  const double propagate = model.Price(ActionKind::kWritePropagate);
+  const double dealloc_write =
+      model.Price(ActionKind::kWritePropagateDeallocate);
+  const double alloc_read = model.Price(ActionKind::kRemoteReadAllocate);
+  double expected = 0.0;
+  for (int j = 0; j < m; ++j) {
+    const double write_price = j + 1 == m ? dealloc_write : propagate;
+    expected += pi[static_cast<size_t>(j)] * theta * write_price;
+    // Reads in the two-copies scheme are free.
+  }
+  expected += pi[static_cast<size_t>(kOneCopy)] * (1.0 - theta) * alloc_read;
+  return expected;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,40 @@
+#ifndef MOBREP_ANALYSIS_MARKOV_ORACLE_H_
+#define MOBREP_ANALYSIS_MARKOV_ORACLE_H_
+
+#include <functional>
+
+#include "mobrep/core/cost_model.h"
+
+namespace mobrep {
+
+// Exact steady-state expected cost per request, computed *without* the
+// closed-form formulas, as an independent oracle for testing them.
+//
+// Sliding-window policies are memoryless given the window contents, and for
+// an i.i.d. Bernoulli(theta) request stream the stationary distribution of
+// the window is product-form: P(w) = theta^{#writes(w)} (1-theta)^{#reads(w)}.
+// The oracle enumerates all 2^k windows, drives the *actual policy
+// implementation* from each state, and averages the priced actions. This
+// cross-checks formula, policy code, and cost model against each other.
+//
+// Cost: O(2^k); intended for k <= ~20 in tests.
+double MarkovExpectedCostSlidingWindow(int k, bool sw1_delete_optimization,
+                                       double theta, const CostModel& model);
+
+// Same oracle with an arbitrary per-action pricing function instead of a
+// CostModel; used by the ablation study to evaluate alternative pricing
+// conventions (e.g. charging the allocation piggyback as a control
+// message).
+double MarkovExpectedCostSlidingWindowPriced(
+    int k, bool sw1_delete_optimization, double theta,
+    const std::function<double(ActionKind)>& price);
+
+// Exact steady-state expected cost of T1m / T2m via their explicit Markov
+// chains (states = run-length counters), solved by power iteration. These
+// re-derive the chain independently of the policy classes.
+double MarkovExpectedCostT1m(int m, double theta, const CostModel& model);
+double MarkovExpectedCostT2m(int m, double theta, const CostModel& model);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_MARKOV_ORACLE_H_

@@ -1,0 +1,34 @@
+#include "mobrep/analysis/thresholds.h"
+
+#include <cmath>
+
+#include "mobrep/analysis/average_cost.h"
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+Result<double> KThresholdReal(double omega) {
+  MOBREP_CHECK(omega >= 0.0 && omega <= 1.0);
+  if (omega <= 0.4) {
+    return FailedPreconditionError(
+        "for omega <= 0.4, SW1 always has the best average expected cost "
+        "(Corollary 3)");
+  }
+  const double disc = 100.0 - 68.0 * omega + 121.0 * omega * omega;
+  MOBREP_CHECK(disc >= 0.0);
+  return ((10.0 - omega) + std::sqrt(disc)) / (2.0 * (5.0 * omega - 2.0));
+}
+
+Result<int> MinOddKBeatingSw1(double omega, int k_max) {
+  MOBREP_CHECK(omega >= 0.0 && omega <= 1.0);
+  const double avg_sw1 = AvgSw1Message(omega);
+  for (int k = 3; k <= k_max; k += 2) {
+    if (AvgSwkMessage(k, omega) <= avg_sw1) return k;
+  }
+  return NotFoundError(StrFormat(
+      "no odd k <= %d beats SW1 at omega=%.4f (expected for omega <= 0.4)",
+      k_max, omega));
+}
+
+}  // namespace mobrep

@@ -1,0 +1,28 @@
+#ifndef MOBREP_ANALYSIS_THRESHOLDS_H_
+#define MOBREP_ANALYSIS_THRESHOLDS_H_
+
+#include "mobrep/common/status.h"
+
+namespace mobrep {
+
+// Corollaries 3 and 4 of the paper (§6.3) and the accompanying figure: in
+// the message model, when does SWk's average expected cost drop below
+// SW1's?
+//
+//   omega <= 0.4 : never — SW1 has the best average expected cost.
+//   omega >  0.4 : for all k >= k0(omega), with
+//       k0_real(omega) = ((10 - omega) + sqrt(100 - 68*omega
+//                          + 121*omega^2)) / (2*(5*omega - 2)).
+//
+// The paper's worked examples: omega = 0.45 -> k >= 39; omega = 0.8 -> k >= 7.
+
+// The real-valued root k0_real(omega); requires omega > 0.4.
+Result<double> KThresholdReal(double omega);
+
+// Smallest odd k > 1 with AVG_SWk(omega) <= AVG_SW1(omega), searched
+// directly over the closed forms; fails when omega <= 0.4 (Corollary 3).
+Result<int> MinOddKBeatingSw1(double omega, int k_max = 1000001);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_THRESHOLDS_H_

@@ -1,0 +1,167 @@
+#include "mobrep/analysis/transient.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+namespace {
+
+// Window encoding: bit (k-1) is the oldest request, bit 0 the newest;
+// a set bit is a write. Sliding appends at bit 0 and drops bit (k-1).
+struct Evolver {
+  int k;
+  bool sw1_opt;
+  uint32_t all_mask;
+  std::vector<uint8_t> writes_of;  // popcount per mask
+
+  Evolver(int k_in, bool sw1_opt_in) : k(k_in), sw1_opt(sw1_opt_in) {
+    MOBREP_CHECK_MSG(k >= 1 && k <= 20, "transient analysis enumerates 2^k");
+    all_mask = (uint32_t{1} << k) - 1;
+    writes_of.resize(size_t{1} << k);
+    for (uint32_t m = 0; m <= all_mask; ++m) {
+      writes_of[m] = static_cast<uint8_t>(__builtin_popcount(m));
+    }
+  }
+
+  bool MajorityReads(uint32_t mask) const {
+    return k - writes_of[mask] > writes_of[mask];
+  }
+
+  uint32_t Slide(uint32_t mask, bool write) const {
+    return ((mask << 1) & all_mask) | (write ? 1u : 0u);
+  }
+
+  // Cost of servicing `op` from window `mask` (copy state = majority
+  // reads, the §4 invariant). Mirrors SlidingWindowPolicy's decisions;
+  // tests cross-check against the real policy by simulation.
+  double Cost(uint32_t mask, Op op, const CostModel& model) const {
+    const bool copy = MajorityReads(mask);
+    if (op == Op::kRead) {
+      // Local reads are free; remote reads cost the same whether or not
+      // the allocation piggybacks.
+      return copy ? 0.0 : model.RemoteReadPrice();
+    }
+    if (!copy) return 0.0;
+    if (sw1_opt) return model.Price(ActionKind::kWriteInvalidate);
+    const uint32_t next = Slide(mask, /*write=*/true);
+    return MajorityReads(next)
+               ? model.Price(ActionKind::kWritePropagate)
+               : model.Price(ActionKind::kWritePropagateDeallocate);
+  }
+};
+
+std::vector<double> InitialDistribution(const TransientSpec& spec,
+                                        const Evolver& evolver) {
+  const size_t states = size_t{1} << spec.k;
+  std::vector<double> p(states, 0.0);
+  switch (spec.start) {
+    case TransientStart::kAllWrites:
+      p[evolver.all_mask] = 1.0;
+      break;
+    case TransientStart::kAllReads:
+      p[0] = 1.0;
+      break;
+    case TransientStart::kStationaryOfPreviousTheta: {
+      const double theta = spec.previous_theta;
+      MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+      for (uint32_t m = 0; m < states; ++m) {
+        const int writes = evolver.writes_of[m];
+        p[m] = std::pow(theta, writes) *
+               std::pow(1.0 - theta, spec.k - writes);
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> TransientExpectedCosts(const TransientSpec& spec,
+                                           double theta,
+                                           const CostModel& model,
+                                           int horizon) {
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+  MOBREP_CHECK(horizon >= 1);
+  MOBREP_CHECK_MSG(!spec.sw1_delete_optimization || spec.k == 1,
+                   "the delete optimization is defined only for k == 1");
+  const Evolver evolver(spec.k, spec.sw1_delete_optimization);
+  std::vector<double> p = InitialDistribution(spec, evolver);
+  std::vector<double> next(p.size());
+  std::vector<double> costs;
+  costs.reserve(static_cast<size_t>(horizon));
+
+  for (int t = 0; t < horizon; ++t) {
+    double expected = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (uint32_t m = 0; m < p.size(); ++m) {
+      const double pm = p[m];
+      if (pm == 0.0) continue;
+      // Write branch.
+      if (theta > 0.0) {
+        expected += pm * theta * evolver.Cost(m, Op::kWrite, model);
+        next[evolver.Slide(m, true)] += pm * theta;
+      }
+      // Read branch.
+      if (theta < 1.0) {
+        expected += pm * (1.0 - theta) * evolver.Cost(m, Op::kRead, model);
+        next[evolver.Slide(m, false)] += pm * (1.0 - theta);
+      }
+    }
+    costs.push_back(expected);
+    p.swap(next);
+  }
+  return costs;
+}
+
+std::vector<double> TransientCopyProbability(const TransientSpec& spec,
+                                             double theta, int horizon) {
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+  MOBREP_CHECK(horizon >= 1);
+  const Evolver evolver(spec.k, spec.sw1_delete_optimization);
+  std::vector<double> p = InitialDistribution(spec, evolver);
+  std::vector<double> next(p.size());
+  std::vector<double> copy_probability;
+  copy_probability.reserve(static_cast<size_t>(horizon));
+
+  for (int t = 0; t < horizon; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (uint32_t m = 0; m < p.size(); ++m) {
+      const double pm = p[m];
+      if (pm == 0.0) continue;
+      next[evolver.Slide(m, true)] += pm * theta;
+      next[evolver.Slide(m, false)] += pm * (1.0 - theta);
+    }
+    p.swap(next);
+    double prob = 0.0;
+    for (uint32_t m = 0; m < p.size(); ++m) {
+      if (evolver.MajorityReads(m)) prob += p[m];
+    }
+    copy_probability.push_back(prob);
+  }
+  return copy_probability;
+}
+
+int AdaptationTime(const TransientSpec& spec, double theta,
+                   const CostModel& model, double tolerance, int horizon) {
+  // The exact steady state: one step from the stationary distribution.
+  TransientSpec stationary = spec;
+  stationary.start = TransientStart::kStationaryOfPreviousTheta;
+  stationary.previous_theta = theta;
+  const double steady =
+      TransientExpectedCosts(stationary, theta, model, 1).front();
+
+  const std::vector<double> costs =
+      TransientExpectedCosts(spec, theta, model, horizon);
+  int settled = horizon + 1;
+  for (int t = horizon - 1; t >= 0; --t) {
+    if (std::fabs(costs[static_cast<size_t>(t)] - steady) > tolerance) break;
+    settled = t + 1;  // request indices are 1-based
+  }
+  return settled;
+}
+
+}  // namespace mobrep

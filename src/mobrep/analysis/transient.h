@@ -1,0 +1,62 @@
+#ifndef MOBREP_ANALYSIS_TRANSIENT_H_
+#define MOBREP_ANALYSIS_TRANSIENT_H_
+
+#include <vector>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Exact transient (non-steady-state) analysis of the sliding-window
+// algorithms: the expected cost of the t-th request after a regime change,
+// computed by evolving the exact distribution over the 2^k window states.
+//
+// This quantifies the paper's window-size trade-off from the *adaptation*
+// side: after theta jumps, SWk needs about (k+1)/2 requests before the
+// window majority flips, so larger windows track slow drift better but
+// react to regime changes more slowly. Steady-state formulas (eq. 5 /
+// eq. 11) are the t -> infinity limits of these curves, which gives the
+// test oracle.
+//
+// Cost: O(t * 2^k) time; intended for k <= ~15.
+
+// How the window is filled at t = 0.
+enum class TransientStart {
+  // Window all writes, no copy at the MC (the repo's default initial
+  // state; also the state after a long write-only regime).
+  kAllWrites,
+  // Window all reads, copy at the MC (after a long read-only regime).
+  kAllReads,
+  // Window distributed according to the stationary law of a previous
+  // regime with write fraction `previous_theta`.
+  kStationaryOfPreviousTheta,
+};
+
+struct TransientSpec {
+  int k = 9;                    // odd window size
+  bool sw1_delete_optimization = false;  // only meaningful for k == 1
+  TransientStart start = TransientStart::kAllWrites;
+  double previous_theta = 0.0;  // for kStationaryOfPreviousTheta
+};
+
+// E[cost of request t] for t = 1..horizon under write-probability `theta`,
+// starting from the given initial window distribution.
+std::vector<double> TransientExpectedCosts(const TransientSpec& spec,
+                                           double theta,
+                                           const CostModel& model,
+                                           int horizon);
+
+// P[the MC holds a copy after request t] for t = 1..horizon.
+std::vector<double> TransientCopyProbability(const TransientSpec& spec,
+                                             double theta, int horizon);
+
+// The smallest t with |E[cost of request t] - steady state| <= tolerance
+// for all t' >= t within the horizon; returns horizon + 1 if never.
+int AdaptationTime(const TransientSpec& spec, double theta,
+                   const CostModel& model, double tolerance = 1e-3,
+                   int horizon = 10000);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_ANALYSIS_TRANSIENT_H_

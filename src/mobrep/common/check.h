@@ -1,0 +1,42 @@
+#ifndef MOBREP_COMMON_CHECK_H_
+#define MOBREP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal-assertion macros for invariant enforcement inside the library.
+//
+// The library does not use exceptions (see DESIGN.md); recoverable errors
+// travel through mobrep::Status / mobrep::Result, while programming errors
+// (broken invariants, out-of-contract arguments) abort via these macros.
+//
+// MOBREP_CHECK(cond)   — always on.
+// MOBREP_DCHECK(cond)  — compiled out in NDEBUG builds.
+
+#define MOBREP_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MOBREP_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MOBREP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MOBREP_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define MOBREP_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define MOBREP_DCHECK(cond) MOBREP_CHECK(cond)
+#endif
+
+#endif  // MOBREP_COMMON_CHECK_H_

@@ -1,0 +1,116 @@
+#include "mobrep/common/math.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+namespace {
+
+// Exact log-factorials for small n avoid lgamma rounding in hot paths.
+constexpr int kLogFactTableSize = 64;
+
+double SimpsonRule(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double AdaptiveSimpsonRec(const std::function<double(double)>& f, double a,
+                          double fa, double b, double fb, double m, double fm,
+                          double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = SimpsonRule(a, fa, m, fm, flm);
+  const double right = SimpsonRule(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpsonRec(f, a, fa, m, fm, lm, flm, left, tol / 2.0,
+                            depth - 1) +
+         AdaptiveSimpsonRec(f, m, fm, b, fb, rm, frm, right, tol / 2.0,
+                            depth - 1);
+}
+
+}  // namespace
+
+double LogFactorial(int n) {
+  MOBREP_CHECK(n >= 0);
+  static const auto* table = [] {
+    auto* t = new double[kLogFactTableSize];
+    t[0] = 0.0;
+    for (int i = 1; i < kLogFactTableSize; ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  if (n < kLogFactTableSize) return table[n];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int n, int k) {
+  MOBREP_CHECK(k >= 0 && k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialCoefficient(int n, int k) {
+  return std::exp(LogBinomial(n, k));
+}
+
+double BinomialPmf(int n, int k, double p) {
+  MOBREP_CHECK(k >= 0 && k <= n);
+  MOBREP_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogBinomial(n, k) + k * std::log(p) +
+                         (n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialCdf(int n, int k, double p) {
+  MOBREP_CHECK(k >= -1 && k <= n);
+  if (k < 0) return 0.0;
+  double sum = 0.0;
+  for (int j = 0; j <= k; ++j) sum += BinomialPmf(n, j, p);
+  return sum < 1.0 ? sum : 1.0;
+}
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol) {
+  MOBREP_CHECK(a <= b);
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = SimpsonRule(a, fa, b, fb, fm);
+  return AdaptiveSimpsonRec(f, a, fa, b, fb, m, fm, whole, tol,
+                            /*depth=*/40);
+}
+
+bool NearlyEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::std_error() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace mobrep

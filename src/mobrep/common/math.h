@@ -1,0 +1,55 @@
+#ifndef MOBREP_COMMON_MATH_H_
+#define MOBREP_COMMON_MATH_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace mobrep {
+
+// Natural log of n! (exact table for small n, lgamma beyond).
+double LogFactorial(int n);
+
+// Natural log of C(n, k). Requires 0 <= k <= n.
+double LogBinomial(int n, int k);
+
+// C(n, k) as a double. Requires 0 <= k <= n. Accurate to double precision
+// for the ranges used in this project (n up to a few thousand).
+double BinomialCoefficient(int n, int k);
+
+// P[X = k] for X ~ Binomial(n, p). Numerically stable (log-space).
+double BinomialPmf(int n, int k, double p);
+
+// P[X <= k] for X ~ Binomial(n, p).
+double BinomialCdf(int n, int k, double p);
+
+// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
+// Used to verify the paper's closed-form AVG integrals numerically.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-10);
+
+// True iff |a - b| <= tol (absolute).
+bool NearlyEqual(double a, double b, double tol);
+
+// Running mean / variance accumulator (Welford). Used by simulations to
+// report Monte-Carlo estimates with standard errors.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean; 0 for fewer than two samples.
+  double std_error() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_MATH_H_

@@ -1,0 +1,66 @@
+#include "mobrep/common/random.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace mobrep {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& s : s_) s = mixer.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  MOBREP_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::Exponential(double lambda) {
+  MOBREP_CHECK(lambda > 0.0);
+  // Inverse CDF; 1 - U in (0, 1] avoids log(0).
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  MOBREP_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  return Rng(NextUint64() ^ (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace mobrep

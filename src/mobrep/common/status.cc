@@ -1,0 +1,60 @@
+#include "mobrep/common/status.h"
+
+#include <string>
+#include <string_view>
+
+namespace mobrep {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, std::string(message));
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, std::string(message));
+}
+Status OutOfRangeError(std::string_view message) {
+  return Status(StatusCode::kOutOfRange, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, std::string(message));
+}
+Status UnimplementedError(std::string_view message) {
+  return Status(StatusCode::kUnimplemented, std::string(message));
+}
+Status DataLossError(std::string_view message) {
+  return Status(StatusCode::kDataLoss, std::string(message));
+}
+
+}  // namespace mobrep

@@ -1,0 +1,119 @@
+#ifndef MOBREP_COMMON_STATUS_H_
+#define MOBREP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kDataLoss,
+};
+
+// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Lightweight success-or-error value, modeled on absl::Status.
+//
+// Library code returns Status (or Result<T>) instead of throwing; callers
+// decide whether a failure is fatal.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    MOBREP_DCHECK(code != StatusCode::kOk);
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status DataLossError(std::string_view message);
+
+// A value of type T or an error Status. Minimal absl::StatusOr analogue.
+//
+// Accessing value() on an error aborts (contract violation); call ok()
+// first or use value_or().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return MakeValue();` and `return SomeError();` from the same function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    MOBREP_CHECK_MSG(!status_.ok(),
+                     "Result<T> cannot hold an OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MOBREP_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    MOBREP_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    MOBREP_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+#ifndef MOBREP_COMMON_STRINGS_H_
+#define MOBREP_COMMON_STRINGS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobrep {
+
+// Splits text on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Strict integer / double parsers: the whole (stripped) string must parse.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_STRINGS_H_

@@ -1,0 +1,115 @@
+#include "mobrep/core/cost_model.h"
+
+#include <string>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kLocalRead:
+      return "local_read";
+    case ActionKind::kRemoteRead:
+      return "remote_read";
+    case ActionKind::kRemoteReadAllocate:
+      return "remote_read_allocate";
+    case ActionKind::kWriteNoCopy:
+      return "write_no_copy";
+    case ActionKind::kWritePropagate:
+      return "write_propagate";
+    case ActionKind::kWritePropagateDeallocate:
+      return "write_propagate_deallocate";
+    case ActionKind::kWriteInvalidate:
+      return "write_invalidate";
+  }
+  return "unknown";
+}
+
+bool ActionLegalFor(ActionKind kind, Op op, bool copy_before) {
+  switch (kind) {
+    case ActionKind::kLocalRead:
+      return op == Op::kRead && copy_before;
+    case ActionKind::kRemoteRead:
+    case ActionKind::kRemoteReadAllocate:
+      return op == Op::kRead && !copy_before;
+    case ActionKind::kWriteNoCopy:
+      return op == Op::kWrite && !copy_before;
+    case ActionKind::kWritePropagate:
+    case ActionKind::kWritePropagateDeallocate:
+    case ActionKind::kWriteInvalidate:
+      return op == Op::kWrite && copy_before;
+  }
+  return false;
+}
+
+bool CopyStateAfter(ActionKind kind, bool copy_before) {
+  switch (kind) {
+    case ActionKind::kLocalRead:
+    case ActionKind::kRemoteRead:
+    case ActionKind::kWriteNoCopy:
+    case ActionKind::kWritePropagate:
+      return copy_before;
+    case ActionKind::kRemoteReadAllocate:
+      return true;
+    case ActionKind::kWritePropagateDeallocate:
+    case ActionKind::kWriteInvalidate:
+      return false;
+  }
+  return copy_before;
+}
+
+ActionWire WireFor(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kLocalRead:
+    case ActionKind::kWriteNoCopy:
+      return {0, 0, 0};
+    case ActionKind::kRemoteRead:
+    case ActionKind::kRemoteReadAllocate:
+      // Control read-request MC->SC + data response SC->MC, one connection.
+      return {1, 1, 1};
+    case ActionKind::kWritePropagate:
+      // Data message SC->MC, one connection.
+      return {1, 0, 1};
+    case ActionKind::kWritePropagateDeallocate:
+      // Data message SC->MC + delete-request (window) MC->SC. The reply
+      // shares the write-propagation connection in the connection model.
+      return {1, 1, 1};
+    case ActionKind::kWriteInvalidate:
+      // Delete-request control message SC->MC only (SW1), one connection.
+      return {0, 1, 1};
+  }
+  return {0, 0, 0};
+}
+
+CostModel CostModel::Connection() {
+  return CostModel(CostModelKind::kConnection, 0.0);
+}
+
+CostModel CostModel::Message(double omega) {
+  MOBREP_CHECK_MSG(omega >= 0.0 && omega <= 1.0,
+                   "omega must be in [0, 1] (control messages are not longer "
+                   "than data messages)");
+  return CostModel(CostModelKind::kMessage, omega);
+}
+
+double CostModel::Price(ActionKind action) const {
+  const ActionWire wire = WireFor(action);
+  if (kind_ == CostModelKind::kConnection) {
+    return static_cast<double>(wire.connections);
+  }
+  return static_cast<double>(wire.data_messages) +
+         omega_ * static_cast<double>(wire.control_messages);
+}
+
+double CostModel::RemoteReadPrice() const {
+  return Price(ActionKind::kRemoteRead);
+}
+
+std::string CostModel::name() const {
+  if (kind_ == CostModelKind::kConnection) return "connection";
+  return StrFormat("message(omega=%.3f)", omega_);
+}
+
+}  // namespace mobrep

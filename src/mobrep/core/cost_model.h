@@ -1,0 +1,98 @@
+#ifndef MOBREP_CORE_COST_MODEL_H_
+#define MOBREP_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Everything an allocation algorithm can do in response to one relevant
+// request. Each action fully determines communication (and hence cost in
+// either cost model) and the MC copy-state transition.
+enum class ActionKind : uint8_t {
+  // Read served from the MC's local copy. No communication.
+  kLocalRead,
+  // MC has no copy: control read-request to SC + data response. Copy stays
+  // deallocated.
+  kRemoteRead,
+  // Same messages as kRemoteRead, but the SC piggybacks an allocate
+  // indication (and the request window) on the data response; the MC keeps
+  // the copy. The piggyback is free (paper §4).
+  kRemoteReadAllocate,
+  // Write at the SC while the MC has no copy. No communication.
+  kWriteNoCopy,
+  // Write propagated to the MC's copy: one data message. Copy retained.
+  kWritePropagate,
+  // Write propagated, after which the MC deallocates: data message plus the
+  // MC's delete-request control message carrying the window back to the SC.
+  kWritePropagateDeallocate,
+  // SW1 optimization (paper §4): instead of propagating the data, the SC
+  // sends only a delete-request control message; the MC drops its copy.
+  kWriteInvalidate,
+};
+
+// Returns a stable name, e.g. "remote_read_allocate".
+const char* ActionKindName(ActionKind kind);
+
+// True iff `kind` is a legal response to `op` when the MC copy state before
+// the request is `copy_before`.
+bool ActionLegalFor(ActionKind kind, Op op, bool copy_before);
+
+// MC copy state after executing `kind` from state `copy_before`.
+bool CopyStateAfter(ActionKind kind, bool copy_before);
+
+// The two charging schemes of the paper (§1, §3).
+enum class CostModelKind : uint8_t {
+  // Connection (time-based) model: every request that requires any
+  // transmission costs exactly one minimum-length connection; responses and
+  // piggybacks ride the same connection.
+  kConnection,
+  // Message model: a data message costs 1, a control message costs
+  // omega in [0, 1].
+  kMessage,
+};
+
+// Message-level accounting of a single action.
+struct ActionWire {
+  int data_messages = 0;
+  int control_messages = 0;
+  int connections = 0;  // connection-model accounting
+};
+
+// Messages/connections implied by `kind` (model-independent bookkeeping).
+ActionWire WireFor(ActionKind kind);
+
+// Prices actions under one of the two cost models.
+//
+// Immutable and cheap to copy; pass by value or const reference.
+class CostModel {
+ public:
+  // Connection (time) based model.
+  static CostModel Connection();
+  // Message based model with control/data cost ratio omega in [0, 1].
+  static CostModel Message(double omega);
+
+  CostModelKind kind() const { return kind_; }
+  // Control-to-data cost ratio; meaningful only for the message model.
+  double omega() const { return omega_; }
+
+  // Cost charged for one action.
+  double Price(ActionKind action) const;
+
+  // Cost of a remote read under this model (1 connection, or 1 + omega).
+  double RemoteReadPrice() const;
+
+  std::string name() const;
+
+ private:
+  CostModel(CostModelKind kind, double omega) : kind_(kind), omega_(omega) {}
+
+  CostModelKind kind_;
+  double omega_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_COST_MODEL_H_

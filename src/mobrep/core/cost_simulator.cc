@@ -1,0 +1,55 @@
+#include "mobrep/core/cost_simulator.h"
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+CostMeter::CostMeter(AllocationPolicy* policy, const CostModel* model)
+    : policy_(policy), model_(model) {
+  MOBREP_CHECK(policy != nullptr);
+  MOBREP_CHECK(model != nullptr);
+}
+
+double CostMeter::OnRequest(Op op) {
+  const bool copy_before = policy_->has_copy();
+  const ActionKind action = policy_->OnRequest(op);
+
+  // Policy contract: the action must be legal for (op, prior state) and the
+  // policy's new state must match the action's implied transition.
+  MOBREP_DCHECK(ActionLegalFor(action, op, copy_before));
+  MOBREP_DCHECK(policy_->has_copy() == CopyStateAfter(action, copy_before));
+
+  const double cost = model_->Price(action);
+  const ActionWire wire = WireFor(action);
+
+  breakdown_.total_cost += cost;
+  ++breakdown_.requests;
+  if (op == Op::kRead) {
+    ++breakdown_.reads;
+  } else {
+    ++breakdown_.writes;
+  }
+  breakdown_.connections += wire.connections;
+  breakdown_.data_messages += wire.data_messages;
+  breakdown_.control_messages += wire.control_messages;
+  const bool copy_after = policy_->has_copy();
+  if (!copy_before && copy_after) ++breakdown_.allocations;
+  if (copy_before && !copy_after) ++breakdown_.deallocations;
+  return cost;
+}
+
+CostBreakdown SimulateSchedule(AllocationPolicy* policy,
+                               const Schedule& schedule,
+                               const CostModel& model) {
+  CostMeter meter(policy, &model);
+  for (const Op op : schedule) meter.OnRequest(op);
+  return meter.breakdown();
+}
+
+double PolicyCostOnSchedule(AllocationPolicy* policy, const Schedule& schedule,
+                            const CostModel& model) {
+  policy->Reset();
+  return SimulateSchedule(policy, schedule, model).total_cost;
+}
+
+}  // namespace mobrep

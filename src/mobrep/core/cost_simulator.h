@@ -1,0 +1,63 @@
+#ifndef MOBREP_CORE_COST_SIMULATOR_H_
+#define MOBREP_CORE_COST_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Aggregate accounting of a simulated run.
+struct CostBreakdown {
+  double total_cost = 0.0;
+  int64_t requests = 0;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t connections = 0;
+  int64_t data_messages = 0;
+  int64_t control_messages = 0;
+  int64_t allocations = 0;    // no-copy -> copy transitions
+  int64_t deallocations = 0;  // copy -> no-copy transitions
+
+  // Mean cost per relevant request; 0 for an empty run.
+  double MeanCostPerRequest() const {
+    return requests == 0 ? 0.0
+                         : total_cost / static_cast<double>(requests);
+  }
+};
+
+// Feeds requests to a policy one at a time, prices the returned actions
+// under a cost model and verifies the policy's action/state contract
+// (legality of each action and consistency of the copy-state transition).
+//
+// The meter borrows the policy and the model; both must outlive it.
+class CostMeter {
+ public:
+  CostMeter(AllocationPolicy* policy, const CostModel* model);
+
+  // Services one request; returns its cost.
+  double OnRequest(Op op);
+
+  const CostBreakdown& breakdown() const { return breakdown_; }
+  double total_cost() const { return breakdown_.total_cost; }
+
+ private:
+  AllocationPolicy* policy_;
+  const CostModel* model_;
+  CostBreakdown breakdown_;
+};
+
+// Runs `policy` (from its current state) over the whole schedule.
+CostBreakdown SimulateSchedule(AllocationPolicy* policy,
+                               const Schedule& schedule,
+                               const CostModel& model);
+
+// Convenience: Reset() the policy, run the schedule, return the total cost.
+double PolicyCostOnSchedule(AllocationPolicy* policy, const Schedule& schedule,
+                            const CostModel& model);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_COST_SIMULATOR_H_

@@ -1,0 +1,98 @@
+#include "mobrep/core/offline_optimal.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double OfflineTransitionCost(Op op, bool before, bool after,
+                             const CostModel& model,
+                             OfflineAdversary adversary) {
+  if (op == Op::kRead) {
+    if (before) return 0.0;  // local read; dropping afterwards is free
+    return model.RemoteReadPrice();  // keep-or-not piggybacks for free
+  }
+  // Write.
+  if (!after) return 0.0;  // no copy after: at worst drop beforehand, free
+  if (!before && adversary == OfflineAdversary::kAcquireAtReadsOnly) {
+    return kInf;  // pushing the value at a write is disallowed
+  }
+  // Copy after the write: the value must reach the MC (push or propagate).
+  return model.Price(ActionKind::kWritePropagate);
+}
+
+OfflineSolution SolveOfflineOptimal(const Schedule& schedule,
+                                    const CostModel& model,
+                                    bool initial_copy,
+                                    OfflineAdversary adversary) {
+  const size_t n = schedule.size();
+
+  // dp[s] = min cost of the processed prefix ending in copy state s.
+  double dp[2] = {initial_copy ? kInf : 0.0, initial_copy ? 0.0 : kInf};
+  // Parent pointers for trace reconstruction.
+  std::vector<uint8_t> parent(2 * n, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Op op = schedule[i];
+    double next[2] = {kInf, kInf};
+    for (int after = 0; after < 2; ++after) {
+      for (int before = 0; before < 2; ++before) {
+        if (dp[before] == kInf) continue;
+        const double step = OfflineTransitionCost(
+            op, before != 0, after != 0, model, adversary);
+        if (step == kInf) continue;
+        const double c = dp[before] + step;
+        if (c < next[after]) {
+          next[after] = c;
+          parent[2 * i + static_cast<size_t>(after)] =
+              static_cast<uint8_t>(before);
+        }
+      }
+    }
+    dp[0] = next[0];
+    dp[1] = next[1];
+  }
+
+  OfflineSolution solution;
+  solution.cost = std::min(dp[0], dp[1]);
+  solution.copy_during.assign(n, false);
+
+  if (n > 0) {
+    int state = dp[0] <= dp[1] ? 0 : 1;
+    for (size_t i = n; i-- > 0;) {
+      solution.copy_during[i] = state != 0;
+      state = parent[2 * i + static_cast<size_t>(state)];
+    }
+  }
+  return solution;
+}
+
+double OfflineOptimalCost(const Schedule& schedule, const CostModel& model,
+                          bool initial_copy, OfflineAdversary adversary) {
+  double dp[2] = {initial_copy ? kInf : 0.0, initial_copy ? 0.0 : kInf};
+  for (const Op op : schedule) {
+    double next[2] = {kInf, kInf};
+    for (int after = 0; after < 2; ++after) {
+      for (int before = 0; before < 2; ++before) {
+        if (dp[before] == kInf) continue;
+        const double step = OfflineTransitionCost(
+            op, before != 0, after != 0, model, adversary);
+        if (step == kInf) continue;
+        next[after] = std::min(next[after], dp[before] + step);
+      }
+    }
+    dp[0] = next[0];
+    dp[1] = next[1];
+  }
+  return std::min(dp[0], dp[1]);
+}
+
+}  // namespace mobrep

@@ -1,0 +1,70 @@
+#ifndef MOBREP_CORE_OFFLINE_OPTIMAL_H_
+#define MOBREP_CORE_OFFLINE_OPTIMAL_H_
+
+#include <vector>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// The ideal offline allocation algorithm M of the paper's competitiveness
+// definition (§3): it knows the whole schedule in advance and services it
+// with minimum total cost.
+//
+// Cost rules (see DESIGN.md §2 — the paper does not spell these out; these
+// are the rules under which the paper's stated tight competitive factors
+// are exactly achieved by the natural adversarial schedules):
+//
+//   per request, by (copy state before, copy state after):
+//     read,  0 -> 0 : remote read        (1 connection / 1 + omega)
+//     read,  0 -> 1 : remote read, keep the copy (piggyback, same price)
+//     read,  1 -> * : local read, optionally drop afterwards (free)
+//     write, 0 -> 0 : no communication   (0)
+//     write, 0 -> 1 : SC pushes the written value (1 connection / 1 data msg)
+//     write, 1 -> 1 : propagate          (1 connection / 1 data msg)
+//     write, 1 -> 0 : drop beforehand, then write without a copy (free;
+//                     an omniscient SC needs no delete-request)
+//
+// Solved exactly with a two-state dynamic program in O(n) time, O(1) space.
+
+// What the clairvoyant adversary is allowed to do. kFull is the model
+// described above (and the one under which the paper's tight factors are
+// realized); kAcquireAtReadsOnly removes the push-at-write option, which
+// weakens the adversary — kept for the ablation study (see
+// bench_ablation_choices).
+enum class OfflineAdversary {
+  kFull,
+  kAcquireAtReadsOnly,
+};
+
+// Minimum total cost to service `schedule` under `model`, starting from
+// `initial_copy` at the MC.
+double OfflineOptimalCost(const Schedule& schedule, const CostModel& model,
+                          bool initial_copy = false,
+                          OfflineAdversary adversary = OfflineAdversary::kFull);
+
+// Full DP solution: the optimal cost plus one copy-state decision per
+// request (the state in effect while that request is serviced).
+struct OfflineSolution {
+  double cost = 0.0;
+  std::vector<bool> copy_during;  // copy state used for request i
+};
+
+OfflineSolution SolveOfflineOptimal(const Schedule& schedule,
+                                    const CostModel& model,
+                                    bool initial_copy = false,
+                                    OfflineAdversary adversary =
+                                        OfflineAdversary::kFull);
+
+// Price of servicing one request while transitioning copy state
+// `before` -> `after` under `model`, per the table above. Returns
+// +infinity for transitions the adversary is not allowed to make.
+double OfflineTransitionCost(Op op, bool before, bool after,
+                             const CostModel& model,
+                             OfflineAdversary adversary =
+                                 OfflineAdversary::kFull);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_OFFLINE_OPTIMAL_H_

@@ -1,0 +1,8 @@
+#include "mobrep/core/policy.h"
+
+namespace mobrep {
+
+// AllocationPolicy is an interface; the out-of-line key function anchors the
+// vtable in this translation unit.
+
+}  // namespace mobrep

@@ -1,0 +1,46 @@
+#ifndef MOBREP_CORE_POLICY_H_
+#define MOBREP_CORE_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// An online data allocation algorithm for a single data item and a single
+// mobile computer (paper §2).
+//
+// The policy sees relevant requests one at a time (it is online: it must
+// service the current request without knowing the next one) and for each
+// request returns the action it takes. The action implies both the
+// communication performed (priced by a CostModel) and the MC copy-state
+// transition; the harness verifies these invariants.
+//
+// Implementations are deterministic state machines; Clone() produces an
+// independent copy in the same state, Reset() returns to the initial state.
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  // Services one request and returns the action taken. The returned action
+  // must be legal for (op, has_copy()-before) per ActionLegalFor().
+  virtual ActionKind OnRequest(Op op) = 0;
+
+  // True iff the MC currently holds a copy of the data item.
+  virtual bool has_copy() const = 0;
+
+  // Returns to the initial state.
+  virtual void Reset() = 0;
+
+  // Short identifier, e.g. "ST1", "SW9", "T1-15".
+  virtual std::string name() const = 0;
+
+  // Independent copy in the current state.
+  virtual std::unique_ptr<AllocationPolicy> Clone() const = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_POLICY_H_

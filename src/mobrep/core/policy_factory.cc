@@ -1,0 +1,103 @@
+#include "mobrep/core/policy_factory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/core/static_policies.h"
+#include "mobrep/core/threshold_policies.h"
+
+namespace mobrep {
+namespace {
+
+std::string ToLowerCopy(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string PolicySpec::ToString() const {
+  switch (kind) {
+    case PolicyKind::kSt1:
+      return "st1";
+    case PolicyKind::kSt2:
+      return "st2";
+    case PolicyKind::kSw1:
+      return "sw1";
+    case PolicyKind::kSw:
+      return StrFormat("sw:%d", parameter);
+    case PolicyKind::kT1:
+      return StrFormat("t1:%d", parameter);
+    case PolicyKind::kT2:
+      return StrFormat("t2:%d", parameter);
+  }
+  return "unknown";
+}
+
+Result<PolicySpec> ParsePolicySpec(std::string_view text) {
+  const std::string lower = ToLowerCopy(StripWhitespace(text));
+  if (lower == "st1") return PolicySpec{PolicyKind::kSt1, 0};
+  if (lower == "st2") return PolicySpec{PolicyKind::kSt2, 0};
+  if (lower == "sw1") return PolicySpec{PolicyKind::kSw1, 1};
+
+  const size_t colon = lower.find(':');
+  if (colon != std::string::npos) {
+    const std::string head = lower.substr(0, colon);
+    const auto param = ParseInt64(lower.substr(colon + 1));
+    if (!param.has_value() || *param < 1 || *param > 1'000'000) {
+      return InvalidArgumentError(
+          StrFormat("bad policy parameter in '%s'", std::string(text).c_str()));
+    }
+    const int p = static_cast<int>(*param);
+    if (head == "sw") return PolicySpec{PolicyKind::kSw, p};
+    if (head == "t1") return PolicySpec{PolicyKind::kT1, p};
+    if (head == "t2") return PolicySpec{PolicyKind::kT2, p};
+  }
+  return InvalidArgumentError(StrFormat(
+      "unknown policy '%s'; expected st1, st2, sw1, sw:<k>, t1:<m>, t2:<m>",
+      std::string(text).c_str()));
+}
+
+std::unique_ptr<AllocationPolicy> CreatePolicy(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicyKind::kSt1:
+      return std::make_unique<St1Policy>();
+    case PolicyKind::kSt2:
+      return std::make_unique<St2Policy>();
+    case PolicyKind::kSw1:
+      return SlidingWindowPolicy::NewSw1();
+    case PolicyKind::kSw:
+      return std::make_unique<SlidingWindowPolicy>(spec.parameter);
+    case PolicyKind::kT1:
+      return std::make_unique<T1mPolicy>(spec.parameter);
+    case PolicyKind::kT2:
+      return std::make_unique<T2mPolicy>(spec.parameter);
+  }
+  MOBREP_CHECK_MSG(false, "unreachable policy kind");
+  return nullptr;
+}
+
+Result<std::unique_ptr<AllocationPolicy>> CreatePolicyFromString(
+    std::string_view text) {
+  auto spec = ParsePolicySpec(text);
+  if (!spec.ok()) return spec.status();
+  return CreatePolicy(*spec);
+}
+
+std::vector<PolicySpec> StandardPolicyRoster() {
+  return {
+      {PolicyKind::kSt1, 0}, {PolicyKind::kSt2, 0}, {PolicyKind::kSw1, 1},
+      {PolicyKind::kSw, 3},  {PolicyKind::kSw, 5},  {PolicyKind::kSw, 9},
+      {PolicyKind::kSw, 15}, {PolicyKind::kT1, 7},  {PolicyKind::kT2, 7},
+  };
+}
+
+}  // namespace mobrep

@@ -1,0 +1,50 @@
+#ifndef MOBREP_CORE_POLICY_FACTORY_H_
+#define MOBREP_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/policy.h"
+
+namespace mobrep {
+
+// Which allocation algorithm to build.
+enum class PolicyKind : uint8_t {
+  kSt1,          // static one-copy
+  kSt2,          // static two-copies
+  kSw,           // sliding window, parameter k
+  kSw1,          // SW1, the optimized window-of-one algorithm
+  kT1,           // modified static one-copy, parameter m
+  kT2,           // modified static two-copies, parameter m
+};
+
+// Declarative description of a policy; parseable from text so tools, tests
+// and benchmarks can share one spelling.
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::kSt1;
+  int parameter = 0;  // k for kSw, m for kT1/kT2; ignored otherwise
+
+  std::string ToString() const;
+};
+
+// Accepted spellings (case-insensitive):
+//   "st1", "st2", "sw1", "sw:<k>", "t1:<m>", "t2:<m>"
+Result<PolicySpec> ParsePolicySpec(std::string_view text);
+
+// Instantiates the policy described by `spec`.
+std::unique_ptr<AllocationPolicy> CreatePolicy(const PolicySpec& spec);
+
+// Parses and instantiates in one step.
+Result<std::unique_ptr<AllocationPolicy>> CreatePolicyFromString(
+    std::string_view text);
+
+// A representative roster used by benchmarks and property tests:
+// ST1, ST2, SW1, SW3, SW5, SW9, SW15, T1-7, T2-7.
+std::vector<PolicySpec> StandardPolicyRoster();
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_POLICY_FACTORY_H_

@@ -1,0 +1,54 @@
+#include "mobrep/core/schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+char OpToChar(Op op) { return op == Op::kRead ? 'r' : 'w'; }
+
+std::string ScheduleToString(const Schedule& schedule) {
+  std::string out;
+  out.reserve(schedule.size());
+  for (Op op : schedule) out.push_back(OpToChar(op));
+  return out;
+}
+
+Result<Schedule> ScheduleFromString(std::string_view text) {
+  Schedule schedule;
+  schedule.reserve(text.size());
+  for (char c : text) {
+    const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lower == 'r') {
+      schedule.push_back(Op::kRead);
+    } else if (lower == 'w') {
+      schedule.push_back(Op::kWrite);
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    } else {
+      return InvalidArgumentError(
+          StrFormat("schedule contains invalid character '%c'", c));
+    }
+  }
+  return schedule;
+}
+
+int64_t CountWrites(const Schedule& schedule) {
+  return std::count(schedule.begin(), schedule.end(), Op::kWrite);
+}
+
+int64_t CountReads(const Schedule& schedule) {
+  return std::count(schedule.begin(), schedule.end(), Op::kRead);
+}
+
+Schedule StripTimes(const TimedSchedule& timed) {
+  Schedule schedule;
+  schedule.reserve(timed.size());
+  for (const TimedRequest& request : timed) schedule.push_back(request.op);
+  return schedule;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,53 @@
+#ifndef MOBREP_CORE_SCHEDULE_H_
+#define MOBREP_CORE_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mobrep/common/status.h"
+
+namespace mobrep {
+
+// A relevant request in the paper's model: reads are issued at the mobile
+// computer (MC), writes at the stationary computer (SC). All other requests
+// have allocation-independent cost and are ignored (paper §3).
+enum class Op : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+// Returns 'r' or 'w'.
+char OpToChar(Op op);
+
+// A schedule is a finite sequence of relevant requests (paper §3).
+using Schedule = std::vector<Op>;
+
+// Compact textual form, e.g. "wrrrwrw".
+std::string ScheduleToString(const Schedule& schedule);
+
+// Parses "wrrrwrw" (case-insensitive; whitespace ignored).
+Result<Schedule> ScheduleFromString(std::string_view text);
+
+// Number of writes in `schedule`.
+int64_t CountWrites(const Schedule& schedule);
+
+// Number of reads in `schedule`.
+int64_t CountReads(const Schedule& schedule);
+
+// A request with an arrival timestamp, produced by the merged-Poisson
+// workload generators and consumed by the discrete-event protocol simulator.
+struct TimedRequest {
+  double time = 0.0;
+  Op op = Op::kRead;
+};
+
+using TimedSchedule = std::vector<TimedRequest>;
+
+// Drops timestamps.
+Schedule StripTimes(const TimedSchedule& timed);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_SCHEDULE_H_

@@ -1,0 +1,80 @@
+#include "mobrep/core/sliding_window_policy.h"
+
+#include <memory>
+#include <string>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+SlidingWindowPolicy::SlidingWindowPolicy(int k, bool sw1_delete_optimization)
+    : window_(k), sw1_delete_optimization_(sw1_delete_optimization) {
+  MOBREP_CHECK_MSG(!sw1_delete_optimization || k == 1,
+                   "the delete optimization is defined only for SW1");
+  Reset();
+}
+
+std::unique_ptr<SlidingWindowPolicy> SlidingWindowPolicy::NewSw1() {
+  return std::make_unique<SlidingWindowPolicy>(1,
+                                               /*sw1_delete_optimization=*/true);
+}
+
+void SlidingWindowPolicy::Reset() {
+  window_.Fill(Op::kWrite);
+  has_copy_ = false;
+}
+
+ActionKind SlidingWindowPolicy::OnRequest(Op op) {
+  if (op == Op::kRead) {
+    window_.Push(Op::kRead);
+    if (has_copy_) {
+      // Reads never flip the majority toward writes, so no deallocation.
+      return ActionKind::kLocalRead;
+    }
+    if (window_.MajorityReads()) {
+      has_copy_ = true;
+      return ActionKind::kRemoteReadAllocate;
+    }
+    return ActionKind::kRemoteRead;
+  }
+
+  // Write.
+  if (!has_copy_) {
+    window_.Push(Op::kWrite);
+    // Writes never flip the majority toward reads, so no allocation.
+    return ActionKind::kWriteNoCopy;
+  }
+  if (sw1_delete_optimization_) {
+    // SW1: with k == 1 the window after this write is just {w}, so the copy
+    // is always deallocated; the SC sends only the delete-request.
+    window_.Push(Op::kWrite);
+    MOBREP_DCHECK(window_.MajorityWrites());
+    has_copy_ = false;
+    return ActionKind::kWriteInvalidate;
+  }
+  window_.Push(Op::kWrite);
+  if (window_.MajorityWrites()) {
+    has_copy_ = false;
+    return ActionKind::kWritePropagateDeallocate;
+  }
+  return ActionKind::kWritePropagate;
+}
+
+std::string SlidingWindowPolicy::name() const {
+  if (sw1_delete_optimization_) return "SW1";
+  if (window_.size() == 1) return "SW1(unopt)";
+  return StrFormat("SW%d", window_.size());
+}
+
+std::unique_ptr<AllocationPolicy> SlidingWindowPolicy::Clone() const {
+  return std::make_unique<SlidingWindowPolicy>(*this);
+}
+
+void SlidingWindowPolicy::SetState(bool has_copy,
+                                   const std::vector<Op>& window_contents) {
+  window_.SetContents(window_contents);
+  has_copy_ = has_copy;
+}
+
+}  // namespace mobrep

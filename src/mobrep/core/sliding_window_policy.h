@@ -1,0 +1,65 @@
+#ifndef MOBREP_CORE_SLIDING_WINDOW_POLICY_H_
+#define MOBREP_CORE_SLIDING_WINDOW_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "mobrep/core/policy.h"
+#include "mobrep/core/window_tracker.h"
+
+namespace mobrep {
+
+// SWk, the sliding-window dynamic allocation algorithm of paper §4.
+//
+// A window of the latest k relevant requests is maintained (by whichever of
+// the MC/SC is "in charge"; this single-machine policy object models the
+// merged state — the distributed two-node version lives in
+// mobrep/protocol/). After each request:
+//   * more reads than writes and no copy at the MC  -> allocate. This can
+//     only trigger on a read, so the allocation indication and the window
+//     piggyback on the read's data response (free).
+//   * more writes than reads and a copy at the MC   -> deallocate. This can
+//     only trigger on a write, so the MC returns a delete-request control
+//     message carrying the window.
+//
+// For k == 1 the paper defines the optimized variant SW1: a write while the
+// MC holds a copy does not propagate data at all; the SC sends just a
+// delete-request (cost omega in the message model). Pass
+// `sw1_delete_optimization = true` (the default for k == 1 via NewSw1) to
+// get that behaviour; with the flag off, k == 1 behaves like the generic
+// SWk rule (useful for model comparisons; identical in the connection
+// model).
+class SlidingWindowPolicy final : public AllocationPolicy {
+ public:
+  // k >= 1; the paper assumes odd k (no majority ties). Even k is accepted
+  // (strict majorities still drive transitions) but is non-canonical.
+  // The initial state is: no copy at the MC, window filled with writes.
+  explicit SlidingWindowPolicy(int k, bool sw1_delete_optimization = false);
+
+  // The paper's SW1: sliding window of size 1 with the delete-request
+  // optimization.
+  static std::unique_ptr<SlidingWindowPolicy> NewSw1();
+
+  ActionKind OnRequest(Op op) override;
+  bool has_copy() const override { return has_copy_; }
+  void Reset() override;
+  std::string name() const override;
+  std::unique_ptr<AllocationPolicy> Clone() const override;
+
+  int window_size() const { return window_.size(); }
+  bool sw1_delete_optimization() const { return sw1_delete_optimization_; }
+  const WindowTracker& window() const { return window_; }
+
+  // Overrides the initial/current state; used by tests and by the protocol
+  // layer when reconstructing state from a piggybacked window.
+  void SetState(bool has_copy, const std::vector<Op>& window_contents);
+
+ private:
+  WindowTracker window_;
+  bool has_copy_ = false;
+  bool sw1_delete_optimization_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_SLIDING_WINDOW_POLICY_H_

@@ -1,0 +1,24 @@
+#include "mobrep/core/static_policies.h"
+
+#include <memory>
+
+namespace mobrep {
+
+ActionKind St1Policy::OnRequest(Op op) {
+  return op == Op::kRead ? ActionKind::kRemoteRead : ActionKind::kWriteNoCopy;
+}
+
+std::unique_ptr<AllocationPolicy> St1Policy::Clone() const {
+  return std::make_unique<St1Policy>(*this);
+}
+
+ActionKind St2Policy::OnRequest(Op op) {
+  return op == Op::kRead ? ActionKind::kLocalRead
+                         : ActionKind::kWritePropagate;
+}
+
+std::unique_ptr<AllocationPolicy> St2Policy::Clone() const {
+  return std::make_unique<St2Policy>(*this);
+}
+
+}  // namespace mobrep

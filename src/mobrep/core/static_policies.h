@@ -1,0 +1,39 @@
+#ifndef MOBREP_CORE_STATIC_POLICIES_H_
+#define MOBREP_CORE_STATIC_POLICIES_H_
+
+#include <memory>
+#include <string>
+
+#include "mobrep/core/policy.h"
+
+namespace mobrep {
+
+// ST1 (paper §2): the static one-copy allocation scheme. Only the SC holds a
+// copy; every read is a remote read, every write is free.
+class St1Policy final : public AllocationPolicy {
+ public:
+  St1Policy() = default;
+
+  ActionKind OnRequest(Op op) override;
+  bool has_copy() const override { return false; }
+  void Reset() override {}
+  std::string name() const override { return "ST1"; }
+  std::unique_ptr<AllocationPolicy> Clone() const override;
+};
+
+// ST2 (paper §2): the static two-copies allocation scheme. The MC always
+// holds a copy; every read is local, every write is propagated.
+class St2Policy final : public AllocationPolicy {
+ public:
+  St2Policy() = default;
+
+  ActionKind OnRequest(Op op) override;
+  bool has_copy() const override { return true; }
+  void Reset() override {}
+  std::string name() const override { return "ST2"; }
+  std::unique_ptr<AllocationPolicy> Clone() const override;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_STATIC_POLICIES_H_

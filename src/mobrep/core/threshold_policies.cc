@@ -1,0 +1,83 @@
+#include "mobrep/core/threshold_policies.h"
+
+#include <memory>
+#include <string>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+T1mPolicy::T1mPolicy(int m) : m_(m) {
+  MOBREP_CHECK_MSG(m >= 1, "T1m requires m >= 1");
+  Reset();
+}
+
+void T1mPolicy::Reset() {
+  consecutive_reads_ = 0;
+  has_copy_ = false;
+}
+
+ActionKind T1mPolicy::OnRequest(Op op) {
+  if (op == Op::kRead) {
+    if (has_copy_) return ActionKind::kLocalRead;
+    ++consecutive_reads_;
+    if (consecutive_reads_ >= m_) {
+      // The m-th consecutive read switches to the two-copies scheme.
+      has_copy_ = true;
+      consecutive_reads_ = 0;
+      return ActionKind::kRemoteReadAllocate;
+    }
+    return ActionKind::kRemoteRead;
+  }
+  // Write.
+  consecutive_reads_ = 0;
+  if (!has_copy_) return ActionKind::kWriteNoCopy;
+  // The first write after switching reverts to the one-copy scheme.
+  has_copy_ = false;
+  return ActionKind::kWritePropagateDeallocate;
+}
+
+std::string T1mPolicy::name() const { return StrFormat("T1-%d", m_); }
+
+std::unique_ptr<AllocationPolicy> T1mPolicy::Clone() const {
+  return std::make_unique<T1mPolicy>(*this);
+}
+
+T2mPolicy::T2mPolicy(int m) : m_(m) {
+  MOBREP_CHECK_MSG(m >= 1, "T2m requires m >= 1");
+  Reset();
+}
+
+void T2mPolicy::Reset() {
+  consecutive_writes_ = 0;
+  has_copy_ = true;
+}
+
+ActionKind T2mPolicy::OnRequest(Op op) {
+  if (op == Op::kWrite) {
+    if (!has_copy_) return ActionKind::kWriteNoCopy;
+    ++consecutive_writes_;
+    if (consecutive_writes_ >= m_) {
+      // The m-th consecutive write switches to the one-copy scheme.
+      has_copy_ = false;
+      consecutive_writes_ = 0;
+      return ActionKind::kWritePropagateDeallocate;
+    }
+    return ActionKind::kWritePropagate;
+  }
+  // Read.
+  consecutive_writes_ = 0;
+  if (has_copy_) return ActionKind::kLocalRead;
+  // The first read after switching re-allocates via its data response.
+  has_copy_ = true;
+  return ActionKind::kRemoteReadAllocate;
+}
+
+std::string T2mPolicy::name() const { return StrFormat("T2-%d", m_); }
+
+std::unique_ptr<AllocationPolicy> T2mPolicy::Clone() const {
+  return std::make_unique<T2mPolicy>(*this);
+}
+
+}  // namespace mobrep

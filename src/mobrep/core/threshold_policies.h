@@ -1,0 +1,64 @@
+#ifndef MOBREP_CORE_THRESHOLD_POLICIES_H_
+#define MOBREP_CORE_THRESHOLD_POLICIES_H_
+
+#include <memory>
+#include <string>
+
+#include "mobrep/core/policy.h"
+
+namespace mobrep {
+
+// T1m (paper §7.1): the one-copy static method made competitive.
+//
+// Normally uses the one-copy scheme. After m consecutive reads it switches
+// to the two-copies scheme (the m-th read's data response piggybacks the
+// allocation) and stays there until the next write, which reverts it to the
+// one-copy scheme. T1m is (m+1)-competitive and its connection-model
+// expected cost is (1-theta) + (1-theta)^m (2*theta - 1).
+class T1mPolicy final : public AllocationPolicy {
+ public:
+  explicit T1mPolicy(int m);
+
+  ActionKind OnRequest(Op op) override;
+  bool has_copy() const override { return has_copy_; }
+  void Reset() override;
+  std::string name() const override;
+  std::unique_ptr<AllocationPolicy> Clone() const override;
+
+  int m() const { return m_; }
+
+ private:
+  int m_;
+  int consecutive_reads_ = 0;
+  bool has_copy_ = false;
+};
+
+// T2m (paper §7.1): the two-copies static method made competitive; the
+// mirror image of T1m.
+//
+// Normally uses the two-copies scheme. After m consecutive writes it
+// switches to the one-copy scheme (the m-th propagated write carries the
+// deallocation) and stays there until the next read, which re-allocates via
+// its data response. T2m is (m+1)-competitive; by the read/write symmetry of
+// the connection model its expected cost is theta + theta^m (1 - 2*theta).
+class T2mPolicy final : public AllocationPolicy {
+ public:
+  explicit T2mPolicy(int m);
+
+  ActionKind OnRequest(Op op) override;
+  bool has_copy() const override { return has_copy_; }
+  void Reset() override;
+  std::string name() const override;
+  std::unique_ptr<AllocationPolicy> Clone() const override;
+
+  int m() const { return m_; }
+
+ private:
+  int m_;
+  int consecutive_writes_ = 0;
+  bool has_copy_ = true;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_THRESHOLD_POLICIES_H_

@@ -1,0 +1,49 @@
+#include "mobrep/core/window_tracker.h"
+
+#include <vector>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+WindowTracker::WindowTracker(int k) {
+  MOBREP_CHECK_MSG(k >= 1, "window size must be at least 1");
+  slots_.assign(static_cast<size_t>(k), Op::kRead);
+}
+
+void WindowTracker::Fill(Op op) {
+  for (auto& slot : slots_) slot = op;
+  head_ = 0;
+  write_count_ = op == Op::kWrite ? size() : 0;
+}
+
+Op WindowTracker::Push(Op op) {
+  const Op dropped = slots_[static_cast<size_t>(head_)];
+  slots_[static_cast<size_t>(head_)] = op;
+  head_ = (head_ + 1) % size();
+  if (dropped == Op::kWrite) --write_count_;
+  if (op == Op::kWrite) ++write_count_;
+  return dropped;
+}
+
+std::vector<Op> WindowTracker::Contents() const {
+  std::vector<Op> out;
+  out.reserve(slots_.size());
+  for (int i = 0; i < size(); ++i) {
+    out.push_back(slots_[static_cast<size_t>((head_ + i) % size())]);
+  }
+  return out;
+}
+
+void WindowTracker::SetContents(const std::vector<Op>& ops) {
+  MOBREP_CHECK_MSG(static_cast<int>(ops.size()) == size(),
+                   "window transfer must preserve the window size");
+  slots_ = ops;
+  head_ = 0;
+  write_count_ = 0;
+  for (Op op : slots_) {
+    if (op == Op::kWrite) ++write_count_;
+  }
+}
+
+}  // namespace mobrep

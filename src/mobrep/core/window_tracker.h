@@ -1,0 +1,53 @@
+#ifndef MOBREP_CORE_WINDOW_TRACKER_H_
+#define MOBREP_CORE_WINDOW_TRACKER_H_
+
+#include <vector>
+
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Sliding window of the latest k relevant requests (paper §4).
+//
+// The window is "tracked as a sequence of k bits"; this class keeps the ring
+// of bits plus a running write count so every update and majority query is
+// O(1). The full contents can be exported/imported because the SWk protocol
+// piggybacks the window when ownership moves between the MC and the SC.
+class WindowTracker {
+ public:
+  // k >= 1. The paper assumes k is odd so majorities are never tied; this
+  // class itself supports any k >= 1 (MajorityReads then means strictly
+  // more reads than writes).
+  explicit WindowTracker(int k);
+
+  // Overwrites every slot with `op`.
+  void Fill(Op op);
+
+  // Slides the window: drops the oldest request, appends `op`.
+  // Returns the dropped request.
+  Op Push(Op op);
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  int write_count() const { return write_count_; }
+  int read_count() const { return size() - write_count_; }
+
+  // Strictly more reads than writes among the last k requests.
+  bool MajorityReads() const { return read_count() > write_count_; }
+  // Strictly more writes than reads.
+  bool MajorityWrites() const { return write_count_ > read_count(); }
+
+  // Window contents, oldest first.
+  std::vector<Op> Contents() const;
+
+  // Replaces the contents (oldest first). `ops` must have exactly k entries.
+  void SetContents(const std::vector<Op>& ops);
+
+ private:
+  std::vector<Op> slots_;  // ring buffer
+  int head_ = 0;           // index of the oldest entry
+  int write_count_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_WINDOW_TRACKER_H_

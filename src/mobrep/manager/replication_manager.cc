@@ -1,0 +1,101 @@
+#include "mobrep/manager/replication_manager.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+ReplicationManager::ReplicationManager(const Options& options)
+    : options_(options) {}
+
+ReplicationManager::Item& ReplicationManager::GetOrCreate(
+    const std::string& key) {
+  const auto it = items_.find(key);
+  if (it != items_.end()) return it->second;
+  Item item;
+  item.spec = options_.default_spec;
+  item.policy = CreatePolicy(item.spec);
+  item.meter = std::make_unique<CostMeter>(item.policy.get(),
+                                           &options_.model);
+  return items_.emplace(key, std::move(item)).first->second;
+}
+
+void ReplicationManager::SetItemPolicy(const std::string& key,
+                                       const PolicySpec& spec) {
+  Item& item = GetOrCreate(key);
+  // Preserve the accumulated breakdown: CostMeter owns it, so carry the
+  // old meter's counters into a fresh meter by re-basing.
+  CostBreakdown carried = item.meter->breakdown();
+  item.spec = spec;
+  item.policy = CreatePolicy(spec);
+  item.meter = std::make_unique<CostMeter>(item.policy.get(),
+                                           &options_.model);
+  // Stash the carried accounting by replaying it as an offset; CostMeter
+  // has no mutator for this, so keep it beside the meter instead.
+  carried_[key] = carried;
+}
+
+double ReplicationManager::OnRead(const std::string& key) {
+  return GetOrCreate(key).meter->OnRequest(Op::kRead);
+}
+
+double ReplicationManager::OnWrite(const std::string& key) {
+  return GetOrCreate(key).meter->OnRequest(Op::kWrite);
+}
+
+bool ReplicationManager::HasCopy(const std::string& key) const {
+  const auto it = items_.find(key);
+  return it != items_.end() && it->second.policy->has_copy();
+}
+
+namespace {
+
+CostBreakdown Merge(const CostBreakdown& a, const CostBreakdown& b) {
+  CostBreakdown out = a;
+  out.total_cost += b.total_cost;
+  out.requests += b.requests;
+  out.reads += b.reads;
+  out.writes += b.writes;
+  out.connections += b.connections;
+  out.data_messages += b.data_messages;
+  out.control_messages += b.control_messages;
+  out.allocations += b.allocations;
+  out.deallocations += b.deallocations;
+  return out;
+}
+
+}  // namespace
+
+Result<CostBreakdown> ReplicationManager::ItemBreakdown(
+    const std::string& key) const {
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    return NotFoundError(StrFormat("item '%s' never touched", key.c_str()));
+  }
+  CostBreakdown breakdown = it->second.meter->breakdown();
+  const auto carried = carried_.find(key);
+  if (carried != carried_.end()) {
+    breakdown = Merge(breakdown, carried->second);
+  }
+  return breakdown;
+}
+
+CostBreakdown ReplicationManager::TotalBreakdown() const {
+  CostBreakdown total;
+  for (const auto& [key, item] : items_) {
+    total = Merge(total, *ItemBreakdown(key));
+  }
+  return total;
+}
+
+std::vector<std::string> ReplicationManager::ReplicatedItems() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, item] : items_) {
+    if (item.policy->has_copy()) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,81 @@
+#ifndef MOBREP_MANAGER_REPLICATION_MANAGER_H_
+#define MOBREP_MANAGER_REPLICATION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep {
+
+// Multi-item front end over the single-item algorithms: what an application
+// embeds to manage the replication of its whole working set between one
+// mobile computer and the stationary database.
+//
+// The paper's model is per-item (each item's relevant requests are priced
+// independently; §7.2 handles genuinely joint operations — see
+// mobrep/multi/ for that case). The manager therefore runs one independent
+// policy instance per item, created on first touch from a configurable
+// default spec (overridable per item), and aggregates the accounting.
+class ReplicationManager {
+ public:
+  struct Options {
+    // Policy used for items without an explicit override.
+    PolicySpec default_spec = {PolicyKind::kSw, 9};
+    CostModel model = CostModel::Connection();
+  };
+
+  explicit ReplicationManager(const Options& options);
+
+  // Assigns (or re-assigns) a policy to one item. Re-assigning resets the
+  // item's policy state but keeps its accumulated accounting.
+  void SetItemPolicy(const std::string& key, const PolicySpec& spec);
+
+  // A read of `key` issued at the mobile computer. Returns the
+  // communication cost charged for it.
+  double OnRead(const std::string& key);
+
+  // A write of `key` issued at the stationary computer.
+  double OnWrite(const std::string& key);
+
+  // True iff the MC currently holds a copy of `key`.
+  bool HasCopy(const std::string& key) const;
+
+  // Accounting for one item; NotFoundError if the item was never touched.
+  Result<CostBreakdown> ItemBreakdown(const std::string& key) const;
+
+  // Aggregate accounting across every item.
+  CostBreakdown TotalBreakdown() const;
+
+  // Items currently replicated at the MC (the MC's subscription list).
+  std::vector<std::string> ReplicatedItems() const;
+
+  // All items ever touched.
+  size_t item_count() const { return items_.size(); }
+
+  const CostModel& model() const { return options_.model; }
+
+ private:
+  struct Item {
+    PolicySpec spec;
+    std::unique_ptr<AllocationPolicy> policy;
+    std::unique_ptr<CostMeter> meter;
+  };
+
+  Item& GetOrCreate(const std::string& key);
+
+  Options options_;
+  std::map<std::string, Item> items_;
+  // Accounting accumulated under previous policies of re-assigned items.
+  std::map<std::string, CostBreakdown> carried_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MANAGER_REPLICATION_MANAGER_H_

@@ -1,0 +1,72 @@
+#include "mobrep/mobility/cellular.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+CellularNetwork::CellularNetwork(EventQueue* queue, const Options& options)
+    : queue_(queue), options_(options), current_cell_(options.initial_cell) {
+  MOBREP_CHECK(queue != nullptr);
+  MOBREP_CHECK(options.num_cells >= 1);
+  MOBREP_CHECK(options.initial_cell >= 0 &&
+               options.initial_cell < options.num_cells);
+
+  mc_uplink_ = std::make_unique<Channel>(queue, options.wireless_latency,
+                                         "MC -> cell (wireless)");
+  up_wireline_ = std::make_unique<Channel>(queue, options.wireline_latency,
+                                           "cell -> SC (wireline)");
+  sc_wireline_ = std::make_unique<Channel>(queue, options.wireline_latency,
+                                           "SC -> cell (wireline)");
+  down_wireless_ = std::make_unique<Channel>(queue, options.wireless_latency,
+                                             "cell -> MC (wireless)");
+
+  // The cell controller relays transparently in both directions.
+  mc_uplink_->set_receiver(
+      [this](const Message& m) { up_wireline_->Send(m); });
+  sc_wireline_->set_receiver(
+      [this](const Message& m) { down_wireless_->Send(m); });
+}
+
+void CellularNetwork::set_mc_receiver(Channel::Receiver receiver) {
+  down_wireless_->set_receiver(std::move(receiver));
+}
+
+void CellularNetwork::set_sc_receiver(Channel::Receiver receiver) {
+  up_wireline_->set_receiver(std::move(receiver));
+}
+
+void CellularNetwork::Handoff(int new_cell) {
+  MOBREP_CHECK(new_cell >= 0 && new_cell < options_.num_cells);
+  MOBREP_CHECK_MSG(queue_->empty(),
+                   "handoffs must occur at quiescent points");
+  if (new_cell == current_cell_) return;
+  current_cell_ = new_cell;
+  ++handoffs_;
+  // Registration signaling: one wireless control message from the MC to
+  // the new controller and one wireless confirmation back; the location
+  // update between controllers and the SC rides the free wireline network.
+  // Modeled as accounting (the registration does not interact with the
+  // replication protocol's state machines).
+  handoff_controls_ += 2;
+}
+
+int64_t CellularNetwork::wireless_data_messages() const {
+  return mc_uplink_->data_messages_sent() +
+         down_wireless_->data_messages_sent();
+}
+
+int64_t CellularNetwork::wireless_control_messages() const {
+  return mc_uplink_->control_messages_sent() +
+         down_wireless_->control_messages_sent() + handoff_controls_;
+}
+
+int64_t CellularNetwork::wireline_messages() const {
+  // Each handoff also generates a location update and an acknowledgement
+  // on the wireline backbone.
+  return up_wireline_->messages_sent() + sc_wireline_->messages_sent() +
+         2 * handoffs_;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,88 @@
+#ifndef MOBREP_MOBILITY_CELLULAR_H_
+#define MOBREP_MOBILITY_CELLULAR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "mobrep/net/channel.h"
+#include "mobrep/net/event_queue.h"
+
+namespace mobrep {
+
+// The cellular service area of the paper's introduction: the geography is
+// divided into cells, each with a stationary controller; the mobile
+// computer talks to the controller of its current cell over the (expensive)
+// wireless hop, and controllers reach the fixed stationary computer over
+// the (cheap) wireline network. The SC "does not change when the mobile
+// computer moves from cell to cell" (§1) — mobility never affects the
+// allocation decision, only adds handoff signaling.
+//
+// The network exposes Channel endpoints with the same interface the
+// protocol nodes already use, so MobileClient/StationaryServer plug in
+// unchanged; each end-to-end message crosses one wireless and one wireline
+// hop. Only wireless traffic is chargeable.
+//
+// Handoffs are executed at quiescent points (between serialized requests),
+// matching the repository-wide serialization assumption; the hand-off
+// signaling is one wireless registration message from the MC to the new
+// cell's controller plus wireline location updates to the SC's home
+// location register, and a wireless confirmation back.
+class CellularNetwork {
+ public:
+  struct Options {
+    int num_cells = 7;
+    int initial_cell = 0;
+    double wireless_latency = 0.001;
+    double wireline_latency = 0.0002;
+  };
+
+  CellularNetwork(EventQueue* queue, const Options& options);
+
+  CellularNetwork(const CellularNetwork&) = delete;
+  CellularNetwork& operator=(const CellularNetwork&) = delete;
+
+  // Endpoint the MobileClient sends through (wireless uplink, relayed to
+  // the SC over the wireline backbone).
+  Channel* mc_uplink() { return mc_uplink_.get(); }
+  // Endpoint the StationaryServer sends through (wireline to the MC's
+  // current cell, then the wireless downlink).
+  Channel* sc_downlink() { return sc_wireline_.get(); }
+
+  // Final receivers (the nodes' HandleMessage entry points).
+  void set_mc_receiver(Channel::Receiver receiver);
+  void set_sc_receiver(Channel::Receiver receiver);
+
+  // Moves the MC into `new_cell`, running the registration signaling.
+  // Must be called at a quiescent point (no in-flight messages).
+  void Handoff(int new_cell);
+
+  int current_cell() const { return current_cell_; }
+  int num_cells() const { return options_.num_cells; }
+  int64_t handoffs() const { return handoffs_; }
+
+  // Chargeable traffic: everything that crossed the wireless hop.
+  int64_t wireless_data_messages() const;
+  int64_t wireless_control_messages() const;
+  // Wireless control messages spent on handoff signaling alone.
+  int64_t handoff_control_messages() const { return handoff_controls_; }
+  // Free wireline traffic (for completeness of the accounting).
+  int64_t wireline_messages() const;
+
+ private:
+  EventQueue* queue_;
+  Options options_;
+  int current_cell_;
+  int64_t handoffs_ = 0;
+  int64_t handoff_controls_ = 0;
+
+  // Uplink path: MC -(wireless)-> cell controller -(wireline)-> SC.
+  std::unique_ptr<Channel> mc_uplink_;     // wireless
+  std::unique_ptr<Channel> up_wireline_;   // controller -> SC
+  // Downlink path: SC -(wireline)-> cell controller -(wireless)-> MC.
+  std::unique_ptr<Channel> sc_wireline_;   // SC -> controller
+  std::unique_ptr<Channel> down_wireless_;  // controller -> MC
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MOBILITY_CELLULAR_H_

@@ -1,0 +1,36 @@
+#include "mobrep/mobility/mobility_model.h"
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+RandomWalkMobility::RandomWalkMobility(int num_cells, double move_rate,
+                                       Rng rng)
+    : num_cells_(num_cells), move_rate_(move_rate), rng_(rng) {
+  MOBREP_CHECK(num_cells >= 1);
+  MOBREP_CHECK(move_rate >= 0.0);
+}
+
+std::vector<double> RandomWalkMobility::MoveTimesBetween(double from,
+                                                         double to) {
+  MOBREP_CHECK(from <= to);
+  std::vector<double> times;
+  if (move_rate_ <= 0.0) return times;
+  if (next_move_time_ < 0.0) {
+    next_move_time_ = from + rng_.Exponential(move_rate_);
+  }
+  while (next_move_time_ <= to) {
+    if (next_move_time_ > from) times.push_back(next_move_time_);
+    next_move_time_ += rng_.Exponential(move_rate_);
+  }
+  return times;
+}
+
+int RandomWalkMobility::NextCell(int current) {
+  MOBREP_CHECK(current >= 0 && current < num_cells_);
+  if (num_cells_ == 1) return current;
+  const int step = rng_.Bernoulli(0.5) ? 1 : num_cells_ - 1;
+  return (current + step) % num_cells_;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,36 @@
+#ifndef MOBREP_MOBILITY_MOBILITY_MODEL_H_
+#define MOBREP_MOBILITY_MOBILITY_MODEL_H_
+
+#include <vector>
+
+#include "mobrep/common/random.h"
+
+namespace mobrep {
+
+// Random-walk mobility over a ring of cells: the mobile computer dwells in
+// a cell for an exponential time (rate `move_rate`), then moves to one of
+// the two neighbouring cells with equal probability.
+class RandomWalkMobility {
+ public:
+  // num_cells >= 1; move_rate >= 0 (0 = the MC never moves).
+  RandomWalkMobility(int num_cells, double move_rate, Rng rng);
+
+  // Timestamps of the moves falling in (from, to]; strictly increasing.
+  std::vector<double> MoveTimesBetween(double from, double to);
+
+  // The cell after one move away from `current` (ring topology).
+  int NextCell(int current);
+
+  int num_cells() const { return num_cells_; }
+  double move_rate() const { return move_rate_; }
+
+ private:
+  int num_cells_;
+  double move_rate_;
+  Rng rng_;
+  double next_move_time_ = -1.0;  // lazily sampled
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MOBILITY_MOBILITY_MODEL_H_

@@ -1,0 +1,88 @@
+#include "mobrep/mobility/roaming_sim.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+double RoamingMetrics::ReplicationCost(double omega) const {
+  return static_cast<double>(wireless_data_messages) +
+         omega * static_cast<double>(wireless_control_messages);
+}
+
+double RoamingMetrics::TotalCost(double omega) const {
+  return ReplicationCost(omega) +
+         omega * static_cast<double>(handoff_control_messages);
+}
+
+RoamingSimulation::RoamingSimulation(const RoamingConfig& config)
+    : config_(config) {
+  store_.Put(config_.key, config_.initial_value);
+  cells_ = std::make_unique<CellularNetwork>(&queue_, config_.cells);
+  client_ = std::make_unique<MobileClient>(config_.key, config_.spec,
+                                           cells_->mc_uplink(), &cache_);
+  server_ = std::make_unique<StationaryServer>(
+      config_.key, config_.spec, cells_->sc_downlink(), &store_);
+  cells_->set_mc_receiver(
+      [this](const Message& m) { client_->HandleMessage(m); });
+  cells_->set_sc_receiver(
+      [this](const Message& m) { server_->HandleMessage(m); });
+  mobility_ = std::make_unique<RandomWalkMobility>(
+      config_.cells.num_cells, config_.move_rate, Rng(config_.mobility_seed));
+  if (client_->in_charge()) {
+    cache_.Install(config_.key, *store_.Get(config_.key));
+  }
+}
+
+void RoamingSimulation::Step(const TimedRequest& request) {
+  MOBREP_CHECK_MSG(request.time >= last_request_time_,
+                   "timed requests must be non-decreasing");
+  // Execute the moves that happened since the previous request; the queue
+  // is quiescent between serialized requests, so handoffs are safe here.
+  for (const double move_time :
+       mobility_->MoveTimesBetween(last_request_time_, request.time)) {
+    (void)move_time;
+    cells_->Handoff(mobility_->NextCell(cells_->current_cell()));
+  }
+  last_request_time_ = request.time;
+
+  if (request.op == Op::kRead) {
+    bool completed = false;
+    VersionedValue seen;
+    client_->IssueRead([&](const VersionedValue& value) {
+      completed = true;
+      seen = value;
+    });
+    queue_.RunUntilQuiescent();
+    MOBREP_CHECK_MSG(completed, "read did not complete");
+    MOBREP_CHECK_MSG(seen == *store_.Get(config_.key),
+                     "MC read observed a stale value while roaming");
+  } else {
+    ++write_sequence_;
+    server_->IssueWrite(
+        StrFormat("v%lld", static_cast<long long>(write_sequence_)));
+    queue_.RunUntilQuiescent();
+  }
+  MOBREP_CHECK(client_->in_charge() != server_->in_charge());
+}
+
+void RoamingSimulation::Run(const TimedSchedule& schedule) {
+  for (const TimedRequest& request : schedule) Step(request);
+}
+
+RoamingMetrics RoamingSimulation::metrics() const {
+  RoamingMetrics m;
+  m.wireless_data_messages = cells_->wireless_data_messages();
+  m.wireless_control_messages = cells_->wireless_control_messages() -
+                                cells_->handoff_control_messages();
+  m.handoffs = cells_->handoffs();
+  m.handoff_control_messages = cells_->handoff_control_messages();
+  m.wireline_messages = cells_->wireline_messages();
+  m.allocations = client_->allocations();
+  m.deallocations = client_->deallocations();
+  return m;
+}
+
+}  // namespace mobrep

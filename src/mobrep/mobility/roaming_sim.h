@@ -1,0 +1,92 @@
+#ifndef MOBREP_MOBILITY_ROAMING_SIM_H_
+#define MOBREP_MOBILITY_ROAMING_SIM_H_
+
+#include <memory>
+#include <string>
+
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/mobility/cellular.h"
+#include "mobrep/mobility/mobility_model.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/protocol/stationary_server.h"
+#include "mobrep/store/replica_cache.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+
+// End-to-end simulation of the full mobile scenario of the paper's
+// introduction: the MC roams across cells while issuing reads against a
+// data item whose writes commit at the fixed SC. The replication protocol
+// (mobrep/protocol/) runs unchanged over the cellular substrate
+// (mobrep/mobility/); handoffs happen between serialized requests.
+//
+// The interesting property (checked in tests and bench_mobility_overhead):
+// replication traffic is *independent of mobility* — moving the MC changes
+// only the handoff signaling, never the allocation decisions or the
+// per-request message counts, because the SC is fixed (§1).
+
+struct RoamingConfig {
+  PolicySpec spec;
+  std::string key = "x";
+  std::string initial_value = "v0";
+  CellularNetwork::Options cells;
+  // Handoffs per unit simulation time (exponential dwell).
+  double move_rate = 0.1;
+  uint64_t mobility_seed = 7;
+};
+
+struct RoamingMetrics {
+  // Replication traffic on the wireless hop (chargeable).
+  int64_t wireless_data_messages = 0;
+  int64_t wireless_control_messages = 0;  // excluding handoff signaling
+  // Mobility overhead.
+  int64_t handoffs = 0;
+  int64_t handoff_control_messages = 0;
+  // Free wireline backbone traffic.
+  int64_t wireline_messages = 0;
+  // Replication-protocol counters (mirrors ProtocolMetrics).
+  int64_t allocations = 0;
+  int64_t deallocations = 0;
+
+  // Wireless cost under the message model, with and without the handoff
+  // signaling included.
+  double ReplicationCost(double omega) const;
+  double TotalCost(double omega) const;
+};
+
+class RoamingSimulation {
+ public:
+  explicit RoamingSimulation(const RoamingConfig& config);
+
+  RoamingSimulation(const RoamingSimulation&) = delete;
+  RoamingSimulation& operator=(const RoamingSimulation&) = delete;
+
+  // Feeds one timed request; executes any handoffs whose times fall before
+  // it, then runs the exchange to quiescence (with freshness checking).
+  void Step(const TimedRequest& request);
+
+  void Run(const TimedSchedule& schedule);
+
+  RoamingMetrics metrics() const;
+  int current_cell() const { return cells_->current_cell(); }
+  bool mc_has_copy() const { return client_->has_copy(); }
+
+ private:
+  RoamingConfig config_;
+  EventQueue queue_;
+  VersionedStore store_;
+  ReplicaCache cache_;
+  std::unique_ptr<CellularNetwork> cells_;
+  std::unique_ptr<MobileClient> client_;
+  std::unique_ptr<StationaryServer> server_;
+  std::unique_ptr<RandomWalkMobility> mobility_;
+  double last_request_time_ = 0.0;
+  int64_t write_sequence_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MOBILITY_ROAMING_SIM_H_

@@ -1,0 +1,69 @@
+#ifndef MOBREP_MOBREP_H_
+#define MOBREP_MOBREP_H_
+
+// Umbrella header: the whole public API of the MobRep library, a complete
+// implementation of Huang, Sistla, Wolfson, "Data Replication for Mobile
+// Computers" (SIGMOD 1994). Include individual headers in code that cares
+// about compile times; include this in exploratory code.
+
+// Runtime basics.
+#include "mobrep/common/math.h"
+#include "mobrep/common/random.h"
+#include "mobrep/common/status.h"
+#include "mobrep/common/strings.h"
+
+// The single-item allocation algorithms and cost models.
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+#include "mobrep/core/policy.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/core/static_policies.h"
+#include "mobrep/core/threshold_policies.h"
+#include "mobrep/core/window_tracker.h"
+
+// Closed-form analysis (the paper's equations and theorems).
+#include "mobrep/analysis/advisor.h"
+#include "mobrep/analysis/average_cost.h"
+#include "mobrep/analysis/competitive.h"
+#include "mobrep/analysis/dominance.h"
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/analysis/markov_oracle.h"
+#include "mobrep/analysis/thresholds.h"
+#include "mobrep/analysis/transient.h"
+
+// Workloads and traces.
+#include "mobrep/trace/adversary.h"
+#include "mobrep/trace/generators.h"
+#include "mobrep/trace/serializer.h"
+#include "mobrep/trace/stats.h"
+#include "mobrep/trace/trace_io.h"
+
+// The distributed protocol and its substrates.
+#include "mobrep/net/channel.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/message.h"
+#include "mobrep/net/wire_format.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/multi_client_sim.h"
+#include "mobrep/protocol/multi_item_sim.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/protocol/stationary_server.h"
+#include "mobrep/store/replica_cache.h"
+#include "mobrep/store/versioned_store.h"
+#include "mobrep/store/write_ahead_log.h"
+
+// Cellular mobility.
+#include "mobrep/mobility/cellular.h"
+#include "mobrep/mobility/mobility_model.h"
+#include "mobrep/mobility/roaming_sim.h"
+
+// Multi-item and multi-object layers.
+#include "mobrep/manager/replication_manager.h"
+#include "mobrep/multi/dynamic_allocator.h"
+#include "mobrep/multi/joint_workload.h"
+#include "mobrep/multi/static_allocator.h"
+
+#endif  // MOBREP_MOBREP_H_

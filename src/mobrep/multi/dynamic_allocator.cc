@@ -1,0 +1,81 @@
+#include "mobrep/multi/dynamic_allocator.h"
+
+#include <bit>
+#include <string>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+DynamicMultiObjectAllocator::DynamicMultiObjectAllocator(
+    const Options& options, const CostModel& model)
+    : options_(options), model_(model), mask_(options.initial_mask) {
+  MOBREP_CHECK(options.num_objects >= 1 && options.num_objects <= 24);
+  MOBREP_CHECK(options.window_size >= 1);
+  MOBREP_CHECK(options.recompute_period >= 1);
+}
+
+double DynamicMultiObjectAllocator::OnOperation(
+    const OperationClass& operation) {
+  // Charge the operation under the current allocation first (the
+  // allocation in effect when the operation arrives services it).
+  double cost = ClassCost(operation, mask_, model_);
+
+  // Slide the window.
+  const std::string key = operation.Key();
+  window_.push_back(key);
+  auto [it, inserted] = counts_.try_emplace(key);
+  if (inserted) it->second.cls = operation;
+  ++it->second.count;
+  if (static_cast<int>(window_.size()) > options_.window_size) {
+    const std::string& oldest = window_.front();
+    auto old_it = counts_.find(oldest);
+    MOBREP_CHECK(old_it != counts_.end());
+    if (--old_it->second.count == 0) counts_.erase(old_it);
+    window_.pop_front();
+  }
+
+  ++operations_;
+  if (operations_ % options_.recompute_period == 0) {
+    cost += MaybeRecompute();
+  }
+  total_cost_ += cost;
+  return cost;
+}
+
+MultiObjectWorkload DynamicMultiObjectAllocator::EstimatedWorkload() const {
+  MultiObjectWorkload workload;
+  workload.num_objects = options_.num_objects;
+  for (const auto& [key, entry] : counts_) {
+    OperationClass cls = entry.cls;
+    cls.rate = static_cast<double>(entry.count);
+    workload.classes.push_back(std::move(cls));
+  }
+  return workload;
+}
+
+double DynamicMultiObjectAllocator::MaybeRecompute() {
+  const MultiObjectWorkload estimate = EstimatedWorkload();
+  if (estimate.classes.empty() || estimate.TotalRate() <= 0.0) return 0.0;
+  ++recomputations_;
+  const StaticAllocation best = OptimalStaticAllocation(estimate, model_);
+  if (best.mask == mask_) return 0.0;
+
+  // Transition cost: ship newly replicated objects, one control message to
+  // unsubscribe if anything is dropped.
+  const AllocationMask gained = best.mask & ~mask_;
+  const AllocationMask dropped = mask_ & ~best.mask;
+  double transition = 0.0;
+  if (model_.kind() == CostModelKind::kConnection) {
+    transition = 1.0;  // one connection covers the reconfiguration batch
+  } else {
+    transition = static_cast<double>(std::popcount(gained)) *
+                 model_.Price(ActionKind::kWritePropagate);
+    if (dropped != 0) transition += model_.omega();
+  }
+  mask_ = best.mask;
+  ++reallocations_;
+  return transition;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,81 @@
+#ifndef MOBREP_MULTI_DYNAMIC_ALLOCATOR_H_
+#define MOBREP_MULTI_DYNAMIC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/multi/joint_workload.h"
+#include "mobrep/multi/static_allocator.h"
+
+namespace mobrep {
+
+// The window-based dynamic multi-object allocator sketched in paper §7.2:
+// when the joint operation frequencies are unknown, track the number of
+// operations of each (op, object-set) class in a sliding window, estimate
+// the frequencies from those counts, and periodically recompute the optimal
+// static allocation for the estimates ("to avoid excessive overhead, this
+// recomputation can be done periodically instead of after each operation").
+//
+// Cost accounting per operation follows the static model (ClassCost). When
+// a recomputation changes the allocation, the transition itself costs
+// communication: every newly replicated object must be shipped (one data
+// message each) and, if any object is dropped, one delete-request control
+// message covers the batch. The paper does not price transitions; this is
+// our documented choice, and with the default period it is amortized away.
+class DynamicMultiObjectAllocator {
+ public:
+  struct Options {
+    int num_objects = 0;
+    // Sliding window length in operations.
+    int window_size = 256;
+    // Re-optimize every this many operations.
+    int recompute_period = 64;
+    // Initial allocation: nothing replicated.
+    AllocationMask initial_mask = 0;
+  };
+
+  DynamicMultiObjectAllocator(const Options& options, const CostModel& model);
+
+  // Feeds one operation; returns the communication cost charged for it
+  // (operation cost plus any transition cost triggered by a periodic
+  // recomputation completing at this operation).
+  double OnOperation(const OperationClass& operation);
+
+  AllocationMask allocation_mask() const { return mask_; }
+  int64_t operations() const { return operations_; }
+  int64_t recomputations() const { return recomputations_; }
+  int64_t reallocations() const { return reallocations_; }
+  double total_cost() const { return total_cost_; }
+
+  // Frequency estimates from the current window, as a workload whose rates
+  // are window counts.
+  MultiObjectWorkload EstimatedWorkload() const;
+
+ private:
+  double MaybeRecompute();
+
+  Options options_;
+  CostModel model_;
+  AllocationMask mask_;
+
+  // Window of class keys plus per-key counts and a representative class.
+  std::deque<std::string> window_;
+  struct ClassCount {
+    OperationClass cls;
+    int64_t count = 0;
+  };
+  std::map<std::string, ClassCount> counts_;
+
+  int64_t operations_ = 0;
+  int64_t recomputations_ = 0;
+  int64_t reallocations_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MULTI_DYNAMIC_ALLOCATOR_H_

@@ -1,0 +1,91 @@
+#include "mobrep/multi/joint_workload.h"
+
+#include <string>
+#include <vector>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+std::string OperationClass::Key() const {
+  std::string key(1, OpToChar(op));
+  key += '{';
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (i > 0) key += ',';
+    key += StrFormat("%d", objects[i]);
+  }
+  key += '}';
+  return key;
+}
+
+double MultiObjectWorkload::TotalRate() const {
+  double total = 0.0;
+  for (const OperationClass& cls : classes) total += cls.rate;
+  return total;
+}
+
+Status MultiObjectWorkload::Validate() const {
+  if (num_objects <= 0) {
+    return InvalidArgumentError("workload needs at least one object");
+  }
+  for (const OperationClass& cls : classes) {
+    if (cls.objects.empty()) {
+      return InvalidArgumentError("operation class with an empty object set");
+    }
+    if (cls.rate < 0.0) {
+      return InvalidArgumentError("negative class rate");
+    }
+    for (size_t i = 0; i < cls.objects.size(); ++i) {
+      if (cls.objects[i] < 0 || cls.objects[i] >= num_objects) {
+        return OutOfRangeError(
+            StrFormat("object index %d out of range", cls.objects[i]));
+      }
+      if (i > 0 && cls.objects[i] <= cls.objects[i - 1]) {
+        return InvalidArgumentError(
+            "object sets must be ascending and duplicate-free");
+      }
+    }
+  }
+  if (TotalRate() <= 0.0) {
+    return InvalidArgumentError("total rate must be positive");
+  }
+  return OkStatus();
+}
+
+MultiObjectWorkload TwoObjectWorkload(double read_x, double read_y,
+                                      double read_xy, double write_x,
+                                      double write_y, double write_xy) {
+  MultiObjectWorkload workload;
+  workload.num_objects = 2;
+  workload.classes = {
+      {Op::kRead, {0}, read_x},     {Op::kRead, {1}, read_y},
+      {Op::kRead, {0, 1}, read_xy}, {Op::kWrite, {0}, write_x},
+      {Op::kWrite, {1}, write_y},   {Op::kWrite, {0, 1}, write_xy},
+  };
+  return workload;
+}
+
+std::vector<int> SampleClassSequence(const MultiObjectWorkload& workload,
+                                     int64_t n, Rng* rng) {
+  MOBREP_CHECK(workload.Validate().ok());
+  MOBREP_CHECK(n >= 0);
+  const double total = workload.TotalRate();
+  std::vector<int> sequence;
+  sequence.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double pick = rng->NextDouble() * total;
+    int chosen = static_cast<int>(workload.classes.size()) - 1;
+    for (size_t c = 0; c < workload.classes.size(); ++c) {
+      pick -= workload.classes[c].rate;
+      if (pick <= 0.0) {
+        chosen = static_cast<int>(c);
+        break;
+      }
+    }
+    sequence.push_back(chosen);
+  }
+  return sequence;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,55 @@
+#ifndef MOBREP_MULTI_JOINT_WORKLOAD_H_
+#define MOBREP_MULTI_JOINT_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/common/random.h"
+#include "mobrep/common/status.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Multi-object model of paper §7.2: operations read or write a *set* of
+// objects in a single request, and each distinct (operation, object-set)
+// class arrives as an independent Poisson process with a known frequency.
+// E.g. for two objects x, y the read classes are {x}, {y}, {x,y} with
+// frequencies lambda_r,x, lambda_r,y, lambda_r,xy.
+
+struct OperationClass {
+  Op op = Op::kRead;
+  // Ascending, duplicate-free object indices in [0, num_objects).
+  std::vector<int> objects;
+  // Poisson frequency (relative weights suffice for optimization).
+  double rate = 0.0;
+
+  // Canonical text form, e.g. "r{0,2}" — used as a map key.
+  std::string Key() const;
+};
+
+struct MultiObjectWorkload {
+  int num_objects = 0;
+  std::vector<OperationClass> classes;
+
+  double TotalRate() const;
+
+  // Checks index ranges, ordering, duplicate-free sets, non-negative rates
+  // and a positive total rate.
+  Status Validate() const;
+};
+
+// Builds the classic two-object workload of the paper with the six joint
+// frequencies (reads/writes of x only, of y only, and joint).
+MultiObjectWorkload TwoObjectWorkload(double read_x, double read_y,
+                                      double read_xy, double write_x,
+                                      double write_y, double write_xy);
+
+// Samples n class indices i.i.d. with probability rate/total (the merged
+// Poisson process' jump chain).
+std::vector<int> SampleClassSequence(const MultiObjectWorkload& workload,
+                                     int64_t n, Rng* rng);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MULTI_JOINT_WORKLOAD_H_

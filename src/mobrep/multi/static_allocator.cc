@@ -1,0 +1,105 @@
+#include "mobrep/multi/static_allocator.h"
+
+#include <limits>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+namespace {
+
+bool AnyReplicated(const OperationClass& cls, AllocationMask mask) {
+  for (const int object : cls.objects) {
+    if ((mask >> object) & 1U) return true;
+  }
+  return false;
+}
+
+bool AnyMissing(const OperationClass& cls, AllocationMask mask) {
+  for (const int object : cls.objects) {
+    if (((mask >> object) & 1U) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double ClassCost(const OperationClass& cls, AllocationMask mask,
+                 const CostModel& model) {
+  if (cls.op == Op::kRead) {
+    return AnyMissing(cls, mask) ? model.RemoteReadPrice() : 0.0;
+  }
+  return AnyReplicated(cls, mask)
+             ? model.Price(ActionKind::kWritePropagate)
+             : 0.0;
+}
+
+double ExpectedCostForAllocation(const MultiObjectWorkload& workload,
+                                 AllocationMask mask, const CostModel& model) {
+  const double total = workload.TotalRate();
+  MOBREP_CHECK(total > 0.0);
+  double cost = 0.0;
+  for (const OperationClass& cls : workload.classes) {
+    cost += cls.rate * ClassCost(cls, mask, model);
+  }
+  return cost / total;
+}
+
+StaticAllocation OptimalStaticAllocation(const MultiObjectWorkload& workload,
+                                         const CostModel& model) {
+  MOBREP_CHECK(workload.Validate().ok());
+  MOBREP_CHECK_MSG(workload.num_objects <= 24,
+                   "enumeration limited to 24 objects; use "
+                   "LocalSearchAllocation beyond that");
+  StaticAllocation best;
+  best.expected_cost = std::numeric_limits<double>::infinity();
+  const AllocationMask limit = AllocationMask{1} << workload.num_objects;
+  for (AllocationMask mask = 0; mask < limit; ++mask) {
+    const double cost = ExpectedCostForAllocation(workload, mask, model);
+    if (cost < best.expected_cost) {
+      best.mask = mask;
+      best.expected_cost = cost;
+    }
+  }
+  return best;
+}
+
+StaticAllocation LocalSearchAllocation(const MultiObjectWorkload& workload,
+                                       const CostModel& model, Rng* rng,
+                                       int restarts) {
+  MOBREP_CHECK(workload.Validate().ok());
+  MOBREP_CHECK(workload.num_objects <= 32);
+  MOBREP_CHECK(restarts >= 1);
+
+  StaticAllocation best;
+  best.expected_cost = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    AllocationMask mask = 0;
+    for (int i = 0; i < workload.num_objects; ++i) {
+      if (rng->Bernoulli(0.5)) mask |= AllocationMask{1} << i;
+    }
+    double cost = ExpectedCostForAllocation(workload, mask, model);
+    // Steepest-descent over single-bit flips.
+    for (;;) {
+      int best_flip = -1;
+      double best_cost = cost;
+      for (int i = 0; i < workload.num_objects; ++i) {
+        const AllocationMask flipped = mask ^ (AllocationMask{1} << i);
+        const double c = ExpectedCostForAllocation(workload, flipped, model);
+        if (c < best_cost) {
+          best_cost = c;
+          best_flip = i;
+        }
+      }
+      if (best_flip < 0) break;
+      mask ^= AllocationMask{1} << best_flip;
+      cost = best_cost;
+    }
+    if (cost < best.expected_cost) {
+      best.mask = mask;
+      best.expected_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace mobrep

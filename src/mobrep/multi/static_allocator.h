@@ -1,0 +1,57 @@
+#ifndef MOBREP_MULTI_STATIC_ALLOCATOR_H_
+#define MOBREP_MULTI_STATIC_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/multi/joint_workload.h"
+
+namespace mobrep {
+
+// Optimal static multi-object allocation (paper §7.2): given the joint
+// operation frequencies, pick for every object whether the MC replicates it
+// (one-copy vs. two-copies per object) so the expected cost per operation
+// is minimal.
+//
+// Cost of one operation under allocation mask A (bit i set = object i is
+// replicated at the MC), following the paper's convention that multiple
+// items ride one connection:
+//   read of set S : chargeable iff S contains a non-replicated object
+//                   (the MC must fetch it) — 1 connection / 1 + omega.
+//   write of set S: chargeable iff S contains a replicated object
+//                   (the update must be propagated) — 1 connection /
+//                   1 data message.
+// The message-model prices are our natural extension; the paper works this
+// section in the connection model.
+
+// Allocation bitmask over objects; object i replicated iff bit i is set.
+using AllocationMask = uint32_t;
+
+// Expected cost per operation of `mask` under `model`.
+double ExpectedCostForAllocation(const MultiObjectWorkload& workload,
+                                 AllocationMask mask, const CostModel& model);
+
+// Cost of a single operation class under `mask` (0 when not chargeable).
+double ClassCost(const OperationClass& cls, AllocationMask mask,
+                 const CostModel& model);
+
+struct StaticAllocation {
+  AllocationMask mask = 0;
+  double expected_cost = 0.0;
+};
+
+// Exhaustive optimum over all 2^num_objects allocations;
+// requires num_objects <= 24.
+StaticAllocation OptimalStaticAllocation(const MultiObjectWorkload& workload,
+                                         const CostModel& model);
+
+// Randomized bit-flip local search with restarts, for workloads too wide
+// for enumeration. Returns the best local optimum found.
+StaticAllocation LocalSearchAllocation(const MultiObjectWorkload& workload,
+                                       const CostModel& model, Rng* rng,
+                                       int restarts = 8);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_MULTI_STATIC_ALLOCATOR_H_

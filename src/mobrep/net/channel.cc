@@ -1,0 +1,29 @@
+#include "mobrep/net/channel.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+Channel::Channel(EventQueue* queue, double latency, std::string name)
+    : queue_(queue), latency_(latency), name_(std::move(name)) {
+  MOBREP_CHECK(queue != nullptr);
+  MOBREP_CHECK(latency >= 0.0);
+}
+
+void Channel::Send(Message message) {
+  MOBREP_CHECK_MSG(receiver_ != nullptr,
+                   "channel has no receiver installed");
+  ++messages_sent_;
+  if (IsDataMessage(message.type)) {
+    ++data_messages_sent_;
+  } else {
+    ++control_messages_sent_;
+  }
+  queue_->ScheduleAfter(latency_, [this, msg = std::move(message)]() {
+    receiver_(msg);
+  });
+}
+
+}  // namespace mobrep

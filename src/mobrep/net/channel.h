@@ -1,0 +1,52 @@
+#ifndef MOBREP_NET_CHANNEL_H_
+#define MOBREP_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+
+// A unidirectional, order-preserving wireless link with fixed latency.
+//
+// Fixed latency plus the event queue's FIFO tie-breaking gives in-order
+// delivery, which the replica layer relies on (version n is always followed
+// by n+1). The channel also meters traffic, feeding both cost models:
+// data/control message counts for the message model; the per-request
+// connection accounting is done by the protocol driver.
+class Channel {
+ public:
+  using Receiver = std::function<void(const Message&)>;
+
+  // `queue` must outlive the channel. `latency` >= 0 in simulation time
+  // units. `name` labels the link in diagnostics (e.g. "SC->MC").
+  Channel(EventQueue* queue, double latency, std::string name);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Enqueues delivery at now() + latency.
+  void Send(Message message);
+
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t data_messages_sent() const { return data_messages_sent_; }
+  int64_t control_messages_sent() const { return control_messages_sent_; }
+  const std::string& name() const { return name_; }
+  double latency() const { return latency_; }
+
+ private:
+  EventQueue* queue_;
+  double latency_;
+  std::string name_;
+  Receiver receiver_;
+  int64_t messages_sent_ = 0;
+  int64_t data_messages_sent_ = 0;
+  int64_t control_messages_sent_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_CHANNEL_H_

@@ -1,0 +1,38 @@
+#include "mobrep/net/event_queue.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+void EventQueue::ScheduleAt(double time, EventFn fn) {
+  MOBREP_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
+  events_.push(Event{time, next_sequence_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(double delay, EventFn fn) {
+  MOBREP_CHECK(delay >= 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out, then popped,
+  // so the handler may schedule further events safely.
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+int64_t EventQueue::RunUntilQuiescent(int64_t max_events) {
+  int64_t ran = 0;
+  while (ran < max_events && RunNext()) ++ran;
+  MOBREP_CHECK_MSG(ran < max_events || events_.empty(),
+                   "event cascade exceeded max_events; livelock?");
+  return ran;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,60 @@
+#ifndef MOBREP_NET_EVENT_QUEUE_H_
+#define MOBREP_NET_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mobrep {
+
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+//
+// Events at equal timestamps run in scheduling (FIFO) order, which is what
+// makes fixed-latency channels order-preserving.
+class EventQueue {
+ public:
+  using EventFn = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` at absolute simulation time `time` (>= now()).
+  void ScheduleAt(double time, EventFn fn);
+
+  // Schedules `fn` `delay` (>= 0) time units from now.
+  void ScheduleAfter(double delay, EventFn fn);
+
+  // Runs the earliest event, advancing the clock. False if queue was empty.
+  bool RunNext();
+
+  // Runs events until the queue drains or `max_events` have run.
+  // Returns the number of events run.
+  int64_t RunUntilQuiescent(int64_t max_events = 1'000'000);
+
+  double now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t sequence;  // FIFO tie-break
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_EVENT_QUEUE_H_

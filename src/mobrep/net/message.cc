@@ -1,0 +1,26 @@
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kReadRequest:
+      return "read_request";
+    case MessageType::kDataResponse:
+      return "data_response";
+    case MessageType::kWritePropagate:
+      return "write_propagate";
+    case MessageType::kDeleteRequest:
+      return "delete_request";
+    case MessageType::kInvalidate:
+      return "invalidate";
+  }
+  return "unknown";
+}
+
+bool IsDataMessage(MessageType type) {
+  return type == MessageType::kDataResponse ||
+         type == MessageType::kWritePropagate;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,63 @@
+#ifndef MOBREP_NET_MESSAGE_H_
+#define MOBREP_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobrep/core/policy.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+
+// Wire messages of the distributed allocation protocol (paper §§3-4).
+enum class MessageType : uint8_t {
+  // MC -> SC, control: forwards a read of `key` to the online database.
+  kReadRequest,
+  // SC -> MC, data: the response carrying the item; may piggyback the
+  // allocate indication and the request window (free piggyback, §4).
+  kDataResponse,
+  // SC -> MC, data: a committed write propagated to the MC's replica.
+  kWritePropagate,
+  // MC -> SC, control: deallocation; tells the SC to stop propagating and
+  // carries the request window back (§4).
+  kDeleteRequest,
+  // SC -> MC, control: SW1's optimized write handling — deallocates the
+  // MC copy without shipping the data (§4).
+  kInvalidate,
+};
+
+const char* MessageTypeName(MessageType type);
+
+// True for messages that carry the data item (charged 1 in the message
+// model); false for control messages (charged omega).
+bool IsDataMessage(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kReadRequest;
+  std::string key;
+
+  // Payload for data messages.
+  VersionedValue item;
+
+  // Piggybacked allocation indication (kDataResponse only).
+  bool allocate = false;
+
+  // Piggybacked request window, oldest first (allocation / deallocation
+  // hand-over). Empty when no window travels.
+  std::vector<Op> window;
+
+  // Simulator-level convenience: the in-charge policy state transferred
+  // alongside `window`. On the wire this is redundant with `window` (plus a
+  // trivially reconstructible counter for the T-policies); the simulator
+  // ships the state machine object itself so the protocol layer stays
+  // generic across policy families. Tests assert it matches `window` for
+  // the sliding-window family.
+  std::shared_ptr<AllocationPolicy> transferred_state;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_MESSAGE_H_

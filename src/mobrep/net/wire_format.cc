@@ -1,0 +1,70 @@
+#include "mobrep/net/wire_format.h"
+
+#include <string>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+std::string EncodeWindow(const std::vector<Op>& window) {
+  std::string encoded = StrFormat("%zu:", window.size());
+  uint8_t current = 0;
+  int bit = 0;
+  for (const Op op : window) {
+    if (op == Op::kWrite) current |= static_cast<uint8_t>(1u << bit);
+    if (++bit == 8) {
+      encoded.push_back(static_cast<char>(current));
+      current = 0;
+      bit = 0;
+    }
+  }
+  if (bit > 0) encoded.push_back(static_cast<char>(current));
+  return encoded;
+}
+
+Result<std::vector<Op>> DecodeWindow(const std::string& encoded) {
+  const size_t colon = encoded.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return InvalidArgumentError("window encoding lacks a bit count");
+  }
+  const auto count = ParseInt64(encoded.substr(0, colon));
+  if (!count.has_value() || *count < 0 || *count > 1'000'000) {
+    return InvalidArgumentError("bad window bit count");
+  }
+  const size_t k = static_cast<size_t>(*count);
+  // Only the canonical decimal spelling is accepted (no leading zeros,
+  // signs or whitespace), so encode(decode(x)) == x whenever decode
+  // succeeds.
+  if (encoded.substr(0, colon) != StrFormat("%zu", k)) {
+    return InvalidArgumentError("non-canonical window bit count");
+  }
+  const size_t payload_bytes = (k + 7) / 8;
+  if (encoded.size() != colon + 1 + payload_bytes) {
+    return InvalidArgumentError(StrFormat(
+        "window payload is %zu bytes; expected %zu",
+        encoded.size() - colon - 1, payload_bytes));
+  }
+  std::vector<Op> window;
+  window.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const uint8_t byte =
+        static_cast<uint8_t>(encoded[colon + 1 + i / 8]);
+    window.push_back(((byte >> (i % 8)) & 1u) != 0 ? Op::kWrite : Op::kRead);
+  }
+  // Padding bits beyond k must be zero (canonical form).
+  if (k % 8 != 0) {
+    const uint8_t last =
+        static_cast<uint8_t>(encoded.back());
+    if ((last >> (k % 8)) != 0) {
+      return InvalidArgumentError("non-zero padding bits in window");
+    }
+  }
+  return window;
+}
+
+size_t EncodedWindowSize(int k) {
+  const std::string prefix = StrFormat("%d:", k);
+  return prefix.size() + static_cast<size_t>((k + 7) / 8);
+}
+
+}  // namespace mobrep

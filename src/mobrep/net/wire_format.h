@@ -1,0 +1,29 @@
+#ifndef MOBREP_NET_WIRE_FORMAT_H_
+#define MOBREP_NET_WIRE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Compact wire encoding of the piggybacked request window (paper §4: "the
+// window is tracked as a sequence of k bits").
+//
+// Layout: a decimal bit count, a colon, then ceil(k/8) payload bytes,
+// little-endian within each byte (bit 0 of byte 0 = oldest request;
+// 1 = write). The count makes trailing padding bits unambiguous. Example:
+// the window w r r (oldest first) encodes as "3:" + byte 0b00000001.
+std::string EncodeWindow(const std::vector<Op>& window);
+
+// Inverse of EncodeWindow; rejects malformed input.
+Result<std::vector<Op>> DecodeWindow(const std::string& encoded);
+
+// Size in bytes of the encoded form for a window of k requests.
+size_t EncodedWindowSize(int k);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_WIRE_FORMAT_H_

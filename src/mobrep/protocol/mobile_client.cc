@@ -1,0 +1,115 @@
+#include "mobrep/protocol/mobile_client.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/protocol/transfer.h"
+
+namespace mobrep {
+
+MobileClient::MobileClient(std::string key, const PolicySpec& spec,
+                           Channel* to_sc, ReplicaCache* cache)
+    : key_(std::move(key)),
+      spec_(spec),
+      to_sc_(to_sc),
+      cache_(cache),
+      policy_(CreatePolicy(spec)) {
+  MOBREP_CHECK(to_sc != nullptr);
+  MOBREP_CHECK(cache != nullptr);
+  // The node holding the copy is in charge (paper §4). Policies whose
+  // initial state holds a copy start with the MC in charge.
+  in_charge_ = policy_->has_copy();
+}
+
+void MobileClient::IssueRead(ReadCallback callback) {
+  MOBREP_CHECK_MSG(pending_read_ == nullptr,
+                   "reads are serialized; one is already outstanding");
+  if (has_copy()) {
+    MOBREP_CHECK_MSG(in_charge_, "copy held while not in charge");
+    const ActionKind action = policy_->OnRequest(Op::kRead);
+    MOBREP_CHECK(action == ActionKind::kLocalRead);
+    ++local_reads_;
+    callback(*cache_->Get(key_));
+    return;
+  }
+  // No copy: forward the read to the SC; the SC (in charge) decides whether
+  // to piggyback an allocation on the response.
+  pending_read_ = std::move(callback);
+  ++remote_reads_;
+  Message request;
+  request.type = MessageType::kReadRequest;
+  request.key = key_;
+  to_sc_->Send(std::move(request));
+}
+
+void MobileClient::HandleMessage(const Message& message) {
+  MOBREP_CHECK(message.key == key_);
+  switch (message.type) {
+    case MessageType::kDataResponse: {
+      if (message.allocate) {
+        // The SC decided to allocate: save the copy, adopt the shipped
+        // control state, take charge.
+        cache_->Install(key_, message.item);
+        policy_ = AdoptState(message.transferred_state);
+        MOBREP_CHECK_MSG(policy_->has_copy(),
+                         "allocation hand-over with a no-copy state");
+        last_transfer_window_ = message.window;
+        in_charge_ = true;
+        ++allocations_;
+      }
+      CompleteRead(message.item);
+      return;
+    }
+    case MessageType::kWritePropagate: {
+      MOBREP_CHECK_MSG(in_charge_ && has_copy(),
+                       "write propagated to an MC without a copy");
+      const Status applied = cache_->ApplyUpdate(key_, message.item);
+      MOBREP_CHECK_MSG(applied.ok(), applied.message().c_str());
+      ++updates_applied_;
+      const ActionKind action = policy_->OnRequest(Op::kWrite);
+      if (action == ActionKind::kWritePropagateDeallocate) {
+        // Majority of the window are now writes: drop the copy and hand
+        // the control state back inside the delete-request.
+        MOBREP_CHECK(cache_->Evict(key_).ok());
+        ++deallocations_;
+        Message del;
+        del.type = MessageType::kDeleteRequest;
+        del.key = key_;
+        del.window = ExtractWindow(spec_, *policy_);
+        del.transferred_state = ShipState(*policy_);
+        last_transfer_window_ = del.window;
+        in_charge_ = false;
+        to_sc_->Send(std::move(del));
+      } else {
+        MOBREP_CHECK(action == ActionKind::kWritePropagate);
+      }
+      return;
+    }
+    case MessageType::kInvalidate: {
+      // SW1 optimization: the SC already took charge; just drop the copy.
+      MOBREP_CHECK_MSG(in_charge_ && has_copy(),
+                       "invalidate received without a copy");
+      MOBREP_CHECK(cache_->Evict(key_).ok());
+      // Keep the local replica machine in step (it returns the invalidate
+      // action and drops its copy bit).
+      const ActionKind action = policy_->OnRequest(Op::kWrite);
+      MOBREP_CHECK(action == ActionKind::kWriteInvalidate);
+      in_charge_ = false;
+      ++deallocations_;
+      return;
+    }
+    case MessageType::kReadRequest:
+    case MessageType::kDeleteRequest:
+      MOBREP_CHECK_MSG(false, "SC-bound message delivered to the MC");
+  }
+}
+
+void MobileClient::CompleteRead(const VersionedValue& value) {
+  MOBREP_CHECK_MSG(pending_read_ != nullptr,
+                   "data response without an outstanding read");
+  ReadCallback callback = std::move(pending_read_);
+  pending_read_ = nullptr;
+  callback(value);
+}
+
+}  // namespace mobrep

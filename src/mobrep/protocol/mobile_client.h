@@ -1,0 +1,84 @@
+#ifndef MOBREP_PROTOCOL_MOBILE_CLIENT_H_
+#define MOBREP_PROTOCOL_MOBILE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobrep/core/policy.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/net/channel.h"
+#include "mobrep/net/message.h"
+#include "mobrep/store/replica_cache.h"
+
+namespace mobrep {
+
+// The mobile computer's half of the distributed allocation protocol
+// (paper §4).
+//
+// The MC serves reads: locally when it holds a replica (two-copies scheme),
+// by a read-request round trip otherwise. While it holds the replica it is
+// "in charge": its policy instance is the authoritative one, it applies the
+// propagated writes, and it decides deallocation, handing the control state
+// back to the SC inside the delete-request.
+class MobileClient {
+ public:
+  using ReadCallback = std::function<void(const VersionedValue&)>;
+
+  // `to_sc` and `cache` must outlive the client. The client starts in
+  // charge iff the policy's initial state holds a copy (e.g. ST2, T2m);
+  // in that case the caller must pre-install the replica in `cache`.
+  MobileClient(std::string key, const PolicySpec& spec, Channel* to_sc,
+               ReplicaCache* cache);
+
+  // Issues one read at the MC. The callback fires when the value is
+  // available (immediately for a local read, after the round trip
+  // otherwise). At most one read may be outstanding (the paper's requests
+  // are serialized).
+  void IssueRead(ReadCallback callback);
+
+  // Delivery entry point for the SC -> MC channel.
+  void HandleMessage(const Message& message);
+
+  bool has_copy() const { return cache_->Contains(key_); }
+  bool in_charge() const { return in_charge_; }
+  const AllocationPolicy& policy() const { return *policy_; }
+  const PolicySpec& spec() const { return spec_; }
+
+  // Window piggybacked on the most recent ownership transfer in either
+  // direction observed by this node; empty for window-less policies.
+  const std::vector<Op>& last_transfer_window() const {
+    return last_transfer_window_;
+  }
+
+  // Counters.
+  int64_t local_reads() const { return local_reads_; }
+  int64_t remote_reads() const { return remote_reads_; }
+  int64_t updates_applied() const { return updates_applied_; }
+  int64_t allocations() const { return allocations_; }
+  int64_t deallocations() const { return deallocations_; }
+
+ private:
+  void CompleteRead(const VersionedValue& value);
+
+  std::string key_;
+  PolicySpec spec_;
+  Channel* to_sc_;
+  ReplicaCache* cache_;
+  std::unique_ptr<AllocationPolicy> policy_;
+  bool in_charge_ = false;
+  ReadCallback pending_read_;
+  std::vector<Op> last_transfer_window_;
+
+  int64_t local_reads_ = 0;
+  int64_t remote_reads_ = 0;
+  int64_t updates_applied_ = 0;
+  int64_t allocations_ = 0;
+  int64_t deallocations_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_MOBILE_CLIENT_H_

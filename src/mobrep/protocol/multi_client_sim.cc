@@ -1,0 +1,117 @@
+#include "mobrep/protocol/multi_client_sim.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+MultiClientSimulation::MultiClientSimulation(const Options& options)
+    : options_(options) {
+  MOBREP_CHECK(options.num_clients >= 1);
+  store_.Put(options_.key, options_.initial_value);
+
+  pairs_.resize(static_cast<size_t>(options.num_clients));
+  for (int i = 0; i < options.num_clients; ++i) {
+    Pair& pair = pairs_[static_cast<size_t>(i)];
+    pair.up = std::make_unique<Channel>(
+        &queue_, options.link_latency, StrFormat("MC%d->SC", i));
+    pair.down = std::make_unique<Channel>(
+        &queue_, options.link_latency, StrFormat("SC->MC%d", i));
+    pair.cache = std::make_unique<ReplicaCache>();
+    pair.client = std::make_unique<MobileClient>(
+        options_.key, options_.spec, pair.up.get(), pair.cache.get());
+    pair.server = std::make_unique<StationaryServer>(
+        options_.key, options_.spec, pair.down.get(), &store_);
+    MobileClient* client = pair.client.get();
+    StationaryServer* server = pair.server.get();
+    pair.up->set_receiver(
+        [server](const Message& m) { server->HandleMessage(m); });
+    pair.down->set_receiver(
+        [client](const Message& m) { client->HandleMessage(m); });
+    if (pair.client->in_charge()) {
+      pair.cache->Install(options_.key, *store_.Get(options_.key));
+    }
+  }
+}
+
+void MultiClientSimulation::StepRead(int client) {
+  MOBREP_CHECK(client >= 0 && client < num_clients());
+  Pair& pair = pairs_[static_cast<size_t>(client)];
+  bool completed = false;
+  VersionedValue seen;
+  pair.client->IssueRead([&](const VersionedValue& value) {
+    completed = true;
+    seen = value;
+  });
+  queue_.RunUntilQuiescent();
+  MOBREP_CHECK_MSG(completed, "read did not complete");
+  MOBREP_CHECK_MSG(seen == *store_.Get(options_.key),
+                   "a mobile computer observed a stale value");
+  MOBREP_CHECK(pair.client->in_charge() != pair.server->in_charge());
+}
+
+void MultiClientSimulation::StepWrite() {
+  ++write_sequence_;
+  // One commit, then every per-MC half honours its own subscription.
+  store_.Put(options_.key,
+             StrFormat("v%lld", static_cast<long long>(write_sequence_)));
+  for (Pair& pair : pairs_) {
+    pair.server->OnCommittedWrite();
+  }
+  queue_.RunUntilQuiescent();
+  for (const Pair& pair : pairs_) {
+    MOBREP_CHECK(pair.client->in_charge() != pair.server->in_charge());
+    // Subscribers' replicas are in step with the store.
+    if (pair.client->has_copy()) {
+      MOBREP_CHECK(*pair.cache->Get(options_.key) ==
+                   *store_.Get(options_.key));
+    }
+  }
+}
+
+bool MultiClientSimulation::HasCopy(int client) const {
+  MOBREP_CHECK(client >= 0 && client < num_clients());
+  return pairs_[static_cast<size_t>(client)].client->has_copy();
+}
+
+int MultiClientSimulation::SubscriberCount() const {
+  int count = 0;
+  for (const Pair& pair : pairs_) {
+    count += pair.client->has_copy() ? 1 : 0;
+  }
+  return count;
+}
+
+int64_t MultiClientSimulation::data_messages() const {
+  int64_t total = 0;
+  for (const Pair& pair : pairs_) {
+    total += pair.up->data_messages_sent() + pair.down->data_messages_sent();
+  }
+  return total;
+}
+
+int64_t MultiClientSimulation::control_messages() const {
+  int64_t total = 0;
+  for (const Pair& pair : pairs_) {
+    total += pair.up->control_messages_sent() +
+             pair.down->control_messages_sent();
+  }
+  return total;
+}
+
+int64_t MultiClientSimulation::client_data_messages(int client) const {
+  MOBREP_CHECK(client >= 0 && client < num_clients());
+  const Pair& pair = pairs_[static_cast<size_t>(client)];
+  return pair.up->data_messages_sent() + pair.down->data_messages_sent();
+}
+
+int64_t MultiClientSimulation::client_control_messages(int client) const {
+  MOBREP_CHECK(client >= 0 && client < num_clients());
+  const Pair& pair = pairs_[static_cast<size_t>(client)];
+  return pair.up->control_messages_sent() +
+         pair.down->control_messages_sent();
+}
+
+}  // namespace mobrep

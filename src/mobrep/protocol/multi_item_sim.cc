@@ -1,0 +1,115 @@
+#include "mobrep/protocol/multi_item_sim.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+MultiItemSimulation::MultiItemSimulation(const Options& options)
+    : options_(options) {
+  mc_to_sc_ = std::make_unique<Channel>(&queue_, options.link_latency,
+                                        "MC->SC (shared)");
+  sc_to_mc_ = std::make_unique<Channel>(&queue_, options.link_latency,
+                                        "SC->MC (shared)");
+  // Demultiplex by item key: every message names its item.
+  mc_to_sc_->set_receiver([this](const Message& m) {
+    const auto it = items_.find(m.key);
+    MOBREP_CHECK_MSG(it != items_.end(), "message for unknown item");
+    it->second.server->HandleMessage(m);
+  });
+  sc_to_mc_->set_receiver([this](const Message& m) {
+    const auto it = items_.find(m.key);
+    MOBREP_CHECK_MSG(it != items_.end(), "message for unknown item");
+    it->second.client->HandleMessage(m);
+  });
+}
+
+void MultiItemSimulation::AddItem(const std::string& key,
+                                  const PolicySpec& spec,
+                                  const std::string& initial_value) {
+  MOBREP_CHECK_MSG(items_.find(key) == items_.end(),
+                   "item registered twice");
+  store_.Put(key, initial_value);
+  Item item;
+  item.client =
+      std::make_unique<MobileClient>(key, spec, mc_to_sc_.get(), &cache_);
+  item.server = std::make_unique<StationaryServer>(key, spec,
+                                                   sc_to_mc_.get(), &store_);
+  if (item.client->in_charge()) {
+    cache_.Install(key, *store_.Get(key));
+  }
+  items_.emplace(key, std::move(item));
+}
+
+MultiItemSimulation::Item& MultiItemSimulation::GetOrCreate(
+    const std::string& key) {
+  const auto it = items_.find(key);
+  if (it != items_.end()) return it->second;
+  AddItem(key, options_.default_spec);
+  return items_.find(key)->second;
+}
+
+void MultiItemSimulation::Step(const std::string& key, Op op) {
+  Item& item = GetOrCreate(key);
+  if (op == Op::kRead) {
+    ++item.reads;
+    bool completed = false;
+    VersionedValue seen;
+    item.client->IssueRead([&](const VersionedValue& value) {
+      completed = true;
+      seen = value;
+    });
+    queue_.RunUntilQuiescent();
+    MOBREP_CHECK_MSG(completed, "read did not complete");
+    MOBREP_CHECK_MSG(seen == *store_.Get(key),
+                     "MC read observed a stale value");
+  } else {
+    ++item.writes;
+    ++item.write_sequence;
+    item.server->IssueWrite(StrFormat(
+        "%s/v%lld", key.c_str(),
+        static_cast<long long>(item.write_sequence)));
+    queue_.RunUntilQuiescent();
+  }
+  MOBREP_CHECK(item.client->in_charge() != item.server->in_charge());
+  // Cross-item isolation: the MC's local database holds exactly the items
+  // whose policies currently replicate.
+  MOBREP_CHECK(cache_.Contains(key) == item.client->has_copy());
+}
+
+bool MultiItemSimulation::HasCopy(const std::string& key) const {
+  const auto it = items_.find(key);
+  return it != items_.end() && it->second.client->has_copy();
+}
+
+std::vector<std::string> MultiItemSimulation::ReplicatedItems() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, item] : items_) {
+    if (item.client->has_copy()) keys.push_back(key);
+  }
+  return keys;
+}
+
+ProtocolMetrics MultiItemSimulation::metrics() const {
+  ProtocolMetrics m;
+  for (const auto& [key, item] : items_) {
+    m.requests += item.reads + item.writes;
+    m.local_reads += item.client->local_reads();
+    m.remote_reads += item.client->remote_reads();
+    m.writes += item.writes;
+    m.propagations += item.server->propagations();
+    m.invalidations += item.server->invalidations();
+    m.allocations += item.client->allocations();
+    m.deallocations += item.client->deallocations();
+  }
+  m.data_messages =
+      mc_to_sc_->data_messages_sent() + sc_to_mc_->data_messages_sent();
+  m.control_messages = mc_to_sc_->control_messages_sent() +
+                       sc_to_mc_->control_messages_sent();
+  m.connections = sc_to_mc_->messages_sent();
+  return m;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,110 @@
+#ifndef MOBREP_PROTOCOL_PROTOCOL_SIM_H_
+#define MOBREP_PROTOCOL_PROTOCOL_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/net/channel.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/stationary_server.h"
+#include "mobrep/store/replica_cache.h"
+#include "mobrep/store/versioned_store.h"
+#include "mobrep/store/write_ahead_log.h"
+
+namespace mobrep {
+
+// End-to-end harness wiring one MobileClient and one StationaryServer over
+// two fixed-latency FIFO channels, driven by a schedule of relevant
+// requests. Requests are serialized: each request's message exchange runs
+// to quiescence before the next request is issued (the paper's §3
+// concurrency assumption). Every completed read is checked against the
+// authoritative store (one-copy equivalence).
+
+struct ProtocolConfig {
+  PolicySpec spec;
+  std::string key = "x";
+  std::string initial_value = "v0";
+  // One-way link latency in simulation time units (either direction).
+  double link_latency = 0.001;
+  // When non-empty, the SC appends every committed write to this
+  // write-ahead log (see mobrep/store/write_ahead_log.h).
+  std::string wal_path;
+};
+
+// Wire-level accounting for one run, convertible to either cost model.
+struct ProtocolMetrics {
+  int64_t requests = 0;
+  int64_t local_reads = 0;
+  int64_t remote_reads = 0;
+  int64_t writes = 0;
+  int64_t propagations = 0;
+  int64_t invalidations = 0;
+  int64_t allocations = 0;
+  int64_t deallocations = 0;
+  int64_t data_messages = 0;
+  int64_t control_messages = 0;
+  // Connection-model accounting: one connection per request that caused
+  // any transmission.
+  int64_t connections = 0;
+  // Read service times in simulation time units (0 for local reads, the
+  // round trip for remote ones) — the performance axis the paper's §8.2
+  // contrasts with communication cost.
+  double mean_read_latency = 0.0;
+  double max_read_latency = 0.0;
+
+  // Total communication cost under `model`.
+  double PriceUnder(const CostModel& model) const;
+};
+
+class ProtocolSimulation {
+ public:
+  explicit ProtocolSimulation(const ProtocolConfig& config);
+
+  ProtocolSimulation(const ProtocolSimulation&) = delete;
+  ProtocolSimulation& operator=(const ProtocolSimulation&) = delete;
+
+  // Issues one relevant request and runs the exchange to quiescence.
+  // Reads additionally verify that the value returned to the MC matches
+  // the store (freshness/consistency invariant).
+  void Step(Op op);
+
+  // Runs a whole schedule.
+  void Run(const Schedule& schedule);
+
+  ProtocolMetrics metrics() const;
+
+  // Invariant probes for tests.
+  bool mc_has_copy() const { return client_->has_copy(); }
+  bool ExactlyOneInCharge() const {
+    return client_->in_charge() != server_->in_charge();
+  }
+  const MobileClient& client() const { return *client_; }
+  const StationaryServer& server() const { return *server_; }
+  const VersionedStore& store() const { return store_; }
+  double now() const { return queue_.now(); }
+
+ private:
+  ProtocolConfig config_;
+  EventQueue queue_;
+  VersionedStore store_;
+  ReplicaCache cache_;
+  std::unique_ptr<Channel> mc_to_sc_;
+  std::unique_ptr<Channel> sc_to_mc_;
+  std::unique_ptr<MobileClient> client_;
+  std::unique_ptr<StationaryServer> server_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  int64_t write_sequence_ = 0;
+  int64_t reads_issued_ = 0;
+  int64_t writes_issued_ = 0;
+  double total_read_latency_ = 0.0;
+  double max_read_latency_ = 0.0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_PROTOCOL_SIM_H_

@@ -1,0 +1,121 @@
+#include "mobrep/protocol/stationary_server.h"
+
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/protocol/transfer.h"
+
+namespace mobrep {
+
+StationaryServer::StationaryServer(std::string key, const PolicySpec& spec,
+                                   Channel* to_mc, VersionedStore* store)
+    : key_(std::move(key)),
+      spec_(spec),
+      to_mc_(to_mc),
+      store_(store),
+      policy_(CreatePolicy(spec)) {
+  MOBREP_CHECK(to_mc != nullptr);
+  MOBREP_CHECK(store != nullptr);
+  // Mirror of the MC's initial assignment: the SC is in charge exactly when
+  // the policy's initial state holds no copy at the MC.
+  mc_has_copy_ = policy_->has_copy();
+  in_charge_ = !mc_has_copy_;
+}
+
+void StationaryServer::IssueWrite(std::string value) {
+  store_->Put(key_, std::move(value));
+  if (write_log_ != nullptr) {
+    const Status logged = write_log_->AppendPut(key_, *store_->Get(key_));
+    MOBREP_CHECK_MSG(logged.ok(), logged.message().c_str());
+  }
+  OnCommittedWrite();
+}
+
+void StationaryServer::OnCommittedWrite() {
+  ++writes_committed_;
+
+  if (in_charge_) {
+    // No replica at the MC: the write is free; just record it.
+    MOBREP_CHECK(!mc_has_copy_);
+    const ActionKind action = policy_->OnRequest(Op::kWrite);
+    MOBREP_CHECK(action == ActionKind::kWriteNoCopy);
+    return;
+  }
+
+  // The MC subscribes to updates of this item.
+  MOBREP_CHECK(mc_has_copy_);
+  if (spec_.kind == PolicyKind::kSw1) {
+    // SW1 (paper §4): a window of one write always deallocates, so instead
+    // of shipping the data the SC sends only the delete-request and
+    // deterministically takes charge with the post-write state
+    // (no copy, window = {w}).
+    Message invalidate;
+    invalidate.type = MessageType::kInvalidate;
+    invalidate.key = key_;
+    to_mc_->Send(std::move(invalidate));
+    ++invalidations_;
+    policy_ = CreatePolicy(spec_);  // initial state == post-write state
+    MOBREP_CHECK(!policy_->has_copy());
+    mc_has_copy_ = false;
+    in_charge_ = true;
+    return;
+  }
+
+  // Generic propagation; the in-charge MC may answer with a delete-request.
+  Message propagate;
+  propagate.type = MessageType::kWritePropagate;
+  propagate.key = key_;
+  propagate.item = *store_->Get(key_);
+  to_mc_->Send(std::move(propagate));
+  ++propagations_;
+}
+
+void StationaryServer::HandleMessage(const Message& message) {
+  MOBREP_CHECK(message.key == key_);
+  switch (message.type) {
+    case MessageType::kReadRequest: {
+      MOBREP_CHECK_MSG(in_charge_,
+                       "read-request received while the MC is in charge");
+      ++reads_served_;
+      const ActionKind action = policy_->OnRequest(Op::kRead);
+      Message response;
+      response.type = MessageType::kDataResponse;
+      response.key = key_;
+      response.item = *store_->Get(key_);
+      if (action == ActionKind::kRemoteReadAllocate) {
+        // Majority reads: allocate. The indication, the window and the
+        // control state piggyback on the data response (free, paper §4).
+        response.allocate = true;
+        response.window = ExtractWindow(spec_, *policy_);
+        response.transferred_state = ShipState(*policy_);
+        last_transfer_window_ = response.window;
+        mc_has_copy_ = true;
+        in_charge_ = false;
+        ++allocations_granted_;
+      } else {
+        MOBREP_CHECK(action == ActionKind::kRemoteRead);
+      }
+      to_mc_->Send(std::move(response));
+      return;
+    }
+    case MessageType::kDeleteRequest: {
+      // The MC deallocated: stop propagating, adopt the shipped state.
+      MOBREP_CHECK_MSG(!in_charge_ && mc_has_copy_,
+                       "unexpected delete-request");
+      policy_ = AdoptState(message.transferred_state);
+      MOBREP_CHECK_MSG(!policy_->has_copy(),
+                       "deallocation hand-over with a copy-holding state");
+      last_transfer_window_ = message.window;
+      mc_has_copy_ = false;
+      in_charge_ = true;
+      ++deallocations_accepted_;
+      return;
+    }
+    case MessageType::kDataResponse:
+    case MessageType::kWritePropagate:
+    case MessageType::kInvalidate:
+      MOBREP_CHECK_MSG(false, "MC-bound message delivered to the SC");
+  }
+}
+
+}  // namespace mobrep

@@ -1,0 +1,89 @@
+#ifndef MOBREP_PROTOCOL_STATIONARY_SERVER_H_
+#define MOBREP_PROTOCOL_STATIONARY_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobrep/core/policy.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/net/channel.h"
+#include "mobrep/net/message.h"
+#include "mobrep/store/versioned_store.h"
+#include "mobrep/store/write_ahead_log.h"
+
+namespace mobrep {
+
+// The stationary computer's half of the distributed allocation protocol
+// (paper §4).
+//
+// The SC owns the online database: every write commits here first. While
+// the MC has no replica the SC is "in charge": it sees every relevant
+// request (writes locally, reads as read-requests), maintains the policy
+// state, and decides allocation, piggybacking the hand-over on a data
+// response. While the MC holds a replica, the SC honours its subscription
+// by propagating every committed write (or, for SW1, by sending the
+// optimized delete-request instead).
+class StationaryServer {
+ public:
+  // `to_mc` and `store` must outlive the server.
+  StationaryServer(std::string key, const PolicySpec& spec, Channel* to_mc,
+                   VersionedStore* store);
+
+  // Issues one write at the SC: commits to the store, then runs the
+  // allocation protocol.
+  void IssueWrite(std::string value);
+
+  // Runs the allocation protocol for a write that was already committed to
+  // the shared store (used when several per-MC protocol instances share
+  // one SC commit, e.g. MultiClientSimulation).
+  void OnCommittedWrite();
+
+  // Delivery entry point for the MC -> SC channel.
+  void HandleMessage(const Message& message);
+
+  // Optionally logs every committed write for crash recovery (the log must
+  // outlive the server). Appends are flushed before the write is
+  // propagated, i.e. write-ahead with respect to the wireless traffic.
+  void set_write_log(WriteAheadLog* log) { write_log_ = log; }
+
+  bool in_charge() const { return in_charge_; }
+  bool mc_has_copy() const { return mc_has_copy_; }
+  const AllocationPolicy& policy() const { return *policy_; }
+  const PolicySpec& spec() const { return spec_; }
+
+  const std::vector<Op>& last_transfer_window() const {
+    return last_transfer_window_;
+  }
+
+  // Counters.
+  int64_t writes_committed() const { return writes_committed_; }
+  int64_t reads_served() const { return reads_served_; }
+  int64_t propagations() const { return propagations_; }
+  int64_t invalidations() const { return invalidations_; }
+  int64_t allocations_granted() const { return allocations_granted_; }
+  int64_t deallocations_accepted() const { return deallocations_accepted_; }
+
+ private:
+  std::string key_;
+  PolicySpec spec_;
+  Channel* to_mc_;
+  VersionedStore* store_;
+  WriteAheadLog* write_log_ = nullptr;
+  std::unique_ptr<AllocationPolicy> policy_;
+  bool in_charge_ = false;
+  bool mc_has_copy_ = false;
+  std::vector<Op> last_transfer_window_;
+
+  int64_t writes_committed_ = 0;
+  int64_t reads_served_ = 0;
+  int64_t propagations_ = 0;
+  int64_t invalidations_ = 0;
+  int64_t allocations_granted_ = 0;
+  int64_t deallocations_accepted_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_STATIONARY_SERVER_H_

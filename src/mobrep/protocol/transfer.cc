@@ -1,0 +1,33 @@
+#include "mobrep/protocol/transfer.h"
+
+#include <memory>
+#include <vector>
+
+#include "mobrep/common/check.h"
+#include "mobrep/core/sliding_window_policy.h"
+
+namespace mobrep {
+
+std::vector<Op> ExtractWindow(const PolicySpec& spec,
+                              const AllocationPolicy& policy) {
+  if (spec.kind == PolicyKind::kSw || spec.kind == PolicyKind::kSw1) {
+    // The concrete type is pinned by the spec; no RTTI needed.
+    const auto& window_policy =
+        static_cast<const SlidingWindowPolicy&>(policy);
+    return window_policy.window().Contents();
+  }
+  return {};
+}
+
+std::shared_ptr<AllocationPolicy> ShipState(const AllocationPolicy& policy) {
+  return std::shared_ptr<AllocationPolicy>(policy.Clone());
+}
+
+std::unique_ptr<AllocationPolicy> AdoptState(
+    const std::shared_ptr<AllocationPolicy>& shipped) {
+  MOBREP_CHECK_MSG(shipped != nullptr,
+                   "ownership transfer without a shipped control state");
+  return shipped->Clone();
+}
+
+}  // namespace mobrep

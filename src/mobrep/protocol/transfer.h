@@ -1,0 +1,34 @@
+#ifndef MOBREP_PROTOCOL_TRANSFER_H_
+#define MOBREP_PROTOCOL_TRANSFER_H_
+
+#include <memory>
+#include <vector>
+
+#include "mobrep/core/policy.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Helpers for moving the in-charge control state between the MC and the SC.
+//
+// On the wire the hand-over carries the k-bit request window (paper §4);
+// the simulator additionally ships the policy object so that every policy
+// family (including the window-less T-policies) rides the same protocol.
+
+// The piggybackable window of `policy`, or an empty vector for policies
+// that keep no window (statics, T1m/T2m). `spec` identifies the concrete
+// type; `policy` must have been created from `spec`.
+std::vector<Op> ExtractWindow(const PolicySpec& spec,
+                              const AllocationPolicy& policy);
+
+// Clones `policy` for shipment in a Message::transferred_state.
+std::shared_ptr<AllocationPolicy> ShipState(const AllocationPolicy& policy);
+
+// Adopts a shipped state: clones it so sender and receiver never alias.
+std::unique_ptr<AllocationPolicy> AdoptState(
+    const std::shared_ptr<AllocationPolicy>& shipped);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_TRANSFER_H_

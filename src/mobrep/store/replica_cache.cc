@@ -1,0 +1,52 @@
+#include "mobrep/store/replica_cache.h"
+
+#include <string>
+#include <utility>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+void ReplicaCache::Install(const std::string& key, VersionedValue value) {
+  items_[key] = std::move(value);
+}
+
+Status ReplicaCache::Evict(const std::string& key) {
+  if (items_.erase(key) == 0) {
+    return NotFoundError(
+        StrFormat("cannot evict '%s': not replicated", key.c_str()));
+  }
+  return OkStatus();
+}
+
+Status ReplicaCache::ApplyUpdate(const std::string& key,
+                                 const VersionedValue& value) {
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    return FailedPreconditionError(StrFormat(
+        "update for '%s' arrived without a subscription", key.c_str()));
+  }
+  if (value.version != it->second.version + 1) {
+    return DataLossError(StrFormat(
+        "out-of-order update for '%s': replica at v%llu, update v%llu",
+        key.c_str(), static_cast<unsigned long long>(it->second.version),
+        static_cast<unsigned long long>(value.version)));
+  }
+  it->second = value;
+  return OkStatus();
+}
+
+Result<VersionedValue> ReplicaCache::Get(const std::string& key) const {
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    return NotFoundError(
+        StrFormat("'%s' is not replicated at the MC", key.c_str()));
+  }
+  return it->second;
+}
+
+bool ReplicaCache::Contains(const std::string& key) const {
+  return items_.find(key) != items_.end();
+}
+
+}  // namespace mobrep

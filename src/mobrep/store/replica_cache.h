@@ -1,0 +1,45 @@
+#ifndef MOBREP_STORE_REPLICA_CACHE_H_
+#define MOBREP_STORE_REPLICA_CACHE_H_
+
+#include <map>
+#include <string>
+
+#include "mobrep/common/status.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+
+// The mobile computer's local database: the set of items the MC currently
+// subscribes to (two-copies scheme), with their replicated values.
+//
+// The paper assumes storage at the MC is abundant (§8.2), so the cache has
+// no capacity limit or replacement policy: items leave only by explicit
+// deallocation.
+class ReplicaCache {
+ public:
+  ReplicaCache() = default;
+
+  // Installs a replica (allocation). Overwrites any existing entry.
+  void Install(const std::string& key, VersionedValue value);
+
+  // Drops the replica (deallocation). NotFoundError if absent.
+  Status Evict(const std::string& key);
+
+  // Applies a propagated update. Fails with FailedPreconditionError when
+  // the item is not subscribed and with DataLossError when the update would
+  // move the version backwards or skip versions (FIFO channel violation).
+  Status ApplyUpdate(const std::string& key, const VersionedValue& value);
+
+  // Local read. NotFoundError if the item is not replicated.
+  Result<VersionedValue> Get(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::map<std::string, VersionedValue> items_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_STORE_REPLICA_CACHE_H_

@@ -1,0 +1,28 @@
+#include "mobrep/store/versioned_store.h"
+
+#include <string>
+#include <utility>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+uint64_t VersionedStore::Put(const std::string& key, std::string value) {
+  VersionedValue& slot = items_[key];
+  slot.value = std::move(value);
+  return ++slot.version;
+}
+
+Result<VersionedValue> VersionedStore::Get(const std::string& key) const {
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    return NotFoundError(StrFormat("no such key '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+bool VersionedStore::Contains(const std::string& key) const {
+  return items_.find(key) != items_.end();
+}
+
+}  // namespace mobrep

@@ -1,0 +1,49 @@
+#ifndef MOBREP_STORE_VERSIONED_STORE_H_
+#define MOBREP_STORE_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mobrep/common/status.h"
+
+namespace mobrep {
+
+// A value together with its monotonically increasing version number.
+struct VersionedValue {
+  std::string value;
+  uint64_t version = 0;
+
+  friend bool operator==(const VersionedValue& a, const VersionedValue& b) {
+    return a.version == b.version && a.value == b.value;
+  }
+};
+
+// The "online database" at the stationary computer: an in-memory versioned
+// key-value store. Every Put bumps the item's version; versions let the
+// replica layer detect stale or out-of-order update propagation.
+//
+// Single-threaded by design: the paper assumes relevant requests are
+// serialized by a concurrency-control mechanism before they reach the
+// allocation layer (§3), and the discrete-event simulator provides exactly
+// that serialization.
+class VersionedStore {
+ public:
+  VersionedStore() = default;
+
+  // Inserts or overwrites; returns the new version (1 for a fresh key).
+  uint64_t Put(const std::string& key, std::string value);
+
+  // Current value, or NotFoundError.
+  Result<VersionedValue> Get(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::map<std::string, VersionedValue> items_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_STORE_VERSIONED_STORE_H_

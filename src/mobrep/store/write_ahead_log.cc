@@ -1,0 +1,156 @@
+#include "mobrep/store/write_ahead_log.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+namespace {
+
+// Sequential parser over the raw log bytes. Length-prefixed fields make
+// arbitrary key/value bytes (spaces, newlines) unambiguous.
+struct LogCursor {
+  const char* pos;
+  const char* end;
+
+  bool AtEnd() const { return pos >= end; }
+
+  // Consumes `literal`; false if the remaining bytes do not match.
+  bool Literal(const char* literal) {
+    const size_t n = std::strlen(literal);
+    if (static_cast<size_t>(end - pos) < n) return false;
+    if (std::memcmp(pos, literal, n) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  // Consumes a non-negative decimal integer followed by `delimiter`.
+  bool Number(char delimiter, uint64_t* out) {
+    uint64_t value = 0;
+    const char* start = pos;
+    while (pos < end && *pos >= '0' && *pos <= '9') {
+      value = value * 10 + static_cast<uint64_t>(*pos - '0');
+      ++pos;
+    }
+    if (pos == start || pos >= end || *pos != delimiter) return false;
+    ++pos;
+    *out = value;
+    return true;
+  }
+
+  // Consumes exactly `n` bytes.
+  bool Bytes(uint64_t n, std::string* out) {
+    if (static_cast<uint64_t>(end - pos) < n) return false;
+    out->assign(pos, static_cast<size_t>(n));
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return InvalidArgumentError(
+        StrFormat("cannot open log '%s' for append", path.c_str()));
+  }
+  return WriteAheadLog(path, file);
+}
+
+Status WriteAheadLog::AppendPut(const std::string& key,
+                                const VersionedValue& value) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("log is closed");
+  }
+  // Built by concatenation rather than one printf so that keys and values
+  // with embedded NULs or newlines stay intact (lengths disambiguate).
+  std::string safe = "PUT ";
+  safe += StrFormat("%llu ", static_cast<unsigned long long>(value.version));
+  safe += StrFormat("%zu:", key.size());
+  safe += key;
+  safe += StrFormat(" %zu:", value.value.size());
+  safe += value.value;
+  safe += '\n';
+  if (std::fwrite(safe.data(), 1, safe.size(), file_) != safe.size()) {
+    return DataLossError(StrFormat("short write to '%s'", path_.c_str()));
+  }
+  if (std::fflush(file_) != 0) {
+    return DataLossError(StrFormat("flush failed on '%s'", path_.c_str()));
+  }
+  return OkStatus();
+}
+
+void WriteAheadLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<VersionedStore> WriteAheadLog::Recover(const std::string& path) {
+  VersionedStore store;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return store;  // first boot: empty store
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+
+  LogCursor cursor{contents.data(), contents.data() + contents.size()};
+  while (!cursor.AtEnd()) {
+    LogCursor checkpoint = cursor;
+    uint64_t version = 0, key_len = 0, value_len = 0;
+    std::string key, value;
+    const bool complete = cursor.Literal("PUT ") &&
+                          cursor.Number(' ', &version) &&
+                          cursor.Number(':', &key_len) &&
+                          cursor.Bytes(key_len, &key) &&
+                          cursor.Literal(" ") &&
+                          cursor.Number(':', &value_len) &&
+                          cursor.Bytes(value_len, &value) &&
+                          cursor.Literal("\n");
+    if (!complete) {
+      // Torn tail (crash mid-append): keep everything before it.
+      cursor = checkpoint;
+      break;
+    }
+    const uint64_t assigned = store.Put(key, value);
+    if (assigned != version) {
+      return DataLossError(StrFormat(
+          "log '%s' is inconsistent: key '%s' jumps to version %llu "
+          "(expected %llu)",
+          path.c_str(), key.c_str(),
+          static_cast<unsigned long long>(version),
+          static_cast<unsigned long long>(assigned)));
+    }
+  }
+  return store;
+}
+
+}  // namespace mobrep

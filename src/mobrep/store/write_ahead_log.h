@@ -1,0 +1,54 @@
+#ifndef MOBREP_STORE_WRITE_AHEAD_LOG_H_
+#define MOBREP_STORE_WRITE_AHEAD_LOG_H_
+
+#include <cstdio>
+#include <string>
+
+#include "mobrep/common/status.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+
+// Append-only durability log for the stationary computer's online
+// database, so the SC can recover its store (and keep serving update
+// propagation from the correct versions) after a restart.
+//
+// Record format (text, one record per line):
+//   PUT <version> <key-length> <key> <value-length> <value>
+// A trailing partially-written record (torn write at crash) is detected by
+// the length fields and ignored during recovery.
+class WriteAheadLog {
+ public:
+  // Opens (creating if absent) the log at `path` for appending.
+  static Result<WriteAheadLog> Open(const std::string& path);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  // Appends one committed write and flushes it to the OS.
+  Status AppendPut(const std::string& key, const VersionedValue& value);
+
+  // Closes the log; further appends fail.
+  void Close();
+
+  const std::string& path() const { return path_; }
+
+  // Rebuilds a store from the log at `path`. Returns an empty store for a
+  // missing file (first boot). Stops at the first torn or corrupt record,
+  // recovering every complete record before it. Fails only if a record is
+  // structurally valid but inconsistent (version regression for a key).
+  static Result<VersionedStore> Recover(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_STORE_WRITE_AHEAD_LOG_H_

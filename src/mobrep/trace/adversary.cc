@@ -1,0 +1,67 @@
+#include "mobrep/trace/adversary.h"
+
+#include <memory>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+Schedule BlockSchedule(int64_t cycles, int writes_per_block,
+                       int reads_per_block) {
+  MOBREP_CHECK(cycles >= 0 && writes_per_block >= 0 && reads_per_block >= 0);
+  Schedule schedule;
+  schedule.reserve(
+      static_cast<size_t>(cycles * (writes_per_block + reads_per_block)));
+  for (int64_t c = 0; c < cycles; ++c) {
+    for (int i = 0; i < writes_per_block; ++i) schedule.push_back(Op::kWrite);
+    for (int i = 0; i < reads_per_block; ++i) schedule.push_back(Op::kRead);
+  }
+  return schedule;
+}
+
+Schedule UniformSchedule(int64_t n, Op op) {
+  MOBREP_CHECK(n >= 0);
+  return Schedule(static_cast<size_t>(n), op);
+}
+
+Schedule AlternatingSchedule(int64_t n) {
+  MOBREP_CHECK(n >= 0);
+  Schedule schedule;
+  schedule.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    schedule.push_back(i % 2 == 0 ? Op::kWrite : Op::kRead);
+  }
+  return schedule;
+}
+
+Schedule CruelSchedule(const AllocationPolicy& prototype, int64_t n) {
+  MOBREP_CHECK(n >= 0);
+  std::unique_ptr<AllocationPolicy> policy = prototype.Clone();
+  policy->Reset();
+  Schedule schedule;
+  schedule.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // Hurt the policy: make it pay for a remote read when it lacks the
+    // copy, for a propagation/invalidation when it holds one.
+    const Op op = policy->has_copy() ? Op::kWrite : Op::kRead;
+    policy->OnRequest(op);
+    schedule.push_back(op);
+  }
+  return schedule;
+}
+
+void ForEachSchedule(int length,
+                     const std::function<void(const Schedule&)>& fn) {
+  MOBREP_CHECK(length >= 0 && length <= 30);
+  Schedule schedule(static_cast<size_t>(length), Op::kRead);
+  const uint64_t count = uint64_t{1} << length;
+  for (uint64_t bits = 0; bits < count; ++bits) {
+    for (int i = 0; i < length; ++i) {
+      schedule[static_cast<size_t>(i)] =
+          ((bits >> i) & 1) != 0 ? Op::kWrite : Op::kRead;
+    }
+    fn(schedule);
+  }
+}
+
+}  // namespace mobrep

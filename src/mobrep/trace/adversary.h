@@ -1,0 +1,44 @@
+#ifndef MOBREP_TRACE_ADVERSARY_H_
+#define MOBREP_TRACE_ADVERSARY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Adversarial schedule constructions used by the worst-case (competitive)
+// experiments.
+
+// `cycles` repetitions of (writes_per_block writes, reads_per_block reads).
+// With writes_per_block = reads_per_block = k this is the schedule on which
+// SWk's (k+1)-competitiveness is tight.
+Schedule BlockSchedule(int64_t cycles, int writes_per_block,
+                       int reads_per_block);
+
+// n copies of the same request; the schedules showing the static
+// algorithms are not competitive (all reads vs. ST1, all writes vs. ST2).
+Schedule UniformSchedule(int64_t n, Op op);
+
+// n requests of strictly alternating writes and reads, starting with a
+// write: w r w r ... (the schedule on which SW1's (1+2*omega) factor is
+// tight).
+Schedule AlternatingSchedule(int64_t n);
+
+// The "cruel" adversary: replays the policy (from Reset()) and at every
+// step issues the request that costs it the most — a read while the MC has
+// no copy, a write while it does. For the window policies this produces
+// their worst-case thrash pattern automatically.
+Schedule CruelSchedule(const AllocationPolicy& prototype, int64_t n);
+
+// Invokes `fn` for every one of the 2^length schedules of the given length
+// (lexicographic order, reads first). Exhaustive ground truth for small
+// lengths in tests.
+void ForEachSchedule(int length, const std::function<void(const Schedule&)>& fn);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_TRACE_ADVERSARY_H_

@@ -1,0 +1,76 @@
+#include "mobrep/trace/generators.h"
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+Schedule GenerateBernoulliSchedule(int64_t n, double theta, Rng* rng) {
+  MOBREP_CHECK(n >= 0);
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+  Schedule schedule;
+  schedule.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    schedule.push_back(rng->Bernoulli(theta) ? Op::kWrite : Op::kRead);
+  }
+  return schedule;
+}
+
+TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
+                                   double lambda_w, Rng* rng) {
+  MOBREP_CHECK(n >= 0);
+  MOBREP_CHECK(lambda_r >= 0.0 && lambda_w >= 0.0);
+  MOBREP_CHECK(lambda_r + lambda_w > 0.0);
+  TimedSchedule schedule;
+  schedule.reserve(static_cast<size_t>(n));
+  // Superposition of independent Poisson processes: exponential gaps at the
+  // total rate; each arrival is a write with probability
+  // lambda_w / (lambda_r + lambda_w).
+  const double total = lambda_r + lambda_w;
+  const double theta = lambda_w / total;
+  double now = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    now += rng->Exponential(total);
+    schedule.push_back(
+        {now, rng->Bernoulli(theta) ? Op::kWrite : Op::kRead});
+  }
+  return schedule;
+}
+
+Schedule GeneratePeriodWorkload(int64_t periods, int64_t period_length,
+                                Rng* rng) {
+  MOBREP_CHECK(periods >= 0 && period_length >= 1);
+  Schedule schedule;
+  schedule.reserve(static_cast<size_t>(periods * period_length));
+  for (int64_t p = 0; p < periods; ++p) {
+    const double theta = rng->NextDouble();
+    for (int64_t i = 0; i < period_length; ++i) {
+      schedule.push_back(rng->Bernoulli(theta) ? Op::kWrite : Op::kRead);
+    }
+  }
+  return schedule;
+}
+
+BernoulliRequestStream::BernoulliRequestStream(double theta, Rng rng)
+    : theta_(theta), rng_(rng) {
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+}
+
+Op BernoulliRequestStream::Next() {
+  return rng_.Bernoulli(theta_) ? Op::kWrite : Op::kRead;
+}
+
+PeriodRequestStream::PeriodRequestStream(int64_t period_length, Rng rng)
+    : period_length_(period_length), rng_(rng) {
+  MOBREP_CHECK(period_length >= 1);
+}
+
+Op PeriodRequestStream::Next() {
+  if (remaining_in_period_ == 0) {
+    theta_ = rng_.NextDouble();
+    remaining_in_period_ = period_length_;
+  }
+  --remaining_in_period_;
+  return rng_.Bernoulli(theta_) ? Op::kWrite : Op::kRead;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,64 @@
+#ifndef MOBREP_TRACE_GENERATORS_H_
+#define MOBREP_TRACE_GENERATORS_H_
+
+#include <cstdint>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Workload generators matching the paper's probabilistic model (§3): reads
+// are issued at the MC as a Poisson process with rate lambda_r, writes at
+// the SC with rate lambda_w, independently. Because the merged process is
+// memoryless, the *sequence* of relevant requests is i.i.d. Bernoulli with
+// write probability theta = lambda_w / (lambda_w + lambda_r); generators
+// are provided at both levels.
+
+// n i.i.d. requests with write probability theta.
+Schedule GenerateBernoulliSchedule(int64_t n, double theta, Rng* rng);
+
+// The first n arrivals of the merged Poisson processes, with timestamps.
+TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
+                                   double lambda_w, Rng* rng);
+
+// Piecewise-stationary workload: `periods` periods of `period_length`
+// requests each; each period's theta is drawn independently and uniformly
+// from [0, 1]. This is exactly the regime under which the paper's *average
+// expected cost* (AVG, eq. 1) is the right figure of merit.
+Schedule GeneratePeriodWorkload(int64_t periods, int64_t period_length,
+                                Rng* rng);
+
+// Streaming Bernoulli source for long runs that should not materialize a
+// schedule vector.
+class BernoulliRequestStream {
+ public:
+  BernoulliRequestStream(double theta, Rng rng);
+
+  Op Next();
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  Rng rng_;
+};
+
+// Streaming period-workload source; redraws theta ~ U[0,1] every
+// `period_length` requests.
+class PeriodRequestStream {
+ public:
+  PeriodRequestStream(int64_t period_length, Rng rng);
+
+  Op Next();
+  double current_theta() const { return theta_; }
+
+ private:
+  int64_t period_length_;
+  int64_t remaining_in_period_ = 0;
+  double theta_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_TRACE_GENERATORS_H_

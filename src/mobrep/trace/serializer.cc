@@ -1,0 +1,61 @@
+#include "mobrep/trace/serializer.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace mobrep {
+namespace {
+
+bool NonDecreasing(const std::vector<double>& times) {
+  for (size_t i = 1; i < times.size(); ++i) {
+    if (times[i] < times[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TimedSchedule> SerializeStreams(
+    const std::vector<double>& read_times,
+    const std::vector<double>& write_times) {
+  if (!NonDecreasing(read_times)) {
+    return InvalidArgumentError("read stream timestamps must be ordered");
+  }
+  if (!NonDecreasing(write_times)) {
+    return InvalidArgumentError("write stream timestamps must be ordered");
+  }
+  TimedSchedule merged;
+  merged.reserve(read_times.size() + write_times.size());
+  size_t r = 0, w = 0;
+  while (r < read_times.size() || w < write_times.size()) {
+    const bool take_write =
+        w < write_times.size() &&
+        (r >= read_times.size() || write_times[w] <= read_times[r]);
+    if (take_write) {
+      merged.push_back({write_times[w++], Op::kWrite});
+    } else {
+      merged.push_back({read_times[r++], Op::kRead});
+    }
+  }
+  return merged;
+}
+
+bool IsSerializationOf(const TimedSchedule& schedule,
+                       const std::vector<double>& read_times,
+                       const std::vector<double>& write_times) {
+  std::vector<double> reads, writes;
+  double previous = -std::numeric_limits<double>::infinity();
+  for (const TimedRequest& request : schedule) {
+    if (request.time < previous) return false;
+    previous = request.time;
+    (request.op == Op::kRead ? reads : writes).push_back(request.time);
+  }
+  std::vector<double> want_reads = read_times;
+  std::vector<double> want_writes = write_times;
+  std::sort(want_reads.begin(), want_reads.end());
+  std::sort(want_writes.begin(), want_writes.end());
+  return reads == want_reads && writes == want_writes;
+}
+
+}  // namespace mobrep

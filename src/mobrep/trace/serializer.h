@@ -1,0 +1,31 @@
+#ifndef MOBREP_TRACE_SERIALIZER_H_
+#define MOBREP_TRACE_SERIALIZER_H_
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// The "concurrency control mechanism" of paper §3: reads are issued at the
+// mobile computer and writes at the stationary computer *concurrently*;
+// before they reach the allocation layer some serializer must impose a
+// single total order. This one orders by timestamp, breaking exact ties in
+// favour of the stationary computer's writes (the database side commits
+// first; any deterministic rule works — the paper only requires *some*
+// serialization, and the analysis is order-insensitive in distribution).
+
+// Merges a read stream (timestamps of reads at the MC) and a write stream
+// (timestamps of writes at the SC) into one serialized TimedSchedule.
+// Each stream must be non-decreasing; fails otherwise.
+Result<TimedSchedule> SerializeStreams(const std::vector<double>& read_times,
+                                       const std::vector<double>& write_times);
+
+// Checks that `schedule` is a legal serialization of the two streams:
+// same multiset of (time, op) pairs, globally non-decreasing timestamps.
+bool IsSerializationOf(const TimedSchedule& schedule,
+                       const std::vector<double>& read_times,
+                       const std::vector<double>& write_times);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_TRACE_SERIALIZER_H_

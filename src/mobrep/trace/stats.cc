@@ -1,0 +1,49 @@
+#include "mobrep/trace/stats.h"
+
+#include <algorithm>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+ScheduleStats ComputeStats(const Schedule& schedule) {
+  ScheduleStats stats;
+  stats.requests = static_cast<int64_t>(schedule.size());
+  int64_t run = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Op op = schedule[i];
+    if (op == Op::kWrite) {
+      ++stats.writes;
+    } else {
+      ++stats.reads;
+    }
+    if (i > 0 && schedule[i - 1] != op) {
+      ++stats.alternations;
+      run = 0;
+    }
+    ++run;
+    if (op == Op::kWrite) {
+      stats.longest_write_run = std::max(stats.longest_write_run, run);
+    } else {
+      stats.longest_read_run = std::max(stats.longest_read_run, run);
+    }
+  }
+  if (stats.requests > 0) {
+    stats.theta_hat = static_cast<double>(stats.writes) /
+                      static_cast<double>(stats.requests);
+  }
+  return stats;
+}
+
+std::string ScheduleStats::ToString() const {
+  return StrFormat(
+      "requests=%lld reads=%lld writes=%lld theta_hat=%.4f "
+      "longest_read_run=%lld longest_write_run=%lld alternations=%lld",
+      static_cast<long long>(requests), static_cast<long long>(reads),
+      static_cast<long long>(writes), theta_hat,
+      static_cast<long long>(longest_read_run),
+      static_cast<long long>(longest_write_run),
+      static_cast<long long>(alternations));
+}
+
+}  // namespace mobrep

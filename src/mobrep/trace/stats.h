@@ -1,0 +1,31 @@
+#ifndef MOBREP_TRACE_STATS_H_
+#define MOBREP_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Summary statistics of a schedule; used by the CLI and by generator tests.
+struct ScheduleStats {
+  int64_t requests = 0;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  // Empirical write fraction (theta estimate); 0 for an empty schedule.
+  double theta_hat = 0.0;
+  // Longest runs of consecutive reads / writes.
+  int64_t longest_read_run = 0;
+  int64_t longest_write_run = 0;
+  // Number of read<->write alternations.
+  int64_t alternations = 0;
+
+  std::string ToString() const;
+};
+
+ScheduleStats ComputeStats(const Schedule& schedule);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_TRACE_STATS_H_

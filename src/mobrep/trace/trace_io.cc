@@ -1,0 +1,163 @@
+#include "mobrep/trace/trace_io.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+namespace {
+
+constexpr std::string_view kScheduleHeader = "mobrep-trace v1";
+constexpr std::string_view kTimedHeader = "mobrep-timed-trace v1";
+constexpr size_t kLineWidth = 64;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool had_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (had_error) {
+    return DataLossError(StrFormat("error reading '%s'", path.c_str()));
+  }
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InvalidArgumentError(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool ok = written == contents.size() && std::fclose(file) == 0;
+  if (!ok) {
+    return DataLossError(StrFormat("error writing '%s'", path.c_str()));
+  }
+  return OkStatus();
+}
+
+// Returns the payload lines (header verified and stripped; comments and
+// blank lines removed).
+Result<std::vector<std::string>> PayloadLines(std::string_view text,
+                                              std::string_view header) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  std::vector<std::string> payload;
+  bool saw_header = false;
+  for (const std::string& raw : lines) {
+    const std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_header) {
+      if (line != header) {
+        return InvalidArgumentError(StrFormat(
+            "bad trace header: expected '%s', got '%s'",
+            std::string(header).c_str(), std::string(line).c_str()));
+      }
+      saw_header = true;
+      continue;
+    }
+    payload.emplace_back(line);
+  }
+  if (!saw_header) {
+    return InvalidArgumentError("empty trace: missing header line");
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::string SerializeSchedule(const Schedule& schedule) {
+  std::string out(kScheduleHeader);
+  out += '\n';
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0 && i % kLineWidth == 0) out += '\n';
+    out += OpToChar(schedule[i]);
+  }
+  if (!schedule.empty()) out += '\n';
+  return out;
+}
+
+Result<Schedule> DeserializeSchedule(std::string_view text) {
+  auto payload = PayloadLines(text, kScheduleHeader);
+  if (!payload.ok()) return payload.status();
+  Schedule schedule;
+  for (const std::string& line : *payload) {
+    auto part = ScheduleFromString(line);
+    if (!part.ok()) return part.status();
+    schedule.insert(schedule.end(), part->begin(), part->end());
+  }
+  return schedule;
+}
+
+std::string SerializeTimedSchedule(const TimedSchedule& schedule) {
+  std::string out(kTimedHeader);
+  out += '\n';
+  for (const TimedRequest& request : schedule) {
+    out += StrFormat("%.9f %c\n", request.time, OpToChar(request.op));
+  }
+  return out;
+}
+
+Result<TimedSchedule> DeserializeTimedSchedule(std::string_view text) {
+  auto payload = PayloadLines(text, kTimedHeader);
+  if (!payload.ok()) return payload.status();
+  TimedSchedule schedule;
+  double previous = -1.0;
+  for (const std::string& line : *payload) {
+    const std::vector<std::string> fields = StrSplit(line, ' ');
+    std::vector<std::string> nonempty;
+    for (const auto& f : fields) {
+      if (!StripWhitespace(f).empty()) nonempty.push_back(f);
+    }
+    if (nonempty.size() != 2) {
+      return InvalidArgumentError(
+          StrFormat("bad timed trace line '%s'", line.c_str()));
+    }
+    const auto time = ParseDouble(nonempty[0]);
+    auto ops = ScheduleFromString(nonempty[1]);
+    if (!time.has_value() || !ops.ok() || ops->size() != 1) {
+      return InvalidArgumentError(
+          StrFormat("bad timed trace line '%s'", line.c_str()));
+    }
+    if (*time < previous) {
+      return InvalidArgumentError(
+          StrFormat("timestamps must be non-decreasing at line '%s'",
+                    line.c_str()));
+    }
+    previous = *time;
+    schedule.push_back({*time, ops->front()});
+  }
+  return schedule;
+}
+
+Status SaveScheduleToFile(const std::string& path, const Schedule& schedule) {
+  return WriteStringToFile(path, SerializeSchedule(schedule));
+}
+
+Result<Schedule> LoadScheduleFromFile(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return DeserializeSchedule(*contents);
+}
+
+Status SaveTimedScheduleToFile(const std::string& path,
+                               const TimedSchedule& schedule) {
+  return WriteStringToFile(path, SerializeTimedSchedule(schedule));
+}
+
+Result<TimedSchedule> LoadTimedScheduleFromFile(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return DeserializeTimedSchedule(*contents);
+}
+
+}  // namespace mobrep

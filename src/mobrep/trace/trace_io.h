@@ -1,0 +1,41 @@
+#ifndef MOBREP_TRACE_TRACE_IO_H_
+#define MOBREP_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// Plain-text trace formats, so workloads can be captured, shared and
+// replayed.
+//
+// Untimed trace ("mobrep-trace v1"): a header line followed by lines of
+// 'r'/'w' characters (any line width; '#' comments and blank lines are
+// ignored).
+//
+// Timed trace ("mobrep-timed-trace v1"): a header line followed by one
+// "<timestamp> <r|w>" pair per line; timestamps must be non-decreasing.
+
+// Serializes to the untimed text format.
+std::string SerializeSchedule(const Schedule& schedule);
+// Parses the untimed text format.
+Result<Schedule> DeserializeSchedule(std::string_view text);
+
+// Serializes to the timed text format.
+std::string SerializeTimedSchedule(const TimedSchedule& schedule);
+// Parses the timed text format.
+Result<TimedSchedule> DeserializeTimedSchedule(std::string_view text);
+
+// File convenience wrappers.
+Status SaveScheduleToFile(const std::string& path, const Schedule& schedule);
+Result<Schedule> LoadScheduleFromFile(const std::string& path);
+Status SaveTimedScheduleToFile(const std::string& path,
+                               const TimedSchedule& schedule);
+Result<TimedSchedule> LoadTimedScheduleFromFile(const std::string& path);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_TRACE_TRACE_IO_H_

@@ -1,0 +1,164 @@
+#include "mobrep/analysis/advisor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/analysis/average_cost.h"
+#include "mobrep/analysis/expected_cost.h"
+
+namespace mobrep {
+namespace {
+
+TEST(AdvisorTest, RejectsBadInput) {
+  AdvisorQuery query;
+  query.theta = 1.5;
+  EXPECT_FALSE(RecommendPolicy(query).ok());
+  query.theta.reset();
+  query.max_competitive_factor = 0.5;
+  EXPECT_FALSE(RecommendPolicy(query).ok());
+  query.max_competitive_factor = 10.0;
+  query.max_parameter = 0;
+  EXPECT_FALSE(RecommendPolicy(query).ok());
+}
+
+TEST(AdvisorTest, UnknownThetaConnectionPicksLargestFeasibleWindow) {
+  // Paper §9: with theta unknown, pick SWk balancing AVG (decreasing in k)
+  // against competitiveness (k+1); with a factor budget of 10, k = 9.
+  AdvisorQuery query;
+  query.model = CostModel::Connection();
+  query.max_competitive_factor = 10.0;
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->spec.kind, PolicyKind::kSw);
+  EXPECT_EQ(rec->spec.parameter, 9);
+  EXPECT_NEAR(rec->predicted_cost, AvgSwkConnection(9), 1e-12);
+  EXPECT_DOUBLE_EQ(rec->competitive_factor, 10.0);
+}
+
+TEST(AdvisorTest, UnknownThetaLowOmegaPicksSw1) {
+  // Corollary 3: for omega <= 0.4 SW1 has the best average expected cost,
+  // and it also has the best worst case — it should win outright.
+  AdvisorQuery query;
+  query.model = CostModel::Message(0.3);
+  query.max_competitive_factor = 50.0;
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->spec.kind, PolicyKind::kSw1);
+  EXPECT_NEAR(rec->predicted_cost, AvgSw1Message(0.3), 1e-12);
+}
+
+TEST(AdvisorTest, UnknownThetaHighOmegaLargeBudgetPicksBigWindow) {
+  // Corollary 4: for omega > 0.4 a large enough window beats SW1 on AVG —
+  // with a generous worst-case budget the advisor should take it.
+  AdvisorQuery query;
+  query.model = CostModel::Message(0.8);
+  query.max_competitive_factor = 200.0;
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->spec.kind, PolicyKind::kSw);
+  EXPECT_GE(rec->spec.parameter, 7);
+  EXPECT_LT(rec->predicted_cost, AvgSw1Message(0.8));
+}
+
+TEST(AdvisorTest, KnownThetaNoBoundPicksBestStatic) {
+  // With theta known and no worst-case requirement, the statics minimize
+  // the expected cost, and at ties the advisor prefers the simplest policy
+  // (parameter 0) — so the static wins over asymptotically-equal SWk/T1m.
+  AdvisorQuery query;
+  query.model = CostModel::Connection();
+  query.theta = 0.8;  // writes dominate -> ST1
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->spec.kind, PolicyKind::kSt1) << rec->spec.ToString();
+  EXPECT_NEAR(rec->predicted_cost, ExpSt1Connection(0.8), 1e-9);
+  EXPECT_TRUE(std::isinf(rec->competitive_factor));
+
+  query.theta = 0.2;  // reads dominate -> ST2
+  const auto rec2 = RecommendPolicy(query);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2->spec.kind, PolicyKind::kSt2) << rec2->spec.ToString();
+  EXPECT_NEAR(rec2->predicted_cost, ExpSt2Connection(0.2), 1e-9);
+}
+
+TEST(AdvisorTest, KnownThetaWithBoundPicksThresholdPolicy) {
+  // §7.1: with theta > 0.5 known and a worst-case bound, T1m approximates
+  // ST1 better than SWm; budget 16 allows m = 15.
+  AdvisorQuery query;
+  query.model = CostModel::Connection();
+  query.theta = 0.75;
+  query.max_competitive_factor = 16.0;
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->spec.kind, PolicyKind::kT1);
+  EXPECT_EQ(rec->spec.parameter, 15);
+  EXPECT_NEAR(rec->predicted_cost, ExpT1mConnection(15, 0.75), 1e-12);
+
+  query.theta = 0.25;  // mirror: T2m approaches ST2
+  const auto rec2 = RecommendPolicy(query);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2->spec.kind, PolicyKind::kT2);
+}
+
+TEST(AdvisorTest, TightBudgetFallsBackToSw1) {
+  AdvisorQuery query;
+  query.model = CostModel::Connection();
+  query.max_competitive_factor = 2.0;  // only SW1 (factor 2) fits
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->spec.kind, PolicyKind::kSw1);
+  EXPECT_DOUBLE_EQ(rec->competitive_factor, 2.0);
+}
+
+TEST(AdvisorTest, ImpossibleBudgetFails) {
+  AdvisorQuery query;
+  query.model = CostModel::Connection();
+  query.max_competitive_factor = 1.5;  // below SW1's factor 2
+  const auto rec = RecommendPolicy(query);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AdvisorTest, MessageModelTightBudgetUsesOmega) {
+  // SW1's message factor is 1 + 2*omega = 1.4 at omega = 0.2; a budget of
+  // 1.5 admits it, 1.3 does not.
+  AdvisorQuery query;
+  query.model = CostModel::Message(0.2);
+  query.max_competitive_factor = 1.5;
+  ASSERT_TRUE(RecommendPolicy(query).ok());
+  query.max_competitive_factor = 1.3;
+  EXPECT_FALSE(RecommendPolicy(query).ok());
+}
+
+TEST(AdvisorTest, RecommendationNeverViolatesTheBudget) {
+  for (const double omega : {-1.0, 0.2, 0.6, 1.0}) {
+    const CostModel model =
+        omega < 0 ? CostModel::Connection() : CostModel::Message(omega);
+    for (const double budget : {2.5, 5.0, 12.0, 40.0}) {
+      for (const double theta : {-1.0, 0.3, 0.7}) {
+        AdvisorQuery query;
+        query.model = model;
+        query.max_competitive_factor = budget;
+        if (theta >= 0) query.theta = theta;
+        const auto rec = RecommendPolicy(query);
+        if (!rec.ok()) continue;
+        EXPECT_LE(rec->competitive_factor, budget + 1e-9)
+            << "omega=" << omega << " budget=" << budget
+            << " theta=" << theta;
+        EXPECT_FALSE(rec->rationale.empty());
+      }
+    }
+  }
+}
+
+TEST(AdvisorTest, RationaleMentionsPolicy) {
+  AdvisorQuery query;
+  query.model = CostModel::Connection();
+  query.max_competitive_factor = 10.0;
+  const auto rec = RecommendPolicy(query);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NE(rec->rationale.find(rec->spec.ToString()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobrep

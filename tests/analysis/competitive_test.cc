@@ -1,0 +1,265 @@
+#include "mobrep/analysis/competitive.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/core/threshold_policies.h"
+#include "mobrep/trace/adversary.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+TEST(ClaimedFactorTest, PaperValues) {
+  const CostModel conn = CostModel::Connection();
+  const CostModel msg = CostModel::Message(0.5);
+  // Thm. 4.
+  EXPECT_DOUBLE_EQ(*ClaimedCompetitiveFactor(*ParsePolicySpec("sw:9"), conn),
+                   10.0);
+  EXPECT_DOUBLE_EQ(*ClaimedCompetitiveFactor(*ParsePolicySpec("sw1"), conn),
+                   2.0);
+  // Thm. 11: 1 + 2*omega.
+  EXPECT_DOUBLE_EQ(*ClaimedCompetitiveFactor(*ParsePolicySpec("sw1"), msg),
+                   2.0);
+  // Thm. 12: (1 + omega/2)(k + 1) + omega.
+  EXPECT_DOUBLE_EQ(*ClaimedCompetitiveFactor(*ParsePolicySpec("sw:9"), msg),
+                   1.25 * 10.0 + 0.5);
+  // §7.1: T-policies are (m+1)-competitive in the connection model.
+  EXPECT_DOUBLE_EQ(*ClaimedCompetitiveFactor(*ParsePolicySpec("t1:15"), conn),
+                   16.0);
+  EXPECT_DOUBLE_EQ(*ClaimedCompetitiveFactor(*ParsePolicySpec("t2:7"), conn),
+                   8.0);
+}
+
+TEST(ClaimedFactorTest, StaticsAreNotCompetitive) {
+  EXPECT_FALSE(
+      ClaimedCompetitiveFactor(*ParsePolicySpec("st1"), CostModel::Connection())
+          .ok());
+  EXPECT_FALSE(
+      ClaimedCompetitiveFactor(*ParsePolicySpec("st2"), CostModel::Message(0.5))
+          .ok());
+}
+
+TEST(MeasureRatioTest, BasicBookkeeping) {
+  auto policy = CreatePolicy(*ParsePolicySpec("st1"));
+  const Schedule s = UniformSchedule(10, Op::kRead);
+  const RatioReport report =
+      MeasureRatio(policy.get(), s, CostModel::Connection());
+  EXPECT_DOUBLE_EQ(report.policy_cost, 10.0);  // every read is remote
+  EXPECT_DOUBLE_EQ(report.offline_cost, 1.0);
+  EXPECT_DOUBLE_EQ(report.ratio, 10.0);
+}
+
+TEST(MeasureRatioTest, ZeroOfflineCostHandled) {
+  auto policy = CreatePolicy(*ParsePolicySpec("st2"));
+  const Schedule s = UniformSchedule(5, Op::kWrite);
+  const RatioReport report =
+      MeasureRatio(policy.get(), s, CostModel::Connection());
+  EXPECT_DOUBLE_EQ(report.offline_cost, 0.0);
+  EXPECT_TRUE(std::isinf(report.ratio));
+  // With additive_b covering the whole cost, the ratio collapses to 1.
+  const RatioReport forgiven = MeasureRatio(policy.get(), s,
+                                            CostModel::Connection(),
+                                            /*additive_b=*/5.0);
+  EXPECT_DOUBLE_EQ(forgiven.ratio, 1.0);
+}
+
+TEST(StaticNonCompetitivenessTest, RatioGrowsWithoutBound) {
+  // ST1 on all-reads and ST2 on all-writes: the ratio grows linearly with
+  // the schedule length (paper §5.3, §6.4).
+  auto st1 = CreatePolicy(*ParsePolicySpec("st1"));
+  auto st2 = CreatePolicy(*ParsePolicySpec("st2"));
+  const CostModel conn = CostModel::Connection();
+  double prev_ratio = 0.0;
+  for (const int64_t n : {10, 100, 1000}) {
+    const RatioReport r1 =
+        MeasureRatio(st1.get(), UniformSchedule(n, Op::kRead), conn);
+    EXPECT_GT(r1.ratio, prev_ratio);
+    EXPECT_DOUBLE_EQ(r1.ratio, static_cast<double>(n));
+    prev_ratio = r1.ratio;
+
+    // ST2 pays n while the offline optimum is 0: unbounded immediately.
+    const RatioReport r2 =
+        MeasureRatio(st2.get(), UniformSchedule(n, Op::kWrite), conn);
+    EXPECT_TRUE(std::isinf(r2.ratio));
+  }
+}
+
+// The competitiveness *bound*: COST_A <= c * COST_M + b on arbitrary
+// schedules. b covers the initial-state transient; one full thrash cycle
+// of the policy bounds it.
+class CompetitiveBoundTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(CompetitiveBoundTest, HoldsOnRandomSchedules) {
+  const auto [spec_text, omega] = GetParam();
+  const PolicySpec spec = *ParsePolicySpec(spec_text);
+  const CostModel model =
+      omega < 0.0 ? CostModel::Connection() : CostModel::Message(omega);
+  const double factor = *ClaimedCompetitiveFactor(spec, model);
+  auto policy = CreatePolicy(spec);
+
+  // Generous additive constant: the cost of 2(k+1) chargeable requests.
+  const double b = 2.0 * (spec.parameter + 2) * (1.0 + std::max(0.0, omega));
+
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double theta = rng.NextDouble();
+    const Schedule s = GenerateBernoulliSchedule(400, theta, &rng);
+    const double policy_cost = PolicyCostOnSchedule(policy.get(), s, model);
+    const double offline = OfflineOptimalCost(s, model);
+    EXPECT_LE(policy_cost, factor * offline + b)
+        << spec_text << " omega=" << omega << " trial=" << trial;
+  }
+}
+
+TEST_P(CompetitiveBoundTest, HoldsOnAdversarialBlocks) {
+  const auto [spec_text, omega] = GetParam();
+  const PolicySpec spec = *ParsePolicySpec(spec_text);
+  const CostModel model =
+      omega < 0.0 ? CostModel::Connection() : CostModel::Message(omega);
+  const double factor = *ClaimedCompetitiveFactor(spec, model);
+  auto policy = CreatePolicy(spec);
+  const double b = 2.0 * (spec.parameter + 2) * (1.0 + std::max(0.0, omega));
+
+  for (const int wb : {1, 2, 5, 9, 16}) {
+    for (const int rb : {1, 2, 5, 9, 16}) {
+      const Schedule s = BlockSchedule(30, wb, rb);
+      const double policy_cost = PolicyCostOnSchedule(policy.get(), s, model);
+      const double offline = OfflineOptimalCost(s, model);
+      EXPECT_LE(policy_cost, factor * offline + b)
+          << spec_text << " blocks " << wb << "w/" << rb << "r";
+    }
+  }
+}
+
+TEST_P(CompetitiveBoundTest, HoldsOnCruelSchedule) {
+  const auto [spec_text, omega] = GetParam();
+  const PolicySpec spec = *ParsePolicySpec(spec_text);
+  const CostModel model =
+      omega < 0.0 ? CostModel::Connection() : CostModel::Message(omega);
+  const double factor = *ClaimedCompetitiveFactor(spec, model);
+  auto policy = CreatePolicy(spec);
+  const double b = 2.0 * (spec.parameter + 2) * (1.0 + std::max(0.0, omega));
+
+  const Schedule s = CruelSchedule(*policy, 600);
+  const double policy_cost = PolicyCostOnSchedule(policy.get(), s, model);
+  const double offline = OfflineOptimalCost(s, model);
+  EXPECT_LE(policy_cost, factor * offline + b) << spec_text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDynamicPolicies, CompetitiveBoundTest,
+    ::testing::Combine(::testing::Values("sw1", "sw:3", "sw:5", "sw:9",
+                                         "t1:4", "t2:4"),
+                       ::testing::Values(-1.0, 0.0, 0.3, 0.8)));
+
+// Tightness: on the paper's adversarial constructions the measured ratio
+// approaches the claimed factor.
+TEST(TightnessTest, SwkConnectionApproachesKPlusOne) {
+  const CostModel conn = CostModel::Connection();
+  for (const int k : {1, 3, 5, 9}) {
+    SlidingWindowPolicy policy(k);
+    const Schedule s = BlockSchedule(250, k, k);
+    const RatioReport report = MeasureRatio(&policy, s, conn);
+    const double factor = k + 1.0;
+    EXPECT_GT(report.ratio, 0.97 * factor) << "k=" << k;
+    EXPECT_LE(report.ratio, factor + 1e-9) << "k=" << k;
+  }
+}
+
+TEST(TightnessTest, Sw1MessageApproachesOnePlusTwoOmega) {
+  for (const double omega : {0.0, 0.25, 0.5, 1.0}) {
+    const CostModel model = CostModel::Message(omega);
+    auto policy = SlidingWindowPolicy::NewSw1();
+    const Schedule s = AlternatingSchedule(1000);
+    const RatioReport report = MeasureRatio(policy.get(), s, model);
+    const double factor = 1.0 + 2.0 * omega;
+    EXPECT_GT(report.ratio, 0.97 * factor) << "omega=" << omega;
+    EXPECT_LE(report.ratio, factor + 1e-9) << "omega=" << omega;
+  }
+}
+
+TEST(TightnessTest, SwkMessageApproachesTheorem12Factor) {
+  for (const int k : {3, 5, 9}) {
+    for (const double omega : {0.25, 0.5, 1.0}) {
+      const CostModel model = CostModel::Message(omega);
+      SlidingWindowPolicy policy(k);
+      const Schedule s = BlockSchedule(250, k, k);
+      const RatioReport report = MeasureRatio(&policy, s, model);
+      const double factor = (1.0 + omega / 2.0) * (k + 1.0) + omega;
+      EXPECT_GT(report.ratio, 0.97 * factor)
+          << "k=" << k << " omega=" << omega;
+      EXPECT_LE(report.ratio, factor + 1e-9)
+          << "k=" << k << " omega=" << omega;
+    }
+  }
+}
+
+TEST(TightnessTest, T1mConnectionApproachesMPlusOne) {
+  // (m reads, 1 write)* forces T1m to pay m + 1 per cycle while the offline
+  // algorithm pays 1.
+  for (const int m : {2, 4, 8}) {
+    T1mPolicy policy(m);
+    Schedule s;
+    for (int cycle = 0; cycle < 300; ++cycle) {
+      for (int i = 0; i < m; ++i) s.push_back(Op::kRead);
+      s.push_back(Op::kWrite);
+    }
+    const RatioReport report =
+        MeasureRatio(&policy, s, CostModel::Connection());
+    const double factor = m + 1.0;
+    EXPECT_GT(report.ratio, 0.97 * factor) << "m=" << m;
+    EXPECT_LE(report.ratio, factor + 1e-9) << "m=" << m;
+  }
+}
+
+TEST(ExhaustiveWorstRatioTest, FindsTheAllReadScheduleForSt1) {
+  auto st1 = CreatePolicy(*ParsePolicySpec("st1"));
+  const ExhaustiveWorstCase worst =
+      ExhaustiveWorstRatio(st1.get(), CostModel::Connection(), 10);
+  // The all-read schedule costs ST1 n = 10 against an offline cost of 1.
+  EXPECT_DOUBLE_EQ(worst.ratio, 10.0);
+  EXPECT_EQ(ScheduleToString(worst.schedule), "rrrrrrrrrr");
+}
+
+TEST(ExhaustiveWorstRatioTest, StaysAtOrBelowClaimedFactorForSwk) {
+  // With b covering the start-up transient, no schedule of length <= 14
+  // exceeds the claimed factor; and some schedule gets reasonably close.
+  for (const int k : {1, 3}) {
+    SlidingWindowPolicy policy(k);
+    const CostModel model = CostModel::Connection();
+    const double factor = k + 1.0;
+    const double b = k + 1.0;
+    const ExhaustiveWorstCase worst =
+        ExhaustiveWorstRatio(&policy, model, 14, b);
+    EXPECT_LE(worst.ratio, factor + 1e-9) << "k=" << k;
+    EXPECT_GE(worst.ratio, 0.5 * factor) << "k=" << k;
+  }
+}
+
+TEST(ExhaustiveWorstRatioTest, Sw1MessageModelExact) {
+  // Without the additive allowance, the alternating construction is the
+  // worst schedule at every even length; ratio = (1 + 2w) * pairs / pairs.
+  auto sw1 = SlidingWindowPolicy::NewSw1();
+  const double omega = 0.5;
+  const ExhaustiveWorstCase worst =
+      ExhaustiveWorstRatio(sw1.get(), CostModel::Message(omega), 12);
+  // Worst ratio achieved by thrash schedules; must not exceed the factor
+  // plus the vanishing start-up term (the first write is free because the
+  // MC starts without a copy, so the ratio can only fall below).
+  EXPECT_LE(worst.ratio, 1.0 + 2.0 * omega + 1e-9);
+  EXPECT_GT(worst.ratio, 0.9 * (1.0 + 2.0 * omega));
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,83 @@
+#include "mobrep/analysis/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/analysis/expected_cost.h"
+
+namespace mobrep {
+namespace {
+
+TEST(BoundaryTest, KnownValues) {
+  // omega = 0: boundaries collapse to theta = 1 and theta = 0 — SW1 wins
+  // the whole open interval (without control-message cost the window-of-one
+  // algorithm is pointwise at least as good as both statics).
+  EXPECT_DOUBLE_EQ(DominanceUpperBoundary(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(DominanceLowerBoundary(0.0), 0.0);
+  // omega = 1: upper 2/3, lower 2/3 — the SW1 band vanishes.
+  EXPECT_NEAR(DominanceUpperBoundary(1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(DominanceLowerBoundary(1.0), 2.0 / 3.0, 1e-12);
+  // omega = 0.5: (1.5/2, 1/2).
+  EXPECT_DOUBLE_EQ(DominanceUpperBoundary(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(DominanceLowerBoundary(0.5), 0.5);
+}
+
+TEST(BoundaryTest, BandIsNonEmptyBelowOmegaOne) {
+  for (double omega = 0.0; omega < 1.0; omega += 0.05) {
+    EXPECT_LT(DominanceLowerBoundary(omega), DominanceUpperBoundary(omega))
+        << "omega=" << omega;
+  }
+}
+
+TEST(ClassifyTest, Theorem6Regions) {
+  const double omega = 0.5;  // boundaries at 0.75 and 0.5
+  EXPECT_EQ(ClassifyByTheorem6(0.9, omega), MessageDominant::kSt1);
+  EXPECT_EQ(ClassifyByTheorem6(0.6, omega), MessageDominant::kSw1);
+  EXPECT_EQ(ClassifyByTheorem6(0.3, omega), MessageDominant::kSt2);
+}
+
+TEST(ClassifyTest, AgreesWithDirectComparisonOffBoundary) {
+  for (double omega = 0.0; omega <= 1.0; omega += 0.02) {
+    for (double theta = 0.01; theta < 1.0; theta += 0.01) {
+      const double upper = DominanceUpperBoundary(omega);
+      const double lower = DominanceLowerBoundary(omega);
+      // Skip a small neighbourhood of the boundaries where ties occur.
+      if (std::abs(theta - upper) < 1e-6 || std::abs(theta - lower) < 1e-6) {
+        continue;
+      }
+      EXPECT_EQ(ClassifyByTheorem6(theta, omega),
+                ClassifyByExpectedCosts(theta, omega))
+          << "theta=" << theta << " omega=" << omega;
+    }
+  }
+}
+
+TEST(ClassifyTest, Theorem6OrderingInsideRegions) {
+  // Region 1 (theta above upper): ST1 < SW1 < ST2.
+  {
+    const double theta = 0.95, omega = 0.5;
+    EXPECT_LT(ExpSt1Message(theta, omega), ExpSw1Message(theta, omega));
+    EXPECT_LT(ExpSw1Message(theta, omega), ExpSt2Message(theta, omega));
+  }
+  // Region 3 (theta below lower): ST2 < SW1 < ST1.
+  {
+    const double theta = 0.2, omega = 0.5;
+    EXPECT_LT(ExpSt2Message(theta, omega), ExpSw1Message(theta, omega));
+    EXPECT_LT(ExpSw1Message(theta, omega), ExpSt1Message(theta, omega));
+  }
+  // Middle band: SW1 below both statics.
+  {
+    const double theta = 0.6, omega = 0.5;
+    EXPECT_LT(ExpSw1Message(theta, omega),
+              std::min(ExpSt1Message(theta, omega),
+                       ExpSt2Message(theta, omega)));
+  }
+}
+
+TEST(MessageDominantNameTest, Names) {
+  EXPECT_STREQ(MessageDominantName(MessageDominant::kSt1), "ST1");
+  EXPECT_STREQ(MessageDominantName(MessageDominant::kSw1), "SW1");
+  EXPECT_STREQ(MessageDominantName(MessageDominant::kSt2), "ST2");
+}
+
+}  // namespace
+}  // namespace mobrep

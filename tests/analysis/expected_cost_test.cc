@@ -1,0 +1,286 @@
+#include "mobrep/analysis/expected_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/analysis/markov_oracle.h"
+#include "mobrep/common/math.h"
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/sliding_window_policy.h"
+
+namespace mobrep {
+namespace {
+
+constexpr double kThetaGrid[] = {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95};
+
+TEST(AlphaKTest, DegenerateTheta) {
+  for (const int k : {1, 3, 9}) {
+    EXPECT_DOUBLE_EQ(AlphaK(k, 0.0), 1.0);  // all reads: majority reads
+    EXPECT_DOUBLE_EQ(AlphaK(k, 1.0), 0.0);  // all writes
+  }
+}
+
+TEST(AlphaKTest, HalfThetaIsHalf) {
+  // At theta = 1/2 and odd k, majority-reads and majority-writes are
+  // symmetric, so alpha_k = 1/2 exactly.
+  for (const int k : {1, 3, 5, 9, 15, 21}) {
+    EXPECT_NEAR(AlphaK(k, 0.5), 0.5, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(AlphaKTest, SymmetryInTheta) {
+  // alpha_k(theta) = 1 - alpha_k(1 - theta).
+  for (const int k : {3, 7, 15}) {
+    for (const double theta : kThetaGrid) {
+      EXPECT_NEAR(AlphaK(k, theta), 1.0 - AlphaK(k, 1.0 - theta), 1e-12);
+    }
+  }
+}
+
+TEST(AlphaKTest, SharpensWithK) {
+  // For theta < 1/2 (reads dominate), alpha_k increases with k.
+  EXPECT_LT(AlphaK(1, 0.3), AlphaK(5, 0.3));
+  EXPECT_LT(AlphaK(5, 0.3), AlphaK(21, 0.3));
+  // For theta > 1/2 it decreases.
+  EXPECT_GT(AlphaK(1, 0.7), AlphaK(5, 0.7));
+  EXPECT_GT(AlphaK(5, 0.7), AlphaK(21, 0.7));
+}
+
+TEST(AlphaKTest, MatchesExplicitBinomialSum) {
+  // Direct evaluation of eq. 4 for k = 5, theta = 0.4:
+  // sum_{j=0}^{2} C(5,j) 0.4^j 0.6^(5-j).
+  const double expected = 1 * std::pow(0.6, 5) +
+                          5 * 0.4 * std::pow(0.6, 4) +
+                          10 * 0.16 * std::pow(0.6, 3);
+  EXPECT_NEAR(AlphaK(5, 0.4), expected, 1e-12);
+}
+
+TEST(SwkTransitionProbabilityTest, MatchesDirectFormula) {
+  // k=5 (n=2): C(4,2) theta^3 (1-theta)^3.
+  const double theta = 0.3;
+  EXPECT_NEAR(SwkTransitionProbability(5, theta),
+              6.0 * std::pow(theta, 3) * std::pow(1.0 - theta, 3), 1e-12);
+  EXPECT_DOUBLE_EQ(SwkTransitionProbability(9, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SwkTransitionProbability(9, 1.0), 0.0);
+}
+
+TEST(SwkTransitionProbabilityTest, MonteCarloDeallocationRate) {
+  // The closed form is the steady-state probability that one request is a
+  // deallocating write; measure it by simulation.
+  const int k = 5;
+  const double theta = 0.45;
+  SlidingWindowPolicy policy(k);
+  Rng rng(404);
+  const int64_t n = 400000;
+  int64_t deallocations = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool before = policy.has_copy();
+    policy.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead);
+    if (before && !policy.has_copy()) ++deallocations;
+  }
+  const double rate = static_cast<double>(deallocations) / n;
+  EXPECT_NEAR(rate, SwkTransitionProbability(k, theta), 0.003);
+}
+
+// --- Formula vs. exact Markov oracle, connection model ---
+
+class SwkConnectionOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SwkConnectionOracleTest, FormulaMatchesOracle) {
+  const auto [k, theta] = GetParam();
+  const CostModel model = CostModel::Connection();
+  const double formula = ExpSwkConnection(k, theta);
+  const double oracle = MarkovExpectedCostSlidingWindow(
+      k, /*sw1_delete_optimization=*/false, theta, model);
+  EXPECT_NEAR(formula, oracle, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SwkConnectionOracleTest,
+    ::testing::Combine(::testing::Values(1, 3, 5, 9, 15),
+                       ::testing::ValuesIn(kThetaGrid)));
+
+// --- Formula vs. exact Markov oracle, message model ---
+
+class SwkMessageOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(SwkMessageOracleTest, Eq11MatchesOracle) {
+  const auto [k, theta, omega] = GetParam();
+  const CostModel model = CostModel::Message(omega);
+  const double formula = ExpSwkMessage(k, theta, omega);
+  const double oracle = MarkovExpectedCostSlidingWindow(
+      k, /*sw1_delete_optimization=*/false, theta, model);
+  EXPECT_NEAR(formula, oracle, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SwkMessageOracleTest,
+    ::testing::Combine(::testing::Values(1, 3, 5, 9, 15),
+                       ::testing::ValuesIn(kThetaGrid),
+                       ::testing::Values(0.0, 0.25, 0.5, 1.0)));
+
+TEST(Sw1MessageOracleTest, Eq9MatchesOracle) {
+  for (const double theta : kThetaGrid) {
+    for (const double omega : {0.0, 0.3, 0.7, 1.0}) {
+      const CostModel model = CostModel::Message(omega);
+      EXPECT_NEAR(ExpSw1Message(theta, omega),
+                  MarkovExpectedCostSlidingWindow(
+                      1, /*sw1_delete_optimization=*/true, theta, model),
+                  1e-10)
+          << "theta=" << theta << " omega=" << omega;
+    }
+  }
+}
+
+TEST(T1mOracleTest, FormulaMatchesChain) {
+  for (const int m : {1, 2, 5, 15}) {
+    for (const double theta : kThetaGrid) {
+      EXPECT_NEAR(ExpT1mConnection(m, theta),
+                  MarkovExpectedCostT1m(m, theta, CostModel::Connection()),
+                  1e-9)
+          << "m=" << m << " theta=" << theta;
+      EXPECT_NEAR(ExpT1mMessage(m, theta, 0.4),
+                  MarkovExpectedCostT1m(m, theta, CostModel::Message(0.4)),
+                  1e-9);
+    }
+  }
+}
+
+TEST(T2mOracleTest, FormulaMatchesChain) {
+  for (const int m : {1, 2, 5, 15}) {
+    for (const double theta : kThetaGrid) {
+      EXPECT_NEAR(ExpT2mConnection(m, theta),
+                  MarkovExpectedCostT2m(m, theta, CostModel::Connection()),
+                  1e-9)
+          << "m=" << m << " theta=" << theta;
+      EXPECT_NEAR(ExpT2mMessage(m, theta, 0.4),
+                  MarkovExpectedCostT2m(m, theta, CostModel::Message(0.4)),
+                  1e-9);
+    }
+  }
+}
+
+// --- Formula vs. Monte-Carlo simulation of the real policies ---
+
+class ExpectedCostSimulationTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, double, double>> {};
+
+TEST_P(ExpectedCostSimulationTest, SimulationConvergesToFormula) {
+  const auto [spec_text, theta, omega] = GetParam();
+  const PolicySpec spec = *ParsePolicySpec(spec_text);
+  const CostModel model =
+      omega < 0.0 ? CostModel::Connection() : CostModel::Message(omega);
+  const double formula = *ExpectedCost(spec, model, theta);
+
+  auto policy = CreatePolicy(spec);
+  CostMeter meter(policy.get(), &model);
+  Rng rng(1234567 + static_cast<uint64_t>(theta * 1000) +
+          static_cast<uint64_t>((omega + 2.0) * 17));
+  RunningStat stat;
+  // Warm-up so the fixed initial state does not bias the estimate.
+  for (int i = 0; i < 2000; ++i) {
+    meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead);
+  }
+  const int64_t n = 300000;
+  for (int64_t i = 0; i < n; ++i) {
+    stat.Add(meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead));
+  }
+  // Per-request costs are dependent (Markov), so the i.i.d. standard error
+  // underestimates; use a generous 10x multiplier plus an absolute floor.
+  const double tolerance = 10.0 * stat.std_error() + 5e-3;
+  EXPECT_NEAR(stat.mean(), formula, tolerance)
+      << spec_text << " theta=" << theta << " omega=" << omega;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Connection, ExpectedCostSimulationTest,
+    ::testing::Combine(::testing::Values("st1", "st2", "sw1", "sw:3", "sw:9",
+                                         "t1:7", "t2:7"),
+                       ::testing::Values(0.15, 0.5, 0.85),
+                       ::testing::Values(-1.0)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Message, ExpectedCostSimulationTest,
+    ::testing::Combine(::testing::Values("st1", "st2", "sw1", "sw:3", "sw:9",
+                                         "t1:7", "t2:7"),
+                       ::testing::Values(0.15, 0.5, 0.85),
+                       ::testing::Values(0.3, 0.8)));
+
+// --- The paper's comparison theorems ---
+
+TEST(Theorem2Test, SwkNeverBeatsBestStaticConnection) {
+  for (const int k : {1, 3, 5, 9, 15, 21}) {
+    for (double theta = 0.0; theta <= 1.0; theta += 0.01) {
+      const double swk = ExpSwkConnection(k, theta);
+      const double best =
+          std::min(ExpSt1Connection(theta), ExpSt2Connection(theta));
+      EXPECT_GE(swk, best - 1e-12) << "k=" << k << " theta=" << theta;
+    }
+  }
+}
+
+TEST(Theorem9Test, SwkDominatedPointwiseMessage) {
+  // EXP_SWk (k>1) >= min(EXP_SW1, EXP_ST1, EXP_ST2) for all theta, omega.
+  for (const int k : {3, 5, 9, 15}) {
+    for (const double omega : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      for (double theta = 0.0; theta <= 1.0; theta += 0.01) {
+        const double swk = ExpSwkMessage(k, theta, omega);
+        const double best = std::min({ExpSw1Message(theta, omega),
+                                      ExpSt1Message(theta, omega),
+                                      ExpSt2Message(theta, omega)});
+        EXPECT_GE(swk, best - 1e-9)
+            << "k=" << k << " theta=" << theta << " omega=" << omega;
+      }
+    }
+  }
+}
+
+TEST(ExpectedCostDispatcherTest, MatchesDirectFormulas) {
+  const CostModel conn = CostModel::Connection();
+  const CostModel msg = CostModel::Message(0.4);
+  EXPECT_DOUBLE_EQ(*ExpectedCost(*ParsePolicySpec("st1"), conn, 0.3),
+                   ExpSt1Connection(0.3));
+  EXPECT_DOUBLE_EQ(*ExpectedCost(*ParsePolicySpec("sw:9"), msg, 0.3),
+                   ExpSwkMessage(9, 0.3, 0.4));
+  EXPECT_DOUBLE_EQ(*ExpectedCost(*ParsePolicySpec("sw1"), msg, 0.3),
+                   ExpSw1Message(0.3, 0.4));
+  EXPECT_DOUBLE_EQ(*ExpectedCost(*ParsePolicySpec("t1:15"), conn, 0.75),
+                   ExpT1mConnection(15, 0.75));
+}
+
+TEST(ExpectedCostDispatcherTest, RejectsEvenWindows) {
+  EXPECT_FALSE(
+      ExpectedCost({PolicyKind::kSw, 4}, CostModel::Connection(), 0.5).ok());
+}
+
+// §7.1's comparison: for theta > 0.5, T1m has a slightly lower expected
+// cost than SWm in the connection model.
+TEST(T1mVsSwmTest, T1mBeatsSwmForWriteHeavyTheta) {
+  for (const int m : {3, 5, 9, 15}) {
+    for (const double theta : {0.55, 0.65, 0.75, 0.9}) {
+      EXPECT_LT(ExpT1mConnection(m, theta), ExpSwkConnection(m, theta))
+          << "m=" << m << " theta=" << theta;
+    }
+  }
+}
+
+// Conclusion §9's worked number: for m = 15 and theta = 0.75, T1m comes
+// within 4% of the optimum (the best static, ST1 at 1 - theta).
+TEST(T1mVsSwmTest, PaperExampleWithinFourPercent) {
+  const double t1m = ExpT1mConnection(15, 0.75);
+  const double optimum = ExpSt1Connection(0.75);
+  EXPECT_LT((t1m - optimum) / optimum, 0.04);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,70 @@
+#include "mobrep/analysis/thresholds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/analysis/average_cost.h"
+
+namespace mobrep {
+namespace {
+
+TEST(KThresholdRealTest, RequiresOmegaAboveCorollary3Bound) {
+  EXPECT_FALSE(KThresholdReal(0.0).ok());
+  EXPECT_FALSE(KThresholdReal(0.4).ok());
+  EXPECT_TRUE(KThresholdReal(0.41).ok());
+  EXPECT_TRUE(KThresholdReal(1.0).ok());
+}
+
+TEST(KThresholdRealTest, PaperWorkedExamples) {
+  // omega = 0.8: root ~5.07 -> the next odd k is 7 (paper: "if omega = 0.8,
+  // then only when k >= 7").
+  const double root_08 = *KThresholdReal(0.8);
+  EXPECT_GT(root_08, 5.0);
+  EXPECT_LT(root_08, 7.0);
+  // omega = 0.45: root ~38.5 -> next odd k is 39.
+  const double root_045 = *KThresholdReal(0.45);
+  EXPECT_GT(root_045, 37.0);
+  EXPECT_LT(root_045, 39.0);
+}
+
+TEST(MinOddKBeatingSw1Test, PaperWorkedExamples) {
+  EXPECT_EQ(*MinOddKBeatingSw1(0.8), 7);
+  EXPECT_EQ(*MinOddKBeatingSw1(0.45), 39);
+}
+
+TEST(MinOddKBeatingSw1Test, FigureAxisPoints) {
+  // The paper's figure marks k in {3,5,7,11,21,39,95} along decreasing
+  // omega; check the curve is monotone: lower omega -> larger threshold.
+  int prev = 3;
+  for (const double omega : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.45, 0.43}) {
+    const auto k = MinOddKBeatingSw1(omega);
+    ASSERT_TRUE(k.ok()) << "omega=" << omega;
+    EXPECT_GE(*k, prev) << "omega=" << omega;
+    prev = *k;
+  }
+}
+
+TEST(MinOddKBeatingSw1Test, NoThresholdAtOrBelowPointFour) {
+  EXPECT_FALSE(MinOddKBeatingSw1(0.4, /*k_max=*/20001).ok());
+  EXPECT_FALSE(MinOddKBeatingSw1(0.2, /*k_max=*/20001).ok());
+}
+
+TEST(MinOddKBeatingSw1Test, ConsistentWithClosedFormRoot) {
+  // The searched threshold must be the smallest odd integer > 1 at or above
+  // the real root.
+  for (const double omega : {0.45, 0.5, 0.6, 0.75, 0.9, 1.0}) {
+    const double root = *KThresholdReal(omega);
+    const int k = *MinOddKBeatingSw1(omega);
+    EXPECT_GE(static_cast<double>(k), root - 1e-9) << "omega=" << omega;
+    // The previous odd value must not already beat SW1.
+    if (k - 2 > 1) {
+      EXPECT_GT(AvgSwkMessage(k - 2, omega), AvgSw1Message(omega))
+          << "omega=" << omega;
+    }
+    EXPECT_LE(AvgSwkMessage(k, omega), AvgSw1Message(omega));
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

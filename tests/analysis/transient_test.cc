@@ -1,0 +1,136 @@
+#include "mobrep/analysis/transient.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/common/math.h"
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/sliding_window_policy.h"
+
+namespace mobrep {
+namespace {
+
+TransientSpec Spec(int k, TransientStart start) {
+  TransientSpec spec;
+  spec.k = k;
+  spec.start = start;
+  return spec;
+}
+
+TEST(TransientTest, StationaryStartIsFlatAtSteadyState) {
+  // Starting from the stationary law of theta itself, every request has
+  // exactly the steady-state expected cost (eq. 5 / eq. 11).
+  for (const int k : {1, 3, 9}) {
+    for (const double theta : {0.2, 0.5, 0.8}) {
+      TransientSpec spec = Spec(k, TransientStart::kStationaryOfPreviousTheta);
+      spec.previous_theta = theta;
+      const CostModel model = CostModel::Message(0.4);
+      const auto costs = TransientExpectedCosts(spec, theta, model, 25);
+      const double steady = ExpSwkMessage(k, theta, 0.4);
+      for (const double c : costs) {
+        ASSERT_NEAR(c, steady, 1e-10) << "k=" << k << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(TransientTest, ConvergesToSteadyStateFromAnyStart) {
+  const CostModel model = CostModel::Connection();
+  for (const auto start :
+       {TransientStart::kAllWrites, TransientStart::kAllReads}) {
+    const auto costs =
+        TransientExpectedCosts(Spec(9, start), 0.3, model, 600);
+    EXPECT_NEAR(costs.back(), ExpSwkConnection(9, 0.3), 1e-6);
+  }
+}
+
+TEST(TransientTest, MatchesMonteCarloSimulationOfTheRealPolicy) {
+  // The Evolver duplicates the policy's decision rules for speed; verify
+  // the first 30 per-request expected costs against 200k Monte-Carlo runs
+  // of the actual SlidingWindowPolicy.
+  const int k = 5;
+  const double theta = 0.35;
+  const CostModel model = CostModel::Message(0.5);
+  const int horizon = 30;
+  const auto exact = TransientExpectedCosts(
+      Spec(k, TransientStart::kAllWrites), theta, model, horizon);
+
+  std::vector<RunningStat> stats(static_cast<size_t>(horizon));
+  Rng rng(777);
+  SlidingWindowPolicy policy(k);
+  for (int run = 0; run < 200000; ++run) {
+    policy.Reset();
+    CostMeter meter(&policy, &model);
+    for (int t = 0; t < horizon; ++t) {
+      stats[static_cast<size_t>(t)].Add(
+          meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead));
+    }
+  }
+  for (int t = 0; t < horizon; ++t) {
+    const auto& stat = stats[static_cast<size_t>(t)];
+    ASSERT_NEAR(stat.mean(), exact[static_cast<size_t>(t)],
+                5.0 * stat.std_error() + 1e-3)
+        << "t=" << t;
+  }
+}
+
+TEST(TransientTest, Sw1OptimizationChangesWriteCosts) {
+  // With the window distribution identical, SW1's optimized writes cost
+  // omega instead of 1 + omega.
+  TransientSpec generic = Spec(1, TransientStart::kAllReads);
+  TransientSpec optimized = generic;
+  optimized.sw1_delete_optimization = true;
+  const CostModel model = CostModel::Message(0.5);
+  const auto a = TransientExpectedCosts(generic, 1.0, model, 1);
+  const auto b = TransientExpectedCosts(optimized, 1.0, model, 1);
+  // First request is surely a write against a held copy.
+  EXPECT_DOUBLE_EQ(a[0], 1.5);
+  EXPECT_DOUBLE_EQ(b[0], 0.5);
+}
+
+TEST(TransientCopyProbabilityTest, TracksRegimeChange) {
+  // All-write start (no copy), then a read-only regime: the copy appears
+  // with certainty after (k+1)/2 reads and never before.
+  const int k = 7;
+  const auto probs = TransientCopyProbability(
+      Spec(k, TransientStart::kAllWrites), /*theta=*/0.0, 12);
+  for (int t = 0; t < (k + 1) / 2 - 1; ++t) {
+    EXPECT_DOUBLE_EQ(probs[static_cast<size_t>(t)], 0.0) << t;
+  }
+  for (int t = (k + 1) / 2 - 1; t < 12; ++t) {
+    EXPECT_DOUBLE_EQ(probs[static_cast<size_t>(t)], 1.0) << t;
+  }
+}
+
+TEST(TransientCopyProbabilityTest, SteadyStateEqualsAlphaK) {
+  const int k = 9;
+  const double theta = 0.4;
+  const auto probs = TransientCopyProbability(
+      Spec(k, TransientStart::kAllWrites), theta, 400);
+  EXPECT_NEAR(probs.back(), AlphaK(k, theta), 1e-8);
+}
+
+TEST(AdaptationTimeTest, GrowsWithWindowSize) {
+  // After a write-regime -> read-regime flip, larger windows take longer
+  // to settle back to steady-state cost.
+  const CostModel model = CostModel::Connection();
+  int previous = 0;
+  for (const int k : {3, 7, 15}) {
+    const int t = AdaptationTime(Spec(k, TransientStart::kAllWrites),
+                                 /*theta=*/0.1, model, 1e-4, 2000);
+    EXPECT_GT(t, previous) << "k=" << k;
+    EXPECT_LT(t, 2001) << "k=" << k;
+    previous = t;
+  }
+}
+
+TEST(AdaptationTimeTest, StationaryStartIsImmediate) {
+  TransientSpec spec = Spec(9, TransientStart::kStationaryOfPreviousTheta);
+  spec.previous_theta = 0.6;
+  EXPECT_EQ(AdaptationTime(spec, 0.6, CostModel::Connection(), 1e-9, 100),
+            1);
+}
+
+}  // namespace
+}  // namespace mobrep

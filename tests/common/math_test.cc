@@ -1,0 +1,128 @@
+#include "mobrep/common/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-12);
+}
+
+TEST(LogFactorialTest, LargeValuesMatchLgamma) {
+  EXPECT_NEAR(LogFactorial(200), std::lgamma(201.0), 1e-9);
+}
+
+TEST(BinomialCoefficientTest, KnownValues) {
+  EXPECT_NEAR(BinomialCoefficient(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(BinomialCoefficient(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(BinomialCoefficient(10, 5), 252.0, 1e-7);
+  EXPECT_NEAR(BinomialCoefficient(20, 10), 184756.0, 1e-4);
+}
+
+TEST(BinomialCoefficientTest, PascalIdentity) {
+  for (int n = 2; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      const double lhs = BinomialCoefficient(n, k);
+      const double rhs =
+          BinomialCoefficient(n - 1, k - 1) + BinomialCoefficient(n - 1, k);
+      EXPECT_NEAR(lhs / rhs, 1.0, 1e-10) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    double sum = 0.0;
+    for (int k = 0; k <= 15; ++k) sum += BinomialPmf(15, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmfTest, DegenerateP) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(7, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(7, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(7, 7, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(7, 2, 1.0), 0.0);
+}
+
+TEST(BinomialPmfTest, MatchesDirectFormula) {
+  // n=4, k=2, p=0.3: C(4,2) 0.09 * 0.49 = 6*0.0441 = 0.2646.
+  EXPECT_NEAR(BinomialPmf(4, 2, 0.3), 0.2646, 1e-12);
+}
+
+TEST(BinomialCdfTest, MonotoneAndBounded) {
+  double prev = 0.0;
+  for (int k = 0; k <= 9; ++k) {
+    const double cdf = BinomialCdf(9, k, 0.4);
+    EXPECT_GE(cdf, prev);
+    EXPECT_LE(cdf, 1.0);
+    prev = cdf;
+  }
+  EXPECT_NEAR(BinomialCdf(9, 9, 0.4), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BinomialCdf(9, -1, 0.4), 0.0);
+}
+
+TEST(AdaptiveSimpsonTest, Polynomial) {
+  // Integral of 3x^2 over [0,1] = 1.
+  const double result =
+      AdaptiveSimpson([](double x) { return 3.0 * x * x; }, 0.0, 1.0);
+  EXPECT_NEAR(result, 1.0, 1e-10);
+}
+
+TEST(AdaptiveSimpsonTest, Transcendental) {
+  // Integral of sin over [0, pi] = 2.
+  const double pi = std::acos(-1.0);
+  const double result =
+      AdaptiveSimpson([](double x) { return std::sin(x); }, 0.0, pi);
+  EXPECT_NEAR(result, 2.0, 1e-9);
+}
+
+TEST(AdaptiveSimpsonTest, SharpPeak) {
+  // Integral of 1/(1e-4 + x^2) over [-1, 1] = 2*atan(100)/0.01.
+  const double expected = 2.0 * std::atan(100.0) / 0.01;
+  const double result = AdaptiveSimpson(
+      [](double x) { return 1.0 / (1e-4 + x * x); }, -1.0, 1.0, 1e-8);
+  EXPECT_NEAR(result / expected, 1.0, 1e-6);
+}
+
+TEST(AdaptiveSimpsonTest, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(
+      AdaptiveSimpson([](double x) { return x; }, 2.0, 2.0), 0.0);
+}
+
+TEST(NearlyEqualTest, Basic) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.1, 1e-9));
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(x);
+  }
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_NEAR(stat.mean(), 5.0, 1e-12);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(stat.std_error(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+}
+
+TEST(RunningStatTest, FewSamples) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.std_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobrep

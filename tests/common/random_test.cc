@@ -1,0 +1,124 @@
+#include "mobrep/common/random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  // Standard error ~ 1/sqrt(12 n) ~ 0.00065; allow 5 sigma.
+  EXPECT_NEAR(sum / n, 0.5, 0.0035);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(5);
+  const double p = 0.3;
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+  // Standard error ~ sqrt(p(1-p)/n) ~ 0.001; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.006);
+}
+
+TEST(RngTest, UniformIntWithinBoundsAndCoversAll) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.Exponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork(1);
+  Rng child2 = parent.Fork(1);
+  // Forks from different points of the parent stream differ.
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextUint64() != child2.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(SplitMix64Test, KnownFirstOutputs) {
+  // Reference values for seed 0 from the SplitMix64 reference
+  // implementation (Steele, Lea, Flood).
+  SplitMix64 mixer(0);
+  EXPECT_EQ(mixer.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(mixer.Next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(mixer.Next(), 0x06c45d188009454fULL);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,75 @@
+#include "mobrep/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(StrSplitTest, Basic) {
+  const auto pieces = StrSplit("a,b,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyPieces) {
+  const auto pieces = StrSplit(",a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 5u);
+  EXPECT_EQ(pieces[0], "");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[4], "");
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyPiece) {
+  const auto pieces = StrSplit("", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("hello"), "hello");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 0.0 ").value(), 0.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("1.5z").has_value());
+  EXPECT_FALSE(ParseDouble("--3").has_value());
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_str(500, 'a');
+  EXPECT_EQ(StrFormat("%s", long_str.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,30 @@
+// Compilation guard for the umbrella header: it must stay self-contained
+// and pull in every public module.
+
+#include "mobrep/mobrep.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(UmbrellaHeaderTest, EveryLayerIsReachable) {
+  // One symbol per layer proves the includes are wired.
+  EXPECT_EQ(OpToChar(Op::kRead), 'r');                       // core
+  EXPECT_NEAR(AlphaK(3, 0.5), 0.5, 1e-12);                   // analysis
+  EXPECT_EQ(UniformSchedule(2, Op::kWrite).size(), 2u);      // trace
+  EXPECT_TRUE(IsDataMessage(MessageType::kDataResponse));    // net
+  EXPECT_EQ(EncodeWindow({Op::kRead}).substr(0, 2), "1:");   // wire format
+  VersionedStore store;                                      // store
+  EXPECT_EQ(store.Put("k", "v"), 1u);
+  RandomWalkMobility mobility(3, 1.0, Rng(1));               // mobility
+  EXPECT_LT(mobility.NextCell(0), 3);
+  ReplicationManager manager({});                            // manager
+  EXPECT_EQ(manager.item_count(), 0u);
+  const MultiObjectWorkload workload =
+      TwoObjectWorkload(1, 1, 1, 1, 1, 1);                   // multi
+  EXPECT_TRUE(workload.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,109 @@
+#include "mobrep/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(ConnectionModelTest, Prices) {
+  const CostModel model = CostModel::Connection();
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kLocalRead), 0.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWriteNoCopy), 0.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kRemoteRead), 1.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kRemoteReadAllocate), 1.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWritePropagate), 1.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWritePropagateDeallocate), 1.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWriteInvalidate), 1.0);
+  EXPECT_DOUBLE_EQ(model.RemoteReadPrice(), 1.0);
+}
+
+TEST(MessageModelTest, PricesWithOmega) {
+  const double omega = 0.25;
+  const CostModel model = CostModel::Message(omega);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kLocalRead), 0.0);
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWriteNoCopy), 0.0);
+  // Remote read: control request + data response (paper §3).
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kRemoteRead), 1.0 + omega);
+  // Allocation piggybacks for free on the data response.
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kRemoteReadAllocate), 1.0 + omega);
+  // Propagated write: one data message.
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWritePropagate), 1.0);
+  // Deallocating write: data message + the MC's delete-request.
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWritePropagateDeallocate),
+                   1.0 + omega);
+  // SW1's optimized write: the delete-request only.
+  EXPECT_DOUBLE_EQ(model.Price(ActionKind::kWriteInvalidate), omega);
+}
+
+TEST(MessageModelTest, OmegaZeroDiffersFromConnectionOnInvalidate) {
+  // With omega = 0 the message model prices the SW1 invalidate at 0 while
+  // the connection model still charges a full connection for it.
+  const CostModel message = CostModel::Message(0.0);
+  const CostModel connection = CostModel::Connection();
+  EXPECT_DOUBLE_EQ(message.Price(ActionKind::kWriteInvalidate), 0.0);
+  EXPECT_DOUBLE_EQ(connection.Price(ActionKind::kWriteInvalidate), 1.0);
+}
+
+TEST(CostModelDeathTest, OmegaOutOfRangeAborts) {
+  EXPECT_DEATH({ (void)CostModel::Message(1.5); }, "omega");
+  EXPECT_DEATH({ (void)CostModel::Message(-0.1); }, "omega");
+}
+
+TEST(CostModelTest, Names) {
+  EXPECT_EQ(CostModel::Connection().name(), "connection");
+  EXPECT_EQ(CostModel::Message(0.5).name(), "message(omega=0.500)");
+}
+
+TEST(ActionLegalityTest, ReadActions) {
+  EXPECT_TRUE(ActionLegalFor(ActionKind::kLocalRead, Op::kRead, true));
+  EXPECT_FALSE(ActionLegalFor(ActionKind::kLocalRead, Op::kRead, false));
+  EXPECT_TRUE(ActionLegalFor(ActionKind::kRemoteRead, Op::kRead, false));
+  EXPECT_FALSE(ActionLegalFor(ActionKind::kRemoteRead, Op::kRead, true));
+  EXPECT_FALSE(ActionLegalFor(ActionKind::kRemoteRead, Op::kWrite, false));
+  EXPECT_TRUE(
+      ActionLegalFor(ActionKind::kRemoteReadAllocate, Op::kRead, false));
+}
+
+TEST(ActionLegalityTest, WriteActions) {
+  EXPECT_TRUE(ActionLegalFor(ActionKind::kWriteNoCopy, Op::kWrite, false));
+  EXPECT_FALSE(ActionLegalFor(ActionKind::kWriteNoCopy, Op::kWrite, true));
+  EXPECT_TRUE(ActionLegalFor(ActionKind::kWritePropagate, Op::kWrite, true));
+  EXPECT_TRUE(
+      ActionLegalFor(ActionKind::kWritePropagateDeallocate, Op::kWrite, true));
+  EXPECT_TRUE(ActionLegalFor(ActionKind::kWriteInvalidate, Op::kWrite, true));
+  EXPECT_FALSE(
+      ActionLegalFor(ActionKind::kWriteInvalidate, Op::kWrite, false));
+  EXPECT_FALSE(ActionLegalFor(ActionKind::kWritePropagate, Op::kRead, true));
+}
+
+TEST(CopyStateAfterTest, Transitions) {
+  EXPECT_TRUE(CopyStateAfter(ActionKind::kLocalRead, true));
+  EXPECT_FALSE(CopyStateAfter(ActionKind::kRemoteRead, false));
+  EXPECT_TRUE(CopyStateAfter(ActionKind::kRemoteReadAllocate, false));
+  EXPECT_FALSE(CopyStateAfter(ActionKind::kWriteNoCopy, false));
+  EXPECT_TRUE(CopyStateAfter(ActionKind::kWritePropagate, true));
+  EXPECT_FALSE(CopyStateAfter(ActionKind::kWritePropagateDeallocate, true));
+  EXPECT_FALSE(CopyStateAfter(ActionKind::kWriteInvalidate, true));
+}
+
+TEST(ActionWireTest, MessageCounts) {
+  EXPECT_EQ(WireFor(ActionKind::kLocalRead).connections, 0);
+  const ActionWire remote = WireFor(ActionKind::kRemoteRead);
+  EXPECT_EQ(remote.data_messages, 1);
+  EXPECT_EQ(remote.control_messages, 1);
+  EXPECT_EQ(remote.connections, 1);
+  const ActionWire invalidate = WireFor(ActionKind::kWriteInvalidate);
+  EXPECT_EQ(invalidate.data_messages, 0);
+  EXPECT_EQ(invalidate.control_messages, 1);
+  EXPECT_EQ(invalidate.connections, 1);
+}
+
+TEST(ActionKindNameTest, StableNames) {
+  EXPECT_STREQ(ActionKindName(ActionKind::kRemoteReadAllocate),
+               "remote_read_allocate");
+  EXPECT_STREQ(ActionKindName(ActionKind::kWriteInvalidate),
+               "write_invalidate");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,99 @@
+#include "mobrep/core/cost_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/core/static_policies.h"
+
+namespace mobrep {
+namespace {
+
+TEST(CostMeterTest, St1ConnectionCostsOnlyReads) {
+  St1Policy policy;
+  const CostModel model = CostModel::Connection();
+  CostMeter meter(&policy, &model);
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kRead), 1.0);
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kWrite), 0.0);
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kRead), 1.0);
+  EXPECT_DOUBLE_EQ(meter.total_cost(), 2.0);
+
+  const CostBreakdown& b = meter.breakdown();
+  EXPECT_EQ(b.requests, 3);
+  EXPECT_EQ(b.reads, 2);
+  EXPECT_EQ(b.writes, 1);
+  EXPECT_EQ(b.connections, 2);
+  EXPECT_EQ(b.data_messages, 2);
+  EXPECT_EQ(b.control_messages, 2);
+  EXPECT_EQ(b.allocations, 0);
+  EXPECT_EQ(b.deallocations, 0);
+}
+
+TEST(CostMeterTest, St2MessageCostsOnlyWrites) {
+  St2Policy policy;
+  const CostModel model = CostModel::Message(0.5);
+  CostMeter meter(&policy, &model);
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kRead), 0.0);
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kWrite), 1.0);
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kWrite), 1.0);
+  EXPECT_DOUBLE_EQ(meter.total_cost(), 2.0);
+  EXPECT_EQ(meter.breakdown().control_messages, 0);
+}
+
+TEST(CostMeterTest, TracksAllocationsAndDeallocations) {
+  SlidingWindowPolicy policy(3);
+  const CostModel model = CostModel::Connection();
+  CostMeter meter(&policy, &model);
+  // rr allocates (second read), then ww deallocates (second write).
+  meter.OnRequest(Op::kRead);
+  meter.OnRequest(Op::kRead);
+  meter.OnRequest(Op::kWrite);
+  meter.OnRequest(Op::kWrite);
+  const CostBreakdown& b = meter.breakdown();
+  EXPECT_EQ(b.allocations, 1);
+  EXPECT_EQ(b.deallocations, 1);
+}
+
+TEST(CostMeterTest, Sw1MessageAccounting) {
+  auto policy = SlidingWindowPolicy::NewSw1();
+  const double omega = 0.25;
+  const CostModel model = CostModel::Message(omega);
+  CostMeter meter(policy.get(), &model);
+  // r: remote read + allocate: 1 + omega.
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kRead), 1.0 + omega);
+  // w: invalidate only: omega.
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kWrite), omega);
+  // w: no copy: free.
+  EXPECT_DOUBLE_EQ(meter.OnRequest(Op::kWrite), 0.0);
+  EXPECT_DOUBLE_EQ(meter.total_cost(), 1.0 + 2.0 * omega);
+}
+
+TEST(SimulateScheduleTest, WholeSchedule) {
+  St1Policy policy;
+  const Schedule s = *ScheduleFromString("rrwwr");
+  const CostBreakdown b =
+      SimulateSchedule(&policy, s, CostModel::Connection());
+  EXPECT_DOUBLE_EQ(b.total_cost, 3.0);
+  EXPECT_DOUBLE_EQ(b.MeanCostPerRequest(), 0.6);
+}
+
+TEST(SimulateScheduleTest, EmptySchedule) {
+  St1Policy policy;
+  const CostBreakdown b =
+      SimulateSchedule(&policy, {}, CostModel::Connection());
+  EXPECT_DOUBLE_EQ(b.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(b.MeanCostPerRequest(), 0.0);
+}
+
+TEST(PolicyCostOnScheduleTest, ResetsBeforeRunning) {
+  SlidingWindowPolicy policy(3);
+  const Schedule s = *ScheduleFromString("rrr");
+  const CostModel model = CostModel::Connection();
+  const double first = PolicyCostOnSchedule(&policy, s, model);
+  // Without the reset the second run would start with a copy and cost 0.
+  const double second = PolicyCostOnSchedule(&policy, s, model);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_DOUBLE_EQ(first, 2.0);  // two remote reads, then local
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,161 @@
+// Exhaustive small-schedule properties: for *every* schedule up to a given
+// length (not a random sample), the structural invariants of the system
+// hold. 2^13 schedules x several policies is still fast.
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/offline_optimal.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/trace/adversary.h"
+
+namespace mobrep {
+namespace {
+
+constexpr int kMaxLength = 13;
+
+class ExhaustivePolicyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExhaustivePolicyTest, NeverBeatsOfflineOptimalConnection) {
+  const PolicySpec spec = *ParsePolicySpec(GetParam());
+  auto policy = CreatePolicy(spec);
+  const bool initial_copy = policy->has_copy();  // align adversary start
+  const CostModel model = CostModel::Connection();
+  ForEachSchedule(kMaxLength, [&](const Schedule& s) {
+    const double online = PolicyCostOnSchedule(policy.get(), s, model);
+    const double offline = OfflineOptimalCost(s, model, initial_copy);
+    ASSERT_GE(online, offline - 1e-9) << ScheduleToString(s);
+  });
+}
+
+TEST_P(ExhaustivePolicyTest, NeverBeatsOfflineOptimalMessage) {
+  const PolicySpec spec = *ParsePolicySpec(GetParam());
+  auto policy = CreatePolicy(spec);
+  const bool initial_copy = policy->has_copy();
+  const CostModel model = CostModel::Message(0.4);
+  ForEachSchedule(kMaxLength, [&](const Schedule& s) {
+    const double online = PolicyCostOnSchedule(policy.get(), s, model);
+    const double offline = OfflineOptimalCost(s, model, initial_copy);
+    ASSERT_GE(online, offline - 1e-9) << ScheduleToString(s);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ExhaustivePolicyTest,
+                         ::testing::Values("st1", "st2", "sw1", "sw:3",
+                                           "sw:5", "t1:2", "t2:2"));
+
+TEST(ExhaustiveInvariantTest, SwkCopyStateEqualsWindowMajority) {
+  for (const int k : {1, 3, 5}) {
+    SlidingWindowPolicy policy(k);
+    ForEachSchedule(11, [&](const Schedule& s) {
+      policy.Reset();
+      for (const Op op : s) {
+        policy.OnRequest(op);
+        ASSERT_EQ(policy.has_copy(), policy.window().MajorityReads());
+      }
+    });
+  }
+}
+
+TEST(ExhaustiveInvariantTest, Sw1OptimizedMatchesGenericInConnectionModel) {
+  // The SW1 delete optimization changes which messages flow, but in the
+  // connection model the per-request charge is identical to the generic
+  // window-of-one algorithm on every schedule.
+  auto optimized = SlidingWindowPolicy::NewSw1();
+  SlidingWindowPolicy generic(1, /*sw1_delete_optimization=*/false);
+  const CostModel model = CostModel::Connection();
+  ForEachSchedule(kMaxLength, [&](const Schedule& s) {
+    const double a = PolicyCostOnSchedule(optimized.get(), s, model);
+    const double b = PolicyCostOnSchedule(&generic, s, model);
+    ASSERT_DOUBLE_EQ(a, b) << ScheduleToString(s);
+  });
+}
+
+TEST(ExhaustiveInvariantTest, Sw1OptimizedNeverWorseInMessageModel) {
+  // In the message model the optimization replaces a (1 + omega) write
+  // with an omega one; it can only help, on every schedule.
+  auto optimized = SlidingWindowPolicy::NewSw1();
+  SlidingWindowPolicy generic(1, /*sw1_delete_optimization=*/false);
+  for (const double omega : {0.0, 0.5, 1.0}) {
+    const CostModel model = CostModel::Message(omega);
+    ForEachSchedule(11, [&](const Schedule& s) {
+      const double a = PolicyCostOnSchedule(optimized.get(), s, model);
+      const double b = PolicyCostOnSchedule(&generic, s, model);
+      ASSERT_LE(a, b + 1e-12) << ScheduleToString(s);
+    });
+  }
+}
+
+TEST(ExhaustiveOfflineTest, RestrictedAdversaryNeverCheaper) {
+  // Removing the push-at-write capability can only increase the offline
+  // cost; verified on every schedule for both models.
+  for (const CostModel& model :
+       {CostModel::Connection(), CostModel::Message(0.3)}) {
+    ForEachSchedule(kMaxLength, [&](const Schedule& s) {
+      const double full = OfflineOptimalCost(s, model);
+      const double weak = OfflineOptimalCost(
+          s, model, false, OfflineAdversary::kAcquireAtReadsOnly);
+      ASSERT_LE(full, weak + 1e-12) << ScheduleToString(s);
+      ASSERT_NE(weak, std::numeric_limits<double>::infinity());
+    });
+  }
+}
+
+TEST(ExhaustiveOfflineTest, RestrictedEqualsFullInConnectionModelOnReads) {
+  // In the connection model acquiring at a read costs the same 1 as a
+  // push, so the restriction never matters when a read precedes the need.
+  // Quantitatively: the costs agree on every all-read and every
+  // alternating schedule.
+  const CostModel model = CostModel::Connection();
+  for (const int n : {1, 5, 12}) {
+    const Schedule reads = UniformSchedule(n, Op::kRead);
+    EXPECT_DOUBLE_EQ(
+        OfflineOptimalCost(reads, model),
+        OfflineOptimalCost(reads, model, false,
+                           OfflineAdversary::kAcquireAtReadsOnly));
+    const Schedule alt = AlternatingSchedule(n);
+    EXPECT_DOUBLE_EQ(
+        OfflineOptimalCost(alt, model),
+        OfflineOptimalCost(alt, model, false,
+                           OfflineAdversary::kAcquireAtReadsOnly));
+  }
+}
+
+TEST(ExhaustiveCostMeterTest, BreakdownSumsToTotal) {
+  // data + omega*control == total cost, on every schedule and policy.
+  const double omega = 0.3;
+  const CostModel model = CostModel::Message(omega);
+  for (const char* spec_text : {"sw:3", "sw1", "t1:2"}) {
+    auto policy = CreatePolicy(*ParsePolicySpec(spec_text));
+    ForEachSchedule(11, [&](const Schedule& s) {
+      policy->Reset();
+      const CostBreakdown b = SimulateSchedule(policy.get(), s, model);
+      ASSERT_NEAR(b.total_cost,
+                  static_cast<double>(b.data_messages) +
+                      omega * static_cast<double>(b.control_messages),
+                  1e-9)
+          << spec_text << " " << ScheduleToString(s);
+    });
+  }
+}
+
+TEST(ExhaustiveCostMeterTest, AllocationsBalanceDeallocations) {
+  // Transitions alternate, so the counts differ by at most one on every
+  // schedule; with no copy at start, allocations >= deallocations.
+  auto policy = CreatePolicy(*ParsePolicySpec("sw:3"));
+  const CostModel model = CostModel::Connection();
+  ForEachSchedule(kMaxLength, [&](const Schedule& s) {
+    policy->Reset();
+    const CostBreakdown b = SimulateSchedule(policy.get(), s, model);
+    ASSERT_GE(b.allocations, b.deallocations);
+    ASSERT_LE(b.allocations, b.deallocations + 1);
+  });
+}
+
+}  // namespace
+}  // namespace mobrep

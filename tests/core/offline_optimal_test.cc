@@ -1,0 +1,169 @@
+#include "mobrep/core/offline_optimal.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/trace/adversary.h"
+
+namespace mobrep {
+namespace {
+
+// Exponential-time reference: tries every sequence of copy states.
+double BruteForceOptimal(const Schedule& schedule, const CostModel& model,
+                         bool initial_copy) {
+  const size_t n = schedule.size();
+  double best = std::numeric_limits<double>::infinity();
+  const uint64_t combos = uint64_t{1} << n;
+  for (uint64_t bits = 0; bits < combos; ++bits) {
+    double cost = 0.0;
+    bool state = initial_copy;
+    for (size_t i = 0; i < n; ++i) {
+      const bool next = ((bits >> i) & 1) != 0;
+      cost += OfflineTransitionCost(schedule[i], state, next, model);
+      state = next;
+    }
+    best = std::min(best, cost);
+  }
+  return n == 0 ? 0.0 : best;
+}
+
+TEST(OfflineOptimalTest, EmptyScheduleIsFree) {
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost({}, CostModel::Connection()), 0.0);
+}
+
+TEST(OfflineOptimalTest, AllReadsCostOneConnection) {
+  // Acquire the copy at the first read; the rest are free.
+  const Schedule s = UniformSchedule(100, Op::kRead);
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Connection()), 1.0);
+}
+
+TEST(OfflineOptimalTest, AllWritesAreFree) {
+  const Schedule s = UniformSchedule(100, Op::kWrite);
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Connection()), 0.0);
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Message(0.5)), 0.0);
+}
+
+TEST(OfflineOptimalTest, AllReadsMessageModel) {
+  const Schedule s = UniformSchedule(50, Op::kRead);
+  // One remote read (1 + omega), keep the copy.
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Message(0.25)), 1.25);
+}
+
+TEST(OfflineOptimalTest, BlockCycleCostsOnePerCycleConnection) {
+  // (k writes, k reads)*: the optimum acquires the copy by pushing the last
+  // write of each block (1 connection) and drops it for free before the
+  // next write block.
+  for (const int k : {1, 3, 5}) {
+    for (const int cycles : {1, 2, 7}) {
+      const Schedule s = BlockSchedule(cycles, k, k);
+      EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Connection()),
+                       static_cast<double>(cycles))
+          << "k=" << k << " cycles=" << cycles;
+    }
+  }
+}
+
+TEST(OfflineOptimalTest, BlockCycleCostsOnePerCycleMessage) {
+  // Same structure in the message model: pushing at a write costs one data
+  // message, cheaper than a remote read (1 + omega) when omega > 0.
+  const Schedule s = BlockSchedule(4, 3, 3);
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Message(0.5)), 4.0);
+}
+
+TEST(OfflineOptimalTest, AlternatingScheduleCostsOnePerPair) {
+  // w r w r ...: keeping the copy the whole time pays 1 per write.
+  const Schedule s = AlternatingSchedule(20);  // 10 pairs
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Connection()), 10.0);
+  // In the message model with omega < 1 this is still optimal: writes cost
+  // 1 each vs remote reads at 1 + omega.
+  EXPECT_DOUBLE_EQ(OfflineOptimalCost(s, CostModel::Message(0.25)), 10.0);
+}
+
+TEST(OfflineOptimalTest, MatchesBruteForceOnAllSmallSchedulesConnection) {
+  const CostModel model = CostModel::Connection();
+  for (int length = 0; length <= 10; ++length) {
+    ForEachSchedule(length, [&](const Schedule& s) {
+      const double dp = OfflineOptimalCost(s, model);
+      const double brute = BruteForceOptimal(s, model, false);
+      ASSERT_NEAR(dp, brute, 1e-9) << ScheduleToString(s);
+    });
+  }
+}
+
+TEST(OfflineOptimalTest, MatchesBruteForceOnAllSmallSchedulesMessage) {
+  const CostModel model = CostModel::Message(0.3);
+  for (int length = 0; length <= 10; ++length) {
+    ForEachSchedule(length, [&](const Schedule& s) {
+      const double dp = OfflineOptimalCost(s, model);
+      const double brute = BruteForceOptimal(s, model, false);
+      ASSERT_NEAR(dp, brute, 1e-9) << ScheduleToString(s);
+    });
+  }
+}
+
+TEST(OfflineOptimalTest, InitialCopyMatters) {
+  const Schedule s = UniformSchedule(5, Op::kRead);
+  EXPECT_DOUBLE_EQ(
+      OfflineOptimalCost(s, CostModel::Connection(), /*initial_copy=*/true),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      OfflineOptimalCost(s, CostModel::Connection(), /*initial_copy=*/false),
+      1.0);
+}
+
+TEST(SolveOfflineOptimalTest, TraceIsConsistentWithCost) {
+  const Schedule s = *ScheduleFromString("wwrrrwwrrw");
+  for (const CostModel& model :
+       {CostModel::Connection(), CostModel::Message(0.4)}) {
+    const OfflineSolution solution = SolveOfflineOptimal(s, model);
+    ASSERT_EQ(solution.copy_during.size(), s.size());
+    // Replaying the recovered state sequence must reproduce the cost.
+    double replay = 0.0;
+    bool state = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      replay +=
+          OfflineTransitionCost(s[i], state, solution.copy_during[i], model);
+      state = solution.copy_during[i];
+    }
+    EXPECT_NEAR(replay, solution.cost, 1e-9);
+    EXPECT_NEAR(solution.cost, OfflineOptimalCost(s, model), 1e-12);
+  }
+}
+
+TEST(SolveOfflineOptimalTest, HoldsCopyThroughReadBursts) {
+  const Schedule s = *ScheduleFromString("wwwrrrrrrwww");
+  const OfflineSolution solution =
+      SolveOfflineOptimal(s, CostModel::Connection());
+  // Between consecutive reads of the burst the copy must be held (else the
+  // next read would pay again). The state after the *last* read is
+  // unconstrained: dropping right after serving it is free.
+  for (size_t i = 3; i < 8; ++i) {
+    EXPECT_TRUE(solution.copy_during[i]) << "position " << i;
+  }
+  // During the final write burst it must not be.
+  for (size_t i = 9; i < 12; ++i) {
+    EXPECT_FALSE(solution.copy_during[i]) << "position " << i;
+  }
+}
+
+TEST(OfflineTransitionCostTest, Table) {
+  const CostModel conn = CostModel::Connection();
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kRead, false, false, conn), 1.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kRead, false, true, conn), 1.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kRead, true, true, conn), 0.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kRead, true, false, conn), 0.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kWrite, false, false, conn), 0.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kWrite, false, true, conn), 1.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kWrite, true, true, conn), 1.0);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kWrite, true, false, conn), 0.0);
+
+  const CostModel msg = CostModel::Message(0.5);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kRead, false, true, msg), 1.5);
+  EXPECT_DOUBLE_EQ(OfflineTransitionCost(Op::kWrite, false, true, msg), 1.0);
+}
+
+}  // namespace
+}  // namespace mobrep

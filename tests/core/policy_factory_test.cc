@@ -1,0 +1,73 @@
+#include "mobrep/core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(ParsePolicySpecTest, Statics) {
+  EXPECT_EQ(ParsePolicySpec("st1")->kind, PolicyKind::kSt1);
+  EXPECT_EQ(ParsePolicySpec("ST2")->kind, PolicyKind::kSt2);
+  EXPECT_EQ(ParsePolicySpec(" st1 ")->kind, PolicyKind::kSt1);
+}
+
+TEST(ParsePolicySpecTest, SlidingWindow) {
+  const auto sw = ParsePolicySpec("sw:9");
+  ASSERT_TRUE(sw.ok());
+  EXPECT_EQ(sw->kind, PolicyKind::kSw);
+  EXPECT_EQ(sw->parameter, 9);
+
+  const auto sw1 = ParsePolicySpec("sw1");
+  ASSERT_TRUE(sw1.ok());
+  EXPECT_EQ(sw1->kind, PolicyKind::kSw1);
+}
+
+TEST(ParsePolicySpecTest, Thresholds) {
+  EXPECT_EQ(ParsePolicySpec("t1:15")->parameter, 15);
+  EXPECT_EQ(ParsePolicySpec("T2:7")->kind, PolicyKind::kT2);
+}
+
+TEST(ParsePolicySpecTest, Rejections) {
+  EXPECT_FALSE(ParsePolicySpec("").ok());
+  EXPECT_FALSE(ParsePolicySpec("sw").ok());
+  EXPECT_FALSE(ParsePolicySpec("sw:0").ok());
+  EXPECT_FALSE(ParsePolicySpec("sw:-3").ok());
+  EXPECT_FALSE(ParsePolicySpec("sw:abc").ok());
+  EXPECT_FALSE(ParsePolicySpec("lru").ok());
+  EXPECT_FALSE(ParsePolicySpec("t3:5").ok());
+}
+
+TEST(PolicySpecToStringTest, RoundTrips) {
+  for (const char* text : {"st1", "st2", "sw1", "sw:9", "t1:15", "t2:7"}) {
+    const auto spec = ParsePolicySpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_EQ(spec->ToString(), text);
+  }
+}
+
+TEST(CreatePolicyTest, ProducesExpectedNames) {
+  EXPECT_EQ(CreatePolicy({PolicyKind::kSt1, 0})->name(), "ST1");
+  EXPECT_EQ(CreatePolicy({PolicyKind::kSt2, 0})->name(), "ST2");
+  EXPECT_EQ(CreatePolicy({PolicyKind::kSw1, 1})->name(), "SW1");
+  EXPECT_EQ(CreatePolicy({PolicyKind::kSw, 9})->name(), "SW9");
+  EXPECT_EQ(CreatePolicy({PolicyKind::kT1, 15})->name(), "T1-15");
+  EXPECT_EQ(CreatePolicy({PolicyKind::kT2, 7})->name(), "T2-7");
+}
+
+TEST(CreatePolicyFromStringTest, EndToEnd) {
+  auto policy = CreatePolicyFromString("sw:5");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ((*policy)->name(), "SW5");
+  EXPECT_FALSE(CreatePolicyFromString("bogus").ok());
+}
+
+TEST(StandardPolicyRosterTest, AllCreatable) {
+  const auto roster = StandardPolicyRoster();
+  EXPECT_GE(roster.size(), 8u);
+  for (const PolicySpec& spec : roster) {
+    EXPECT_NE(CreatePolicy(spec), nullptr) << spec.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,50 @@
+#include "mobrep/core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(OpTest, ToChar) {
+  EXPECT_EQ(OpToChar(Op::kRead), 'r');
+  EXPECT_EQ(OpToChar(Op::kWrite), 'w');
+}
+
+TEST(ScheduleStringTest, RoundTrip) {
+  const auto schedule = ScheduleFromString("wrrrwrw");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(ScheduleToString(*schedule), "wrrrwrw");
+}
+
+TEST(ScheduleStringTest, CaseInsensitiveAndWhitespace) {
+  const auto schedule = ScheduleFromString("W R\trW\n");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(ScheduleToString(*schedule), "wrrw");
+}
+
+TEST(ScheduleStringTest, RejectsGarbage) {
+  EXPECT_FALSE(ScheduleFromString("rwx").ok());
+  EXPECT_FALSE(ScheduleFromString("1").ok());
+}
+
+TEST(ScheduleStringTest, EmptyIsValid) {
+  const auto schedule = ScheduleFromString("");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->empty());
+}
+
+TEST(ScheduleCountTest, Counts) {
+  const Schedule schedule = *ScheduleFromString("wrrrwrw");
+  EXPECT_EQ(CountWrites(schedule), 3);
+  EXPECT_EQ(CountReads(schedule), 4);
+}
+
+TEST(TimedScheduleTest, StripTimes) {
+  const TimedSchedule timed = {
+      {0.5, Op::kWrite}, {1.25, Op::kRead}, {2.0, Op::kRead}};
+  const Schedule schedule = StripTimes(timed);
+  EXPECT_EQ(ScheduleToString(schedule), "wrr");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,171 @@
+#include "mobrep/core/sliding_window_policy.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+namespace {
+
+// Drives the policy through a schedule string and returns the actions.
+std::vector<ActionKind> Drive(AllocationPolicy* policy,
+                              const std::string& text) {
+  std::vector<ActionKind> actions;
+  const Schedule schedule = *ScheduleFromString(text);
+  for (const Op op : schedule) {
+    actions.push_back(policy->OnRequest(op));
+  }
+  return actions;
+}
+
+TEST(SlidingWindowPolicyTest, InitialStateNoCopyAllWriteWindow) {
+  SlidingWindowPolicy policy(5);
+  EXPECT_FALSE(policy.has_copy());
+  EXPECT_EQ(policy.window().write_count(), 5);
+  EXPECT_EQ(policy.name(), "SW5");
+}
+
+TEST(SlidingWindowPolicyTest, AllocatesWhenMajorityTurnsToReads) {
+  SlidingWindowPolicy policy(3);
+  // Window starts www, no copy. Reads slide it to wwr, wrr: the second read
+  // flips the majority and must allocate.
+  const auto actions = Drive(&policy, "rr");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[1], ActionKind::kRemoteReadAllocate);
+  EXPECT_TRUE(policy.has_copy());
+}
+
+TEST(SlidingWindowPolicyTest, DeallocatesWhenMajorityTurnsToWrites) {
+  SlidingWindowPolicy policy(3);
+  Drive(&policy, "rrr");  // window rrr, copy held
+  ASSERT_TRUE(policy.has_copy());
+  const auto actions = Drive(&policy, "ww");
+  EXPECT_EQ(actions[0], ActionKind::kWritePropagate);  // window rrw
+  EXPECT_EQ(actions[1],
+            ActionKind::kWritePropagateDeallocate);  // window rww
+  EXPECT_FALSE(policy.has_copy());
+}
+
+TEST(SlidingWindowPolicyTest, CopyStateAlwaysEqualsWindowMajority) {
+  // Invariant from §4: with a consistent initial state, after every request
+  // the copy exists iff the majority of the last k requests are reads.
+  SlidingWindowPolicy policy(7);
+  const Schedule schedule =
+      *ScheduleFromString("rrrrwwwwrwrwrrrrrrwwwwwwrwrwwrrr");
+  for (const Op op : schedule) {
+    policy.OnRequest(op);
+    EXPECT_EQ(policy.has_copy(), policy.window().MajorityReads());
+  }
+}
+
+TEST(SlidingWindowPolicyTest, AllocationOnlyOnReadDeallocationOnlyOnWrite) {
+  SlidingWindowPolicy policy(5);
+  const Schedule schedule = *ScheduleFromString(
+      "rrrwwrwrwwwrrrrrwwwwwwrrrwwrrrrrwwwwrrwwrwrwrw");
+  for (const Op op : schedule) {
+    const bool before = policy.has_copy();
+    policy.OnRequest(op);
+    const bool after = policy.has_copy();
+    if (!before && after) {
+      EXPECT_EQ(op, Op::kRead);
+    }
+    if (before && !after) {
+      EXPECT_EQ(op, Op::kWrite);
+    }
+  }
+}
+
+TEST(SlidingWindowPolicyTest, ResetRestoresInitialState) {
+  SlidingWindowPolicy policy(3);
+  Drive(&policy, "rrrr");
+  EXPECT_TRUE(policy.has_copy());
+  policy.Reset();
+  EXPECT_FALSE(policy.has_copy());
+  EXPECT_EQ(policy.window().write_count(), 3);
+}
+
+TEST(SlidingWindowPolicyTest, CloneIsIndependent) {
+  SlidingWindowPolicy policy(3);
+  Drive(&policy, "rr");
+  auto clone = policy.Clone();
+  EXPECT_TRUE(clone->has_copy());
+  // Diverge the original; the clone must not follow.
+  Drive(&policy, "ww");
+  EXPECT_FALSE(policy.has_copy());
+  EXPECT_TRUE(clone->has_copy());
+}
+
+TEST(SlidingWindowPolicyTest, SetStateInstallsWindowAndCopy) {
+  SlidingWindowPolicy policy(3);
+  policy.SetState(true, {Op::kRead, Op::kWrite, Op::kRead});
+  EXPECT_TRUE(policy.has_copy());
+  EXPECT_EQ(policy.window().write_count(), 1);
+  // A write makes the window rwr -> wrw: majority writes, deallocate.
+  EXPECT_EQ(policy.OnRequest(Op::kWrite),
+            ActionKind::kWritePropagateDeallocate);
+}
+
+TEST(Sw1PolicyTest, UsesInvalidateInsteadOfPropagate) {
+  auto policy = SlidingWindowPolicy::NewSw1();
+  EXPECT_EQ(policy->name(), "SW1");
+  EXPECT_TRUE(policy->sw1_delete_optimization());
+  const auto actions = Drive(policy.get(), "rwrw");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteReadAllocate);
+  EXPECT_EQ(actions[1], ActionKind::kWriteInvalidate);
+  EXPECT_EQ(actions[2], ActionKind::kRemoteReadAllocate);
+  EXPECT_EQ(actions[3], ActionKind::kWriteInvalidate);
+}
+
+TEST(Sw1PolicyTest, GenericWindowOfOneUsesPropagateDeallocate) {
+  SlidingWindowPolicy policy(1, /*sw1_delete_optimization=*/false);
+  EXPECT_EQ(policy.name(), "SW1(unopt)");
+  const auto actions = Drive(&policy, "rw");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteReadAllocate);
+  EXPECT_EQ(actions[1], ActionKind::kWritePropagateDeallocate);
+}
+
+TEST(Sw1PolicyTest, ConsecutiveReadsStayLocal) {
+  auto policy = SlidingWindowPolicy::NewSw1();
+  const auto actions = Drive(policy.get(), "rrrr");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteReadAllocate);
+  for (size_t i = 1; i < actions.size(); ++i) {
+    EXPECT_EQ(actions[i], ActionKind::kLocalRead);
+  }
+}
+
+TEST(Sw1PolicyTest, ConsecutiveWritesFreeAfterFirst) {
+  auto policy = SlidingWindowPolicy::NewSw1();
+  Drive(policy.get(), "r");  // allocate
+  const auto actions = Drive(policy.get(), "www");
+  EXPECT_EQ(actions[0], ActionKind::kWriteInvalidate);
+  EXPECT_EQ(actions[1], ActionKind::kWriteNoCopy);
+  EXPECT_EQ(actions[2], ActionKind::kWriteNoCopy);
+}
+
+TEST(SlidingWindowPolicyDeathTest, OptimizationRequiresKOne) {
+  EXPECT_DEATH({ SlidingWindowPolicy policy(3, true); }, "SW1");
+}
+
+TEST(SlidingWindowPolicyDeathTest, RejectsNonPositiveK) {
+  EXPECT_DEATH({ SlidingWindowPolicy policy(0); }, "window size");
+}
+
+// The paper's example dynamics: the window dominates short-term noise. With
+// k = 5 a single write inside a read streak must not deallocate.
+TEST(SlidingWindowPolicyTest, ToleratesMinorityWrites) {
+  SlidingWindowPolicy policy(5);
+  Drive(&policy, "rrrrr");
+  ASSERT_TRUE(policy.has_copy());
+  const auto actions = Drive(&policy, "wrwr");
+  EXPECT_EQ(actions[0], ActionKind::kWritePropagate);
+  EXPECT_EQ(actions[1], ActionKind::kLocalRead);
+  EXPECT_EQ(actions[2], ActionKind::kWritePropagate);
+  EXPECT_EQ(actions[3], ActionKind::kLocalRead);
+  EXPECT_TRUE(policy.has_copy());
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,54 @@
+#include "mobrep/core/static_policies.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(St1PolicyTest, NeverHoldsCopy) {
+  St1Policy policy;
+  EXPECT_FALSE(policy.has_copy());
+  EXPECT_EQ(policy.OnRequest(Op::kRead), ActionKind::kRemoteRead);
+  EXPECT_EQ(policy.OnRequest(Op::kWrite), ActionKind::kWriteNoCopy);
+  EXPECT_EQ(policy.OnRequest(Op::kRead), ActionKind::kRemoteRead);
+  EXPECT_FALSE(policy.has_copy());
+}
+
+TEST(St1PolicyTest, NameAndClone) {
+  St1Policy policy;
+  EXPECT_EQ(policy.name(), "ST1");
+  auto clone = policy.Clone();
+  EXPECT_EQ(clone->name(), "ST1");
+  EXPECT_FALSE(clone->has_copy());
+}
+
+TEST(St2PolicyTest, AlwaysHoldsCopy) {
+  St2Policy policy;
+  EXPECT_TRUE(policy.has_copy());
+  EXPECT_EQ(policy.OnRequest(Op::kRead), ActionKind::kLocalRead);
+  EXPECT_EQ(policy.OnRequest(Op::kWrite), ActionKind::kWritePropagate);
+  EXPECT_EQ(policy.OnRequest(Op::kWrite), ActionKind::kWritePropagate);
+  EXPECT_TRUE(policy.has_copy());
+}
+
+TEST(St2PolicyTest, NameAndClone) {
+  St2Policy policy;
+  EXPECT_EQ(policy.name(), "ST2");
+  auto clone = policy.Clone();
+  EXPECT_TRUE(clone->has_copy());
+}
+
+TEST(StaticPoliciesTest, ResetIsIdempotent) {
+  St1Policy st1;
+  st1.OnRequest(Op::kRead);
+  st1.Reset();
+  EXPECT_FALSE(st1.has_copy());
+
+  St2Policy st2;
+  st2.OnRequest(Op::kWrite);
+  st2.Reset();
+  EXPECT_TRUE(st2.has_copy());
+}
+
+}  // namespace
+}  // namespace mobrep

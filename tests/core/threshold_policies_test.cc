@@ -1,0 +1,124 @@
+#include "mobrep/core/threshold_policies.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+namespace {
+
+std::vector<ActionKind> Drive(AllocationPolicy* policy,
+                              const std::string& text) {
+  std::vector<ActionKind> actions;
+  const Schedule schedule = *ScheduleFromString(text);
+  for (const Op op : schedule) {
+    actions.push_back(policy->OnRequest(op));
+  }
+  return actions;
+}
+
+TEST(T1mPolicyTest, SwitchesAfterMConsecutiveReads) {
+  T1mPolicy policy(3);
+  EXPECT_FALSE(policy.has_copy());
+  const auto actions = Drive(&policy, "rrr");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[1], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[2], ActionKind::kRemoteReadAllocate);
+  EXPECT_TRUE(policy.has_copy());
+}
+
+TEST(T1mPolicyTest, WriteResetsTheRun) {
+  T1mPolicy policy(3);
+  // Two reads, a write, then three reads: the write resets the counter, so
+  // the switch happens only on the fifth read overall.
+  const auto actions = Drive(&policy, "rrwrrr");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[1], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[2], ActionKind::kWriteNoCopy);
+  EXPECT_EQ(actions[3], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[4], ActionKind::kRemoteRead);
+  EXPECT_EQ(actions[5], ActionKind::kRemoteReadAllocate);
+}
+
+TEST(T1mPolicyTest, RevertsOnFirstWrite) {
+  T1mPolicy policy(2);
+  Drive(&policy, "rr");
+  ASSERT_TRUE(policy.has_copy());
+  const auto actions = Drive(&policy, "rw");
+  EXPECT_EQ(actions[0], ActionKind::kLocalRead);
+  EXPECT_EQ(actions[1], ActionKind::kWritePropagateDeallocate);
+  EXPECT_FALSE(policy.has_copy());
+}
+
+TEST(T1mPolicyTest, MEqualsOneAllocatesOnEveryRemoteRead) {
+  T1mPolicy policy(1);
+  const auto actions = Drive(&policy, "rwr");
+  EXPECT_EQ(actions[0], ActionKind::kRemoteReadAllocate);
+  EXPECT_EQ(actions[1], ActionKind::kWritePropagateDeallocate);
+  EXPECT_EQ(actions[2], ActionKind::kRemoteReadAllocate);
+}
+
+TEST(T1mPolicyTest, NameResetClone) {
+  T1mPolicy policy(15);
+  EXPECT_EQ(policy.name(), "T1-15");
+  Drive(&policy, "rrrrrrrrrrrrrrr");
+  EXPECT_TRUE(policy.has_copy());
+  auto clone = policy.Clone();
+  EXPECT_TRUE(clone->has_copy());
+  policy.Reset();
+  EXPECT_FALSE(policy.has_copy());
+  EXPECT_TRUE(clone->has_copy());
+}
+
+TEST(T2mPolicyTest, StartsWithCopy) {
+  T2mPolicy policy(3);
+  EXPECT_TRUE(policy.has_copy());
+  EXPECT_EQ(policy.OnRequest(Op::kRead), ActionKind::kLocalRead);
+}
+
+TEST(T2mPolicyTest, SwitchesAfterMConsecutiveWrites) {
+  T2mPolicy policy(3);
+  const auto actions = Drive(&policy, "www");
+  EXPECT_EQ(actions[0], ActionKind::kWritePropagate);
+  EXPECT_EQ(actions[1], ActionKind::kWritePropagate);
+  EXPECT_EQ(actions[2], ActionKind::kWritePropagateDeallocate);
+  EXPECT_FALSE(policy.has_copy());
+}
+
+TEST(T2mPolicyTest, ReadResetsTheRun) {
+  T2mPolicy policy(2);
+  const auto actions = Drive(&policy, "wrww");
+  EXPECT_EQ(actions[0], ActionKind::kWritePropagate);
+  EXPECT_EQ(actions[1], ActionKind::kLocalRead);
+  EXPECT_EQ(actions[2], ActionKind::kWritePropagate);
+  EXPECT_EQ(actions[3], ActionKind::kWritePropagateDeallocate);
+}
+
+TEST(T2mPolicyTest, RevertsOnFirstRead) {
+  T2mPolicy policy(2);
+  Drive(&policy, "ww");
+  ASSERT_FALSE(policy.has_copy());
+  const auto actions = Drive(&policy, "wr");
+  EXPECT_EQ(actions[0], ActionKind::kWriteNoCopy);
+  EXPECT_EQ(actions[1], ActionKind::kRemoteReadAllocate);
+  EXPECT_TRUE(policy.has_copy());
+}
+
+TEST(T2mPolicyTest, NameAndReset) {
+  T2mPolicy policy(7);
+  EXPECT_EQ(policy.name(), "T2-7");
+  Drive(&policy, "wwwwwww");
+  EXPECT_FALSE(policy.has_copy());
+  policy.Reset();
+  EXPECT_TRUE(policy.has_copy());
+}
+
+TEST(ThresholdPoliciesDeathTest, RejectNonPositiveM) {
+  EXPECT_DEATH({ T1mPolicy policy(0); }, "m >= 1");
+  EXPECT_DEATH({ T2mPolicy policy(0); }, "m >= 1");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,108 @@
+#include "mobrep/core/window_tracker.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+
+namespace mobrep {
+namespace {
+
+TEST(WindowTrackerTest, FillSetsAllSlots) {
+  WindowTracker window(5);
+  window.Fill(Op::kWrite);
+  EXPECT_EQ(window.write_count(), 5);
+  EXPECT_EQ(window.read_count(), 0);
+  EXPECT_TRUE(window.MajorityWrites());
+  EXPECT_FALSE(window.MajorityReads());
+
+  window.Fill(Op::kRead);
+  EXPECT_EQ(window.write_count(), 0);
+  EXPECT_TRUE(window.MajorityReads());
+}
+
+TEST(WindowTrackerTest, PushReturnsDropped) {
+  WindowTracker window(3);
+  window.Fill(Op::kWrite);
+  EXPECT_EQ(window.Push(Op::kRead), Op::kWrite);
+  EXPECT_EQ(window.Push(Op::kRead), Op::kWrite);
+  EXPECT_EQ(window.Push(Op::kRead), Op::kWrite);
+  // All writes have been evicted; the next drop is a read.
+  EXPECT_EQ(window.Push(Op::kWrite), Op::kRead);
+}
+
+TEST(WindowTrackerTest, CountsTrackSlidingContents) {
+  WindowTracker window(3);
+  window.Fill(Op::kWrite);  // w w w
+  window.Push(Op::kRead);   // w w r
+  EXPECT_EQ(window.write_count(), 2);
+  window.Push(Op::kRead);  // w r r
+  EXPECT_EQ(window.write_count(), 1);
+  EXPECT_TRUE(window.MajorityReads());
+  window.Push(Op::kWrite);  // r r w
+  EXPECT_EQ(window.write_count(), 1);
+  EXPECT_TRUE(window.MajorityReads());
+  window.Push(Op::kWrite);  // r w w
+  EXPECT_TRUE(window.MajorityWrites());
+}
+
+TEST(WindowTrackerTest, ContentsOldestFirst) {
+  WindowTracker window(4);
+  window.Fill(Op::kRead);
+  window.Push(Op::kWrite);  // r r r w
+  window.Push(Op::kRead);   // r r w r
+  const std::vector<Op> contents = window.Contents();
+  ASSERT_EQ(contents.size(), 4u);
+  EXPECT_EQ(contents[0], Op::kRead);
+  EXPECT_EQ(contents[1], Op::kRead);
+  EXPECT_EQ(contents[2], Op::kWrite);
+  EXPECT_EQ(contents[3], Op::kRead);
+}
+
+TEST(WindowTrackerTest, SetContentsRoundTrip) {
+  WindowTracker a(5);
+  a.Fill(Op::kWrite);
+  a.Push(Op::kRead);
+  a.Push(Op::kWrite);
+  a.Push(Op::kRead);
+
+  WindowTracker b(5);
+  b.SetContents(a.Contents());
+  EXPECT_EQ(b.write_count(), a.write_count());
+  EXPECT_EQ(b.Contents(), a.Contents());
+  // The two trackers keep evolving identically.
+  EXPECT_EQ(a.Push(Op::kRead), b.Push(Op::kRead));
+  EXPECT_EQ(a.Contents(), b.Contents());
+}
+
+TEST(WindowTrackerTest, SizeOne) {
+  WindowTracker window(1);
+  window.Fill(Op::kWrite);
+  EXPECT_TRUE(window.MajorityWrites());
+  window.Push(Op::kRead);
+  EXPECT_TRUE(window.MajorityReads());
+  EXPECT_EQ(window.Push(Op::kWrite), Op::kRead);
+  EXPECT_TRUE(window.MajorityWrites());
+}
+
+TEST(WindowTrackerTest, RandomizedAgainstNaiveModel) {
+  Rng rng(77);
+  WindowTracker window(9);
+  window.Fill(Op::kRead);
+  std::vector<Op> model(9, Op::kRead);
+  for (int i = 0; i < 5000; ++i) {
+    const Op op = rng.Bernoulli(0.4) ? Op::kWrite : Op::kRead;
+    const Op expected_drop = model.front();
+    model.erase(model.begin());
+    model.push_back(op);
+    EXPECT_EQ(window.Push(op), expected_drop);
+    int writes = 0;
+    for (const Op o : model) writes += o == Op::kWrite ? 1 : 0;
+    ASSERT_EQ(window.write_count(), writes);
+    ASSERT_EQ(window.Contents(), model);
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,130 @@
+#include "mobrep/manager/replication_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/analysis/expected_cost.h"
+#include "mobrep/common/random.h"
+
+namespace mobrep {
+namespace {
+
+ReplicationManager::Options DefaultOptions() {
+  ReplicationManager::Options options;
+  options.default_spec = {PolicyKind::kSw, 3};
+  options.model = CostModel::Connection();
+  return options;
+}
+
+TEST(ReplicationManagerTest, ItemsCreatedOnFirstTouch) {
+  ReplicationManager manager(DefaultOptions());
+  EXPECT_EQ(manager.item_count(), 0u);
+  manager.OnRead("a");
+  manager.OnWrite("b");
+  EXPECT_EQ(manager.item_count(), 2u);
+}
+
+TEST(ReplicationManagerTest, PerItemPoliciesAreIndependent) {
+  ReplicationManager manager(DefaultOptions());
+  // Two reads allocate item "a" under SW3; item "b" is untouched by them.
+  manager.OnRead("a");
+  manager.OnRead("a");
+  EXPECT_TRUE(manager.HasCopy("a"));
+  EXPECT_FALSE(manager.HasCopy("b"));
+  // Writes to "b" never deallocate "a".
+  manager.OnWrite("b");
+  manager.OnWrite("b");
+  EXPECT_TRUE(manager.HasCopy("a"));
+}
+
+TEST(ReplicationManagerTest, CostsMatchSingleItemPolicy) {
+  ReplicationManager manager(DefaultOptions());
+  // r r w w on one item under SW3: remote(1), remote+alloc(1), propagate(1),
+  // propagate+dealloc(1) in the connection model.
+  EXPECT_DOUBLE_EQ(manager.OnRead("x"), 1.0);
+  EXPECT_DOUBLE_EQ(manager.OnRead("x"), 1.0);
+  EXPECT_DOUBLE_EQ(manager.OnWrite("x"), 1.0);
+  EXPECT_DOUBLE_EQ(manager.OnWrite("x"), 1.0);
+  const auto breakdown = manager.ItemBreakdown("x");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ(breakdown->requests, 4);
+  EXPECT_EQ(breakdown->allocations, 1);
+  EXPECT_EQ(breakdown->deallocations, 1);
+}
+
+TEST(ReplicationManagerTest, PerItemOverride) {
+  ReplicationManager manager(DefaultOptions());
+  manager.SetItemPolicy("pinned", *ParsePolicySpec("st2"));
+  EXPECT_TRUE(manager.HasCopy("pinned"));       // ST2 always holds a copy
+  EXPECT_DOUBLE_EQ(manager.OnRead("pinned"), 0.0);
+  EXPECT_DOUBLE_EQ(manager.OnWrite("pinned"), 1.0);
+}
+
+TEST(ReplicationManagerTest, ReassignmentKeepsAccounting) {
+  ReplicationManager manager(DefaultOptions());
+  manager.OnRead("x");  // 1 connection under SW3
+  manager.SetItemPolicy("x", *ParsePolicySpec("st1"));
+  manager.OnRead("x");  // 1 connection under ST1
+  const auto breakdown = manager.ItemBreakdown("x");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ(breakdown->requests, 2);
+  EXPECT_DOUBLE_EQ(breakdown->total_cost, 2.0);
+}
+
+TEST(ReplicationManagerTest, TotalAggregatesAcrossItems) {
+  ReplicationManager manager(DefaultOptions());
+  manager.OnRead("a");
+  manager.OnRead("b");
+  manager.OnWrite("c");
+  const CostBreakdown total = manager.TotalBreakdown();
+  EXPECT_EQ(total.requests, 3);
+  EXPECT_EQ(total.reads, 2);
+  EXPECT_EQ(total.writes, 1);
+  EXPECT_DOUBLE_EQ(total.total_cost, 2.0);  // two remote reads, free write
+}
+
+TEST(ReplicationManagerTest, ReplicatedItemsList) {
+  ReplicationManager manager(DefaultOptions());
+  manager.OnRead("a");
+  manager.OnRead("a");  // allocates "a"
+  manager.OnRead("b");  // not yet
+  const auto replicated = manager.ReplicatedItems();
+  ASSERT_EQ(replicated.size(), 1u);
+  EXPECT_EQ(replicated[0], "a");
+}
+
+TEST(ReplicationManagerTest, UnknownItemBreakdownFails) {
+  ReplicationManager manager(DefaultOptions());
+  EXPECT_FALSE(manager.ItemBreakdown("ghost").ok());
+}
+
+TEST(ReplicationManagerTest, LongRunMatchesClosedFormPerItem) {
+  // Each item sees an independent Bernoulli stream; the manager's mean
+  // cost per item must converge to the single-item EXP formula.
+  ReplicationManager::Options options;
+  options.default_spec = {PolicyKind::kSw, 9};
+  options.model = CostModel::Message(0.5);
+  ReplicationManager manager(options);
+
+  const double theta = 0.35;
+  Rng rng(4321);
+  const int64_t per_item = 60000;
+  for (int64_t i = 0; i < per_item; ++i) {
+    for (const char* key : {"k0", "k1", "k2"}) {
+      if (rng.Bernoulli(theta)) {
+        manager.OnWrite(key);
+      } else {
+        manager.OnRead(key);
+      }
+    }
+  }
+  const double expected = ExpSwkMessage(9, theta, 0.5);
+  for (const char* key : {"k0", "k1", "k2"}) {
+    const auto breakdown = manager.ItemBreakdown(key);
+    ASSERT_TRUE(breakdown.ok());
+    EXPECT_NEAR(breakdown->MeanCostPerRequest(), expected, 0.01) << key;
+  }
+  EXPECT_NEAR(manager.TotalBreakdown().MeanCostPerRequest(), expected, 0.01);
+}
+
+}  // namespace
+}  // namespace mobrep

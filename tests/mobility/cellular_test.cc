@@ -1,0 +1,157 @@
+#include "mobrep/mobility/cellular.h"
+
+#include "mobrep/mobility/mobility_model.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+namespace {
+
+CellularNetwork::Options SmallNetwork() {
+  CellularNetwork::Options options;
+  options.num_cells = 4;
+  options.initial_cell = 1;
+  return options;
+}
+
+Message ControlMessage() {
+  Message m;
+  m.type = MessageType::kReadRequest;
+  m.key = "x";
+  return m;
+}
+
+Message DataMessage() {
+  Message m;
+  m.type = MessageType::kWritePropagate;
+  m.key = "x";
+  m.item = {"v", 1};
+  return m;
+}
+
+TEST(CellularNetworkTest, UplinkRelaysToSc) {
+  EventQueue queue;
+  CellularNetwork net(&queue, SmallNetwork());
+  int received = 0;
+  net.set_sc_receiver([&](const Message& m) {
+    EXPECT_EQ(m.type, MessageType::kReadRequest);
+    ++received;
+  });
+  net.set_mc_receiver([](const Message&) {});
+  net.mc_uplink()->Send(ControlMessage());
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(received, 1);
+  // One wireless hop + one wireline hop.
+  EXPECT_EQ(net.wireless_control_messages(), 1);
+  EXPECT_EQ(net.wireline_messages(), 1);
+}
+
+TEST(CellularNetworkTest, DownlinkRelaysToMc) {
+  EventQueue queue;
+  CellularNetwork net(&queue, SmallNetwork());
+  int received = 0;
+  net.set_mc_receiver([&](const Message& m) {
+    EXPECT_EQ(m.type, MessageType::kWritePropagate);
+    ++received;
+  });
+  net.set_sc_receiver([](const Message&) {});
+  net.sc_downlink()->Send(DataMessage());
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.wireless_data_messages(), 1);
+}
+
+TEST(CellularNetworkTest, EndToEndLatencyIsSumOfHops) {
+  EventQueue queue;
+  CellularNetwork::Options options = SmallNetwork();
+  options.wireless_latency = 0.7;
+  options.wireline_latency = 0.3;
+  CellularNetwork net(&queue, options);
+  double arrival = -1.0;
+  net.set_sc_receiver([&](const Message&) { arrival = queue.now(); });
+  net.set_mc_receiver([](const Message&) {});
+  net.mc_uplink()->Send(ControlMessage());
+  queue.RunUntilQuiescent();
+  EXPECT_DOUBLE_EQ(arrival, 1.0);
+}
+
+TEST(CellularNetworkTest, HandoffMovesAndCounts) {
+  EventQueue queue;
+  CellularNetwork net(&queue, SmallNetwork());
+  EXPECT_EQ(net.current_cell(), 1);
+  net.Handoff(2);
+  EXPECT_EQ(net.current_cell(), 2);
+  EXPECT_EQ(net.handoffs(), 1);
+  EXPECT_EQ(net.handoff_control_messages(), 2);
+  // Moving to the same cell is a no-op.
+  net.Handoff(2);
+  EXPECT_EQ(net.handoffs(), 1);
+}
+
+TEST(CellularNetworkTest, HandoffSignalingCountsAsWirelessControl) {
+  EventQueue queue;
+  CellularNetwork net(&queue, SmallNetwork());
+  net.set_sc_receiver([](const Message&) {});
+  net.set_mc_receiver([](const Message&) {});
+  net.Handoff(0);
+  EXPECT_EQ(net.wireless_control_messages(), 2);
+  EXPECT_EQ(net.wireless_data_messages(), 0);
+  EXPECT_EQ(net.wireline_messages(), 2);
+}
+
+TEST(CellularNetworkDeathTest, HandoffRequiresQuiescence) {
+  EventQueue queue;
+  CellularNetwork net(&queue, SmallNetwork());
+  net.set_sc_receiver([](const Message&) {});
+  net.set_mc_receiver([](const Message&) {});
+  net.mc_uplink()->Send(ControlMessage());  // in flight
+  EXPECT_DEATH(net.Handoff(0), "quiescent");
+}
+
+TEST(CellularNetworkDeathTest, RejectsBadCell) {
+  EventQueue queue;
+  CellularNetwork net(&queue, SmallNetwork());
+  EXPECT_DEATH(net.Handoff(99), "");
+}
+
+TEST(RandomWalkMobilityTest, MoveTimesAreOrderedAndInRange) {
+  RandomWalkMobility mobility(5, /*move_rate=*/2.0, Rng(1));
+  const auto times = mobility.MoveTimesBetween(0.0, 50.0);
+  // Expect about 100 moves.
+  EXPECT_GT(times.size(), 60u);
+  EXPECT_LT(times.size(), 150u);
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_GT(times[i], 0.0);
+    EXPECT_LE(times[i], 50.0);
+    if (i > 0) {
+      EXPECT_GT(times[i], times[i - 1]);
+    }
+  }
+  // The stream continues past the window without losing arrivals.
+  const auto later = mobility.MoveTimesBetween(50.0, 60.0);
+  for (const double t : later) {
+    EXPECT_GT(t, 50.0);
+    EXPECT_LE(t, 60.0);
+  }
+}
+
+TEST(RandomWalkMobilityTest, ZeroRateNeverMoves) {
+  RandomWalkMobility mobility(5, 0.0, Rng(2));
+  EXPECT_TRUE(mobility.MoveTimesBetween(0.0, 1000.0).empty());
+}
+
+TEST(RandomWalkMobilityTest, NextCellIsNeighbourOnRing) {
+  RandomWalkMobility mobility(6, 1.0, Rng(3));
+  for (int i = 0; i < 200; ++i) {
+    const int next = mobility.NextCell(0);
+    EXPECT_TRUE(next == 1 || next == 5) << next;
+  }
+  // Single-cell systems stay put.
+  RandomWalkMobility solo(1, 1.0, Rng(4));
+  EXPECT_EQ(solo.NextCell(0), 0);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,121 @@
+#include "mobrep/mobility/roaming_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+RoamingConfig MakeConfig(const char* spec_text, double move_rate) {
+  RoamingConfig config;
+  config.spec = *ParsePolicySpec(spec_text);
+  config.cells.num_cells = 7;
+  config.move_rate = move_rate;
+  return config;
+}
+
+TEST(RoamingSimTest, RunsAndStaysConsistent) {
+  RoamingConfig config = MakeConfig("sw:5", /*move_rate=*/5.0);
+  RoamingSimulation sim(config);
+  Rng rng(10);
+  const TimedSchedule schedule = GenerateTimedPoisson(800, 3.0, 2.0, &rng);
+  sim.Run(schedule);  // aborts internally on staleness or charge confusion
+  const RoamingMetrics m = sim.metrics();
+  EXPECT_GT(m.handoffs, 0);
+  EXPECT_GT(m.wireless_data_messages, 0);
+}
+
+TEST(RoamingSimTest, MobilityDoesNotChangeReplicationTraffic) {
+  // The same request sequence under a stationary MC and a fast-roaming MC
+  // must produce identical replication message counts — the SC is fixed
+  // (§1), so only handoff signaling differs.
+  Rng rng(11);
+  const TimedSchedule schedule = GenerateTimedPoisson(1000, 2.0, 2.0, &rng);
+
+  RoamingConfig still = MakeConfig("sw:9", /*move_rate=*/0.0);
+  RoamingSimulation sim_still(still);
+  sim_still.Run(schedule);
+
+  RoamingConfig fast = MakeConfig("sw:9", /*move_rate=*/10.0);
+  RoamingSimulation sim_fast(fast);
+  sim_fast.Run(schedule);
+
+  const RoamingMetrics a = sim_still.metrics();
+  const RoamingMetrics b = sim_fast.metrics();
+  EXPECT_EQ(a.wireless_data_messages, b.wireless_data_messages);
+  EXPECT_EQ(a.wireless_control_messages, b.wireless_control_messages);
+  EXPECT_EQ(a.allocations, b.allocations);
+  EXPECT_EQ(a.deallocations, b.deallocations);
+  EXPECT_EQ(a.handoffs, 0);
+  EXPECT_GT(b.handoffs, 0);
+  EXPECT_GT(b.TotalCost(0.5), b.ReplicationCost(0.5));
+}
+
+TEST(RoamingSimTest, ReplicationTrafficMatchesFlatProtocol) {
+  // The cellular substrate must not change what the replication protocol
+  // sends: per-message counts equal the direct-link ProtocolSimulation's.
+  Rng rng(12);
+  const TimedSchedule timed = GenerateTimedPoisson(600, 1.0, 1.0, &rng);
+  const Schedule flat = StripTimes(timed);
+
+  RoamingConfig roaming_config = MakeConfig("sw:5", /*move_rate=*/3.0);
+  RoamingSimulation roaming(roaming_config);
+  roaming.Run(timed);
+
+  ProtocolConfig flat_config;
+  flat_config.spec = *ParsePolicySpec("sw:5");
+  ProtocolSimulation direct(flat_config);
+  direct.Run(flat);
+
+  const RoamingMetrics r = roaming.metrics();
+  const ProtocolMetrics d = direct.metrics();
+  // Wireless hop carries each protocol message exactly once in each
+  // direction, like the direct link.
+  EXPECT_EQ(r.wireless_data_messages, d.data_messages);
+  EXPECT_EQ(r.wireless_control_messages, d.control_messages);
+  EXPECT_EQ(r.allocations, d.allocations);
+  EXPECT_EQ(r.deallocations, d.deallocations);
+}
+
+TEST(RoamingSimTest, HandoffCountTracksMoveRate) {
+  Rng rng(13);
+  const TimedSchedule schedule = GenerateTimedPoisson(500, 1.0, 1.0, &rng);
+  int64_t previous = -1;
+  for (const double rate : {0.0, 0.5, 5.0}) {
+    RoamingConfig config = MakeConfig("sw1", rate);
+    RoamingSimulation sim(config);
+    sim.Run(schedule);
+    const int64_t handoffs = sim.metrics().handoffs;
+    EXPECT_GT(handoffs, previous);
+    previous = handoffs;
+    EXPECT_EQ(sim.metrics().handoff_control_messages, 2 * handoffs);
+  }
+}
+
+TEST(RoamingSimTest, CurrentCellStaysInRange) {
+  RoamingConfig config = MakeConfig("st1", /*move_rate=*/20.0);
+  config.cells.num_cells = 3;
+  RoamingSimulation sim(config);
+  Rng rng(14);
+  const TimedSchedule schedule = GenerateTimedPoisson(300, 2.0, 1.0, &rng);
+  for (const TimedRequest& request : schedule) {
+    sim.Step(request);
+    EXPECT_GE(sim.current_cell(), 0);
+    EXPECT_LT(sim.current_cell(), 3);
+  }
+  EXPECT_GT(sim.metrics().handoffs, 10);
+}
+
+TEST(RoamingSimDeathTest, RejectsOutOfOrderRequests) {
+  RoamingConfig config = MakeConfig("st1", 0.0);
+  RoamingSimulation sim(config);
+  sim.Step({5.0, Op::kRead});
+  EXPECT_DEATH(sim.Step({1.0, Op::kRead}), "non-decreasing");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,124 @@
+#include "mobrep/multi/dynamic_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/multi/joint_workload.h"
+#include "mobrep/multi/static_allocator.h"
+
+namespace mobrep {
+namespace {
+
+DynamicMultiObjectAllocator::Options MakeOptions(int num_objects,
+                                                 int window = 256,
+                                                 int period = 64) {
+  DynamicMultiObjectAllocator::Options options;
+  options.num_objects = num_objects;
+  options.window_size = window;
+  options.recompute_period = period;
+  return options;
+}
+
+TEST(DynamicAllocatorTest, ConvergesToStaticOptimum) {
+  // Stationary workload: after enough operations the dynamic allocator's
+  // mask must settle on the static optimum.
+  const MultiObjectWorkload w = TwoObjectWorkload(10, 1, 0, 1, 10, 0);
+  const CostModel model = CostModel::Connection();
+  const StaticAllocation expected = OptimalStaticAllocation(w, model);
+
+  DynamicMultiObjectAllocator allocator(MakeOptions(2), model);
+  Rng rng(7);
+  const auto sequence = SampleClassSequence(w, 4000, &rng);
+  for (const int c : sequence) {
+    allocator.OnOperation(w.classes[static_cast<size_t>(c)]);
+  }
+  EXPECT_EQ(allocator.allocation_mask(), expected.mask);
+  EXPECT_GE(allocator.recomputations(), 1);
+}
+
+TEST(DynamicAllocatorTest, AdaptsWhenWorkloadShifts) {
+  const CostModel model = CostModel::Connection();
+  DynamicMultiObjectAllocator allocator(
+      MakeOptions(2, /*window=*/128, /*period=*/32), model);
+  Rng rng(9);
+
+  // Phase 1: read-heavy on both objects -> replicate both.
+  const MultiObjectWorkload reads = TwoObjectWorkload(10, 10, 5, 1, 1, 0);
+  for (const int c : SampleClassSequence(reads, 2000, &rng)) {
+    allocator.OnOperation(reads.classes[static_cast<size_t>(c)]);
+  }
+  EXPECT_EQ(allocator.allocation_mask(), 0b11u);
+
+  // Phase 2: write-heavy -> drop both replicas.
+  const MultiObjectWorkload writes = TwoObjectWorkload(1, 1, 0, 10, 10, 5);
+  for (const int c : SampleClassSequence(writes, 2000, &rng)) {
+    allocator.OnOperation(writes.classes[static_cast<size_t>(c)]);
+  }
+  EXPECT_EQ(allocator.allocation_mask(), 0b00u);
+  EXPECT_GE(allocator.reallocations(), 2);
+}
+
+TEST(DynamicAllocatorTest, CostsMatchStaticWhenMaskStable) {
+  // With the optimal mask already installed and a stationary workload, the
+  // per-operation cost should average to the static expected cost.
+  const MultiObjectWorkload w = TwoObjectWorkload(10, 1, 0, 1, 10, 0);
+  const CostModel model = CostModel::Connection();
+  const StaticAllocation optimum = OptimalStaticAllocation(w, model);
+
+  auto options = MakeOptions(2);
+  options.initial_mask = optimum.mask;
+  DynamicMultiObjectAllocator allocator(options, model);
+  Rng rng(11);
+  const int64_t n = 50000;
+  double total = 0.0;
+  for (const int c : SampleClassSequence(w, n, &rng)) {
+    total += allocator.OnOperation(w.classes[static_cast<size_t>(c)]);
+  }
+  EXPECT_NEAR(total / static_cast<double>(n), optimum.expected_cost, 0.02);
+  // The mask never needed to change.
+  EXPECT_EQ(allocator.reallocations(), 0);
+}
+
+TEST(DynamicAllocatorTest, WindowBoundsEstimate) {
+  const CostModel model = CostModel::Connection();
+  DynamicMultiObjectAllocator allocator(
+      MakeOptions(2, /*window=*/8, /*period=*/4), model);
+  const OperationClass read_x{Op::kRead, {0}, 0.0};
+  for (int i = 0; i < 20; ++i) allocator.OnOperation(read_x);
+  const MultiObjectWorkload estimate = allocator.EstimatedWorkload();
+  ASSERT_EQ(estimate.classes.size(), 1u);
+  // Only the last 8 operations are counted.
+  EXPECT_DOUBLE_EQ(estimate.classes[0].rate, 8.0);
+  EXPECT_EQ(allocator.operations(), 20);
+}
+
+TEST(DynamicAllocatorTest, TransitionCostsCharged) {
+  const CostModel model = CostModel::Message(0.5);
+  DynamicMultiObjectAllocator allocator(
+      MakeOptions(2, /*window=*/16, /*period=*/4), model);
+  const OperationClass read_xy{Op::kRead, {0, 1}, 0.0};
+  double total = 0.0;
+  for (int i = 0; i < 8; ++i) total += allocator.OnOperation(read_xy);
+  // Reads cost 1.5 each until the recomputation replicates both objects;
+  // the transition itself ships two data items (cost 2).
+  EXPECT_EQ(allocator.allocation_mask(), 0b11u);
+  EXPECT_GE(allocator.reallocations(), 1);
+  EXPECT_GT(total, 2.0);  // paid remote reads plus the transition
+  // After the switch further reads are free.
+  const double after = allocator.OnOperation(read_xy);
+  EXPECT_DOUBLE_EQ(after, 0.0);
+}
+
+TEST(DynamicAllocatorDeathTest, RejectsBadOptions) {
+  const CostModel model = CostModel::Connection();
+  EXPECT_DEATH(
+      { DynamicMultiObjectAllocator a(MakeOptions(0), model); }, "");
+  EXPECT_DEATH(
+      {
+        DynamicMultiObjectAllocator a(MakeOptions(2, /*window=*/0), model);
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace mobrep

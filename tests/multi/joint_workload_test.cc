@@ -1,0 +1,80 @@
+#include "mobrep/multi/joint_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(OperationClassTest, KeyFormat) {
+  const OperationClass read_x{Op::kRead, {0}, 1.0};
+  const OperationClass write_xy{Op::kWrite, {0, 2}, 1.0};
+  EXPECT_EQ(read_x.Key(), "r{0}");
+  EXPECT_EQ(write_xy.Key(), "w{0,2}");
+}
+
+TEST(TwoObjectWorkloadTest, SixClasses) {
+  const MultiObjectWorkload w = TwoObjectWorkload(1, 2, 3, 4, 5, 6);
+  EXPECT_EQ(w.num_objects, 2);
+  ASSERT_EQ(w.classes.size(), 6u);
+  EXPECT_TRUE(w.Validate().ok());
+  EXPECT_DOUBLE_EQ(w.TotalRate(), 21.0);
+}
+
+TEST(ValidateTest, CatchesBadWorkloads) {
+  MultiObjectWorkload w;
+  w.num_objects = 0;
+  EXPECT_FALSE(w.Validate().ok());
+
+  w.num_objects = 2;
+  w.classes = {{Op::kRead, {}, 1.0}};
+  EXPECT_FALSE(w.Validate().ok());  // empty object set
+
+  w.classes = {{Op::kRead, {5}, 1.0}};
+  EXPECT_FALSE(w.Validate().ok());  // index out of range
+
+  w.classes = {{Op::kRead, {1, 0}, 1.0}};
+  EXPECT_FALSE(w.Validate().ok());  // not ascending
+
+  w.classes = {{Op::kRead, {0, 0}, 1.0}};
+  EXPECT_FALSE(w.Validate().ok());  // duplicate
+
+  w.classes = {{Op::kRead, {0}, -1.0}};
+  EXPECT_FALSE(w.Validate().ok());  // negative rate
+
+  w.classes = {{Op::kRead, {0}, 0.0}};
+  EXPECT_FALSE(w.Validate().ok());  // zero total rate
+
+  w.classes = {{Op::kRead, {0}, 1.0}, {Op::kWrite, {0, 1}, 0.5}};
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(SampleClassSequenceTest, FrequenciesMatchRates) {
+  const MultiObjectWorkload w = TwoObjectWorkload(4, 2, 2, 1, 1, 0);
+  Rng rng(88);
+  const auto sequence = SampleClassSequence(w, 100000, &rng);
+  ASSERT_EQ(sequence.size(), 100000u);
+  std::vector<int64_t> counts(w.classes.size(), 0);
+  for (const int c : sequence) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, static_cast<int>(w.classes.size()));
+    ++counts[static_cast<size_t>(c)];
+  }
+  const double total = w.TotalRate();
+  for (size_t c = 0; c < w.classes.size(); ++c) {
+    const double expected = w.classes[c].rate / total;
+    const double observed =
+        static_cast<double>(counts[c]) / static_cast<double>(sequence.size());
+    EXPECT_NEAR(observed, expected, 0.01) << "class " << c;
+  }
+}
+
+TEST(SampleClassSequenceTest, ZeroRateClassNeverSampled) {
+  const MultiObjectWorkload w = TwoObjectWorkload(1, 1, 0, 1, 1, 0);
+  Rng rng(89);
+  for (const int c : SampleClassSequence(w, 20000, &rng)) {
+    EXPECT_NE(w.classes[static_cast<size_t>(c)].rate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

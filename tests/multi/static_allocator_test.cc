@@ -1,0 +1,152 @@
+#include "mobrep/multi/static_allocator.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+// Paper §7.2: with two objects there are four allocations; ST1 = neither
+// replicated, ST2 = both, ST1,2 = only y, ST2,1 = only x.
+constexpr AllocationMask kSt1 = 0b00;
+constexpr AllocationMask kSt2 = 0b11;
+constexpr AllocationMask kSt12 = 0b10;  // y replicated
+constexpr AllocationMask kSt21 = 0b01;  // x replicated
+
+TEST(ExpectedCostForAllocationTest, PaperFormulas) {
+  // Frequencies: lr_x, lr_y, lr_xy, lw_x, lw_y, lw_xy.
+  const MultiObjectWorkload w = TwoObjectWorkload(3, 5, 7, 2, 4, 6);
+  const double total = w.TotalRate();  // 27
+  const CostModel conn = CostModel::Connection();
+
+  // Paper: EXP_ST1 = (lr_x + lr_y + lr_joint) / Lambda.
+  EXPECT_NEAR(ExpectedCostForAllocation(w, kSt1, conn), (3 + 5 + 7) / total,
+              1e-12);
+  // Paper: EXP_ST1,2 = (lr_x + lw_y + lr_joint + lw_joint) / Lambda.
+  EXPECT_NEAR(ExpectedCostForAllocation(w, kSt12, conn),
+              (3 + 4 + 7 + 6) / total, 1e-12);
+  // Mirror: ST2,1 = (lr_y + lw_x + lr_joint + lw_joint) / Lambda.
+  EXPECT_NEAR(ExpectedCostForAllocation(w, kSt21, conn),
+              (5 + 2 + 7 + 6) / total, 1e-12);
+  // ST2: every write is chargeable.
+  EXPECT_NEAR(ExpectedCostForAllocation(w, kSt2, conn), (2 + 4 + 6) / total,
+              1e-12);
+}
+
+TEST(ClassCostTest, JointOpsChargeable) {
+  const CostModel conn = CostModel::Connection();
+  const OperationClass joint_read{Op::kRead, {0, 1}, 1.0};
+  const OperationClass joint_write{Op::kWrite, {0, 1}, 1.0};
+  // A joint read is free only when every object is replicated.
+  EXPECT_DOUBLE_EQ(ClassCost(joint_read, kSt2, conn), 0.0);
+  EXPECT_DOUBLE_EQ(ClassCost(joint_read, kSt12, conn), 1.0);
+  // A joint write is free only when no object is replicated.
+  EXPECT_DOUBLE_EQ(ClassCost(joint_write, kSt1, conn), 0.0);
+  EXPECT_DOUBLE_EQ(ClassCost(joint_write, kSt12, conn), 1.0);
+}
+
+TEST(ClassCostTest, MessageModelPrices) {
+  const CostModel msg = CostModel::Message(0.5);
+  const OperationClass read_x{Op::kRead, {0}, 1.0};
+  const OperationClass write_x{Op::kWrite, {0}, 1.0};
+  EXPECT_DOUBLE_EQ(ClassCost(read_x, kSt1, msg), 1.5);
+  EXPECT_DOUBLE_EQ(ClassCost(read_x, kSt21, msg), 0.0);
+  EXPECT_DOUBLE_EQ(ClassCost(write_x, kSt21, msg), 1.0);
+}
+
+TEST(OptimalStaticAllocationTest, ReadHeavyReplicatesEverything) {
+  const MultiObjectWorkload w = TwoObjectWorkload(10, 10, 5, 1, 1, 0);
+  const StaticAllocation best =
+      OptimalStaticAllocation(w, CostModel::Connection());
+  EXPECT_EQ(best.mask, kSt2);
+}
+
+TEST(OptimalStaticAllocationTest, WriteHeavyReplicatesNothing) {
+  const MultiObjectWorkload w = TwoObjectWorkload(1, 1, 0, 10, 10, 5);
+  const StaticAllocation best =
+      OptimalStaticAllocation(w, CostModel::Connection());
+  EXPECT_EQ(best.mask, kSt1);
+}
+
+TEST(OptimalStaticAllocationTest, MixedWorkloadSplits) {
+  // x is read-mostly, y is write-mostly: replicate x only.
+  const MultiObjectWorkload w = TwoObjectWorkload(10, 1, 0, 1, 10, 0);
+  const StaticAllocation best =
+      OptimalStaticAllocation(w, CostModel::Connection());
+  EXPECT_EQ(best.mask, kSt21);
+  EXPECT_NEAR(best.expected_cost,
+              ExpectedCostForAllocation(w, kSt21, CostModel::Connection()),
+              1e-12);
+}
+
+TEST(OptimalStaticAllocationTest, JointOpsCoupleTheChoice) {
+  // Strong joint reads force co-replication even though y alone would not
+  // deserve a copy.
+  const MultiObjectWorkload w = TwoObjectWorkload(5, 0, 20, 0, 3, 0);
+  const StaticAllocation best =
+      OptimalStaticAllocation(w, CostModel::Connection());
+  EXPECT_EQ(best.mask, kSt2);
+}
+
+TEST(OptimalStaticAllocationTest, ExhaustiveIsMinimal) {
+  const MultiObjectWorkload w = TwoObjectWorkload(3, 1, 4, 1, 5, 9);
+  for (const CostModel& model :
+       {CostModel::Connection(), CostModel::Message(0.3)}) {
+    const StaticAllocation best = OptimalStaticAllocation(w, model);
+    for (AllocationMask mask = 0; mask < 4; ++mask) {
+      EXPECT_LE(best.expected_cost,
+                ExpectedCostForAllocation(w, mask, model) + 1e-12);
+    }
+  }
+}
+
+MultiObjectWorkload RandomWorkload(int num_objects, int num_classes,
+                                   Rng* rng) {
+  MultiObjectWorkload w;
+  w.num_objects = num_objects;
+  for (int c = 0; c < num_classes; ++c) {
+    OperationClass cls;
+    cls.op = rng->Bernoulli(0.5) ? Op::kWrite : Op::kRead;
+    for (int i = 0; i < num_objects; ++i) {
+      if (rng->Bernoulli(0.4)) cls.objects.push_back(i);
+    }
+    if (cls.objects.empty()) {
+      cls.objects.push_back(static_cast<int>(rng->UniformInt(
+          static_cast<uint64_t>(num_objects))));
+    }
+    cls.rate = rng->Uniform(0.1, 10.0);
+    w.classes.push_back(cls);
+  }
+  return w;
+}
+
+TEST(LocalSearchAllocationTest, FindsGlobalOptimumOnSmallWorkloads) {
+  Rng rng(123);
+  for (int trial = 0; trial < 25; ++trial) {
+    const MultiObjectWorkload w = RandomWorkload(6, 10, &rng);
+    ASSERT_TRUE(w.Validate().ok());
+    const CostModel model = CostModel::Connection();
+    const StaticAllocation exhaustive = OptimalStaticAllocation(w, model);
+    const StaticAllocation local =
+        LocalSearchAllocation(w, model, &rng, /*restarts=*/16);
+    // Local search with restarts should match the optimum on 6 objects;
+    // allow equality of cost with a different mask.
+    EXPECT_NEAR(local.expected_cost, exhaustive.expected_cost, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(LocalSearchAllocationTest, NeverWorseThanAllOrNothing) {
+  Rng rng(321);
+  const MultiObjectWorkload w = RandomWorkload(12, 30, &rng);
+  const CostModel model = CostModel::Message(0.5);
+  const StaticAllocation local = LocalSearchAllocation(w, model, &rng, 8);
+  EXPECT_LE(local.expected_cost,
+            ExpectedCostForAllocation(w, 0, model) + 1e-12);
+  EXPECT_LE(local.expected_cost,
+            ExpectedCostForAllocation(w, (1u << 12) - 1, model) + 1e-12);
+}
+
+}  // namespace
+}  // namespace mobrep

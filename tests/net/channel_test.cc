@@ -1,0 +1,112 @@
+#include "mobrep/net/channel.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+Message MakeMessage(MessageType type, std::string key = "x") {
+  Message m;
+  m.type = type;
+  m.key = std::move(key);
+  return m;
+}
+
+TEST(ChannelTest, DeliversAfterLatency) {
+  EventQueue queue;
+  Channel channel(&queue, 0.5, "SC->MC");
+  double delivered_at = -1.0;
+  channel.set_receiver(
+      [&](const Message&) { delivered_at = queue.now(); });
+  channel.Send(MakeMessage(MessageType::kReadRequest));
+  queue.RunUntilQuiescent();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.5);
+}
+
+TEST(ChannelTest, PreservesFifoOrder) {
+  EventQueue queue;
+  Channel channel(&queue, 1.0, "link");
+  std::vector<MessageType> received;
+  channel.set_receiver(
+      [&](const Message& m) { received.push_back(m.type); });
+  channel.Send(MakeMessage(MessageType::kReadRequest));
+  channel.Send(MakeMessage(MessageType::kDataResponse));
+  channel.Send(MakeMessage(MessageType::kDeleteRequest));
+  queue.RunUntilQuiescent();
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0], MessageType::kReadRequest);
+  EXPECT_EQ(received[1], MessageType::kDataResponse);
+  EXPECT_EQ(received[2], MessageType::kDeleteRequest);
+}
+
+TEST(ChannelTest, CountsDataVsControl) {
+  EventQueue queue;
+  Channel channel(&queue, 0.0, "link");
+  channel.set_receiver([](const Message&) {});
+  channel.Send(MakeMessage(MessageType::kReadRequest));     // control
+  channel.Send(MakeMessage(MessageType::kDataResponse));    // data
+  channel.Send(MakeMessage(MessageType::kWritePropagate));  // data
+  channel.Send(MakeMessage(MessageType::kDeleteRequest));   // control
+  channel.Send(MakeMessage(MessageType::kInvalidate));      // control
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(channel.messages_sent(), 5);
+  EXPECT_EQ(channel.data_messages_sent(), 2);
+  EXPECT_EQ(channel.control_messages_sent(), 3);
+}
+
+TEST(ChannelTest, ZeroLatencyDeliversInSameQuiescentRun) {
+  EventQueue queue;
+  Channel channel(&queue, 0.0, "link");
+  bool delivered = false;
+  channel.set_receiver([&](const Message&) { delivered = true; });
+  channel.Send(MakeMessage(MessageType::kInvalidate));
+  EXPECT_FALSE(delivered);  // deliveries are asynchronous events
+  queue.RunUntilQuiescent();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(ChannelTest, MessagePayloadSurvivesTransit) {
+  EventQueue queue;
+  Channel channel(&queue, 0.25, "link");
+  Message received;
+  channel.set_receiver([&](const Message& m) { received = m; });
+
+  Message sent = MakeMessage(MessageType::kDataResponse, "item-42");
+  sent.item = {"payload", 7};
+  sent.allocate = true;
+  sent.window = {Op::kRead, Op::kWrite, Op::kRead};
+  channel.Send(sent);
+  queue.RunUntilQuiescent();
+
+  EXPECT_EQ(received.key, "item-42");
+  EXPECT_EQ(received.item.value, "payload");
+  EXPECT_EQ(received.item.version, 7u);
+  EXPECT_TRUE(received.allocate);
+  EXPECT_EQ(received.window,
+            (std::vector<Op>{Op::kRead, Op::kWrite, Op::kRead}));
+}
+
+TEST(MessageTypeTest, DataClassification) {
+  EXPECT_TRUE(IsDataMessage(MessageType::kDataResponse));
+  EXPECT_TRUE(IsDataMessage(MessageType::kWritePropagate));
+  EXPECT_FALSE(IsDataMessage(MessageType::kReadRequest));
+  EXPECT_FALSE(IsDataMessage(MessageType::kDeleteRequest));
+  EXPECT_FALSE(IsDataMessage(MessageType::kInvalidate));
+}
+
+TEST(MessageTypeTest, Names) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kReadRequest), "read_request");
+  EXPECT_STREQ(MessageTypeName(MessageType::kInvalidate), "invalidate");
+}
+
+TEST(ChannelDeathTest, SendWithoutReceiverAborts) {
+  EventQueue queue;
+  Channel channel(&queue, 0.0, "link");
+  EXPECT_DEATH(channel.Send(MakeMessage(MessageType::kReadRequest)),
+               "receiver");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,86 @@
+#include "mobrep/net/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  queue.ScheduleAt(1.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(2.0, [&] { order.push_back(2); });
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, FifoTieBreakAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.RunUntilQuiescent();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.ScheduleAt(5.0, [&] {
+    queue.ScheduleAfter(2.5, [&] { fired_at = queue.now(); });
+  });
+  queue.RunUntilQuiescent();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueueTest, HandlersMayScheduleMoreEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) queue.ScheduleAfter(1.0, chain);
+  };
+  queue.ScheduleAt(0.0, chain);
+  const int64_t ran = queue.RunUntilQuiescent();
+  EXPECT_EQ(ran, 5);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueueTest, RunNextOnEmptyReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.RunNext());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(EventQueueTest, PendingCount) {
+  EventQueue queue;
+  queue.ScheduleAt(1.0, [] {});
+  queue.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.RunNext();
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueDeathTest, RejectsPastScheduling) {
+  EventQueue queue;
+  queue.ScheduleAt(5.0, [] {});
+  queue.RunUntilQuiescent();
+  EXPECT_DEATH(queue.ScheduleAt(1.0, [] {}), "past");
+}
+
+TEST(EventQueueDeathTest, LivelockGuard) {
+  EventQueue queue;
+  std::function<void()> forever = [&] { queue.ScheduleAfter(0.0, forever); };
+  queue.ScheduleAt(0.0, forever);
+  EXPECT_DEATH(queue.RunUntilQuiescent(1000), "livelock");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,76 @@
+#include "mobrep/net/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+
+namespace mobrep {
+namespace {
+
+TEST(WireFormatTest, DocumentedExample) {
+  // w r r (oldest first) -> "3:" + byte 0b00000001.
+  const std::vector<Op> window = {Op::kWrite, Op::kRead, Op::kRead};
+  const std::string encoded = EncodeWindow(window);
+  ASSERT_EQ(encoded.size(), 3u);
+  EXPECT_EQ(encoded.substr(0, 2), "3:");
+  EXPECT_EQ(static_cast<uint8_t>(encoded[2]), 0b00000001);
+}
+
+TEST(WireFormatTest, EmptyWindow) {
+  const auto decoded = DecodeWindow(EncodeWindow({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(WireFormatTest, RoundTripAllSizes) {
+  Rng rng(99);
+  for (int k = 1; k <= 67; ++k) {
+    std::vector<Op> window;
+    for (int i = 0; i < k; ++i) {
+      window.push_back(rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead);
+    }
+    const std::string encoded = EncodeWindow(window);
+    EXPECT_EQ(encoded.size(), EncodedWindowSize(k)) << "k=" << k;
+    const auto decoded = DecodeWindow(encoded);
+    ASSERT_TRUE(decoded.ok()) << "k=" << k;
+    EXPECT_EQ(*decoded, window) << "k=" << k;
+  }
+}
+
+TEST(WireFormatTest, CompactComparedToOnePerByte) {
+  // A 101-bit window rides in 4 + 13 = 17 bytes instead of 101.
+  EXPECT_EQ(EncodedWindowSize(101), 4u + 13u);
+}
+
+TEST(WireFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(DecodeWindow("").ok());
+  EXPECT_FALSE(DecodeWindow(":").ok());
+  EXPECT_FALSE(DecodeWindow("abc").ok());
+  EXPECT_FALSE(DecodeWindow("x:").ok());
+  EXPECT_FALSE(DecodeWindow("-3:").ok());
+  // Wrong payload length.
+  EXPECT_FALSE(DecodeWindow("9:\x01").ok());
+  EXPECT_FALSE(DecodeWindow(std::string("3:\x01\x02", 4)).ok());
+}
+
+TEST(WireFormatTest, RejectsNonCanonicalPadding) {
+  // 3 bits encoded, but a padding bit beyond bit 2 is set.
+  std::string bad = "3:";
+  bad.push_back(static_cast<char>(0b00001001));
+  EXPECT_FALSE(DecodeWindow(bad).ok());
+}
+
+TEST(WireFormatTest, FuzzDecodeNeverCrashes) {
+  Rng rng(0xABCD);
+  for (int i = 0; i < 5000; ++i) {
+    std::string bytes(rng.UniformInt(40), '\0');
+    for (auto& c : bytes) c = static_cast<char>(rng.UniformInt(256));
+    const auto decoded = DecodeWindow(bytes);
+    if (decoded.ok()) {
+      EXPECT_EQ(EncodeWindow(*decoded), bytes);  // canonical form
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

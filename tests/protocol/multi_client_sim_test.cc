@@ -1,0 +1,112 @@
+#include "mobrep/protocol/multi_client_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+MultiClientSimulation::Options MakeOptions(int clients,
+                                           const char* spec = "sw:3") {
+  MultiClientSimulation::Options options;
+  options.num_clients = clients;
+  options.spec = *ParsePolicySpec(spec);
+  return options;
+}
+
+TEST(MultiClientSimTest, IndependentSubscriptions) {
+  MultiClientSimulation sim(MakeOptions(3));
+  // Client 0 reads twice (allocates under SW3); others stay cold.
+  sim.StepRead(0);
+  sim.StepRead(0);
+  EXPECT_TRUE(sim.HasCopy(0));
+  EXPECT_FALSE(sim.HasCopy(1));
+  EXPECT_FALSE(sim.HasCopy(2));
+  EXPECT_EQ(sim.SubscriberCount(), 1);
+}
+
+TEST(MultiClientSimTest, WriteFanOutEqualsSubscriberCount) {
+  MultiClientSimulation sim(MakeOptions(4));
+  // Subscribe clients 0 and 2.
+  for (const int c : {0, 2}) {
+    sim.StepRead(c);
+    sim.StepRead(c);
+  }
+  ASSERT_EQ(sim.SubscriberCount(), 2);
+  const int64_t data_before = sim.data_messages();
+  sim.StepWrite();
+  // One data message per subscriber, none for the cold clients.
+  EXPECT_EQ(sim.data_messages() - data_before, 2);
+}
+
+TEST(MultiClientSimTest, SubscribersSeeEveryVersion) {
+  MultiClientSimulation sim(MakeOptions(2, "st2"));
+  // ST2: both clients permanently subscribed; StepWrite() internally
+  // checks each replica matches the store after propagation.
+  for (int i = 0; i < 20; ++i) sim.StepWrite();
+  EXPECT_EQ(sim.SubscriberCount(), 2);
+  EXPECT_EQ(sim.store().Get("x")->version, 21u);
+}
+
+TEST(MultiClientSimTest, PerClientTrafficMatchesSingleClientRun) {
+  // Each MC's marginal experience must equal a single-MC simulation fed
+  // with its own reads plus all the writes.
+  const int kClients = 3;
+  Rng rng(2468);
+  MultiClientSimulation sim(MakeOptions(kClients, "sw:5"));
+
+  // Build per-client marginal schedules while driving the shared sim.
+  std::vector<Schedule> marginal(kClients);
+  for (int step = 0; step < 600; ++step) {
+    if (rng.Bernoulli(0.4)) {
+      sim.StepWrite();
+      for (auto& s : marginal) s.push_back(Op::kWrite);
+    } else {
+      const int client = static_cast<int>(rng.UniformInt(kClients));
+      sim.StepRead(client);
+      marginal[static_cast<size_t>(client)].push_back(Op::kRead);
+    }
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    auto policy = CreatePolicy(*ParsePolicySpec("sw:5"));
+    const CostBreakdown expect = SimulateSchedule(
+        policy.get(), marginal[static_cast<size_t>(c)],
+        CostModel::Connection());
+    EXPECT_EQ(sim.client_data_messages(c), expect.data_messages)
+        << "client " << c;
+    EXPECT_EQ(sim.client_control_messages(c), expect.control_messages)
+        << "client " << c;
+  }
+}
+
+TEST(MultiClientSimTest, MixedReadersAndColdClients) {
+  // A popular item: client 0 reads constantly, the rest never; write
+  // fan-out should settle at exactly one.
+  MultiClientSimulation sim(MakeOptions(5, "sw:3"));
+  Rng rng(1357);
+  for (int i = 0; i < 200; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      sim.StepWrite();
+    } else {
+      sim.StepRead(0);
+    }
+  }
+  EXPECT_LE(sim.SubscriberCount(), 1);
+  for (int c = 1; c < 5; ++c) {
+    EXPECT_EQ(sim.client_data_messages(c), 0) << "cold client " << c;
+  }
+}
+
+TEST(MultiClientSimDeathTest, RejectsBadClientIndex) {
+  MultiClientSimulation sim(MakeOptions(2));
+  EXPECT_DEATH(sim.StepRead(2), "");
+  EXPECT_DEATH(sim.StepRead(-1), "");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,107 @@
+#include "mobrep/protocol/multi_item_sim.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+MultiItemSimulation::Options DefaultOptions() {
+  MultiItemSimulation::Options options;
+  options.default_spec = *ParsePolicySpec("sw:3");
+  return options;
+}
+
+TEST(MultiItemSimTest, ItemsCreatedLazily) {
+  MultiItemSimulation sim(DefaultOptions());
+  EXPECT_EQ(sim.item_count(), 0u);
+  sim.Step("a", Op::kRead);
+  sim.Step("b", Op::kWrite);
+  EXPECT_EQ(sim.item_count(), 2u);
+}
+
+TEST(MultiItemSimTest, PerItemIsolation) {
+  MultiItemSimulation sim(DefaultOptions());
+  // Allocate "a" (two reads under SW3); "b" stays cold.
+  sim.Step("a", Op::kRead);
+  sim.Step("a", Op::kRead);
+  EXPECT_TRUE(sim.HasCopy("a"));
+  EXPECT_FALSE(sim.HasCopy("b"));
+  // Writes to "b" do not disturb "a"'s replica.
+  for (int i = 0; i < 5; ++i) sim.Step("b", Op::kWrite);
+  EXPECT_TRUE(sim.HasCopy("a"));
+  EXPECT_EQ(sim.ReplicatedItems(), std::vector<std::string>{"a"});
+}
+
+TEST(MultiItemSimTest, MixedPoliciesPerItem) {
+  MultiItemSimulation sim(DefaultOptions());
+  sim.AddItem("pinned", *ParsePolicySpec("st2"));
+  sim.AddItem("cold", *ParsePolicySpec("st1"));
+  EXPECT_TRUE(sim.HasCopy("pinned"));
+  EXPECT_FALSE(sim.HasCopy("cold"));
+  sim.Step("pinned", Op::kRead);   // local
+  sim.Step("cold", Op::kRead);     // remote
+  const ProtocolMetrics m = sim.metrics();
+  EXPECT_EQ(m.local_reads, 1);
+  EXPECT_EQ(m.remote_reads, 1);
+}
+
+TEST(MultiItemSimTest, SharedLinkCountsEqualSumOfSingleItemRuns) {
+  // Interleaving many items over one shared link pair must produce exactly
+  // the sum of the per-item single-link runs.
+  const int kItems = 4;
+  Rng rng(555);
+  // Per-item schedules plus a global interleaving.
+  std::map<std::string, Schedule> per_item;
+  std::vector<std::pair<std::string, Op>> interleaved;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < kItems; ++i) {
+      const std::string key = "item" + std::to_string(i);
+      const Op op = rng.Bernoulli(0.4) ? Op::kWrite : Op::kRead;
+      per_item[key].push_back(op);
+      interleaved.emplace_back(key, op);
+    }
+  }
+
+  MultiItemSimulation shared(DefaultOptions());
+  for (const auto& [key, op] : interleaved) shared.Step(key, op);
+
+  int64_t want_data = 0, want_control = 0, want_connections = 0;
+  for (const auto& [key, schedule] : per_item) {
+    auto policy = CreatePolicy(*ParsePolicySpec("sw:3"));
+    const CostBreakdown b =
+        SimulateSchedule(policy.get(), schedule, CostModel::Connection());
+    want_data += b.data_messages;
+    want_control += b.control_messages;
+    want_connections += b.connections;
+  }
+  const ProtocolMetrics m = shared.metrics();
+  EXPECT_EQ(m.data_messages, want_data);
+  EXPECT_EQ(m.control_messages, want_control);
+  EXPECT_EQ(m.connections, want_connections);
+}
+
+TEST(MultiItemSimTest, CacheHoldsExactlyReplicatedItems) {
+  MultiItemSimulation sim(DefaultOptions());
+  Rng rng(556);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(rng.UniformInt(5));
+    sim.Step(key, rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead);
+  }
+  EXPECT_EQ(sim.cache().size(), sim.ReplicatedItems().size());
+}
+
+TEST(MultiItemSimDeathTest, DuplicateRegistrationAborts) {
+  MultiItemSimulation sim(DefaultOptions());
+  sim.AddItem("x", *ParsePolicySpec("st1"));
+  EXPECT_DEATH(sim.AddItem("x", *ParsePolicySpec("st2")), "twice");
+}
+
+}  // namespace
+}  // namespace mobrep

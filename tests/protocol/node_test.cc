@@ -1,0 +1,182 @@
+// Node-level tests: MobileClient and StationaryServer driven directly
+// through hand-wired channels, asserting the exact message choreography of
+// paper §4 (who sends what, with which piggybacks, in which order).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/net/channel.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/stationary_server.h"
+#include "mobrep/store/replica_cache.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+namespace {
+
+// A two-node rig that records every message crossing each direction.
+class Rig {
+ public:
+  explicit Rig(const char* spec_text)
+      : up_(&queue_, 0.0, "MC->SC"), down_(&queue_, 0.0, "SC->MC") {
+    store_.Put("x", "v0");
+    const PolicySpec spec = *ParsePolicySpec(spec_text);
+    client_ = std::make_unique<MobileClient>("x", spec, &up_, &cache_);
+    server_ = std::make_unique<StationaryServer>("x", spec, &down_, &store_);
+    up_.set_receiver([this](const Message& m) {
+      to_sc_.push_back(m);
+      server_->HandleMessage(m);
+    });
+    down_.set_receiver([this](const Message& m) {
+      to_mc_.push_back(m);
+      client_->HandleMessage(m);
+    });
+    if (client_->in_charge()) cache_.Install("x", *store_.Get("x"));
+  }
+
+  VersionedValue Read() {
+    VersionedValue seen;
+    client_->IssueRead([&](const VersionedValue& v) { seen = v; });
+    queue_.RunUntilQuiescent();
+    return seen;
+  }
+
+  void Write(const std::string& value) {
+    server_->IssueWrite(value);
+    queue_.RunUntilQuiescent();
+  }
+
+  EventQueue queue_;
+  VersionedStore store_;
+  ReplicaCache cache_;
+  Channel up_;
+  Channel down_;
+  std::unique_ptr<MobileClient> client_;
+  std::unique_ptr<StationaryServer> server_;
+  std::vector<Message> to_sc_;
+  std::vector<Message> to_mc_;
+};
+
+TEST(NodeChoreographyTest, PlainRemoteRead) {
+  Rig rig("st1");
+  const VersionedValue seen = rig.Read();
+  EXPECT_EQ(seen.value, "v0");
+  ASSERT_EQ(rig.to_sc_.size(), 1u);
+  EXPECT_EQ(rig.to_sc_[0].type, MessageType::kReadRequest);
+  ASSERT_EQ(rig.to_mc_.size(), 1u);
+  EXPECT_EQ(rig.to_mc_[0].type, MessageType::kDataResponse);
+  EXPECT_FALSE(rig.to_mc_[0].allocate);
+  EXPECT_TRUE(rig.to_mc_[0].window.empty());
+}
+
+TEST(NodeChoreographyTest, AllocatingReadPiggybacksWindowAndState) {
+  Rig rig("sw:3");
+  rig.Read();  // w w r: no majority yet
+  rig.Read();  // w r r: allocate on the response
+  ASSERT_EQ(rig.to_mc_.size(), 2u);
+  EXPECT_FALSE(rig.to_mc_[0].allocate);
+  const Message& allocating = rig.to_mc_[1];
+  EXPECT_TRUE(allocating.allocate);
+  EXPECT_EQ(allocating.window,
+            (std::vector<Op>{Op::kWrite, Op::kRead, Op::kRead}));
+  ASSERT_NE(allocating.transferred_state, nullptr);
+  EXPECT_TRUE(allocating.transferred_state->has_copy());
+  EXPECT_TRUE(rig.client_->in_charge());
+  EXPECT_TRUE(rig.cache_.Contains("x"));
+}
+
+TEST(NodeChoreographyTest, PropagationCarriesFreshVersion) {
+  Rig rig("st2");
+  rig.Write("v1");
+  rig.Write("v2");
+  ASSERT_EQ(rig.to_mc_.size(), 2u);
+  EXPECT_EQ(rig.to_mc_[0].type, MessageType::kWritePropagate);
+  EXPECT_EQ(rig.to_mc_[0].item.version, 2u);  // after initial v0 = 1
+  EXPECT_EQ(rig.to_mc_[1].item.version, 3u);
+  EXPECT_EQ(*rig.cache_.Get("x"), *rig.store_.Get("x"));
+}
+
+TEST(NodeChoreographyTest, DeallocatingWriteSendsDeleteRequestBack) {
+  Rig rig("sw:3");
+  rig.Read();
+  rig.Read();  // allocated, MC in charge
+  rig.Write("v1");  // window r r w: still majority reads, propagate only
+  EXPECT_TRUE(rig.client_->in_charge());
+  rig.Write("v2");  // window r w w: deallocate
+  EXPECT_FALSE(rig.client_->in_charge());
+  // The last MC -> SC message is the delete-request with the window.
+  ASSERT_FALSE(rig.to_sc_.empty());
+  const Message& del = rig.to_sc_.back();
+  EXPECT_EQ(del.type, MessageType::kDeleteRequest);
+  EXPECT_EQ(del.window, (std::vector<Op>{Op::kRead, Op::kWrite, Op::kWrite}));
+  ASSERT_NE(del.transferred_state, nullptr);
+  EXPECT_FALSE(del.transferred_state->has_copy());
+  EXPECT_FALSE(rig.cache_.Contains("x"));
+  EXPECT_TRUE(rig.server_->in_charge());
+}
+
+TEST(NodeChoreographyTest, Sw1WriteSendsInvalidateOnly) {
+  Rig rig("sw1");
+  rig.Read();  // allocate
+  const size_t before = rig.to_mc_.size();
+  rig.Write("v1");
+  ASSERT_EQ(rig.to_mc_.size(), before + 1);
+  EXPECT_EQ(rig.to_mc_.back().type, MessageType::kInvalidate);
+  EXPECT_FALSE(rig.cache_.Contains("x"));
+  EXPECT_TRUE(rig.server_->in_charge());
+  // No further traffic for subsequent writes.
+  rig.Write("v2");
+  EXPECT_EQ(rig.to_mc_.size(), before + 1);
+}
+
+TEST(NodeChoreographyTest, WritesWithoutCopyAreSilent) {
+  Rig rig("st1");
+  rig.Write("v1");
+  rig.Write("v2");
+  EXPECT_TRUE(rig.to_mc_.empty());
+  EXPECT_TRUE(rig.to_sc_.empty());
+  EXPECT_EQ(rig.store_.Get("x")->version, 3u);
+}
+
+TEST(NodeChoreographyTest, LocalReadsAreSilent) {
+  Rig rig("st2");
+  rig.Read();
+  rig.Read();
+  EXPECT_TRUE(rig.to_mc_.empty());
+  EXPECT_TRUE(rig.to_sc_.empty());
+}
+
+TEST(NodeChoreographyTest, ReadAfterDeallocationGoesRemoteAgain) {
+  Rig rig("sw:3");
+  rig.Read();
+  rig.Read();       // allocated
+  rig.Write("v1");
+  rig.Write("v2");  // deallocated
+  const VersionedValue seen = rig.Read();
+  EXPECT_EQ(seen.value, "v2");  // freshness across the churn
+  EXPECT_EQ(rig.to_sc_.back().type, MessageType::kReadRequest);
+}
+
+TEST(NodeDeathTest, ClientRejectsConcurrentReads) {
+  // Serialization contract: a second IssueRead while one is outstanding
+  // aborts (the paper's requests are serialized upstream).
+  EventQueue queue;
+  VersionedStore store;
+  store.Put("x", "v0");
+  ReplicaCache cache;
+  Channel up(&queue, 1.0, "up");
+  Channel down(&queue, 1.0, "down");
+  MobileClient client("x", *ParsePolicySpec("st1"), &up, &cache);
+  StationaryServer server("x", *ParsePolicySpec("st1"), &down, &store);
+  up.set_receiver([&](const Message& m) { server.HandleMessage(m); });
+  down.set_receiver([&](const Message& m) { client.HandleMessage(m); });
+  client.IssueRead([](const VersionedValue&) {});
+  EXPECT_DEATH(client.IssueRead([](const VersionedValue&) {}),
+               "serialized");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,242 @@
+#include "mobrep/protocol/protocol_sim.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/trace/adversary.h"
+#include "mobrep/store/write_ahead_log.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+ProtocolConfig MakeConfig(const std::string& spec_text,
+                          double latency = 0.001) {
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec(spec_text);
+  config.link_latency = latency;
+  return config;
+}
+
+TEST(ProtocolSimTest, St1RemoteReadRoundTrip) {
+  ProtocolSimulation sim(MakeConfig("st1"));
+  sim.Run(*ScheduleFromString("rrw"));
+  const ProtocolMetrics m = sim.metrics();
+  EXPECT_EQ(m.remote_reads, 2);
+  EXPECT_EQ(m.local_reads, 0);
+  EXPECT_EQ(m.propagations, 0);
+  EXPECT_EQ(m.connections, 2);
+  EXPECT_EQ(m.data_messages, 2);
+  EXPECT_EQ(m.control_messages, 2);
+  EXPECT_FALSE(sim.mc_has_copy());
+}
+
+TEST(ProtocolSimTest, St2LocalReadsAndPropagations) {
+  ProtocolSimulation sim(MakeConfig("st2"));
+  sim.Run(*ScheduleFromString("rwwr"));
+  const ProtocolMetrics m = sim.metrics();
+  EXPECT_EQ(m.local_reads, 2);
+  EXPECT_EQ(m.remote_reads, 0);
+  EXPECT_EQ(m.propagations, 2);
+  EXPECT_EQ(m.connections, 2);
+  EXPECT_EQ(m.data_messages, 2);
+  EXPECT_EQ(m.control_messages, 0);
+  EXPECT_TRUE(sim.mc_has_copy());
+}
+
+TEST(ProtocolSimTest, SwkAllocationHandsOverWindow) {
+  ProtocolSimulation sim(MakeConfig("sw:3"));
+  sim.Run(*ScheduleFromString("rr"));  // second read allocates
+  EXPECT_TRUE(sim.mc_has_copy());
+  EXPECT_TRUE(sim.client().in_charge());
+  EXPECT_FALSE(sim.server().in_charge());
+  // The window piggybacked on the hand-over is the post-read window w r r.
+  EXPECT_EQ(sim.client().last_transfer_window(),
+            (std::vector<Op>{Op::kWrite, Op::kRead, Op::kRead}));
+  EXPECT_EQ(sim.metrics().allocations, 1);
+}
+
+TEST(ProtocolSimTest, SwkDeallocationReturnsWindow) {
+  ProtocolSimulation sim(MakeConfig("sw:3"));
+  sim.Run(*ScheduleFromString("rrr"));  // copy at MC, window r r r
+  sim.Run(*ScheduleFromString("ww"));   // second write deallocates
+  EXPECT_FALSE(sim.mc_has_copy());
+  EXPECT_TRUE(sim.server().in_charge());
+  EXPECT_EQ(sim.server().last_transfer_window(),
+            (std::vector<Op>{Op::kRead, Op::kWrite, Op::kWrite}));
+  EXPECT_EQ(sim.metrics().deallocations, 1);
+}
+
+TEST(ProtocolSimTest, Sw1UsesInvalidateControlMessage) {
+  ProtocolSimulation sim(MakeConfig("sw1"));
+  sim.Run(*ScheduleFromString("rw"));
+  const ProtocolMetrics m = sim.metrics();
+  EXPECT_EQ(m.invalidations, 1);
+  EXPECT_EQ(m.propagations, 0);
+  EXPECT_FALSE(sim.mc_has_copy());
+  // r: control + data; w: control only.
+  EXPECT_EQ(m.data_messages, 1);
+  EXPECT_EQ(m.control_messages, 2);
+}
+
+TEST(ProtocolSimTest, ReadsAlwaysObserveLatestVersion) {
+  // The Step() harness checks freshness internally; this exercises it
+  // across many interleavings and policies.
+  for (const char* spec : {"st1", "st2", "sw1", "sw:5", "t1:3", "t2:3"}) {
+    ProtocolSimulation sim(MakeConfig(spec));
+    Rng rng(1000);
+    const Schedule s = GenerateBernoulliSchedule(500, 0.5, &rng);
+    sim.Run(s);  // aborts internally on a stale read
+    EXPECT_EQ(sim.metrics().requests, 500);
+  }
+}
+
+TEST(ProtocolSimTest, ExactlyOneNodeInChargeThroughout) {
+  ProtocolSimulation sim(MakeConfig("sw:5"));
+  Rng rng(2000);
+  const Schedule s = GenerateBernoulliSchedule(400, 0.5, &rng);
+  for (const Op op : s) {
+    sim.Step(op);
+    ASSERT_TRUE(sim.ExactlyOneInCharge());
+    ASSERT_EQ(sim.client().in_charge(), sim.mc_has_copy());
+  }
+}
+
+TEST(ProtocolSimTest, LatencyDoesNotChangeCosts) {
+  const Schedule s = BlockSchedule(20, 4, 7);
+  ProtocolSimulation fast(MakeConfig("sw:5", /*latency=*/0.0));
+  ProtocolSimulation slow(MakeConfig("sw:5", /*latency=*/2.5));
+  fast.Run(s);
+  slow.Run(s);
+  const ProtocolMetrics a = fast.metrics();
+  const ProtocolMetrics b = slow.metrics();
+  EXPECT_EQ(a.data_messages, b.data_messages);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.connections, b.connections);
+  EXPECT_GT(slow.now(), fast.now());
+}
+
+// The central cross-validation: the distributed protocol must incur
+// exactly the communication the abstract single-machine policy accounting
+// predicts — for every policy family, in both cost models.
+class ProtocolEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(ProtocolEquivalenceTest, WireCostMatchesAbstractSimulator) {
+  const auto [spec_text, theta] = GetParam();
+  const PolicySpec spec = *ParsePolicySpec(spec_text);
+
+  Rng rng(31337 + static_cast<uint64_t>(theta * 100));
+  const Schedule s = GenerateBernoulliSchedule(600, theta, &rng);
+
+  // Abstract accounting.
+  auto policy = CreatePolicy(spec);
+  const CostBreakdown abstract =
+      SimulateSchedule(policy.get(), s, CostModel::Connection());
+
+  // Wire accounting.
+  ProtocolSimulation sim(MakeConfig(spec_text));
+  sim.Run(s);
+  const ProtocolMetrics wire = sim.metrics();
+
+  EXPECT_EQ(wire.data_messages, abstract.data_messages);
+  EXPECT_EQ(wire.control_messages, abstract.control_messages);
+  EXPECT_EQ(wire.connections, abstract.connections);
+  EXPECT_EQ(wire.allocations, abstract.allocations);
+  EXPECT_EQ(wire.deallocations, abstract.deallocations);
+
+  // Priced totals agree under both models.
+  for (const CostModel& model :
+       {CostModel::Connection(), CostModel::Message(0.0),
+        CostModel::Message(0.4), CostModel::Message(1.0)}) {
+    auto fresh = CreatePolicy(spec);
+    const double abstract_cost =
+        SimulateSchedule(fresh.get(), s, model).total_cost;
+    EXPECT_NEAR(wire.PriceUnder(model), abstract_cost, 1e-9)
+        << spec_text << " under " << model.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ProtocolEquivalenceTest,
+    ::testing::Combine(::testing::Values("st1", "st2", "sw1", "sw:3", "sw:5",
+                                         "sw:9", "t1:4", "t2:4"),
+                       ::testing::Values(0.2, 0.5, 0.8)));
+
+TEST(ProtocolEquivalenceTest, AdversarialBlocksToo) {
+  for (const char* spec_text : {"sw1", "sw:5", "t1:3"}) {
+    const PolicySpec spec = *ParsePolicySpec(spec_text);
+    const Schedule s = BlockSchedule(30, 5, 5);
+    auto policy = CreatePolicy(spec);
+    const CostBreakdown abstract =
+        SimulateSchedule(policy.get(), s, CostModel::Connection());
+    ProtocolSimulation sim(MakeConfig(spec_text));
+    sim.Run(s);
+    EXPECT_EQ(sim.metrics().connections, abstract.connections) << spec_text;
+    EXPECT_EQ(sim.metrics().data_messages, abstract.data_messages)
+        << spec_text;
+    EXPECT_EQ(sim.metrics().control_messages, abstract.control_messages)
+        << spec_text;
+  }
+}
+
+TEST(ProtocolSimTest, TransferredWindowMatchesAbstractPolicyWindow) {
+  // Run the abstract policy alongside the protocol; at every hand-over the
+  // piggybacked window must equal the abstract policy's window.
+  const int k = 5;
+  SlidingWindowPolicy abstract(k);
+  ProtocolSimulation sim(MakeConfig("sw:5"));
+  Rng rng(4242);
+  const Schedule s = GenerateBernoulliSchedule(300, 0.5, &rng);
+  for (const Op op : s) {
+    const bool before = abstract.has_copy();
+    abstract.OnRequest(op);
+    sim.Step(op);
+    ASSERT_EQ(sim.mc_has_copy(), abstract.has_copy());
+    if (before != abstract.has_copy()) {
+      // A transfer happened this step; both ends must have seen the same
+      // window the abstract policy holds now.
+      const auto& window = abstract.has_copy()
+                               ? sim.client().last_transfer_window()
+                               : sim.server().last_transfer_window();
+      ASSERT_EQ(window, abstract.window().Contents());
+    }
+  }
+}
+
+TEST(ProtocolSimTest, WalRecoversTheStoreAfterARun) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/protocol_wal.log";
+  std::remove(path.c_str());
+  ProtocolConfig config = MakeConfig("sw:3");
+  config.wal_path = path;
+  {
+    ProtocolSimulation sim(config);
+    Rng rng(606);
+    sim.Run(GenerateBernoulliSchedule(300, 0.5, &rng));
+    // Recovery from the log reproduces the live store's item exactly.
+    const auto recovered = WriteAheadLog::Recover(path);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered->Get("x")->value, sim.store().Get("x")->value);
+    EXPECT_EQ(recovered->Get("x")->version, sim.store().Get("x")->version);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProtocolSimTest, MetricsRequestsCount) {
+  ProtocolSimulation sim(MakeConfig("sw:3"));
+  sim.Run(*ScheduleFromString("rwrwr"));
+  EXPECT_EQ(sim.metrics().requests, 5);
+  EXPECT_EQ(sim.metrics().writes, 2);
+}
+
+}  // namespace
+}  // namespace mobrep

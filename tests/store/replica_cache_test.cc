@@ -1,0 +1,76 @@
+#include "mobrep/store/replica_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(ReplicaCacheTest, InstallAndGet) {
+  ReplicaCache cache;
+  cache.Install("x", {"v1", 1});
+  ASSERT_TRUE(cache.Contains("x"));
+  const auto value = cache.Get("x");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->value, "v1");
+  EXPECT_EQ(value->version, 1u);
+}
+
+TEST(ReplicaCacheTest, GetMissing) {
+  ReplicaCache cache;
+  EXPECT_FALSE(cache.Get("x").ok());
+  EXPECT_EQ(cache.Get("x").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReplicaCacheTest, EvictRemoves) {
+  ReplicaCache cache;
+  cache.Install("x", {"v", 1});
+  EXPECT_TRUE(cache.Evict("x").ok());
+  EXPECT_FALSE(cache.Contains("x"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReplicaCacheTest, EvictMissingFails) {
+  ReplicaCache cache;
+  const Status status = cache.Evict("x");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(ReplicaCacheTest, ApplyUpdateAdvancesVersion) {
+  ReplicaCache cache;
+  cache.Install("x", {"v1", 1});
+  EXPECT_TRUE(cache.ApplyUpdate("x", {"v2", 2}).ok());
+  EXPECT_EQ(cache.Get("x")->value, "v2");
+  EXPECT_EQ(cache.Get("x")->version, 2u);
+}
+
+TEST(ReplicaCacheTest, ApplyUpdateWithoutSubscriptionFails) {
+  ReplicaCache cache;
+  const Status status = cache.ApplyUpdate("x", {"v", 1});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplicaCacheTest, ApplyUpdateDetectsVersionSkew) {
+  ReplicaCache cache;
+  cache.Install("x", {"v1", 1});
+  // Skipping a version (FIFO violation) is data loss.
+  EXPECT_EQ(cache.ApplyUpdate("x", {"v3", 3}).code(), StatusCode::kDataLoss);
+  // Going backwards likewise.
+  EXPECT_EQ(cache.ApplyUpdate("x", {"v0", 1}).code(), StatusCode::kDataLoss);
+  // The replica is untouched after rejected updates.
+  EXPECT_EQ(cache.Get("x")->version, 1u);
+}
+
+TEST(ReplicaCacheTest, ReinstallAfterEvict) {
+  ReplicaCache cache;
+  cache.Install("x", {"v1", 1});
+  ASSERT_TRUE(cache.Evict("x").ok());
+  cache.Install("x", {"v9", 9});
+  EXPECT_EQ(cache.Get("x")->version, 9u);
+  // Updates resume from the reinstalled version.
+  EXPECT_TRUE(cache.ApplyUpdate("x", {"v10", 10}).ok());
+}
+
+}  // namespace
+}  // namespace mobrep

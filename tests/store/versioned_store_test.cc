@@ -1,0 +1,54 @@
+#include "mobrep/store/versioned_store.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(VersionedStoreTest, PutBumpsVersion) {
+  VersionedStore store;
+  EXPECT_EQ(store.Put("x", "a"), 1u);
+  EXPECT_EQ(store.Put("x", "b"), 2u);
+  EXPECT_EQ(store.Put("x", "c"), 3u);
+}
+
+TEST(VersionedStoreTest, GetReturnsLatest) {
+  VersionedStore store;
+  store.Put("x", "a");
+  store.Put("x", "b");
+  const auto value = store.Get("x");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->value, "b");
+  EXPECT_EQ(value->version, 2u);
+}
+
+TEST(VersionedStoreTest, MissingKey) {
+  VersionedStore store;
+  const auto value = store.Get("nope");
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store.Contains("nope"));
+}
+
+TEST(VersionedStoreTest, IndependentKeys) {
+  VersionedStore store;
+  store.Put("x", "1");
+  store.Put("y", "2");
+  store.Put("x", "3");
+  EXPECT_EQ(store.Get("x")->version, 2u);
+  EXPECT_EQ(store.Get("y")->version, 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(VersionedValueTest, Equality) {
+  const VersionedValue a{"v", 1};
+  const VersionedValue b{"v", 1};
+  const VersionedValue c{"v", 2};
+  const VersionedValue d{"w", 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace mobrep

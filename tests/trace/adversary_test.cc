@@ -1,0 +1,88 @@
+#include "mobrep/trace/adversary.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/core/static_policies.h"
+
+namespace mobrep {
+namespace {
+
+TEST(BlockScheduleTest, Layout) {
+  const Schedule s = BlockSchedule(2, 3, 2);
+  EXPECT_EQ(ScheduleToString(s), "wwwrrwwwrr");
+}
+
+TEST(BlockScheduleTest, EmptyBlocks) {
+  EXPECT_TRUE(BlockSchedule(0, 3, 3).empty());
+  EXPECT_EQ(ScheduleToString(BlockSchedule(2, 0, 2)), "rrrr");
+  EXPECT_EQ(ScheduleToString(BlockSchedule(2, 2, 0)), "wwww");
+}
+
+TEST(UniformScheduleTest, AllSame) {
+  EXPECT_EQ(ScheduleToString(UniformSchedule(4, Op::kRead)), "rrrr");
+  EXPECT_EQ(ScheduleToString(UniformSchedule(3, Op::kWrite)), "www");
+}
+
+TEST(AlternatingScheduleTest, StartsWithWrite) {
+  EXPECT_EQ(ScheduleToString(AlternatingSchedule(5)), "wrwrw");
+}
+
+TEST(CruelScheduleTest, ThrashesSw1) {
+  // Against SW1 the cruel adversary reads when there is no copy and writes
+  // when there is one: r w r w ...
+  auto policy = SlidingWindowPolicy::NewSw1();
+  const Schedule s = CruelSchedule(*policy, 8);
+  EXPECT_EQ(ScheduleToString(s), "rwrwrwrw");
+}
+
+TEST(CruelScheduleTest, AgainstSt1IsAllReads) {
+  St1Policy policy;
+  const Schedule s = CruelSchedule(policy, 5);
+  EXPECT_EQ(ScheduleToString(s), "rrrrr");
+}
+
+TEST(CruelScheduleTest, AgainstSwkProducesBlocks) {
+  // For SWk the cruel adversary alternates (k+1)/2-read and (k+1)/2-write
+  // stretches after the initial ramp: every request is chargeable.
+  SlidingWindowPolicy policy(5);
+  const Schedule s = CruelSchedule(policy, 24);
+  // Replay: every request must be chargeable (read without copy or write
+  // with copy).
+  SlidingWindowPolicy replay(5);
+  for (const Op op : s) {
+    if (op == Op::kRead) {
+      EXPECT_FALSE(replay.has_copy());
+    } else {
+      EXPECT_TRUE(replay.has_copy());
+    }
+    replay.OnRequest(op);
+  }
+}
+
+TEST(ForEachScheduleTest, EnumeratesAll) {
+  std::set<std::string> seen;
+  ForEachSchedule(3, [&](const Schedule& s) {
+    EXPECT_EQ(s.size(), 3u);
+    seen.insert(ScheduleToString(s));
+  });
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_TRUE(seen.count("rrr"));
+  EXPECT_TRUE(seen.count("www"));
+  EXPECT_TRUE(seen.count("rwr"));
+}
+
+TEST(ForEachScheduleTest, LengthZero) {
+  int calls = 0;
+  ForEachSchedule(0, [&](const Schedule& s) {
+    EXPECT_TRUE(s.empty());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,87 @@
+#include "mobrep/trace/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/trace/stats.h"
+
+namespace mobrep {
+namespace {
+
+TEST(BernoulliScheduleTest, LengthAndDeterminism) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const Schedule a = GenerateBernoulliSchedule(1000, 0.3, &rng1);
+  const Schedule b = GenerateBernoulliSchedule(1000, 0.3, &rng2);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BernoulliScheduleTest, ThetaHatConverges) {
+  Rng rng(7);
+  const Schedule s = GenerateBernoulliSchedule(200000, 0.35, &rng);
+  const ScheduleStats stats = ComputeStats(s);
+  EXPECT_NEAR(stats.theta_hat, 0.35, 0.006);
+}
+
+TEST(BernoulliScheduleTest, DegenerateTheta) {
+  Rng rng(1);
+  EXPECT_EQ(CountWrites(GenerateBernoulliSchedule(100, 0.0, &rng)), 0);
+  EXPECT_EQ(CountWrites(GenerateBernoulliSchedule(100, 1.0, &rng)), 100);
+}
+
+TEST(TimedPoissonTest, TimestampsIncreaseAndRatesMatch) {
+  Rng rng(11);
+  const double lambda_r = 3.0, lambda_w = 1.0;
+  const TimedSchedule s = GenerateTimedPoisson(100000, lambda_r, lambda_w, &rng);
+  ASSERT_EQ(s.size(), 100000u);
+  for (size_t i = 1; i < s.size(); ++i) {
+    ASSERT_GE(s[i].time, s[i - 1].time);
+  }
+  // Mean inter-arrival ~ 1/(lambda_r + lambda_w) = 0.25.
+  const double span = s.back().time - s.front().time;
+  EXPECT_NEAR(span / static_cast<double>(s.size() - 1), 0.25, 0.01);
+  // Write fraction ~ theta = 1/4.
+  const ScheduleStats stats = ComputeStats(StripTimes(s));
+  EXPECT_NEAR(stats.theta_hat, 0.25, 0.01);
+}
+
+TEST(PeriodWorkloadTest, SizeAndVariation) {
+  Rng rng(13);
+  const Schedule s = GeneratePeriodWorkload(50, 1000, &rng);
+  EXPECT_EQ(s.size(), 50000u);
+  // Per-period write fractions should vary broadly (theta ~ U[0,1]): at
+  // least one read-heavy and one write-heavy period.
+  bool saw_read_heavy = false, saw_write_heavy = false;
+  for (int p = 0; p < 50; ++p) {
+    int64_t writes = 0;
+    for (int i = 0; i < 1000; ++i) {
+      writes += s[static_cast<size_t>(p * 1000 + i)] == Op::kWrite ? 1 : 0;
+    }
+    if (writes < 250) saw_read_heavy = true;
+    if (writes > 750) saw_write_heavy = true;
+  }
+  EXPECT_TRUE(saw_read_heavy);
+  EXPECT_TRUE(saw_write_heavy);
+}
+
+TEST(BernoulliStreamTest, MatchesBatchGenerator) {
+  BernoulliRequestStream stream(0.4, Rng(55));
+  int64_t writes = 0;
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; ++i) {
+    writes += stream.Next() == Op::kWrite ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.4, 0.008);
+}
+
+TEST(PeriodStreamTest, ThetaRedrawnEachPeriod) {
+  PeriodRequestStream stream(/*period_length=*/100, Rng(66));
+  stream.Next();
+  const double theta1 = stream.current_theta();
+  for (int i = 0; i < 100; ++i) stream.Next();
+  const double theta2 = stream.current_theta();
+  EXPECT_NE(theta1, theta2);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,68 @@
+#include "mobrep/trace/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+
+namespace mobrep {
+namespace {
+
+TEST(SerializerTest, MergesByTimestamp) {
+  const auto merged = SerializeStreams({1.0, 3.0}, {2.0, 4.0});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 4u);
+  EXPECT_EQ(ScheduleToString(StripTimes(*merged)), "rwrw");
+  EXPECT_DOUBLE_EQ((*merged)[0].time, 1.0);
+  EXPECT_DOUBLE_EQ((*merged)[3].time, 4.0);
+}
+
+TEST(SerializerTest, TiesGoToTheWrite) {
+  const auto merged = SerializeStreams({1.0}, {1.0});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(ScheduleToString(StripTimes(*merged)), "wr");
+}
+
+TEST(SerializerTest, EmptyStreams) {
+  EXPECT_TRUE(SerializeStreams({}, {})->empty());
+  EXPECT_EQ(SerializeStreams({1.0}, {})->size(), 1u);
+  EXPECT_EQ(SerializeStreams({}, {1.0})->size(), 1u);
+}
+
+TEST(SerializerTest, RejectsUnorderedStreams) {
+  EXPECT_FALSE(SerializeStreams({2.0, 1.0}, {}).ok());
+  EXPECT_FALSE(SerializeStreams({}, {5.0, 4.0}).ok());
+}
+
+TEST(SerializerTest, OutputIsAValidSerialization) {
+  Rng rng(7);
+  std::vector<double> reads, writes;
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.Exponential(2.0);
+    reads.push_back(t);
+  }
+  t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.Exponential(1.0);
+    writes.push_back(t);
+  }
+  const auto merged = SerializeStreams(reads, writes);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 800u);
+  EXPECT_TRUE(IsSerializationOf(*merged, reads, writes));
+}
+
+TEST(IsSerializationOfTest, DetectsViolations) {
+  // Out-of-order timestamps.
+  const TimedSchedule bad_order = {{2.0, Op::kRead}, {1.0, Op::kWrite}};
+  EXPECT_FALSE(IsSerializationOf(bad_order, {2.0}, {1.0}));
+  // Wrong multiset.
+  const TimedSchedule wrong_ops = {{1.0, Op::kRead}, {2.0, Op::kRead}};
+  EXPECT_FALSE(IsSerializationOf(wrong_ops, {1.0}, {2.0}));
+  // Correct one accepted.
+  const TimedSchedule good = {{1.0, Op::kRead}, {2.0, Op::kWrite}};
+  EXPECT_TRUE(IsSerializationOf(good, {1.0}, {2.0}));
+}
+
+}  // namespace
+}  // namespace mobrep

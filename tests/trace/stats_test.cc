@@ -1,0 +1,50 @@
+#include "mobrep/trace/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(ComputeStatsTest, EmptySchedule) {
+  const ScheduleStats stats = ComputeStats({});
+  EXPECT_EQ(stats.requests, 0);
+  EXPECT_EQ(stats.reads, 0);
+  EXPECT_EQ(stats.writes, 0);
+  EXPECT_DOUBLE_EQ(stats.theta_hat, 0.0);
+  EXPECT_EQ(stats.longest_read_run, 0);
+  EXPECT_EQ(stats.longest_write_run, 0);
+  EXPECT_EQ(stats.alternations, 0);
+}
+
+TEST(ComputeStatsTest, MixedSchedule) {
+  const ScheduleStats stats = ComputeStats(*ScheduleFromString("wrrrwwrw"));
+  EXPECT_EQ(stats.requests, 8);
+  EXPECT_EQ(stats.reads, 4);
+  EXPECT_EQ(stats.writes, 4);
+  EXPECT_DOUBLE_EQ(stats.theta_hat, 0.5);
+  EXPECT_EQ(stats.longest_read_run, 3);
+  EXPECT_EQ(stats.longest_write_run, 2);
+  EXPECT_EQ(stats.alternations, 4);
+}
+
+TEST(ComputeStatsTest, UniformSchedules) {
+  const ScheduleStats reads = ComputeStats(*ScheduleFromString("rrrr"));
+  EXPECT_EQ(reads.longest_read_run, 4);
+  EXPECT_EQ(reads.longest_write_run, 0);
+  EXPECT_EQ(reads.alternations, 0);
+  EXPECT_DOUBLE_EQ(reads.theta_hat, 0.0);
+
+  const ScheduleStats writes = ComputeStats(*ScheduleFromString("www"));
+  EXPECT_DOUBLE_EQ(writes.theta_hat, 1.0);
+  EXPECT_EQ(writes.longest_write_run, 3);
+}
+
+TEST(ComputeStatsTest, ToStringContainsFields) {
+  const ScheduleStats stats = ComputeStats(*ScheduleFromString("wr"));
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("requests=2"), std::string::npos);
+  EXPECT_NE(text.find("theta_hat=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobrep

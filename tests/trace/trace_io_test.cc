@@ -1,0 +1,117 @@
+#include "mobrep/trace/trace_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ScheduleSerializationTest, RoundTrip) {
+  const Schedule original = *ScheduleFromString("wrrrwrwwwrrr");
+  const std::string text = SerializeSchedule(original);
+  const auto parsed = DeserializeSchedule(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(ScheduleSerializationTest, LongScheduleWraps) {
+  Rng rng(3);
+  const Schedule original = GenerateBernoulliSchedule(1000, 0.5, &rng);
+  const std::string text = SerializeSchedule(original);
+  const auto parsed = DeserializeSchedule(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(ScheduleSerializationTest, EmptySchedule) {
+  const auto parsed = DeserializeSchedule(SerializeSchedule({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ScheduleSerializationTest, CommentsAndBlanksIgnored) {
+  const auto parsed = DeserializeSchedule(
+      "# leading comment\n\nmobrep-trace v1\n# interior\nrw\n\nrr\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ScheduleToString(*parsed), "rwrr");
+}
+
+TEST(ScheduleSerializationTest, RejectsMissingHeader) {
+  EXPECT_FALSE(DeserializeSchedule("rwrw\n").ok());
+  EXPECT_FALSE(DeserializeSchedule("").ok());
+  EXPECT_FALSE(DeserializeSchedule("wrong-header v9\nrw\n").ok());
+}
+
+TEST(ScheduleSerializationTest, RejectsBadPayload) {
+  EXPECT_FALSE(DeserializeSchedule("mobrep-trace v1\nrwx\n").ok());
+}
+
+TEST(TimedSerializationTest, RoundTrip) {
+  const TimedSchedule original = {
+      {0.125, Op::kWrite}, {1.5, Op::kRead}, {2.75, Op::kRead}};
+  const auto parsed = DeserializeTimedSchedule(
+      SerializeTimedSchedule(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*parsed)[i].time, original[i].time);
+    EXPECT_EQ((*parsed)[i].op, original[i].op);
+  }
+}
+
+TEST(TimedSerializationTest, RejectsDecreasingTimestamps) {
+  EXPECT_FALSE(
+      DeserializeTimedSchedule("mobrep-timed-trace v1\n2.0 r\n1.0 w\n").ok());
+}
+
+TEST(TimedSerializationTest, RejectsMalformedLines) {
+  EXPECT_FALSE(DeserializeTimedSchedule("mobrep-timed-trace v1\n1.0\n").ok());
+  EXPECT_FALSE(
+      DeserializeTimedSchedule("mobrep-timed-trace v1\n1.0 r w\n").ok());
+  EXPECT_FALSE(
+      DeserializeTimedSchedule("mobrep-timed-trace v1\nabc r\n").ok());
+}
+
+TEST(FileIoTest, ScheduleRoundTrip) {
+  const std::string path = TempPath("schedule.trace");
+  Rng rng(17);
+  const Schedule original = GenerateBernoulliSchedule(300, 0.4, &rng);
+  ASSERT_TRUE(SaveScheduleToFile(path, original).ok());
+  const auto loaded = LoadScheduleFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, TimedRoundTrip) {
+  const std::string path = TempPath("timed.trace");
+  Rng rng(19);
+  const TimedSchedule original = GenerateTimedPoisson(200, 2.0, 1.0, &rng);
+  ASSERT_TRUE(SaveTimedScheduleToFile(path, original).ok());
+  const auto loaded = LoadTimedScheduleFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR((*loaded)[i].time, original[i].time, 1e-9);
+    EXPECT_EQ((*loaded)[i].op, original[i].op);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  const auto loaded = LoadScheduleFromFile("/nonexistent/path/trace.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mobrep
