@@ -1,0 +1,111 @@
+// Fault-resilience experiment: what a lossy wireless link costs, and what
+// it does NOT cost. The paper's cost models charge allocation decisions,
+// not link quality — so the paper counters (data/control messages,
+// connections) must stay exactly flat as the drop rate rises, while all of
+// the recovery work (retransmissions, acks, timeouts, stretched read
+// latency) accumulates in the separately-metered ARQ layer. The second
+// table shows graceful degradation through doze windows: propagations
+// collapsed last-writer-wins while the MC is unreachable.
+
+#include <cstdio>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_model.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/trace/generators.h"
+#include "support/table.h"
+
+namespace mobrep::bench {
+namespace {
+
+void PrintCostVsDropRate(const char* spec, double theta) {
+  Banner("Cost vs drop rate  (policy " + std::string(spec) +
+             ", theta = " + Fmt(theta, 2) + ")",
+         "2000 serialized requests, one-way latency 0.001. Paper counters "
+         "are identical in every row: loss is paid entirely in ARQ "
+         "overhead and latency, never in the cost models.");
+  Table table({"drop", "data msgs", "ctrl msgs", "conns", "retrans", "acks",
+               "timeouts", "mean read lat"});
+  Rng schedule_rng(5150);
+  const Schedule schedule = GenerateBernoulliSchedule(2000, theta,
+                                                      &schedule_rng);
+  for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    ProtocolConfig config;
+    config.spec = *ParsePolicySpec(spec);
+    config.fault.drop_probability = drop;
+    config.fault.seed = 86;
+    // drop == 0 runs the ARQ anyway so every row pays the same ack
+    // traffic; only loss recovery varies down the column.
+    config.fault.force_reliable = true;
+    ProtocolSimulation sim(config);
+    sim.Run(schedule);
+    const ProtocolMetrics m = sim.metrics();
+    table.AddRow({Fmt(drop, 2), FmtInt(m.data_messages),
+                  FmtInt(m.control_messages), FmtInt(m.connections),
+                  FmtInt(m.retransmissions), FmtInt(m.acks),
+                  FmtInt(m.timeouts), Fmt(m.mean_read_latency, 5)});
+  }
+  table.Print();
+}
+
+void PrintDozeCollapse() {
+  Banner("Graceful degradation through doze windows",
+         "2000 timed Poisson arrivals (lambda_r = 300, lambda_w = 200); "
+         "doze windows cover the given fraction of the run. Writes "
+         "committed while the MC sleeps collapse into one last-writer-wins "
+         "propagate per reconnect, so propagations shipped shrink while "
+         "writes committed stay fixed.");
+  Table table({"policy", "doze %", "writes", "propagated", "collapsed",
+               "discarded", "retrans", "outage time"});
+  for (const char* spec : {"st2", "sw:9", "t2:7"}) {
+    for (const double doze_fraction : {0.0, 0.1, 0.25}) {
+      Rng rng(7272);
+      const TimedSchedule schedule =
+          GenerateTimedPoisson(2000, /*lambda_r=*/300.0, /*lambda_w=*/200.0,
+                               &rng);
+      const double span = schedule.back().time;
+      ProtocolConfig config;
+      config.spec = *ParsePolicySpec(spec);
+      config.fault.seed = 99;
+      config.fault.force_reliable = true;
+      if (doze_fraction > 0.0) {
+        const int windows = 4;
+        const double duration = doze_fraction * span / windows;
+        for (const auto& [start, end] :
+             GenerateOutageWindows(windows, span, duration, &rng)) {
+          config.fault.outages.push_back({start, end});
+        }
+      }
+      ProtocolSimulation sim(config);
+      const Status result = sim.RunTimed(schedule);
+      if (!result.ok()) {
+        std::printf("RunTimed failed for %s: %s\n", spec,
+                    result.ToString().c_str());
+        continue;
+      }
+      const ProtocolMetrics m = sim.metrics();
+      table.AddRow({spec, Fmt(100.0 * doze_fraction, 0) + "%",
+                    FmtInt(m.writes), FmtInt(m.propagations),
+                    FmtInt(m.collapsed_propagations),
+                    FmtInt(sim.server().discarded_propagations()),
+                    FmtInt(m.retransmissions), Fmt(m.outage_time, 3)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mobrep::bench
+
+int main() {
+  mobrep::bench::PrintCostVsDropRate("sw:5", 0.5);
+  mobrep::bench::PrintCostVsDropRate("st2", 0.5);
+  mobrep::bench::PrintDozeCollapse();
+  std::printf(
+      "\nThe allocation algorithms never see the link: identical cost rows "
+      "mean the\npaper's analysis holds verbatim on a faulty channel, with "
+      "reliability priced\nseparately — and doze-mode collapse bounds the "
+      "reconnect burst to one frame.\n");
+  return 0;
+}

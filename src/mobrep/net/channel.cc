@@ -12,18 +12,34 @@ Channel::Channel(EventQueue* queue, double latency, std::string name)
   MOBREP_CHECK(latency >= 0.0);
 }
 
-void Channel::Send(Message message) {
-  MOBREP_CHECK_MSG(receiver_ != nullptr,
-                   "channel has no receiver installed");
+void Channel::Meter(const Message& message) {
+  if (message.type == MessageType::kAck) {
+    ++acks_sent_;
+    return;
+  }
+  if (message.retransmit) {
+    ++retransmissions_sent_;
+    return;
+  }
   ++messages_sent_;
   if (IsDataMessage(message.type)) {
     ++data_messages_sent_;
   } else {
     ++control_messages_sent_;
   }
-  queue_->ScheduleAfter(latency_, [this, msg = std::move(message)]() {
+}
+
+void Channel::ScheduleDelivery(Message message, double delay) {
+  MOBREP_CHECK_MSG(receiver_ != nullptr,
+                   "channel has no receiver installed");
+  queue_->ScheduleAfter(delay, [this, msg = std::move(message)]() {
     receiver_(msg);
   });
+}
+
+void Channel::Send(Message message) {
+  Meter(message);
+  ScheduleDelivery(std::move(message), latency_);
 }
 
 }  // namespace mobrep

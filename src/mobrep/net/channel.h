@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "mobrep/net/event_queue.h"
+#include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
 
 namespace mobrep {
@@ -18,7 +19,14 @@ namespace mobrep {
 // by n+1). The channel also meters traffic, feeding both cost models:
 // data/control message counts for the message model; the per-request
 // connection accounting is done by the protocol driver.
-class Channel {
+//
+// Metering discipline: the paper's counters (`messages_sent`,
+// `data_messages_sent`, `control_messages_sent`) count each protocol
+// message exactly once. Link-layer overhead — acks and retransmissions
+// injected by a ReliableLink — is metered separately (`acks_sent`,
+// `retransmissions_sent`) so the ARQ machinery never perturbs the paper's
+// cost models.
+class Channel : public Link {
  public:
   using Receiver = std::function<void(const Message&)>;
 
@@ -29,13 +37,27 @@ class Channel {
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
   // Enqueues delivery at now() + latency.
-  void Send(Message message);
+  void Send(Message message) override;
 
   int64_t messages_sent() const { return messages_sent_; }
   int64_t data_messages_sent() const { return data_messages_sent_; }
   int64_t control_messages_sent() const { return control_messages_sent_; }
-  const std::string& name() const { return name_; }
+  // Link-layer overhead, metered outside the paper's cost models.
+  int64_t acks_sent() const { return acks_sent_; }
+  int64_t retransmissions_sent() const { return retransmissions_sent_; }
+  const std::string& name() const override { return name_; }
   double latency() const { return latency_; }
+
+ protected:
+  // Updates the appropriate counter for one transmission attempt of
+  // `message` (paper counters for first sends, overhead counters for acks
+  // and retransmissions).
+  void Meter(const Message& message);
+
+  // Hands `message` to the receiver `delay` time units from now.
+  void ScheduleDelivery(Message message, double delay);
+
+  EventQueue* queue() const { return queue_; }
 
  private:
   EventQueue* queue_;
@@ -45,6 +67,8 @@ class Channel {
   int64_t messages_sent_ = 0;
   int64_t data_messages_sent_ = 0;
   int64_t control_messages_sent_ = 0;
+  int64_t acks_sent_ = 0;
+  int64_t retransmissions_sent_ = 0;
 };
 
 }  // namespace mobrep

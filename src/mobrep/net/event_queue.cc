@@ -29,10 +29,18 @@ bool EventQueue::RunNext() {
 
 int64_t EventQueue::RunUntilQuiescent(int64_t max_events) {
   int64_t ran = 0;
-  while (ran < max_events && RunNext()) ++ran;
-  MOBREP_CHECK_MSG(ran < max_events || events_.empty(),
+  const bool quiescent = TryRunUntilQuiescent(max_events, &ran);
+  MOBREP_CHECK_MSG(quiescent,
                    "event cascade exceeded max_events; livelock?");
   return ran;
+}
+
+bool EventQueue::TryRunUntilQuiescent(int64_t max_events,
+                                      int64_t* events_run) {
+  int64_t ran = 0;
+  while (ran < max_events && RunNext()) ++ran;
+  if (events_run != nullptr) *events_run = ran;
+  return events_.empty();
 }
 
 }  // namespace mobrep

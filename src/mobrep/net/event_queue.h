@@ -30,8 +30,18 @@ class EventQueue {
   bool RunNext();
 
   // Runs events until the queue drains or `max_events` have run.
-  // Returns the number of events run.
+  // Returns the number of events run. Aborts (CHECK) if the cap is hit
+  // with events still pending — a silent half-delivered exchange must
+  // never masquerade as quiescence.
   int64_t RunUntilQuiescent(int64_t max_events = 1'000'000);
+
+  // Non-aborting variant: runs until the queue drains or `max_events`
+  // have run, storing the count in `*events_run` (if non-null), and
+  // returns true iff the queue is quiescent (drained). Callers that can
+  // loop forever (retransmission timers) use this to surface the cap as a
+  // Status instead of proceeding with a half-delivered exchange.
+  bool TryRunUntilQuiescent(int64_t max_events,
+                            int64_t* events_run = nullptr);
 
   double now() const { return now_; }
   bool empty() const { return events_.empty(); }

@@ -1,0 +1,94 @@
+#include "mobrep/net/fault_model.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+double FaultConfig::TotalOutageTimeBefore(double t) const {
+  double total = 0.0;
+  for (const OutageWindow& window : outages) {
+    const double start = std::max(0.0, window.start);
+    const double end = std::min(t, window.end);
+    if (end > start) total += end - start;
+  }
+  return total;
+}
+
+LinkFaultModel::LinkFaultModel(const FaultConfig& config, uint64_t stream_salt)
+    : config_(config), rng_(0) {
+  MOBREP_CHECK(config.drop_probability >= 0.0 &&
+               config.drop_probability < 1.0);
+  MOBREP_CHECK(config.duplicate_probability >= 0.0 &&
+               config.duplicate_probability <= 1.0);
+  MOBREP_CHECK(config.max_jitter >= 0.0);
+  for (const OutageWindow& window : config.outages) {
+    MOBREP_CHECK_MSG(window.end > window.start,
+                     "outage window must have positive duration");
+  }
+  Rng base(config.seed);
+  rng_ = base.Fork(stream_salt);
+}
+
+bool LinkFaultModel::InOutage(double now) const {
+  for (const OutageWindow& window : config_.outages) {
+    if (now >= window.start && now < window.end) return true;
+  }
+  return false;
+}
+
+LinkFaultModel::Decision LinkFaultModel::Decide(double now) {
+  Decision decision;
+  if (InOutage(now)) {
+    // The link is down: the frame is lost without consuming randomness, so
+    // the post-outage fault stream does not depend on outage placement.
+    decision.drop = true;
+    decision.in_outage = true;
+    return decision;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.Bernoulli(config_.drop_probability)) {
+    decision.drop = true;
+    return decision;
+  }
+  if (config_.max_jitter > 0.0) {
+    decision.jitter = rng_.Uniform(0.0, config_.max_jitter);
+  }
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.Bernoulli(config_.duplicate_probability)) {
+    decision.duplicate = true;
+    decision.duplicate_jitter =
+        config_.max_jitter > 0.0 ? rng_.Uniform(0.0, config_.max_jitter)
+                                 : 0.0;
+  }
+  return decision;
+}
+
+FaultyChannel::FaultyChannel(EventQueue* queue, double latency,
+                             std::string name, const FaultConfig& config,
+                             uint64_t stream_salt)
+    : Channel(queue, latency, std::move(name)),
+      model_(config, stream_salt) {}
+
+void FaultyChannel::Send(Message message) {
+  Meter(message);
+  const LinkFaultModel::Decision decision = model_.Decide(queue()->now());
+  if (decision.drop) {
+    if (decision.in_outage) {
+      ++outage_drops_;
+    } else {
+      ++injected_drops_;
+    }
+    return;
+  }
+  if (decision.duplicate) {
+    ++injected_duplicates_;
+    ScheduleDelivery(message, latency() + decision.duplicate_jitter);
+  }
+  if (decision.jitter > 0.0) ++jittered_deliveries_;
+  ScheduleDelivery(std::move(message), latency() + decision.jitter);
+}
+
+}  // namespace mobrep

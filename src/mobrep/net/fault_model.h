@@ -1,0 +1,114 @@
+#ifndef MOBREP_NET_FAULT_MODEL_H_
+#define MOBREP_NET_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/common/random.h"
+#include "mobrep/net/channel.h"
+#include "mobrep/net/reliable_link.h"
+
+namespace mobrep {
+
+// A scheduled link outage: the wireless link is down (the MC is in doze
+// mode or out of coverage) for sim times in [start, end). Frames sent in
+// that interval are lost in both directions.
+struct OutageWindow {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+// Deterministic, seeded description of how unreliable the wireless link is.
+// The default-constructed config is the paper's perfect link: no loss, no
+// duplication, no jitter, no outages — and the protocol harness then wires
+// the exact seed topology, so fault-free runs reproduce seed results
+// bit-for-bit.
+struct FaultConfig {
+  // Probability that any individual transmission attempt (including
+  // retransmissions and acks) is lost.
+  double drop_probability = 0.0;
+  // Probability that a delivered frame arrives twice.
+  double duplicate_probability = 0.0;
+  // Extra per-frame latency drawn uniformly from [0, max_jitter). A
+  // nonzero bound yields bounded reordering (two frames sent Δt apart can
+  // swap iff Δt < max_jitter).
+  double max_jitter = 0.0;
+  // Scheduled doze/disconnection windows, in absolute simulation time.
+  std::vector<OutageWindow> outages;
+  // Seed of the fault streams; each link direction forks its own stream.
+  uint64_t seed = 0x6d6f62726570ULL;
+  // Run the ARQ layer even on a fault-free link (used to verify that the
+  // layer's presence does not perturb the paper's cost counters).
+  bool force_reliable = false;
+  // ARQ knobs; initial_rto <= 0 is derived from the link parameters.
+  ArqConfig arq;
+
+  bool HasFaults() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           max_jitter > 0.0 || !outages.empty();
+  }
+  bool UseReliableLink() const { return force_reliable || HasFaults(); }
+
+  // Total outage time scheduled before sim time `t` (clipped to [0, t)).
+  double TotalOutageTimeBefore(double t) const;
+};
+
+// The per-direction random fault process: consulted once per transmission
+// attempt, it decides drop / duplicate / jitter deterministically in
+// (config.seed, stream_salt, attempt sequence).
+class LinkFaultModel {
+ public:
+  LinkFaultModel(const FaultConfig& config, uint64_t stream_salt);
+
+  struct Decision {
+    bool drop = false;        // frame lost entirely
+    bool in_outage = false;   // ...because the link was down
+    bool duplicate = false;   // a second copy is delivered
+    double jitter = 0.0;      // extra latency of the primary copy
+    double duplicate_jitter = 0.0;  // extra latency of the duplicate
+  };
+
+  // Decides the fate of one transmission attempt at sim time `now`.
+  Decision Decide(double now);
+
+  bool InOutage(double now) const;
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+};
+
+// A Channel that injects the faults described by a FaultConfig, metering
+// every injected fault. Paper cost counters still count each application
+// message once at Send() time, whether or not the frame survives — the
+// ARQ layer above recovers delivery, and its recovery traffic is metered
+// separately.
+class FaultyChannel : public Channel {
+ public:
+  FaultyChannel(EventQueue* queue, double latency, std::string name,
+                const FaultConfig& config, uint64_t stream_salt);
+
+  void Send(Message message) override;
+
+  bool InOutage(double now) const { return model_.InOutage(now); }
+  const LinkFaultModel& fault_model() const { return model_; }
+
+  // Injected-fault meters.
+  int64_t injected_drops() const { return injected_drops_; }
+  int64_t outage_drops() const { return outage_drops_; }
+  int64_t injected_duplicates() const { return injected_duplicates_; }
+  int64_t jittered_deliveries() const { return jittered_deliveries_; }
+
+ private:
+  LinkFaultModel model_;
+  int64_t injected_drops_ = 0;
+  int64_t outage_drops_ = 0;
+  int64_t injected_duplicates_ = 0;
+  int64_t jittered_deliveries_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_FAULT_MODEL_H_

@@ -1,0 +1,38 @@
+#ifndef MOBREP_NET_LINK_H_
+#define MOBREP_NET_LINK_H_
+
+#include <string>
+
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+
+// Send-side interface of a point-to-point link, as seen by the protocol
+// endpoints (MobileClient, StationaryServer).
+//
+// Two implementations exist: the raw `Channel` (perfect FIFO pipe, the
+// paper's idealized wireless link) and `ReliableLink` (an ARQ layer that
+// recreates exactly-once in-order delivery on top of a lossy
+// `FaultyChannel`). Endpoints only ever enqueue messages and ask whether
+// the link is currently busy; everything else (acks, retransmission,
+// dedup) is below this interface.
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  // Enqueues `message` for delivery to the peer.
+  virtual void Send(Message message) = 0;
+
+  // True while the link layer still has unacknowledged traffic in flight.
+  // A raw channel delivers unconditionally and is never busy; a reliable
+  // link is busy until every sent frame has been acked. The SC uses this
+  // to collapse write propagation during an MC outage (doze mode).
+  virtual bool busy() const { return false; }
+
+  // Label for diagnostics (e.g. "MC->SC").
+  virtual const std::string& name() const = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_LINK_H_

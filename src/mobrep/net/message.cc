@@ -14,6 +14,8 @@ const char* MessageTypeName(MessageType type) {
       return "delete_request";
     case MessageType::kInvalidate:
       return "invalidate";
+    case MessageType::kAck:
+      return "ack";
   }
   return "unknown";
 }

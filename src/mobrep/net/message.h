@@ -27,6 +27,10 @@ enum class MessageType : uint8_t {
   // SC -> MC, control: SW1's optimized write handling — deallocates the
   // MC copy without shipping the data (§4).
   kInvalidate,
+  // Link-level acknowledgement of a reliable frame (`seq` names the frame
+  // being acked). Consumed by the ARQ layer; never delivered to the
+  // protocol endpoints, and never counted in the paper's cost models.
+  kAck,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -38,6 +42,15 @@ bool IsDataMessage(MessageType type);
 struct Message {
   MessageType type = MessageType::kReadRequest;
   std::string key;
+
+  // Link-layer header, used only when the message travels through a
+  // ReliableLink. `seq` is the per-direction sequence number (1-based; 0
+  // means the message never passed through an ARQ sender). For kAck frames
+  // `seq` names the acknowledged frame. `retransmit` marks a re-send of an
+  // already-counted frame so the channel meters it outside the paper's
+  // cost-model counters.
+  uint64_t seq = 0;
+  bool retransmit = false;
 
   // Payload for data messages.
   VersionedValue item;

@@ -1,0 +1,96 @@
+#include "mobrep/net/reliable_link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+ReliableLink::ReliableLink(EventQueue* queue, Channel* transport,
+                           const ArqConfig& config, std::string name)
+    : queue_(queue),
+      transport_(transport),
+      config_(config),
+      name_(std::move(name)) {
+  MOBREP_CHECK(queue != nullptr);
+  MOBREP_CHECK(transport != nullptr);
+  MOBREP_CHECK_MSG(config_.initial_rto > 0.0,
+                   "ArqConfig::initial_rto must be derived before use");
+  MOBREP_CHECK(config_.backoff >= 1.0);
+  MOBREP_CHECK(config_.max_retries >= 0);
+  if (config_.max_rto <= 0.0) config_.max_rto = 64.0 * config_.initial_rto;
+  config_.max_rto = std::max(config_.max_rto, config_.initial_rto);
+}
+
+void ReliableLink::Send(Message message) {
+  const uint64_t seq = next_send_seq_++;
+  message.seq = seq;
+  message.retransmit = false;
+  outstanding_.emplace(seq, Outstanding{message, 0});
+  transport_->Send(std::move(message));
+  ArmTimer(seq, config_.initial_rto);
+}
+
+void ReliableLink::ArmTimer(uint64_t seq, double rto) {
+  queue_->ScheduleAfter(rto, [this, seq, rto]() {
+    const auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // acked since; stale timer
+    ++timeouts_;
+    if (it->second.attempts >= config_.max_retries) {
+      const Message abandoned = it->second.frame;
+      outstanding_.erase(it);
+      ++give_ups_;
+      MOBREP_CHECK_MSG(on_give_up_ != nullptr,
+                       "reliable link exhausted its retry cap");
+      on_give_up_(abandoned);
+      if (outstanding_.empty() && on_idle_ != nullptr) on_idle_();
+      return;
+    }
+    ++it->second.attempts;
+    Message copy = it->second.frame;
+    copy.retransmit = true;
+    transport_->Send(std::move(copy));
+    ++retransmissions_;
+    ArmTimer(seq, std::min(rto * config_.backoff, config_.max_rto));
+  });
+}
+
+void ReliableLink::HandleFrame(const Message& frame) {
+  MOBREP_CHECK_MSG(frame.seq != 0, "unnumbered frame on a reliable link");
+  if (frame.type == MessageType::kAck) {
+    const auto it = outstanding_.find(frame.seq);
+    if (it == outstanding_.end()) return;  // duplicate or stale ack
+    outstanding_.erase(it);
+    if (outstanding_.empty() && on_idle_ != nullptr) on_idle_();
+    return;
+  }
+
+  // Ack every received data frame, duplicates included: the ack for the
+  // first copy may have been lost, and only a fresh ack stops the peer's
+  // retransmission timer.
+  Message ack;
+  ack.type = MessageType::kAck;
+  ack.key = frame.key;
+  ack.seq = frame.seq;
+  transport_->Send(std::move(ack));
+
+  if (frame.seq < next_deliver_seq_ ||
+      reorder_buffer_.count(frame.seq) != 0) {
+    ++duplicates_dropped_;
+    return;
+  }
+  reorder_buffer_.emplace(frame.seq, frame);
+  while (!reorder_buffer_.empty() &&
+         reorder_buffer_.begin()->first == next_deliver_seq_) {
+    Message next = std::move(reorder_buffer_.begin()->second);
+    reorder_buffer_.erase(reorder_buffer_.begin());
+    ++next_deliver_seq_;
+    ++delivered_;
+    MOBREP_CHECK_MSG(receiver_ != nullptr,
+                     "reliable link has no receiver installed");
+    receiver_(next);
+  }
+}
+
+}  // namespace mobrep

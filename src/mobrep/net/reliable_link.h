@@ -1,0 +1,130 @@
+#ifndef MOBREP_NET_RELIABLE_LINK_H_
+#define MOBREP_NET_RELIABLE_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "mobrep/net/channel.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/link.h"
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+
+// Tuning knobs of the ARQ layer. All times are simulation time units.
+struct ArqConfig {
+  // Timeout before the first retransmission of an unacked frame. Must
+  // exceed the round-trip time (2 * latency + jitter bound) or every frame
+  // is retransmitted once spuriously. <= 0 means "derive from the link"
+  // (done by the protocol harness; ReliableLink itself requires > 0).
+  double initial_rto = 0.0;
+  // Multiplicative backoff applied after every timeout (>= 1).
+  double backoff = 2.0;
+  // Ceiling on the per-frame retransmission timeout. <= 0 means
+  // 64 * initial_rto. Bounds the probe interval through long outages.
+  double max_rto = 0.0;
+  // A frame that stays unacked through this many retransmissions is
+  // abandoned (the give-up hook fires, or the process aborts). Sized so
+  // that bounded outages and heavy loss are always survived.
+  int max_retries = 60;
+};
+
+// Reliable-delivery (ARQ) endpoint: exactly-once, in-order delivery on top
+// of a lossy, duplicating, reordering channel.
+//
+// One ReliableLink instance is the *sending and receiving half of one node*:
+// it sends application frames and link-level acks on `transport` (the
+// node's outgoing channel) and is fed every frame arriving on the node's
+// incoming channel via HandleFrame(). A connected pair therefore looks like
+//
+//   mc_to_sc->set_receiver(sc_link.HandleFrame)   sc_link delivers to SC
+//   sc_to_mc->set_receiver(mc_link.HandleFrame)   mc_link delivers to MC
+//
+// Sender side: every frame gets a per-direction sequence number and stays
+// in the outstanding set until acked; a retransmission timer on the event
+// queue re-sends it with exponential backoff up to ArqConfig::max_retries.
+// Receiver side: every received data frame is acked (duplicates included —
+// the previous ack may have been lost), delivered in sequence order, with
+// out-of-order frames buffered and duplicates dropped.
+//
+// Retransmissions and acks are metered by the Channel outside the paper's
+// cost-model counters, so an ARQ on a fault-free link reproduces the seed
+// cost numbers exactly.
+class ReliableLink : public Link {
+ public:
+  using Receiver = std::function<void(const Message&)>;
+
+  // `queue` and `transport` must outlive the link. `config.initial_rto`
+  // must be > 0 here (the harness derives it from the channel when the
+  // user leaves it at 0).
+  ReliableLink(EventQueue* queue, Channel* transport, const ArqConfig& config,
+               std::string name);
+
+  // Upcall receiving exactly-once in-order application messages.
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Fires whenever the outstanding set becomes empty (every sent frame
+  // acked) — the "reconnected / caught up" signal the SC uses to flush
+  // propagation it collapsed during an outage.
+  void set_on_idle(std::function<void()> on_idle) {
+    on_idle_ = std::move(on_idle);
+  }
+
+  // Called with the abandoned frame when max_retries is exhausted. Without
+  // a hook the process aborts (an unsurvivable link is a harness
+  // misconfiguration, not a recoverable condition).
+  void set_on_give_up(std::function<void(const Message&)> on_give_up) {
+    on_give_up_ = std::move(on_give_up);
+  }
+
+  // Link interface: reliable application send.
+  void Send(Message message) override;
+  bool busy() const override { return !outstanding_.empty(); }
+  const std::string& name() const override { return name_; }
+
+  // Entry point for every frame arriving at this node (installed as the
+  // incoming channel's receiver).
+  void HandleFrame(const Message& frame);
+
+  // Counters (all link-layer, outside the paper's cost models).
+  int64_t retransmissions() const { return retransmissions_; }
+  int64_t timeouts() const { return timeouts_; }
+  int64_t duplicates_dropped() const { return duplicates_dropped_; }
+  int64_t delivered() const { return delivered_; }
+  int64_t give_ups() const { return give_ups_; }
+  size_t outstanding_frames() const { return outstanding_.size(); }
+  size_t buffered_frames() const { return reorder_buffer_.size(); }
+
+ private:
+  struct Outstanding {
+    Message frame;
+    int attempts = 0;  // retransmissions so far
+  };
+
+  void ArmTimer(uint64_t seq, double rto);
+
+  EventQueue* queue_;
+  Channel* transport_;
+  ArqConfig config_;
+  std::string name_;
+  Receiver receiver_;
+  std::function<void()> on_idle_;
+  std::function<void(const Message&)> on_give_up_;
+
+  uint64_t next_send_seq_ = 1;
+  uint64_t next_deliver_seq_ = 1;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::map<uint64_t, Message> reorder_buffer_;
+
+  int64_t retransmissions_ = 0;
+  int64_t timeouts_ = 0;
+  int64_t duplicates_dropped_ = 0;
+  int64_t delivered_ = 0;
+  int64_t give_ups_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_RELIABLE_LINK_H_

@@ -8,7 +8,7 @@
 namespace mobrep {
 
 MobileClient::MobileClient(std::string key, const PolicySpec& spec,
-                           Channel* to_sc, ReplicaCache* cache)
+                           Link* to_sc, ReplicaCache* cache)
     : key_(std::move(key)),
       spec_(spec),
       to_sc_(to_sc),
@@ -61,9 +61,19 @@ void MobileClient::HandleMessage(const Message& message) {
       return;
     }
     case MessageType::kWritePropagate: {
-      MOBREP_CHECK_MSG(in_charge_ && has_copy(),
-                       "write propagated to an MC without a copy");
-      const Status applied = cache_->ApplyUpdate(key_, message.item);
+      if (!in_charge_ || !has_copy()) {
+        // The propagation crossed our delete-request in flight: this MC
+        // already deallocated, the SC just has not heard yet. Drop it —
+        // the SC stops propagating once the delete-request lands.
+        MOBREP_CHECK_MSG(tolerates_link_faults_,
+                         "write propagated to an MC without a copy");
+        ++stale_propagates_dropped_;
+        return;
+      }
+      // Version gaps are legal only in degraded-link mode, where the SC
+      // collapses queued propagation during an outage (last-writer-wins).
+      const Status applied = cache_->ApplyUpdate(
+          key_, message.item, /*allow_gaps=*/tolerates_link_faults_);
       MOBREP_CHECK_MSG(applied.ok(), applied.message().c_str());
       ++updates_applied_;
       const ActionKind action = policy_->OnRequest(Op::kWrite);
@@ -87,8 +97,12 @@ void MobileClient::HandleMessage(const Message& message) {
     }
     case MessageType::kInvalidate: {
       // SW1 optimization: the SC already took charge; just drop the copy.
-      MOBREP_CHECK_MSG(in_charge_ && has_copy(),
-                       "invalidate received without a copy");
+      if (!in_charge_ || !has_copy()) {
+        MOBREP_CHECK_MSG(tolerates_link_faults_,
+                         "invalidate received without a copy");
+        ++stale_propagates_dropped_;
+        return;
+      }
       MOBREP_CHECK(cache_->Evict(key_).ok());
       // Keep the local replica machine in step (it returns the invalidate
       // action and drops its copy bit).
@@ -101,6 +115,9 @@ void MobileClient::HandleMessage(const Message& message) {
     case MessageType::kReadRequest:
     case MessageType::kDeleteRequest:
       MOBREP_CHECK_MSG(false, "SC-bound message delivered to the MC");
+      return;
+    case MessageType::kAck:
+      MOBREP_CHECK_MSG(false, "link-level ack delivered to the MC");
   }
 }
 

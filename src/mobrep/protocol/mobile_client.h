@@ -9,7 +9,7 @@
 
 #include "mobrep/core/policy.h"
 #include "mobrep/core/policy_factory.h"
-#include "mobrep/net/channel.h"
+#include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
 #include "mobrep/store/replica_cache.h"
 
@@ -30,8 +30,19 @@ class MobileClient {
   // `to_sc` and `cache` must outlive the client. The client starts in
   // charge iff the policy's initial state holds a copy (e.g. ST2, T2m);
   // in that case the caller must pre-install the replica in `cache`.
-  MobileClient(std::string key, const PolicySpec& spec, Channel* to_sc,
+  MobileClient(std::string key, const PolicySpec& spec, Link* to_sc,
                ReplicaCache* cache);
+
+  // Degraded-link mode, enabled when the SC->MC path may collapse queued
+  // propagation (doze mode) or when ownership-transfer messages can cross
+  // in flight with new traffic:
+  //  - propagated versions may skip ahead (last-writer-wins collapse);
+  //  - propagations/invalidations arriving after this MC already
+  //    deallocated are dropped (and counted) instead of aborting.
+  // Off by default: on a perfect FIFO link either condition is a bug.
+  void set_tolerates_link_faults(bool tolerates) {
+    tolerates_link_faults_ = tolerates;
+  }
 
   // Issues one read at the MC. The callback fires when the value is
   // available (immediately for a local read, after the round trip
@@ -59,16 +70,22 @@ class MobileClient {
   int64_t updates_applied() const { return updates_applied_; }
   int64_t allocations() const { return allocations_; }
   int64_t deallocations() const { return deallocations_; }
+  // Propagations/invalidations that raced this MC's own deallocation and
+  // were dropped (degraded-link mode only).
+  int64_t stale_propagates_dropped() const {
+    return stale_propagates_dropped_;
+  }
 
  private:
   void CompleteRead(const VersionedValue& value);
 
   std::string key_;
   PolicySpec spec_;
-  Channel* to_sc_;
+  Link* to_sc_;
   ReplicaCache* cache_;
   std::unique_ptr<AllocationPolicy> policy_;
   bool in_charge_ = false;
+  bool tolerates_link_faults_ = false;
   ReadCallback pending_read_;
   std::vector<Op> last_transfer_window_;
 
@@ -77,6 +94,7 @@ class MobileClient {
   int64_t updates_applied_ = 0;
   int64_t allocations_ = 0;
   int64_t deallocations_ = 0;
+  int64_t stale_propagates_dropped_ = 0;
 };
 
 }  // namespace mobrep

@@ -8,6 +8,13 @@
 #include "mobrep/common/strings.h"
 
 namespace mobrep {
+namespace {
+
+// Salts for the per-direction fault streams (forked off FaultConfig::seed).
+constexpr uint64_t kUplinkFaultSalt = 0x4d432d3e5343ULL;    // "MC->SC"
+constexpr uint64_t kDownlinkFaultSalt = 0x53432d3e4d43ULL;  // "SC->MC"
+
+}  // namespace
 
 double ProtocolMetrics::PriceUnder(const CostModel& model) const {
   if (model.kind() == CostModelKind::kConnection) {
@@ -21,16 +28,52 @@ ProtocolSimulation::ProtocolSimulation(const ProtocolConfig& config)
     : config_(config) {
   store_.Put(config_.key, config_.initial_value);
 
-  mc_to_sc_ = std::make_unique<Channel>(&queue_, config_.link_latency,
-                                        "MC->SC");
-  sc_to_mc_ = std::make_unique<Channel>(&queue_, config_.link_latency,
-                                        "SC->MC");
+  const bool reliable = config_.fault.UseReliableLink();
+  if (reliable) {
+    // Degraded wireless link: each direction injects faults and carries an
+    // ARQ endpoint restoring exactly-once in-order delivery.
+    auto uplink = std::make_unique<FaultyChannel>(
+        &queue_, config_.link_latency, "MC->SC", config_.fault,
+        kUplinkFaultSalt);
+    auto downlink = std::make_unique<FaultyChannel>(
+        &queue_, config_.link_latency, "SC->MC", config_.fault,
+        kDownlinkFaultSalt);
+    mc_to_sc_faulty_ = uplink.get();
+    sc_to_mc_faulty_ = downlink.get();
+    mc_to_sc_ = std::move(uplink);
+    sc_to_mc_ = std::move(downlink);
+
+    ArqConfig arq = config_.fault.arq;
+    if (arq.initial_rto <= 0.0) {
+      // A safely-above-RTT default: a frame's round trip is two one-way
+      // latencies plus at most two jitter draws; the epsilon keeps the
+      // timer strictly after a jitter-free ack on a healthy link.
+      arq.initial_rto = 4.0 * config_.link_latency +
+                        2.0 * config_.fault.max_jitter + 1e-6;
+    }
+    mc_link_ = std::make_unique<ReliableLink>(&queue_, mc_to_sc_.get(), arq,
+                                              "MC-arq");
+    sc_link_ = std::make_unique<ReliableLink>(&queue_, sc_to_mc_.get(), arq,
+                                              "SC-arq");
+  } else {
+    // The paper's perfect link: the exact seed topology, so fault-free
+    // default runs reproduce seed results bit-for-bit.
+    mc_to_sc_ = std::make_unique<Channel>(&queue_, config_.link_latency,
+                                          "MC->SC");
+    sc_to_mc_ = std::make_unique<Channel>(&queue_, config_.link_latency,
+                                          "SC->MC");
+  }
+
+  Link* client_uplink =
+      reliable ? static_cast<Link*>(mc_link_.get()) : mc_to_sc_.get();
+  Link* server_downlink =
+      reliable ? static_cast<Link*>(sc_link_.get()) : sc_to_mc_.get();
   client_ = std::make_unique<MobileClient>(config_.key, config_.spec,
-                                           mc_to_sc_.get(), &cache_);
+                                           client_uplink, &cache_);
   server_ = std::make_unique<StationaryServer>(config_.key, config_.spec,
-                                               sc_to_mc_.get(), &store_);
+                                               server_downlink, &store_);
   if (!config_.wal_path.empty()) {
-    auto wal = WriteAheadLog::Open(config_.wal_path);
+    auto wal = WriteAheadLog::Open(config_.wal_path, config_.wal_options);
     MOBREP_CHECK_MSG(wal.ok(), wal.status().message().c_str());
     wal_ = std::make_unique<WriteAheadLog>(std::move(*wal));
     // The initial value (version 1) predates the server; log it so a
@@ -40,10 +83,29 @@ ProtocolSimulation::ProtocolSimulation(const ProtocolConfig& config)
     MOBREP_CHECK_MSG(logged.ok(), logged.message().c_str());
     server_->set_write_log(wal_.get());
   }
-  mc_to_sc_->set_receiver(
-      [this](const Message& m) { server_->HandleMessage(m); });
-  sc_to_mc_->set_receiver(
-      [this](const Message& m) { client_->HandleMessage(m); });
+
+  if (reliable) {
+    // Each node's ARQ endpoint consumes every frame arriving on the node's
+    // incoming channel and upcalls exactly-once in-order app messages.
+    mc_to_sc_->set_receiver(
+        [this](const Message& frame) { sc_link_->HandleFrame(frame); });
+    sc_to_mc_->set_receiver(
+        [this](const Message& frame) { mc_link_->HandleFrame(frame); });
+    mc_link_->set_receiver(
+        [this](const Message& m) { client_->HandleMessage(m); });
+    sc_link_->set_receiver(
+        [this](const Message& m) { server_->HandleMessage(m); });
+    // Reconnect signal: once every SC->MC frame is acked, ship the single
+    // propagate collapsed during the outage (if any survived).
+    sc_link_->set_on_idle([this] { server_->FlushPending(); });
+    // Ownership hand-overs can cross in flight with propagation.
+    client_->set_tolerates_link_faults(true);
+  } else {
+    mc_to_sc_->set_receiver(
+        [this](const Message& m) { server_->HandleMessage(m); });
+    sc_to_mc_->set_receiver(
+        [this](const Message& m) { client_->HandleMessage(m); });
+  }
 
   // Policies whose initial state replicates the item (ST2, T2m) need the
   // replica pre-installed, mirroring an initial subscription.
@@ -51,6 +113,19 @@ ProtocolSimulation::ProtocolSimulation(const ProtocolConfig& config)
     cache_.Install(config_.key, *store_.Get(config_.key));
   }
   MOBREP_CHECK(ExactlyOneInCharge());
+}
+
+void ProtocolSimulation::RunExchange(const char* what) {
+  int64_t events_run = 0;
+  const bool quiescent =
+      queue_.TryRunUntilQuiescent(config_.max_events_per_exchange,
+                                  &events_run);
+  const std::string context = StrFormat(
+      "%s did not quiesce within %lld events (t=%g, %zu still pending); "
+      "livelocked retransmission?",
+      what, static_cast<long long>(config_.max_events_per_exchange),
+      queue_.now(), queue_.pending());
+  MOBREP_CHECK_MSG(quiescent, context.c_str());
 }
 
 void ProtocolSimulation::Step(Op op) {
@@ -65,13 +140,13 @@ void ProtocolSimulation::Step(Op op) {
       completed_at = queue_.now();
       seen = value;
     });
-    queue_.RunUntilQuiescent();
+    RunExchange("read exchange");
     MOBREP_CHECK_MSG(completed, "read did not complete");
     const double latency = completed_at - issued_at;
     total_read_latency_ += latency;
     max_read_latency_ = std::max(max_read_latency_, latency);
-    // Freshness: serialized requests over FIFO links must always observe
-    // the latest committed version.
+    // Freshness: serialized requests over exactly-once in-order links must
+    // always observe the latest committed version.
     const VersionedValue authoritative = *store_.Get(config_.key);
     MOBREP_CHECK_MSG(seen == authoritative,
                      "MC read observed a stale or divergent value");
@@ -80,7 +155,7 @@ void ProtocolSimulation::Step(Op op) {
     ++write_sequence_;
     server_->IssueWrite(
         StrFormat("v%lld", static_cast<long long>(write_sequence_)));
-    queue_.RunUntilQuiescent();
+    RunExchange("write exchange");
   }
   MOBREP_CHECK_MSG(ExactlyOneInCharge(),
                    "both or neither node in charge after a request");
@@ -90,6 +165,115 @@ void ProtocolSimulation::Step(Op op) {
 
 void ProtocolSimulation::Run(const Schedule& schedule) {
   for (const Op op : schedule) Step(op);
+}
+
+void ProtocolSimulation::MaybeIssueQueuedRead() {
+  if (read_outstanding_ || queued_reads_ == 0) return;
+  --queued_reads_;
+  read_outstanding_ = true;
+  ++reads_issued_;
+  const double issued_at = queue_.now();
+  client_->IssueRead([this, issued_at](const VersionedValue& value) {
+    read_outstanding_ = false;
+    const double latency = queue_.now() - issued_at;
+    total_read_latency_ += latency;
+    max_read_latency_ = std::max(max_read_latency_, latency);
+    CheckTimedRead(value);
+    MaybeIssueQueuedRead();
+  });
+}
+
+void ProtocolSimulation::CheckTimedRead(const VersionedValue& value) {
+  if (!timed_error_.ok()) return;
+  // Monotone reads: with overlapping traffic a read may be stale (a write
+  // committed at the SC while an invalidate was in flight) but the MC's
+  // view never moves backwards.
+  if (value.version < last_read_version_) {
+    timed_error_ = InternalError(StrFormat(
+        "reads went backwards: version %llu after version %llu",
+        static_cast<unsigned long long>(value.version),
+        static_cast<unsigned long long>(last_read_version_)));
+    return;
+  }
+  last_read_version_ = value.version;
+  // Version/value binding: the SC committed "v<k>" as version k+1 (the
+  // initial value is version 1), so any read observing a different pair
+  // saw a torn or fabricated write.
+  const std::string expected =
+      value.version <= 1
+          ? config_.initial_value
+          : StrFormat("v%llu",
+                      static_cast<unsigned long long>(value.version - 1));
+  if (value.value != expected) {
+    timed_error_ = DataLossError(StrFormat(
+        "read observed version %llu with value '%s' (expected '%s')",
+        static_cast<unsigned long long>(value.version), value.value.c_str(),
+        expected.c_str()));
+  }
+}
+
+Status ProtocolSimulation::RunTimed(const TimedSchedule& schedule) {
+  for (const TimedRequest& request : schedule) {
+    if (request.time < queue_.now()) {
+      return InvalidArgumentError(StrFormat(
+          "request at t=%g predates the simulation clock (t=%g)",
+          request.time, queue_.now()));
+    }
+    queue_.ScheduleAt(request.time, [this, op = request.op] {
+      if (op == Op::kWrite) {
+        ++writes_issued_;
+        ++write_sequence_;
+        server_->IssueWrite(
+            StrFormat("v%lld", static_cast<long long>(write_sequence_)));
+      } else {
+        ++queued_reads_;
+        MaybeIssueQueuedRead();
+      }
+    });
+  }
+
+  int64_t events_run = 0;
+  const bool quiescent = queue_.TryRunUntilQuiescent(
+      config_.max_events_per_exchange, &events_run);
+  if (!quiescent) {
+    return InternalError(StrFormat(
+        "timed run did not quiesce within %lld events (t=%g, %zu pending); "
+        "livelocked retransmission?",
+        static_cast<long long>(config_.max_events_per_exchange), queue_.now(),
+        queue_.pending()));
+  }
+  if (!timed_error_.ok()) return timed_error_;
+  if (read_outstanding_ || queued_reads_ > 0) {
+    return InternalError(StrFormat(
+        "%lld reads never completed (one outstanding: %s)",
+        static_cast<long long>(queued_reads_ + (read_outstanding_ ? 1 : 0)),
+        read_outstanding_ ? "yes" : "no"));
+  }
+
+  // Convergence: with every frame delivered and acked, the transient
+  // hand-over states must have resolved.
+  if (!ExactlyOneInCharge()) {
+    return InternalError("both or neither node in charge at quiescence");
+  }
+  if (client_->in_charge() != client_->has_copy()) {
+    return InternalError("in-charge MC without a copy (or vice versa)");
+  }
+  if (server_->mc_has_copy() != client_->has_copy()) {
+    return InternalError("SC's subscription view diverged from the MC");
+  }
+  if (client_->has_copy()) {
+    const Result<VersionedValue> replica = cache_.Get(config_.key);
+    const Result<VersionedValue> authoritative = store_.Get(config_.key);
+    if (!replica.ok() || !authoritative.ok() ||
+        !(*replica == *authoritative)) {
+      return DataLossError(
+          "surviving MC replica diverged from the authoritative store");
+    }
+  }
+  if (server_->has_pending_propagation()) {
+    return InternalError("collapsed propagation left unflushed at quiescence");
+  }
+  return OkStatus();
 }
 
 ProtocolMetrics ProtocolSimulation::metrics() const {
@@ -110,13 +294,34 @@ ProtocolMetrics ProtocolSimulation::metrics() const {
   // Every chargeable request triggers exactly one SC->MC transmission
   // (data response, propagation, or invalidation), and each such
   // transmission belongs to a distinct request — so the SC->MC message
-  // count *is* the connection count.
+  // count *is* the connection count. (ARQ acks and retransmissions are
+  // metered separately and never land here.)
   m.connections = sc_to_mc_->messages_sent();
   if (reads_issued_ > 0) {
     m.mean_read_latency =
         total_read_latency_ / static_cast<double>(reads_issued_);
   }
   m.max_read_latency = max_read_latency_;
+
+  m.acks = mc_to_sc_->acks_sent() + sc_to_mc_->acks_sent();
+  if (mc_link_ != nullptr) {
+    m.retransmissions = mc_link_->retransmissions() +
+                        sc_link_->retransmissions();
+    m.timeouts = mc_link_->timeouts() + sc_link_->timeouts();
+    m.duplicates_dropped =
+        mc_link_->duplicates_dropped() + sc_link_->duplicates_dropped();
+  }
+  if (mc_to_sc_faulty_ != nullptr) {
+    m.injected_drops = mc_to_sc_faulty_->injected_drops() +
+                       sc_to_mc_faulty_->injected_drops();
+    m.injected_duplicates = mc_to_sc_faulty_->injected_duplicates() +
+                            sc_to_mc_faulty_->injected_duplicates();
+    m.outage_drops = mc_to_sc_faulty_->outage_drops() +
+                     sc_to_mc_faulty_->outage_drops();
+  }
+  m.outage_time = config_.fault.TotalOutageTimeBefore(queue_.now());
+  m.collapsed_propagations = server_->collapsed_propagations();
+  m.stale_propagates_dropped = client_->stale_propagates_dropped();
   return m;
 }
 

@@ -5,11 +5,14 @@
 #include <memory>
 #include <string>
 
+#include "mobrep/common/status.h"
 #include "mobrep/core/cost_model.h"
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/core/schedule.h"
 #include "mobrep/net/channel.h"
 #include "mobrep/net/event_queue.h"
+#include "mobrep/net/fault_model.h"
+#include "mobrep/net/reliable_link.h"
 #include "mobrep/protocol/mobile_client.h"
 #include "mobrep/protocol/stationary_server.h"
 #include "mobrep/store/replica_cache.h"
@@ -19,11 +22,20 @@
 namespace mobrep {
 
 // End-to-end harness wiring one MobileClient and one StationaryServer over
-// two fixed-latency FIFO channels, driven by a schedule of relevant
-// requests. Requests are serialized: each request's message exchange runs
-// to quiescence before the next request is issued (the paper's §3
-// concurrency assumption). Every completed read is checked against the
-// authoritative store (one-copy equivalence).
+// two unidirectional links, driven by a schedule of relevant requests.
+//
+// With the default (fault-free) FaultConfig the links are the paper's
+// perfect fixed-latency FIFO channels and requests are serialized: each
+// request's message exchange runs to quiescence before the next request is
+// issued (the paper's §3 concurrency assumption). Every completed read is
+// checked against the authoritative store (one-copy equivalence).
+//
+// With a faulty FaultConfig each direction becomes a FaultyChannel (loss,
+// duplication, jitter, scheduled outages) under a ReliableLink ARQ
+// endpoint, and the same protocol runs unchanged on top of exactly-once
+// in-order delivery. ARQ traffic is metered outside the paper's cost
+// counters, so a fault-free run is bit-for-bit identical to the seed
+// whether or not the ARQ layer is present (see FaultConfig::force_reliable).
 
 struct ProtocolConfig {
   PolicySpec spec;
@@ -31,9 +43,17 @@ struct ProtocolConfig {
   std::string initial_value = "v0";
   // One-way link latency in simulation time units (either direction).
   double link_latency = 0.001;
+  // Link fault injection + ARQ knobs. Default: the perfect link.
+  FaultConfig fault;
+  // Upper bound on the events one exchange (Step) or one timed run may
+  // execute before the harness declares a livelock: Step aborts with a
+  // contextual CHECK, RunTimed returns an error Status.
+  int64_t max_events_per_exchange = 1'000'000;
   // When non-empty, the SC appends every committed write to this
   // write-ahead log (see mobrep/store/write_ahead_log.h).
   std::string wal_path;
+  // Durability knobs for that log (e.g. fsync on every append).
+  WalOptions wal_options;
 };
 
 // Wire-level accounting for one run, convertible to either cost model.
@@ -57,6 +77,20 @@ struct ProtocolMetrics {
   double mean_read_latency = 0.0;
   double max_read_latency = 0.0;
 
+  // Link-layer accounting, outside both paper cost models. All zero on a
+  // fault-free run without force_reliable.
+  int64_t retransmissions = 0;      // data frames re-sent by the ARQ
+  int64_t timeouts = 0;             // retransmission timers that fired
+  int64_t duplicates_dropped = 0;   // frames suppressed by receiver dedup
+  int64_t acks = 0;                 // link-level acks transmitted
+  int64_t injected_drops = 0;       // frames lost to random loss
+  int64_t injected_duplicates = 0;  // frames duplicated by the channel
+  int64_t outage_drops = 0;         // frames lost to scheduled outages
+  double outage_time = 0.0;         // scheduled outage time elapsed
+  // Graceful-degradation accounting at the endpoints.
+  int64_t collapsed_propagations = 0;
+  int64_t stale_propagates_dropped = 0;
+
   // Total communication cost under `model`.
   double PriceUnder(const CostModel& model) const;
 };
@@ -70,11 +104,24 @@ class ProtocolSimulation {
 
   // Issues one relevant request and runs the exchange to quiescence.
   // Reads additionally verify that the value returned to the MC matches
-  // the store (freshness/consistency invariant).
+  // the store (freshness/consistency invariant). Aborts with a contextual
+  // message if the exchange exceeds max_events_per_exchange.
   void Step(Op op);
 
-  // Runs a whole schedule.
+  // Runs a whole schedule, serialized.
   void Run(const Schedule& schedule);
+
+  // Runs a timed workload with overlapping arrivals: writes commit at the
+  // SC at their arrival times regardless of in-flight traffic; reads
+  // chain at the MC (arrivals during an outstanding read queue behind it,
+  // preserving the MC's one-outstanding-read discipline). This is the
+  // chaos-mode driver: requests land mid-outage, mid-retransmission and
+  // mid-hand-over. Checks en route: read versions are monotone and every
+  // read observes a (version, value) pair some write actually committed.
+  // Checks at the end: the run quiesced within max_events_per_exchange,
+  // every read completed, exactly one node is in charge, and a surviving
+  // replica equals the authoritative store. Returns the first violation.
+  Status RunTimed(const TimedSchedule& schedule);
 
   ProtocolMetrics metrics() const;
 
@@ -88,13 +135,32 @@ class ProtocolSimulation {
   const VersionedStore& store() const { return store_; }
   double now() const { return queue_.now(); }
 
+  // Fault-injection probes; null on a fault-free (seed-wiring) run.
+  const FaultyChannel* uplink_faults() const { return mc_to_sc_faulty_; }
+  const FaultyChannel* downlink_faults() const { return sc_to_mc_faulty_; }
+  // ARQ endpoints; null unless FaultConfig::UseReliableLink().
+  const ReliableLink* mc_link() const { return mc_link_.get(); }
+  const ReliableLink* sc_link() const { return sc_link_.get(); }
+
  private:
+  // Drains the queue, aborting with `what` context if the cap is hit.
+  void RunExchange(const char* what);
+  // Issues the next queued timed read unless one is already outstanding.
+  void MaybeIssueQueuedRead();
+  // Monotonicity + version/value-binding checks for timed reads; records
+  // the first violation in timed_error_.
+  void CheckTimedRead(const VersionedValue& value);
+
   ProtocolConfig config_;
   EventQueue queue_;
   VersionedStore store_;
   ReplicaCache cache_;
   std::unique_ptr<Channel> mc_to_sc_;
   std::unique_ptr<Channel> sc_to_mc_;
+  FaultyChannel* mc_to_sc_faulty_ = nullptr;  // aliases mc_to_sc_ if faulty
+  FaultyChannel* sc_to_mc_faulty_ = nullptr;  // aliases sc_to_mc_ if faulty
+  std::unique_ptr<ReliableLink> mc_link_;  // MC's ARQ endpoint
+  std::unique_ptr<ReliableLink> sc_link_;  // SC's ARQ endpoint
   std::unique_ptr<MobileClient> client_;
   std::unique_ptr<StationaryServer> server_;
   std::unique_ptr<WriteAheadLog> wal_;
@@ -103,6 +169,12 @@ class ProtocolSimulation {
   int64_t writes_issued_ = 0;
   double total_read_latency_ = 0.0;
   double max_read_latency_ = 0.0;
+
+  // RunTimed state.
+  int64_t queued_reads_ = 0;
+  bool read_outstanding_ = false;
+  uint64_t last_read_version_ = 0;
+  Status timed_error_;  // first check violation, sticky
 };
 
 }  // namespace mobrep

@@ -8,7 +8,7 @@
 namespace mobrep {
 
 StationaryServer::StationaryServer(std::string key, const PolicySpec& spec,
-                                   Channel* to_mc, VersionedStore* store)
+                                   Link* to_mc, VersionedStore* store)
     : key_(std::move(key)),
       spec_(spec),
       to_mc_(to_mc),
@@ -61,7 +61,38 @@ void StationaryServer::OnCommittedWrite() {
     return;
   }
 
+  // Doze collapse: while the link still has unacked traffic in flight (the
+  // MC is dozing or the previous exchange has not drained), absorb this
+  // write into a single pending propagate instead of queueing one frame
+  // per write. The flush on reconnect ships the latest committed version —
+  // last-writer-wins per key. On a perfect link the link is never busy at
+  // commit time (requests are serialized to quiescence), so this path
+  // cannot perturb fault-free accounting.
+  if (to_mc_->busy()) {
+    pending_propagation_ = true;
+    ++collapsed_propagations_;
+    return;
+  }
+
   // Generic propagation; the in-charge MC may answer with a delete-request.
+  Message propagate;
+  propagate.type = MessageType::kWritePropagate;
+  propagate.key = key_;
+  propagate.item = *store_->Get(key_);
+  to_mc_->Send(std::move(propagate));
+  ++propagations_;
+}
+
+void StationaryServer::FlushPending() {
+  if (!pending_propagation_ || to_mc_->busy()) return;
+  if (in_charge_ || !mc_has_copy_) {
+    // The MC deallocated while the propagate was pending; it no longer
+    // subscribes to updates.
+    pending_propagation_ = false;
+    ++discarded_propagations_;
+    return;
+  }
+  pending_propagation_ = false;
   Message propagate;
   propagate.type = MessageType::kWritePropagate;
   propagate.key = key_;
@@ -109,12 +140,23 @@ void StationaryServer::HandleMessage(const Message& message) {
       mc_has_copy_ = false;
       in_charge_ = true;
       ++deallocations_accepted_;
+      // The subscription died with the copy, and any pending collapsed
+      // propagation dies with it: if the MC re-subscribes later, the
+      // allocation's data response already carries the latest version, so
+      // flushing afterwards would re-send a version the MC holds.
+      if (pending_propagation_) {
+        pending_propagation_ = false;
+        ++discarded_propagations_;
+      }
       return;
     }
     case MessageType::kDataResponse:
     case MessageType::kWritePropagate:
     case MessageType::kInvalidate:
       MOBREP_CHECK_MSG(false, "MC-bound message delivered to the SC");
+      return;
+    case MessageType::kAck:
+      MOBREP_CHECK_MSG(false, "link-level ack delivered to the SC");
   }
 }
 

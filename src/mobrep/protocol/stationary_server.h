@@ -8,7 +8,7 @@
 
 #include "mobrep/core/policy.h"
 #include "mobrep/core/policy_factory.h"
-#include "mobrep/net/channel.h"
+#include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
 #include "mobrep/store/versioned_store.h"
 #include "mobrep/store/write_ahead_log.h"
@@ -28,7 +28,7 @@ namespace mobrep {
 class StationaryServer {
  public:
   // `to_mc` and `store` must outlive the server.
-  StationaryServer(std::string key, const PolicySpec& spec, Channel* to_mc,
+  StationaryServer(std::string key, const PolicySpec& spec, Link* to_mc,
                    VersionedStore* store);
 
   // Issues one write at the SC: commits to the store, then runs the
@@ -42,6 +42,15 @@ class StationaryServer {
 
   // Delivery entry point for the MC -> SC channel.
   void HandleMessage(const Message& message);
+
+  // Graceful degradation during an MC outage (doze mode): writes committed
+  // while the SC->MC link is busy retransmitting are not each propagated;
+  // the SC marks propagation pending and, once the link drains (the MC
+  // reconnected and acked), ships a single propagate carrying the latest
+  // committed version — last-writer-wins collapse. Wire the reliable
+  // link's on-idle hook to this method. A no-op when nothing is pending,
+  // the link is still busy, or the MC unsubscribed meanwhile.
+  void FlushPending();
 
   // Optionally logs every committed write for crash recovery (the log must
   // outlive the server). Appends are flushed before the write is
@@ -64,16 +73,24 @@ class StationaryServer {
   int64_t invalidations() const { return invalidations_; }
   int64_t allocations_granted() const { return allocations_granted_; }
   int64_t deallocations_accepted() const { return deallocations_accepted_; }
+  // Writes whose individual propagation was absorbed into the pending
+  // last-writer-wins propagate while the link was busy (doze collapse).
+  int64_t collapsed_propagations() const { return collapsed_propagations_; }
+  // Pending propagations discarded because the MC unsubscribed before the
+  // link drained.
+  int64_t discarded_propagations() const { return discarded_propagations_; }
+  bool has_pending_propagation() const { return pending_propagation_; }
 
  private:
   std::string key_;
   PolicySpec spec_;
-  Channel* to_mc_;
+  Link* to_mc_;
   VersionedStore* store_;
   WriteAheadLog* write_log_ = nullptr;
   std::unique_ptr<AllocationPolicy> policy_;
   bool in_charge_ = false;
   bool mc_has_copy_ = false;
+  bool pending_propagation_ = false;
   std::vector<Op> last_transfer_window_;
 
   int64_t writes_committed_ = 0;
@@ -82,6 +99,8 @@ class StationaryServer {
   int64_t invalidations_ = 0;
   int64_t allocations_granted_ = 0;
   int64_t deallocations_accepted_ = 0;
+  int64_t collapsed_propagations_ = 0;
+  int64_t discarded_propagations_ = 0;
 };
 
 }  // namespace mobrep

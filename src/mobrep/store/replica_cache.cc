@@ -20,13 +20,17 @@ Status ReplicaCache::Evict(const std::string& key) {
 }
 
 Status ReplicaCache::ApplyUpdate(const std::string& key,
-                                 const VersionedValue& value) {
+                                 const VersionedValue& value,
+                                 bool allow_gaps) {
   const auto it = items_.find(key);
   if (it == items_.end()) {
     return FailedPreconditionError(StrFormat(
         "update for '%s' arrived without a subscription", key.c_str()));
   }
-  if (value.version != it->second.version + 1) {
+  const bool acceptable = allow_gaps
+                              ? value.version > it->second.version
+                              : value.version == it->second.version + 1;
+  if (!acceptable) {
     return DataLossError(StrFormat(
         "out-of-order update for '%s': replica at v%llu, update v%llu",
         key.c_str(), static_cast<unsigned long long>(it->second.version),

@@ -27,8 +27,12 @@ class ReplicaCache {
 
   // Applies a propagated update. Fails with FailedPreconditionError when
   // the item is not subscribed and with DataLossError when the update would
-  // move the version backwards or skip versions (FIFO channel violation).
-  Status ApplyUpdate(const std::string& key, const VersionedValue& value);
+  // move the version backwards or — unless `allow_gaps` — skip versions
+  // (FIFO channel violation). Gaps are legitimate when the SC collapses
+  // queued propagation during a link outage (last-writer-wins): the MC
+  // then jumps straight to the latest committed version.
+  Status ApplyUpdate(const std::string& key, const VersionedValue& value,
+                     bool allow_gaps = false);
 
   // Local read. NotFoundError if the item is not replicated.
   Result<VersionedValue> Get(const std::string& key) const;

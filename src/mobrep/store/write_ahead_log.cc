@@ -1,8 +1,11 @@
 #include "mobrep/store/write_ahead_log.h"
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 #include <utility>
+
+#include <unistd.h>
 
 #include "mobrep/common/strings.h"
 
@@ -51,11 +54,14 @@ struct LogCursor {
 
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file,
+                             WalOptions options)
+    : path_(std::move(path)), file_(file), options_(options) {}
 
 WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
-    : path_(std::move(other.path_)), file_(other.file_) {
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      options_(other.options_) {
   other.file_ = nullptr;
 }
 
@@ -64,6 +70,7 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
     Close();
     path_ = std::move(other.path_);
     file_ = other.file_;
+    options_ = other.options_;
     other.file_ = nullptr;
   }
   return *this;
@@ -72,12 +79,17 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
 WriteAheadLog::~WriteAheadLog() { Close(); }
 
 Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  return Open(path, WalOptions{});
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+                                          const WalOptions& options) {
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return InvalidArgumentError(
         StrFormat("cannot open log '%s' for append", path.c_str()));
   }
-  return WriteAheadLog(path, file);
+  return WriteAheadLog(path, file, options);
 }
 
 Status WriteAheadLog::AppendPut(const std::string& key,
@@ -99,6 +111,21 @@ Status WriteAheadLog::AppendPut(const std::string& key,
   }
   if (std::fflush(file_) != 0) {
     return DataLossError(StrFormat("flush failed on '%s'", path_.c_str()));
+  }
+  if (options_.sync_each_append) return Sync();
+  return OkStatus();
+}
+
+Status WriteAheadLog::Sync() {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("log is closed");
+  }
+  if (std::fflush(file_) != 0) {
+    return DataLossError(StrFormat("flush failed on '%s'", path_.c_str()));
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return DataLossError(StrFormat("fsync failed on '%s': %s", path_.c_str(),
+                                   std::strerror(errno)));
   }
   return OkStatus();
 }

@@ -9,6 +9,15 @@
 
 namespace mobrep {
 
+// Durability knobs for a WriteAheadLog.
+struct WalOptions {
+  // When true, every AppendPut additionally fsync()s the file so the
+  // record survives an OS crash or power loss, not just a process crash.
+  // Costs one disk barrier per append; off by default (the simulator's
+  // default threat model is process crash).
+  bool sync_each_append = false;
+};
+
 // Append-only durability log for the stationary computer's online
 // database, so the SC can recover its store (and keep serving update
 // propagation from the correct versions) after a restart.
@@ -21,6 +30,8 @@ class WriteAheadLog {
  public:
   // Opens (creating if absent) the log at `path` for appending.
   static Result<WriteAheadLog> Open(const std::string& path);
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    const WalOptions& options);
 
   WriteAheadLog(WriteAheadLog&& other) noexcept;
   WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
@@ -28,8 +39,14 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
   ~WriteAheadLog();
 
-  // Appends one committed write and flushes it to the OS.
+  // Appends one committed write and flushes it to the OS. With
+  // WalOptions::sync_each_append, the record is also fsync()ed to stable
+  // storage before this returns. Short writes, flush failures and sync
+  // failures are all reported as DataLossError.
   Status AppendPut(const std::string& key, const VersionedValue& value);
+
+  // Forces everything appended so far to stable storage (fflush + fsync).
+  Status Sync();
 
   // Closes the log; further appends fail.
   void Close();
@@ -43,10 +60,11 @@ class WriteAheadLog {
   static Result<VersionedStore> Recover(const std::string& path);
 
  private:
-  WriteAheadLog(std::string path, std::FILE* file);
+  WriteAheadLog(std::string path, std::FILE* file, WalOptions options);
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  WalOptions options_;
 };
 
 }  // namespace mobrep

@@ -36,6 +36,26 @@ TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
   return schedule;
 }
 
+std::vector<std::pair<double, double>> GenerateOutageWindows(int count,
+                                                             double span,
+                                                             double duration,
+                                                             Rng* rng) {
+  MOBREP_CHECK(count >= 0);
+  MOBREP_CHECK(duration >= 0.0 && span >= 0.0);
+  std::vector<std::pair<double, double>> windows;
+  if (count == 0) return windows;
+  const double slot = span / count;
+  MOBREP_CHECK_MSG(duration <= slot,
+                   "outage windows do not fit disjointly in the span");
+  windows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double start =
+        static_cast<double>(i) * slot + rng->Uniform(0.0, slot - duration);
+    windows.emplace_back(start, start + duration);
+  }
+  return windows;
+}
+
 Schedule GeneratePeriodWorkload(int64_t periods, int64_t period_length,
                                 Rng* rng) {
   MOBREP_CHECK(periods >= 0 && period_length >= 1);

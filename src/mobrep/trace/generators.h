@@ -2,6 +2,8 @@
 #define MOBREP_TRACE_GENERATORS_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "mobrep/common/random.h"
 #include "mobrep/core/schedule.h"
@@ -28,6 +30,17 @@ TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
 // expected cost* (AVG, eq. 1) is the right figure of merit.
 Schedule GeneratePeriodWorkload(int64_t periods, int64_t period_length,
                                 Rng* rng);
+
+// `count` non-overlapping [start, end) doze/outage windows of length
+// `duration` each, placed within [0, span): the span is cut into `count`
+// equal slots and each window lands uniformly at random inside its own
+// slot, so windows are always disjoint and in increasing order. Requires
+// count * duration <= span. Returned as plain (start, end) pairs so the
+// trace layer stays independent of the net layer's OutageWindow type.
+std::vector<std::pair<double, double>> GenerateOutageWindows(int count,
+                                                             double span,
+                                                             double duration,
+                                                             Rng* rng);
 
 // Streaming Bernoulli source for long runs that should not materialize a
 // schedule vector.

@@ -68,6 +68,38 @@ TEST(EventQueueTest, PendingCount) {
   EXPECT_EQ(queue.pending(), 1u);
 }
 
+TEST(EventQueueTest, TryRunUntilQuiescentDrains) {
+  EventQueue queue;
+  int count = 0;
+  for (int i = 0; i < 4; ++i) {
+    queue.ScheduleAt(static_cast<double>(i), [&] { ++count; });
+  }
+  int64_t ran = 0;
+  EXPECT_TRUE(queue.TryRunUntilQuiescent(100, &ran));
+  EXPECT_EQ(ran, 4);
+  EXPECT_EQ(count, 4);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, TryRunUntilQuiescentReportsCapHit) {
+  EventQueue queue;
+  std::function<void()> forever = [&] { queue.ScheduleAfter(1.0, forever); };
+  queue.ScheduleAt(0.0, forever);
+  int64_t ran = 0;
+  EXPECT_FALSE(queue.TryRunUntilQuiescent(50, &ran));
+  EXPECT_EQ(ran, 50);
+  EXPECT_FALSE(queue.empty());
+  // The queue is still usable: clearing the livelock lets it drain.
+  forever = [] {};
+  EXPECT_TRUE(queue.TryRunUntilQuiescent(50, &ran));
+}
+
+TEST(EventQueueTest, TryRunUntilQuiescentNullEventCount) {
+  EventQueue queue;
+  queue.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(queue.TryRunUntilQuiescent(10));
+}
+
 TEST(EventQueueDeathTest, RejectsPastScheduling) {
   EventQueue queue;
   queue.ScheduleAt(5.0, [] {});

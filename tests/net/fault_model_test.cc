@@ -1,0 +1,216 @@
+#include "mobrep/net/fault_model.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+namespace {
+
+TEST(FaultConfigTest, DefaultIsThePerfectLink) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.HasFaults());
+  EXPECT_FALSE(config.UseReliableLink());
+}
+
+TEST(FaultConfigTest, AnyFaultKnobEnablesTheReliableLink) {
+  FaultConfig drop;
+  drop.drop_probability = 0.1;
+  EXPECT_TRUE(drop.HasFaults());
+  EXPECT_TRUE(drop.UseReliableLink());
+
+  FaultConfig dup;
+  dup.duplicate_probability = 0.1;
+  EXPECT_TRUE(dup.UseReliableLink());
+
+  FaultConfig jitter;
+  jitter.max_jitter = 0.5;
+  EXPECT_TRUE(jitter.UseReliableLink());
+
+  FaultConfig outage;
+  outage.outages.push_back({1.0, 2.0});
+  EXPECT_TRUE(outage.UseReliableLink());
+
+  FaultConfig forced;
+  forced.force_reliable = true;
+  EXPECT_FALSE(forced.HasFaults());
+  EXPECT_TRUE(forced.UseReliableLink());
+}
+
+TEST(FaultConfigTest, TotalOutageTimeClipsToElapsedTime) {
+  FaultConfig config;
+  config.outages.push_back({1.0, 2.0});
+  config.outages.push_back({5.0, 8.0});
+  EXPECT_DOUBLE_EQ(config.TotalOutageTimeBefore(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(config.TotalOutageTimeBefore(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(config.TotalOutageTimeBefore(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(config.TotalOutageTimeBefore(6.0), 2.0);
+  EXPECT_DOUBLE_EQ(config.TotalOutageTimeBefore(100.0), 4.0);
+}
+
+TEST(LinkFaultModelTest, SameSeedAndSaltReplaysTheSameDecisions) {
+  FaultConfig config;
+  config.drop_probability = 0.3;
+  config.duplicate_probability = 0.2;
+  config.max_jitter = 0.01;
+  config.seed = 77;
+  LinkFaultModel a(config, /*stream_salt=*/1);
+  LinkFaultModel b(config, /*stream_salt=*/1);
+  for (int i = 0; i < 200; ++i) {
+    const auto da = a.Decide(0.0);
+    const auto db = b.Decide(0.0);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_DOUBLE_EQ(da.jitter, db.jitter);
+    EXPECT_DOUBLE_EQ(da.duplicate_jitter, db.duplicate_jitter);
+  }
+}
+
+TEST(LinkFaultModelTest, DifferentSaltsForkIndependentStreams) {
+  FaultConfig config;
+  config.drop_probability = 0.5;
+  config.seed = 77;
+  LinkFaultModel a(config, /*stream_salt=*/1);
+  LinkFaultModel b(config, /*stream_salt=*/2);
+  int differ = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Decide(0.0).drop != b.Decide(0.0).drop) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(LinkFaultModelTest, DropRateTracksTheConfiguredProbability) {
+  FaultConfig config;
+  config.drop_probability = 0.3;
+  LinkFaultModel model(config, /*stream_salt=*/9);
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.Decide(0.0).drop) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.3, 0.02);
+}
+
+TEST(LinkFaultModelTest, JitterStaysWithinTheBound) {
+  FaultConfig config;
+  config.max_jitter = 0.25;
+  LinkFaultModel model(config, /*stream_salt=*/3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto decision = model.Decide(0.0);
+    EXPECT_GE(decision.jitter, 0.0);
+    EXPECT_LT(decision.jitter, 0.25);
+  }
+}
+
+TEST(LinkFaultModelTest, OutagesDropWithoutConsumingRandomness) {
+  FaultConfig with_outage;
+  with_outage.drop_probability = 0.4;
+  with_outage.outages.push_back({0.0, 1.0});
+  FaultConfig without_outage = with_outage;
+  without_outage.outages.clear();
+
+  LinkFaultModel a(with_outage, /*stream_salt=*/5);
+  LinkFaultModel b(without_outage, /*stream_salt=*/5);
+
+  // Frames sent during the outage are deterministically lost...
+  for (int i = 0; i < 10; ++i) {
+    const auto decision = a.Decide(0.5);
+    EXPECT_TRUE(decision.drop);
+    EXPECT_TRUE(decision.in_outage);
+  }
+  // ...and afterwards the random stream is exactly where it would have
+  // been with no outage at all.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Decide(2.0).drop, b.Decide(2.0).drop);
+  }
+}
+
+TEST(LinkFaultModelTest, InOutageMatchesTheWindows) {
+  FaultConfig config;
+  config.outages.push_back({1.0, 2.0});
+  config.outages.push_back({3.0, 4.0});
+  LinkFaultModel model(config, 0);
+  EXPECT_FALSE(model.InOutage(0.5));
+  EXPECT_TRUE(model.InOutage(1.0));
+  EXPECT_TRUE(model.InOutage(1.999));
+  EXPECT_FALSE(model.InOutage(2.0));
+  EXPECT_TRUE(model.InOutage(3.5));
+  EXPECT_FALSE(model.InOutage(4.5));
+}
+
+Message TestMessage(const std::string& key) {
+  Message m;
+  m.type = MessageType::kReadRequest;
+  m.key = key;
+  return m;
+}
+
+TEST(FaultyChannelTest, OutageLosesFramesAndMetersThem) {
+  EventQueue queue;
+  FaultConfig config;
+  config.outages.push_back({0.0, 10.0});
+  FaultyChannel channel(&queue, 0.001, "A->B", config, /*stream_salt=*/1);
+  int delivered = 0;
+  channel.set_receiver([&](const Message&) { ++delivered; });
+  channel.Send(TestMessage("x"));
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(channel.outage_drops(), 1);
+  EXPECT_EQ(channel.injected_drops(), 0);
+  // The paper counter still counts the send attempt once.
+  EXPECT_EQ(channel.messages_sent(), 1);
+}
+
+TEST(FaultyChannelTest, DuplicationDeliversTwiceAndMetersOnce) {
+  EventQueue queue;
+  FaultConfig config;
+  config.duplicate_probability = 1.0;
+  FaultyChannel channel(&queue, 0.001, "A->B", config, /*stream_salt=*/1);
+  int delivered = 0;
+  channel.set_receiver([&](const Message&) { ++delivered; });
+  channel.Send(TestMessage("x"));
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(channel.injected_duplicates(), 1);
+  EXPECT_EQ(channel.messages_sent(), 1);
+}
+
+TEST(FaultyChannelTest, JitterDelaysDeliveryBeyondBaseLatency) {
+  EventQueue queue;
+  FaultConfig config;
+  config.max_jitter = 0.5;
+  FaultyChannel channel(&queue, 1.0, "A->B", config, /*stream_salt=*/4);
+  std::vector<double> arrival_times;
+  channel.set_receiver(
+      [&](const Message&) { arrival_times.push_back(queue.now()); });
+  for (int i = 0; i < 50; ++i) channel.Send(TestMessage("x"));
+  queue.RunUntilQuiescent();
+  ASSERT_EQ(arrival_times.size(), 50u);
+  for (const double t : arrival_times) {
+    EXPECT_GE(t, 1.0);
+    EXPECT_LT(t, 1.5);
+  }
+  EXPECT_GT(channel.jittered_deliveries(), 0);
+}
+
+TEST(FaultyChannelDeathTest, RejectsCertainLoss) {
+  EventQueue queue;
+  FaultConfig config;
+  config.drop_probability = 1.0;
+  EXPECT_DEATH(FaultyChannel(&queue, 0.001, "A->B", config, 1),
+               "drop_probability");
+}
+
+TEST(FaultyChannelDeathTest, RejectsEmptyOutageWindows) {
+  EventQueue queue;
+  FaultConfig config;
+  config.outages.push_back({2.0, 2.0});
+  EXPECT_DEATH(FaultyChannel(&queue, 0.001, "A->B", config, 1), "outage");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,222 @@
+#include "mobrep/net/reliable_link.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/strings.h"
+#include "mobrep/net/channel.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/fault_model.h"
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+namespace {
+
+Message TestMessage(const std::string& key) {
+  Message m;
+  m.type = MessageType::kReadRequest;
+  m.key = key;
+  return m;
+}
+
+// One endpoint pair: A sends application frames to B over `a_to_b`; B's
+// acks travel back over `b_to_a`. Mirrors the protocol harness wiring.
+struct Rig {
+  EventQueue queue;
+  std::unique_ptr<Channel> a_to_b;
+  FaultyChannel* a_to_b_faulty = nullptr;  // aliases a_to_b when faulty
+  std::unique_ptr<Channel> b_to_a;
+  std::unique_ptr<ReliableLink> a;  // endpoint at node A
+  std::unique_ptr<ReliableLink> b;  // endpoint at node B
+  std::vector<std::string> received_at_b;
+
+  explicit Rig(const ArqConfig& arq,
+               const FaultConfig& a_to_b_faults = FaultConfig{}) {
+    if (a_to_b_faults.HasFaults()) {
+      auto faulty = std::make_unique<FaultyChannel>(&queue, 0.001, "A->B",
+                                                    a_to_b_faults, 1);
+      a_to_b_faulty = faulty.get();
+      a_to_b = std::move(faulty);
+    } else {
+      a_to_b = std::make_unique<Channel>(&queue, 0.001, "A->B");
+    }
+    b_to_a = std::make_unique<Channel>(&queue, 0.001, "B->A");
+    a = std::make_unique<ReliableLink>(&queue, a_to_b.get(), arq, "A-arq");
+    b = std::make_unique<ReliableLink>(&queue, b_to_a.get(), arq, "B-arq");
+    a_to_b->set_receiver([this](const Message& f) { b->HandleFrame(f); });
+    b_to_a->set_receiver([this](const Message& f) { a->HandleFrame(f); });
+    b->set_receiver(
+        [this](const Message& m) { received_at_b.push_back(m.key); });
+    a->set_receiver([](const Message&) {});
+  }
+};
+
+ArqConfig FastArq() {
+  ArqConfig arq;
+  arq.initial_rto = 0.01;
+  return arq;
+}
+
+TEST(ReliableLinkTest, DeliversInOrderOnAPerfectLink) {
+  Rig rig(FastArq());
+  rig.a->Send(TestMessage("m1"));
+  rig.a->Send(TestMessage("m2"));
+  rig.a->Send(TestMessage("m3"));
+  EXPECT_TRUE(rig.a->busy());
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b,
+            (std::vector<std::string>{"m1", "m2", "m3"}));
+  EXPECT_FALSE(rig.a->busy());
+  EXPECT_EQ(rig.a->retransmissions(), 0);
+  EXPECT_EQ(rig.b->duplicates_dropped(), 0);
+  EXPECT_EQ(rig.b->delivered(), 3);
+  // Metering discipline: app frames on the paper counter, acks outside it.
+  EXPECT_EQ(rig.a_to_b->messages_sent(), 3);
+  EXPECT_EQ(rig.a_to_b->retransmissions_sent(), 0);
+  EXPECT_EQ(rig.b_to_a->messages_sent(), 0);
+  EXPECT_EQ(rig.b_to_a->acks_sent(), 3);
+}
+
+TEST(ReliableLinkTest, RecoversFromHeavyLoss) {
+  FaultConfig faults;
+  faults.drop_probability = 0.5;
+  faults.seed = 4242;
+  Rig rig(FastArq(), faults);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = StrFormat("m%d", i);
+    expected.push_back(key);
+    rig.a->Send(TestMessage(key));
+  }
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, expected);
+  EXPECT_GT(rig.a->retransmissions(), 0);
+  EXPECT_GT(rig.a->timeouts(), 0);
+  EXPECT_FALSE(rig.a->busy());
+  // Every retransmission was metered as overhead, never as a new message.
+  EXPECT_EQ(rig.a_to_b->messages_sent(), 30);
+  EXPECT_EQ(rig.a_to_b->retransmissions_sent(), rig.a->retransmissions());
+}
+
+TEST(ReliableLinkTest, DropsDuplicatesButReAcksThem) {
+  FaultConfig faults;
+  faults.duplicate_probability = 1.0;
+  Rig rig(FastArq(), faults);
+  rig.a->Send(TestMessage("m1"));
+  rig.a->Send(TestMessage("m2"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_EQ(rig.b->delivered(), 2);
+  EXPECT_EQ(rig.b->duplicates_dropped(), 2);
+  // Each copy is acked: the first ack could have been the one that got
+  // lost, and only a fresh ack silences the sender's timer.
+  EXPECT_EQ(rig.b_to_a->acks_sent(), 4);
+}
+
+TEST(ReliableLinkTest, ReordersJitteredFramesBackIntoSequence) {
+  FaultConfig faults;
+  faults.max_jitter = 0.05;  // 50x the base latency: heavy reordering
+  faults.seed = 99;
+  Rig rig(FastArq(), faults);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = StrFormat("m%d", i);
+    expected.push_back(key);
+    rig.a->Send(TestMessage(key));
+  }
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, expected);
+  EXPECT_EQ(rig.b->buffered_frames(), 0u);
+}
+
+TEST(ReliableLinkTest, SurvivesAnOutageAndSignalsIdle) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 0.25});
+  Rig rig(FastArq(), faults);
+  int idle_signals = 0;
+  rig.a->set_on_idle([&] { ++idle_signals; });
+  rig.a->Send(TestMessage("m1"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m1"}));
+  EXPECT_GT(rig.a->retransmissions(), 0);
+  EXPECT_GT(rig.a_to_b_faulty->outage_drops(), 0);
+  EXPECT_EQ(idle_signals, 1);
+  // Delivery happened only after the link came back.
+  EXPECT_GT(rig.queue.now(), 0.25);
+}
+
+TEST(ReliableLinkTest, BacksOffExponentiallyDuringAnOutage) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 10.0});
+  ArqConfig arq = FastArq();
+  arq.max_retries = 6;
+  Rig rig(arq, faults);
+  Message abandoned;
+  rig.a->set_on_give_up([&](const Message& m) { abandoned = m; });
+  rig.a->Send(TestMessage("m1"));
+  rig.queue.RunUntilQuiescent();
+  // 0.01 + 0.02 + 0.04 + ... : six retries then one final timeout, all
+  // inside the outage.
+  EXPECT_EQ(rig.a->retransmissions(), 6);
+  EXPECT_EQ(rig.a->timeouts(), 7);
+  EXPECT_EQ(rig.a->give_ups(), 1);
+  EXPECT_EQ(abandoned.key, "m1");
+  EXPECT_FALSE(rig.a->busy());
+  EXPECT_TRUE(rig.received_at_b.empty());
+}
+
+TEST(ReliableLinkTest, RtoIsCappedAtMaxRto) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 100.0});
+  ArqConfig arq;
+  arq.initial_rto = 1.0;
+  arq.backoff = 2.0;
+  arq.max_rto = 4.0;
+  arq.max_retries = 5;
+  Rig rig(arq, faults);
+  rig.a->set_on_give_up([](const Message&) {});
+  rig.a->Send(TestMessage("m1"));
+  rig.queue.RunUntilQuiescent();
+  // Timers at 1, +2, +4, +4, +4, +4 — the cap holds the probe interval at
+  // max_rto instead of doubling forever.
+  EXPECT_DOUBLE_EQ(rig.queue.now(), 19.0);
+}
+
+TEST(ReliableLinkTest, IdleFiresOnlyWhenEverythingIsAcked) {
+  Rig rig(FastArq());
+  std::vector<size_t> outstanding_at_idle;
+  rig.a->set_on_idle(
+      [&] { outstanding_at_idle.push_back(rig.a->outstanding_frames()); });
+  for (int i = 0; i < 5; ++i) rig.a->Send(TestMessage("m"));
+  rig.queue.RunUntilQuiescent();
+  // One signal, with nothing outstanding — not one per ack.
+  EXPECT_EQ(outstanding_at_idle, (std::vector<size_t>{0}));
+}
+
+TEST(ReliableLinkDeathTest, GiveUpWithoutHookAborts) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 100.0});
+  ArqConfig arq = FastArq();
+  arq.max_retries = 1;
+  Rig rig(arq, faults);
+  rig.a->Send(TestMessage("m1"));
+  EXPECT_DEATH(rig.queue.RunUntilQuiescent(), "retry cap");
+}
+
+TEST(ReliableLinkDeathTest, RejectsUnderivedRto) {
+  EventQueue queue;
+  Channel channel(&queue, 0.001, "A->B");
+  ArqConfig arq;  // initial_rto left at 0
+  EXPECT_DEATH(ReliableLink(&queue, &channel, arq, "A-arq"), "initial_rto");
+}
+
+TEST(ReliableLinkDeathTest, RejectsUnnumberedFrames) {
+  Rig rig(FastArq());
+  EXPECT_DEATH(rig.b->HandleFrame(TestMessage("raw")), "unnumbered");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,227 @@
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/store/write_ahead_log.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+// Chaos suite: every policy family under seeded link faults — loss up to
+// the configured ceiling, duplication, latency jitter (bounded
+// reordering) and at least two scheduled doze windows per schedule. The
+// invariants checked are the protocol's safety net: replica-placement
+// agreement between the nodes, exactly-one-in-charge at quiescent points,
+// fresh serialized reads, and no committed write ever lost.
+
+constexpr const char* kAllPolicies[] = {"st1", "st2", "sw1",
+                                        "sw:5", "t1:3", "t2:3"};
+
+// Deterministically derives one fault schedule from (seed, span): drop and
+// duplication probabilities, jitter bound, and >= 2 doze windows placed
+// inside [0, span).
+FaultConfig MakeChaosFaults(uint64_t seed, double span) {
+  FaultConfig fault;
+  fault.seed = seed;
+  Rng rng(seed ^ 0xc4a05ULL);
+  fault.drop_probability = rng.Uniform(0.05, 0.3);
+  fault.duplicate_probability = rng.Uniform(0.0, 0.2);
+  fault.max_jitter = rng.Uniform(0.0, 0.004);  // up to 4x the link latency
+  const int windows = 2 + static_cast<int>(rng.UniformInt(2));
+  for (const auto& [start, end] :
+       GenerateOutageWindows(windows, span, span / (4.0 * windows), &rng)) {
+    fault.outages.push_back({start, end});
+  }
+  return fault;
+}
+
+ProtocolConfig MakeChaosConfig(const std::string& spec_text, uint64_t seed,
+                               double span) {
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec(spec_text);
+  config.fault = MakeChaosFaults(seed, span);
+  return config;
+}
+
+class ChaosTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+// Serialized chaos: the paper's one-request-at-a-time discipline, but over
+// a faulty link. Step() itself asserts freshness (every read observes the
+// latest committed version) and the in-charge invariants; here we add the
+// replica-placement agreement between the two nodes at every quiescent
+// point, and a final read proving no committed write was lost.
+TEST_P(ChaosTest, SerializedRequestsSurviveLinkFaults) {
+  const auto [spec_text, seed] = GetParam();
+  // Exchanges stall across doze windows, so the clock easily covers the
+  // outage span; windows early in the run are hit mid-exchange.
+  ProtocolSimulation sim(MakeChaosConfig(spec_text, seed, /*span=*/0.4));
+  Rng rng(seed * 7919 + 13);
+  const double theta = 0.2 + 0.6 * rng.NextDouble();
+  const Schedule schedule = GenerateBernoulliSchedule(80, theta, &rng);
+  for (const Op op : schedule) {
+    sim.Step(op);
+    ASSERT_TRUE(sim.ExactlyOneInCharge());
+    ASSERT_EQ(sim.client().in_charge(), sim.mc_has_copy());
+    ASSERT_EQ(sim.server().mc_has_copy(), sim.mc_has_copy());
+  }
+  // Zero lost committed writes: a final read must observe the latest
+  // version (Step aborts internally on a stale or divergent value).
+  sim.Step(Op::kRead);
+
+  const ProtocolMetrics m = sim.metrics();
+  EXPECT_EQ(m.requests, 81);
+  // The ARQ actually worked for a living on this link, and never
+  // retransmitted spuriously (the RTO is derived above the worst-case RTT,
+  // so only a lost frame or a lost ack can fire a timer).
+  EXPECT_GT(m.acks, 0);
+  if (m.retransmissions > 0) {
+    EXPECT_GT(m.injected_drops + m.outage_drops, 0);
+  }
+}
+
+// Overlapping chaos: timed Poisson arrivals land mid-outage,
+// mid-retransmission and mid-hand-over. RunTimed checks read monotonicity,
+// version/value binding, and final convergence internally.
+TEST_P(ChaosTest, OverlappingRequestsSurviveLinkFaults) {
+  const auto [spec_text, seed] = GetParam();
+  Rng rng(seed * 104729 + 7);
+  // ~150 arrivals at total rate 500 => span ~0.3; outages inside it.
+  const TimedSchedule schedule =
+      GenerateTimedPoisson(150, /*lambda_r=*/300.0, /*lambda_w=*/200.0, &rng);
+  const double span = schedule.back().time;
+  ProtocolSimulation sim(MakeChaosConfig(spec_text, seed, 0.8 * span));
+  const Status result = sim.RunTimed(schedule);
+  ASSERT_TRUE(result.ok()) << spec_text << " seed " << seed << ": "
+                           << result.ToString();
+  EXPECT_EQ(sim.metrics().requests, 150);
+}
+
+// 6 policies x 5 seeds x 2 drivers = 60 seeded fault schedules.
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ChaosTest,
+    ::testing::Combine(::testing::ValuesIn(kAllPolicies),
+                       ::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3}, uint64_t{4},
+                                         uint64_t{5})));
+
+// The bit-for-bit acceptance gate: running the full ARQ stack on a
+// fault-free link must reproduce the seed's paper-cost numbers exactly —
+// the reliable-delivery machinery is invisible to both cost models.
+TEST(ChaosTest, ForceReliableReproducesSeedCountersExactly) {
+  for (const char* spec_text : kAllPolicies) {
+    Rng rng(2024);
+    const Schedule schedule = GenerateBernoulliSchedule(200, 0.5, &rng);
+
+    ProtocolConfig plain_config;
+    plain_config.spec = *ParsePolicySpec(spec_text);
+    ProtocolConfig arq_config = plain_config;
+    arq_config.fault.force_reliable = true;
+
+    ProtocolSimulation plain(plain_config);
+    ProtocolSimulation arq(arq_config);
+    EXPECT_EQ(plain.mc_link(), nullptr);
+    ASSERT_NE(arq.mc_link(), nullptr);
+    plain.Run(schedule);
+    arq.Run(schedule);
+
+    const ProtocolMetrics p = plain.metrics();
+    const ProtocolMetrics a = arq.metrics();
+    EXPECT_EQ(a.data_messages, p.data_messages) << spec_text;
+    EXPECT_EQ(a.control_messages, p.control_messages) << spec_text;
+    EXPECT_EQ(a.connections, p.connections) << spec_text;
+    EXPECT_EQ(a.propagations, p.propagations) << spec_text;
+    EXPECT_EQ(a.invalidations, p.invalidations) << spec_text;
+    EXPECT_EQ(a.allocations, p.allocations) << spec_text;
+    EXPECT_EQ(a.deallocations, p.deallocations) << spec_text;
+    EXPECT_EQ(a.local_reads, p.local_reads) << spec_text;
+    EXPECT_EQ(a.remote_reads, p.remote_reads) << spec_text;
+    EXPECT_DOUBLE_EQ(a.mean_read_latency, p.mean_read_latency) << spec_text;
+    EXPECT_DOUBLE_EQ(a.max_read_latency, p.max_read_latency) << spec_text;
+    // On a perfect link the ARQ never has to do anything.
+    EXPECT_EQ(a.retransmissions, 0) << spec_text;
+    EXPECT_EQ(a.duplicates_dropped, 0) << spec_text;
+    EXPECT_EQ(a.injected_drops, 0) << spec_text;
+    // Exactly one ack per application frame, metered outside the models.
+    EXPECT_EQ(a.acks, p.data_messages + p.control_messages) << spec_text;
+    EXPECT_EQ(p.acks, 0) << spec_text;
+  }
+}
+
+// Doze collapse: writes committed while the SC->MC link is down are
+// absorbed into one pending propagate; the flush on reconnect ships only
+// the latest version (last-writer-wins), and the replica still converges.
+TEST(ChaosTest, DozeWindowCollapsesPropagationsToLastWriterWins) {
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec("st2");  // the MC always holds the copy
+  config.fault.outages.push_back({0.05, 0.6});
+  ProtocolSimulation sim(config);
+
+  TimedSchedule schedule;
+  for (int i = 0; i < 10; ++i) {
+    schedule.push_back({0.1 + 0.04 * i, Op::kWrite});  // all inside the doze
+  }
+  schedule.push_back({0.8, Op::kRead});
+  schedule.push_back({0.9, Op::kRead});
+  const Status result = sim.RunTimed(schedule);
+  ASSERT_TRUE(result.ok()) << result.ToString();
+
+  const ProtocolMetrics m = sim.metrics();
+  // The first write's propagate went out (and got stuck retransmitting);
+  // the other nine were collapsed behind it and flushed as one frame.
+  EXPECT_EQ(m.collapsed_propagations, 9);
+  EXPECT_EQ(m.propagations, 2);
+  EXPECT_GT(m.outage_drops, 0);
+  EXPECT_GT(m.retransmissions, 0);
+  EXPECT_DOUBLE_EQ(m.outage_time, 0.55);
+  // The replica converged to the final version despite the skipped ones.
+  EXPECT_EQ(sim.store().Get("x")->value, "v10");
+  EXPECT_TRUE(sim.mc_has_copy());
+}
+
+// A write-ahead log kept through a chaotic run still recovers the exact
+// authoritative store — wireless faults never corrupt durability.
+TEST(ChaosTest, WalRecoversTheStoreAfterAChaoticRun) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/chaos_wal.log";
+  std::remove(path.c_str());
+  ProtocolConfig config = MakeChaosConfig("sw:5", /*seed=*/11, /*span=*/0.3);
+  config.wal_path = path;
+  config.wal_options.sync_each_append = true;
+  {
+    ProtocolSimulation sim(config);
+    Rng rng(11);
+    sim.Run(GenerateBernoulliSchedule(120, 0.5, &rng));
+    const auto recovered = WriteAheadLog::Recover(path);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered->Get("x")->value, sim.store().Get("x")->value);
+    EXPECT_EQ(recovered->Get("x")->version, sim.store().Get("x")->version);
+  }
+  std::remove(path.c_str());
+}
+
+// Outage bookkeeping: metrics report the scheduled outage time that
+// actually elapsed, not the configured total.
+TEST(ChaosTest, OutageTimeMetricClipsToElapsedSimTime) {
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec("st1");
+  config.fault.outages.push_back({0.0, 0.01});
+  config.fault.outages.push_back({1e6, 2e6});  // never reached
+  ProtocolSimulation sim(config);
+  sim.Run(*ScheduleFromString("rr"));
+  const ProtocolMetrics m = sim.metrics();
+  EXPECT_GT(m.outage_time, 0.0);
+  EXPECT_LT(m.outage_time, 1.0);
+  EXPECT_GT(m.retransmissions, 0);  // the first read fought the outage
+}
+
+}  // namespace
+}  // namespace mobrep

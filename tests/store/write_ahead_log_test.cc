@@ -105,6 +105,86 @@ TEST(WriteAheadLogTest, GarbageTailIsIgnored) {
   RemoveFile(path);
 }
 
+// Appends `bytes` raw to the file at `path`, mimicking a crash that left a
+// partial or corrupt record behind.
+void AppendRaw(const std::string& path, const std::string& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+// Writes one good record, appends `tail` raw, and expects recovery to keep
+// exactly the good record.
+void ExpectTailIgnored(const char* name, const std::string& tail) {
+  const std::string path = TempPath(name);
+  RemoveFile(path);
+  {
+    auto log = WriteAheadLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->AppendPut("k", {"good", 1}).ok());
+  }
+  AppendRaw(path, tail);
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->size(), 1u);
+  EXPECT_EQ(recovered->Get("k")->value, "good");
+  EXPECT_EQ(recovered->Get("k")->version, 1u);
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, TornRecordVariantsAreAllIgnored) {
+  // A crash can tear an append at any byte; recovery must stop cleanly at
+  // every prefix of a record.
+  ExpectTailIgnored("wal_torn_keyword.log", "PU");
+  ExpectTailIgnored("wal_torn_after_keyword.log", "PUT ");
+  ExpectTailIgnored("wal_torn_mid_version.log", "PUT 2");
+  ExpectTailIgnored("wal_torn_mid_keylen.log", "PUT 2 1");
+  ExpectTailIgnored("wal_torn_mid_key.log", "PUT 2 8:half");
+  ExpectTailIgnored("wal_torn_mid_vallen.log", "PUT 2 1:k 4");
+  ExpectTailIgnored("wal_torn_mid_value.log", "PUT 2 1:k 4:tw");
+  ExpectTailIgnored("wal_torn_missing_newline.log", "PUT 2 1:k 2:vv");
+}
+
+TEST(WriteAheadLogTest, CorruptTrailingRecordVariantsAreAllIgnored) {
+  // Structurally broken (not merely truncated) tails are also cut off.
+  ExpectTailIgnored("wal_corrupt_keyword.log", "POT 2 1:k 1:v\n");
+  ExpectTailIgnored("wal_corrupt_no_version.log", "PUT x 1:k 1:v\n");
+  ExpectTailIgnored("wal_corrupt_bad_delim.log", "PUT 2 1;k 1:v\n");
+  ExpectTailIgnored("wal_corrupt_binary.log",
+                    std::string("\x00\xff\x17PUT", 6));
+}
+
+TEST(WriteAheadLogTest, SyncKnobIsAppendCompatible) {
+  const std::string path = TempPath("wal_synced.log");
+  RemoveFile(path);
+  {
+    WalOptions options;
+    options.sync_each_append = true;
+    auto log = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->AppendPut("k", {"v1", 1}).ok());
+    ASSERT_TRUE(log->AppendPut("k", {"v2", 2}).ok());
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->Get("k")->value, "v2");
+  EXPECT_EQ(recovered->Get("k")->version, 2u);
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, SyncOnClosedLogIsFailedPrecondition) {
+  const std::string path = TempPath("wal_sync_closed.log");
+  RemoveFile(path);
+  auto log = WriteAheadLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->Sync().ok());
+  log->Close();
+  EXPECT_EQ(log->Sync().code(), StatusCode::kFailedPrecondition);
+  RemoveFile(path);
+}
+
 TEST(WriteAheadLogTest, VersionRegressionIsDataLoss) {
   const std::string path = TempPath("wal_skew.log");
   RemoveFile(path);
