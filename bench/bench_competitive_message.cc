@@ -5,12 +5,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "mobrep/analysis/competitive.h"
 #include "mobrep/common/random.h"
 #include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/runner/parallel_sweep.h"
 #include "mobrep/trace/adversary.h"
 #include "mobrep/trace/generators.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -21,15 +25,23 @@ void PrintSw1() {
          "Adversary: 1000 alternating requests w r w r ... The offline "
          "optimum keeps the copy and pays one data message per write.");
   Table table({"omega", "claimed 1+2w", "alternating ratio", "tight"});
-  for (const double omega : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
-    const CostModel model = CostModel::Message(omega);
-    auto sw1 = SlidingWindowPolicy::NewSw1();
-    const Schedule s = AlternatingSchedule(1000);
-    const double ratio = MeasureRatio(sw1.get(), s, model).ratio;
-    const double factor = 1.0 + 2.0 * omega;
-    table.AddRow({Fmt(omega, 2), Fmt(factor, 2), Fmt(ratio),
-                  ratio > 0.97 * factor && ratio <= factor + 1e-9 ? "yes"
-                                                                  : "NO"});
+  // Per-omega cells are fully deterministic and independent.
+  const std::vector<double> omegas = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<double> ratios = ParallelSweep<double>(
+      static_cast<int64_t>(omegas.size()), [&](int64_t i, Rng&) {
+        const CostModel model = CostModel::Message(omegas[i]);
+        auto sw1 = SlidingWindowPolicy::NewSw1();
+        const Schedule s = AlternatingSchedule(1000);
+        return MeasureRatio(sw1.get(), s, model).ratio;
+      });
+  for (size_t i = 0; i < omegas.size(); ++i) {
+    const double factor = 1.0 + 2.0 * omegas[i];
+    table.AddRow({Fmt(omegas[i], 2), Fmt(factor, 2), Fmt(ratios[i]),
+                  ratios[i] > 0.97 * factor && ratios[i] <= factor + 1e-9
+                      ? "yes"
+                      : "NO"});
+    GlobalReport().Add("sw1/omega=" + Fmt(omegas[i], 2) + "/alt_ratio",
+                       ratios[i]);
   }
   table.Print();
 }
@@ -38,18 +50,32 @@ void PrintSwk() {
   Banner("Theorem 12 — SWk is tightly ((1+omega/2)(k+1)+omega)-competitive",
          "Adversary: 250 cycles of (k writes, k reads).");
   Table table({"k", "omega", "claimed factor", "block ratio", "tight"});
+  struct Cell {
+    int k;
+    double omega;
+  };
+  std::vector<Cell> cells;
   for (const int k : {3, 5, 9}) {
-    for (const double omega : {0.1, 0.5, 1.0}) {
-      const CostModel model = CostModel::Message(omega);
-      SlidingWindowPolicy policy(k);
-      const Schedule s = BlockSchedule(250, k, k);
-      const double ratio = MeasureRatio(&policy, s, model).ratio;
-      const double factor = (1.0 + omega / 2.0) * (k + 1.0) + omega;
-      table.AddRow({FmtInt(k), Fmt(omega, 2), Fmt(factor, 3), Fmt(ratio),
-                    ratio > 0.97 * factor && ratio <= factor + 1e-9
-                        ? "yes"
-                        : "NO"});
-    }
+    for (const double omega : {0.1, 0.5, 1.0}) cells.push_back({k, omega});
+  }
+  const std::vector<double> ratios = ParallelSweep<double>(
+      static_cast<int64_t>(cells.size()), [&](int64_t i, Rng&) {
+        const CostModel model = CostModel::Message(cells[i].omega);
+        SlidingWindowPolicy policy(cells[i].k);
+        const Schedule s = BlockSchedule(250, cells[i].k, cells[i].k);
+        return MeasureRatio(&policy, s, model).ratio;
+      });
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int k = cells[i].k;
+    const double omega = cells[i].omega;
+    const double factor = (1.0 + omega / 2.0) * (k + 1.0) + omega;
+    table.AddRow({FmtInt(k), Fmt(omega, 2), Fmt(factor, 3), Fmt(ratios[i]),
+                  ratios[i] > 0.97 * factor && ratios[i] <= factor + 1e-9
+                      ? "yes"
+                      : "NO"});
+    GlobalReport().Add("swk/k=" + FmtInt(k) + "/omega=" + Fmt(omega, 2) +
+                           "/block_ratio",
+                       ratios[i]);
   }
   table.Print();
 }
@@ -78,23 +104,47 @@ void PrintRandomBound() {
   const CostModel model = CostModel::Message(omega);
   Table table({"algorithm", "claimed factor", "worst random ratio",
                "within bound"});
+  // One Rng threads through every (k, trial) pair, so generation stays
+  // serial to preserve today's draws; the MeasureRatio evaluations — the
+  // expensive part — sweep in parallel over the flattened grid.
+  const std::vector<int> ks = {1, 3, 5, 9};
+  constexpr int kTrials = 60;
   Rng rng(77);
-  for (const int k : {1, 3, 5, 9}) {
-    std::unique_ptr<AllocationPolicy> policy =
-        k == 1 ? std::unique_ptr<AllocationPolicy>(
-                     SlidingWindowPolicy::NewSw1())
-               : std::make_unique<SlidingWindowPolicy>(k);
+  std::vector<Schedule> schedules;
+  schedules.reserve(ks.size() * kTrials);
+  for (size_t i = 0; i < ks.size(); ++i) {
+    for (int trial = 0; trial < kTrials; ++trial) {
+      schedules.push_back(
+          GenerateBernoulliSchedule(500, rng.NextDouble(), &rng));
+    }
+  }
+  auto make_policy = [](int k) {
+    return k == 1 ? std::unique_ptr<AllocationPolicy>(
+                        SlidingWindowPolicy::NewSw1())
+                  : std::make_unique<SlidingWindowPolicy>(k);
+  };
+  const std::vector<double> all_ratios = ParallelSweep<double>(
+      static_cast<int64_t>(schedules.size()), [&](int64_t cell, Rng&) {
+        const int k = ks[static_cast<size_t>(cell) / kTrials];
+        auto policy = make_policy(k);
+        const double b = 2.0 * (k + 2.0) * (1.0 + omega);
+        return MeasureRatio(policy.get(),
+                            schedules[static_cast<size_t>(cell)], model, b)
+            .ratio;
+      });
+  for (size_t i = 0; i < ks.size(); ++i) {
+    const int k = ks[i];
+    auto policy = make_policy(k);
     const double factor = k == 1 ? 1.0 + 2.0 * omega
                                  : (1.0 + omega / 2.0) * (k + 1.0) + omega;
-    const double b = 2.0 * (k + 2.0) * (1.0 + omega);
     double worst = 0.0;
-    for (int trial = 0; trial < 60; ++trial) {
-      const Schedule s =
-          GenerateBernoulliSchedule(500, rng.NextDouble(), &rng);
-      worst = std::max(worst, MeasureRatio(policy.get(), s, model, b).ratio);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      worst = std::max(worst, all_ratios[i * kTrials + trial]);
     }
     table.AddRow({policy->name(), Fmt(factor, 2), Fmt(worst),
                   worst <= factor + 1e-9 ? "yes" : "NO"});
+    GlobalReport().Add("random_bound/" + policy->name() + "/worst_ratio",
+                       worst);
   }
   table.Print();
 }
@@ -103,9 +153,11 @@ void PrintRandomBound() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("competitive_message");
   mobrep::bench::PrintSw1();
   mobrep::bench::PrintSwk();
   mobrep::bench::PrintComparison();
   mobrep::bench::PrintRandomBound();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

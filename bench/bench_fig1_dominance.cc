@@ -6,9 +6,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "mobrep/analysis/dominance.h"
 #include "mobrep/analysis/expected_cost.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -25,14 +28,17 @@ void PrintRegionMap() {
   for (int o = 20; o >= 0; --o) {
     const double omega = o / 20.0;
     std::printf("      %4.2f  ", omega);
+    std::string row;
     for (int t = 0; t <= 20; ++t) {
       const double theta = t / 20.0;
       const MessageDominant which = ClassifyByTheorem6(theta, omega);
       const char cell = which == MessageDominant::kSt1   ? '1'
                         : which == MessageDominant::kSt2 ? '2'
                                                          : '*';
+      row += cell;
       std::printf("%c", cell);
     }
+    GlobalReport().AddText("region_map/omega=" + Fmt(omega, 2), row);
     std::printf("\n");
   }
 }
@@ -47,6 +53,8 @@ void PrintBoundaries() {
     const double lower = DominanceLowerBoundary(omega);
     const double upper = DominanceUpperBoundary(omega);
     table.AddRow({Fmt(omega, 2), Fmt(lower), Fmt(upper), Fmt(upper - lower)});
+    GlobalReport().Add("boundaries/omega=" + Fmt(omega, 2) + "/band_width",
+                       upper - lower);
   }
   table.Print();
 }
@@ -62,14 +70,21 @@ void VerifyWithSimulation() {
   } points[] = {{0.95, 0.50}, {0.60, 0.50}, {0.20, 0.50}, {0.85, 0.10},
                 {0.40, 0.10}, {0.05, 0.10}, {0.90, 0.90}, {0.55, 0.30},
                 {0.30, 0.80}};
-  for (const auto& p : points) {
-    const CostModel model = CostModel::Message(p.omega);
-    const double st1 = SimulatedExpectedCost(*ParsePolicySpec("st1"), model,
-                                             p.theta);
-    const double st2 = SimulatedExpectedCost(*ParsePolicySpec("st2"), model,
-                                             p.theta);
-    const double sw1 = SimulatedExpectedCost(*ParsePolicySpec("sw1"), model,
-                                             p.theta);
+  const int64_t n_points = static_cast<int64_t>(std::size(points));
+  // 27 independent 200k-request simulations (9 points x 3 policies), each
+  // at the historical fixed seed — sweep them all at once.
+  const char* specs[] = {"st1", "st2", "sw1"};
+  const std::vector<double> sims = ParallelSweep<double>(
+      n_points * 3, [&](int64_t cell, Rng&) {
+        const auto& p = points[cell / 3];
+        return SimulatedExpectedCost(*ParsePolicySpec(specs[cell % 3]),
+                                     CostModel::Message(p.omega), p.theta);
+      });
+  for (int64_t i = 0; i < n_points; ++i) {
+    const auto& p = points[i];
+    const double st1 = sims[i * 3 + 0];
+    const double st2 = sims[i * 3 + 1];
+    const double sw1 = sims[i * 3 + 2];
     const MessageDominant predicted = ClassifyByTheorem6(p.theta, p.omega);
     const double best = std::min({st1, st2, sw1});
     const double winner = predicted == MessageDominant::kSt1   ? st1
@@ -79,6 +94,11 @@ void VerifyWithSimulation() {
     table.AddRow({Fmt(p.theta, 2), Fmt(p.omega, 2),
                   MessageDominantName(predicted), Fmt(st1), Fmt(st2),
                   Fmt(sw1), agrees ? "yes" : "NO"});
+    const std::string at = "spot_check/theta=" + Fmt(p.theta, 2) +
+                           "/omega=" + Fmt(p.omega, 2) + "/";
+    GlobalReport().Add(at + "st1", st1);
+    GlobalReport().Add(at + "st2", st2);
+    GlobalReport().Add(at + "sw1", sw1);
   }
   table.Print();
 }
@@ -87,8 +107,10 @@ void VerifyWithSimulation() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("fig1_dominance");
   mobrep::bench::PrintRegionMap();
   mobrep::bench::PrintBoundaries();
   mobrep::bench::VerifyWithSimulation();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

@@ -11,6 +11,8 @@
 
 #include "mobrep/common/random.h"
 #include "mobrep/protocol/multi_client_sim.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -51,8 +53,13 @@ void PrintPopulationSplit() {
                   sim.HasCopy(c) ? "yes" : "no",
                   FmtInt(sim.client_data_messages(c)),
                   FmtInt(sim.client_control_messages(c))});
+    GlobalReport().Add(
+        "population_split/client" + FmtInt(c) + "/data_msgs",
+        static_cast<double>(sim.client_data_messages(c)));
   }
   table.Print();
+  GlobalReport().Add("population_split/write_fanout",
+                     static_cast<double>(sim.SubscriberCount()));
   std::printf(
       "\nCurrent write fan-out: %d data messages per write (the avid "
       "readers hold copies;\nthe casual terminals read on demand). The "
@@ -68,36 +75,52 @@ void PrintFanoutVsReadShare() {
          "half of a 3000-event run.");
   Table table({"reads per write (per client)", "mean subscribers (of 8)",
                "data msgs/event"});
-  for (const double reads_per_write : {0.05, 0.25, 0.5, 1.0, 2.0, 8.0}) {
-    MultiClientSimulation::Options options;
-    options.num_clients = 8;
-    options.spec = *ParsePolicySpec("sw:9");
-    MultiClientSimulation sim(options);
-    Rng rng(1000 + static_cast<uint64_t>(reads_per_write * 100));
-    const double read_weight = reads_per_write * 8.0;
-    const double total = 1.0 + read_weight;
-    const int events = 3000;
-    // The clients' windows are correlated through the shared write stream
-    // (a write burst deallocates everyone at once), so a final snapshot is
-    // noisy; average the subscriber count over the second half of the run.
-    int64_t subscriber_sum = 0;
-    int64_t samples = 0;
-    for (int event = 0; event < events; ++event) {
-      if (rng.NextDouble() * total < 1.0) {
-        sim.StepWrite();
-      } else {
-        sim.StepRead(static_cast<int>(rng.UniformInt(8)));
-      }
-      if (event >= events / 2) {
-        subscriber_sum += sim.SubscriberCount();
-        ++samples;
-      }
-    }
-    table.AddRow({Fmt(reads_per_write, 2),
-                  Fmt(static_cast<double>(subscriber_sum) /
-                          static_cast<double>(samples),
-                      2),
-                  Fmt(static_cast<double>(sim.data_messages()) / events, 3)});
+  // Each column seeds its own Rng from its reads_per_write value, so the
+  // columns are independent cells — sweep them in parallel.
+  const std::vector<double> rpws = {0.05, 0.25, 0.5, 1.0, 2.0, 8.0};
+  struct CellResult {
+    double mean_subscribers;
+    double data_msgs_per_event;
+  };
+  const std::vector<CellResult> results = ParallelSweep<CellResult>(
+      static_cast<int64_t>(rpws.size()), [&](int64_t i, Rng&) {
+        const double reads_per_write = rpws[i];
+        MultiClientSimulation::Options options;
+        options.num_clients = 8;
+        options.spec = *ParsePolicySpec("sw:9");
+        MultiClientSimulation sim(options);
+        Rng rng(1000 + static_cast<uint64_t>(reads_per_write * 100));
+        const double read_weight = reads_per_write * 8.0;
+        const double total = 1.0 + read_weight;
+        const int events = 3000;
+        // The clients' windows are correlated through the shared write
+        // stream (a write burst deallocates everyone at once), so a final
+        // snapshot is noisy; average the subscriber count over the second
+        // half of the run.
+        int64_t subscriber_sum = 0;
+        int64_t samples = 0;
+        for (int event = 0; event < events; ++event) {
+          if (rng.NextDouble() * total < 1.0) {
+            sim.StepWrite();
+          } else {
+            sim.StepRead(static_cast<int>(rng.UniformInt(8)));
+          }
+          if (event >= events / 2) {
+            subscriber_sum += sim.SubscriberCount();
+            ++samples;
+          }
+        }
+        return CellResult{static_cast<double>(subscriber_sum) /
+                              static_cast<double>(samples),
+                          static_cast<double>(sim.data_messages()) / events};
+      });
+  for (size_t i = 0; i < rpws.size(); ++i) {
+    table.AddRow({Fmt(rpws[i], 2), Fmt(results[i].mean_subscribers, 2),
+                  Fmt(results[i].data_msgs_per_event, 3)});
+    const std::string at = "fanout/reads_per_write=" + Fmt(rpws[i], 2) + "/";
+    GlobalReport().Add(at + "mean_subscribers", results[i].mean_subscribers);
+    GlobalReport().Add(at + "data_msgs_per_event",
+                       results[i].data_msgs_per_event);
   }
   table.Print();
   std::printf(
@@ -111,7 +134,9 @@ void PrintFanoutVsReadShare() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("multi_client_fanout");
   mobrep::bench::PrintPopulationSplit();
   mobrep::bench::PrintFanoutVsReadShare();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

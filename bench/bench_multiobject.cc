@@ -3,11 +3,14 @@
 // window-based dynamic allocator for unknown frequencies.
 
 #include <cstdio>
+#include <vector>
 
 #include "mobrep/common/random.h"
 #include "mobrep/multi/dynamic_allocator.h"
 #include "mobrep/multi/joint_workload.h"
 #include "mobrep/multi/static_allocator.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -38,9 +41,10 @@ void PrintTwoObjectExample() {
                      {"ST1,2 (1,2)", 0b10},
                      {"ST2   (2,2)", 0b11}};
   for (const auto& a : allocations) {
-    table.AddRow({a.name, MaskName(a.mask, 2),
-                  Fmt(ExpectedCostForAllocation(w, a.mask, model)),
+    const double cost = ExpectedCostForAllocation(w, a.mask, model);
+    table.AddRow({a.name, MaskName(a.mask, 2), Fmt(cost),
                   a.mask == best.mask ? "<== optimal" : ""});
+    GlobalReport().Add("two_object/mask=" + MaskName(a.mask, 2), cost);
   }
   table.Print();
 }
@@ -52,8 +56,16 @@ void PrintScalingStudy() {
          "allocations. Connection model.");
   Table table({"objects", "classes", "optimal", "local search",
                "replicate none", "replicate all"});
+  const CostModel model = CostModel::Connection();
+  // One Rng threads through both workload generation and the local
+  // search, so those stay serial in the historical order (the exhaustive
+  // optimum consumes no randomness, so hoisting it out changes nothing).
+  // The 2^m-mask exhaustive scans then sweep in parallel.
+  const std::vector<int> ms = {4, 8, 12, 16};
+  std::vector<MultiObjectWorkload> workloads;
+  std::vector<StaticAllocation> locals;
   Rng rng(5150);
-  for (const int m : {4, 8, 12, 16}) {
+  for (const int m : ms) {
     MultiObjectWorkload w;
     w.num_objects = m;
     for (int c = 0; c < 3 * m; ++c) {
@@ -69,15 +81,26 @@ void PrintScalingStudy() {
       cls.rate = rng.Uniform(0.1, 10.0);
       w.classes.push_back(cls);
     }
-    const CostModel model = CostModel::Connection();
-    const StaticAllocation best = OptimalStaticAllocation(w, model);
-    const StaticAllocation local = LocalSearchAllocation(w, model, &rng, 8);
+    locals.push_back(LocalSearchAllocation(w, model, &rng, 8));
+    workloads.push_back(std::move(w));
+  }
+  const std::vector<StaticAllocation> bests = ParallelSweep<StaticAllocation>(
+      static_cast<int64_t>(ms.size()), [&](int64_t i, Rng&) {
+        return OptimalStaticAllocation(workloads[static_cast<size_t>(i)],
+                                       model);
+      });
+  for (size_t i = 0; i < ms.size(); ++i) {
+    const int m = ms[i];
+    const MultiObjectWorkload& w = workloads[i];
     table.AddRow(
-        {FmtInt(m), FmtInt(3 * m), Fmt(best.expected_cost),
-         Fmt(local.expected_cost),
+        {FmtInt(m), FmtInt(3 * m), Fmt(bests[i].expected_cost),
+         Fmt(locals[i].expected_cost),
          Fmt(ExpectedCostForAllocation(w, 0, model)),
          Fmt(ExpectedCostForAllocation(
              w, (AllocationMask{1} << m) - 1, model))});
+    const std::string at = "scaling/m=" + FmtInt(m) + "/";
+    GlobalReport().Add(at + "optimal", bests[i].expected_cost);
+    GlobalReport().Add(at + "local_search", locals[i].expected_cost);
   }
   table.Print();
 }
@@ -109,11 +132,13 @@ void PrintDynamicAdaptation() {
     for (const int c : SampleClassSequence(w, phase_ops, &rng)) {
       phase_cost += allocator.OnOperation(w.classes[static_cast<size_t>(c)]);
     }
+    const double mean_cost = phase_cost / static_cast<double>(phase_ops);
     table.AddRow({FmtInt(phase), phase % 2 == 0 ? "read-heavy" : "write-heavy",
                   MaskName(optimum.mask, 2),
                   MaskName(allocator.allocation_mask(), 2),
-                  Fmt(phase_cost / static_cast<double>(phase_ops)),
-                  Fmt(optimum.expected_cost)});
+                  Fmt(mean_cost), Fmt(optimum.expected_cost)});
+    GlobalReport().Add("dynamic/phase" + FmtInt(phase) + "/mean_cost",
+                       mean_cost);
   }
   table.Print();
   std::printf(
@@ -127,8 +152,10 @@ void PrintDynamicAdaptation() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("multiobject");
   mobrep::bench::PrintTwoObjectExample();
   mobrep::bench::PrintScalingStudy();
   mobrep::bench::PrintDynamicAdaptation();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

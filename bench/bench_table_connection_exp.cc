@@ -6,9 +6,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "mobrep/analysis/expected_cost.h"
 #include "mobrep/analysis/markov_oracle.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -31,6 +34,10 @@ void PrintExpectedCosts() {
     const char* best = theta < 0.5 ? "ST2" : theta > 0.5 ? "ST1" : "tie";
     table.AddRow({Fmt(theta, 2), Fmt(st1), Fmt(st2), Fmt(sw1), Fmt(sw3),
                   Fmt(sw9), Fmt(sw15), Fmt(best_static), best});
+    const std::string at = "exp/theta=" + Fmt(theta, 2) + "/";
+    GlobalReport().Add(at + "st1", st1);
+    GlobalReport().Add(at + "st2", st2);
+    GlobalReport().Add(at + "sw9", sw9);
   }
   table.Print();
   std::printf(
@@ -45,28 +52,59 @@ void PrintValidation() {
   Table table({"algo", "theta", "formula", "oracle", "simulated",
                "|sim-formula|"});
   const CostModel model = CostModel::Connection();
+
+  // Flatten the grid so the 200k-request simulations can run as one
+  // parallel sweep. Every cell simulates with its own policy + meter at
+  // the same fixed seed the serial loop used, so the sweep is
+  // embarrassingly parallel and bit-identical at any thread count.
+  struct Cell {
+    PolicySpec spec;
+    double theta;
+  };
+  std::vector<Cell> cells;
+  for (const int k : {1, 3, 9, 15}) {
+    for (const double theta : {0.2, 0.5, 0.8}) {
+      cells.push_back({{PolicyKind::kSw, k}, theta});
+    }
+  }
+  for (const double theta : {0.2, 0.5, 0.8}) {
+    cells.push_back({{PolicyKind::kSt1, 0}, theta});
+    cells.push_back({{PolicyKind::kSt2, 0}, theta});
+  }
+  const std::vector<double> sims = ParallelSweep<double>(
+      static_cast<int64_t>(cells.size()), [&](int64_t i, Rng&) {
+        return SimulatedExpectedCost(cells[i].spec, model, cells[i].theta);
+      });
+
+  size_t idx = 0;
   for (const int k : {1, 3, 9, 15}) {
     for (const double theta : {0.2, 0.5, 0.8}) {
       const double formula = ExpSwkConnection(k, theta);
       const double oracle =
           MarkovExpectedCostSlidingWindow(k, false, theta, model);
-      const double sim = SimulatedExpectedCost({PolicyKind::kSw, k}, model,
-                                               theta);
+      const double sim = sims[idx++];
       table.AddRow({"SW" + FmtInt(k), Fmt(theta, 2), Fmt(formula),
                     Fmt(oracle), Fmt(sim), Fmt(std::abs(sim - formula))});
+      const std::string at =
+          "validation/sw" + FmtInt(k) + "/theta=" + Fmt(theta, 2) + "/";
+      GlobalReport().Add(at + "formula", formula);
+      GlobalReport().Add(at + "oracle", oracle);
+      GlobalReport().Add(at + "simulated", sim);
     }
   }
   for (const double theta : {0.2, 0.5, 0.8}) {
     const double f1 = ExpSt1Connection(theta);
-    const double s1 =
-        SimulatedExpectedCost({PolicyKind::kSt1, 0}, model, theta);
+    const double s1 = sims[idx++];
     table.AddRow({"ST1", Fmt(theta, 2), Fmt(f1), "-", Fmt(s1),
                   Fmt(std::abs(s1 - f1))});
+    GlobalReport().Add("validation/st1/theta=" + Fmt(theta, 2) + "/simulated",
+                       s1);
     const double f2 = ExpSt2Connection(theta);
-    const double s2 =
-        SimulatedExpectedCost({PolicyKind::kSt2, 0}, model, theta);
+    const double s2 = sims[idx++];
     table.AddRow({"ST2", Fmt(theta, 2), Fmt(f2), "-", Fmt(s2),
                   Fmt(std::abs(s2 - f2))});
+    GlobalReport().Add("validation/st2/theta=" + Fmt(theta, 2) + "/simulated",
+                       s2);
   }
   table.Print();
 }
@@ -75,7 +113,9 @@ void PrintValidation() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("table_connection_exp");
   mobrep::bench::PrintExpectedCosts();
   mobrep::bench::PrintValidation();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

@@ -4,8 +4,11 @@
 // Corollaries 3-4 (the omega = 0.4 watershed between SW1 and large-k SWk).
 
 #include <cstdio>
+#include <vector>
 
 #include "mobrep/analysis/average_cost.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -20,7 +23,11 @@ void PrintAvgVsK() {
   const double omegas[] = {0.1, 0.3, 0.4, 0.5, 0.8, 1.0};
   auto row = [&](const std::string& name, auto fn) {
     std::vector<std::string> cells = {name};
-    for (const double omega : omegas) cells.push_back(Fmt(fn(omega)));
+    for (const double omega : omegas) {
+      const double avg = fn(omega);
+      cells.push_back(Fmt(avg));
+      GlobalReport().Add("avg_vs_k/" + name + "/omega=" + Fmt(omega, 2), avg);
+    }
     table.AddRow(cells);
   };
   row("ST1", [](double w) { return AvgSt1Message(w); });
@@ -54,9 +61,18 @@ void PrintSimulatedColumn() {
       {"SW9", {PolicyKind::kSw, 9}, AvgSwkMessage(9, 0.5)},
       {"SW39", {PolicyKind::kSw, 39}, AvgSwkMessage(39, 0.5)},
   };
-  for (const auto& r : rows) {
-    table.AddRow(
-        {r.name, Fmt(r.avg), Fmt(SimulatedAverageCost(r.spec, model))});
+  // Five independent 1M-request runs, each at the historical fixed seed —
+  // a textbook parallel sweep, bit-identical at any thread count.
+  const int64_t n_rows = static_cast<int64_t>(std::size(rows));
+  const std::vector<double> sims = ParallelSweep<double>(
+      n_rows, [&](int64_t i, Rng&) {
+        return SimulatedAverageCost(rows[i].spec, model);
+      });
+  for (int64_t i = 0; i < n_rows; ++i) {
+    table.AddRow({rows[i].name, Fmt(rows[i].avg), Fmt(sims[i])});
+    GlobalReport().Add(std::string("validation/") + rows[i].name +
+                           "/simulated",
+                       sims[i]);
   }
   table.Print();
 }
@@ -72,6 +88,8 @@ void PrintWatershed() {
     const double swk = AvgSwkMessage(999, omega);
     table.AddRow({Fmt(omega, 2), Fmt(sw1), Fmt(swk), Fmt(swk - sw1),
                   swk < sw1 ? "yes" : "no"});
+    GlobalReport().Add("watershed/omega=" + Fmt(omega, 2) + "/sw999_minus_sw1",
+                       swk - sw1);
   }
   table.Print();
 }
@@ -80,8 +98,10 @@ void PrintWatershed() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("table_message_avg");
   mobrep::bench::PrintAvgVsK();
   mobrep::bench::PrintSimulatedColumn();
   mobrep::bench::PrintWatershed();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

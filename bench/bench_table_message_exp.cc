@@ -6,10 +6,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "mobrep/analysis/dominance.h"
 #include "mobrep/analysis/expected_cost.h"
 #include "mobrep/analysis/markov_oracle.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "support/bench_json.h"
 #include "support/table.h"
 
 namespace mobrep::bench {
@@ -28,6 +31,10 @@ void PrintExpectedCosts(double omega) {
                   Fmt(ExpSwkMessage(3, theta, omega)),
                   Fmt(ExpSwkMessage(9, theta, omega)),
                   MessageDominantName(ClassifyByTheorem6(theta, omega))});
+    const std::string at =
+        "exp/omega=" + Fmt(omega, 2) + "/theta=" + Fmt(theta, 2) + "/";
+    GlobalReport().Add(at + "sw1", ExpSw1Message(theta, omega));
+    GlobalReport().Add(at + "sw9", ExpSwkMessage(9, theta, omega));
   }
   table.Print();
 }
@@ -36,23 +43,60 @@ void PrintValidation() {
   Banner("Validation: eq. 11 vs Markov oracle vs simulation",
          "Simulation: 200k requests per cell.");
   Table table({"algo", "theta", "omega", "formula", "oracle", "simulated"});
+
+  // Flattened (omega, policy, theta) grid; each cell's 200k-request run
+  // uses its own meter at the historical fixed seed, so the parallel
+  // sweep reproduces the serial numbers exactly.
+  struct Cell {
+    PolicySpec spec;
+    double theta;
+    double omega;
+  };
+  std::vector<Cell> cells;
+  for (const double omega : {0.25, 0.75}) {
+    for (const int k : {3, 9}) {
+      for (const double theta : {0.3, 0.6}) {
+        cells.push_back({{PolicyKind::kSw, k}, theta, omega});
+      }
+    }
+    for (const double theta : {0.3, 0.6}) {
+      cells.push_back({{PolicyKind::kSw1, 1}, theta, omega});
+    }
+  }
+  const std::vector<double> sims = ParallelSweep<double>(
+      static_cast<int64_t>(cells.size()), [&](int64_t i, Rng&) {
+        return SimulatedExpectedCost(cells[i].spec,
+                                     CostModel::Message(cells[i].omega),
+                                     cells[i].theta);
+      });
+
+  size_t idx = 0;
   for (const double omega : {0.25, 0.75}) {
     const CostModel model = CostModel::Message(omega);
     for (const int k : {3, 9}) {
       for (const double theta : {0.3, 0.6}) {
+        const double sim = sims[idx++];
         table.AddRow(
             {"SW" + FmtInt(k), Fmt(theta, 2), Fmt(omega, 2),
              Fmt(ExpSwkMessage(k, theta, omega)),
              Fmt(MarkovExpectedCostSlidingWindow(k, false, theta, model)),
-             Fmt(SimulatedExpectedCost({PolicyKind::kSw, k}, model, theta))});
+             Fmt(sim)});
+        GlobalReport().Add("validation/sw" + FmtInt(k) + "/omega=" +
+                               Fmt(omega, 2) + "/theta=" + Fmt(theta, 2) +
+                               "/simulated",
+                           sim);
       }
     }
     for (const double theta : {0.3, 0.6}) {
+      const double sim = sims[idx++];
       table.AddRow(
           {"SW1", Fmt(theta, 2), Fmt(omega, 2),
            Fmt(ExpSw1Message(theta, omega)),
            Fmt(MarkovExpectedCostSlidingWindow(1, true, theta, model)),
-           Fmt(SimulatedExpectedCost({PolicyKind::kSw1, 1}, model, theta))});
+           Fmt(sim)});
+      GlobalReport().Add("validation/sw1opt/omega=" + Fmt(omega, 2) +
+                             "/theta=" + Fmt(theta, 2) + "/simulated",
+                         sim);
     }
   }
   table.Print();
@@ -63,22 +107,32 @@ void PrintTheorem9() {
          "Worst margin min over a 101x11 (theta, omega) grid of "
          "EXP_SWk - min(EXP_SW1, EXP_ST1, EXP_ST2); must be >= 0.");
   Table table({"k", "min margin over grid", "holds"});
-  for (const int k : {3, 5, 9, 15, 21}) {
-    double min_margin = 1e9;
-    for (int o = 0; o <= 10; ++o) {
-      const double omega = o / 10.0;
-      for (int t = 0; t <= 100; ++t) {
-        const double theta = t / 100.0;
-        const double margin =
-            ExpSwkMessage(k, theta, omega) -
-            std::min({ExpSw1Message(theta, omega),
-                      ExpSt1Message(theta, omega),
-                      ExpSt2Message(theta, omega)});
-        min_margin = std::min(min_margin, margin);
-      }
-    }
-    table.AddRow({FmtInt(k), Fmt(min_margin, 6),
-                  min_margin >= -1e-9 ? "yes" : "NO"});
+  // The per-k grid scans are independent closed-form evaluations — sweep
+  // them in parallel, then print serially in k order.
+  const std::vector<int> ks = {3, 5, 9, 15, 21};
+  const std::vector<double> margins = ParallelSweep<double>(
+      static_cast<int64_t>(ks.size()), [&](int64_t i, Rng&) {
+        const int k = ks[i];
+        double min_margin = 1e9;
+        for (int o = 0; o <= 10; ++o) {
+          const double omega = o / 10.0;
+          for (int t = 0; t <= 100; ++t) {
+            const double theta = t / 100.0;
+            const double margin =
+                ExpSwkMessage(k, theta, omega) -
+                std::min({ExpSw1Message(theta, omega),
+                          ExpSt1Message(theta, omega),
+                          ExpSt2Message(theta, omega)});
+            min_margin = std::min(min_margin, margin);
+          }
+        }
+        return min_margin;
+      });
+  for (size_t i = 0; i < ks.size(); ++i) {
+    table.AddRow({FmtInt(ks[i]), Fmt(margins[i], 6),
+                  margins[i] >= -1e-9 ? "yes" : "NO"});
+    GlobalReport().Add("theorem9/sw" + FmtInt(ks[i]) + "/min_margin",
+                       margins[i]);
   }
   table.Print();
   std::printf(
@@ -91,9 +145,11 @@ void PrintTheorem9() {
 }  // namespace mobrep::bench
 
 int main() {
+  mobrep::bench::InitGlobalReport("table_message_exp");
   mobrep::bench::PrintExpectedCosts(0.25);
   mobrep::bench::PrintExpectedCosts(0.75);
   mobrep::bench::PrintValidation();
   mobrep::bench::PrintTheorem9();
+  mobrep::bench::FinishGlobalReport();
   return 0;
 }

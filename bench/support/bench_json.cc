@@ -1,0 +1,160 @@
+#include "bench_json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/runner/thread_pool.h"
+
+namespace mobrep::bench {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips every finite double exactly; infinities and NaNs are
+// not valid JSON numbers, so encode them as strings.
+std::string JsonNumber(double value) {
+  if (value != value) return "\"nan\"";
+  if (value > 1.7976931348623157e308) return "\"inf\"";
+  if (value < -1.7976931348623157e308) return "\"-inf\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+struct GlobalState {
+  std::unique_ptr<BenchReport> report;
+  std::chrono::steady_clock::time_point start;
+};
+
+GlobalState& State() {
+  static GlobalState state;
+  return state;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::Add(const std::string& key, double value) {
+  cells_.push_back({key, JsonNumber(value)});
+}
+
+void BenchReport::AddText(const std::string& key, const std::string& value) {
+  cells_.push_back({key, "\"" + JsonEscape(value) + "\""});
+}
+
+std::string BenchReport::CellsJson() const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << JsonEscape(name_) << "\",\n"
+      << "  \"schema_version\": 1,\n  \"cells\": [";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    {\"key\": \""
+        << JsonEscape(cells_[i].key) << "\", \"value\": " << cells_[i].value
+        << "}";
+  }
+  if (!cells_.empty()) out << "\n  ";
+  out << "]";
+  return out.str();
+}
+
+std::string BenchReport::FullJson(double wall_ms, int threads,
+                                  double serial_wall_ms) const {
+  std::ostringstream out;
+  out << CellsJson() << ",\n  \"timing\": {\n    \"wall_ms\": "
+      << JsonNumber(wall_ms) << ",\n    \"threads\": " << threads;
+  if (serial_wall_ms > 0.0) {
+    out << ",\n    \"serial_wall_ms\": " << JsonNumber(serial_wall_ms)
+        << ",\n    \"speedup_vs_serial\": "
+        << JsonNumber(serial_wall_ms / wall_ms);
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+void BenchReport::WriteFiles(double wall_ms, int threads) const {
+  const std::string sidecar = "BENCH_" + name_ + ".serial_ms";
+  double serial_wall_ms = 0.0;
+  if (threads == 1) {
+    std::ofstream out(sidecar);
+    if (out) out << JsonNumber(wall_ms) << "\n";
+    serial_wall_ms = wall_ms;
+  } else {
+    std::ifstream in(sidecar);
+    if (in) in >> serial_wall_ms;
+  }
+  std::ofstream out("BENCH_" + name_ + ".json");
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write BENCH_%s.json\n",
+                 name_.c_str());
+    return;
+  }
+  out << FullJson(wall_ms, threads, serial_wall_ms);
+}
+
+void InitGlobalReport(const std::string& name) {
+  GlobalState& state = State();
+  MOBREP_CHECK_MSG(state.report == nullptr,
+                   "InitGlobalReport called twice in one process");
+  state.report = std::make_unique<BenchReport>(name);
+  state.start = std::chrono::steady_clock::now();
+}
+
+BenchReport& GlobalReport() {
+  GlobalState& state = State();
+  MOBREP_CHECK_MSG(state.report != nullptr,
+                   "GlobalReport() before InitGlobalReport()");
+  return *state.report;
+}
+
+void FinishGlobalReport() {
+  GlobalState& state = State();
+  MOBREP_CHECK_MSG(state.report != nullptr,
+                   "FinishGlobalReport() before InitGlobalReport()");
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - state.start)
+          .count();
+  const int threads = DefaultSweepThreads();
+  state.report->WriteFiles(wall_ms, threads);
+  // The footer carries timing, so it goes to stderr: stdout must stay
+  // byte-identical across thread counts.
+  std::fprintf(stderr,
+               "[bench_json] wrote BENCH_%s.json (%zu cells, %.1f ms, %d %s)\n",
+               state.report->name().c_str(), state.report->cell_count(),
+               wall_ms, threads, threads == 1 ? "thread" : "threads");
+}
+
+}  // namespace mobrep::bench

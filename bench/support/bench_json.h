@@ -1,0 +1,76 @@
+#ifndef MOBREP_BENCH_SUPPORT_BENCH_JSON_H_
+#define MOBREP_BENCH_SUPPORT_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace mobrep::bench {
+
+// Machine-readable companion to the text tables: each bench binary
+// registers its per-cell values while printing and, at exit, writes
+// BENCH_<name>.json into the working directory so the perf trajectory has
+// data points a script can diff and plot.
+//
+// Schema (schema_version 1):
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "cells": [ {"key": "<grid key>", "value": <number or string>}, ... ],
+//     "timing": { "wall_ms": <float>, "threads": <int>,
+//                 "serial_wall_ms": <float, optional>,
+//                 "speedup_vs_serial": <float, optional> }
+//   }
+//
+// Determinism contract: everything OUTSIDE "timing" is a pure function of
+// the bench's seeds — cells are serialized in insertion order with %.17g
+// (round-trip exact for doubles), so two runs of the same binary at
+// different thread counts produce byte-identical documents after deleting
+// the "timing" member (CI diffs exactly that; see
+// tests/bench/bench_json_test.cc for the in-process check).
+//
+// The serial baseline for "speedup_vs_serial": a run with 1 thread also
+// writes BENCH_<name>.serial_ms (a bare number); any later run in the same
+// directory picks it up and reports its speedup against it.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  // Registers one grid cell. Keys are free-form path-style strings, e.g.
+  // "validation/sw9/theta=0.50/simulated".
+  void Add(const std::string& key, double value);
+  void AddText(const std::string& key, const std::string& value);
+
+  // Deterministic part of the document (no timing).
+  std::string CellsJson() const;
+
+  // Full document. serial_wall_ms <= 0 means "no baseline known".
+  std::string FullJson(double wall_ms, int threads,
+                       double serial_wall_ms) const;
+
+  // Writes BENCH_<name>.json (+ the serial sidecar when threads == 1).
+  void WriteFiles(double wall_ms, int threads) const;
+
+  const std::string& name() const { return name_; }
+  size_t cell_count() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::string key;
+    std::string value;  // pre-serialized JSON scalar
+  };
+
+  std::string name_;
+  std::vector<Cell> cells_;
+};
+
+// Process-global report so deeply nested Print helpers can add cells
+// without plumbing a pointer through every signature. InitGlobalReport
+// also starts the wall clock; FinishGlobalReport stops it, resolves the
+// thread count (DefaultSweepThreads) and writes the files.
+void InitGlobalReport(const std::string& name);
+BenchReport& GlobalReport();
+void FinishGlobalReport();
+
+}  // namespace mobrep::bench
+
+#endif  // MOBREP_BENCH_SUPPORT_BENCH_JSON_H_

@@ -61,18 +61,37 @@ void Banner(const std::string& title, const std::string& note) {
   std::printf("\n");
 }
 
+namespace {
+
+// Chunk size for the batched simulation path. The chunked
+// CostMeter::OnRequestBatch contract keeps the running total's rounding
+// chain identical to per-request accumulation, so the chunk size does not
+// affect the result — only how often we bounce between generator and meter.
+constexpr int64_t kSimChunk = 8192;
+
+}  // namespace
+
 double SimulatedExpectedCost(const PolicySpec& spec, const CostModel& model,
                              double theta, int64_t n, int64_t warmup,
                              uint64_t seed) {
   auto policy = CreatePolicy(spec);
   CostMeter meter(policy.get(), &model);
-  Rng rng(seed);
-  for (int64_t i = 0; i < warmup; ++i) {
-    meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead);
+  // Same RNG consumption as the historical per-request loop (one Bernoulli
+  // draw per request from Rng(seed)), so results are bit-identical to it.
+  BernoulliRequestStream stream(theta, Rng(seed));
+  Op buf[kSimChunk];
+  for (int64_t done = 0; done < warmup;) {
+    const int64_t m = std::min(kSimChunk, warmup - done);
+    stream.NextBatch(buf, m);
+    meter.OnRequestBatch(buf, m);
+    done += m;
   }
   double total = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    total += meter.OnRequest(rng.Bernoulli(theta) ? Op::kWrite : Op::kRead);
+  for (int64_t done = 0; done < n;) {
+    const int64_t m = std::min(kSimChunk, n - done);
+    stream.NextBatch(buf, m);
+    total = meter.OnRequestBatch(buf, m, total);
+    done += m;
   }
   return total / static_cast<double>(n);
 }
@@ -84,8 +103,14 @@ double SimulatedAverageCost(const PolicySpec& spec, const CostModel& model,
   CostMeter meter(policy.get(), &model);
   PeriodRequestStream stream(period_length, Rng(seed));
   const int64_t n = periods * period_length;
+  Op buf[kSimChunk];
   double total = 0.0;
-  for (int64_t i = 0; i < n; ++i) total += meter.OnRequest(stream.Next());
+  for (int64_t done = 0; done < n;) {
+    const int64_t m = std::min(kSimChunk, n - done);
+    stream.NextBatch(buf, m);
+    total = meter.OnRequestBatch(buf, m, total);
+    done += m;
+  }
   return total / static_cast<double>(n);
 }
 

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "mobrep/common/check.h"
 
@@ -10,6 +14,29 @@ namespace {
 
 // Exact log-factorials for small n avoid lgamma rounding in hot paths.
 constexpr int kLogFactTableSize = 64;
+
+// Memoized rows of log-binomial coefficients: Row(n)[j] = LogBinomial(n, j).
+// Every sweep cell evaluating AlphaK(k, theta) over a theta grid re-uses
+// the same row, so the LogFactorial traffic is paid once per k instead of
+// once per (k, theta) pair. Rows above the cap are not worth 8(n+1) bytes
+// forever; callers fall back to LogBinomial for those.
+constexpr int kMaxCachedBinomialRow = 4096;
+
+const double* LogBinomialRow(int n) {
+  if (n > kMaxCachedBinomialRow) return nullptr;
+  static std::mutex mu;
+  static auto* rows =
+      new std::unordered_map<int, std::unique_ptr<std::vector<double>>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& row = (*rows)[n];
+  if (row == nullptr) {
+    row = std::make_unique<std::vector<double>>(
+        static_cast<size_t>(n) + 1);
+    for (int j = 0; j <= n; ++j) (*row)[static_cast<size_t>(j)] =
+        LogBinomial(n, j);
+  }
+  return row->data();
+}
 
 double SimpsonRule(double a, double fa, double b, double fb, double fm) {
   return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
@@ -71,9 +98,32 @@ double BinomialPmf(int n, int k, double p) {
 
 double BinomialCdf(int n, int k, double p) {
   MOBREP_CHECK(k >= -1 && k <= n);
+  MOBREP_CHECK(p >= 0.0 && p <= 1.0);
   if (k < 0) return 0.0;
+  if (p == 0.0) return 1.0;             // X == 0 surely, and k >= 0
+  if (p == 1.0) return k < n ? 0.0 : 1.0;  // X == n surely
+
+  // One pass over the prefix with the coefficient row memoized and the two
+  // logarithms hoisted out of the loop. Each term evaluates the exact
+  // expression BinomialPmf uses, in the same order, so this function is
+  // bit-identical to the historical sum-of-pmf loop. That matters: the
+  // bench tables print values that sit exactly on decimal rounding
+  // boundaries (e.g. 0.44625 at four digits), and a one-ulp drift — which
+  // a pmf *ratio* recurrence would introduce — flips printed digits.
+  const double* row = LogBinomialRow(n);
+  const double lp = std::log(p);
+  const double l1p = std::log1p(-p);
+  const int mode = static_cast<int>((static_cast<double>(n) + 1.0) * p);
   double sum = 0.0;
-  for (int j = 0; j <= k; ++j) sum += BinomialPmf(n, j, p);
+  for (int j = 0; j <= k; ++j) {
+    const double log_coeff = row != nullptr ? row[j] : LogBinomial(n, j);
+    const double term = std::exp(log_coeff + j * lp + (n - j) * l1p);
+    sum += term;
+    // Past the mode the pmf only shrinks. Once a term is orders of
+    // magnitude below half an ulp of the accumulator, this and every
+    // remaining addition is a no-op, so cutting here cannot change bits.
+    if (j > mode && term < sum * 1e-20) break;
+  }
   return sum < 1.0 ? sum : 1.0;
 }
 

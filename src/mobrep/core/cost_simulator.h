@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "mobrep/core/cost_model.h"
+#include "mobrep/core/packed_schedule.h"
 #include "mobrep/core/policy.h"
 #include "mobrep/core/schedule.h"
 
@@ -40,6 +41,22 @@ class CostMeter {
   // Services one request; returns its cost.
   double OnRequest(Op op);
 
+  // Batched hot path: services ops[0..n) and returns `running_total` with
+  // each request's cost added in request order — so chunked calls
+  //   total = meter.OnRequestBatch(buf, m, total);
+  // reproduce the per-request accumulation
+  //   for (...) total += meter.OnRequest(op);
+  // bit for bit (floating-point addition is not associative; threading the
+  // running total through keeps the summation chain identical).
+  //
+  // For the concrete policy families (ST1/ST2, SWk/SW1, T1m/T2m) the
+  // request loop runs devirtualized: the policy's state is loaded once, the
+  // per-action prices and wire counts are hoisted into lookup tables, the
+  // whole batch is stepped inline, and the state is written back at the
+  // end. Unknown AllocationPolicy subclasses fall back to the generic
+  // virtual per-request path; tests cross-check the two paths bit for bit.
+  double OnRequestBatch(const Op* ops, int64_t n, double running_total = 0.0);
+
   const CostBreakdown& breakdown() const { return breakdown_; }
   double total_cost() const { return breakdown_.total_cost; }
 
@@ -53,6 +70,17 @@ class CostMeter {
 CostBreakdown SimulateSchedule(AllocationPolicy* policy,
                                const Schedule& schedule,
                                const CostModel& model);
+
+// Batched equivalents of SimulateSchedule: same result (bit-identical cost
+// and counters, same final policy state), devirtualized hot loop. The
+// packed overload streams the schedule straight out of its 64-requests-per-
+// word representation.
+CostBreakdown SimulateScheduleBatch(AllocationPolicy* policy,
+                                    const Schedule& schedule,
+                                    const CostModel& model);
+CostBreakdown SimulateScheduleBatch(AllocationPolicy* policy,
+                                    const PackedSchedule& schedule,
+                                    const CostModel& model);
 
 // Convenience: Reset() the policy, run the schedule, return the total cost.
 double PolicyCostOnSchedule(AllocationPolicy* policy, const Schedule& schedule,

@@ -1,0 +1,59 @@
+#include "mobrep/core/packed_schedule.h"
+
+#include <bit>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+PackedSchedule::PackedSchedule(const Schedule& ops) {
+  words_.reserve((ops.size() + 63) / 64);
+  uint64_t word = 0;
+  int filled = 0;
+  for (const Op op : ops) {
+    word |= static_cast<uint64_t>(op) << filled;
+    if (++filled == 64) {
+      words_.push_back(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) words_.push_back(word);
+  size_ = static_cast<int64_t>(ops.size());
+}
+
+Schedule PackedSchedule::ToSchedule() const {
+  Schedule out;
+  out.reserve(static_cast<size_t>(size_));
+  for (int64_t i = 0; i < size_; ++i) out.push_back(Get(i));
+  return out;
+}
+
+void PackedSchedule::Append(Op op) {
+  const int bit = static_cast<int>(size_ & 63);
+  if (bit == 0) words_.push_back(0);
+  words_.back() |= static_cast<uint64_t>(op) << bit;
+  ++size_;
+}
+
+void PackedSchedule::AppendWord(uint64_t bits, int count) {
+  MOBREP_CHECK(count >= 1 && count <= 64);
+  if (count < 64) bits &= (uint64_t{1} << count) - 1;
+  const int bit = static_cast<int>(size_ & 63);
+  if (bit == 0) {
+    words_.push_back(bits);
+  } else {
+    words_.back() |= bits << bit;
+    const int spill = bit + count - 64;
+    if (spill > 0) words_.push_back(bits >> (64 - bit));
+  }
+  size_ += count;
+}
+
+int64_t PackedSchedule::CountWrites() const {
+  int64_t writes = 0;
+  for (const uint64_t word : words_) writes += std::popcount(word);
+  return writes;
+}
+
+}  // namespace mobrep

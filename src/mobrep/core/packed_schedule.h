@@ -1,0 +1,51 @@
+#ifndef MOBREP_CORE_PACKED_SCHEDULE_H_
+#define MOBREP_CORE_PACKED_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// A schedule packed 64 requests per word: bit i of words()[w] is request
+// w*64 + i, set for a write, clear for a read (the Op enum's own encoding).
+// One million requests fit in ~122 KiB instead of ~1 MiB, so sweep workers
+// stay in cache; CountWrites is a popcount loop; and generators can fill
+// whole words without a byte store per request.
+class PackedSchedule {
+ public:
+  PackedSchedule() = default;
+  explicit PackedSchedule(const Schedule& ops);
+
+  Schedule ToSchedule() const;
+
+  // Appends one request.
+  void Append(Op op);
+  // Generator fast path: appends the low `count` bits of `bits` (bit 0
+  // first) as `count` requests. Requires 1 <= count <= 64.
+  void AppendWord(uint64_t bits, int count);
+
+  Op Get(int64_t i) const {
+    const uint64_t word = words_[static_cast<size_t>(i >> 6)];
+    return static_cast<Op>((word >> (i & 63)) & 1u);
+  }
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Number of writes (set bits), by popcount.
+  int64_t CountWrites() const;
+  int64_t CountReads() const { return size_ - CountWrites(); }
+
+  // Backing words; the tail word's unused high bits are zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  int64_t size_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CORE_PACKED_SCHEDULE_H_

@@ -38,6 +38,12 @@ ActionKind T1mPolicy::OnRequest(Op op) {
   return ActionKind::kWritePropagateDeallocate;
 }
 
+void T1mPolicy::SetState(bool has_copy, int consecutive_reads) {
+  MOBREP_CHECK(consecutive_reads >= 0 && consecutive_reads < m_);
+  has_copy_ = has_copy;
+  consecutive_reads_ = consecutive_reads;
+}
+
 std::string T1mPolicy::name() const { return StrFormat("T1-%d", m_); }
 
 std::unique_ptr<AllocationPolicy> T1mPolicy::Clone() const {
@@ -72,6 +78,12 @@ ActionKind T2mPolicy::OnRequest(Op op) {
   // The first read after switching re-allocates via its data response.
   has_copy_ = true;
   return ActionKind::kRemoteReadAllocate;
+}
+
+void T2mPolicy::SetState(bool has_copy, int consecutive_writes) {
+  MOBREP_CHECK(consecutive_writes >= 0 && consecutive_writes < m_);
+  has_copy_ = has_copy;
+  consecutive_writes_ = consecutive_writes;
 }
 
 std::string T2mPolicy::name() const { return StrFormat("T2-%d", m_); }

@@ -26,6 +26,10 @@ class T1mPolicy final : public AllocationPolicy {
   std::unique_ptr<AllocationPolicy> Clone() const override;
 
   int m() const { return m_; }
+  int consecutive_reads() const { return consecutive_reads_; }
+  // Overrides the current state; used by the batched simulation kernels to
+  // write back the state they advanced outside the virtual interface.
+  void SetState(bool has_copy, int consecutive_reads);
 
  private:
   int m_;
@@ -52,6 +56,9 @@ class T2mPolicy final : public AllocationPolicy {
   std::unique_ptr<AllocationPolicy> Clone() const override;
 
   int m() const { return m_; }
+  int consecutive_writes() const { return consecutive_writes_; }
+  // See T1mPolicy::SetState.
+  void SetState(bool has_copy, int consecutive_writes);
 
  private:
   int m_;

@@ -1,5 +1,6 @@
 #include "mobrep/core/window_tracker.h"
 
+#include <bit>
 #include <vector>
 
 #include "mobrep/common/check.h"
@@ -8,41 +9,48 @@ namespace mobrep {
 
 WindowTracker::WindowTracker(int k) {
   MOBREP_CHECK_MSG(k >= 1, "window size must be at least 1");
-  slots_.assign(static_cast<size_t>(k), Op::kRead);
+  size_ = k;
+  words_.assign((static_cast<size_t>(k) + 63) / 64, 0);
 }
 
 void WindowTracker::Fill(Op op) {
-  for (auto& slot : slots_) slot = op;
+  const bool write = op == Op::kWrite;
+  for (auto& word : words_) word = write ? ~uint64_t{0} : 0;
+  if (write) {
+    // Clear the tail word's unused bits so popcount-based recounts stay
+    // exact.
+    const int tail = size_ & 63;
+    if (tail != 0) words_.back() &= (uint64_t{1} << tail) - 1;
+  }
   head_ = 0;
-  write_count_ = op == Op::kWrite ? size() : 0;
-}
-
-Op WindowTracker::Push(Op op) {
-  const Op dropped = slots_[static_cast<size_t>(head_)];
-  slots_[static_cast<size_t>(head_)] = op;
-  head_ = (head_ + 1) % size();
-  if (dropped == Op::kWrite) --write_count_;
-  if (op == Op::kWrite) ++write_count_;
-  return dropped;
+  write_count_ = write ? size_ : 0;
 }
 
 std::vector<Op> WindowTracker::Contents() const {
   std::vector<Op> out;
-  out.reserve(slots_.size());
-  for (int i = 0; i < size(); ++i) {
-    out.push_back(slots_[static_cast<size_t>((head_ + i) % size())]);
+  out.reserve(static_cast<size_t>(size_));
+  int i = head_;
+  for (int n = 0; n < size_; ++n) {
+    const uint64_t word = words_[static_cast<size_t>(i >> 6)];
+    out.push_back(static_cast<Op>((word >> (i & 63)) & 1u));
+    i = i + 1 == size_ ? 0 : i + 1;
   }
   return out;
 }
 
 void WindowTracker::SetContents(const std::vector<Op>& ops) {
-  MOBREP_CHECK_MSG(static_cast<int>(ops.size()) == size(),
+  MOBREP_CHECK_MSG(static_cast<int>(ops.size()) == size_,
                    "window transfer must preserve the window size");
-  slots_ = ops;
+  for (auto& word : words_) word = 0;
+  for (int i = 0; i < size_; ++i) {
+    if (ops[static_cast<size_t>(i)] == Op::kWrite) {
+      words_[static_cast<size_t>(i >> 6)] |= uint64_t{1} << (i & 63);
+    }
+  }
   head_ = 0;
   write_count_ = 0;
-  for (Op op : slots_) {
-    if (op == Op::kWrite) ++write_count_;
+  for (const uint64_t word : words_) {
+    write_count_ += std::popcount(word);
   }
 }
 

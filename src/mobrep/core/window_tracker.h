@@ -1,6 +1,7 @@
 #ifndef MOBREP_CORE_WINDOW_TRACKER_H_
 #define MOBREP_CORE_WINDOW_TRACKER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "mobrep/core/schedule.h"
@@ -9,10 +10,13 @@ namespace mobrep {
 
 // Sliding window of the latest k relevant requests (paper §4).
 //
-// The window is "tracked as a sequence of k bits"; this class keeps the ring
-// of bits plus a running write count so every update and majority query is
-// O(1). The full contents can be exported/imported because the SWk protocol
-// piggybacks the window when ownership moves between the MC and the SC.
+// The window is "tracked as a sequence of k bits" — and that is literally
+// the representation: a ring of k bits packed 64 per word (set = write),
+// plus a running write count so every update and majority query is O(1).
+// Bulk loads (Fill, SetContents) recount via popcount over the packed
+// words. The full contents can be exported/imported because the SWk
+// protocol piggybacks the window when ownership moves between the MC and
+// the SC.
 class WindowTracker {
  public:
   // k >= 1. The paper assumes k is odd so majorities are never tied; this
@@ -25,16 +29,30 @@ class WindowTracker {
 
   // Slides the window: drops the oldest request, appends `op`.
   // Returns the dropped request.
-  Op Push(Op op);
+  Op Push(Op op) {
+    const size_t word = static_cast<size_t>(head_ >> 6);
+    const uint64_t bit = uint64_t{1} << (head_ & 63);
+    const bool dropped_write = (words_[word] & bit) != 0;
+    const bool is_write = op == Op::kWrite;
+    if (is_write) {
+      words_[word] |= bit;
+    } else {
+      words_[word] &= ~bit;
+    }
+    write_count_ += static_cast<int>(is_write) -
+                    static_cast<int>(dropped_write);
+    head_ = head_ + 1 == size_ ? 0 : head_ + 1;
+    return dropped_write ? Op::kWrite : Op::kRead;
+  }
 
-  int size() const { return static_cast<int>(slots_.size()); }
+  int size() const { return size_; }
   int write_count() const { return write_count_; }
-  int read_count() const { return size() - write_count_; }
+  int read_count() const { return size_ - write_count_; }
 
   // Strictly more reads than writes among the last k requests.
   bool MajorityReads() const { return read_count() > write_count_; }
   // Strictly more writes than reads.
-  bool MajorityWrites() const { return write_count_ > read_count(); }
+  bool MajorityWrites() const { return write_count_ > size_ - write_count_; }
 
   // Window contents, oldest first.
   std::vector<Op> Contents() const;
@@ -43,8 +61,9 @@ class WindowTracker {
   void SetContents(const std::vector<Op>& ops);
 
  private:
-  std::vector<Op> slots_;  // ring buffer
-  int head_ = 0;           // index of the oldest entry
+  std::vector<uint64_t> words_;  // ring of size_ bits, set = write
+  int size_ = 0;
+  int head_ = 0;  // bit index of the oldest entry
   int write_count_ = 0;
 };
 

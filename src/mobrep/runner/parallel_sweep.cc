@@ -1,0 +1,52 @@
+#include "mobrep/runner/parallel_sweep.h"
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/math.h"
+
+namespace mobrep {
+
+Rng SweepCellRng(uint64_t seed, uint64_t cell) {
+  // Two SplitMix64 passes over an odd-multiplier combination of seed and
+  // cell. A single xor of the raw values would make cell 0 collide across
+  // seeds (and vice versa); mixing first decorrelates both axes. The Rng
+  // constructor itself runs SplitMix64 once more to fill the xoshiro state.
+  SplitMix64 mixer(seed * 0x9e3779b97f4a7c15ULL ^
+                   cell * 0xd1b54a32d192ed03ULL);
+  const uint64_t a = mixer.Next();
+  const uint64_t b = mixer.Next();
+  return Rng(a ^ (b + cell));
+}
+
+void SweepParallelFor(int64_t n, const SweepOptions& options,
+                      const std::function<void(int64_t)>& body) {
+  MOBREP_CHECK(options.threads >= 0);
+  const int threads = options.threads == 0 ? DefaultSweepThreads()
+                                           : options.threads;
+  if (threads == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool* pool = ThreadPool::Default();
+  if (pool->num_threads() == threads) {
+    pool->ParallelFor(n, body);
+    return;
+  }
+  // A non-default width (tests pin specific counts) gets a private pool.
+  ThreadPool local(threads);
+  local.ParallelFor(n, body);
+}
+
+MonteCarloResult ParallelMonteCarlo(
+    int64_t replicates, const std::function<double(int64_t, Rng&)>& fn,
+    const SweepOptions& options) {
+  MonteCarloResult result;
+  result.replicates = replicates;
+  result.values = ParallelSweep<double>(replicates, fn, options);
+  RunningStat stat;
+  for (const double value : result.values) stat.Add(value);
+  result.mean = stat.mean();
+  result.std_error = stat.std_error();
+  return result;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,74 @@
+#ifndef MOBREP_RUNNER_PARALLEL_SWEEP_H_
+#define MOBREP_RUNNER_PARALLEL_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mobrep/common/random.h"
+#include "mobrep/runner/thread_pool.h"
+
+namespace mobrep {
+
+// Deterministic parallel sweeps over experiment grids.
+//
+// The determinism contract (see DESIGN.md §7): every cell of a sweep forks
+// its own RNG stream as a pure function of (seed, cell_index) via
+// SweepCellRng, writes only to its own output slot, and all cross-cell
+// reduction happens serially in cell order after the parallel region. A
+// sweep therefore produces bit-identical results at every thread count,
+// including 1 — there is no shared RNG to race on and no
+// scheduling-dependent floating-point reduction order.
+
+// The per-cell RNG stream: a pure function of (seed, cell). Implemented by
+// driving the cell index through SplitMix64 twice with distinct odd
+// multipliers so that neighbouring cells and neighbouring seeds land in
+// unrelated xoshiro states.
+Rng SweepCellRng(uint64_t seed, uint64_t cell);
+
+// How a sweep runs. threads == 0 means DefaultSweepThreads(); threads == 1
+// runs inline on the calling thread with no pool at all.
+struct SweepOptions {
+  int threads = 0;
+  uint64_t seed = 42;
+};
+
+// Resolves options.threads and runs body(i) for every i in [0, n) on the
+// shared default pool (or inline). The body must be safe to call
+// concurrently for distinct indices.
+void SweepParallelFor(int64_t n, const SweepOptions& options,
+                      const std::function<void(int64_t)>& body);
+
+// Evaluates fn(cell, rng) for every cell in [0, cells) with
+// rng = SweepCellRng(options.seed, cell), in parallel, and returns the
+// results in cell order. T must be default-constructible.
+template <typename T>
+std::vector<T> ParallelSweep(int64_t cells,
+                             const std::function<T(int64_t, Rng&)>& fn,
+                             const SweepOptions& options = {}) {
+  std::vector<T> results(static_cast<size_t>(cells));
+  SweepParallelFor(cells, options, [&](int64_t cell) {
+    Rng rng = SweepCellRng(options.seed, static_cast<uint64_t>(cell));
+    results[static_cast<size_t>(cell)] = fn(cell, rng);
+  });
+  return results;
+}
+
+// Deterministic Monte-Carlo aggregate: `replicates` independent runs of
+// fn(replicate, rng), each on its own (seed, replicate) stream, reduced
+// serially in replicate order (Welford), so mean and std_error are
+// bit-identical at every thread count.
+struct MonteCarloResult {
+  int64_t replicates = 0;
+  double mean = 0.0;
+  double std_error = 0.0;
+  std::vector<double> values;  // per-replicate results, replicate order
+};
+
+MonteCarloResult ParallelMonteCarlo(
+    int64_t replicates, const std::function<double(int64_t, Rng&)>& fn,
+    const SweepOptions& options = {});
+
+}  // namespace mobrep
+
+#endif  // MOBREP_RUNNER_PARALLEL_SWEEP_H_

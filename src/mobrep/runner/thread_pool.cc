@@ -1,0 +1,140 @@
+#include "mobrep/runner/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+int DefaultSweepThreads() {
+  if (const char* env = std::getenv("MOBREP_THREADS")) {
+    const auto parsed = ParseInt64(env);
+    if (parsed.has_value() && *parsed >= 1) {
+      return static_cast<int>(std::min<int64_t>(*parsed, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  MOBREP_CHECK_MSG(num_threads >= 1, "a pool needs at least one thread");
+  queues_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::PopOwn(int self, Chunk* out) {
+  WorkerQueue& q = *queues_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.chunks.empty()) return false;
+  *out = q.chunks.back();  // LIFO on the owner's side: warm caches
+  q.chunks.pop_back();
+  return true;
+}
+
+bool ThreadPool::StealFrom(int victim, Chunk* out) {
+  WorkerQueue& q = *queues_[static_cast<size_t>(victim)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.chunks.empty()) return false;
+  *out = q.chunks.front();  // FIFO on the thief's side: big, cold chunks
+  q.chunks.pop_front();
+  return true;
+}
+
+void ThreadPool::DrainChunks(int self) {
+  const std::function<void(int64_t)>* body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body = body_;
+  }
+  if (body == nullptr) return;
+  for (;;) {
+    Chunk chunk;
+    bool found = PopOwn(self, &chunk);
+    for (int step = 1; !found && step < num_threads_; ++step) {
+      found = StealFrom((self + step) % num_threads_, &chunk);
+    }
+    if (!found) return;
+    for (int64_t i = chunk.begin; i < chunk.end; ++i) (*body)(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ -= chunk.end - chunk.begin;
+    if (pending_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (body_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    DrainChunks(worker);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  MOBREP_CHECK(n >= 0);
+  if (n == 0) return;
+  if (num_threads_ == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Chunk so each worker has a handful of steal targets without paying a
+  // lock per index: at most 8 chunks per worker, at least 1 index each.
+  const int64_t target_chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(num_threads_) * 8);
+  const int64_t chunk_size = (n + target_chunks - 1) / target_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOBREP_CHECK_MSG(body_ == nullptr,
+                     "ParallelFor must not be nested on one pool");
+    int worker = 0;
+    for (int64_t begin = 0; begin < n; begin += chunk_size) {
+      const Chunk chunk{begin, std::min(begin + chunk_size, n)};
+      WorkerQueue& q = *queues_[static_cast<size_t>(worker)];
+      std::lock_guard<std::mutex> qlock(q.mu);
+      q.chunks.push_back(chunk);
+      worker = (worker + 1) % num_threads_;
+    }
+    body_ = &body;
+    pending_ = n;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  DrainChunks(/*self=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(DefaultSweepThreads());
+  return pool;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,85 @@
+#ifndef MOBREP_RUNNER_THREAD_POOL_H_
+#define MOBREP_RUNNER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mobrep {
+
+// Number of worker threads sweeps should use: the MOBREP_THREADS
+// environment variable if set (clamped to [1, 256]), otherwise
+// std::thread::hardware_concurrency().
+int DefaultSweepThreads();
+
+// Work-stealing thread pool for embarrassingly parallel index ranges.
+//
+// The pool exists purely for wall-clock: correctness never depends on it.
+// Callers hand ParallelFor a pure-by-index body; the range is split into
+// contiguous chunks dealt round-robin to per-worker deques, each worker
+// drains its own deque LIFO and steals FIFO from its neighbours when it
+// runs dry. Because every unit of work is identified by its index and
+// writes only to its own slot of the caller's output, the schedule (and
+// hence the thread count) can never change a result — see
+// parallel_sweep.h for the determinism contract built on top.
+//
+// A pool with num_threads == 1 spawns no threads at all; ParallelFor then
+// runs the body inline on the calling thread in index order.
+class ThreadPool {
+ public:
+  // num_threads >= 1. The calling thread participates in ParallelFor, so
+  // num_threads includes it: a pool of N spawns N-1 workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes body(i) exactly once for every i in [0, n). Blocks until all
+  // invocations finish. The body must not recursively call ParallelFor on
+  // the same pool.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  // Process-wide pool sized by DefaultSweepThreads(), created on first use.
+  static ThreadPool* Default();
+
+ private:
+  struct Chunk {
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
+  void WorkerLoop(int worker);
+  // Runs chunks, preferring worker `self`'s queue and stealing otherwise.
+  // Returns when no queue holds work.
+  void DrainChunks(int self);
+  bool PopOwn(int self, Chunk* out);
+  bool StealFrom(int victim, Chunk* out);
+
+  const int num_threads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int64_t)>* body_ = nullptr;  // active job
+  int64_t pending_ = 0;  // indices not yet completed in the active job
+  uint64_t epoch_ = 0;   // bumped per job so sleeping workers wake once
+  bool shutdown_ = false;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_RUNNER_THREAD_POOL_H_

@@ -15,6 +15,22 @@ Schedule GenerateBernoulliSchedule(int64_t n, double theta, Rng* rng) {
   return schedule;
 }
 
+PackedSchedule GeneratePackedBernoulliSchedule(int64_t n, double theta,
+                                               Rng* rng) {
+  MOBREP_CHECK(n >= 0);
+  MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
+  PackedSchedule schedule;
+  for (int64_t begin = 0; begin < n; begin += 64) {
+    const int count = static_cast<int>(n - begin < 64 ? n - begin : 64);
+    uint64_t word = 0;
+    for (int j = 0; j < count; ++j) {
+      word |= static_cast<uint64_t>(rng->Bernoulli(theta)) << j;
+    }
+    schedule.AppendWord(word, count);
+  }
+  return schedule;
+}
+
 TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
                                    double lambda_w, Rng* rng) {
   MOBREP_CHECK(n >= 0);
@@ -70,6 +86,25 @@ Schedule GeneratePeriodWorkload(int64_t periods, int64_t period_length,
   return schedule;
 }
 
+PackedSchedule GeneratePackedPeriodWorkload(int64_t periods,
+                                            int64_t period_length, Rng* rng) {
+  MOBREP_CHECK(periods >= 0 && period_length >= 1);
+  PackedSchedule schedule;
+  for (int64_t p = 0; p < periods; ++p) {
+    const double theta = rng->NextDouble();
+    for (int64_t begin = 0; begin < period_length; begin += 64) {
+      const int count = static_cast<int>(
+          period_length - begin < 64 ? period_length - begin : 64);
+      uint64_t word = 0;
+      for (int j = 0; j < count; ++j) {
+        word |= static_cast<uint64_t>(rng->Bernoulli(theta)) << j;
+      }
+      schedule.AppendWord(word, count);
+    }
+  }
+  return schedule;
+}
+
 BernoulliRequestStream::BernoulliRequestStream(double theta, Rng rng)
     : theta_(theta), rng_(rng) {
   MOBREP_CHECK(theta >= 0.0 && theta <= 1.0);
@@ -77,6 +112,12 @@ BernoulliRequestStream::BernoulliRequestStream(double theta, Rng rng)
 
 Op BernoulliRequestStream::Next() {
   return rng_.Bernoulli(theta_) ? Op::kWrite : Op::kRead;
+}
+
+void BernoulliRequestStream::NextBatch(Op* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = rng_.Bernoulli(theta_) ? Op::kWrite : Op::kRead;
+  }
 }
 
 PeriodRequestStream::PeriodRequestStream(int64_t period_length, Rng rng)
@@ -91,6 +132,23 @@ Op PeriodRequestStream::Next() {
   }
   --remaining_in_period_;
   return rng_.Bernoulli(theta_) ? Op::kWrite : Op::kRead;
+}
+
+void PeriodRequestStream::NextBatch(Op* out, int64_t n) {
+  int64_t i = 0;
+  while (i < n) {
+    if (remaining_in_period_ == 0) {
+      theta_ = rng_.NextDouble();
+      remaining_in_period_ = period_length_;
+    }
+    const int64_t run =
+        n - i < remaining_in_period_ ? n - i : remaining_in_period_;
+    for (int64_t j = 0; j < run; ++j) {
+      out[i + j] = rng_.Bernoulli(theta_) ? Op::kWrite : Op::kRead;
+    }
+    remaining_in_period_ -= run;
+    i += run;
+  }
 }
 
 }  // namespace mobrep

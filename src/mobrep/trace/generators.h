@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mobrep/common/random.h"
+#include "mobrep/core/packed_schedule.h"
 #include "mobrep/core/schedule.h"
 
 namespace mobrep {
@@ -20,6 +21,14 @@ namespace mobrep {
 // n i.i.d. requests with write probability theta.
 Schedule GenerateBernoulliSchedule(int64_t n, double theta, Rng* rng);
 
+// Bit-packed variant: consumes the RNG identically to
+// GenerateBernoulliSchedule (one Bernoulli draw per request), so for equal
+// (n, theta) and RNG state the two produce elementwise-equal schedules —
+// but fills 64-request words directly instead of storing a byte per
+// request.
+PackedSchedule GeneratePackedBernoulliSchedule(int64_t n, double theta,
+                                               Rng* rng);
+
 // The first n arrivals of the merged Poisson processes, with timestamps.
 TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
                                    double lambda_w, Rng* rng);
@@ -30,6 +39,11 @@ TimedSchedule GenerateTimedPoisson(int64_t n, double lambda_r,
 // expected cost* (AVG, eq. 1) is the right figure of merit.
 Schedule GeneratePeriodWorkload(int64_t periods, int64_t period_length,
                                 Rng* rng);
+
+// Bit-packed variant of GeneratePeriodWorkload; same RNG consumption, same
+// elementwise contents, words filled directly.
+PackedSchedule GeneratePackedPeriodWorkload(int64_t periods,
+                                            int64_t period_length, Rng* rng);
 
 // `count` non-overlapping [start, end) doze/outage windows of length
 // `duration` each, placed within [0, span): the span is cut into `count`
@@ -49,6 +63,8 @@ class BernoulliRequestStream {
   BernoulliRequestStream(double theta, Rng rng);
 
   Op Next();
+  // Fills out[0..n) with the next n requests; identical to n Next() calls.
+  void NextBatch(Op* out, int64_t n);
   double theta() const { return theta_; }
 
  private:
@@ -63,6 +79,8 @@ class PeriodRequestStream {
   PeriodRequestStream(int64_t period_length, Rng rng);
 
   Op Next();
+  // Fills out[0..n) with the next n requests; identical to n Next() calls.
+  void NextBatch(Op* out, int64_t n);
   double current_theta() const { return theta_; }
 
  private:

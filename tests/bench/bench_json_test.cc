@@ -1,0 +1,96 @@
+#include "support/bench_json.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/runner/parallel_sweep.h"
+
+namespace mobrep::bench {
+namespace {
+
+TEST(BenchReportTest, CellsJsonIsDeterministicAndOrdered) {
+  BenchReport a("demo");
+  a.Add("grid/x=1", 0.1);
+  a.Add("grid/x=2", 1.0 / 3.0);
+  a.AddText("note", "hello");
+  BenchReport b("demo");
+  b.Add("grid/x=1", 0.1);
+  b.Add("grid/x=2", 1.0 / 3.0);
+  b.AddText("note", "hello");
+  EXPECT_EQ(a.CellsJson(), b.CellsJson());
+  // Insertion order is the serialization order.
+  const std::string json = a.CellsJson();
+  EXPECT_LT(json.find("grid/x=1"), json.find("grid/x=2"));
+  EXPECT_LT(json.find("grid/x=2"), json.find("note"));
+}
+
+TEST(BenchReportTest, DoublesRoundTripExactly) {
+  BenchReport report("demo");
+  const double value = 0.1234567890123456789;  // not representable exactly
+  report.Add("v", value);
+  const std::string json = report.CellsJson();
+  // %.17g guarantees the printed form parses back to the same double.
+  const size_t pos = json.find("\"value\": ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(std::stod(json.substr(pos + 9)), value);
+}
+
+TEST(BenchReportTest, EscapesKeysAndNonFiniteValues) {
+  BenchReport report("demo");
+  report.AddText("quote\"back\\slash", "line\nbreak");
+  report.Add("inf", std::numeric_limits<double>::infinity());
+  report.Add("nan", std::numeric_limits<double>::quiet_NaN());
+  const std::string json = report.CellsJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"nan\""), std::string::npos);
+}
+
+TEST(BenchReportTest, TimingLivesOutsideTheDeterministicPart) {
+  BenchReport report("demo");
+  report.Add("cell", 1.5);
+  const std::string fast = report.FullJson(/*wall_ms=*/1.0, /*threads=*/4,
+                                           /*serial_wall_ms=*/4.0);
+  const std::string slow = report.FullJson(/*wall_ms=*/9.0, /*threads=*/1,
+                                           /*serial_wall_ms=*/0.0);
+  EXPECT_NE(fast, slow);
+  // Everything before the "timing" member is byte-identical — that is
+  // exactly what CI diffs after `jq del(.timing)`.
+  const std::string prefix = report.CellsJson();
+  EXPECT_EQ(fast.substr(0, prefix.size()), prefix);
+  EXPECT_EQ(slow.substr(0, prefix.size()), prefix);
+  EXPECT_NE(fast.find("\"speedup_vs_serial\": 4"), std::string::npos);
+  EXPECT_EQ(slow.find("speedup_vs_serial"), std::string::npos);
+}
+
+// The end-to-end determinism gate for the JSON artifacts: a report filled
+// from a parallel sweep serializes byte-identically at 1 and N threads.
+TEST(BenchReportTest, SweepFilledReportIsByteIdenticalAcrossThreadCounts) {
+  auto build = [](int threads) {
+    SweepOptions options;
+    options.threads = threads;
+    const std::vector<double> values = ParallelSweep<double>(
+        64,
+        [](int64_t cell, Rng& rng) {
+          double acc = static_cast<double>(cell);
+          for (int i = 0; i < 500; ++i) acc += rng.NextDouble() / (1.0 + acc);
+          return acc;
+        },
+        options);
+    BenchReport report("sweep_demo");
+    for (size_t i = 0; i < values.size(); ++i) {
+      report.Add("cell" + std::to_string(i), values[i]);
+    }
+    return report.CellsJson();
+  };
+  const std::string serial = build(1);
+  EXPECT_EQ(serial, build(2));
+  EXPECT_EQ(serial, build(8));
+}
+
+}  // namespace
+}  // namespace mobrep::bench

@@ -1,5 +1,6 @@
 #include "mobrep/common/math.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -66,6 +67,64 @@ TEST(BinomialCdfTest, MonotoneAndBounded) {
   }
   EXPECT_NEAR(BinomialCdf(9, 9, 0.4), 1.0, 1e-12);
   EXPECT_DOUBLE_EQ(BinomialCdf(9, -1, 0.4), 0.0);
+}
+
+TEST(BinomialCdfTest, MatchesPmfPrefixSumsTo1e12) {
+  // The one-pass ratio-recurrence CDF must agree with the straightforward
+  // sum of log-space pmf terms to 1e-12 across sizes and skews.
+  for (const int n : {1, 2, 9, 15, 64, 200, 500}) {
+    for (const double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+      double prefix = 0.0;
+      for (int k = 0; k < n; ++k) {
+        prefix += BinomialPmf(n, k, p);
+        ASSERT_NEAR(BinomialCdf(n, k, p), std::min(prefix, 1.0), 1e-12)
+            << "n=" << n << " k=" << k << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(BinomialCdfTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 3, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(1, 0, 0.25), 0.75);
+}
+
+TEST(BinomialCdfTest, LargeNDoesNotUnderflow) {
+  // At n = 3000, p = 0.5 the pmf at 0 is ~2^-3000 — far below the
+  // subnormal range. Each term is evaluated in log space, so the tails
+  // merely flush to zero instead of poisoning the sum; a pmf ratio
+  // recurrence seeded at j = 0 would return 0 here.
+  const double mid = BinomialCdf(3000, 1500, 0.5);
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 0.52);
+  // Tail symmetry: P(X <= k; p) + P(X <= n-k-1; 1-p) = 1 exactly.
+  for (const int k : {0, 100, 1499, 2500}) {
+    EXPECT_NEAR(BinomialCdf(3000, k, 0.3) + BinomialCdf(3000, 2999 - k, 0.7),
+                1.0, 1e-12)
+        << "k=" << k;
+  }
+  // Skewed far-tail case: the CDF at the mean of Bin(5000, 0.98) sits just
+  // above 1/2 (normal approximation with continuity correction ~0.52).
+  const double skewed = BinomialCdf(5000, 4900, 0.98);
+  EXPECT_GT(skewed, 0.48);
+  EXPECT_LT(skewed, 0.56);
+}
+
+TEST(BinomialCdfTest, RepeatedCallsHitTheMemoizedRowsConsistently) {
+  // The per-n coefficient rows are cached after first use; cached and
+  // uncached evaluations must agree exactly.
+  const double first = BinomialCdf(600, 123, 0.21);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(BinomialCdf(600, 123, 0.21), first);
+  }
+  // Above the cache cap (n > 4096) the uncached path serves the request.
+  const double big = BinomialCdf(5000, 2500, 0.5);
+  EXPECT_GT(big, 0.5);
+  EXPECT_EQ(BinomialCdf(5000, 2500, 0.5), big);
 }
 
 TEST(AdaptiveSimpsonTest, Polynomial) {

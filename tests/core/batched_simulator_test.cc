@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/packed_schedule.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+// The six policy families and the two cost-model families: the batched
+// kernels devirtualize every one of these, and each must reproduce the
+// generic per-request path bit for bit.
+constexpr const char* kAllPolicies[] = {"st1", "st2", "sw1",
+                                        "sw:5", "t1:3", "t2:3"};
+
+std::vector<CostModel> AllModels() {
+  return {CostModel::Connection(), CostModel::Message(0.3),
+          CostModel::Message(0.8)};
+}
+
+// Equality down to the last bit — the batched path's contract. EXPECT_EQ
+// on total_cost is deliberate (not EXPECT_DOUBLE_EQ/near).
+void ExpectSameBreakdown(const CostBreakdown& a, const CostBreakdown& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.total_cost, b.total_cost) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.reads, b.reads) << label;
+  EXPECT_EQ(a.writes, b.writes) << label;
+  EXPECT_EQ(a.connections, b.connections) << label;
+  EXPECT_EQ(a.data_messages, b.data_messages) << label;
+  EXPECT_EQ(a.control_messages, b.control_messages) << label;
+  EXPECT_EQ(a.allocations, b.allocations) << label;
+  EXPECT_EQ(a.deallocations, b.deallocations) << label;
+}
+
+std::vector<Schedule> TestSchedules() {
+  std::vector<Schedule> schedules;
+  Rng rng(321);
+  schedules.push_back(GenerateBernoulliSchedule(5000, 0.5, &rng));
+  schedules.push_back(GenerateBernoulliSchedule(5000, 0.05, &rng));
+  schedules.push_back(GenerateBernoulliSchedule(5000, 0.95, &rng));
+  Schedule alternating;
+  for (int i = 0; i < 1000; ++i) {
+    alternating.push_back(i % 2 == 0 ? Op::kWrite : Op::kRead);
+  }
+  schedules.push_back(std::move(alternating));
+  schedules.push_back(Schedule(777, Op::kWrite));
+  schedules.push_back(Schedule(777, Op::kRead));
+  schedules.push_back(Schedule{});
+  return schedules;
+}
+
+TEST(BatchedSimulatorTest, BatchMatchesPerRequestForAllPoliciesAndModels) {
+  for (const char* spec : kAllPolicies) {
+    for (const CostModel& model : AllModels()) {
+      int schedule_index = 0;
+      for (const Schedule& schedule : TestSchedules()) {
+        const std::string label = std::string(spec) + "/" + model.name() +
+                                  "/schedule" +
+                                  std::to_string(schedule_index++);
+        auto reference = CreatePolicyFromString(spec).value();
+        auto batched = CreatePolicyFromString(spec).value();
+        const CostBreakdown want =
+            SimulateSchedule(reference.get(), schedule, model);
+        const CostBreakdown got =
+            SimulateScheduleBatch(batched.get(), schedule, model);
+        ExpectSameBreakdown(want, got, label);
+
+        // The batch must also leave the policy in the same state: both
+        // instances must keep agreeing on a follow-up request stream.
+        Rng rng(99);
+        for (int i = 0; i < 200; ++i) {
+          const Op op = rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead;
+          ASSERT_EQ(reference->OnRequest(op), batched->OnRequest(op))
+              << label << " diverged at follow-up " << i;
+          ASSERT_EQ(reference->has_copy(), batched->has_copy()) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedSimulatorTest, PackedOverloadMatchesVectorOverload) {
+  Rng rng(55);
+  const Schedule schedule = GenerateBernoulliSchedule(10000, 0.4, &rng);
+  const PackedSchedule packed(schedule);
+  for (const char* spec : kAllPolicies) {
+    for (const CostModel& model : AllModels()) {
+      auto a = CreatePolicyFromString(spec).value();
+      auto b = CreatePolicyFromString(spec).value();
+      ExpectSameBreakdown(SimulateScheduleBatch(a.get(), schedule, model),
+                          SimulateScheduleBatch(b.get(), packed, model),
+                          std::string(spec) + "/" + model.name());
+    }
+  }
+}
+
+TEST(BatchedSimulatorTest, ChunkedRunningTotalIsBitIdentical) {
+  Rng rng(77);
+  const Schedule schedule = GenerateBernoulliSchedule(6000, 0.5, &rng);
+  // Deliberately awkward chunk sizes, including 1 and a chunk far larger
+  // than what remains.
+  const std::vector<int64_t> chunks = {1, 7, 64, 1000, 4096, 100000};
+  for (const char* spec : kAllPolicies) {
+    for (const CostModel& model : AllModels()) {
+      const std::string label = std::string(spec) + "/" + model.name();
+      auto per_request = CreatePolicyFromString(spec).value();
+      CostMeter reference(per_request.get(), &model);
+      double want = 0.0;
+      for (const Op op : schedule) want += reference.OnRequest(op);
+
+      auto batched = CreatePolicyFromString(spec).value();
+      CostMeter meter(batched.get(), &model);
+      double got = 0.0;
+      int64_t i = 0;
+      size_t which = 0;
+      while (i < static_cast<int64_t>(schedule.size())) {
+        const int64_t m =
+            std::min(chunks[which++ % chunks.size()],
+                     static_cast<int64_t>(schedule.size()) - i);
+        got = meter.OnRequestBatch(schedule.data() + i, m, got);
+        i += m;
+      }
+      EXPECT_EQ(want, got) << label;
+      ExpectSameBreakdown(reference.breakdown(), meter.breakdown(), label);
+    }
+  }
+}
+
+TEST(BatchedSimulatorTest, EmptyBatchReturnsRunningTotalUntouched) {
+  auto policy = CreatePolicyFromString("sw:5").value();
+  const CostModel model = CostModel::Connection();
+  CostMeter meter(policy.get(), &model);
+  EXPECT_EQ(meter.OnRequestBatch(nullptr, 0, 1.25), 1.25);
+  EXPECT_EQ(meter.breakdown().requests, 0);
+}
+
+// An AllocationPolicy subclass the batch dispatcher has never heard of:
+// it must take the generic virtual fallback, and that fallback must agree
+// bit for bit with the devirtualized kernel running the same policy.
+class DelegatingPolicy final : public AllocationPolicy {
+ public:
+  explicit DelegatingPolicy(std::unique_ptr<AllocationPolicy> inner)
+      : inner_(std::move(inner)) {}
+
+  ActionKind OnRequest(Op op) override { return inner_->OnRequest(op); }
+  bool has_copy() const override { return inner_->has_copy(); }
+  void Reset() override { inner_->Reset(); }
+  std::string name() const override { return "wrap(" + inner_->name() + ")"; }
+  std::unique_ptr<AllocationPolicy> Clone() const override {
+    return std::make_unique<DelegatingPolicy>(inner_->Clone());
+  }
+
+ private:
+  std::unique_ptr<AllocationPolicy> inner_;
+};
+
+TEST(BatchedSimulatorTest, GenericFallbackAgreesWithDevirtualizedKernels) {
+  Rng rng(31337);
+  const Schedule schedule = GenerateBernoulliSchedule(4000, 0.5, &rng);
+  for (const char* spec : kAllPolicies) {
+    for (const CostModel& model : AllModels()) {
+      DelegatingPolicy wrapped(CreatePolicyFromString(spec).value());
+      auto direct = CreatePolicyFromString(spec).value();
+      ExpectSameBreakdown(
+          SimulateScheduleBatch(&wrapped, schedule, model),
+          SimulateScheduleBatch(direct.get(), schedule, model),
+          std::string(spec) + "/" + model.name() + "/fallback");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,120 @@
+#include "mobrep/core/packed_schedule.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+Schedule RandomSchedule(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateBernoulliSchedule(n, 0.5, &rng);
+}
+
+TEST(PackedScheduleTest, RoundTripsAtWordBoundaries) {
+  for (const int64_t n : {0, 1, 63, 64, 65, 127, 128, 1000}) {
+    const Schedule original = RandomSchedule(n, 7 + static_cast<uint64_t>(n));
+    const PackedSchedule packed(original);
+    EXPECT_EQ(packed.size(), n);
+    EXPECT_EQ(packed.empty(), n == 0);
+    EXPECT_EQ(packed.ToSchedule(), original);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(packed.Get(i), original[static_cast<size_t>(i)]) << i;
+    }
+  }
+}
+
+TEST(PackedScheduleTest, AppendMatchesConstruction) {
+  const Schedule original = RandomSchedule(200, 11);
+  PackedSchedule packed;
+  for (const Op op : original) packed.Append(op);
+  EXPECT_EQ(packed.ToSchedule(), original);
+  EXPECT_EQ(packed.words(), PackedSchedule(original).words());
+}
+
+TEST(PackedScheduleTest, AppendWordHandlesStraddlingWords) {
+  // Mixed-width appends whose boundaries never align with the 64-bit
+  // words: the element-wise view must still match.
+  Rng rng(13);
+  Schedule expected;
+  PackedSchedule packed;
+  for (const int count : {7, 64, 50, 1, 63, 64, 3}) {
+    uint64_t bits = 0;
+    for (int j = 0; j < count; ++j) {
+      const bool write = rng.Bernoulli(0.5);
+      bits |= static_cast<uint64_t>(write) << j;
+      expected.push_back(write ? Op::kWrite : Op::kRead);
+    }
+    packed.AppendWord(bits, count);
+  }
+  EXPECT_EQ(packed.ToSchedule(), expected);
+}
+
+TEST(PackedScheduleTest, AppendWordIgnoresHighGarbageBits) {
+  PackedSchedule packed;
+  packed.AppendWord(~0ULL, 3);  // only the low 3 bits are requests
+  EXPECT_EQ(packed.size(), 3);
+  EXPECT_EQ(packed.CountWrites(), 3);
+  // The tail word's unused bits must be masked off, not left set.
+  EXPECT_EQ(packed.words()[0], 0b111ULL);
+}
+
+TEST(PackedScheduleTest, CountWritesUsesAllWordsIncludingTail) {
+  const Schedule original = RandomSchedule(777, 17);
+  int64_t writes = 0;
+  for (const Op op : original) writes += op == Op::kWrite ? 1 : 0;
+  const PackedSchedule packed(original);
+  EXPECT_EQ(packed.CountWrites(), writes);
+  EXPECT_EQ(packed.CountReads(), 777 - writes);
+}
+
+TEST(PackedScheduleTest, PackedGeneratorsMatchVectorGenerators) {
+  // The packed generators promise identical RNG consumption, so from equal
+  // seeds the packed and unpacked outputs must be elementwise equal — and
+  // an interleaved consumer must stay in lockstep afterwards.
+  Rng rng_a(2025);
+  Rng rng_b(2025);
+  const Schedule plain = GenerateBernoulliSchedule(1000, 0.3, &rng_a);
+  const PackedSchedule packed =
+      GeneratePackedBernoulliSchedule(1000, 0.3, &rng_b);
+  EXPECT_EQ(packed.ToSchedule(), plain);
+  EXPECT_EQ(rng_a.NextUint64(), rng_b.NextUint64());
+
+  Rng rng_c(9);
+  Rng rng_d(9);
+  const Schedule plain_periods = GeneratePeriodWorkload(13, 70, &rng_c);
+  const PackedSchedule packed_periods =
+      GeneratePackedPeriodWorkload(13, 70, &rng_d);
+  EXPECT_EQ(packed_periods.ToSchedule(), plain_periods);
+  EXPECT_EQ(rng_c.NextUint64(), rng_d.NextUint64());
+}
+
+TEST(PackedScheduleTest, StreamNextBatchMatchesNext) {
+  BernoulliRequestStream a(0.4, Rng(5));
+  BernoulliRequestStream b(0.4, Rng(5));
+  std::vector<Op> batch(257);
+  b.NextBatch(batch.data(), 257);
+  for (int i = 0; i < 257; ++i) ASSERT_EQ(a.Next(), batch[static_cast<size_t>(i)]) << i;
+
+  PeriodRequestStream c(37, Rng(6));
+  PeriodRequestStream d(37, Rng(6));
+  // Batch sizes chosen to split periods unevenly.
+  std::vector<Op> expected;
+  for (int i = 0; i < 500; ++i) expected.push_back(c.Next());
+  std::vector<Op> got;
+  for (const int chunk : {1, 36, 37, 38, 111, 277}) {
+    std::vector<Op> buf(static_cast<size_t>(chunk));
+    d.NextBatch(buf.data(), chunk);
+    got.insert(got.end(), buf.begin(), buf.end());
+  }
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace mobrep

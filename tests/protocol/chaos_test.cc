@@ -9,6 +9,7 @@
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/core/schedule.h"
 #include "mobrep/protocol/protocol_sim.h"
+#include "mobrep/runner/parallel_sweep.h"
 #include "mobrep/store/write_ahead_log.h"
 #include "mobrep/trace/generators.h"
 
@@ -206,6 +207,64 @@ TEST(ChaosTest, WalRecoversTheStoreAfterAChaoticRun) {
     EXPECT_EQ(recovered->Get("x")->version, sim.store().Get("x")->version);
   }
   std::remove(path.c_str());
+}
+
+// The chaos grid is itself a deterministic parallel sweep: every
+// (policy, seed) cell derives all of its randomness from its own cell
+// values, so driving the 30 serialized-chaos cells through the thread
+// pool at any width must reproduce the 1-thread metrics exactly.
+TEST(ChaosTest, ChaosGridSweepsDeterministicallyAcrossThreadCounts) {
+  struct Cell {
+    const char* spec;
+    uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (const char* spec : kAllPolicies) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) cells.push_back({spec, seed});
+  }
+  auto run_grid = [&](int threads) {
+    SweepOptions options;
+    options.threads = threads;
+    return ParallelSweep<ProtocolMetrics>(
+        static_cast<int64_t>(cells.size()),
+        [&](int64_t i, Rng&) {
+          const Cell& cell = cells[static_cast<size_t>(i)];
+          ProtocolSimulation sim(
+              MakeChaosConfig(cell.spec, cell.seed, /*span=*/0.4));
+          Rng rng(cell.seed * 7919 + 13);
+          const double theta = 0.2 + 0.6 * rng.NextDouble();
+          for (const Op op : GenerateBernoulliSchedule(80, theta, &rng)) {
+            sim.Step(op);
+          }
+          sim.Step(Op::kRead);
+          return sim.metrics();
+        },
+        options);
+  };
+  const std::vector<ProtocolMetrics> serial = run_grid(1);
+  const std::vector<ProtocolMetrics> parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE(std::string(cells[i].spec) + " seed " +
+                 std::to_string(cells[i].seed));
+    EXPECT_EQ(serial[i].requests, parallel[i].requests);
+    EXPECT_EQ(serial[i].data_messages, parallel[i].data_messages);
+    EXPECT_EQ(serial[i].control_messages, parallel[i].control_messages);
+    EXPECT_EQ(serial[i].connections, parallel[i].connections);
+    EXPECT_EQ(serial[i].propagations, parallel[i].propagations);
+    EXPECT_EQ(serial[i].invalidations, parallel[i].invalidations);
+    EXPECT_EQ(serial[i].allocations, parallel[i].allocations);
+    EXPECT_EQ(serial[i].deallocations, parallel[i].deallocations);
+    EXPECT_EQ(serial[i].local_reads, parallel[i].local_reads);
+    EXPECT_EQ(serial[i].remote_reads, parallel[i].remote_reads);
+    EXPECT_EQ(serial[i].retransmissions, parallel[i].retransmissions);
+    EXPECT_EQ(serial[i].acks, parallel[i].acks);
+    EXPECT_DOUBLE_EQ(serial[i].mean_read_latency,
+                     parallel[i].mean_read_latency);
+    EXPECT_DOUBLE_EQ(serial[i].max_read_latency,
+                     parallel[i].max_read_latency);
+  }
 }
 
 // Outage bookkeeping: metrics report the scheduled outage time that

@@ -1,0 +1,134 @@
+#include "mobrep/runner/parallel_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+
+namespace mobrep {
+namespace {
+
+// A deliberately rounding-sensitive per-cell computation: a long
+// non-associative accumulation driven by the cell's own RNG. Any change in
+// summation order or RNG stream shows up in the last bits.
+double ChaoticCellValue(int64_t cell, Rng& rng) {
+  double acc = static_cast<double>(cell);
+  for (int i = 0; i < 1000; ++i) {
+    acc += rng.NextDouble() / (1.0 + acc * acc);
+  }
+  return acc;
+}
+
+TEST(SweepCellRngTest, IsAPureFunctionOfSeedAndCell) {
+  for (const uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    for (const uint64_t cell : {0ULL, 1ULL, 63ULL, 1000000ULL}) {
+      Rng a = SweepCellRng(seed, cell);
+      Rng b = SweepCellRng(seed, cell);
+      for (int i = 0; i < 16; ++i) {
+        ASSERT_EQ(a.NextUint64(), b.NextUint64())
+            << "seed " << seed << " cell " << cell;
+      }
+    }
+  }
+}
+
+TEST(SweepCellRngTest, NeighbouringCellsAndSeedsAreUncorrelated) {
+  // Not a statistical test — just that the first draws of adjacent
+  // (seed, cell) pairs are all distinct, i.e. no accidental stream reuse.
+  std::vector<uint64_t> firsts;
+  for (uint64_t seed = 40; seed <= 44; ++seed) {
+    for (uint64_t cell = 0; cell < 64; ++cell) {
+      firsts.push_back(SweepCellRng(seed, cell).NextUint64());
+    }
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(std::adjacent_find(firsts.begin(), firsts.end()), firsts.end());
+}
+
+TEST(ParallelSweepTest, BitIdenticalAcrossThreadCounts) {
+  auto run = [&](int threads) {
+    SweepOptions options;
+    options.threads = threads;
+    return ParallelSweep<double>(200, ChaoticCellValue, options);
+  };
+  const std::vector<double> serial = run(1);
+  for (const int threads : {2, 4, 8}) {
+    const std::vector<double> parallel = run(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
+      EXPECT_EQ(serial[i], parallel[i])
+          << "cell " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelSweepTest, SeedSelectsTheStreams) {
+  SweepOptions a;
+  a.seed = 1;
+  SweepOptions b;
+  b.seed = 2;
+  const auto ra = ParallelSweep<double>(16, ChaoticCellValue, a);
+  const auto rb = ParallelSweep<double>(16, ChaoticCellValue, b);
+  int differing = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i] != rb[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 16);
+  // Same seed again: identical.
+  EXPECT_EQ(ra, ParallelSweep<double>(16, ChaoticCellValue, a));
+}
+
+TEST(ParallelSweepTest, ResultsArriveInCellOrder) {
+  const auto r = ParallelSweep<int64_t>(
+      1000, [](int64_t cell, Rng&) { return cell * 3; });
+  ASSERT_EQ(r.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(r[static_cast<size_t>(i)], i * 3);
+  }
+}
+
+TEST(SweepParallelForTest, ZeroAndOversubscribedWidthsWork) {
+  SweepOptions options;
+  options.threads = 16;  // likely more than the machine has
+  std::vector<int> hits(100, 0);
+  SweepParallelFor(100, options, [&](int64_t i) {
+    hits[static_cast<size_t>(i)] += 1;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  SweepParallelFor(0, options, [&](int64_t) { FAIL(); });
+}
+
+TEST(ParallelMonteCarloTest, MatchesSerialWelfordBitForBit) {
+  auto replicate = [](int64_t r, Rng& rng) {
+    return ChaoticCellValue(r, rng);
+  };
+  SweepOptions serial_opts;
+  serial_opts.threads = 1;
+  const MonteCarloResult serial = ParallelMonteCarlo(64, replicate,
+                                                     serial_opts);
+  SweepOptions parallel_opts;
+  parallel_opts.threads = 4;
+  const MonteCarloResult parallel = ParallelMonteCarlo(64, replicate,
+                                                       parallel_opts);
+  EXPECT_EQ(serial.replicates, 64);
+  EXPECT_EQ(parallel.replicates, 64);
+  EXPECT_EQ(serial.mean, parallel.mean);
+  EXPECT_EQ(serial.std_error, parallel.std_error);
+  ASSERT_EQ(serial.values.size(), 64u);
+  EXPECT_EQ(serial.values, parallel.values);
+  EXPECT_GT(serial.std_error, 0.0);
+}
+
+TEST(ParallelMonteCarloTest, MeanIsTheCellOrderMean) {
+  const MonteCarloResult result = ParallelMonteCarlo(
+      10, [](int64_t r, Rng&) { return static_cast<double>(r); });
+  EXPECT_DOUBLE_EQ(result.mean, 4.5);
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,0 +1,92 @@
+#include "mobrep/runner/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+TEST(DefaultSweepThreadsTest, IsAtLeastOne) {
+  EXPECT_GE(DefaultSweepThreads(), 1);
+  EXPECT_LE(DefaultSweepThreads(), 256);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInIndexOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(100, [&](int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRangesWork) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(0, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+  // Fewer indices than threads: no worker may invent or drop work.
+  pool.ParallelFor(3, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, SequentialJobsOnOnePoolStayIsolated) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(257, [&](int64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 257 * 256 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ResultsAreIndependentOfThreadCount) {
+  // Each index writes a pure function of itself into its own slot, so any
+  // pool width must produce the same output vector.
+  constexpr int64_t kN = 4096;
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(kN);
+    pool.ParallelFor(kN, [&](int64_t i) {
+      out[static_cast<size_t>(i)] =
+          static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    });
+    return out;
+  };
+  const std::vector<uint64_t> one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(5));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSharedAndUsable) {
+  ThreadPool* pool = ThreadPool::Default();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool, ThreadPool::Default());
+  std::atomic<int64_t> count{0};
+  pool->ParallelFor(100, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace mobrep
