@@ -1,6 +1,7 @@
 #include "bench_json.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -112,8 +113,14 @@ void BenchReport::WriteFiles(double wall_ms, int threads) const {
     if (out) out << JsonNumber(wall_ms) << "\n";
     serial_wall_ms = wall_ms;
   } else {
+    // Tolerate a missing or corrupt sidecar (e.g. a non-numeric value):
+    // serial_wall_ms stays 0.0 and FullJson simply omits the speedup
+    // fields rather than emitting a garbage ratio.
     std::ifstream in(sidecar);
-    if (in) in >> serial_wall_ms;
+    double parsed = 0.0;
+    if (in >> parsed && std::isfinite(parsed) && parsed > 0.0) {
+      serial_wall_ms = parsed;
+    }
   }
   std::ofstream out("BENCH_" + name_ + ".json");
   if (!out) {
@@ -147,7 +154,10 @@ void FinishGlobalReport() {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - state.start)
           .count();
-  const int threads = DefaultSweepThreads();
+  // Report the width the default pool actually runs at, not a fresh read
+  // of MOBREP_THREADS — the pool's size is fixed at first use, so this is
+  // what the sweeps in this process really used.
+  const int threads = ThreadPool::Default()->num_threads();
   state.report->WriteFiles(wall_ms, threads);
   // The footer carries timing, so it goes to stderr: stdout must stay
   // byte-identical across thread counts.

@@ -24,18 +24,32 @@ constexpr int kMaxCachedBinomialRow = 4096;
 
 const double* LogBinomialRow(int n) {
   if (n > kMaxCachedBinomialRow) return nullptr;
+  // Rows are built once and never freed, so their data pointers stay valid
+  // for the life of the process and each thread can cache them privately.
+  // BinomialCdf sits in the per-cell path ParallelSweep runs on all cores;
+  // the per-thread map keeps the hit path off the global lock entirely —
+  // only the first sighting of an n on each thread takes it.
+  thread_local std::unordered_map<int, const double*> local_rows;
+  if (const auto it = local_rows.find(n); it != local_rows.end()) {
+    return it->second;
+  }
   static std::mutex mu;
   static auto* rows =
       new std::unordered_map<int, std::unique_ptr<std::vector<double>>>();
-  std::lock_guard<std::mutex> lock(mu);
-  auto& row = (*rows)[n];
-  if (row == nullptr) {
-    row = std::make_unique<std::vector<double>>(
-        static_cast<size_t>(n) + 1);
-    for (int j = 0; j <= n; ++j) (*row)[static_cast<size_t>(j)] =
-        LogBinomial(n, j);
+  const double* data;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& row = (*rows)[n];
+    if (row == nullptr) {
+      row = std::make_unique<std::vector<double>>(
+          static_cast<size_t>(n) + 1);
+      for (int j = 0; j <= n; ++j) (*row)[static_cast<size_t>(j)] =
+          LogBinomial(n, j);
+    }
+    data = row->data();
   }
-  return row->data();
+  local_rows[n] = data;
+  return data;
 }
 
 double SimpsonRule(double a, double fa, double b, double fb, double fm) {

@@ -1,9 +1,30 @@
 #include "mobrep/runner/parallel_sweep.h"
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
 #include "mobrep/common/check.h"
 #include "mobrep/common/math.h"
 
 namespace mobrep {
+namespace {
+
+// Pools for pinned non-default widths, built once per width and kept for
+// the life of the process. An idle pool costs only sleeping threads, while
+// constructing one costs thread spawns — callers that pin a width inside a
+// loop (scaling benches sweep 1/2/4/8) must not pay that per sweep.
+ThreadPool* PoolForWidth(int threads) {
+  static std::mutex mu;
+  static auto* pools =
+      new std::unordered_map<int, std::unique_ptr<ThreadPool>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& pool = (*pools)[threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
+  return pool.get();
+}
+
+}  // namespace
 
 Rng SweepCellRng(uint64_t seed, uint64_t cell) {
   // Two SplitMix64 passes over an odd-multiplier combination of seed and
@@ -27,13 +48,8 @@ void SweepParallelFor(int64_t n, const SweepOptions& options,
     return;
   }
   ThreadPool* pool = ThreadPool::Default();
-  if (pool->num_threads() == threads) {
-    pool->ParallelFor(n, body);
-    return;
-  }
-  // A non-default width (tests pin specific counts) gets a private pool.
-  ThreadPool local(threads);
-  local.ParallelFor(n, body);
+  if (pool->num_threads() != threads) pool = PoolForWidth(threads);
+  pool->ParallelFor(n, body);
 }
 
 MonteCarloResult ParallelMonteCarlo(

@@ -59,12 +59,6 @@ bool ThreadPool::StealFrom(int victim, Chunk* out) {
 }
 
 void ThreadPool::DrainChunks(int self) {
-  const std::function<void(int64_t)>* body;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    body = body_;
-  }
-  if (body == nullptr) return;
   for (;;) {
     Chunk chunk;
     bool found = PopOwn(self, &chunk);
@@ -72,6 +66,23 @@ void ThreadPool::DrainChunks(int self) {
       found = StealFrom((self + step) % num_threads_, &chunk);
     }
     if (!found) return;
+    // Re-read the job under mu_ for every chunk, never across chunks: a
+    // worker preempted in the steal loop above can resume after the rest
+    // of the job finished, the caller returned from ParallelFor, and the
+    // NEXT job was enqueued — a body pointer cached before the preemption
+    // would then dangle while this worker runs the new job's chunks.
+    // A popped chunk always belongs to the live job (a job's chunks are
+    // all executed before its pending_ hits zero, and only then can the
+    // next ParallelFor start), so a mismatched epoch is a pool bug.
+    const std::function<void(int64_t)>* body;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MOBREP_CHECK_MSG(chunk.epoch == epoch_ && body_ != nullptr,
+                       "popped a chunk from a retired job");
+      body = body_;
+    }
+    // body stays valid while this chunk is unaccounted: pending_ > 0
+    // keeps the owning ParallelFor blocked on work_done_.
     for (int64_t i = chunk.begin; i < chunk.end; ++i) (*body)(i);
     std::lock_guard<std::mutex> lock(mu_);
     pending_ -= chunk.end - chunk.begin;
@@ -111,9 +122,10 @@ void ThreadPool::ParallelFor(int64_t n,
     std::lock_guard<std::mutex> lock(mu_);
     MOBREP_CHECK_MSG(body_ == nullptr,
                      "ParallelFor must not be nested on one pool");
+    ++epoch_;
     int worker = 0;
     for (int64_t begin = 0; begin < n; begin += chunk_size) {
-      const Chunk chunk{begin, std::min(begin + chunk_size, n)};
+      const Chunk chunk{begin, std::min(begin + chunk_size, n), epoch_};
       WorkerQueue& q = *queues_[static_cast<size_t>(worker)];
       std::lock_guard<std::mutex> qlock(q.mu);
       q.chunks.push_back(chunk);
@@ -121,7 +133,6 @@ void ThreadPool::ParallelFor(int64_t n,
     }
     body_ = &body;
     pending_ = n;
-    ++epoch_;
   }
   work_ready_.notify_all();
   DrainChunks(/*self=*/0);

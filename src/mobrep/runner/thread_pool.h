@@ -54,6 +54,7 @@ class ThreadPool {
   struct Chunk {
     int64_t begin = 0;
     int64_t end = 0;
+    uint64_t epoch = 0;  // job this chunk belongs to; must match epoch_
   };
   struct WorkerQueue {
     std::mutex mu;

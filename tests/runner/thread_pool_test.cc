@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -57,6 +58,29 @@ TEST(ThreadPoolTest, SequentialJobsOnOnePoolStayIsolated) {
       sum.fetch_add(i, std::memory_order_relaxed);
     });
     EXPECT_EQ(sum.load(), 257 * 256 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, BackToBackJobsNeverRunAStaleBody) {
+  // Regression test for a drain race: a worker preempted in its steal loop
+  // while the rest of a job finished could resume after the caller had
+  // already launched the NEXT job, and execute the new job's chunks
+  // through a cached — by then dangling — pointer to the old body. Each
+  // round here uses a fresh closure (the previous one is destroyed at
+  // loop scope) that writes a round-specific tag, so a stale body either
+  // plants the previous round's tag or touches freed closure state. Small
+  // ranges keep workers racing the caller's return.
+  ThreadPool pool(4);
+  constexpr int64_t kN = 64;
+  std::vector<uint64_t> out(kN);
+  for (uint64_t round = 0; round < 3000; ++round) {
+    const std::function<void(int64_t)> body = [&out, round](int64_t i) {
+      out[static_cast<size_t>(i)] = round;
+    };
+    pool.ParallelFor(kN, body);
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], round) << "index " << i;
+    }
   }
 }
 
