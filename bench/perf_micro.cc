@@ -13,6 +13,8 @@
 #include "mobrep/core/offline_optimal.h"
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/core/window_tracker.h"
+#include "mobrep/obs/metrics.h"
+#include "mobrep/obs/trace.h"
 #include "mobrep/protocol/protocol_sim.h"
 #include "mobrep/runner/parallel_sweep.h"
 #include "mobrep/trace/generators.h"
@@ -220,6 +222,54 @@ void BM_ParallelSweepCells(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSweepCells)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---- Observability hot paths ----------------------------------------------
+// The instrumentation budget: a counter bump and a disabled trace site must
+// be nanosecond-scale (the disabled site is one relaxed load — or zero code
+// when MOBREP_TRACING is compiled out), an enabled append one ring write.
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram({1.0, 10.0, 100.0, 1000.0});
+  double sample = 0.0;
+  for (auto _ : state) {
+    histogram.Record(sample);
+    sample = sample < 2000.0 ? sample + 1.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TraceAppendDisabled(benchmark::State& state) {
+  const bool was_enabled = obs::TracingEnabled();
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  for (auto _ : state) {
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kWalAppend, "bench", 1.0, 2);
+  }
+  obs::TraceRecorder::SetRuntimeEnabled(was_enabled);
+}
+BENCHMARK(BM_TraceAppendDisabled);
+
+void BM_TraceAppendEnabled(benchmark::State& state) {
+  // A private recorder so the benchmark does not pollute the global
+  // stream; the ring wraps, which is the steady-state cost.
+  obs::TraceRecorder recorder;
+  int64_t i = 0;
+  for (auto _ : state) {
+    recorder.Append(
+        obs::MakeEvent(obs::TraceEventKind::kWalAppend, "bench", 1.0, i++));
+  }
+  benchmark::DoNotOptimize(recorder.dropped());
+}
+BENCHMARK(BM_TraceAppendEnabled);
 
 }  // namespace
 }  // namespace mobrep

@@ -3,12 +3,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/metrics.h"
+#include "mobrep/obs/trace.h"
+#include "mobrep/obs/trace_export.h"
 #include "mobrep/runner/thread_pool.h"
 
 namespace mobrep::bench {
@@ -93,6 +97,12 @@ std::string BenchReport::CellsJson() const {
 
 std::string BenchReport::FullJson(double wall_ms, int threads,
                                   double serial_wall_ms) const {
+  MOBREP_CHECK_MSG(
+      std::isfinite(wall_ms) && wall_ms >= 0.0,
+      ("bench '" + name_ + "' produced a non-finite wall_ms").c_str());
+  MOBREP_CHECK_MSG(
+      threads >= 1,
+      ("bench '" + name_ + "' reported a thread count < 1").c_str());
   std::ostringstream out;
   out << CellsJson() << ",\n  \"timing\": {\n    \"wall_ms\": "
       << JsonNumber(wall_ms) << ",\n    \"threads\": " << threads;
@@ -101,8 +111,51 @@ std::string BenchReport::FullJson(double wall_ms, int threads,
         << ",\n    \"speedup_vs_serial\": "
         << JsonNumber(serial_wall_ms / wall_ms);
   }
-  out << "\n  }\n}\n";
+  out << "\n  },\n  \"metrics\": "
+      << obs::MetricsRegistry::Global()->ExportJsonObject() << "\n}\n";
   return out.str();
+}
+
+bool BenchReport::ValidateTimingJson(const std::string& json,
+                                     std::string* error) {
+  MOBREP_CHECK(error != nullptr);
+  const auto fail = [&](const std::string& bench, const char* what) {
+    *error = "bench '" + bench + "': " + what;
+    return false;
+  };
+  // Minimal structural scan — enough to catch a truncated or crashed run
+  // before CI's jq pipeline turns it into an opaque diff failure.
+  std::string bench = "<unknown>";
+  const auto bench_pos = json.find("\"bench\": \"");
+  if (bench_pos != std::string::npos) {
+    const size_t start = bench_pos + 10;
+    const size_t end = json.find('"', start);
+    if (end != std::string::npos) bench = json.substr(start, end - start);
+  }
+  const auto timing_pos = json.find("\"timing\"");
+  if (timing_pos == std::string::npos) {
+    return fail(bench, "timing block missing from report");
+  }
+  const auto wall_pos = json.find("\"wall_ms\": ", timing_pos);
+  if (wall_pos == std::string::npos) {
+    return fail(bench, "timing block has no wall_ms");
+  }
+  const char* wall_text = json.c_str() + wall_pos + 11;
+  char* parse_end = nullptr;
+  const double wall_ms = std::strtod(wall_text, &parse_end);
+  if (parse_end == wall_text || !std::isfinite(wall_ms) || wall_ms < 0.0) {
+    return fail(bench, "timing.wall_ms is not a finite non-negative number");
+  }
+  const auto threads_pos = json.find("\"threads\": ", timing_pos);
+  if (threads_pos == std::string::npos) {
+    return fail(bench, "timing block has no threads");
+  }
+  const long threads = std::strtol(json.c_str() + threads_pos + 11,
+                                   &parse_end, 10);
+  if (threads < 1) {
+    return fail(bench, "timing.threads is not >= 1");
+  }
+  return true;
 }
 
 void BenchReport::WriteFiles(double wall_ms, int threads) const {
@@ -159,6 +212,22 @@ void FinishGlobalReport() {
   // what the sweeps in this process really used.
   const int threads = ThreadPool::Default()->num_threads();
   state.report->WriteFiles(wall_ms, threads);
+  // MOBREP_TRACE_FILE=<path> exports everything the recorder captured
+  // (MOBREP_TRACE=1 enables capture) as Chrome trace-event JSON — load the
+  // file in Perfetto or chrome://tracing to see per-thread sweep-cell
+  // spans. No-op when tracing is off or compiled out.
+  if (const char* trace_path = std::getenv("MOBREP_TRACE_FILE");
+      trace_path != nullptr && trace_path[0] != '\0' &&
+      obs::TracingEnabled()) {
+    obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+    const auto events = recorder->MergedEvents();
+    if (obs::WriteFileOrWarn(trace_path, obs::ExportChromeTrace(events))) {
+      std::fprintf(stderr,
+                   "[bench_json] wrote %s (%zu trace events, %lld dropped)\n",
+                   trace_path, events.size(),
+                   static_cast<long long>(recorder->dropped()));
+    }
+  }
   // The footer carries timing, so it goes to stderr: stdout must stay
   // byte-identical across thread counts.
   std::fprintf(stderr,

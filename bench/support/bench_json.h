@@ -18,15 +18,18 @@ namespace mobrep::bench {
 //     "cells": [ {"key": "<grid key>", "value": <number or string>}, ... ],
 //     "timing": { "wall_ms": <float>, "threads": <int>,
 //                 "serial_wall_ms": <float, optional>,
-//                 "speedup_vs_serial": <float, optional> }
+//                 "speedup_vs_serial": <float, optional> },
+//     "metrics": { "<name>": {"kind": ..., "value": ...}, ... }
 //   }
 //
-// Determinism contract: everything OUTSIDE "timing" is a pure function of
-// the bench's seeds — cells are serialized in insertion order with %.17g
-// (round-trip exact for doubles), so two runs of the same binary at
-// different thread counts produce byte-identical documents after deleting
-// the "timing" member (CI diffs exactly that; see
-// tests/bench/bench_json_test.cc for the in-process check).
+// Determinism contract: everything OUTSIDE "timing" and "metrics" is a
+// pure function of the bench's seeds — cells are serialized in insertion
+// order with %.17g (round-trip exact for doubles), so two runs of the same
+// binary at different thread counts produce byte-identical documents after
+// deleting the "timing" and "metrics" members (CI diffs exactly that; see
+// tests/bench/bench_json_test.cc for the in-process check). "metrics" is
+// the global MetricsRegistry snapshot (pool width, chunks drained/stolen —
+// scheduling-dependent by nature), excluded for the same reason as timing.
 //
 // The serial baseline for "speedup_vs_serial": a run with 1 thread also
 // writes BENCH_<name>.serial_ms (a bare number); any later run in the same
@@ -40,15 +43,25 @@ class BenchReport {
   void Add(const std::string& key, double value);
   void AddText(const std::string& key, const std::string& value);
 
-  // Deterministic part of the document (no timing).
+  // Deterministic part of the document (no timing, no metrics).
   std::string CellsJson() const;
 
-  // Full document. serial_wall_ms <= 0 means "no baseline known".
+  // Full document. serial_wall_ms <= 0 means "no baseline known". Aborts
+  // (naming this bench) if wall_ms is non-finite or negative, or threads
+  // < 1 — a malformed timing block would otherwise surface only as a
+  // confusing jq failure in the CI diff step.
   std::string FullJson(double wall_ms, int threads,
                        double serial_wall_ms) const;
 
   // Writes BENCH_<name>.json (+ the serial sidecar when threads == 1).
   void WriteFiles(double wall_ms, int threads) const;
+
+  // Checks that `json` (a FullJson document) carries a well-formed timing
+  // block: a "timing" member with a finite, non-negative "wall_ms" and a
+  // "threads" value >= 1. On failure returns false and sets *error to a
+  // message naming the bench. Run by the bench_json tests and mirrored by
+  // the CI jq gate before any diff touches the file.
+  static bool ValidateTimingJson(const std::string& json, std::string* error);
 
   const std::string& name() const { return name_; }
   size_t cell_count() const { return cells_.size(); }

@@ -14,6 +14,7 @@
 #include "mobrep/core/offline_optimal.h"
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/common/strings.h"
 #include "mobrep/trace/adversary.h"
 
 namespace {
@@ -70,11 +71,10 @@ void ShowRatios() {
   for (const int k : {3, 9}) {
     SlidingWindowPolicy policy(k);
     const Schedule s = BlockSchedule(300, k, k);
+    const std::string adversary =
+        StrFormat("(%dw,%dr)x300", k, k);
     std::printf("  %-8s %-22s %-12.3f %-10.1f\n",
-                policy.name().c_str(),
-                ("(" + std::to_string(k) + "w," + std::to_string(k) +
-                 "r)x300")
-                    .c_str(),
+                policy.name().c_str(), adversary.c_str(),
                 MeasureRatio(&policy, s, conn).ratio, k + 1.0);
   }
   {

@@ -6,9 +6,36 @@
 #include "mobrep/core/sliding_window_policy.h"
 #include "mobrep/core/static_policies.h"
 #include "mobrep/core/threshold_policies.h"
+#include "mobrep/obs/trace.h"
+#include "mobrep/obs/trace_export.h"
 
 namespace mobrep {
 namespace {
+
+// Cold path, entered only when tracing is runtime-enabled: records the full
+// decision (request index, action, copy-state transition, window state for
+// sliding-window policies) for the audit-log and Perfetto exporters.
+void EmitPolicyDecision(const AllocationPolicy* policy, Op op,
+                        ActionKind action, bool copy_before, bool copy_after,
+                        double cost, int64_t request_index) {
+  obs::PolicyDecision decision;
+  decision.request_index = request_index;
+  decision.op = static_cast<int>(op);
+  decision.action = static_cast<int>(action);
+  decision.copy_before = copy_before;
+  decision.copy_after = copy_after;
+  decision.cost = cost;
+  decision.policy = policy->name();
+  if (const auto* sw = dynamic_cast<const SlidingWindowPolicy*>(policy)) {
+    // Window state after the current request was pushed — the state the
+    // majority test actually ran against.
+    decision.has_window = true;
+    decision.window_size = sw->window_size();
+    decision.window_reads = sw->window().read_count();
+    decision.window_writes = sw->window().write_count();
+  }
+  obs::TraceRecorder::Global()->Append(obs::EncodePolicyDecision(decision));
+}
 
 constexpr int kNumActionKinds = 7;
 
@@ -196,12 +223,23 @@ double CostMeter::OnRequest(Op op) {
   const bool copy_after = policy_->has_copy();
   if (!copy_before && copy_after) ++breakdown_.allocations;
   if (copy_before && !copy_after) ++breakdown_.deallocations;
+  if (obs::TracingEnabled()) {
+    EmitPolicyDecision(policy_, op, action, copy_before, copy_after, cost,
+                       breakdown_.requests - 1);
+  }
   return cost;
 }
 
 double CostMeter::OnRequestBatch(const Op* ops, int64_t n,
                                  double running_total) {
   if (n <= 0) return running_total;
+  if (obs::TracingEnabled()) {
+    // Traced runs take the generic per-request path so every decision is
+    // recorded. The two paths are cross-checked bit for bit by tests, so
+    // this changes no simulation output — only speed.
+    for (int64_t i = 0; i < n; ++i) running_total += OnRequest(ops[i]);
+    return running_total;
+  }
   const ActionTables tables(*model_);
 
   if (auto* sw = dynamic_cast<SlidingWindowPolicy*>(policy_)) {

@@ -12,6 +12,11 @@
 #include "mobrep/common/status.h"
 #include "mobrep/common/strings.h"
 
+// Observability: metrics registry, structured event tracing, exporters.
+#include "mobrep/obs/metrics.h"
+#include "mobrep/obs/trace.h"
+#include "mobrep/obs/trace_export.h"
+
 // The single-item allocation algorithms and cost models.
 #include "mobrep/core/cost_model.h"
 #include "mobrep/core/cost_simulator.h"

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 
@@ -14,25 +15,37 @@ Channel::Channel(EventQueue* queue, double latency, std::string name)
 
 void Channel::Meter(const Message& message) {
   if (message.type == MessageType::kAck) {
-    ++acks_sent_;
+    acks_sent_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kAckSend, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(message.seq));
     return;
   }
   if (message.retransmit) {
-    ++retransmissions_sent_;
+    retransmissions_sent_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kRetransmit, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(message.seq),
+                       static_cast<int64_t>(message.type));
     return;
   }
-  ++messages_sent_;
+  messages_sent_.Increment();
   if (IsDataMessage(message.type)) {
-    ++data_messages_sent_;
+    data_messages_sent_.Increment();
   } else {
-    ++control_messages_sent_;
+    control_messages_sent_.Increment();
   }
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageSend, name_.c_str(),
+                     queue_->now(), static_cast<int64_t>(message.seq),
+                     static_cast<int64_t>(message.type),
+                     IsDataMessage(message.type) ? 1 : 0);
 }
 
 void Channel::ScheduleDelivery(Message message, double delay) {
   MOBREP_CHECK_MSG(receiver_ != nullptr,
                    "channel has no receiver installed");
   queue_->ScheduleAfter(delay, [this, msg = std::move(message)]() {
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageRecv, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(msg.seq),
+                       static_cast<int64_t>(msg.type));
     receiver_(msg);
   });
 }

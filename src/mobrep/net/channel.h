@@ -9,6 +9,7 @@
 #include "mobrep/net/event_queue.h"
 #include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
+#include "mobrep/obs/metrics.h"
 
 namespace mobrep {
 
@@ -39,12 +40,16 @@ class Channel : public Link {
   // Enqueues delivery at now() + latency.
   void Send(Message message) override;
 
-  int64_t messages_sent() const { return messages_sent_; }
-  int64_t data_messages_sent() const { return data_messages_sent_; }
-  int64_t control_messages_sent() const { return control_messages_sent_; }
+  int64_t messages_sent() const { return messages_sent_.value(); }
+  int64_t data_messages_sent() const { return data_messages_sent_.value(); }
+  int64_t control_messages_sent() const {
+    return control_messages_sent_.value();
+  }
   // Link-layer overhead, metered outside the paper's cost models.
-  int64_t acks_sent() const { return acks_sent_; }
-  int64_t retransmissions_sent() const { return retransmissions_sent_; }
+  int64_t acks_sent() const { return acks_sent_.value(); }
+  int64_t retransmissions_sent() const {
+    return retransmissions_sent_.value();
+  }
   const std::string& name() const override { return name_; }
   double latency() const { return latency_; }
 
@@ -64,11 +69,13 @@ class Channel : public Link {
   double latency_;
   std::string name_;
   Receiver receiver_;
-  int64_t messages_sent_ = 0;
-  int64_t data_messages_sent_ = 0;
-  int64_t control_messages_sent_ = 0;
-  int64_t acks_sent_ = 0;
-  int64_t retransmissions_sent_ = 0;
+  // obs::Counter cells behind the historical accessors: lock-free
+  // increments, one schema with the rest of the metrics layer.
+  obs::Counter messages_sent_;
+  obs::Counter data_messages_sent_;
+  obs::Counter control_messages_sent_;
+  obs::Counter acks_sent_;
+  obs::Counter retransmissions_sent_;
 };
 
 }  // namespace mobrep

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 
@@ -77,17 +78,21 @@ void FaultyChannel::Send(Message message) {
   const LinkFaultModel::Decision decision = model_.Decide(queue()->now());
   if (decision.drop) {
     if (decision.in_outage) {
-      ++outage_drops_;
+      outage_drops_.Increment();
     } else {
-      ++injected_drops_;
+      injected_drops_.Increment();
     }
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageDrop, name().c_str(),
+                       queue()->now(), static_cast<int64_t>(message.seq),
+                       static_cast<int64_t>(message.type),
+                       decision.in_outage ? 1 : 0);
     return;
   }
   if (decision.duplicate) {
-    ++injected_duplicates_;
+    injected_duplicates_.Increment();
     ScheduleDelivery(message, latency() + decision.duplicate_jitter);
   }
-  if (decision.jitter > 0.0) ++jittered_deliveries_;
+  if (decision.jitter > 0.0) jittered_deliveries_.Increment();
   ScheduleDelivery(std::move(message), latency() + decision.jitter);
 }
 

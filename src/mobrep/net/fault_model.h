@@ -95,18 +95,19 @@ class FaultyChannel : public Channel {
   bool InOutage(double now) const { return model_.InOutage(now); }
   const LinkFaultModel& fault_model() const { return model_; }
 
-  // Injected-fault meters.
-  int64_t injected_drops() const { return injected_drops_; }
-  int64_t outage_drops() const { return outage_drops_; }
-  int64_t injected_duplicates() const { return injected_duplicates_; }
-  int64_t jittered_deliveries() const { return jittered_deliveries_; }
+  // Injected-fault meters (obs::Counter cells behind the historical
+  // accessors).
+  int64_t injected_drops() const { return injected_drops_.value(); }
+  int64_t outage_drops() const { return outage_drops_.value(); }
+  int64_t injected_duplicates() const { return injected_duplicates_.value(); }
+  int64_t jittered_deliveries() const { return jittered_deliveries_.value(); }
 
  private:
   LinkFaultModel model_;
-  int64_t injected_drops_ = 0;
-  int64_t outage_drops_ = 0;
-  int64_t injected_duplicates_ = 0;
-  int64_t jittered_deliveries_ = 0;
+  obs::Counter injected_drops_;
+  obs::Counter outage_drops_;
+  obs::Counter injected_duplicates_;
+  obs::Counter jittered_deliveries_;
 };
 
 }  // namespace mobrep

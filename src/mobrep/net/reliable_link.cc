@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 
@@ -36,11 +37,14 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
   queue_->ScheduleAfter(rto, [this, seq, rto]() {
     const auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // acked since; stale timer
-    ++timeouts_;
+    timeouts_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kArqTimeout, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(seq),
+                       it->second.attempts);
     if (it->second.attempts >= config_.max_retries) {
       const Message abandoned = it->second.frame;
       outstanding_.erase(it);
-      ++give_ups_;
+      give_ups_.Increment();
       MOBREP_CHECK_MSG(on_give_up_ != nullptr,
                        "reliable link exhausted its retry cap");
       on_give_up_(abandoned);
@@ -51,7 +55,7 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
     Message copy = it->second.frame;
     copy.retransmit = true;
     transport_->Send(std::move(copy));
-    ++retransmissions_;
+    retransmissions_.Increment();
     ArmTimer(seq, std::min(rto * config_.backoff, config_.max_rto));
   });
 }
@@ -77,7 +81,9 @@ void ReliableLink::HandleFrame(const Message& frame) {
 
   if (frame.seq < next_deliver_seq_ ||
       reorder_buffer_.count(frame.seq) != 0) {
-    ++duplicates_dropped_;
+    duplicates_dropped_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kDuplicateDropped, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(frame.seq));
     return;
   }
   reorder_buffer_.emplace(frame.seq, frame);
@@ -86,7 +92,7 @@ void ReliableLink::HandleFrame(const Message& frame) {
     Message next = std::move(reorder_buffer_.begin()->second);
     reorder_buffer_.erase(reorder_buffer_.begin());
     ++next_deliver_seq_;
-    ++delivered_;
+    delivered_.Increment();
     MOBREP_CHECK_MSG(receiver_ != nullptr,
                      "reliable link has no receiver installed");
     receiver_(next);

@@ -88,12 +88,13 @@ class ReliableLink : public Link {
   // incoming channel's receiver).
   void HandleFrame(const Message& frame);
 
-  // Counters (all link-layer, outside the paper's cost models).
-  int64_t retransmissions() const { return retransmissions_; }
-  int64_t timeouts() const { return timeouts_; }
-  int64_t duplicates_dropped() const { return duplicates_dropped_; }
-  int64_t delivered() const { return delivered_; }
-  int64_t give_ups() const { return give_ups_; }
+  // Counters (all link-layer, outside the paper's cost models; obs::Counter
+  // cells behind the historical accessors).
+  int64_t retransmissions() const { return retransmissions_.value(); }
+  int64_t timeouts() const { return timeouts_.value(); }
+  int64_t duplicates_dropped() const { return duplicates_dropped_.value(); }
+  int64_t delivered() const { return delivered_.value(); }
+  int64_t give_ups() const { return give_ups_.value(); }
   size_t outstanding_frames() const { return outstanding_.size(); }
   size_t buffered_frames() const { return reorder_buffer_.size(); }
 
@@ -118,11 +119,11 @@ class ReliableLink : public Link {
   std::map<uint64_t, Outstanding> outstanding_;
   std::map<uint64_t, Message> reorder_buffer_;
 
-  int64_t retransmissions_ = 0;
-  int64_t timeouts_ = 0;
-  int64_t duplicates_dropped_ = 0;
-  int64_t delivered_ = 0;
-  int64_t give_ups_ = 0;
+  obs::Counter retransmissions_;
+  obs::Counter timeouts_;
+  obs::Counter duplicates_dropped_;
+  obs::Counter delivered_;
+  obs::Counter give_ups_;
 };
 
 }  // namespace mobrep

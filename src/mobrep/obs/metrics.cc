@@ -1,0 +1,273 @@
+#include "mobrep/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep::obs {
+namespace {
+
+// %.17g round-trips every finite double; metrics are diagnostics, so
+// non-finite values are rendered as JSON strings rather than aborting.
+std::string NumberToJson(double value) {
+  if (value != value) return "\"nan\"";
+  if (value > 1.7976931348623157e308) return "\"inf\"";
+  if (value < -1.7976931348623157e308) return "\"-inf\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  MOBREP_CHECK_MSG(!bounds_.empty(), "a histogram needs at least one bucket");
+  MOBREP_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bucket bounds must be sorted");
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double sample) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() noexcept {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    MOBREP_CHECK_MSG(entry.gauge == nullptr && entry.histogram == nullptr,
+                     name.c_str());
+    entry.kind = MetricKind::kCounter;
+    entry.help = help;
+    entry.unit = unit;
+    entry.counter = std::make_unique<Counter>();
+  }
+  MOBREP_CHECK_MSG(entry.kind == MetricKind::kCounter, name.c_str());
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    MOBREP_CHECK_MSG(entry.counter == nullptr && entry.histogram == nullptr,
+                     name.c_str());
+    entry.kind = MetricKind::kGauge;
+    entry.help = help;
+    entry.unit = unit;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  MOBREP_CHECK_MSG(entry.kind == MetricKind::kGauge, name.c_str());
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help,
+                                         const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    MOBREP_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr,
+                     name.c_str());
+    entry.kind = MetricKind::kHistogram;
+    entry.help = help;
+    entry.unit = unit;
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  MOBREP_CHECK_MSG(entry.kind == MetricKind::kHistogram, name.c_str());
+  return entry.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = entry.help;
+    sample.unit = entry.unit;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.counter_value = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge_value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram_bounds = entry.histogram->upper_bounds();
+        sample.histogram_counts = entry.histogram->bucket_counts();
+        sample.histogram_count = entry.histogram->count();
+        sample.histogram_sum = entry.histogram->sum();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::ostringstream out;
+  for (const MetricSample& sample : Snapshot()) {
+    out << sample.name << " " << KindName(sample.kind) << " ";
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << sample.counter_value;
+        break;
+      case MetricKind::kGauge:
+        out << NumberToJson(sample.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out << "count=" << sample.histogram_count
+            << " sum=" << NumberToJson(sample.histogram_sum) << " buckets=";
+        for (size_t i = 0; i < sample.histogram_counts.size(); ++i) {
+          if (i > 0) out << ",";
+          if (i < sample.histogram_bounds.size()) {
+            out << "le" << NumberToJson(sample.histogram_bounds[i]) << ":";
+          } else {
+            out << "inf:";
+          }
+          out << sample.histogram_counts[i];
+        }
+        break;
+      }
+    }
+    if (!sample.unit.empty()) out << " " << sample.unit;
+    if (!sample.help.empty()) out << "  # " << sample.help;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportJsonObject() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const MetricSample& sample : Snapshot()) {
+    out << (first ? "" : ",") << "\n    \"" << EscapeJson(sample.name)
+        << "\": {\"kind\": \"" << KindName(sample.kind) << "\"";
+    if (!sample.unit.empty()) {
+      out << ", \"unit\": \"" << EscapeJson(sample.unit) << "\"";
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << ", \"value\": " << sample.counter_value;
+        break;
+      case MetricKind::kGauge:
+        out << ", \"value\": " << NumberToJson(sample.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out << ", \"count\": " << sample.histogram_count
+            << ", \"sum\": " << NumberToJson(sample.histogram_sum)
+            << ", \"bounds\": [";
+        for (size_t i = 0; i < sample.histogram_bounds.size(); ++i) {
+          out << (i == 0 ? "" : ", ")
+              << NumberToJson(sample.histogram_bounds[i]);
+        }
+        out << "], \"buckets\": [";
+        for (size_t i = 0; i < sample.histogram_counts.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << sample.histogram_counts[i];
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "}";
+  return out.str();
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace mobrep::obs

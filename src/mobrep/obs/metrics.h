@@ -1,0 +1,164 @@
+#ifndef MOBREP_OBS_METRICS_H_
+#define MOBREP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mobrep::obs {
+
+// Unified metrics layer (DESIGN.md §8): one schema and one export path for
+// the counters that used to live ad hoc in ProtocolMetrics, the net/ fault
+// and ARQ meters and the runner/ thread-pool stats.
+//
+// Design split: the *cells* (Counter, Gauge, Histogram) are standalone
+// lock-free value holders that components embed directly — an increment is
+// one relaxed atomic RMW, no lock, no name lookup, safe from any thread.
+// The *registry* owns named cells for process-level aggregates and renders
+// deterministic snapshots (sorted by name) as text or JSON. Components
+// either embed anonymous cells behind their existing accessors (Channel,
+// ReliableLink, FaultyChannel) or register named cells once and cache the
+// handle (ThreadPool).
+//
+// None of this feeds back into simulation results: metrics are
+// write-mostly observers, so enabling or exporting them can never perturb
+// cost counters or bench cell values.
+
+// Monotonic event count. Relaxed increments: totals are exact once the
+// writing threads have joined (every reader in this repo reads after a
+// ParallelFor barrier or at end of run).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-writer-wins instantaneous value (pool width, queue depth).
+class Gauge {
+ public:
+  void Set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts samples <= upper_bounds[i], with
+// one implicit overflow bucket above the last bound. Bucket counts and the
+// running sum are individually exact under concurrent Record() calls
+// (the sum uses a CAS loop; doubles have no atomic fetch_add pre-C++20 on
+// all toolchains we target).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double sample) noexcept;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // bounds_.size() + 1 entries; the last is the overflow bucket.
+  std::vector<int64_t> bucket_counts() const;
+  int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+// One metric in a deterministic snapshot.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  std::string unit;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t counter_value = 0;                // kCounter
+  double gauge_value = 0.0;                 // kGauge
+  std::vector<double> histogram_bounds;     // kHistogram
+  std::vector<int64_t> histogram_counts;    // kHistogram (bounds + overflow)
+  int64_t histogram_count = 0;              // kHistogram
+  double histogram_sum = 0.0;               // kHistogram
+};
+
+// Owns named metric cells. Registration takes a lock and returns a stable
+// handle; the returned cell is then incremented lock-free. Registering the
+// same name again returns the existing cell (the kind must match — a
+// name/kind clash is a programming error and aborts).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const std::string& unit = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const std::string& unit = "");
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds,
+                          const std::string& help = "",
+                          const std::string& unit = "");
+
+  // Deterministic view: samples sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Zeroes every cell (handles stay valid).
+  void ResetAll();
+
+  size_t size() const;
+
+  // "name kind value [unit] # help" lines, sorted by name.
+  std::string ExportText() const;
+  // A bare JSON object {"name": {...}, ...}, sorted by name — suitable for
+  // embedding (bench_json's "metrics" member) or standalone parsing.
+  std::string ExportJsonObject() const;
+
+  // Process-wide registry used by the built-in instrumentation
+  // (thread pool, bench harness, CLI).
+  static MetricsRegistry* Global();
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string help;
+    std::string unit;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // ordered => deterministic export
+};
+
+}  // namespace mobrep::obs
+
+#endif  // MOBREP_OBS_METRICS_H_

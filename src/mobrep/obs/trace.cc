@@ -1,0 +1,216 @@
+#include "mobrep/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep::obs {
+
+std::atomic<bool> g_trace_runtime_enabled{false};
+
+namespace {
+
+// Reads the MOBREP_TRACE environment variable once at process start so
+// env-driven runs (benches under the obs-smoke CI job) need no code change.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    if constexpr (!kTracingCompiled) return;
+    const char* env = std::getenv("MOBREP_TRACE");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      g_trace_runtime_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+const TraceEnvInit trace_env_init;
+
+uint64_t WallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPolicyDecision:
+      return "policy_decision";
+    case TraceEventKind::kMessageSend:
+      return "message_send";
+    case TraceEventKind::kMessageRecv:
+      return "message_recv";
+    case TraceEventKind::kMessageDrop:
+      return "message_drop";
+    case TraceEventKind::kRetransmit:
+      return "retransmit";
+    case TraceEventKind::kAckSend:
+      return "ack_send";
+    case TraceEventKind::kArqTimeout:
+      return "arq_timeout";
+    case TraceEventKind::kDuplicateDropped:
+      return "duplicate_dropped";
+    case TraceEventKind::kWalAppend:
+      return "wal_append";
+    case TraceEventKind::kWalSync:
+      return "wal_sync";
+    case TraceEventKind::kSweepCellBegin:
+      return "sweep_cell_begin";
+    case TraceEventKind::kSweepCellEnd:
+      return "sweep_cell_end";
+  }
+  return "unknown";
+}
+
+TraceEvent MakeEvent(TraceEventKind kind, const char* label, double ts,
+                     int64_t a0, int64_t a1, int64_t a2, double d0) {
+  TraceEvent event;
+  event.kind = kind;
+  event.ts = ts;
+  event.a0 = a0;
+  event.a1 = a1;
+  event.a2 = a2;
+  event.d0 = d0;
+  if (label != nullptr) {
+    std::strncpy(event.label, label, sizeof(event.label) - 1);
+    event.label[sizeof(event.label) - 1] = '\0';
+  }
+  return event;
+}
+
+// Per-thread emission state. One instance per thread per process; it binds
+// lazily to whichever recorder the thread appends to (in practice the
+// global one) and re-binds when that recorder is Clear()ed.
+struct TraceRecorder::ThreadState {
+  uint64_t recorder_id = 0;  // 0 = unbound (ids start at 1)
+  uint64_t generation = 0;
+  ThreadBuffer* buffer = nullptr;
+  uint32_t tid = 0;
+  int64_t scope = 0;
+  uint64_t seq = 0;
+};
+
+TraceRecorder::ThreadState& TraceRecorder::Tls() {
+  static thread_local ThreadState state;
+  return state;
+}
+
+namespace {
+std::atomic<uint64_t> g_next_recorder_id{1};
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+void TraceRecorder::SetRuntimeEnabled(bool enabled) {
+  if constexpr (!kTracingCompiled) return;
+  g_trace_runtime_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetCapacityPerThread(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MOBREP_CHECK_MSG(capacity >= 2, "trace ring needs at least two slots");
+  capacity_per_thread_ = capacity;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread(
+    uint32_t* tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  buffer->ring.resize(capacity_per_thread_);
+  *tid = static_cast<uint32_t>(buffers_.size() - 1);
+  return buffer;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadState& state = Tls();
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (state.recorder_id != id_ || state.generation != generation ||
+      state.buffer == nullptr) {
+    state.recorder_id = id_;
+    state.generation = generation;
+    state.buffer = BufferForThisThread(&state.tid);
+  }
+  event.scope = state.scope;
+  event.seq = state.seq++;
+  event.tid = state.tid;
+  event.wall_ns = WallNs();
+
+  ThreadBuffer& buffer = *state.buffer;
+  const size_t slot = static_cast<size_t>(buffer.total % buffer.ring.size());
+  if (buffer.total >= buffer.ring.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buffer.ring[slot] = event;
+  ++buffer.total;
+}
+
+int64_t TraceRecorder::ReserveScopes(int64_t n) {
+  MOBREP_CHECK(n >= 1);
+  return next_scope_.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::MergedEvents() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      const uint64_t size = buffer->ring.size();
+      const uint64_t kept = std::min(buffer->total, size);
+      const uint64_t first = buffer->total - kept;  // oldest surviving
+      for (uint64_t i = first; i < buffer->total; ++i) {
+        events.push_back(buffer->ring[static_cast<size_t>(i % size)]);
+      }
+    }
+  }
+  // (scope, seq) is unique per event as long as each scope is emitted by a
+  // single thread (the TraceScope discipline); the stable sort keeps
+  // buffer order for the degenerate multi-thread-scope-0 case so the
+  // result is at least stable within one run.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.scope != b.scope) return a.scope < b.scope;
+                     return a.seq < b.seq;
+                   });
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  next_scope_.store(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  // Reset the calling thread's ambient sequence so back-to-back traced
+  // runs from one driver thread start identically.
+  ThreadState& state = Tls();
+  if (state.recorder_id == id_) {
+    state.buffer = nullptr;
+    state.seq = 0;
+  }
+}
+
+TraceRecorder* TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return recorder;
+}
+
+TraceScope::TraceScope(int64_t scope_id) {
+  TraceRecorder::ThreadState& state = TraceRecorder::Tls();
+  saved_scope_ = state.scope;
+  saved_seq_ = state.seq;
+  state.scope = scope_id;
+  state.seq = 0;
+}
+
+TraceScope::~TraceScope() {
+  TraceRecorder::ThreadState& state = TraceRecorder::Tls();
+  state.scope = saved_scope_;
+  state.seq = saved_seq_;
+}
+
+}  // namespace mobrep::obs

@@ -1,0 +1,292 @@
+#include "mobrep/obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep::obs {
+namespace {
+
+// Field layout of the kPolicyDecision payload in TraceEvent::a1/a2.
+constexpr int64_t kOpShift = 0;        // 4 bits
+constexpr int64_t kActionShift = 4;    // 8 bits
+constexpr int64_t kCopyBeforeBit = 12;
+constexpr int64_t kCopyAfterBit = 13;
+constexpr int64_t kWindowReadsShift = 0;   // 16 bits
+constexpr int64_t kWindowWritesShift = 16;  // 16 bits
+constexpr int64_t kWindowSizeShift = 32;    // 31 bits
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Num(double value) {
+  if (value != value) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+const char* OpName(int op) { return op == 1 ? "write" : "read"; }
+
+const char* ActionName(int action) {
+  // Mirrors mobrep::ActionKindName over mobrep::ActionKind; obs sits below
+  // core, so the names are replicated here and locked by a test.
+  static const char* kNames[] = {
+      "local_read",      "remote_read",
+      "remote_read_allocate", "write_no_copy",
+      "write_propagate", "write_propagate_deallocate",
+      "write_invalidate"};
+  if (action < 0 || action >= static_cast<int>(std::size(kNames))) {
+    return "unknown_action";
+  }
+  return kNames[action];
+}
+
+const char* MessageTypeLabel(int type) {
+  // Mirrors mobrep::MessageTypeName over mobrep::MessageType.
+  static const char* kNames[] = {"read_request", "data_response",
+                                 "write_propagate", "delete_request",
+                                 "invalidate", "ack"};
+  if (type < 0 || type >= static_cast<int>(std::size(kNames))) {
+    return "unknown_message";
+  }
+  return kNames[type];
+}
+
+TraceEvent EncodePolicyDecision(const PolicyDecision& decision) {
+  const int64_t packed_state =
+      (static_cast<int64_t>(decision.op & 0xf) << kOpShift) |
+      (static_cast<int64_t>(decision.action & 0xff) << kActionShift) |
+      (static_cast<int64_t>(decision.copy_before) << kCopyBeforeBit) |
+      (static_cast<int64_t>(decision.copy_after) << kCopyAfterBit);
+  int64_t packed_window = -1;
+  if (decision.has_window) {
+    const auto clamp16 = [](int v) {
+      return static_cast<int64_t>(std::clamp(v, 0, 0xffff));
+    };
+    packed_window = (clamp16(decision.window_reads) << kWindowReadsShift) |
+                    (clamp16(decision.window_writes) << kWindowWritesShift) |
+                    (static_cast<int64_t>(std::max(decision.window_size, 0))
+                     << kWindowSizeShift);
+  }
+  return MakeEvent(TraceEventKind::kPolicyDecision, decision.policy.c_str(),
+                   static_cast<double>(decision.request_index),
+                   decision.request_index, packed_state, packed_window,
+                   decision.cost);
+}
+
+PolicyDecision DecodePolicyDecision(const TraceEvent& event) {
+  PolicyDecision decision;
+  decision.request_index = event.a0;
+  decision.op = static_cast<int>((event.a1 >> kOpShift) & 0xf);
+  decision.action = static_cast<int>((event.a1 >> kActionShift) & 0xff);
+  decision.copy_before = ((event.a1 >> kCopyBeforeBit) & 1) != 0;
+  decision.copy_after = ((event.a1 >> kCopyAfterBit) & 1) != 0;
+  decision.cost = event.d0;
+  decision.policy = event.label;
+  if (event.a2 >= 0) {
+    decision.has_window = true;
+    decision.window_reads =
+        static_cast<int>((event.a2 >> kWindowReadsShift) & 0xffff);
+    decision.window_writes =
+        static_cast<int>((event.a2 >> kWindowWritesShift) & 0xffff);
+    decision.window_size =
+        static_cast<int>(event.a2 >> kWindowSizeShift);
+  }
+  return decision;
+}
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& json) {
+    out << (first ? "  " : ",\n  ") << json;
+    first = false;
+  };
+
+  emit("{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"sweep (wall clock)\"}}");
+  emit("{\"ph\": \"M\", \"pid\": 2, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"simulation (logical time)\"}}");
+
+  // Wall-clock base so span timestamps start near zero.
+  uint64_t base_ns = 0;
+  for (const TraceEvent& event : events) {
+    if (event.wall_ns != 0 && (base_ns == 0 || event.wall_ns < base_ns)) {
+      base_ns = event.wall_ns;
+    }
+  }
+
+  // Logical lanes on pid 2: one tid per distinct site label, in first-seen
+  // (merged, hence deterministic) order.
+  std::map<std::string, int> lanes;
+  const auto lane = [&](const std::string& label) {
+    auto [it, inserted] =
+        lanes.emplace(label, static_cast<int>(lanes.size()) + 1);
+    if (inserted) {
+      emit(StrFormat("{\"ph\": \"M\", \"pid\": 2, \"tid\": %d, "
+                     "\"name\": \"thread_name\", \"args\": {\"name\": "
+                     "\"%s\"}}",
+                     it->second, JsonEscape(label).c_str()));
+    }
+    return it->second;
+  };
+
+  // Open sweep-cell spans by scope, waiting for their end event.
+  std::map<int64_t, TraceEvent> open_cells;
+
+  for (const TraceEvent& event : events) {
+    switch (event.kind) {
+      case TraceEventKind::kSweepCellBegin:
+        open_cells[event.scope] = event;
+        break;
+      case TraceEventKind::kSweepCellEnd: {
+        const auto it = open_cells.find(event.scope);
+        if (it == open_cells.end()) break;
+        const TraceEvent& begin = it->second;
+        const double ts_us =
+            static_cast<double>(begin.wall_ns - base_ns) / 1000.0;
+        const double dur_us =
+            static_cast<double>(event.wall_ns - begin.wall_ns) / 1000.0;
+        emit(StrFormat(
+            "{\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %s, "
+            "\"dur\": %s, \"name\": \"%s cell %lld\", "
+            "\"args\": {\"cell\": %lld, \"scope\": %lld}}",
+            begin.tid, Num(ts_us).c_str(), Num(dur_us).c_str(),
+            JsonEscape(begin.label).c_str(),
+            static_cast<long long>(begin.a0),
+            static_cast<long long>(begin.a0),
+            static_cast<long long>(begin.scope)));
+        open_cells.erase(it);
+        break;
+      }
+      case TraceEventKind::kPolicyDecision: {
+        const PolicyDecision d = DecodePolicyDecision(event);
+        std::string args = StrFormat(
+            "{\"request\": %lld, \"op\": \"%s\", \"action\": \"%s\", "
+            "\"copy_before\": %s, \"copy_after\": %s, \"cost\": %s",
+            static_cast<long long>(d.request_index), OpName(d.op),
+            ActionName(d.action), d.copy_before ? "true" : "false",
+            d.copy_after ? "true" : "false", Num(d.cost).c_str());
+        if (d.has_window) {
+          args += StrFormat(", \"window_k\": %d, \"window_reads\": %d, "
+                            "\"window_writes\": %d",
+                            d.window_size, d.window_reads, d.window_writes);
+        }
+        args += "}";
+        emit(StrFormat(
+            "{\"ph\": \"i\", \"s\": \"t\", \"pid\": 2, \"tid\": %d, "
+            "\"ts\": %s, \"name\": \"%s\", \"args\": %s}",
+            lane(std::string("policy ") + event.label),
+            Num(event.ts).c_str(), ActionName(d.action), args.c_str()));
+        break;
+      }
+      default: {
+        // Protocol / WAL events: instants on the label's logical lane; sim
+        // time is scaled to microseconds so sub-unit latencies are visible.
+        emit(StrFormat(
+            "{\"ph\": \"i\", \"s\": \"t\", \"pid\": 2, \"tid\": %d, "
+            "\"ts\": %s, \"name\": \"%s\", \"args\": {\"a0\": %lld, "
+            "\"a1\": %lld, \"a2\": %lld}}",
+            lane(event.label), Num(event.ts * 1e6).c_str(),
+            TraceEventKindName(event.kind), static_cast<long long>(event.a0),
+            static_cast<long long>(event.a1),
+            static_cast<long long>(event.a2)));
+        break;
+      }
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string ExportAuditLog(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  int64_t decisions = 0;
+  int64_t allocations = 0;
+  int64_t deallocations = 0;
+  double total_cost = 0.0;
+  for (const TraceEvent& event : events) {
+    if (event.kind != TraceEventKind::kPolicyDecision) continue;
+    const PolicyDecision d = DecodePolicyDecision(event);
+    ++decisions;
+    total_cost += d.cost;
+    std::string line = StrFormat(
+        "req %6lld  %-5s  %-26s  copy %d->%d  cost %-8s",
+        static_cast<long long>(d.request_index), OpName(d.op),
+        ActionName(d.action), d.copy_before ? 1 : 0, d.copy_after ? 1 : 0,
+        StrFormat("%.4g", d.cost).c_str());
+    if (d.has_window) {
+      line += StrFormat("  window[k=%d r=%d w=%d]", d.window_size,
+                        d.window_reads, d.window_writes);
+    }
+    if (!d.copy_before && d.copy_after) {
+      ++allocations;
+      line += "  => ALLOCATE (replica moves to MC)";
+    } else if (d.copy_before && !d.copy_after) {
+      ++deallocations;
+      line += "  => DEALLOCATE (replica leaves MC)";
+    }
+    out << line << "\n";
+  }
+  out << StrFormat(
+      "-- %lld decisions, %lld allocations, %lld deallocations, "
+      "total cost %.6g\n",
+      static_cast<long long>(decisions), static_cast<long long>(allocations),
+      static_cast<long long>(deallocations), total_cost);
+  return out.str();
+}
+
+std::string ExportDeterministicText(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  for (const TraceEvent& event : events) {
+    out << StrFormat(
+        "scope=%lld seq=%llu kind=%s label=%s ts=%s a0=%lld a1=%lld "
+        "a2=%lld d0=%s\n",
+        static_cast<long long>(event.scope),
+        static_cast<unsigned long long>(event.seq),
+        TraceEventKindName(event.kind), event.label, Num(event.ts).c_str(),
+        static_cast<long long>(event.a0), static_cast<long long>(event.a1),
+        static_cast<long long>(event.a2), Num(event.d0).c_str());
+  }
+  return out.str();
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mobrep::obs

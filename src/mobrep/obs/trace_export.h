@@ -1,0 +1,63 @@
+#ifndef MOBREP_OBS_TRACE_EXPORT_H_
+#define MOBREP_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs {
+
+// Exporters over a merged event stream (TraceRecorder::MergedEvents()).
+//
+// Three renderings, three audiences:
+//   * ExportChromeTrace — Chrome trace-event JSON, loadable in Perfetto or
+//     chrome://tracing. Sweep-cell spans land on wall-clock per-thread
+//     lanes (pid 1); protocol/policy events land on logical-time lanes per
+//     site label (pid 2).
+//   * ExportAuditLog — the human-readable decision audit: one line per
+//     policy decision keyed to its Request index, naming the action, the
+//     copy-state transition and the window state, with relocations tagged.
+//   * ExportDeterministicText — a stable line-per-event dump of the
+//     deterministic fields only (no wall clock, no physical thread), used
+//     by tests to assert identical traces across thread counts.
+
+// The policy-decision payload carried by a kPolicyDecision event. The
+// encode/decode pair is the one schema shared by the emitter
+// (core/cost_simulator.cc) and the exporters; op/action use the integer
+// values of mobrep::Op / mobrep::ActionKind (obs sits below core in the
+// layering, so the dependency is by value, asserted in core's tests).
+struct PolicyDecision {
+  int64_t request_index = 0;
+  int op = 0;      // mobrep::Op
+  int action = 0;  // mobrep::ActionKind
+  bool copy_before = false;
+  bool copy_after = false;
+  bool has_window = false;  // sliding-window policies only
+  int window_size = 0;
+  int window_reads = 0;
+  int window_writes = 0;
+  double cost = 0.0;
+  std::string policy;  // truncated to the event label width
+};
+
+TraceEvent EncodePolicyDecision(const PolicyDecision& decision);
+PolicyDecision DecodePolicyDecision(const TraceEvent& event);
+
+// Stable names for the integer payloads above; kept in lockstep with
+// core/net (asserted by tests/obs/trace_export_test.cc).
+const char* OpName(int op);
+const char* ActionName(int action);
+const char* MessageTypeLabel(int type);
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+std::string ExportAuditLog(const std::vector<TraceEvent>& events);
+std::string ExportDeterministicText(const std::vector<TraceEvent>& events);
+
+// Writes `content` to `path`; false (with a stderr note) on I/O failure.
+bool WriteFileOrWarn(const std::string& path, const std::string& content);
+
+}  // namespace mobrep::obs
+
+#endif  // MOBREP_OBS_TRACE_EXPORT_H_

@@ -24,6 +24,40 @@ double ProtocolMetrics::PriceUnder(const CostModel& model) const {
          model.omega() * static_cast<double>(control_messages);
 }
 
+void ProtocolMetrics::PublishTo(obs::MetricsRegistry* registry,
+                                const std::string& prefix) const {
+  MOBREP_CHECK(registry != nullptr);
+  const auto count = [&](const char* field, int64_t value) {
+    registry->GetCounter(prefix + "." + field)->Increment(value);
+  };
+  count("requests", requests);
+  count("local_reads", local_reads);
+  count("remote_reads", remote_reads);
+  count("writes", writes);
+  count("propagations", propagations);
+  count("invalidations", invalidations);
+  count("allocations", allocations);
+  count("deallocations", deallocations);
+  count("data_messages", data_messages);
+  count("control_messages", control_messages);
+  count("connections", connections);
+  count("retransmissions", retransmissions);
+  count("timeouts", timeouts);
+  count("duplicates_dropped", duplicates_dropped);
+  count("acks", acks);
+  count("injected_drops", injected_drops);
+  count("injected_duplicates", injected_duplicates);
+  count("outage_drops", outage_drops);
+  count("collapsed_propagations", collapsed_propagations);
+  count("stale_propagates_dropped", stale_propagates_dropped);
+  registry->GetGauge(prefix + ".mean_read_latency", "", "sim time")
+      ->Set(mean_read_latency);
+  registry->GetGauge(prefix + ".max_read_latency", "", "sim time")
+      ->Set(max_read_latency);
+  registry->GetGauge(prefix + ".outage_time", "", "sim time")
+      ->Set(outage_time);
+}
+
 ProtocolSimulation::ProtocolSimulation(const ProtocolConfig& config)
     : config_(config) {
   store_.Put(config_.key, config_.initial_value);

@@ -13,6 +13,7 @@
 #include "mobrep/net/event_queue.h"
 #include "mobrep/net/fault_model.h"
 #include "mobrep/net/reliable_link.h"
+#include "mobrep/obs/metrics.h"
 #include "mobrep/protocol/mobile_client.h"
 #include "mobrep/protocol/stationary_server.h"
 #include "mobrep/store/replica_cache.h"
@@ -93,6 +94,14 @@ struct ProtocolMetrics {
 
   // Total communication cost under `model`.
   double PriceUnder(const CostModel& model) const;
+
+  // Publishes this snapshot into `registry` under `prefix` ("<prefix>.<
+  // field>"): event counts add into counters (the registry accumulates
+  // across runs), latencies and outage time set gauges. The struct and its
+  // accessors are unchanged — the registry is one more export path, not a
+  // replacement.
+  void PublishTo(obs::MetricsRegistry* registry,
+                 const std::string& prefix = "protocol") const;
 };
 
 class ProtocolSimulation {

@@ -6,6 +6,7 @@
 
 #include "mobrep/common/check.h"
 #include "mobrep/common/math.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 namespace {
@@ -43,13 +44,35 @@ void SweepParallelFor(int64_t n, const SweepOptions& options,
   MOBREP_CHECK(options.threads >= 0);
   const int threads = options.threads == 0 ? DefaultSweepThreads()
                                            : options.threads;
+
+  // When tracing is on, every cell runs inside its own TraceScope: the
+  // sweep reserves one scope id per cell up front (sweeps launch serially,
+  // so the reservation order — and hence every cell's scope id — does not
+  // depend on the thread count), and the cell's events are bracketed by
+  // begin/end markers. The merged (scope, seq)-sorted stream is therefore
+  // identical at every MOBREP_THREADS.
+  const std::function<void(int64_t)>* run = &body;
+  std::function<void(int64_t)> traced;
+  if (obs::TracingEnabled() && n > 0) {
+    const int64_t base_scope = obs::TraceRecorder::Global()->ReserveScopes(n);
+    traced = [&body, base_scope](int64_t i) {
+      obs::TraceScope scope(base_scope + i);
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kSweepCellBegin, "sweep",
+                         static_cast<double>(i), i);
+      body(i);
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kSweepCellEnd, "sweep",
+                         static_cast<double>(i), i);
+    };
+    run = &traced;
+  }
+
   if (threads == 1) {
-    for (int64_t i = 0; i < n; ++i) body(i);
+    for (int64_t i = 0; i < n; ++i) (*run)(i);
     return;
   }
   ThreadPool* pool = ThreadPool::Default();
   if (pool->num_threads() != threads) pool = PoolForWidth(threads);
-  pool->ParallelFor(n, body);
+  pool->ParallelFor(n, *run);
 }
 
 MonteCarloResult ParallelMonteCarlo(

@@ -5,8 +5,33 @@
 
 #include "mobrep/common/check.h"
 #include "mobrep/common/strings.h"
+#include "mobrep/obs/metrics.h"
 
 namespace mobrep {
+namespace {
+
+// Pool-wide stats in the global metrics registry. Registered once, then
+// incremented lock-free through cached handles; per-chunk (not per-index)
+// increments keep the hot loop untouched.
+obs::Counter* ChunksExecutedCell() {
+  static obs::Counter* cell = obs::MetricsRegistry::Global()->GetCounter(
+      "runner.chunks_executed", "work chunks drained by pool workers");
+  return cell;
+}
+
+obs::Counter* ChunksStolenCell() {
+  static obs::Counter* cell = obs::MetricsRegistry::Global()->GetCounter(
+      "runner.chunks_stolen", "chunks taken from another worker's queue");
+  return cell;
+}
+
+obs::Counter* ParallelForJobsCell() {
+  static obs::Counter* cell = obs::MetricsRegistry::Global()->GetCounter(
+      "runner.parallel_for_jobs", "ParallelFor invocations (pooled path)");
+  return cell;
+}
+
+}  // namespace
 
 int DefaultSweepThreads() {
   if (const char* env = std::getenv("MOBREP_THREADS")) {
@@ -55,6 +80,7 @@ bool ThreadPool::StealFrom(int victim, Chunk* out) {
   if (q.chunks.empty()) return false;
   *out = q.chunks.front();  // FIFO on the thief's side: big, cold chunks
   q.chunks.pop_front();
+  ChunksStolenCell()->Increment();
   return true;
 }
 
@@ -84,6 +110,7 @@ void ThreadPool::DrainChunks(int self) {
     // body stays valid while this chunk is unaccounted: pending_ > 0
     // keeps the owning ParallelFor blocked on work_done_.
     for (int64_t i = chunk.begin; i < chunk.end; ++i) (*body)(i);
+    ChunksExecutedCell()->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     pending_ -= chunk.end - chunk.begin;
     if (pending_ == 0) work_done_.notify_all();
@@ -113,6 +140,7 @@ void ThreadPool::ParallelFor(int64_t n,
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }
+  ParallelForJobsCell()->Increment();
   // Chunk so each worker has a handful of steal targets without paying a
   // lock per index: at most 8 chunks per worker, at least 1 index each.
   const int64_t target_chunks =
@@ -144,7 +172,13 @@ void ThreadPool::ParallelFor(int64_t n,
 }
 
 ThreadPool* ThreadPool::Default() {
-  static ThreadPool* pool = new ThreadPool(DefaultSweepThreads());
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(DefaultSweepThreads());
+    obs::MetricsRegistry::Global()
+        ->GetGauge("runner.default_pool_width", "threads in the shared pool")
+        ->Set(static_cast<double>(p->num_threads()));
+    return p;
+  }();
   return pool;
 }
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "mobrep/common/strings.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 namespace {
@@ -61,7 +62,9 @@ WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file,
 WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
     : path_(std::move(other.path_)),
       file_(other.file_),
-      options_(other.options_) {
+      options_(other.options_),
+      appends_(other.appends_),
+      syncs_(other.syncs_) {
   other.file_ = nullptr;
 }
 
@@ -71,6 +74,8 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
     path_ = std::move(other.path_);
     file_ = other.file_;
     options_ = other.options_;
+    appends_ = other.appends_;
+    syncs_ = other.syncs_;
     other.file_ = nullptr;
   }
   return *this;
@@ -112,6 +117,10 @@ Status WriteAheadLog::AppendPut(const std::string& key,
   if (std::fflush(file_) != 0) {
     return DataLossError(StrFormat("flush failed on '%s'", path_.c_str()));
   }
+  ++appends_;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kWalAppend, path_.c_str(),
+                     static_cast<double>(appends_),
+                     static_cast<int64_t>(value.version), appends_);
   if (options_.sync_each_append) return Sync();
   return OkStatus();
 }
@@ -127,6 +136,9 @@ Status WriteAheadLog::Sync() {
     return DataLossError(StrFormat("fsync failed on '%s': %s", path_.c_str(),
                                    std::strerror(errno)));
   }
+  ++syncs_;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kWalSync, path_.c_str(),
+                     static_cast<double>(syncs_), appends_);
   return OkStatus();
 }
 

@@ -53,6 +53,12 @@ class WriteAheadLog {
 
   const std::string& path() const { return path_; }
 
+  // Records successfully appended / Sync() barriers completed over the
+  // log's lifetime (diagnostics; also drive the kWalAppend/kWalSync trace
+  // events).
+  int64_t appends() const { return appends_; }
+  int64_t syncs() const { return syncs_; }
+
   // Rebuilds a store from the log at `path`. Returns an empty store for a
   // missing file (first boot). Stops at the first torn or corrupt record,
   // recovering every complete record before it. Fails only if a record is
@@ -65,6 +71,8 @@ class WriteAheadLog {
   std::string path_;
   std::FILE* file_ = nullptr;
   WalOptions options_;
+  int64_t appends_ = 0;
+  int64_t syncs_ = 0;
 };
 
 }  // namespace mobrep

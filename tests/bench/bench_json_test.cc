@@ -59,7 +59,7 @@ TEST(BenchReportTest, TimingLivesOutsideTheDeterministicPart) {
                                            /*serial_wall_ms=*/0.0);
   EXPECT_NE(fast, slow);
   // Everything before the "timing" member is byte-identical — that is
-  // exactly what CI diffs after `jq del(.timing)`.
+  // exactly what CI diffs after `jq del(.timing, .metrics)`.
   const std::string prefix = report.CellsJson();
   EXPECT_EQ(fast.substr(0, prefix.size()), prefix);
   EXPECT_EQ(slow.substr(0, prefix.size()), prefix);
@@ -90,6 +90,66 @@ TEST(BenchReportTest, SweepFilledReportIsByteIdenticalAcrossThreadCounts) {
   const std::string serial = build(1);
   EXPECT_EQ(serial, build(2));
   EXPECT_EQ(serial, build(8));
+}
+
+TEST(BenchReportTest, FullJsonCarriesAMetricsMember) {
+  BenchReport report("demo");
+  report.Add("cell", 1.0);
+  const std::string json = report.FullJson(1.0, 1, 0.0);
+  // The global registry snapshot rides along after timing; it may be empty
+  // ({}) in this test binary, but the member must exist.
+  EXPECT_NE(json.find("\"metrics\": "), std::string::npos);
+  EXPECT_LT(json.find("\"timing\""), json.find("\"metrics\""));
+}
+
+TEST(BenchReportValidateTest, AcceptsAWellFormedDocument) {
+  BenchReport report("demo");
+  report.Add("cell", 1.0);
+  std::string error;
+  EXPECT_TRUE(BenchReport::ValidateTimingJson(report.FullJson(2.5, 4, 0.0),
+                                              &error))
+      << error;
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(BenchReportValidateTest, RejectsMissingTimingNamingTheBench) {
+  BenchReport report("truncated_bench");
+  report.Add("cell", 1.0);
+  std::string error;
+  EXPECT_FALSE(BenchReport::ValidateTimingJson(report.CellsJson() + "}",
+                                               &error));
+  EXPECT_NE(error.find("truncated_bench"), std::string::npos);
+  EXPECT_NE(error.find("timing"), std::string::npos);
+}
+
+TEST(BenchReportValidateTest, RejectsNonFiniteOrNegativeWallMs) {
+  std::string error;
+  EXPECT_FALSE(BenchReport::ValidateTimingJson(
+      R"({"bench": "b", "timing": {"wall_ms": "nan", "threads": 2}})",
+      &error));
+  EXPECT_NE(error.find("wall_ms"), std::string::npos);
+  EXPECT_FALSE(BenchReport::ValidateTimingJson(
+      R"({"bench": "b", "timing": {"wall_ms": -1.0, "threads": 2}})",
+      &error));
+}
+
+TEST(BenchReportValidateTest, RejectsBadThreadCount) {
+  std::string error;
+  EXPECT_FALSE(BenchReport::ValidateTimingJson(
+      R"({"bench": "b", "timing": {"wall_ms": 1.0, "threads": 0}})",
+      &error));
+  EXPECT_NE(error.find("threads"), std::string::npos);
+  EXPECT_FALSE(BenchReport::ValidateTimingJson(
+      R"({"bench": "b", "timing": {"wall_ms": 1.0}})", &error));
+}
+
+TEST(BenchReportValidateDeathTest, FullJsonAbortsOnMalformedTiming) {
+  BenchReport report("bad_bench");
+  report.Add("cell", 1.0);
+  EXPECT_DEATH(report.FullJson(std::numeric_limits<double>::quiet_NaN(), 2,
+                               0.0),
+               "bad_bench");
+  EXPECT_DEATH(report.FullJson(1.0, 0, 0.0), "bad_bench");
 }
 
 }  // namespace

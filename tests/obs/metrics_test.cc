@@ -1,0 +1,173 @@
+#include "mobrep/obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobrep::obs {
+namespace {
+
+TEST(CounterTest, IncrementValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, LastWriterWins) {
+  Gauge g;
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsSamplesAgainstUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);    // <= 1
+  h.Record(1.0);    // <= 1 (bounds are inclusive)
+  h.Record(5.0);    // <= 10
+  h.Record(100.0);  // <= 100
+  h.Record(1e9);    // overflow
+  EXPECT_EQ(h.bucket_counts(), (std::vector<int64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e9);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepExactCountAndSum) {
+  Histogram h({10.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), double(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_counts()[0], int64_t{kThreads} * kPerThread);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h({1.0});
+  h.Record(0.5);
+  h.Record(2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<int64_t>{0, 0}));
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count", "help");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Increment(3);
+  registry.GetGauge("alpha")->Set(1.5);
+  registry.GetHistogram("mid", {1.0})->Record(0.5);
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_EQ(snapshot[1].name, "mid");
+  EXPECT_EQ(snapshot[2].name, "zebra");
+  EXPECT_EQ(snapshot[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snapshot[0].gauge_value, 1.5);
+  EXPECT_EQ(snapshot[2].counter_value, 3);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEveryCellAndKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", {1.0});
+  c->Increment(5);
+  g->Set(2.0);
+  h->Record(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0);
+  // Handles survive the reset and keep working.
+  c->Increment();
+  EXPECT_EQ(registry.Snapshot()[0].counter_value, 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsThroughRegistryHandle) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Mixing registration races with increments: GetCounter must hand
+      // every thread the same cell.
+      Counter* c = registry.GetCounter("shared.count");
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared.count")->value(),
+            int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ExportTextListsNameKindValue) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.sent", "frames sent", "frames")->Increment(7);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("net.sent"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("frames sent"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExportJsonObjectIsDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count")->Increment(2);
+  registry.GetGauge("a.width")->Set(4.0);
+  const std::string json = registry.ExportJsonObject();
+  EXPECT_EQ(json, registry.ExportJsonObject());
+  // Sorted: a.width before b.count.
+  EXPECT_LT(json.find("a.width"), json.find("b.count"));
+  EXPECT_NE(json.find("\"kind\""), std::string::npos);
+}
+
+TEST(MetricsRegistryDeathTest, NameKindClashAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("clash");
+  EXPECT_DEATH(registry.GetGauge("clash"), "clash");
+}
+
+TEST(MetricsRegistryTest, GlobalIsStable) {
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace mobrep::obs

@@ -1,0 +1,126 @@
+// End-to-end guarantees of the observability layer:
+//   * the merged trace of a parallel sweep is identical at any thread
+//     count (the (scope, seq) determinism contract), and
+//   * turning tracing on never perturbs simulation results.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/common/random.h"
+#include "mobrep/core/cost_simulator.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/obs/trace.h"
+#include "mobrep/obs/trace_export.h"
+#include "mobrep/runner/parallel_sweep.h"
+#include "mobrep/trace/generators.h"
+
+namespace mobrep {
+namespace {
+
+// Runs a small policy sweep (each cell simulates one schedule) with
+// tracing enabled at the given width and returns the deterministic dump of
+// the merged stream.
+std::string TracedSweepDump(int threads) {
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  recorder->Clear();
+  obs::TraceRecorder::SetRuntimeEnabled(true);
+
+  SweepOptions options;
+  options.threads = threads;
+  SweepParallelFor(8, options, [](int64_t cell) {
+    Rng rng(100 + static_cast<uint64_t>(cell));
+    const Schedule schedule = GenerateBernoulliSchedule(40, 0.5, &rng);
+    auto policy = CreatePolicyFromString("sw:3").value();
+    SimulateSchedule(policy.get(), schedule, CostModel::Connection());
+  });
+
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  const std::string dump =
+      obs::ExportDeterministicText(recorder->MergedEvents());
+  EXPECT_EQ(recorder->dropped(), 0);
+  recorder->Clear();
+  return dump;
+}
+
+TEST(ObsIntegrationTest, MergedTraceIsIdenticalAcrossThreadCounts) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  const std::string serial = TracedSweepDump(1);
+  const std::string parallel = TracedSweepDump(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("sweep_cell_begin"), std::string::npos);
+  EXPECT_NE(serial.find("policy_decision"), std::string::npos);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ObsIntegrationTest, SweepCellsGetDistinctScopesWithFullSpans) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  recorder->Clear();
+  obs::TraceRecorder::SetRuntimeEnabled(true);
+  SweepOptions options;
+  options.threads = 4;
+  SweepParallelFor(6, options, [](int64_t) {});
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+
+  const std::vector<obs::TraceEvent> events = recorder->MergedEvents();
+  recorder->Clear();
+  ASSERT_EQ(events.size(), 12u);  // begin + end per cell
+  for (size_t i = 0; i < events.size(); i += 2) {
+    EXPECT_EQ(events[i].kind, obs::TraceEventKind::kSweepCellBegin);
+    EXPECT_EQ(events[i + 1].kind, obs::TraceEventKind::kSweepCellEnd);
+    EXPECT_EQ(events[i].scope, events[i + 1].scope);
+    EXPECT_EQ(events[i].a0, events[i + 1].a0);
+    if (i > 0) {
+      EXPECT_NE(events[i].scope, events[i - 2].scope);
+    }
+  }
+}
+
+TEST(ObsIntegrationTest, TracingDoesNotPerturbSimulationResults) {
+  Rng rng(7);
+  const Schedule schedule = GenerateBernoulliSchedule(5000, 0.45, &rng);
+
+  auto baseline_policy = CreatePolicyFromString("sw:5").value();
+  const CostBreakdown baseline = SimulateSchedule(
+      baseline_policy.get(), schedule, CostModel::Connection());
+
+  obs::TraceRecorder::Global()->Clear();
+  obs::TraceRecorder::SetRuntimeEnabled(obs::kTracingCompiled);
+  auto traced_policy = CreatePolicyFromString("sw:5").value();
+  const CostBreakdown traced = SimulateSchedule(
+      traced_policy.get(), schedule, CostModel::Connection());
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  obs::TraceRecorder::Global()->Clear();
+
+  EXPECT_EQ(traced.total_cost, baseline.total_cost);
+  EXPECT_EQ(traced.requests, baseline.requests);
+  EXPECT_EQ(traced.connections, baseline.connections);
+  EXPECT_EQ(traced.data_messages, baseline.data_messages);
+  EXPECT_EQ(traced.control_messages, baseline.control_messages);
+  EXPECT_EQ(traced.allocations, baseline.allocations);
+  EXPECT_EQ(traced.deallocations, baseline.deallocations);
+}
+
+TEST(ObsIntegrationTest, TracedRunRecordsOneDecisionPerRequest) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Rng rng(11);
+  const Schedule schedule = GenerateBernoulliSchedule(200, 0.5, &rng);
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  recorder->Clear();
+  obs::TraceRecorder::SetRuntimeEnabled(true);
+  auto policy = CreatePolicyFromString("sw:3").value();
+  SimulateSchedule(policy.get(), schedule, CostModel::Connection());
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+
+  int64_t decisions = 0;
+  for (const obs::TraceEvent& event : recorder->MergedEvents()) {
+    if (event.kind == obs::TraceEventKind::kPolicyDecision) ++decisions;
+  }
+  recorder->Clear();
+  EXPECT_EQ(decisions, static_cast<int64_t>(schedule.size()));
+}
+
+}  // namespace
+}  // namespace mobrep

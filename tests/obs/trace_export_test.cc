@@ -1,0 +1,207 @@
+#include "mobrep/obs/trace_export.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/cost_model.h"
+#include "mobrep/net/message.h"
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs {
+namespace {
+
+PolicyDecision SampleDecision() {
+  PolicyDecision d;
+  d.request_index = 42;
+  d.op = 1;  // write
+  d.action = static_cast<int>(ActionKind::kWritePropagateDeallocate);
+  d.copy_before = true;
+  d.copy_after = false;
+  d.has_window = true;
+  d.window_size = 3;
+  d.window_reads = 1;
+  d.window_writes = 2;
+  d.cost = 1.5;
+  d.policy = "SW3";
+  return d;
+}
+
+TEST(PolicyDecisionCodecTest, RoundTripsEveryField) {
+  const PolicyDecision d = SampleDecision();
+  const PolicyDecision back = DecodePolicyDecision(EncodePolicyDecision(d));
+  EXPECT_EQ(back.request_index, d.request_index);
+  EXPECT_EQ(back.op, d.op);
+  EXPECT_EQ(back.action, d.action);
+  EXPECT_EQ(back.copy_before, d.copy_before);
+  EXPECT_EQ(back.copy_after, d.copy_after);
+  EXPECT_EQ(back.has_window, d.has_window);
+  EXPECT_EQ(back.window_size, d.window_size);
+  EXPECT_EQ(back.window_reads, d.window_reads);
+  EXPECT_EQ(back.window_writes, d.window_writes);
+  EXPECT_EQ(back.cost, d.cost);
+  EXPECT_EQ(back.policy, d.policy);
+}
+
+TEST(PolicyDecisionCodecTest, NoWindowEncodesAsMinusOne) {
+  PolicyDecision d = SampleDecision();
+  d.has_window = false;
+  const TraceEvent event = EncodePolicyDecision(d);
+  EXPECT_EQ(event.a2, -1);
+  EXPECT_FALSE(DecodePolicyDecision(event).has_window);
+}
+
+TEST(PolicyDecisionCodecTest, OversizedWindowCountsClampTo16Bits) {
+  PolicyDecision d = SampleDecision();
+  d.window_reads = 1 << 20;
+  d.window_writes = -5;
+  const PolicyDecision back = DecodePolicyDecision(EncodePolicyDecision(d));
+  EXPECT_EQ(back.window_reads, 0xffff);
+  EXPECT_EQ(back.window_writes, 0);
+}
+
+// obs sits below core/net in the layering, so it carries its own copies of
+// the action and message-type name tables. These assertions keep the
+// copies in lockstep with the authoritative enums.
+TEST(NameTableTest, ActionNamesMatchCore) {
+  for (int a = 0; a <= static_cast<int>(ActionKind::kWriteInvalidate); ++a) {
+    EXPECT_STREQ(ActionName(a), ActionKindName(static_cast<ActionKind>(a)))
+        << "ActionKind " << a;
+  }
+  EXPECT_STREQ(ActionName(-1), "unknown_action");
+  EXPECT_STREQ(ActionName(99), "unknown_action");
+}
+
+TEST(NameTableTest, MessageTypeLabelsMatchNet) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kAck); ++t) {
+    EXPECT_STREQ(MessageTypeLabel(t),
+                 MessageTypeName(static_cast<MessageType>(t)))
+        << "MessageType " << t;
+  }
+  EXPECT_STREQ(MessageTypeLabel(99), "unknown_message");
+}
+
+TEST(NameTableTest, OpNamesMatchOpEnum) {
+  EXPECT_STREQ(OpName(static_cast<int>(Op::kRead)), "read");
+  EXPECT_STREQ(OpName(static_cast<int>(Op::kWrite)), "write");
+}
+
+TEST(AuditLogTest, GoldenLineForARelocationDecision) {
+  PolicyDecision d;
+  d.request_index = 2;
+  d.op = 0;
+  d.action = static_cast<int>(ActionKind::kRemoteReadAllocate);
+  d.copy_before = false;
+  d.copy_after = true;
+  d.has_window = true;
+  d.window_size = 3;
+  d.window_reads = 2;
+  d.window_writes = 1;
+  d.cost = 1.0;
+  d.policy = "SW3";
+  const std::string log = ExportAuditLog({EncodePolicyDecision(d)});
+  EXPECT_EQ(log,
+            "req      2  read   remote_read_allocate        copy 0->1  "
+            "cost 1         window[k=3 r=2 w=1]"
+            "  => ALLOCATE (replica moves to MC)\n"
+            "-- 1 decisions, 1 allocations, 0 deallocations, "
+            "total cost 1\n");
+}
+
+TEST(AuditLogTest, CountsAllocationsDeallocationsAndTotalCost) {
+  PolicyDecision alloc = SampleDecision();
+  alloc.copy_before = false;
+  alloc.copy_after = true;
+  alloc.cost = 1.0;
+  PolicyDecision dealloc = SampleDecision();
+  dealloc.cost = 2.5;  // copy 1->0 from SampleDecision
+  PolicyDecision steady = SampleDecision();
+  steady.copy_before = true;
+  steady.copy_after = true;
+  steady.cost = 0.25;
+  const std::string log =
+      ExportAuditLog({EncodePolicyDecision(alloc),
+                      EncodePolicyDecision(dealloc),
+                      EncodePolicyDecision(steady)});
+  EXPECT_NE(log.find("=> ALLOCATE"), std::string::npos);
+  EXPECT_NE(log.find("=> DEALLOCATE"), std::string::npos);
+  EXPECT_NE(
+      log.find("-- 3 decisions, 1 allocations, 1 deallocations, "
+               "total cost 3.75"),
+      std::string::npos);
+}
+
+TEST(AuditLogTest, IgnoresNonDecisionEvents) {
+  const TraceEvent other =
+      MakeEvent(TraceEventKind::kMessageSend, "link", 1.0, 7);
+  const std::string log = ExportAuditLog({other});
+  EXPECT_EQ(log.find("req"), std::string::npos);
+  EXPECT_NE(log.find("-- 0 decisions"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmitsProcessMetadataSpansAndInstants) {
+  TraceEvent begin =
+      MakeEvent(TraceEventKind::kSweepCellBegin, "sweep", 4.0, 4);
+  begin.scope = 9;
+  begin.wall_ns = 1000;
+  begin.tid = 2;
+  TraceEvent end = MakeEvent(TraceEventKind::kSweepCellEnd, "sweep", 4.0, 4);
+  end.scope = 9;
+  end.seq = 1;
+  end.wall_ns = 4000;
+  end.tid = 2;
+  const TraceEvent decision = EncodePolicyDecision(SampleDecision());
+  const TraceEvent send =
+      MakeEvent(TraceEventKind::kMessageSend, "mc->sc", 0.25, 3, 0, 1);
+
+  const std::string json = ExportChromeTrace({begin, end, decision, send});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep (wall clock)\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulation (logical time)\""), std::string::npos);
+  // The matched begin/end pair becomes one complete span on the emitting
+  // thread's wall-clock lane: 3 µs long, starting at the trace base.
+  EXPECT_NE(json.find("\"ph\": \"X\", \"pid\": 1, \"tid\": 2, "
+                      "\"ts\": 0, \"dur\": 3, \"name\": \"sweep cell 4\""),
+            std::string::npos);
+  // The policy decision is an instant on its policy's logical lane with
+  // decoded args.
+  EXPECT_NE(json.find("\"policy SW3\""), std::string::npos);
+  EXPECT_NE(json.find("\"action\": \"write_propagate_deallocate\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"window_k\": 3"), std::string::npos);
+  // The protocol event lands on the "mc->sc" lane at sim time * 1e6.
+  EXPECT_NE(json.find("\"mc->sc\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 250000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, UnmatchedBeginProducesNoSpan) {
+  TraceEvent begin =
+      MakeEvent(TraceEventKind::kSweepCellBegin, "sweep", 0.0, 0);
+  begin.scope = 3;
+  const std::string json = ExportChromeTrace({begin});
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(DeterministicTextTest, DumpsOnlyDeterministicFields) {
+  TraceEvent event = MakeEvent(TraceEventKind::kWalAppend, "wal", 3.0, 7, 8,
+                               9, 1.25);
+  event.scope = 2;
+  event.seq = 5;
+  event.wall_ns = 123456789;  // must not appear in the output
+  event.tid = 3;
+  const std::string text = ExportDeterministicText({event});
+  EXPECT_EQ(text,
+            "scope=2 seq=5 kind=wal_append label=wal ts=3 a0=7 a1=8 a2=9 "
+            "d0=1.25\n");
+  EXPECT_EQ(text.find("123456789"), std::string::npos);
+}
+
+TEST(WriteFileTest, RoundTripsAndFailsCleanly) {
+  const std::string path = testing::TempDir() + "/trace_export_rt.txt";
+  EXPECT_TRUE(WriteFileOrWarn(path, "payload"));
+  EXPECT_FALSE(WriteFileOrWarn("/nonexistent-dir/x/y.txt", "payload"));
+}
+
+}  // namespace
+}  // namespace mobrep::obs

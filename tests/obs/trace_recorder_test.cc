@@ -1,0 +1,168 @@
+#include "mobrep/obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobrep::obs {
+namespace {
+
+// Binds the calling thread to `recorder` and resets its sequence state so
+// each test starts from (scope 0, seq 0) regardless of what earlier tests
+// in this process appended. Append() itself is not gated on the runtime
+// flag (the MOBREP_TRACE_EVENT macro is), so these tests never need to
+// flip the global enable.
+void Bind(TraceRecorder* recorder) {
+  recorder->Append(MakeEvent(TraceEventKind::kPolicyDecision, "bind", 0.0));
+  recorder->Clear();
+}
+
+TEST(TracingFlagsTest, RuntimeFlagOnlyWorksWhenCompiledIn) {
+  const bool was_enabled = TracingEnabled();
+  TraceRecorder::SetRuntimeEnabled(true);
+  EXPECT_EQ(TracingEnabled(), kTracingCompiled);
+  TraceRecorder::SetRuntimeEnabled(false);
+  EXPECT_FALSE(TracingEnabled());
+  TraceRecorder::SetRuntimeEnabled(was_enabled);
+}
+
+TEST(TraceRecorderTest, MakeEventCarriesPayloadAndTruncatesLabel) {
+  const TraceEvent e = MakeEvent(TraceEventKind::kMessageSend,
+                                 "a-very-long-label-that-overflows-the-field",
+                                 2.5, 10, 20, 30, 4.5);
+  EXPECT_EQ(e.kind, TraceEventKind::kMessageSend);
+  EXPECT_EQ(e.ts, 2.5);
+  EXPECT_EQ(e.a0, 10);
+  EXPECT_EQ(e.a1, 20);
+  EXPECT_EQ(e.a2, 30);
+  EXPECT_EQ(e.d0, 4.5);
+  const std::string label = e.label;
+  EXPECT_EQ(label.size(), sizeof(e.label) - 1);
+  EXPECT_EQ(std::string("a-very-long-label-that-overflows-the-field")
+                .substr(0, label.size()),
+            label);
+}
+
+TEST(TraceRecorderTest, MergeOrdersByScopeThenSeq) {
+  TraceRecorder recorder;
+  Bind(&recorder);
+  {
+    TraceScope scope(5);
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 0.0, 50));
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 1.0, 51));
+  }
+  {
+    TraceScope scope(2);
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 2.0, 20));
+  }
+  recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 3.0, 0));
+
+  const std::vector<TraceEvent> merged = recorder.MergedEvents();
+  ASSERT_EQ(merged.size(), 4u);
+  // Ambient scope 0 first, then scope 2, then scope 5 in program order.
+  EXPECT_EQ(merged[0].a0, 0);
+  EXPECT_EQ(merged[1].a0, 20);
+  EXPECT_EQ(merged[2].a0, 50);
+  EXPECT_EQ(merged[3].a0, 51);
+  EXPECT_EQ(merged[2].seq, 0u);
+  EXPECT_EQ(merged[3].seq, 1u);
+}
+
+TEST(TraceRecorderTest, ScopesNestAndRestore) {
+  TraceRecorder recorder;
+  Bind(&recorder);
+  {
+    TraceScope outer(7);
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "o", 0.0, 1));
+    {
+      TraceScope inner(8);
+      recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "i", 0.0, 2));
+    }
+    // Back in the outer scope: seq resumes where it left off.
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "o", 0.0, 3));
+  }
+  const std::vector<TraceEvent> merged = recorder.MergedEvents();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].scope, 7);
+  EXPECT_EQ(merged[0].a0, 1);
+  EXPECT_EQ(merged[0].seq, 0u);
+  EXPECT_EQ(merged[1].scope, 7);
+  EXPECT_EQ(merged[1].a0, 3);
+  EXPECT_EQ(merged[1].seq, 1u);
+  EXPECT_EQ(merged[2].scope, 8);
+  EXPECT_EQ(merged[2].a0, 2);
+  EXPECT_EQ(merged[2].seq, 0u);
+}
+
+TEST(TraceRecorderTest, RingOverflowDropsOldestAndCounts) {
+  TraceRecorder recorder;
+  recorder.SetCapacityPerThread(4);
+  Bind(&recorder);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 0.0, i));
+  }
+  EXPECT_EQ(recorder.dropped(), 6);
+  const std::vector<TraceEvent> merged = recorder.MergedEvents();
+  ASSERT_EQ(merged.size(), 4u);
+  // The last four survive, oldest-first after the (scope, seq) sort.
+  EXPECT_EQ(merged[0].a0, 6);
+  EXPECT_EQ(merged[3].a0, 9);
+}
+
+TEST(TraceRecorderTest, ClearResetsEventsDroppedScopesAndSeq) {
+  TraceRecorder recorder;
+  recorder.SetCapacityPerThread(2);
+  Bind(&recorder);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 0.0, i));
+  }
+  EXPECT_EQ(recorder.ReserveScopes(3), 1);
+  EXPECT_GT(recorder.dropped(), 0);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.dropped(), 0);
+  EXPECT_TRUE(recorder.MergedEvents().empty());
+  // Scope allocation restarts past the ambient scope 0.
+  EXPECT_EQ(recorder.ReserveScopes(2), 1);
+  EXPECT_EQ(recorder.ReserveScopes(1), 3);
+  // The calling thread's ambient sequence restarts too, so a re-run of the
+  // same workload produces the identical stream.
+  recorder.Append(MakeEvent(TraceEventKind::kWalAppend, "w", 0.0, 99));
+  const std::vector<TraceEvent> merged = recorder.MergedEvents();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].seq, 0u);
+  EXPECT_EQ(merged[0].scope, 0);
+}
+
+TEST(TraceRecorderTest, EveryKindHasAStableName) {
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kSweepCellEnd);
+       ++k) {
+    const std::string name =
+        TraceEventKindName(static_cast<TraceEventKind>(k));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << "kind " << k;
+  }
+}
+
+// Regression: a recorder constructed at a recycled address (here, the same
+// stack slot every loop iteration) must not inherit the previous
+// recorder's thread-local buffer binding — that buffer was freed with its
+// owner. Keyed on recorder id, each iteration binds fresh.
+TEST(TraceRecorderTest, RecorderAtRecycledAddressBindsFreshBuffer) {
+  for (int round = 0; round < 4; ++round) {
+    TraceRecorder recorder;
+    recorder.Append(
+        MakeEvent(TraceEventKind::kWalAppend, "w", 0.0, round));
+    const std::vector<TraceEvent> merged = recorder.MergedEvents();
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].a0, round);
+  }
+}
+
+TEST(TraceRecorderTest, GlobalIsStable) {
+  EXPECT_EQ(TraceRecorder::Global(), TraceRecorder::Global());
+}
+
+}  // namespace
+}  // namespace mobrep::obs

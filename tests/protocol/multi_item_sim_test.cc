@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "mobrep/common/random.h"
+#include "mobrep/common/strings.h"
 #include "mobrep/core/cost_simulator.h"
 #include "mobrep/trace/generators.h"
 
@@ -91,7 +92,8 @@ TEST(MultiItemSimTest, CacheHoldsExactlyReplicatedItems) {
   MultiItemSimulation sim(DefaultOptions());
   Rng rng(556);
   for (int i = 0; i < 500; ++i) {
-    const std::string key = "k" + std::to_string(rng.UniformInt(5));
+    const std::string key = StrFormat(
+        "k%llu", static_cast<unsigned long long>(rng.UniformInt(5)));
     sim.Step(key, rng.Bernoulli(0.5) ? Op::kWrite : Op::kRead);
   }
   EXPECT_EQ(sim.cache().size(), sim.ReplicatedItems().size());

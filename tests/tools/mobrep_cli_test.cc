@@ -1,0 +1,161 @@
+// In-process smoke tests for every mobrep_cli subcommand: drive
+// mobrep::cli::Main directly, check exit codes and the key output lines a
+// user relies on. Catches flag-parsing regressions and dispatch typos that
+// unit tests of the underlying libraries cannot see.
+
+#include "cli_main.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::cli {
+namespace {
+
+// Runs Main with the given arguments (argv[0] is supplied), capturing
+// stdout into *out.
+int RunCli(const std::vector<std::string>& args, std::string* out) {
+  std::vector<std::string> storage;
+  storage.push_back("mobrep_cli");
+  storage.insert(storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  testing::internal::CaptureStdout();
+  const int code = Main(static_cast<int>(argv.size()), argv.data());
+  *out = testing::internal::GetCapturedStdout();
+  return code;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(MobrepCliTest, NoArgumentsPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(RunCli({}, &out), 0);
+  EXPECT_NE(out.find("usage: mobrep_cli"), std::string::npos);
+  EXPECT_NE(out.find("trace "), std::string::npos)
+      << "usage must document the trace subcommand";
+}
+
+TEST(MobrepCliTest, HelpSucceedsUnknownCommandFails) {
+  std::string out;
+  EXPECT_EQ(RunCli({"help"}, &out), 0);
+  EXPECT_EQ(RunCli({"frobnicate"}, &out), 1);
+  EXPECT_NE(out.find("usage: mobrep_cli"), std::string::npos);
+}
+
+TEST(MobrepCliTest, SimulateReportsBreakdownAndClosedForm) {
+  std::string out;
+  ASSERT_EQ(RunCli({"simulate", "--policy", "sw:3", "--requests", "2000",
+                    "--seed", "7"},
+                   &out),
+            0);
+  EXPECT_NE(out.find("policy            SW3"), std::string::npos);
+  EXPECT_NE(out.find("total cost"), std::string::npos);
+  EXPECT_NE(out.find("cost/request"), std::string::npos);
+  EXPECT_NE(out.find("closed-form EXP"), std::string::npos);
+}
+
+TEST(MobrepCliTest, SimulateRejectsBadPolicySpec) {
+  std::string out;
+  EXPECT_EQ(RunCli({"simulate", "--policy", "bogus"}, &out), 1);
+}
+
+TEST(MobrepCliTest, AnalyzeSweepsThetaAndPrintsFactor) {
+  std::string out;
+  ASSERT_EQ(RunCli({"analyze", "--policy", "sw:3"}, &out), 0);
+  EXPECT_NE(out.find("EXP(theta)"), std::string::npos);
+  EXPECT_NE(out.find("AVG (theta ~ U[0,1])"), std::string::npos);
+  EXPECT_NE(out.find("competitive factor:"), std::string::npos);
+}
+
+TEST(MobrepCliTest, GenerateThenOfflineRoundTrips) {
+  const std::string path = TempPath("cli_smoke_trace.txt");
+  std::string out;
+  ASSERT_EQ(RunCli({"generate", "--requests", "200", "--seed", "9",
+                    "--trace-out", path},
+                   &out),
+            0);
+  EXPECT_NE(out.find("wrote 200 requests to"), std::string::npos);
+
+  ASSERT_EQ(RunCli({"offline", "--trace-in", path}, &out), 0);
+  EXPECT_NE(out.find("requests            200"), std::string::npos);
+  EXPECT_NE(out.find("offline optimal"), std::string::npos);
+}
+
+TEST(MobrepCliTest, OfflineWithoutTraceFails) {
+  std::string out;
+  EXPECT_EQ(RunCli({"offline"}, &out), 1);
+}
+
+TEST(MobrepCliTest, ProtocolReportsMessageCountsAndEndState) {
+  std::string out;
+  ASSERT_EQ(RunCli({"protocol", "--policy", "sw:3", "--requests", "500"},
+                   &out),
+            0);
+  EXPECT_NE(out.find("local reads"), std::string::npos);
+  EXPECT_NE(out.find("data messages"), std::string::npos);
+  EXPECT_NE(out.find("MC state at end"), std::string::npos);
+}
+
+TEST(MobrepCliTest, AdviseRecommendsAPolicy) {
+  std::string out;
+  ASSERT_EQ(RunCli({"advise", "--theta", "0.7"}, &out), 0);
+  EXPECT_NE(out.find("recommended policy"), std::string::npos);
+  EXPECT_NE(out.find("rationale"), std::string::npos);
+}
+
+TEST(MobrepCliTest, CompareListsEveryRequestedPolicy) {
+  std::string out;
+  ASSERT_EQ(RunCli({"compare", "--policies", "st1,sw:3", "--requests",
+                    "2000"},
+                   &out),
+            0);
+  EXPECT_NE(out.find("sim cost/req"), std::string::npos);
+  EXPECT_NE(out.find("ST1"), std::string::npos);
+  EXPECT_NE(out.find("SW3"), std::string::npos);
+}
+
+TEST(MobrepCliTest, TraceEmitsAuditLogWithRelocations) {
+  std::string out;
+  const int code =
+      RunCli({"trace", "--policy", "sw:3", "--requests", "50"}, &out);
+  if (!obs::kTracingCompiled) {
+    EXPECT_EQ(code, 1);
+    return;
+  }
+  ASSERT_EQ(code, 0);
+  EXPECT_NE(out.find("policy            SW3"), std::string::npos);
+  EXPECT_NE(out.find("trace events"), std::string::npos);
+  // The audit log keys lines to request indices and names relocations with
+  // the window state that justified them.
+  EXPECT_NE(out.find("req      0"), std::string::npos);
+  EXPECT_NE(out.find("window[k=3"), std::string::npos);
+  EXPECT_NE(out.find("ALLOCATE"), std::string::npos);
+  EXPECT_NE(out.find("DEALLOCATE"), std::string::npos);
+}
+
+TEST(MobrepCliTest, TraceWritesChromeTraceFile) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  const std::string path = TempPath("cli_smoke_chrome.json");
+  std::string out;
+  ASSERT_EQ(RunCli({"trace", "--policy", "sw:3", "--requests", "20",
+                    "--chrome-out", path},
+                   &out),
+            0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "chrome trace file not written";
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobrep::cli

@@ -1,0 +1,14 @@
+#ifndef MOBREP_TOOLS_CLI_MAIN_H_
+#define MOBREP_TOOLS_CLI_MAIN_H_
+
+namespace mobrep::cli {
+
+// Entry point of the mobrep_cli command-line tool, factored out of the
+// binary so tests can drive every subcommand in-process (capturing stdout
+// and checking exit codes) instead of shelling out. Returns the process
+// exit code.
+int Main(int argc, char** argv);
+
+}  // namespace mobrep::cli
+
+#endif  // MOBREP_TOOLS_CLI_MAIN_H_

@@ -1,331 +1,6 @@
-// mobrep_cli — command-line front end for the library.
-//
-// Subcommands:
-//   simulate  Run a policy over a synthetic or recorded workload and print
-//             the cost breakdown (with the closed-form prediction).
-//   analyze   Print the closed-form expected cost, average expected cost
-//             and competitive factor of a policy.
-//   offline   Compute the offline-optimal (clairvoyant) cost of a trace.
-//   generate  Produce a workload trace file.
-//   protocol  Run the distributed MC/SC protocol simulation.
-//
-// Run with no arguments for usage.
+// mobrep_cli — command-line front end for the library. All logic lives in
+// cli_main.cc so the CLI smoke tests can call Main() in-process.
 
-#include <cmath>
-#include <cstdio>
-#include <map>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "mobrep/analysis/advisor.h"
-#include "mobrep/analysis/average_cost.h"
-#include "mobrep/analysis/competitive.h"
-#include "mobrep/analysis/expected_cost.h"
-#include "mobrep/common/random.h"
-#include "mobrep/common/strings.h"
-#include "mobrep/core/cost_simulator.h"
-#include "mobrep/core/offline_optimal.h"
-#include "mobrep/core/policy_factory.h"
-#include "mobrep/protocol/protocol_sim.h"
-#include "mobrep/trace/generators.h"
-#include "mobrep/trace/stats.h"
-#include "mobrep/trace/trace_io.h"
-
-namespace mobrep::cli {
-namespace {
-
-constexpr char kUsage[] = R"(mobrep_cli — data replication for mobile computers (SIGMOD '94)
-
-usage: mobrep_cli <command> [--flag value ...]
-
-commands and their flags:
-  simulate   --policy <spec> [--model connection|message] [--omega W]
-             [--theta T] [--requests N] [--seed S] [--trace-in FILE]
-  analyze    --policy <spec> [--model connection|message] [--omega W]
-             [--theta T]
-  offline    --trace-in FILE [--model connection|message] [--omega W]
-  generate   [--theta T | --periods P --period-length L] [--requests N]
-             [--seed S] --trace-out FILE
-  protocol   --policy <spec> [--theta T] [--requests N] [--seed S]
-             [--latency L]
-  advise     [--model connection|message] [--omega W] [--theta T]
-             [--max-factor C] [--max-parameter P]
-  compare    --policies a,b,c [--model connection|message] [--omega W]
-             [--theta T] [--requests N] [--seed S]
-
-policy specs: st1, st2, sw1, sw:<k>, t1:<m>, t2:<m>
-defaults: --model connection, --omega 0.5, --theta 0.5,
-          --requests 100000, --seed 42
-)";
-
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) == 0) key = key.substr(2);
-      values_[key] = argv[i + 1];
-    }
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    return ParseDouble(it->second).value_or(fallback);
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    return ParseInt64(it->second).value_or(fallback);
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
-CostModel ModelFromFlags(const Flags& flags) {
-  const std::string model = flags.GetString("model", "connection");
-  if (model == "message") {
-    return CostModel::Message(flags.GetDouble("omega", 0.5));
-  }
-  return CostModel::Connection();
-}
-
-int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
-}
-
-int RunSimulate(const Flags& flags) {
-  auto policy = CreatePolicyFromString(flags.GetString("policy", "sw:9"));
-  if (!policy.ok()) return Fail(policy.status().ToString());
-  const CostModel model = ModelFromFlags(flags);
-  const double theta = flags.GetDouble("theta", 0.5);
-
-  Schedule schedule;
-  if (flags.Has("trace-in")) {
-    auto loaded = LoadScheduleFromFile(flags.GetString("trace-in", ""));
-    if (!loaded.ok()) return Fail(loaded.status().ToString());
-    schedule = std::move(*loaded);
-  } else {
-    Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
-    schedule = GenerateBernoulliSchedule(flags.GetInt("requests", 100000),
-                                         theta, &rng);
-  }
-
-  const CostBreakdown b =
-      SimulateSchedule(policy->get(), schedule, model);
-  const ScheduleStats stats = ComputeStats(schedule);
-  std::printf("policy            %s\n", (*policy)->name().c_str());
-  std::printf("model             %s\n", model.name().c_str());
-  std::printf("workload          %s\n", stats.ToString().c_str());
-  std::printf("total cost        %.3f\n", b.total_cost);
-  std::printf("cost/request      %.6f\n", b.MeanCostPerRequest());
-  std::printf("connections       %lld\n",
-              static_cast<long long>(b.connections));
-  std::printf("data messages     %lld\n",
-              static_cast<long long>(b.data_messages));
-  std::printf("control messages  %lld\n",
-              static_cast<long long>(b.control_messages));
-  std::printf("allocations       %lld\n",
-              static_cast<long long>(b.allocations));
-  std::printf("deallocations     %lld\n",
-              static_cast<long long>(b.deallocations));
-
-  const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:9"));
-  const auto expected = ExpectedCost(*spec, model, stats.theta_hat);
-  if (expected.ok()) {
-    std::printf("closed-form EXP at theta_hat=%.4f: %.6f\n", stats.theta_hat,
-                *expected);
-  }
-  return 0;
-}
-
-int RunAnalyze(const Flags& flags) {
-  const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:9"));
-  if (!spec.ok()) return Fail(spec.status().ToString());
-  const CostModel model = ModelFromFlags(flags);
-
-  std::printf("policy  %s   model  %s\n\n", spec->ToString().c_str(),
-              model.name().c_str());
-  std::printf("%8s  %12s\n", "theta", "EXP(theta)");
-  if (flags.Has("theta")) {
-    const double theta = flags.GetDouble("theta", 0.5);
-    const auto exp = ExpectedCost(*spec, model, theta);
-    if (!exp.ok()) return Fail(exp.status().ToString());
-    std::printf("%8.4f  %12.6f\n", theta, *exp);
-  } else {
-    for (double theta = 0.0; theta <= 1.0001; theta += 0.1) {
-      const auto exp = ExpectedCost(*spec, model, theta);
-      if (!exp.ok()) return Fail(exp.status().ToString());
-      std::printf("%8.2f  %12.6f\n", theta, *exp);
-    }
-  }
-  const auto avg = AverageExpectedCost(*spec, model);
-  if (avg.ok()) std::printf("\nAVG (theta ~ U[0,1]): %.6f\n", *avg);
-  const auto factor = ClaimedCompetitiveFactor(*spec, model);
-  if (factor.ok()) {
-    std::printf("competitive factor:   %.3f\n", *factor);
-  } else {
-    std::printf("competitive factor:   %s\n",
-                factor.status().message().c_str());
-  }
-  return 0;
-}
-
-int RunOffline(const Flags& flags) {
-  if (!flags.Has("trace-in")) return Fail("offline requires --trace-in");
-  auto loaded = LoadScheduleFromFile(flags.GetString("trace-in", ""));
-  if (!loaded.ok()) return Fail(loaded.status().ToString());
-  const CostModel model = ModelFromFlags(flags);
-  const OfflineSolution solution = SolveOfflineOptimal(*loaded, model);
-  int64_t holds = 0;
-  for (const bool c : solution.copy_during) holds += c ? 1 : 0;
-  std::printf("requests            %zu\n", loaded->size());
-  std::printf("offline optimal     %.3f (%s)\n", solution.cost,
-              model.name().c_str());
-  std::printf("requests with copy  %lld\n", static_cast<long long>(holds));
-  return 0;
-}
-
-int RunGenerate(const Flags& flags) {
-  if (!flags.Has("trace-out")) return Fail("generate requires --trace-out");
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
-  Schedule schedule;
-  if (flags.Has("periods")) {
-    schedule = GeneratePeriodWorkload(flags.GetInt("periods", 10),
-                                      flags.GetInt("period-length", 1000),
-                                      &rng);
-  } else {
-    schedule = GenerateBernoulliSchedule(flags.GetInt("requests", 100000),
-                                         flags.GetDouble("theta", 0.5), &rng);
-  }
-  const std::string path = flags.GetString("trace-out", "");
-  const Status saved = SaveScheduleToFile(path, schedule);
-  if (!saved.ok()) return Fail(saved.ToString());
-  std::printf("wrote %zu requests to %s\n", schedule.size(), path.c_str());
-  std::printf("%s\n", ComputeStats(schedule).ToString().c_str());
-  return 0;
-}
-
-int RunProtocol(const Flags& flags) {
-  const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:9"));
-  if (!spec.ok()) return Fail(spec.status().ToString());
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
-  const Schedule schedule = GenerateBernoulliSchedule(
-      flags.GetInt("requests", 10000), flags.GetDouble("theta", 0.5), &rng);
-
-  ProtocolConfig config;
-  config.spec = *spec;
-  config.link_latency = flags.GetDouble("latency", 0.001);
-  ProtocolSimulation sim(config);
-  sim.Run(schedule);
-  const ProtocolMetrics m = sim.metrics();
-  std::printf("policy            %s\n", spec->ToString().c_str());
-  std::printf("requests          %lld\n", static_cast<long long>(m.requests));
-  std::printf("local reads       %lld\n",
-              static_cast<long long>(m.local_reads));
-  std::printf("remote reads      %lld\n",
-              static_cast<long long>(m.remote_reads));
-  std::printf("propagations      %lld\n",
-              static_cast<long long>(m.propagations));
-  std::printf("invalidations     %lld\n",
-              static_cast<long long>(m.invalidations));
-  std::printf("subscriptions     %lld (+), %lld (-)\n",
-              static_cast<long long>(m.allocations),
-              static_cast<long long>(m.deallocations));
-  std::printf("data messages     %lld\n",
-              static_cast<long long>(m.data_messages));
-  std::printf("control messages  %lld\n",
-              static_cast<long long>(m.control_messages));
-  std::printf("connection cost   %.0f\n",
-              m.PriceUnder(CostModel::Connection()));
-  std::printf("message cost      %.3f (omega=%.2f)\n",
-              m.PriceUnder(CostModel::Message(flags.GetDouble("omega", 0.5))),
-              flags.GetDouble("omega", 0.5));
-  std::printf("simulated time    %.3f\n", sim.now());
-  std::printf("MC state at end   %s\n",
-              sim.mc_has_copy() ? "subscribed (two copies)"
-                                : "on-demand (one copy)");
-  return 0;
-}
-
-int RunAdvise(const Flags& flags) {
-  AdvisorQuery query;
-  query.model = ModelFromFlags(flags);
-  if (flags.Has("theta")) query.theta = flags.GetDouble("theta", 0.5);
-  if (flags.Has("max-factor")) {
-    query.max_competitive_factor = flags.GetDouble("max-factor", 10.0);
-  }
-  query.max_parameter =
-      static_cast<int>(flags.GetInt("max-parameter", 1001));
-  const auto rec = RecommendPolicy(query);
-  if (!rec.ok()) return Fail(rec.status().ToString());
-  std::printf("recommended policy  %s\n", rec->spec.ToString().c_str());
-  std::printf("predicted cost      %.6f per request\n", rec->predicted_cost);
-  if (std::isfinite(rec->competitive_factor)) {
-    std::printf("worst case          within %.3fx of clairvoyant optimal\n",
-                rec->competitive_factor);
-  } else {
-    std::printf("worst case          unbounded (static allocation)\n");
-  }
-  std::printf("rationale           %s\n", rec->rationale.c_str());
-  return 0;
-}
-
-int RunCompare(const Flags& flags) {
-  const std::string list = flags.GetString("policies", "st1,st2,sw1,sw:9");
-  const CostModel model = ModelFromFlags(flags);
-  const double theta = flags.GetDouble("theta", 0.5);
-  const int64_t requests = flags.GetInt("requests", 100000);
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
-  const Schedule schedule = GenerateBernoulliSchedule(requests, theta, &rng);
-
-  std::printf("%-8s %12s %12s %12s %12s\n", "policy", "sim cost/req",
-              "closed form", "AVG", "factor");
-  for (const std::string& name : StrSplit(list, ',')) {
-    auto policy = CreatePolicyFromString(name);
-    if (!policy.ok()) return Fail(policy.status().ToString());
-    const CostBreakdown b = SimulateSchedule(policy->get(), schedule, model);
-    const auto spec = ParsePolicySpec(name);
-    const auto exp = ExpectedCost(*spec, model, theta);
-    const auto avg = AverageExpectedCost(*spec, model);
-    const auto factor = ClaimedCompetitiveFactor(*spec, model);
-    std::printf("%-8s %12.6f %12s %12s %12s\n",
-                (*policy)->name().c_str(), b.MeanCostPerRequest(),
-                exp.ok() ? StrFormat("%.6f", *exp).c_str() : "-",
-                avg.ok() ? StrFormat("%.6f", *avg).c_str() : "-",
-                factor.ok() ? StrFormat("%.3f", *factor).c_str() : "inf");
-  }
-  return 0;
-}
-
-int Main(int argc, char** argv) {
-  if (argc < 2) {
-    std::printf("%s", kUsage);
-    return 0;
-  }
-  const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
-  if (command == "simulate") return RunSimulate(flags);
-  if (command == "analyze") return RunAnalyze(flags);
-  if (command == "offline") return RunOffline(flags);
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "protocol") return RunProtocol(flags);
-  if (command == "advise") return RunAdvise(flags);
-  if (command == "compare") return RunCompare(flags);
-  std::printf("%s", kUsage);
-  return command == "help" ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace mobrep::cli
+#include "cli_main.h"
 
 int main(int argc, char** argv) { return mobrep::cli::Main(argc, argv); }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file exported by mobrep.
+
+Checks the structural contract that Perfetto / chrome://tracing rely on:
+a top-level object with a `traceEvents` list, every event carrying a
+phase and pid, complete ("X") events carrying ts/dur/tid/name, and
+metadata ("M") events carrying a name payload. With --require-spans, at
+least one complete span must be present (the parallel sweep's per-thread
+cell spans).
+
+Usage: validate_trace.py [--require-spans] trace.json
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+Stdlib only — runs anywhere CI has python3.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require-spans",
+        action="store_true",
+        help="fail unless at least one complete ('X') span is present",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents list")
+    if not events:
+        fail("traceEvents is empty")
+
+    phases = collections.Counter()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            fail(f"{where} has no phase ('ph')")
+        if not isinstance(event.get("pid"), int):
+            fail(f"{where} has no integer pid")
+        phases[ph] += 1
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    fail(f"{where} ('X' span) has no numeric {key}")
+            if event.get("dur", -1) < 0:
+                fail(f"{where} has negative duration")
+            if not isinstance(event.get("tid"), int):
+                fail(f"{where} ('X' span) has no integer tid")
+            if not event.get("name"):
+                fail(f"{where} ('X' span) has no name")
+        elif ph == "M":
+            if not isinstance(event.get("args"), dict) or not event["args"].get(
+                "name"
+            ):
+                fail(f"{where} (metadata) has no args.name")
+        elif ph == "i":
+            if not isinstance(event.get("ts"), (int, float)):
+                fail(f"{where} (instant) has no numeric ts")
+
+    if args.require_spans and phases["X"] == 0:
+        fail("no complete ('X') spans found — expected per-thread sweep "
+             "cell spans")
+
+    span_threads = {
+        e["tid"] for e in events if isinstance(e, dict) and e.get("ph") == "X"
+    }
+    summary = ", ".join(f"{ph}={n}" for ph, n in sorted(phases.items()))
+    print(
+        f"validate_trace: OK: {len(events)} events ({summary}); "
+        f"spans on {len(span_threads)} thread(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()
