@@ -1,0 +1,17 @@
+#include "mobrep/chaos/crash_scheduler.h"
+
+#include <utility>
+
+namespace mobrep {
+
+void CrashScheduler::OnPoint(CrashNode node, std::string site) {
+  const int index = index_++;
+  points_.push_back(CrashPointInfo{node, std::move(site)});
+  if (index == target_ && !fired_) {
+    fired_ = true;
+    fired_point_ = points_.back();
+    throw CrashSignal{node, fired_point_.site};
+  }
+}
+
+}  // namespace mobrep

@@ -1,0 +1,57 @@
+#ifndef MOBREP_CHAOS_CRASH_SCHEDULER_H_
+#define MOBREP_CHAOS_CRASH_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "mobrep/common/crash_signal.h"
+
+namespace mobrep {
+
+// One reachable crash point: which node would die, and a stable label of
+// the site ("mc.dealloc@torn", "sc.link.send", ...).
+struct CrashPointInfo {
+  CrashNode node = CrashNode::kMobileClient;
+  std::string site;
+};
+
+// Enumerates and arms the crash points of one CrashableSimulation run.
+//
+// The harness calls OnPoint() at every crash point it passes: each WAL
+// append (three WalCrashPhase sub-points per record), each ARQ send and
+// each receive-delivery. Because the simulation is deterministic, the
+// point sequence of a crash-free run is reproducible, so systematic
+// exploration is two passes (chaos/crash_explorer.h): a counting pass with
+// an unarmed scheduler, then one armed run per enumerated index. An armed
+// scheduler throws CrashSignal at its target point — exactly once per run;
+// points passed after the crash (recovery's own appends and sends) are
+// recorded but never fire.
+class CrashScheduler {
+ public:
+  CrashScheduler() = default;
+
+  // Arms the scheduler to fire at the `target`-th OnPoint call (0-based).
+  void Arm(int target) { target_ = target; }
+  int target() const { return target_; }
+
+  // Registers passing one crash point; throws CrashSignal when armed for
+  // this index and not yet fired.
+  void OnPoint(CrashNode node, std::string site);
+
+  int points_seen() const { return index_; }
+  const std::vector<CrashPointInfo>& points() const { return points_; }
+  bool fired() const { return fired_; }
+  // Meaningful only when fired().
+  const CrashPointInfo& fired_point() const { return fired_point_; }
+
+ private:
+  int target_ = -1;  // -1: counting only, never fires
+  int index_ = 0;
+  bool fired_ = false;
+  CrashPointInfo fired_point_;
+  std::vector<CrashPointInfo> points_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CHAOS_CRASH_SCHEDULER_H_

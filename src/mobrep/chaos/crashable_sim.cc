@@ -1,0 +1,456 @@
+#include "mobrep/chaos/crashable_sim.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+#include "mobrep/obs/trace.h"
+#include "mobrep/protocol/diagnosis.h"
+#include "mobrep/protocol/transfer.h"
+
+namespace mobrep {
+namespace {
+
+// Same per-direction fault-stream salts as ProtocolSimulation, so a
+// crash-free CrashableSimulation sees the identical fault sequence.
+constexpr uint64_t kUplinkFaultSalt = 0x4d432d3e5343ULL;    // "MC->SC"
+constexpr uint64_t kDownlinkFaultSalt = 0x53432d3e4d43ULL;  // "SC->MC"
+
+// Cuts the torn tail Recover() diagnosed off the on-disk log, so the
+// reopened log appends intact records after the last intact one (a second
+// recovery would otherwise stop at the stale torn bytes).
+void TruncateTornTail(const std::string& path, int64_t bytes_truncated) {
+  if (bytes_truncated <= 0) return;
+  struct stat file_stat;
+  if (::stat(path.c_str(), &file_stat) != 0) return;
+  ::truncate(path.c_str(),
+             file_stat.st_size - static_cast<off_t>(bytes_truncated));
+}
+
+}  // namespace
+
+CrashableSimulation::CrashableSimulation(const CrashSimConfig& config,
+                                         CrashScheduler* scheduler)
+    : config_(config),
+      scheduler_(scheduler),
+      mc_journal_(this, CrashNode::kMobileClient),
+      sc_journal_(this, CrashNode::kStationaryServer) {
+  MOBREP_CHECK(scheduler_ != nullptr);
+  MOBREP_CHECK_MSG(
+      !config_.mc_wal_path.empty() && !config_.sc_wal_path.empty(),
+      "the crash harness needs a WAL path per node");
+  MOBREP_CHECK(config_.mc_wal_path != config_.sc_wal_path);
+  std::remove(config_.mc_wal_path.c_str());
+  std::remove(config_.sc_wal_path.c_str());
+  store_.Put(config_.key, config_.initial_value);
+
+  FaultConfig fault = config_.fault;
+  fault.force_reliable = true;  // epoch fencing lives in the ARQ endpoints
+  mc_to_sc_ = std::make_unique<FaultyChannel>(
+      &queue_, config_.link_latency, "MC->SC", fault, kUplinkFaultSalt);
+  sc_to_mc_ = std::make_unique<FaultyChannel>(
+      &queue_, config_.link_latency, "SC->MC", fault, kDownlinkFaultSalt);
+  ArqConfig arq = fault.arq;
+  if (arq.initial_rto <= 0.0) {
+    arq.initial_rto =
+        4.0 * config_.link_latency + 2.0 * fault.max_jitter + 1e-6;
+  }
+  mc_link_ = std::make_unique<ReliableLink>(&queue_, mc_to_sc_.get(), arq,
+                                            "MC-arq");
+  sc_link_ = std::make_unique<ReliableLink>(&queue_, sc_to_mc_.get(), arq,
+                                            "SC-arq");
+  // Both nodes boot at incarnation 1; every frame is fenced against the
+  // incarnation pair from the start.
+  mc_link_->EnableEpochFencing(1, 1);
+  sc_link_->EnableEpochFencing(1, 1);
+
+  mc_to_sc_->set_receiver([this](const Message& frame) {
+    if (sc_up_) sc_link_->HandleFrame(frame);
+  });
+  sc_to_mc_->set_receiver([this](const Message& frame) {
+    if (mc_up_) mc_link_->HandleFrame(frame);
+  });
+  mc_link_->set_receiver(
+      [this](const Message& m) { client_->HandleMessage(m); });
+  sc_link_->set_receiver(
+      [this](const Message& m) { server_->HandleMessage(m); });
+  // Flush collapsed propagation only once any resync has resolved — the
+  // "caught up" signal must not ship data to an unreconciled peer.
+  sc_link_->set_on_idle([this] {
+    if (sc_up_ && server_ != nullptr && !server_->resync_pending()) {
+      server_->FlushPending();
+    }
+  });
+
+  client_ = std::make_unique<MobileClient>(config_.key, config_.spec,
+                                           mc_link_.get(), &cache_);
+  client_->set_tolerates_link_faults(true);
+  server_ = std::make_unique<StationaryServer>(config_.key, config_.spec,
+                                               sc_link_.get(), &store_);
+  if (client_->in_charge()) {
+    cache_.Install(config_.key, *store_.Get(config_.key));
+  }
+
+  auto mc_wal = WriteAheadLog::Open(config_.mc_wal_path);
+  MOBREP_CHECK_MSG(mc_wal.ok(), mc_wal.status().message().c_str());
+  mc_wal_ = std::make_unique<WriteAheadLog>(std::move(*mc_wal));
+  auto sc_wal = WriteAheadLog::Open(config_.sc_wal_path);
+  MOBREP_CHECK_MSG(sc_wal.ok(), sc_wal.status().message().c_str());
+  sc_wal_ = std::make_unique<WriteAheadLog>(std::move(*sc_wal));
+
+  // The pre-existing durable state: the initial store version and each
+  // node's boot snapshot. Written before the crash hooks are installed —
+  // these records model state that existed before the run, so recovery
+  // always finds an intact snapshot and the initial version.
+  const Status initial_put =
+      sc_wal_->AppendPut(config_.key, *store_.Get(config_.key));
+  MOBREP_CHECK_MSG(initial_put.ok(), initial_put.message().c_str());
+  Status snap = sc_wal_->AppendSnapshot(SnapshotServer().Encode());
+  MOBREP_CHECK_MSG(snap.ok(), snap.message().c_str());
+  snap = mc_wal_->AppendSnapshot(SnapshotClient().Encode());
+  MOBREP_CHECK_MSG(snap.ok(), snap.message().c_str());
+
+  server_->set_write_log(sc_wal_.get());
+  client_->set_journal(&mc_journal_);
+  server_->set_journal(&sc_journal_);
+  InstallWalHooks();
+  mc_link_->set_crash_hook([this](const char* site) {
+    scheduler_->OnPoint(CrashNode::kMobileClient,
+                        StrFormat("mc.link.%s", site));
+  });
+  sc_link_->set_crash_hook([this](const char* site) {
+    scheduler_->OnPoint(CrashNode::kStationaryServer,
+                        StrFormat("sc.link.%s", site));
+  });
+}
+
+void CrashableSimulation::InstallWalHooks() {
+  if (mc_wal_ != nullptr) {
+    mc_wal_->set_crash_hook([this](WalCrashPhase phase, const char* what) {
+      const char* reason =
+          std::strcmp(what, "put") == 0 ? "mc.put" : mc_pending_reason_;
+      scheduler_->OnPoint(
+          CrashNode::kMobileClient,
+          StrFormat("%s@%s", reason, WalCrashPhaseName(phase)));
+    });
+  }
+  if (sc_wal_ != nullptr) {
+    sc_wal_->set_crash_hook([this](WalCrashPhase phase, const char* what) {
+      const char* reason =
+          std::strcmp(what, "put") == 0 ? "sc.put" : sc_pending_reason_;
+      scheduler_->OnPoint(
+          CrashNode::kStationaryServer,
+          StrFormat("%s@%s", reason, WalCrashPhaseName(phase)));
+    });
+  }
+}
+
+NodeSnapshot CrashableSimulation::SnapshotClient() const {
+  NodeSnapshot snapshot;
+  snapshot.is_mc = true;
+  snapshot.in_charge = client_->in_charge();
+  snapshot.has_copy = client_->has_copy();
+  snapshot.incarnation = client_->incarnation();
+  snapshot.peer_incarnation = client_->peer_incarnation();
+  if (snapshot.has_copy) {
+    const Result<VersionedValue> replica = cache_.Get(config_.key);
+    MOBREP_CHECK(replica.ok());
+    snapshot.replica_version = replica->version;
+    snapshot.replica_value = replica->value;
+  }
+  snapshot.window = ExtractWindow(config_.spec, client_->policy());
+  snapshot.counter = ExtractCounter(config_.spec, client_->policy());
+  return snapshot;
+}
+
+NodeSnapshot CrashableSimulation::SnapshotServer() const {
+  NodeSnapshot snapshot;
+  snapshot.is_mc = false;
+  snapshot.in_charge = server_->in_charge();
+  snapshot.has_copy = server_->mc_has_copy();
+  snapshot.pending_propagation = server_->has_pending_propagation();
+  snapshot.incarnation = server_->incarnation();
+  snapshot.peer_incarnation = server_->peer_incarnation();
+  snapshot.window = ExtractWindow(config_.spec, server_->policy());
+  snapshot.counter = ExtractCounter(config_.spec, server_->policy());
+  return snapshot;
+}
+
+void CrashableSimulation::PersistNode(CrashNode node, const char* reason) {
+  if (node == CrashNode::kMobileClient) {
+    if (mc_wal_ == nullptr || client_ == nullptr) return;
+    mc_pending_reason_ = reason;
+    const Status appended = mc_wal_->AppendSnapshot(SnapshotClient().Encode());
+    MOBREP_CHECK_MSG(appended.ok(), appended.message().c_str());
+  } else {
+    if (sc_wal_ == nullptr || server_ == nullptr) return;
+    sc_pending_reason_ = reason;
+    const Status appended = sc_wal_->AppendSnapshot(SnapshotServer().Encode());
+    MOBREP_CHECK_MSG(appended.ok(), appended.message().c_str());
+  }
+}
+
+void CrashableSimulation::Fail(const Status& status) {
+  if (crash_error_.ok()) crash_error_ = status;
+}
+
+void CrashableSimulation::OnCrash(const CrashSignal& signal) {
+  ++crashes_;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kNodeCrash, signal.site.c_str(),
+                     queue_.now(), static_cast<int64_t>(signal.node),
+                     scheduler_->points_seen());
+  if (signal.node == CrashNode::kMobileClient) {
+    const uint32_t next_incarnation = client_->incarnation() + 1;
+    client_.reset();
+    mc_up_ = false;
+    mc_wal_.reset();  // the bytes on disk are the crash image
+    // The in-memory replica image dies with the node; recovery rebuilds it
+    // from the journaled snapshot.
+    if (cache_.Contains(config_.key)) {
+      MOBREP_CHECK(cache_.Evict(config_.key).ok());
+    }
+    // The node's volatile ARQ conversation dies too; pending timers no-op.
+    mc_link_->Restart(next_incarnation);
+    queue_.ScheduleAfter(config_.down_time, [this, next_incarnation] {
+      RestartClient(next_incarnation);
+    });
+  } else {
+    const uint32_t next_incarnation = server_->incarnation() + 1;
+    server_.reset();
+    sc_up_ = false;
+    sc_wal_.reset();
+    sc_link_->Restart(next_incarnation);
+    queue_.ScheduleAfter(config_.down_time, [this, next_incarnation] {
+      RestartServer(next_incarnation);
+    });
+  }
+}
+
+void CrashableSimulation::RestartClient(uint32_t incarnation) {
+  ++recoveries_;
+  Result<RecoveryReport> recovered =
+      WriteAheadLog::Recover(config_.mc_wal_path);
+  if (!recovered.ok()) return Fail(recovered.status());
+  last_report_ = *recovered;
+  MOBREP_CHECK_MSG(!recovered->last_snapshot.empty(),
+                   "MC log lost its boot snapshot");
+  Result<NodeSnapshot> decoded =
+      NodeSnapshot::Decode(recovered->last_snapshot);
+  if (!decoded.ok()) return Fail(decoded.status());
+  TruncateTornTail(config_.mc_wal_path, recovered->bytes_truncated);
+
+  if (decoded->has_copy) {
+    cache_.Install(config_.key,
+                   VersionedValue{decoded->replica_value,
+                                  decoded->replica_version});
+  }
+  client_ = std::make_unique<MobileClient>(config_.key, config_.spec,
+                                           mc_link_.get(), &cache_);
+  client_->set_tolerates_link_faults(true);
+  client_->Restore(decoded->in_charge,
+                   ReconstructPolicy(config_.spec, decoded->has_copy,
+                                     decoded->window, decoded->counter),
+                   incarnation, decoded->peer_incarnation);
+
+  auto wal = WriteAheadLog::Open(config_.mc_wal_path);
+  if (!wal.ok()) return Fail(wal.status());
+  mc_wal_ = std::make_unique<WriteAheadLog>(std::move(*wal));
+  InstallWalHooks();
+  client_->set_journal(&mc_journal_);
+  mc_up_ = true;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kNodeRestart, "MC", queue_.now(),
+                     static_cast<int64_t>(CrashNode::kMobileClient),
+                     static_cast<int64_t>(incarnation));
+  // Make the bumped incarnation durable, then reconcile ownership.
+  PersistNode(CrashNode::kMobileClient, "mc.restart");
+  client_->BeginResync();
+}
+
+void CrashableSimulation::RestartServer(uint32_t incarnation) {
+  ++recoveries_;
+  Result<RecoveryReport> recovered =
+      WriteAheadLog::Recover(config_.sc_wal_path);
+  if (!recovered.ok()) return Fail(recovered.status());
+  last_report_ = *recovered;
+  MOBREP_CHECK_MSG(!recovered->last_snapshot.empty(),
+                   "SC log lost its boot snapshot");
+  Result<NodeSnapshot> decoded =
+      NodeSnapshot::Decode(recovered->last_snapshot);
+  if (!decoded.ok()) return Fail(decoded.status());
+  TruncateTornTail(config_.sc_wal_path, recovered->bytes_truncated);
+
+  // The online database is rebuilt from the replayed PUT records — an
+  // unlogged in-memory write (crash before its append) is legitimately
+  // lost; it was never acknowledged.
+  store_ = std::move(recovered->store);
+  MOBREP_CHECK_MSG(store_.Contains(config_.key),
+                   "SC log lost the initial version");
+  server_ = std::make_unique<StationaryServer>(config_.key, config_.spec,
+                                               sc_link_.get(), &store_);
+  server_->Restore(decoded->in_charge, decoded->has_copy,
+                   decoded->pending_propagation,
+                   ReconstructPolicy(config_.spec, decoded->has_copy,
+                                     decoded->window, decoded->counter),
+                   incarnation, decoded->peer_incarnation);
+
+  auto wal = WriteAheadLog::Open(config_.sc_wal_path);
+  if (!wal.ok()) return Fail(wal.status());
+  sc_wal_ = std::make_unique<WriteAheadLog>(std::move(*wal));
+  InstallWalHooks();
+  server_->set_write_log(sc_wal_.get());
+  server_->set_journal(&sc_journal_);
+  sc_up_ = true;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kNodeRestart, "SC", queue_.now(),
+                     static_cast<int64_t>(CrashNode::kStationaryServer),
+                     static_cast<int64_t>(incarnation));
+  PersistNode(CrashNode::kStationaryServer, "sc.restart");
+  server_->BeginResync();
+}
+
+Status CrashableSimulation::DrainWithCrashes(const char* what) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    try {
+      int64_t events_run = 0;
+      const bool quiescent =
+          queue_.TryRunUntilQuiescent(config_.max_events, &events_run);
+      if (!crash_error_.ok()) return crash_error_;
+      if (!quiescent) {
+        return InternalError(StrFormat(
+            "%s did not quiesce within %lld events; %s", what,
+            static_cast<long long>(config_.max_events),
+            DescribeQuiescenceStall(client_.get(), server_.get(),
+                                    mc_link_.get(), sc_link_.get())
+                .c_str()));
+      }
+      return OkStatus();
+    } catch (const CrashSignal& signal) {
+      // The throw has fully unwound the dying node's stack; now drop its
+      // volatile state and schedule recovery.
+      OnCrash(signal);
+    }
+  }
+  return InternalError("more than one crash escaped the scheduler");
+}
+
+Status CrashableSimulation::CheckInvariants(const char* when) {
+  if (!crash_error_.ok()) return crash_error_;
+  if (client_ == nullptr || server_ == nullptr) {
+    return InternalError(
+        StrFormat("%s: a crashed node never restarted", when));
+  }
+  if (client_->resync_pending() || server_->resync_pending()) {
+    return InternalError(StrFormat(
+        "%s: %s", when,
+        DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
+                                sc_link_.get())
+            .c_str()));
+  }
+  if (client_->in_charge() == server_->in_charge()) {
+    return InternalError(StrFormat(
+        "%s: %s in charge after convergence", when,
+        client_->in_charge() ? "both nodes" : "neither node"));
+  }
+  if (client_->in_charge() != client_->has_copy()) {
+    return InternalError(
+        StrFormat("%s: in-charge MC without a copy (or vice versa)", when));
+  }
+  if (server_->mc_has_copy() != client_->has_copy()) {
+    return InternalError(
+        StrFormat("%s: subscription views diverged", when));
+  }
+  const Result<VersionedValue> authoritative = store_.Get(config_.key);
+  if (!authoritative.ok()) return authoritative.status();
+  if (authoritative->version < acked_version_) {
+    return DataLossError(StrFormat(
+        "%s: store rolled back to version %llu, but version %llu was "
+        "acknowledged",
+        when, static_cast<unsigned long long>(authoritative->version),
+        static_cast<unsigned long long>(acked_version_)));
+  }
+  if (client_->has_copy()) {
+    const Result<VersionedValue> replica = cache_.Get(config_.key);
+    if (!replica.ok() || !(*replica == *authoritative)) {
+      return DataLossError(StrFormat(
+          "%s: surviving replica diverged from the store", when));
+    }
+  }
+  return OkStatus();
+}
+
+void CrashableSimulation::IssueCheckedRead() {
+  client_->IssueRead([this](const VersionedValue& value) {
+    read_completed_ = true;
+    read_value_ = value;
+  });
+}
+
+Status CrashableSimulation::RunRead() {
+  read_completed_ = false;
+  try {
+    IssueCheckedRead();
+  } catch (const CrashSignal& signal) {
+    OnCrash(signal);
+  }
+  Status drained = DrainWithCrashes("read exchange");
+  if (!drained.ok()) return drained;
+  if (!read_completed_) {
+    // The crash killed the read's callback with the MC; the recovered
+    // client converged but cannot know about the request — the harness
+    // (playing the MC's user) re-drives it.
+    ++reissued_reads_;
+    try {
+      IssueCheckedRead();
+    } catch (const CrashSignal& signal) {
+      OnCrash(signal);
+    }
+    drained = DrainWithCrashes("re-issued read");
+    if (!drained.ok()) return drained;
+    if (!read_completed_) {
+      return InternalError("read never completed after recovery");
+    }
+  }
+  // Freshness: serialized steps mean the read must observe the latest
+  // committed write, crash or no crash.
+  const Result<VersionedValue> authoritative = store_.Get(config_.key);
+  if (!authoritative.ok()) return authoritative.status();
+  if (!(read_value_ == *authoritative)) {
+    return DataLossError(StrFormat(
+        "read observed version %llu ('%s'); latest committed is %llu ('%s')",
+        static_cast<unsigned long long>(read_value_.version),
+        read_value_.value.c_str(),
+        static_cast<unsigned long long>(authoritative->version),
+        authoritative->value.c_str()));
+  }
+  return CheckInvariants("read step");
+}
+
+Status CrashableSimulation::RunWrite() {
+  bool acked = false;
+  try {
+    ++write_sequence_;
+    server_->IssueWrite(
+        StrFormat("v%lld", static_cast<long long>(write_sequence_)));
+    acked = true;
+  } catch (const CrashSignal& signal) {
+    OnCrash(signal);
+  }
+  if (acked) acked_version_ = store_.Get(config_.key)->version;
+  const Status drained = DrainWithCrashes("write exchange");
+  if (!drained.ok()) return drained;
+  return CheckInvariants("write step");
+}
+
+Status CrashableSimulation::Run(const Schedule& schedule) {
+  for (const Op op : schedule) {
+    const Status step = op == Op::kRead ? RunRead() : RunWrite();
+    if (!step.ok()) return step;
+  }
+  return CheckInvariants("end of schedule");
+}
+
+}  // namespace mobrep

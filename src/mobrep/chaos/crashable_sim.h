@@ -1,0 +1,159 @@
+#ifndef MOBREP_CHAOS_CRASHABLE_SIM_H_
+#define MOBREP_CHAOS_CRASHABLE_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mobrep/chaos/crash_scheduler.h"
+#include "mobrep/chaos/node_snapshot.h"
+#include "mobrep/common/status.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/fault_model.h"
+#include "mobrep/net/reliable_link.h"
+#include "mobrep/protocol/journal.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/stationary_server.h"
+#include "mobrep/store/replica_cache.h"
+#include "mobrep/store/versioned_store.h"
+#include "mobrep/store/write_ahead_log.h"
+
+namespace mobrep {
+
+struct CrashSimConfig {
+  PolicySpec spec;
+  std::string key = "x";
+  std::string initial_value = "v0";
+  double link_latency = 0.001;
+  // Optional link faults on top of the crashes; force_reliable is implied
+  // (epoch fencing lives in the ARQ endpoints).
+  FaultConfig fault;
+  // Per-node durability logs — the "disks" the crashes test. Both required;
+  // any existing file is removed at construction (each run is hermetic).
+  std::string mc_wal_path;
+  std::string sc_wal_path;
+  // Simulation time between a crash and the node's restart.
+  double down_time = 0.02;
+  int64_t max_events = 1'000'000;
+};
+
+// The crash-recovery harness (docs/RECOVERY.md): one MC and one SC over
+// faulty channels with ARQ endpoints, where either node can be killed at
+// any crash point by an armed CrashScheduler and is then recovered from
+// its write-ahead log.
+//
+// Per node it wires a NodeJournal that snapshots the protocol-critical
+// state (chaos/node_snapshot.h) into the node's WAL at every Persist()
+// site, plus crash hooks at each WAL-append phase and each ARQ
+// send/receive-delivery. On a crash it drops the node's volatile state
+// (the object, its ARQ conversation, the MC's replica image), schedules a
+// restart `down_time` later, rebuilds the node from WriteAheadLog::Recover
+// (store replay + newest snapshot + ReconstructPolicy), bumps the
+// incarnation, and runs the epoch-fenced resync handshake.
+//
+// Requests are serialized as in ProtocolSimulation::Run; after every step
+// the paper's safety invariants are checked: exactly one node in charge,
+// agreeing subscription views, reads observing the latest committed write,
+// a surviving replica equal to the authoritative store, and no
+// acknowledged write lost (the store never rolls back past an acked
+// version).
+class CrashableSimulation {
+ public:
+  CrashableSimulation(const CrashSimConfig& config, CrashScheduler* scheduler);
+
+  CrashableSimulation(const CrashableSimulation&) = delete;
+  CrashableSimulation& operator=(const CrashableSimulation&) = delete;
+
+  // Runs the schedule, surviving at most one scheduled crash. Returns the
+  // first invariant violation or recovery failure.
+  Status Run(const Schedule& schedule);
+
+  // Recovery accounting.
+  int64_t crashes() const { return crashes_; }
+  int64_t recoveries() const { return recoveries_; }
+  // Reads whose callback died with the MC and were re-driven by the
+  // harness after recovery.
+  int64_t reissued_reads() const { return reissued_reads_; }
+  const RecoveryReport& last_recovery_report() const { return last_report_; }
+
+  // Probes (valid while both nodes are up, i.e. outside a crash window).
+  const MobileClient& client() const { return *client_; }
+  const StationaryServer& server() const { return *server_; }
+  const VersionedStore& store() const { return store_; }
+  const ReliableLink& mc_link() const { return *mc_link_; }
+  const ReliableLink& sc_link() const { return *sc_link_; }
+  double now() const { return queue_.now(); }
+
+ private:
+  // Journal adapter: Persist(reason) snapshots the owning node into its
+  // WAL (whose crash hook turns the append into three crash points).
+  class Journal : public NodeJournal {
+   public:
+    Journal(CrashableSimulation* sim, CrashNode node)
+        : sim_(sim), node_(node) {}
+    void Persist(const char* reason) override {
+      sim_->PersistNode(node_, reason);
+    }
+
+   private:
+    CrashableSimulation* sim_;
+    CrashNode node_;
+  };
+
+  Status RunRead();
+  Status RunWrite();
+  void IssueCheckedRead();
+  void PersistNode(CrashNode node, const char* reason);
+  NodeSnapshot SnapshotClient() const;
+  NodeSnapshot SnapshotServer() const;
+  void InstallWalHooks();
+  // Kills the crashed node: drops its volatile state and schedules the
+  // restart. Called after the CrashSignal has unwound the node's stack.
+  void OnCrash(const CrashSignal& signal);
+  void RestartClient(uint32_t incarnation);
+  void RestartServer(uint32_t incarnation);
+  // Runs the queue to quiescence, absorbing the (at most one) CrashSignal.
+  Status DrainWithCrashes(const char* what);
+  Status CheckInvariants(const char* when);
+  void Fail(const Status& status);
+
+  CrashSimConfig config_;
+  CrashScheduler* scheduler_;
+  EventQueue queue_;
+  VersionedStore store_;
+  ReplicaCache cache_;
+  std::unique_ptr<FaultyChannel> mc_to_sc_;
+  std::unique_ptr<FaultyChannel> sc_to_mc_;
+  std::unique_ptr<ReliableLink> mc_link_;
+  std::unique_ptr<ReliableLink> sc_link_;
+  std::unique_ptr<MobileClient> client_;
+  std::unique_ptr<StationaryServer> server_;
+  std::unique_ptr<WriteAheadLog> mc_wal_;
+  std::unique_ptr<WriteAheadLog> sc_wal_;
+  Journal mc_journal_;
+  Journal sc_journal_;
+  // Down nodes receive nothing: frames arriving between crash and restart
+  // are dropped before the node's ARQ endpoint, like any outage.
+  bool mc_up_ = true;
+  bool sc_up_ = true;
+  // Persist() reason currently being appended, labelling the WAL crash
+  // hook's points.
+  const char* mc_pending_reason_ = "mc.init";
+  const char* sc_pending_reason_ = "sc.init";
+
+  uint64_t acked_version_ = 0;  // newest version whose write was acked
+  int64_t write_sequence_ = 0;
+  bool read_completed_ = false;
+  VersionedValue read_value_;
+  int64_t crashes_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t reissued_reads_ = 0;
+  RecoveryReport last_report_;
+  Status crash_error_;  // first recovery failure, sticky
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CHAOS_CRASHABLE_SIM_H_

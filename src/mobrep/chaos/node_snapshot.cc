@@ -1,0 +1,118 @@
+#include "mobrep/chaos/node_snapshot.h"
+
+#include <cstring>
+
+#include "mobrep/common/strings.h"
+#include "mobrep/net/wire_format.h"
+
+namespace mobrep {
+namespace {
+
+// Minimal sequential parser; length prefixes make arbitrary payload bytes
+// unambiguous (the same convention the WAL records use).
+struct Cursor {
+  const char* pos;
+  const char* end;
+
+  bool Literal(const char* literal) {
+    const size_t n = std::strlen(literal);
+    if (static_cast<size_t>(end - pos) < n) return false;
+    if (std::memcmp(pos, literal, n) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  bool Number(char delimiter, uint64_t* out) {
+    uint64_t value = 0;
+    const char* start = pos;
+    while (pos < end && *pos >= '0' && *pos <= '9') {
+      value = value * 10 + static_cast<uint64_t>(*pos - '0');
+      ++pos;
+    }
+    if (pos == start || pos >= end || *pos != delimiter) return false;
+    ++pos;
+    *out = value;
+    return true;
+  }
+
+  // Threshold counters can be negative; everything else is unsigned.
+  bool SignedNumber(char delimiter, int64_t* out) {
+    bool negative = false;
+    if (pos < end && *pos == '-') {
+      negative = true;
+      ++pos;
+    }
+    uint64_t magnitude = 0;
+    if (!Number(delimiter, &magnitude)) return false;
+    *out = negative ? -static_cast<int64_t>(magnitude)
+                    : static_cast<int64_t>(magnitude);
+    return true;
+  }
+
+  bool Bytes(uint64_t n, std::string* out) {
+    if (static_cast<uint64_t>(end - pos) < n) return false;
+    out->assign(pos, static_cast<size_t>(n));
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string NodeSnapshot::Encode() const {
+  std::string out = is_mc ? "MC " : "SC ";
+  out += StrFormat("%d %d %d %u %u %llu %d ", in_charge ? 1 : 0,
+                   has_copy ? 1 : 0, pending_propagation ? 1 : 0, incarnation,
+                   peer_incarnation,
+                   static_cast<unsigned long long>(replica_version), counter);
+  const std::string encoded_window = EncodeWindow(window);
+  out += StrFormat("%zu:", encoded_window.size());
+  out += encoded_window;
+  out += StrFormat(" %zu:", replica_value.size());
+  out += replica_value;
+  return out;
+}
+
+Result<NodeSnapshot> NodeSnapshot::Decode(const std::string& payload) {
+  Cursor cursor{payload.data(), payload.data() + payload.size()};
+  NodeSnapshot snapshot;
+  if (cursor.Literal("MC ")) {
+    snapshot.is_mc = true;
+  } else if (cursor.Literal("SC ")) {
+    snapshot.is_mc = false;
+  } else {
+    return InvalidArgumentError("node snapshot: bad node tag");
+  }
+  uint64_t in_charge = 0, has_copy = 0, pending = 0, incarnation = 0,
+           peer = 0, replica_version = 0, window_len = 0, value_len = 0;
+  int64_t counter = 0;
+  std::string encoded_window;
+  const bool ok = cursor.Number(' ', &in_charge) && in_charge <= 1 &&
+                  cursor.Number(' ', &has_copy) && has_copy <= 1 &&
+                  cursor.Number(' ', &pending) && pending <= 1 &&
+                  cursor.Number(' ', &incarnation) &&
+                  cursor.Number(' ', &peer) &&
+                  cursor.Number(' ', &replica_version) &&
+                  cursor.SignedNumber(' ', &counter) &&
+                  cursor.Number(':', &window_len) &&
+                  cursor.Bytes(window_len, &encoded_window) &&
+                  cursor.Literal(" ") && cursor.Number(':', &value_len) &&
+                  cursor.Bytes(value_len, &snapshot.replica_value) &&
+                  cursor.pos == cursor.end;
+  if (!ok) {
+    return InvalidArgumentError("node snapshot: malformed payload");
+  }
+  Result<std::vector<Op>> window = DecodeWindow(encoded_window);
+  if (!window.ok()) return window.status();
+  snapshot.in_charge = in_charge != 0;
+  snapshot.has_copy = has_copy != 0;
+  snapshot.pending_propagation = pending != 0;
+  snapshot.incarnation = static_cast<uint32_t>(incarnation);
+  snapshot.peer_incarnation = static_cast<uint32_t>(peer);
+  snapshot.replica_version = replica_version;
+  snapshot.counter = static_cast<int>(counter);
+  snapshot.window = *std::move(window);
+  return snapshot;
+}
+
+}  // namespace mobrep

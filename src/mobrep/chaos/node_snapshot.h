@@ -1,0 +1,56 @@
+#ifndef MOBREP_CHAOS_NODE_SNAPSHOT_H_
+#define MOBREP_CHAOS_NODE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/common/status.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+
+// The protocol-critical state one node journals at every Persist() point
+// (see protocol/journal.h and docs/RECOVERY.md): everything Recover() needs
+// to rebuild the node exactly — the ownership bit, the subscription view,
+// the policy's control state (window + T-family counter via
+// protocol/transfer.h), the replica image, and the incarnation pair.
+//
+// Serialized as one WAL SNAP payload; the value fields are length-prefixed
+// so arbitrary bytes round-trip, and the window rides the same wire
+// encoding the hand-over messages use (net/wire_format.h).
+struct NodeSnapshot {
+  bool is_mc = false;
+  // Window ownership (paper §4: the node holding the copy is in charge).
+  bool in_charge = false;
+  // MC: a replica is installed. SC: the MC subscribes to propagation.
+  bool has_copy = false;
+  // SC only: a collapsed propagation awaits the link draining.
+  bool pending_propagation = false;
+  uint32_t incarnation = 1;
+  uint32_t peer_incarnation = 1;
+  // MC only, meaningful when has_copy: the persisted replica image.
+  uint64_t replica_version = 0;
+  std::string replica_value;
+  // Policy control state (ReconstructPolicy inputs).
+  std::vector<Op> window;
+  int counter = 0;
+
+  std::string Encode() const;
+  static Result<NodeSnapshot> Decode(const std::string& payload);
+
+  friend bool operator==(const NodeSnapshot& a, const NodeSnapshot& b) {
+    return a.is_mc == b.is_mc && a.in_charge == b.in_charge &&
+           a.has_copy == b.has_copy &&
+           a.pending_propagation == b.pending_propagation &&
+           a.incarnation == b.incarnation &&
+           a.peer_incarnation == b.peer_incarnation &&
+           a.replica_version == b.replica_version &&
+           a.replica_value == b.replica_value && a.window == b.window &&
+           a.counter == b.counter;
+  }
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CHAOS_NODE_SNAPSHOT_H_

@@ -1,0 +1,37 @@
+#ifndef MOBREP_COMMON_CRASH_SIGNAL_H_
+#define MOBREP_COMMON_CRASH_SIGNAL_H_
+
+#include <string>
+
+namespace mobrep {
+
+// Which simulated node a crash kills (see docs/RECOVERY.md).
+enum class CrashNode : int {
+  kMobileClient = 0,
+  kStationaryServer = 1,
+};
+
+inline const char* CrashNodeName(CrashNode node) {
+  return node == CrashNode::kMobileClient ? "MC" : "SC";
+}
+
+// Thrown by an armed crash hook to simulate kill -9 of one node at an
+// exact protocol step, and caught at the chaos harness's event-loop
+// boundary, which then drops the node's volatile state and runs recovery.
+//
+// This is the one sanctioned use of a C++ exception in the tree (the
+// library's error handling stays on Status/Result, see common/check.h):
+// a crash is by definition a non-local exit that must not run any of the
+// dying node's remaining code, which is exactly stack unwinding. Library
+// code in store/, net/ and protocol/ never throws itself — it only calls
+// user-installed hooks that may; with no hook installed (every production
+// and benchmark path) no throw site exists.
+struct CrashSignal {
+  CrashNode node = CrashNode::kMobileClient;
+  // Label of the crash point that fired (e.g. "sc.put@torn").
+  std::string site;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_CRASH_SIGNAL_H_

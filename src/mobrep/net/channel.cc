@@ -27,6 +27,16 @@ void Channel::Meter(const Message& message) {
                        static_cast<int64_t>(message.type));
     return;
   }
+  if (message.type == MessageType::kResyncRequest ||
+      message.type == MessageType::kResyncResponse) {
+    // Recovery traffic only ever follows a crash; keep it out of the
+    // paper's counters so cost tables compare schemes, not crash counts.
+    recovery_messages_sent_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageSend, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(message.seq),
+                       static_cast<int64_t>(message.type), 0);
+    return;
+  }
   messages_sent_.Increment();
   if (IsDataMessage(message.type)) {
     data_messages_sent_.Increment();

@@ -50,6 +50,12 @@ class Channel : public Link {
   int64_t retransmissions_sent() const {
     return retransmissions_sent_.value();
   }
+  // Crash-recovery handshake traffic (kResyncRequest/kResyncResponse),
+  // also outside the paper's cost models: recovery is an availability
+  // cost, not a replication-scheme cost. Always 0 on a crash-free run.
+  int64_t recovery_messages_sent() const {
+    return recovery_messages_sent_.value();
+  }
   const std::string& name() const override { return name_; }
   double latency() const { return latency_; }
 
@@ -76,6 +82,7 @@ class Channel : public Link {
   obs::Counter control_messages_sent_;
   obs::Counter acks_sent_;
   obs::Counter retransmissions_sent_;
+  obs::Counter recovery_messages_sent_;
 };
 
 }  // namespace mobrep

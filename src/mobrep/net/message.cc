@@ -16,6 +16,10 @@ const char* MessageTypeName(MessageType type) {
       return "invalidate";
     case MessageType::kAck:
       return "ack";
+    case MessageType::kResyncRequest:
+      return "resync_request";
+    case MessageType::kResyncResponse:
+      return "resync_response";
   }
   return "unknown";
 }

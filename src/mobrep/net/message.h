@@ -31,6 +31,16 @@ enum class MessageType : uint8_t {
   // being acked). Consumed by the ARQ layer; never delivered to the
   // protocol endpoints, and never counted in the paper's cost models.
   kAck,
+  // Crash-recovery handshake (docs/RECOVERY.md): announces a node's new
+  // incarnation after a restart and carries its recovered ownership claim
+  // (`claims_charge`). Never sent on a crash-free run; metered outside the
+  // paper's cost models as recovery traffic.
+  kResyncRequest,
+  // SC -> MC: the resolution of a resync. `allocate` says which side owns
+  // the window afterwards; when the MC owns, `item` carries the latest
+  // committed version (and, on a re-grant, `window`/`transferred_state`
+  // re-ship the control state).
+  kResyncResponse,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -51,6 +61,20 @@ struct Message {
   // cost-model counters.
   uint64_t seq = 0;
   bool retransmit = false;
+
+  // Crash-recovery incarnation fencing (docs/RECOVERY.md). `epoch` is the
+  // sender's incarnation number; `peer_epoch` is the incarnation of the
+  // receiver the sender believes it is talking to. Both 0 on links that
+  // never enabled epoch fencing (every crash-free configuration), so the
+  // fields are inert outside the chaos harness. A receiver fences (drops)
+  // frames from a dead incarnation of the peer and frames addressed to a
+  // dead incarnation of itself.
+  uint32_t epoch = 0;
+  uint32_t peer_epoch = 0;
+
+  // Resync handshake payload (kResyncRequest): whether the sender's
+  // recovered state claims window ownership.
+  bool claims_charge = false;
 
   // Payload for data messages.
   VersionedValue item;

@@ -24,17 +24,62 @@ ReliableLink::ReliableLink(EventQueue* queue, Channel* transport,
   config_.max_rto = std::max(config_.max_rto, config_.initial_rto);
 }
 
+void ReliableLink::EnableEpochFencing(uint32_t local_epoch,
+                                      uint32_t peer_epoch) {
+  MOBREP_CHECK_MSG(local_epoch != 0 && peer_epoch != 0,
+                   "incarnation 0 is reserved for 'fencing disabled'");
+  epochs_enabled_ = true;
+  local_epoch_ = local_epoch;
+  peer_epoch_ = peer_epoch;
+}
+
+void ReliableLink::Restart(uint32_t new_local_epoch) {
+  MOBREP_CHECK_MSG(new_local_epoch > local_epoch_,
+                   "a restart must advance the incarnation");
+  epochs_enabled_ = true;
+  local_epoch_ = new_local_epoch;
+  // Everything below is the node's volatile ARQ state, gone with the
+  // crash. Pending timers notice the conversation bump and no-op.
+  outstanding_.clear();
+  reorder_buffer_.clear();
+  next_send_seq_ = 1;
+  next_deliver_seq_ = 1;
+  ++conversation_;
+}
+
+void ReliableLink::AdoptPeerEpoch(uint32_t epoch) {
+  // Every outstanding frame was addressed to the peer's dead incarnation;
+  // no ack for them can ever arrive. The app-level resync handshake — the
+  // very frame that got us here — re-establishes whatever state those
+  // frames were carrying, so they are voided, not re-sent. on_idle_ is
+  // deliberately not fired: the "caught up" signal would flush pending
+  // propagation at a peer that has not reconciled ownership yet.
+  voided_frames_.Increment(static_cast<int64_t>(outstanding_.size()));
+  peer_epoch_ = epoch;
+  outstanding_.clear();
+  reorder_buffer_.clear();
+  next_send_seq_ = 1;
+  next_deliver_seq_ = 1;
+  ++conversation_;
+}
+
 void ReliableLink::Send(Message message) {
+  if (crash_hook_ != nullptr) crash_hook_("send");
   const uint64_t seq = next_send_seq_++;
   message.seq = seq;
   message.retransmit = false;
+  if (epochs_enabled_) {
+    message.epoch = local_epoch_;
+    message.peer_epoch = peer_epoch_;
+  }
   outstanding_.emplace(seq, Outstanding{message, 0});
   transport_->Send(std::move(message));
   ArmTimer(seq, config_.initial_rto);
 }
 
 void ReliableLink::ArmTimer(uint64_t seq, double rto) {
-  queue_->ScheduleAfter(rto, [this, seq, rto]() {
+  queue_->ScheduleAfter(rto, [this, seq, rto, gen = conversation_]() {
+    if (gen != conversation_) return;  // conversation died; stale timer
     const auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // acked since; stale timer
     timeouts_.Increment();
@@ -62,6 +107,30 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
 
 void ReliableLink::HandleFrame(const Message& frame) {
   MOBREP_CHECK_MSG(frame.seq != 0, "unnumbered frame on a reliable link");
+  if (epochs_enabled_) {
+    if (frame.peer_epoch != local_epoch_) {
+      // Addressed to a dead (or future, mid-handshake) incarnation of this
+      // node. Not acked: the sender either died with that conversation or
+      // will void it when it learns our incarnation from the resync.
+      fenced_frames_.Increment();
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kFencedFrame, name_.c_str(),
+                         queue_->now(), static_cast<int64_t>(frame.seq),
+                         static_cast<int64_t>(frame.peer_epoch),
+                         static_cast<int64_t>(local_epoch_));
+      return;
+    }
+    if (frame.epoch < peer_epoch_) {
+      // From a dead incarnation of the peer (pre-crash frame still in
+      // flight, or a retransmission the dead node armed).
+      fenced_frames_.Increment();
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kFencedFrame, name_.c_str(),
+                         queue_->now(), static_cast<int64_t>(frame.seq),
+                         static_cast<int64_t>(frame.epoch),
+                         static_cast<int64_t>(peer_epoch_));
+      return;
+    }
+    if (frame.epoch > peer_epoch_) AdoptPeerEpoch(frame.epoch);
+  }
   if (frame.type == MessageType::kAck) {
     const auto it = outstanding_.find(frame.seq);
     if (it == outstanding_.end()) return;  // duplicate or stale ack
@@ -77,6 +146,10 @@ void ReliableLink::HandleFrame(const Message& frame) {
   ack.type = MessageType::kAck;
   ack.key = frame.key;
   ack.seq = frame.seq;
+  if (epochs_enabled_) {
+    ack.epoch = local_epoch_;
+    ack.peer_epoch = peer_epoch_;
+  }
   transport_->Send(std::move(ack));
 
   if (frame.seq < next_deliver_seq_ ||
@@ -93,6 +166,9 @@ void ReliableLink::HandleFrame(const Message& frame) {
     reorder_buffer_.erase(reorder_buffer_.begin());
     ++next_deliver_seq_;
     delivered_.Increment();
+    // The crash window a real kill -9 exposes: the frame is acked and
+    // dequeued but the application never processed it.
+    if (crash_hook_ != nullptr) crash_hook_("recv");
     MOBREP_CHECK_MSG(receiver_ != nullptr,
                      "reliable link has no receiver installed");
     receiver_(next);

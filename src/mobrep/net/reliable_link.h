@@ -88,6 +88,37 @@ class ReliableLink : public Link {
   // incoming channel's receiver).
   void HandleFrame(const Message& frame);
 
+  // --- Crash-recovery support (docs/RECOVERY.md) ---
+  //
+  // Epoch fencing ties every frame to a (sender incarnation, believed
+  // receiver incarnation) pair. A frame from a dead incarnation of the
+  // peer, or addressed to a dead incarnation of this node, is fenced
+  // (dropped, not acked). Seeing the peer at a *newer* incarnation voids
+  // this sender's outstanding conversation — those frames were addressed
+  // to the dead incarnation — and restarts sequence numbering; the
+  // app-level resync handshake then reconciles ownership. Disabled by
+  // default: frames carry epoch 0 and none of this runs.
+  void EnableEpochFencing(uint32_t local_epoch, uint32_t peer_epoch);
+
+  // Restart of this link's owning node at incarnation `new_local_epoch`:
+  // drops all volatile ARQ state (outstanding frames, reorder buffer,
+  // sequence numbers) and implies EnableEpochFencing. Pending
+  // retransmission timers become no-ops (they check the conversation
+  // generation), so a link object safely survives its node's restart.
+  void Restart(uint32_t new_local_epoch);
+
+  // Crash hook fired at this node's send ("send") and receive-delivery
+  // ("recv") points; may throw CrashSignal (chaos harness only). The recv
+  // hook fires after the frame was acked and dequeued — the acked-but-
+  // unprocessed window a real crash exposes.
+  void set_crash_hook(std::function<void(const char* site)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  uint32_t local_epoch() const { return local_epoch_; }
+  uint32_t peer_epoch() const { return peer_epoch_; }
+  bool epoch_fencing_enabled() const { return epochs_enabled_; }
+
   // Counters (all link-layer, outside the paper's cost models; obs::Counter
   // cells behind the historical accessors).
   int64_t retransmissions() const { return retransmissions_.value(); }
@@ -95,6 +126,10 @@ class ReliableLink : public Link {
   int64_t duplicates_dropped() const { return duplicates_dropped_.value(); }
   int64_t delivered() const { return delivered_.value(); }
   int64_t give_ups() const { return give_ups_.value(); }
+  // Frames dropped by epoch fencing (stale incarnation on either end).
+  int64_t fenced_frames() const { return fenced_frames_.value(); }
+  // Outstanding frames voided because the peer restarted under them.
+  int64_t voided_frames() const { return voided_frames_.value(); }
   size_t outstanding_frames() const { return outstanding_.size(); }
   size_t buffered_frames() const { return reorder_buffer_.size(); }
 
@@ -105,6 +140,9 @@ class ReliableLink : public Link {
   };
 
   void ArmTimer(uint64_t seq, double rto);
+  // The peer restarted at incarnation `epoch`: void the old conversation
+  // and start a fresh one toward the new incarnation.
+  void AdoptPeerEpoch(uint32_t epoch);
 
   EventQueue* queue_;
   Channel* transport_;
@@ -113,17 +151,27 @@ class ReliableLink : public Link {
   Receiver receiver_;
   std::function<void()> on_idle_;
   std::function<void(const Message&)> on_give_up_;
+  std::function<void(const char*)> crash_hook_;
 
   uint64_t next_send_seq_ = 1;
   uint64_t next_deliver_seq_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
   std::map<uint64_t, Message> reorder_buffer_;
 
+  bool epochs_enabled_ = false;
+  uint32_t local_epoch_ = 0;
+  uint32_t peer_epoch_ = 0;
+  // Bumped on every Restart/AdoptPeerEpoch; retransmission timers armed in
+  // an older conversation no-op instead of touching recycled seq numbers.
+  uint64_t conversation_ = 0;
+
   obs::Counter retransmissions_;
   obs::Counter timeouts_;
   obs::Counter duplicates_dropped_;
   obs::Counter delivered_;
   obs::Counter give_ups_;
+  obs::Counter fenced_frames_;
+  obs::Counter voided_frames_;
 };
 
 }  // namespace mobrep

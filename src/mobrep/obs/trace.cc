@@ -61,6 +61,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "sweep_cell_begin";
     case TraceEventKind::kSweepCellEnd:
       return "sweep_cell_end";
+    case TraceEventKind::kWalSnapshot:
+      return "wal_snapshot";
+    case TraceEventKind::kNodeCrash:
+      return "node_crash";
+    case TraceEventKind::kNodeRestart:
+      return "node_restart";
+    case TraceEventKind::kResync:
+      return "resync";
+    case TraceEventKind::kFencedFrame:
+      return "fenced_frame";
   }
   return "unknown";
 }

@@ -53,6 +53,12 @@ enum class TraceEventKind : uint8_t {
   kWalSync,              // a0=records synced so far
   kSweepCellBegin,       // a0=cell index
   kSweepCellEnd,         // a0=cell index
+  kWalSnapshot,          // a0=payload bytes, a1=record idx
+  kNodeCrash,            // a0=CrashNode, a1=crash point idx
+  kNodeRestart,          // a0=CrashNode, a1=new incarnation
+  kResync,               // a0=CrashNode initiating, a1=incarnation,
+                         // a2=1 when resolved (0 when initiated)
+  kFencedFrame,          // a0=frame seq, a1=frame epoch, a2=local epoch
 };
 
 // Stable lowercase name, e.g. "policy_decision".

@@ -1,0 +1,62 @@
+#include "mobrep/protocol/diagnosis.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mobrep {
+namespace {
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string DescribeQuiescenceStall(const MobileClient* client,
+                                    const StationaryServer* server,
+                                    const ReliableLink* mc_link,
+                                    const ReliableLink* sc_link) {
+  std::string out;
+
+  // A pending resync is the serious diagnosis: the handshake has one
+  // round trip and any number of retransmissions, so an unbounded drain
+  // with a resync pending means the resolution is not making progress.
+  if (client != nullptr && client->resync_pending()) {
+    AppendF(&out,
+            "livelocked resync: MC incarnation %u still awaits the SC's "
+            "ownership resolution; ",
+            client->incarnation());
+  }
+  if (server != nullptr && server->resync_pending()) {
+    AppendF(&out,
+            "livelocked resync: SC incarnation %u announced its restart but "
+            "never saw the MC's claim; ",
+            server->incarnation());
+  }
+  if (!out.empty()) {
+    out += "the handshake is stuck, not slow";
+    return out;
+  }
+
+  const size_t mc_out = mc_link != nullptr ? mc_link->outstanding_frames() : 0;
+  const size_t sc_out = sc_link != nullptr ? sc_link->outstanding_frames() : 0;
+  if (mc_out + sc_out > 0) {
+    AppendF(&out,
+            "still draining retransmissions: %zu unacked MC frame(s) (epoch "
+            "%u) and %zu unacked SC frame(s) (epoch %u); the event cap is "
+            "likely too small for the injected outage",
+            mc_out, mc_link != nullptr ? mc_link->local_epoch() : 0, sc_out,
+            sc_link != nullptr ? sc_link->local_epoch() : 0);
+    return out;
+  }
+
+  return "no resync pending and no unacked frames on either link; the event "
+         "loop itself is livelocked";
+}
+
+}  // namespace mobrep

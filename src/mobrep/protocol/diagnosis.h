@@ -1,0 +1,25 @@
+#ifndef MOBREP_PROTOCOL_DIAGNOSIS_H_
+#define MOBREP_PROTOCOL_DIAGNOSIS_H_
+
+#include <string>
+
+#include "mobrep/net/reliable_link.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/stationary_server.h"
+
+namespace mobrep {
+
+// Classifies a hit TryRunUntilQuiescent cap: a "livelocked resync" (a
+// post-crash handshake that never resolved — names the stuck side and its
+// incarnation) is a protocol bug; "still draining retransmissions" (frames
+// outstanding on either ARQ endpoint) usually means the cap is too small
+// for the injected outage. Any argument may be null (fault-free wiring has
+// no ARQ endpoints; non-crash harnesses may not expose the nodes).
+std::string DescribeQuiescenceStall(const MobileClient* client,
+                                    const StationaryServer* server,
+                                    const ReliableLink* mc_link,
+                                    const ReliableLink* sc_link);
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_DIAGNOSIS_H_

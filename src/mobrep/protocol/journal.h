@@ -1,0 +1,30 @@
+#ifndef MOBREP_PROTOCOL_JOURNAL_H_
+#define MOBREP_PROTOCOL_JOURNAL_H_
+
+namespace mobrep {
+
+// Durability hook a protocol node calls at every protocol-critical state
+// mutation (ownership transitions, applied updates, policy-window moves,
+// resync resolutions). The implementation — the chaos harness's node
+// journal — snapshots the node's state into its WriteAheadLog so a crash
+// at any later instant recovers to this point.
+//
+// `reason` is a static label of the mutation ("mc.dealloc", "sc.grant",
+// ...), used to tag the WAL append's crash points in exploration reports.
+//
+// The call may throw CrashSignal (an armed crash point inside the append);
+// nodes therefore persist *before* sending any message that announces the
+// mutated state, so a crash between the two leaves a persisted-but-
+// unannounced state the resync handshake can reconcile.
+//
+// No journal installed (every crash-free configuration) means no call
+// sites fire and the node behaves exactly as before.
+class NodeJournal {
+ public:
+  virtual ~NodeJournal() = default;
+  virtual void Persist(const char* reason) = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_JOURNAL_H_

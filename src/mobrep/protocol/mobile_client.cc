@@ -1,8 +1,10 @@
 #include "mobrep/protocol/mobile_client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/trace.h"
 #include "mobrep/protocol/transfer.h"
 
 namespace mobrep {
@@ -21,6 +23,10 @@ MobileClient::MobileClient(std::string key, const PolicySpec& spec,
   in_charge_ = policy_->has_copy();
 }
 
+void MobileClient::Persist(const char* reason) {
+  if (journal_ != nullptr) journal_->Persist(reason);
+}
+
 void MobileClient::IssueRead(ReadCallback callback) {
   MOBREP_CHECK_MSG(pending_read_ == nullptr,
                    "reads are serialized; one is already outstanding");
@@ -29,6 +35,7 @@ void MobileClient::IssueRead(ReadCallback callback) {
     const ActionKind action = policy_->OnRequest(Op::kRead);
     MOBREP_CHECK(action == ActionKind::kLocalRead);
     ++local_reads_;
+    Persist("mc.read");
     callback(*cache_->Get(key_));
     return;
   }
@@ -39,6 +46,31 @@ void MobileClient::IssueRead(ReadCallback callback) {
   Message request;
   request.type = MessageType::kReadRequest;
   request.key = key_;
+  to_sc_->Send(std::move(request));
+}
+
+void MobileClient::Restore(bool in_charge,
+                           std::unique_ptr<AllocationPolicy> policy,
+                           uint32_t incarnation, uint32_t peer_incarnation) {
+  MOBREP_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+  in_charge_ = in_charge;
+  MOBREP_CHECK_MSG(in_charge_ == policy_->has_copy(),
+                   "recovered ownership bit contradicts the policy state");
+  incarnation_ = incarnation;
+  peer_incarnation_ = peer_incarnation;
+}
+
+void MobileClient::BeginResync() {
+  resync_pending_ = true;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kResync, "MC", 0.0,
+                     0, static_cast<int64_t>(incarnation_), 0);
+  Message request;
+  request.type = MessageType::kResyncRequest;
+  request.key = key_;
+  request.claims_charge = in_charge_;
+  request.epoch = incarnation_;
+  request.peer_epoch = peer_incarnation_;
   to_sc_->Send(std::move(request));
 }
 
@@ -56,6 +88,7 @@ void MobileClient::HandleMessage(const Message& message) {
         last_transfer_window_ = message.window;
         in_charge_ = true;
         ++allocations_;
+        Persist("mc.alloc");
       }
       CompleteRead(message.item);
       return;
@@ -79,7 +112,9 @@ void MobileClient::HandleMessage(const Message& message) {
       const ActionKind action = policy_->OnRequest(Op::kWrite);
       if (action == ActionKind::kWritePropagateDeallocate) {
         // Majority of the window are now writes: drop the copy and hand
-        // the control state back inside the delete-request.
+        // the control state back inside the delete-request. Persisted
+        // before the delete-request leaves, so a crash in between leaves
+        // a deallocated-but-unannounced state the resync re-grants.
         MOBREP_CHECK(cache_->Evict(key_).ok());
         ++deallocations_;
         Message del;
@@ -89,9 +124,11 @@ void MobileClient::HandleMessage(const Message& message) {
         del.transferred_state = ShipState(*policy_);
         last_transfer_window_ = del.window;
         in_charge_ = false;
+        Persist("mc.dealloc");
         to_sc_->Send(std::move(del));
       } else {
         MOBREP_CHECK(action == ActionKind::kWritePropagate);
+        Persist("mc.apply");
       }
       return;
     }
@@ -110,6 +147,89 @@ void MobileClient::HandleMessage(const Message& message) {
       MOBREP_CHECK(action == ActionKind::kWriteInvalidate);
       in_charge_ = false;
       ++deallocations_;
+      Persist("mc.invalidate");
+      return;
+    }
+    case MessageType::kResyncRequest: {
+      // The SC restarted and announces its new incarnation: report this
+      // node's live ownership claim so the SC can resolve.
+      peer_incarnation_ = std::max(peer_incarnation_, message.epoch);
+      Message reply;
+      reply.type = MessageType::kResyncRequest;
+      reply.key = key_;
+      reply.claims_charge = in_charge_;
+      reply.epoch = incarnation_;
+      reply.peer_epoch = peer_incarnation_;
+      to_sc_->Send(std::move(reply));
+      return;
+    }
+    case MessageType::kResyncResponse: {
+      // The SC's ownership resolution (docs/RECOVERY.md): `allocate` says
+      // this MC owns the window afterwards.
+      peer_incarnation_ = std::max(peer_incarnation_, message.epoch);
+      resync_pending_ = false;
+      ++resyncs_;
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kResync, "MC", 0.0,
+                         0, static_cast<int64_t>(incarnation_), 1);
+      if (message.allocate) {
+        if (message.transferred_state != nullptr) {
+          // Re-grant: an allocation lost in a crash (by either side),
+          // re-issued from the SC's retained control state.
+          cache_->Install(key_, message.item);
+          policy_ = AdoptState(message.transferred_state);
+          MOBREP_CHECK_MSG(policy_->has_copy(),
+                           "re-grant with a no-copy state");
+          last_transfer_window_ = message.window;
+          in_charge_ = true;
+          ++allocations_;
+          Persist("mc.resync");
+          if (pending_read_ != nullptr) {
+            // The read whose round trip the crash interrupted is now
+            // servable locally from the re-granted copy.
+            ++resync_read_retries_;
+            CompleteRead(message.item);
+          }
+        } else {
+          // Refresh: both sides agree this MC owns; catch the replica up
+          // to the latest committed version (propagations in flight at the
+          // crash died with the old conversation).
+          MOBREP_CHECK_MSG(in_charge_ && has_copy(),
+                           "resync refresh addressed to a non-owner");
+          MOBREP_CHECK_MSG(pending_read_ == nullptr,
+                           "owner MC with an outstanding remote read");
+          const Result<VersionedValue> current = cache_->Get(key_);
+          MOBREP_CHECK(current.ok());
+          MOBREP_CHECK_MSG(
+              current->version <= message.item.version,
+              "MC replica ahead of the authoritative store after recovery");
+          if (current->version < message.item.version) {
+            cache_->Install(key_, message.item);
+            ++updates_applied_;
+          }
+          Persist("mc.resync");
+        }
+      } else {
+        // The SC owns: drop whatever claim this node's recovered (or
+        // stale pre-crash) state held — e.g. an SW1 invalidate that died
+        // in flight with the crash.
+        if (has_copy()) {
+          MOBREP_CHECK(cache_->Evict(key_).ok());
+        }
+        if (in_charge_) {
+          in_charge_ = false;
+          ++deallocations_;
+        }
+        Persist("mc.resync");
+        if (pending_read_ != nullptr) {
+          // A read round trip died with the crash; re-drive it against
+          // the resynced SC.
+          ++resync_read_retries_;
+          Message request;
+          request.type = MessageType::kReadRequest;
+          request.key = key_;
+          to_sc_->Send(std::move(request));
+        }
+      }
       return;
     }
     case MessageType::kReadRequest:

@@ -11,6 +11,7 @@
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
+#include "mobrep/protocol/journal.h"
 #include "mobrep/store/replica_cache.h"
 
 namespace mobrep {
@@ -44,6 +45,10 @@ class MobileClient {
     tolerates_link_faults_ = tolerates;
   }
 
+  // Installs the durability journal called at every protocol-critical
+  // mutation (crash recovery; see protocol/journal.h). Null by default.
+  void set_journal(NodeJournal* journal) { journal_ = journal; }
+
   // Issues one read at the MC. The callback fires when the value is
   // available (immediately for a local read, after the round trip
   // otherwise). At most one read may be outstanding (the paper's requests
@@ -53,10 +58,29 @@ class MobileClient {
   // Delivery entry point for the SC -> MC channel.
   void HandleMessage(const Message& message);
 
+  // --- Crash recovery (docs/RECOVERY.md) ---
+
+  // Puts a freshly constructed client into the recovered state: the
+  // persisted ownership bit and policy state, at incarnation
+  // `incarnation` (already bumped past the persisted one). The caller
+  // reinstalls the replica in the cache iff the recovered policy holds a
+  // copy.
+  void Restore(bool in_charge, std::unique_ptr<AllocationPolicy> policy,
+               uint32_t incarnation, uint32_t peer_incarnation);
+
+  // Starts the post-restart resync handshake: announces the new
+  // incarnation and this node's recovered ownership claim to the SC. The
+  // handshake is pending until the SC's resolution arrives.
+  void BeginResync();
+
   bool has_copy() const { return cache_->Contains(key_); }
   bool in_charge() const { return in_charge_; }
   const AllocationPolicy& policy() const { return *policy_; }
   const PolicySpec& spec() const { return spec_; }
+  uint32_t incarnation() const { return incarnation_; }
+  uint32_t peer_incarnation() const { return peer_incarnation_; }
+  bool resync_pending() const { return resync_pending_; }
+  bool has_pending_read() const { return pending_read_ != nullptr; }
 
   // Window piggybacked on the most recent ownership transfer in either
   // direction observed by this node; empty for window-less policies.
@@ -75,19 +99,30 @@ class MobileClient {
   int64_t stale_propagates_dropped() const {
     return stale_propagates_dropped_;
   }
+  // Resync handshakes this node completed (as initiator or responder).
+  int64_t resyncs() const { return resyncs_; }
+  // Reads re-driven because a crash interrupted their round trip.
+  int64_t resync_read_retries() const { return resync_read_retries_; }
 
  private:
   void CompleteRead(const VersionedValue& value);
+  // Journals the node's state if a journal is installed (may throw
+  // CrashSignal from an armed crash point).
+  void Persist(const char* reason);
 
   std::string key_;
   PolicySpec spec_;
   Link* to_sc_;
   ReplicaCache* cache_;
   std::unique_ptr<AllocationPolicy> policy_;
+  NodeJournal* journal_ = nullptr;
   bool in_charge_ = false;
   bool tolerates_link_faults_ = false;
   ReadCallback pending_read_;
   std::vector<Op> last_transfer_window_;
+  uint32_t incarnation_ = 1;
+  uint32_t peer_incarnation_ = 1;
+  bool resync_pending_ = false;
 
   int64_t local_reads_ = 0;
   int64_t remote_reads_ = 0;
@@ -95,6 +130,8 @@ class MobileClient {
   int64_t allocations_ = 0;
   int64_t deallocations_ = 0;
   int64_t stale_propagates_dropped_ = 0;
+  int64_t resyncs_ = 0;
+  int64_t resync_read_retries_ = 0;
 };
 
 }  // namespace mobrep

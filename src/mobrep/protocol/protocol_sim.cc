@@ -6,6 +6,7 @@
 
 #include "mobrep/common/check.h"
 #include "mobrep/common/strings.h"
+#include "mobrep/protocol/diagnosis.h"
 
 namespace mobrep {
 namespace {
@@ -154,12 +155,15 @@ void ProtocolSimulation::RunExchange(const char* what) {
   const bool quiescent =
       queue_.TryRunUntilQuiescent(config_.max_events_per_exchange,
                                   &events_run);
+  if (quiescent) return;
   const std::string context = StrFormat(
-      "%s did not quiesce within %lld events (t=%g, %zu still pending); "
-      "livelocked retransmission?",
+      "%s did not quiesce within %lld events (t=%g, %zu still pending); %s",
       what, static_cast<long long>(config_.max_events_per_exchange),
-      queue_.now(), queue_.pending());
-  MOBREP_CHECK_MSG(quiescent, context.c_str());
+      queue_.now(), queue_.pending(),
+      DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
+                              sc_link_.get())
+          .c_str());
+  MOBREP_CHECK_MSG(false, context.c_str());
 }
 
 void ProtocolSimulation::Step(Op op) {
@@ -271,10 +275,12 @@ Status ProtocolSimulation::RunTimed(const TimedSchedule& schedule) {
       config_.max_events_per_exchange, &events_run);
   if (!quiescent) {
     return InternalError(StrFormat(
-        "timed run did not quiesce within %lld events (t=%g, %zu pending); "
-        "livelocked retransmission?",
+        "timed run did not quiesce within %lld events (t=%g, %zu pending); %s",
         static_cast<long long>(config_.max_events_per_exchange), queue_.now(),
-        queue_.pending()));
+        queue_.pending(),
+        DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
+                                sc_link_.get())
+            .c_str()));
   }
   if (!timed_error_.ok()) return timed_error_;
   if (read_outstanding_ || queued_reads_ > 0) {

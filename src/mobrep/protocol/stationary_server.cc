@@ -1,8 +1,10 @@
 #include "mobrep/protocol/stationary_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/trace.h"
 #include "mobrep/protocol/transfer.h"
 
 namespace mobrep {
@@ -22,6 +24,41 @@ StationaryServer::StationaryServer(std::string key, const PolicySpec& spec,
   in_charge_ = !mc_has_copy_;
 }
 
+void StationaryServer::Persist(const char* reason) {
+  if (journal_ != nullptr) journal_->Persist(reason);
+}
+
+void StationaryServer::Restore(bool in_charge, bool mc_has_copy,
+                               bool pending_propagation,
+                               std::unique_ptr<AllocationPolicy> policy,
+                               uint32_t incarnation,
+                               uint32_t peer_incarnation) {
+  MOBREP_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+  in_charge_ = in_charge;
+  mc_has_copy_ = mc_has_copy;
+  MOBREP_CHECK_MSG(in_charge_ == !mc_has_copy_,
+                   "recovered ownership bit contradicts the subscription");
+  MOBREP_CHECK_MSG(mc_has_copy_ == policy_->has_copy(),
+                   "recovered subscription contradicts the policy state");
+  pending_propagation_ = pending_propagation;
+  incarnation_ = incarnation;
+  peer_incarnation_ = peer_incarnation;
+}
+
+void StationaryServer::BeginResync() {
+  resync_pending_ = true;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kResync, "SC", 0.0,
+                     1, static_cast<int64_t>(incarnation_), 0);
+  Message request;
+  request.type = MessageType::kResyncRequest;
+  request.key = key_;
+  request.claims_charge = in_charge_;
+  request.epoch = incarnation_;
+  request.peer_epoch = peer_incarnation_;
+  to_mc_->Send(std::move(request));
+}
+
 void StationaryServer::IssueWrite(std::string value) {
   store_->Put(key_, std::move(value));
   if (write_log_ != nullptr) {
@@ -39,6 +76,7 @@ void StationaryServer::OnCommittedWrite() {
     MOBREP_CHECK(!mc_has_copy_);
     const ActionKind action = policy_->OnRequest(Op::kWrite);
     MOBREP_CHECK(action == ActionKind::kWriteNoCopy);
+    Persist("sc.write");
     return;
   }
 
@@ -48,16 +86,19 @@ void StationaryServer::OnCommittedWrite() {
     // SW1 (paper §4): a window of one write always deallocates, so instead
     // of shipping the data the SC sends only the delete-request and
     // deterministically takes charge with the post-write state
-    // (no copy, window = {w}).
-    Message invalidate;
-    invalidate.type = MessageType::kInvalidate;
-    invalidate.key = key_;
-    to_mc_->Send(std::move(invalidate));
-    ++invalidations_;
+    // (no copy, window = {w}). State is updated and persisted before the
+    // invalidate leaves, so a crash in between leaves a took-charge-but-
+    // unannounced state the resync resolves in this node's favour.
     policy_ = CreatePolicy(spec_);  // initial state == post-write state
     MOBREP_CHECK(!policy_->has_copy());
     mc_has_copy_ = false;
     in_charge_ = true;
+    ++invalidations_;
+    Persist("sc.sw1.take");
+    Message invalidate;
+    invalidate.type = MessageType::kInvalidate;
+    invalidate.key = key_;
+    to_mc_->Send(std::move(invalidate));
     return;
   }
 
@@ -71,10 +112,12 @@ void StationaryServer::OnCommittedWrite() {
   if (to_mc_->busy()) {
     pending_propagation_ = true;
     ++collapsed_propagations_;
+    Persist("sc.write");
     return;
   }
 
   // Generic propagation; the in-charge MC may answer with a delete-request.
+  Persist("sc.write");
   Message propagate;
   propagate.type = MessageType::kWritePropagate;
   propagate.key = key_;
@@ -116,6 +159,9 @@ void StationaryServer::HandleMessage(const Message& message) {
       if (action == ActionKind::kRemoteReadAllocate) {
         // Majority reads: allocate. The indication, the window and the
         // control state piggyback on the data response (free, paper §4).
+        // Persisted before the response leaves: a crash in between leaves
+        // a granted-but-unannounced subscription the resync re-grants from
+        // this policy object (which retains the shipped state).
         response.allocate = true;
         response.window = ExtractWindow(spec_, *policy_);
         response.transferred_state = ShipState(*policy_);
@@ -123,8 +169,10 @@ void StationaryServer::HandleMessage(const Message& message) {
         mc_has_copy_ = true;
         in_charge_ = false;
         ++allocations_granted_;
+        Persist("sc.grant");
       } else {
         MOBREP_CHECK(action == ActionKind::kRemoteRead);
+        Persist("sc.read");
       }
       to_mc_->Send(std::move(response));
       return;
@@ -148,11 +196,57 @@ void StationaryServer::HandleMessage(const Message& message) {
         pending_propagation_ = false;
         ++discarded_propagations_;
       }
+      Persist("sc.dealloc");
+      return;
+    }
+    case MessageType::kResyncRequest: {
+      // A resync reached the online database: either the MC restarted and
+      // initiates, or the MC is answering this server's own restart
+      // announcement with its claim. Both carry the MC's current
+      // ownership claim; this side resolves — the store is the authority
+      // (docs/RECOVERY.md).
+      peer_incarnation_ = std::max(peer_incarnation_, message.epoch);
+      ++resyncs_served_;
+      Message response;
+      response.type = MessageType::kResyncResponse;
+      response.key = key_;
+      response.epoch = incarnation_;
+      response.peer_epoch = peer_incarnation_;
+      if (in_charge_) {
+        // This side owns (including the both-claim case, e.g. an SW1
+        // invalidate that died in flight): the MC must drop its claim.
+        response.allocate = false;
+      } else {
+        MOBREP_CHECK(mc_has_copy_);
+        response.allocate = true;
+        response.item = *store_->Get(key_);
+        if (!message.claims_charge) {
+          // The MC lost its grant in a crash (or never received it):
+          // re-issue the allocation from this policy object, which
+          // retains the post-grant control state it shipped originally.
+          response.window = ExtractWindow(spec_, *policy_);
+          response.transferred_state = ShipState(*policy_);
+          last_transfer_window_ = response.window;
+          ++regrants_;
+        }
+      }
+      // The resolution supersedes any collapsed propagation: when the MC
+      // owns, the response itself carries the latest version.
+      if (pending_propagation_) {
+        pending_propagation_ = false;
+        ++discarded_propagations_;
+      }
+      resync_pending_ = false;
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kResync, "SC", 0.0,
+                         1, static_cast<int64_t>(incarnation_), 1);
+      Persist("sc.resync");
+      to_mc_->Send(std::move(response));
       return;
     }
     case MessageType::kDataResponse:
     case MessageType::kWritePropagate:
     case MessageType::kInvalidate:
+    case MessageType::kResyncResponse:
       MOBREP_CHECK_MSG(false, "MC-bound message delivered to the SC");
       return;
     case MessageType::kAck:

@@ -10,6 +10,7 @@
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
+#include "mobrep/protocol/journal.h"
 #include "mobrep/store/versioned_store.h"
 #include "mobrep/store/write_ahead_log.h"
 
@@ -57,10 +58,31 @@ class StationaryServer {
   // propagated, i.e. write-ahead with respect to the wireless traffic.
   void set_write_log(WriteAheadLog* log) { write_log_ = log; }
 
+  // Installs the durability journal called at every protocol-critical
+  // mutation (crash recovery; see protocol/journal.h). Null by default.
+  void set_journal(NodeJournal* journal) { journal_ = journal; }
+
+  // --- Crash recovery (docs/RECOVERY.md) ---
+
+  // Puts a freshly constructed server into the recovered state (the
+  // store itself is rebuilt by the caller from the WAL's PUT records).
+  void Restore(bool in_charge, bool mc_has_copy, bool pending_propagation,
+               std::unique_ptr<AllocationPolicy> policy, uint32_t incarnation,
+               uint32_t peer_incarnation);
+
+  // Starts the post-restart resync handshake: announces the new
+  // incarnation to the MC, which reports its live ownership claim back;
+  // this server then resolves ownership (the online database is the
+  // authority) in its kResyncRequest handler.
+  void BeginResync();
+
   bool in_charge() const { return in_charge_; }
   bool mc_has_copy() const { return mc_has_copy_; }
   const AllocationPolicy& policy() const { return *policy_; }
   const PolicySpec& spec() const { return spec_; }
+  uint32_t incarnation() const { return incarnation_; }
+  uint32_t peer_incarnation() const { return peer_incarnation_; }
+  bool resync_pending() const { return resync_pending_; }
 
   const std::vector<Op>& last_transfer_window() const {
     return last_transfer_window_;
@@ -80,18 +102,30 @@ class StationaryServer {
   // link drained.
   int64_t discarded_propagations() const { return discarded_propagations_; }
   bool has_pending_propagation() const { return pending_propagation_; }
+  // Resync handshakes this server resolved.
+  int64_t resyncs_served() const { return resyncs_served_; }
+  // Resolutions that re-issued an allocation lost in a crash.
+  int64_t regrants() const { return regrants_; }
 
  private:
+  // Journals the node's state if a journal is installed (may throw
+  // CrashSignal from an armed crash point).
+  void Persist(const char* reason);
+
   std::string key_;
   PolicySpec spec_;
   Link* to_mc_;
   VersionedStore* store_;
   WriteAheadLog* write_log_ = nullptr;
+  NodeJournal* journal_ = nullptr;
   std::unique_ptr<AllocationPolicy> policy_;
   bool in_charge_ = false;
   bool mc_has_copy_ = false;
   bool pending_propagation_ = false;
   std::vector<Op> last_transfer_window_;
+  uint32_t incarnation_ = 1;
+  uint32_t peer_incarnation_ = 1;
+  bool resync_pending_ = false;
 
   int64_t writes_committed_ = 0;
   int64_t reads_served_ = 0;
@@ -101,6 +135,8 @@ class StationaryServer {
   int64_t deallocations_accepted_ = 0;
   int64_t collapsed_propagations_ = 0;
   int64_t discarded_propagations_ = 0;
+  int64_t resyncs_served_ = 0;
+  int64_t regrants_ = 0;
 };
 
 }  // namespace mobrep

@@ -5,6 +5,7 @@
 
 #include "mobrep/common/check.h"
 #include "mobrep/core/sliding_window_policy.h"
+#include "mobrep/core/threshold_policies.h"
 
 namespace mobrep {
 
@@ -28,6 +29,48 @@ std::unique_ptr<AllocationPolicy> AdoptState(
   MOBREP_CHECK_MSG(shipped != nullptr,
                    "ownership transfer without a shipped control state");
   return shipped->Clone();
+}
+
+int ExtractCounter(const PolicySpec& spec, const AllocationPolicy& policy) {
+  switch (spec.kind) {
+    case PolicyKind::kT1:
+      return static_cast<const T1mPolicy&>(policy).consecutive_reads();
+    case PolicyKind::kT2:
+      return static_cast<const T2mPolicy&>(policy).consecutive_writes();
+    case PolicyKind::kSt1:
+    case PolicyKind::kSt2:
+    case PolicyKind::kSw:
+    case PolicyKind::kSw1:
+      return 0;
+  }
+  return 0;
+}
+
+std::unique_ptr<AllocationPolicy> ReconstructPolicy(
+    const PolicySpec& spec, bool has_copy, const std::vector<Op>& window,
+    int counter) {
+  std::unique_ptr<AllocationPolicy> policy = CreatePolicy(spec);
+  switch (spec.kind) {
+    case PolicyKind::kSw:
+    case PolicyKind::kSw1:
+      static_cast<SlidingWindowPolicy*>(policy.get())
+          ->SetState(has_copy, window);
+      break;
+    case PolicyKind::kT1:
+      static_cast<T1mPolicy*>(policy.get())->SetState(has_copy, counter);
+      break;
+    case PolicyKind::kT2:
+      static_cast<T2mPolicy*>(policy.get())->SetState(has_copy, counter);
+      break;
+    case PolicyKind::kSt1:
+    case PolicyKind::kSt2:
+      // Statics have a single state; the persisted copy bit must agree.
+      MOBREP_CHECK_MSG(policy->has_copy() == has_copy,
+                       "persisted copy bit contradicts a static policy");
+      break;
+  }
+  MOBREP_CHECK(policy->has_copy() == has_copy);
+  return policy;
 }
 
 }  // namespace mobrep

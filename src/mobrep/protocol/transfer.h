@@ -29,6 +29,19 @@ std::shared_ptr<AllocationPolicy> ShipState(const AllocationPolicy& policy);
 std::unique_ptr<AllocationPolicy> AdoptState(
     const std::shared_ptr<AllocationPolicy>& shipped);
 
+// The T-family consecutive-request streak of `policy` (reads for T1m,
+// writes for T2m); 0 for every other family. Together with ExtractWindow
+// this captures everything a policy's state machine holds, so a policy can
+// be persisted as (has_copy, window, counter) and rebuilt exactly.
+int ExtractCounter(const PolicySpec& spec, const AllocationPolicy& policy);
+
+// Rebuilds a policy of `spec`'s family in the persisted state
+// (crash recovery; see docs/RECOVERY.md). The inverse of
+// (ExtractWindow, ExtractCounter, has_copy()).
+std::unique_ptr<AllocationPolicy> ReconstructPolicy(
+    const PolicySpec& spec, bool has_copy, const std::vector<Op>& window,
+    int counter);
+
 }  // namespace mobrep
 
 #endif  // MOBREP_PROTOCOL_TRANSFER_H_

@@ -13,6 +13,22 @@
 namespace mobrep {
 namespace {
 
+// FNV-1a 64: the record checksum. Not cryptographic — it guards against
+// torn writes that still parse and against bit rot, not an adversary.
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string ChecksumSuffix(const std::string& body) {
+  return StrFormat(" @%016llx\n", static_cast<unsigned long long>(
+                                      Fnv1a64(body.data(), body.size())));
+}
+
 // Sequential parser over the raw log bytes. Length-prefixed fields make
 // arbitrary key/value bytes (spaces, newlines) unambiguous.
 struct LogCursor {
@@ -51,9 +67,76 @@ struct LogCursor {
     pos += n;
     return true;
   }
+
+  // Consumes 16 lowercase hex digits.
+  bool Hex16(uint64_t* out) {
+    if (static_cast<size_t>(end - pos) < 16) return false;
+    uint64_t value = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = pos[i];
+      if (c >= '0' && c <= '9') {
+        value = value << 4 | static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value = value << 4 | static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos += 16;
+    *out = value;
+    return true;
+  }
 };
 
+// Outcome of parsing one record's checksum suffix.
+enum class TailParse { kOk, kTorn, kChecksumMismatch };
+
+// Parses the " @<crc>\n" suffix and verifies it against [body_begin,
+// body_end). `legacy_ok` accepts a bare "\n" (pre-checksum PUT records).
+TailParse ParseChecksumTail(LogCursor* cursor, const char* body_begin,
+                            const char* body_end, bool legacy_ok) {
+  if (legacy_ok && cursor->Literal("\n")) return TailParse::kOk;
+  uint64_t crc = 0;
+  if (!cursor->Literal(" @") || !cursor->Hex16(&crc) ||
+      !cursor->Literal("\n")) {
+    return TailParse::kTorn;
+  }
+  if (crc != Fnv1a64(body_begin, static_cast<size_t>(body_end - body_begin))) {
+    return TailParse::kChecksumMismatch;
+  }
+  return TailParse::kOk;
+}
+
 }  // namespace
+
+const char* WalCrashPhaseName(WalCrashPhase phase) {
+  switch (phase) {
+    case WalCrashPhase::kBeforeAppend:
+      return "before";
+    case WalCrashPhase::kTornAppend:
+      return "torn";
+    case WalCrashPhase::kAfterAppend:
+      return "after";
+  }
+  return "unknown";
+}
+
+std::string RecoveryReport::Summary() const {
+  return StrFormat(
+      "replayed %lld puts and %lld snapshots%s%s",
+      static_cast<long long>(puts_replayed),
+      static_cast<long long>(snapshots_replayed),
+      bytes_truncated > 0
+          ? StrFormat("; truncated %lld tail bytes",
+                      static_cast<long long>(bytes_truncated))
+                .c_str()
+          : "",
+      checksum_failures > 0
+          ? StrFormat("; stopped at %lld checksum failure(s)",
+                      static_cast<long long>(checksum_failures))
+                .c_str()
+          : "");
+}
 
 WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file,
                              WalOptions options)
@@ -63,6 +146,7 @@ WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
     : path_(std::move(other.path_)),
       file_(other.file_),
       options_(other.options_),
+      crash_hook_(std::move(other.crash_hook_)),
       appends_(other.appends_),
       syncs_(other.syncs_) {
   other.file_ = nullptr;
@@ -74,6 +158,7 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
     path_ = std::move(other.path_);
     file_ = other.file_;
     options_ = other.options_;
+    crash_hook_ = std::move(other.crash_hook_);
     appends_ = other.appends_;
     syncs_ = other.syncs_;
     other.file_ = nullptr;
@@ -97,31 +182,72 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
   return WriteAheadLog(path, file, options);
 }
 
-Status WriteAheadLog::AppendPut(const std::string& key,
-                                const VersionedValue& value) {
+Status WriteAheadLog::AppendRecord(std::string record, const char* what) {
   if (file_ == nullptr) {
     return FailedPreconditionError("log is closed");
   }
+  if (crash_hook_ != nullptr) {
+    // Crash-point choreography: with a hook installed the record is
+    // written in two halves so the kTornAppend phase, if it throws, really
+    // leaves a flushed torn prefix for recovery to truncate. The final
+    // bytes are identical to the single-write path.
+    crash_hook_(WalCrashPhase::kBeforeAppend, what);
+    const size_t half = record.size() / 2;
+    if (std::fwrite(record.data(), 1, half, file_) != half ||
+        std::fflush(file_) != 0) {
+      return DataLossError(StrFormat("short write to '%s'", path_.c_str()));
+    }
+    crash_hook_(WalCrashPhase::kTornAppend, what);
+    if (std::fwrite(record.data() + half, 1, record.size() - half, file_) !=
+            record.size() - half ||
+        std::fflush(file_) != 0) {
+      return DataLossError(StrFormat("short write to '%s'", path_.c_str()));
+    }
+    ++appends_;
+    crash_hook_(WalCrashPhase::kAfterAppend, what);
+  } else {
+    if (std::fwrite(record.data(), 1, record.size(), file_) !=
+        record.size()) {
+      return DataLossError(StrFormat("short write to '%s'", path_.c_str()));
+    }
+    if (std::fflush(file_) != 0) {
+      return DataLossError(StrFormat("flush failed on '%s'", path_.c_str()));
+    }
+    ++appends_;
+  }
+  if (options_.sync_each_append) return Sync();
+  return OkStatus();
+}
+
+Status WriteAheadLog::AppendPut(const std::string& key,
+                                const VersionedValue& value) {
   // Built by concatenation rather than one printf so that keys and values
   // with embedded NULs or newlines stay intact (lengths disambiguate).
-  std::string safe = "PUT ";
-  safe += StrFormat("%llu ", static_cast<unsigned long long>(value.version));
-  safe += StrFormat("%zu:", key.size());
-  safe += key;
-  safe += StrFormat(" %zu:", value.value.size());
-  safe += value.value;
-  safe += '\n';
-  if (std::fwrite(safe.data(), 1, safe.size(), file_) != safe.size()) {
-    return DataLossError(StrFormat("short write to '%s'", path_.c_str()));
-  }
-  if (std::fflush(file_) != 0) {
-    return DataLossError(StrFormat("flush failed on '%s'", path_.c_str()));
-  }
-  ++appends_;
+  std::string record = "PUT ";
+  record += StrFormat("%llu ", static_cast<unsigned long long>(value.version));
+  record += StrFormat("%zu:", key.size());
+  record += key;
+  record += StrFormat(" %zu:", value.value.size());
+  record += value.value;
+  record += ChecksumSuffix(record);
+  const Status appended = AppendRecord(std::move(record), "put");
+  if (!appended.ok()) return appended;
   MOBREP_TRACE_EVENT(obs::TraceEventKind::kWalAppend, path_.c_str(),
                      static_cast<double>(appends_),
                      static_cast<int64_t>(value.version), appends_);
-  if (options_.sync_each_append) return Sync();
+  return OkStatus();
+}
+
+Status WriteAheadLog::AppendSnapshot(const std::string& payload) {
+  std::string record = "SNAP ";
+  record += StrFormat("%zu:", payload.size());
+  record += payload;
+  record += ChecksumSuffix(record);
+  const Status appended = AppendRecord(std::move(record), "snap");
+  if (!appended.ok()) return appended;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kWalSnapshot, path_.c_str(),
+                     static_cast<double>(appends_),
+                     static_cast<int64_t>(payload.size()), appends_);
   return OkStatus();
 }
 
@@ -149,10 +275,10 @@ void WriteAheadLog::Close() {
   }
 }
 
-Result<VersionedStore> WriteAheadLog::Recover(const std::string& path) {
-  VersionedStore store;
+Result<RecoveryReport> WriteAheadLog::Recover(const std::string& path) {
+  RecoveryReport report;
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return store;  // first boot: empty store
+  if (file == nullptr) return report;  // first boot: empty store
   std::string contents;
   char buffer[4096];
   size_t n = 0;
@@ -164,32 +290,57 @@ Result<VersionedStore> WriteAheadLog::Recover(const std::string& path) {
   LogCursor cursor{contents.data(), contents.data() + contents.size()};
   while (!cursor.AtEnd()) {
     LogCursor checkpoint = cursor;
-    uint64_t version = 0, key_len = 0, value_len = 0;
-    std::string key, value;
-    const bool complete = cursor.Literal("PUT ") &&
-                          cursor.Number(' ', &version) &&
-                          cursor.Number(':', &key_len) &&
-                          cursor.Bytes(key_len, &key) &&
-                          cursor.Literal(" ") &&
-                          cursor.Number(':', &value_len) &&
-                          cursor.Bytes(value_len, &value) &&
-                          cursor.Literal("\n");
-    if (!complete) {
-      // Torn tail (crash mid-append): keep everything before it.
-      cursor = checkpoint;
-      break;
+    TailParse tail = TailParse::kTorn;
+    if (cursor.Literal("PUT ")) {
+      uint64_t version = 0, key_len = 0, value_len = 0;
+      std::string key, value;
+      const bool body_ok = cursor.Number(' ', &version) &&
+                           cursor.Number(':', &key_len) &&
+                           cursor.Bytes(key_len, &key) &&
+                           cursor.Literal(" ") &&
+                           cursor.Number(':', &value_len) &&
+                           cursor.Bytes(value_len, &value);
+      if (body_ok) {
+        tail = ParseChecksumTail(&cursor, checkpoint.pos, cursor.pos,
+                                 /*legacy_ok=*/true);
+      }
+      if (tail == TailParse::kOk) {
+        const uint64_t assigned = report.store.Put(key, value);
+        if (assigned != version) {
+          return DataLossError(StrFormat(
+              "log '%s' is inconsistent: key '%s' jumps to version %llu "
+              "(expected %llu) after recovery %s",
+              path.c_str(), key.c_str(),
+              static_cast<unsigned long long>(version),
+              static_cast<unsigned long long>(assigned),
+              report.Summary().c_str()));
+        }
+        ++report.puts_replayed;
+        continue;
+      }
+    } else if (cursor.Literal("SNAP ")) {
+      uint64_t payload_len = 0;
+      std::string payload;
+      const bool body_ok =
+          cursor.Number(':', &payload_len) && cursor.Bytes(payload_len,
+                                                           &payload);
+      if (body_ok) {
+        tail = ParseChecksumTail(&cursor, checkpoint.pos, cursor.pos,
+                                 /*legacy_ok=*/false);
+      }
+      if (tail == TailParse::kOk) {
+        report.last_snapshot = std::move(payload);
+        ++report.snapshots_replayed;
+        continue;
+      }
     }
-    const uint64_t assigned = store.Put(key, value);
-    if (assigned != version) {
-      return DataLossError(StrFormat(
-          "log '%s' is inconsistent: key '%s' jumps to version %llu "
-          "(expected %llu)",
-          path.c_str(), key.c_str(),
-          static_cast<unsigned long long>(version),
-          static_cast<unsigned long long>(assigned)));
-    }
+    // Torn tail (crash mid-append) or corrupt record: keep everything
+    // before it, report what was cut.
+    if (tail == TailParse::kChecksumMismatch) ++report.checksum_failures;
+    report.bytes_truncated = checkpoint.end - checkpoint.pos;
+    break;
   }
-  return store;
+  return report;
 }
 
 }  // namespace mobrep

@@ -1,7 +1,9 @@
 #ifndef MOBREP_STORE_WRITE_AHEAD_LOG_H_
 #define MOBREP_STORE_WRITE_AHEAD_LOG_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "mobrep/common/status.h"
@@ -18,16 +20,56 @@ struct WalOptions {
   bool sync_each_append = false;
 };
 
+// Where in an append a simulated crash strikes (see docs/RECOVERY.md).
+// The hook may throw CrashSignal; phases bracket the record's durability:
+//   kBeforeAppend — nothing of the record is on disk yet;
+//   kTornAppend   — a prefix of the record is flushed (torn write);
+//   kAfterAppend  — the whole record is flushed.
+enum class WalCrashPhase : int {
+  kBeforeAppend = 0,
+  kTornAppend = 1,
+  kAfterAppend = 2,
+};
+
+const char* WalCrashPhaseName(WalCrashPhase phase);
+
+// Outcome of a recovery scan: the rebuilt store plus a diagnosis of what
+// the scan saw (how many records replayed, whether a torn tail or a
+// checksum failure cut the log short, and the newest intact snapshot).
+struct RecoveryReport {
+  VersionedStore store;
+  // Payload of the newest intact SNAP record, empty if none. Protocol
+  // nodes serialize their control state here (chaos/node_snapshot.h).
+  std::string last_snapshot;
+  int64_t puts_replayed = 0;
+  int64_t snapshots_replayed = 0;
+  // Bytes cut off at the tail (torn write at crash, or trailing garbage).
+  int64_t bytes_truncated = 0;
+  // 1 when the scan stopped at a record whose checksum did not match
+  // (bit rot or a torn write that still parsed structurally).
+  int64_t checksum_failures = 0;
+
+  bool clean() const { return bytes_truncated == 0 && checksum_failures == 0; }
+  // One-line human-readable diagnosis, embedded in Status messages.
+  std::string Summary() const;
+};
+
 // Append-only durability log for the stationary computer's online
 // database, so the SC can recover its store (and keep serving update
 // propagation from the correct versions) after a restart.
 //
-// Record format (text, one record per line):
-//   PUT <version> <key-length> <key> <value-length> <value>
-// A trailing partially-written record (torn write at crash) is detected by
-// the length fields and ignored during recovery.
+// Record formats (text, one record per line, checksummed):
+//   PUT <version> <key-length>:<key> <value-length>:<value> @<crc>\n
+//   SNAP <payload-length>:<payload> @<crc>\n
+// <crc> is the FNV-1a 64 hash of the record bytes before " @", as 16 hex
+// digits. PUT records without the " @<crc>" suffix (written by earlier
+// versions of this log) are still accepted. A trailing partially-written
+// record (torn write at crash) is detected by the length fields and the
+// checksum and ignored during recovery.
 class WriteAheadLog {
  public:
+  using CrashHook = std::function<void(WalCrashPhase, const char* record)>;
+
   // Opens (creating if absent) the log at `path` for appending.
   static Result<WriteAheadLog> Open(const std::string& path);
   static Result<WriteAheadLog> Open(const std::string& path,
@@ -45,11 +87,23 @@ class WriteAheadLog {
   // failures are all reported as DataLossError.
   Status AppendPut(const std::string& key, const VersionedValue& value);
 
+  // Appends one opaque snapshot payload (protocol-node control state).
+  // Recovery surfaces the newest intact payload in
+  // RecoveryReport::last_snapshot.
+  Status AppendSnapshot(const std::string& payload);
+
   // Forces everything appended so far to stable storage (fflush + fsync).
   Status Sync();
 
   // Closes the log; further appends fail.
   void Close();
+
+  // Installs a crash hook fired at the three WalCrashPhase points of every
+  // append (chaos harness only; see common/crash_signal.h). With a hook
+  // installed each record is written in two halves so the kTornAppend
+  // phase really leaves a torn prefix behind if the hook throws; the final
+  // bytes are identical either way.
+  void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
 
   const std::string& path() const { return path_; }
 
@@ -59,18 +113,25 @@ class WriteAheadLog {
   int64_t appends() const { return appends_; }
   int64_t syncs() const { return syncs_; }
 
-  // Rebuilds a store from the log at `path`. Returns an empty store for a
-  // missing file (first boot). Stops at the first torn or corrupt record,
-  // recovering every complete record before it. Fails only if a record is
-  // structurally valid but inconsistent (version regression for a key).
-  static Result<VersionedStore> Recover(const std::string& path);
+  // Rebuilds a store (and recovery diagnosis) from the log at `path`.
+  // Returns an empty report for a missing file (first boot). Stops at the
+  // first torn or corrupt record, recovering every complete record before
+  // it. Fails only if a record is structurally valid but inconsistent
+  // (version regression for a key); the error message embeds the
+  // RecoveryReport summary up to the fault.
+  static Result<RecoveryReport> Recover(const std::string& path);
 
  private:
   WriteAheadLog(std::string path, std::FILE* file, WalOptions options);
 
+  // Shared append path: writes `record` (already checksummed and
+  // newline-terminated), running the crash hook phases.
+  Status AppendRecord(std::string record, const char* what);
+
   std::string path_;
   std::FILE* file_ = nullptr;
   WalOptions options_;
+  CrashHook crash_hook_;
   int64_t appends_ = 0;
   int64_t syncs_ = 0;
 };

@@ -1,0 +1,143 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/chaos/crash_explorer.h"
+#include "mobrep/chaos/crash_scheduler.h"
+#include "mobrep/chaos/crashable_sim.h"
+#include "mobrep/chaos/node_snapshot.h"
+#include "mobrep/common/crash_signal.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+
+namespace mobrep {
+namespace {
+
+// Fast smoke subset of the crash matrix (default ctest label set): one
+// representative policy per family, a short schedule, full crash-point
+// exploration. The exhaustive 6-policy x 10-seed matrix lives in
+// crash_matrix_test.cc under the `slow` label.
+
+CrashSimConfig MakeConfig(const std::string& spec_text, const char* tag) {
+  CrashSimConfig config;
+  config.spec = *ParsePolicySpec(spec_text);
+  config.mc_wal_path =
+      std::string(::testing::TempDir()) + "/crash_mc_" + tag + ".log";
+  config.sc_wal_path =
+      std::string(::testing::TempDir()) + "/crash_sc_" + tag + ".log";
+  return config;
+}
+
+TEST(NodeSnapshotTest, EncodeDecodeRoundTrips) {
+  NodeSnapshot snapshot;
+  snapshot.is_mc = true;
+  snapshot.in_charge = true;
+  snapshot.has_copy = true;
+  snapshot.pending_propagation = false;
+  snapshot.incarnation = 3;
+  snapshot.peer_incarnation = 2;
+  snapshot.replica_version = 17;
+  snapshot.replica_value = std::string("bin\0ary :value\n", 15);
+  snapshot.window = {Op::kRead, Op::kWrite, Op::kRead};
+  snapshot.counter = -4;
+  const Result<NodeSnapshot> decoded = NodeSnapshot::Decode(snapshot.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == snapshot);
+}
+
+TEST(NodeSnapshotTest, DecodeRejectsTruncatedPayload) {
+  NodeSnapshot snapshot;
+  const std::string encoded = snapshot.Encode();
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(NodeSnapshot::Decode(encoded.substr(0, cut)).ok())
+        << "prefix of length " << cut << " decoded";
+  }
+  EXPECT_FALSE(NodeSnapshot::Decode(encoded + "x").ok());
+}
+
+TEST(CrashSchedulerTest, UnarmedSchedulerOnlyCounts) {
+  CrashScheduler scheduler;
+  scheduler.OnPoint(CrashNode::kMobileClient, "a");
+  scheduler.OnPoint(CrashNode::kStationaryServer, "b");
+  EXPECT_EQ(scheduler.points_seen(), 2);
+  EXPECT_FALSE(scheduler.fired());
+  ASSERT_EQ(scheduler.points().size(), 2u);
+  EXPECT_EQ(scheduler.points()[1].site, "b");
+}
+
+TEST(CrashSchedulerTest, ArmedSchedulerFiresExactlyOnce) {
+  CrashScheduler scheduler;
+  scheduler.Arm(1);
+  scheduler.OnPoint(CrashNode::kMobileClient, "a");
+  EXPECT_THROW(scheduler.OnPoint(CrashNode::kStationaryServer, "b"),
+               CrashSignal);
+  EXPECT_TRUE(scheduler.fired());
+  EXPECT_EQ(scheduler.fired_point().site, "b");
+  // Reaching the same index again (or any later point) must not re-fire:
+  // the node only dies once per run.
+  scheduler.OnPoint(CrashNode::kStationaryServer, "b");
+  EXPECT_EQ(scheduler.points_seen(), 3);
+}
+
+TEST(CrashRecoveryTest, CrashFreeRunMatchesInvariantsAndCountsPoints) {
+  CrashScheduler counting;
+  CrashableSimulation sim(MakeConfig("sw:3", "smoke_baseline"), &counting);
+  const Status run = sim.Run(*ScheduleFromString("wrwwrrwr"));
+  ASSERT_TRUE(run.ok()) << run.ToString();
+  EXPECT_EQ(sim.crashes(), 0);
+  EXPECT_EQ(sim.recoveries(), 0);
+  // Every write appends to the SC's WAL (3 phases each) and every message
+  // crosses an ARQ endpoint; a non-trivial schedule has many crash points.
+  EXPECT_GT(counting.points_seen(), 20);
+}
+
+TEST(CrashRecoveryTest, EveryCrashPointRecoversOnSw3) {
+  CrashMatrixOptions options;
+  options.sim = MakeConfig("sw:3", "smoke_sw3");
+  options.schedule = *ScheduleFromString("wrwr");
+  const Result<CrashMatrixReport> report = ExploreCrashPoints(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->Summary() << "\nfirst failure: "
+                               << (report->failures.empty()
+                                       ? std::string("none")
+                                       : report->failures[0].site + ": " +
+                                             report->failures[0].message);
+  EXPECT_EQ(report->runs, report->crash_points);
+  EXPECT_EQ(report->crashes, report->runs);
+  EXPECT_EQ(report->recoveries, report->runs);
+}
+
+TEST(CrashRecoveryTest, EveryCrashPointRecoversOnStaticPolicy) {
+  CrashMatrixOptions options;
+  options.sim = MakeConfig("st1", "smoke_st1");
+  options.schedule = *ScheduleFromString("rwwr");
+  const Result<CrashMatrixReport> report = ExploreCrashPoints(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->Summary() << "\nfirst failure: "
+                               << (report->failures.empty()
+                                       ? std::string("none")
+                                       : report->failures[0].site + ": " +
+                                             report->failures[0].message);
+}
+
+TEST(CrashRecoveryTest, ExplorationIsDeterministic) {
+  CrashMatrixOptions options;
+  options.sim = MakeConfig("t1:2", "smoke_det");
+  options.schedule = *ScheduleFromString("wrw");
+  const Result<CrashMatrixReport> first = ExploreCrashPoints(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const Result<CrashMatrixReport> second = ExploreCrashPoints(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->crash_points, second->crash_points);
+  EXPECT_EQ(first->violations, second->violations);
+  EXPECT_EQ(first->resyncs, second->resyncs);
+  EXPECT_EQ(first->regrants, second->regrants);
+  ASSERT_EQ(first->points.size(), second->points.size());
+  for (size_t i = 0; i < first->points.size(); ++i) {
+    EXPECT_EQ(first->points[i].site, second->points[i].site) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -196,6 +196,131 @@ TEST(ReliableLinkTest, IdleFiresOnlyWhenEverythingIsAcked) {
   EXPECT_EQ(outstanding_at_idle, (std::vector<size_t>{0}));
 }
 
+// --- Crash-recovery behavior (docs/RECOVERY.md) ---
+
+// Epoch-fencing rig: both endpoints boot fenced at incarnation 1.
+struct FencedRig : Rig {
+  explicit FencedRig(const ArqConfig& arq,
+                     const FaultConfig& a_to_b_faults = FaultConfig{})
+      : Rig(arq, a_to_b_faults) {
+    a->EnableEpochFencing(1, 1);
+    b->EnableEpochFencing(1, 1);
+  }
+};
+
+TEST(ReliableLinkEpochTest, FencedEndpointsInteroperateCleanly) {
+  FencedRig rig(FastArq());
+  rig.a->Send(TestMessage("m1"));
+  rig.a->Send(TestMessage("m2"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_EQ(rig.b->fenced_frames(), 0);
+  EXPECT_EQ(rig.a->voided_frames(), 0);
+}
+
+TEST(ReliableLinkEpochTest, FramesToADeadIncarnationAreFencedNotAcked) {
+  ArqConfig arq = FastArq();
+  arq.max_retries = 2;
+  FencedRig rig(arq);
+  // B restarts before the frame arrives: the frame is addressed to B's
+  // dead incarnation 1, so the new incarnation fences it — no delivery,
+  // no ack, and the sender's retry loop runs dry.
+  rig.b->Restart(2);
+  rig.a->set_on_give_up([](const Message&) {});
+  rig.a->Send(TestMessage("stale"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_TRUE(rig.received_at_b.empty());
+  EXPECT_GT(rig.b->fenced_frames(), 0);
+  EXPECT_EQ(rig.b->delivered(), 0);
+  EXPECT_EQ(rig.b_to_a->acks_sent(), 0);
+}
+
+TEST(ReliableLinkEpochTest, PreCrashDuplicatesAreFencedAfterRecovery) {
+  // Duplication on the wire: B acks and delivers the original, then
+  // crashes; the duplicate arrives at the restarted incarnation and must
+  // be fenced (never re-delivered), even though B's dedup sequence state
+  // died with incarnation 1.
+  FaultConfig faults;
+  faults.duplicate_probability = 1.0;
+  FencedRig rig(FastArq(), faults);
+  rig.a->Send(TestMessage("m1"));
+  // Run only until the first copy is delivered; the duplicate is still in
+  // flight when B restarts.
+  while (rig.received_at_b.empty()) {
+    ASSERT_TRUE(rig.queue.RunNext());
+  }
+  rig.b->Restart(2);
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m1"}));
+  EXPECT_EQ(rig.b->fenced_frames(), 1);
+  EXPECT_EQ(rig.b->duplicates_dropped(), 0);  // fenced before dedup
+}
+
+TEST(ReliableLinkEpochTest, RestartSilencesPendingRetransmissionTimers) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 10.0});
+  FencedRig rig(FastArq(), faults);
+  rig.a->Send(TestMessage("m1"));
+  // Let a few retransmissions burn into the outage, then crash A.
+  while (rig.a->retransmissions() < 3) {
+    ASSERT_TRUE(rig.queue.RunNext());
+  }
+  const int64_t at_crash = rig.a->retransmissions();
+  rig.a->Restart(2);
+  EXPECT_FALSE(rig.a->busy());  // outstanding conversation died with node
+  rig.queue.RunUntilQuiescent();
+  // The already-armed timers pop as no-ops: no further retransmissions,
+  // no give-up abort, and the queue drains.
+  EXPECT_EQ(rig.a->retransmissions(), at_crash);
+  EXPECT_EQ(rig.a->give_ups(), 0);
+}
+
+TEST(ReliableLinkEpochTest, PeerRestartVoidsOutstandingAndResumesDelivery) {
+  // Outage-spanning crash: A's frame m1 is retransmitting into the outage
+  // when A crashes. The restarted incarnation sends m2; B adopts the new
+  // epoch (voiding nothing at B), delivers m2, and the pre-crash m1 —
+  // whose conversation died with A's incarnation 1 — never surfaces.
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 0.05});
+  FencedRig rig(FastArq(), faults);
+  rig.a->Send(TestMessage("m1"));
+  while (rig.a->retransmissions() < 1) {
+    ASSERT_TRUE(rig.queue.RunNext());
+  }
+  rig.a->Restart(2);
+  rig.a->Send(TestMessage("m2"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m2"}));
+  EXPECT_EQ(rig.b->peer_epoch(), 2u);
+  EXPECT_FALSE(rig.a->busy());
+}
+
+TEST(ReliableLinkEpochTest, AdoptingThePeerEpochVoidsOutstandingFrames) {
+  // B restarts while A still has an unacked frame addressed to the dead
+  // incarnation. The first frame B's new incarnation sends teaches A the
+  // new epoch; A voids the dead conversation instead of retrying it
+  // forever (the app-level resync then re-drives whatever still matters).
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 0.05});
+  FencedRig rig(FastArq(), faults);
+  rig.b->set_receiver([](const Message&) {});
+  std::vector<std::string> received_at_a;
+  rig.a->set_receiver(
+      [&](const Message& m) { received_at_a.push_back(m.key); });
+  rig.a->Send(TestMessage("doomed"));
+  while (rig.a->retransmissions() < 1) {
+    ASSERT_TRUE(rig.queue.RunNext());
+  }
+  rig.b->Restart(2);
+  rig.b->Send(TestMessage("hello-from-2"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(received_at_a, (std::vector<std::string>{"hello-from-2"}));
+  EXPECT_EQ(rig.a->peer_epoch(), 2u);
+  EXPECT_GT(rig.a->voided_frames(), 0);
+  EXPECT_FALSE(rig.a->busy());
+  EXPECT_TRUE(rig.received_at_b.empty());
+}
+
 TEST(ReliableLinkDeathTest, GiveUpWithoutHookAborts) {
   FaultConfig faults;
   faults.outages.push_back({0.0, 100.0});

@@ -225,8 +225,9 @@ TEST(ProtocolSimTest, WalRecoversTheStoreAfterARun) {
     // Recovery from the log reproduces the live store's item exactly.
     const auto recovered = WriteAheadLog::Recover(path);
     ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-    EXPECT_EQ(recovered->Get("x")->value, sim.store().Get("x")->value);
-    EXPECT_EQ(recovered->Get("x")->version, sim.store().Get("x")->version);
+    EXPECT_EQ(recovered->store.Get("x")->value, sim.store().Get("x")->value);
+    EXPECT_EQ(recovered->store.Get("x")->version,
+              sim.store().Get("x")->version);
   }
   std::remove(path.c_str());
 }

@@ -17,7 +17,7 @@ void RemoveFile(const std::string& path) { std::remove(path.c_str()); }
 TEST(WriteAheadLogTest, RecoverMissingFileIsEmptyStore) {
   const auto store = WriteAheadLog::Recover("/nonexistent/never/there.log");
   ASSERT_TRUE(store.ok());
-  EXPECT_EQ(store->size(), 0u);
+  EXPECT_EQ(store->store.size(), 0u);
 }
 
 TEST(WriteAheadLogTest, AppendAndRecover) {
@@ -36,11 +36,11 @@ TEST(WriteAheadLogTest, AppendAndRecover) {
   }
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ(recovered->size(), 2u);
-  EXPECT_EQ(recovered->Get("x")->value, "value4");
-  EXPECT_EQ(recovered->Get("x")->version, 3u);
-  EXPECT_EQ(recovered->Get("y")->value, "value3");
-  EXPECT_EQ(recovered->Get("y")->version, 2u);
+  EXPECT_EQ(recovered->store.size(), 2u);
+  EXPECT_EQ(recovered->store.Get("x")->value, "value4");
+  EXPECT_EQ(recovered->store.Get("x")->version, 3u);
+  EXPECT_EQ(recovered->store.Get("y")->value, "value3");
+  EXPECT_EQ(recovered->store.Get("y")->version, 2u);
   RemoveFile(path);
 }
 
@@ -56,7 +56,7 @@ TEST(WriteAheadLogTest, BinarySafeKeysAndValues) {
   }
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok());
-  const auto got = recovered->Get(key);
+  const auto got = recovered->store.Get(key);
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->value, value);
   RemoveFile(path);
@@ -81,8 +81,8 @@ TEST(WriteAheadLogTest, TornTailIsIgnored) {
   }
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ(recovered->Get("a")->value, "two");
-  EXPECT_EQ(recovered->Get("a")->version, 2u);
+  EXPECT_EQ(recovered->store.Get("a")->value, "two");
+  EXPECT_EQ(recovered->store.Get("a")->version, 2u);
   RemoveFile(path);
 }
 
@@ -101,7 +101,7 @@ TEST(WriteAheadLogTest, GarbageTailIsIgnored) {
   }
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ(recovered->Get("k")->value, "v");
+  EXPECT_EQ(recovered->store.Get("k")->value, "v");
   RemoveFile(path);
 }
 
@@ -127,9 +127,9 @@ void ExpectTailIgnored(const char* name, const std::string& tail) {
   AppendRaw(path, tail);
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  EXPECT_EQ(recovered->size(), 1u);
-  EXPECT_EQ(recovered->Get("k")->value, "good");
-  EXPECT_EQ(recovered->Get("k")->version, 1u);
+  EXPECT_EQ(recovered->store.size(), 1u);
+  EXPECT_EQ(recovered->store.Get("k")->value, "good");
+  EXPECT_EQ(recovered->store.Get("k")->version, 1u);
   RemoveFile(path);
 }
 
@@ -169,8 +169,8 @@ TEST(WriteAheadLogTest, SyncKnobIsAppendCompatible) {
   }
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ(recovered->Get("k")->value, "v2");
-  EXPECT_EQ(recovered->Get("k")->version, 2u);
+  EXPECT_EQ(recovered->store.Get("k")->value, "v2");
+  EXPECT_EQ(recovered->store.Get("k")->version, 2u);
   RemoveFile(path);
 }
 
@@ -226,7 +226,91 @@ TEST(WriteAheadLogTest, ReopenAppendsContinuously) {
   }
   const auto recovered = WriteAheadLog::Recover(path);
   ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ(recovered->Get("k")->version, 2u);
+  EXPECT_EQ(recovered->store.Get("k")->version, 2u);
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, ChecksumMismatchCutsTheTail) {
+  const std::string path = TempPath("wal_crc.log");
+  RemoveFile(path);
+  {
+    auto log = WriteAheadLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->AppendPut("k", {"good", 1}).ok());
+  }
+  // A structurally valid record whose checksum is wrong (bit rot).
+  AppendRaw(path, "PUT 2 1:k 3:bad @0123456789abcdef\n");
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->store.Get("k")->value, "good");
+  EXPECT_EQ(recovered->checksum_failures, 1);
+  EXPECT_GT(recovered->bytes_truncated, 0);
+  EXPECT_FALSE(recovered->clean());
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, LegacyChecksumlessPutIsAccepted) {
+  const std::string path = TempPath("wal_legacy.log");
+  RemoveFile(path);
+  AppendRaw(path, "PUT 1 1:k 2:v1\n");
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->store.Get("k")->value, "v1");
+  EXPECT_TRUE(recovered->clean());
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, SnapshotsRecoverNewestIntactPayload) {
+  const std::string path = TempPath("wal_snap.log");
+  RemoveFile(path);
+  {
+    auto log = WriteAheadLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->AppendSnapshot("state-a").ok());
+    ASSERT_TRUE(log->AppendPut("k", {"v", 1}).ok());
+    ASSERT_TRUE(log->AppendSnapshot("state-b").ok());
+  }
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->last_snapshot, "state-b");
+  EXPECT_EQ(recovered->snapshots_replayed, 2);
+  EXPECT_EQ(recovered->puts_replayed, 1);
+  EXPECT_TRUE(recovered->clean());
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, TornSnapshotFallsBackToPreviousOne) {
+  const std::string path = TempPath("wal_snap_torn.log");
+  RemoveFile(path);
+  {
+    auto log = WriteAheadLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->AppendSnapshot("survivor").ok());
+  }
+  AppendRaw(path, "SNAP 9:torn-ha");  // claims 9 payload bytes, has 7
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->last_snapshot, "survivor");
+  EXPECT_EQ(recovered->snapshots_replayed, 1);
+  EXPECT_GT(recovered->bytes_truncated, 0);
+  RemoveFile(path);
+}
+
+TEST(WriteAheadLogTest, ReportCountsTruncatedTailBytes) {
+  const std::string path = TempPath("wal_report.log");
+  RemoveFile(path);
+  {
+    auto log = WriteAheadLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->AppendPut("k", {"v", 1}).ok());
+  }
+  const std::string junk = "PUT 2 1:k 9:sho";
+  AppendRaw(path, junk);
+  const auto recovered = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->puts_replayed, 1);
+  EXPECT_EQ(recovered->bytes_truncated, static_cast<int64_t>(junk.size()));
+  EXPECT_NE(recovered->Summary().find("truncated"), std::string::npos);
   RemoveFile(path);
 }
 

@@ -157,5 +157,22 @@ TEST(MobrepCliTest, TraceWritesChromeTraceFile) {
   EXPECT_NE(content.str().find("\"traceEvents\""), std::string::npos);
 }
 
+TEST(MobrepCliTest, CrashExploresEveryPointAndReportsClean) {
+  std::string out;
+  ASSERT_EQ(RunCli({"crash", "--policy", "sw:3", "--requests", "4", "--seed",
+                    "9", "--wal-dir", testing::TempDir()},
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("crash points"), std::string::npos);
+  EXPECT_NE(out.find("violations        0"), std::string::npos);
+  EXPECT_NE(out.find("all crash points recover"), std::string::npos);
+}
+
+TEST(MobrepCliTest, CrashRejectsBadPolicySpec) {
+  std::string out;
+  EXPECT_EQ(RunCli({"crash", "--policy", "bogus"}, &out), 1);
+}
+
 }  // namespace
 }  // namespace mobrep::cli

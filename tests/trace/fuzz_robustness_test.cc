@@ -121,8 +121,8 @@ TEST(WalFuzzTest, ValidPrefixPlusGarbageRecoversPrefix) {
     }
     const auto recovered = WriteAheadLog::Recover(path);
     ASSERT_TRUE(recovered.ok());
-    ASSERT_EQ(recovered->Get("k")->version, 2u);
-    ASSERT_EQ(recovered->Get("k")->value, "v2");
+    ASSERT_EQ(recovered->store.Get("k")->version, 2u);
+    ASSERT_EQ(recovered->store.Get("k")->value, "v2");
   }
   std::remove(path.c_str());
 }

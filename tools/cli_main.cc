@@ -12,6 +12,8 @@
 //   compare   Simulate several policies on one workload side by side.
 //   trace     Replay a schedule with event tracing on and print the
 //             decision audit log (optionally exporting a Chrome trace).
+//   crash     Explore every reachable crash point of a protocol run and
+//             verify recovery (docs/RECOVERY.md).
 //
 // Run with no arguments for usage.
 
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "mobrep/analysis/advisor.h"
+#include "mobrep/chaos/crash_explorer.h"
 #include "mobrep/analysis/average_cost.h"
 #include "mobrep/analysis/competitive.h"
 #include "mobrep/analysis/expected_cost.h"
@@ -65,6 +68,8 @@ commands and their flags:
   trace      --policy <spec> [--model connection|message] [--omega W]
              [--theta T] [--requests N (default 50)] [--seed S]
              [--trace-in FILE] [--chrome-out FILE]
+  crash      --policy <spec> [--theta T] [--requests N (default 12)]
+             [--seed S] [--wal-dir DIR (default /tmp)] [--verbose 1]
 
 policy specs: st1, st2, sw1, sw:<k>, t1:<m>, t2:<m>
 defaults: --model connection, --omega 0.5, --theta 0.5,
@@ -370,6 +375,59 @@ int RunTrace(const Flags& flags) {
   return 0;
 }
 
+int RunCrash(const Flags& flags) {
+  const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:3"));
+  if (!spec.ok()) return Fail(spec.status().ToString());
+
+  CrashMatrixOptions options;
+  options.sim.spec = *spec;
+  const std::string dir = flags.GetString("wal-dir", "/tmp");
+  options.sim.mc_wal_path = dir + "/mobrep_crash_mc.log";
+  options.sim.sc_wal_path = dir + "/mobrep_crash_sc.log";
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  options.schedule = GenerateBernoulliSchedule(
+      flags.GetInt("requests", 12), flags.GetDouble("theta", 0.5), &rng);
+
+  const auto report = ExploreCrashPoints(options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::remove(options.sim.mc_wal_path.c_str());
+  std::remove(options.sim.sc_wal_path.c_str());
+
+  std::printf("policy            %s\n", spec->ToString().c_str());
+  std::printf("requests          %zu\n", options.schedule.size());
+  std::printf("crash points      %lld\n",
+              static_cast<long long>(report->crash_points));
+  std::printf("armed runs        %lld\n", static_cast<long long>(report->runs));
+  std::printf("recoveries        %lld\n",
+              static_cast<long long>(report->recoveries));
+  std::printf("resyncs served    %lld\n",
+              static_cast<long long>(report->resyncs));
+  std::printf("window re-grants  %lld\n",
+              static_cast<long long>(report->regrants));
+  std::printf("re-driven reads   %lld\n",
+              static_cast<long long>(report->reissued_reads));
+  std::printf("violations        %lld\n",
+              static_cast<long long>(report->violations));
+  if (flags.GetInt("verbose", 0) != 0) {
+    std::printf("\ncrash points explored:\n");
+    for (size_t i = 0; i < report->points.size(); ++i) {
+      std::printf("  %4zu  %s  %s\n", i,
+                  report->points[i].node == CrashNode::kMobileClient ? "MC"
+                                                                     : "SC",
+                  report->points[i].site.c_str());
+    }
+  }
+  for (const CrashRunFailure& failure : report->failures) {
+    std::printf("FAILED point %d (%s %s): %s\n", failure.point,
+                failure.node == CrashNode::kMobileClient ? "MC" : "SC",
+                failure.site.c_str(), failure.message.c_str());
+  }
+  std::printf("verdict           %s\n",
+              report->clean() ? "all crash points recover"
+                              : "invariant violations found");
+  return report->clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -387,6 +445,7 @@ int Main(int argc, char** argv) {
   if (command == "advise") return RunAdvise(flags);
   if (command == "compare") return RunCompare(flags);
   if (command == "trace") return RunTrace(flags);
+  if (command == "crash") return RunCrash(flags);
   std::printf("%s", kUsage);
   return command == "help" ? 0 : 1;
 }
