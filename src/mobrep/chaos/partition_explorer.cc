@@ -1,0 +1,60 @@
+#include "mobrep/chaos/partition_explorer.h"
+
+#include <algorithm>
+
+#include "mobrep/common/strings.h"
+
+namespace mobrep {
+
+std::string PartitionMatrixReport::Summary() const {
+  return StrFormat(
+      "%lld partition runs, %lld violation(s); %lld reclaims, %lld "
+      "regrants, %lld revocations, %lld conflict reports, %lld degraded "
+      "probes (max staleness %.4g), %lld degraded remote reads, %lld "
+      "abandoned frames",
+      static_cast<long long>(runs), static_cast<long long>(violations),
+      static_cast<long long>(reclaims), static_cast<long long>(regrants),
+      static_cast<long long>(revocations), static_cast<long long>(conflicts),
+      static_cast<long long>(degraded_probes), max_staleness,
+      static_cast<long long>(degraded_remote_reads),
+      static_cast<long long>(abandoned_frames));
+}
+
+PartitionMatrixReport ExplorePartitions(const PartitionMatrixOptions& options) {
+  PartitionMatrixReport report;
+  for (const uint64_t seed : options.seeds) {
+    for (const PartitionShape shape : options.shapes) {
+      for (const double start : options.starts) {
+        for (const double duration : options.durations) {
+          PartitionSimConfig config = options.sim;
+          config.fault.seed = seed;
+          config.plan.shape = shape;
+          config.plan.start = start;
+          config.plan.duration = duration;
+          PartitionedSimulation sim(config);
+          const Status run = sim.Run();
+          ++report.runs;
+          if (!run.ok()) {
+            ++report.violations;
+            report.failures.push_back(PartitionRunFailure{
+                shape, start, duration, seed, run.message()});
+            continue;
+          }
+          report.reclaims += sim.server().lease_reclaims();
+          report.regrants += sim.server().lease_regrants();
+          report.revocations += sim.client().lease_revocations();
+          report.conflicts +=
+              static_cast<int64_t>(sim.server().lease_conflicts().size());
+          report.degraded_probes += sim.degraded_probes();
+          report.degraded_remote_reads += sim.server().degraded_remote_reads();
+          report.abandoned_frames += sim.abandoned_frames();
+          report.max_staleness =
+              std::max(report.max_staleness, sim.server().max_staleness_served());
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,67 @@
+#include "mobrep/chaos/partition_scheduler.h"
+
+#include <cmath>
+#include <limits>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* PartitionShapeName(PartitionShape shape) {
+  switch (shape) {
+    case PartitionShape::kSymmetric:
+      return "symmetric";
+    case PartitionShape::kUplinkOnly:
+      return "uplink";
+    case PartitionShape::kDownlinkOnly:
+      return "downlink";
+  }
+  return "unknown";
+}
+
+bool ParsePartitionShape(const std::string& text, PartitionShape* shape) {
+  if (text == "symmetric") {
+    *shape = PartitionShape::kSymmetric;
+  } else if (text == "uplink") {
+    *shape = PartitionShape::kUplinkOnly;
+  } else if (text == "downlink") {
+    *shape = PartitionShape::kDownlinkOnly;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool PartitionPlan::never_heals() const {
+  return !std::isfinite(duration) || duration < 0.0;
+}
+
+double PartitionPlan::heal_time() const {
+  return never_heals() ? kInfinity : start + duration;
+}
+
+PartitionScheduler::PartitionScheduler(const PartitionPlan& plan)
+    : plan_(plan) {
+  MOBREP_CHECK_MSG(plan.start >= 0.0, "partition start must be >= 0");
+}
+
+std::vector<OutageWindow> PartitionScheduler::UplinkOutages() const {
+  if (plan_.shape == PartitionShape::kDownlinkOnly) return {};
+  return {OutageWindow{plan_.start, plan_.heal_time()}};
+}
+
+std::vector<OutageWindow> PartitionScheduler::DownlinkOutages() const {
+  if (plan_.shape == PartitionShape::kUplinkOnly) return {};
+  return {OutageWindow{plan_.start, plan_.heal_time()}};
+}
+
+bool PartitionScheduler::Partitioned(double now) const {
+  return now >= plan_.start && now < plan_.heal_time();
+}
+
+}  // namespace mobrep

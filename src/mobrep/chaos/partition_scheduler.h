@@ -1,0 +1,65 @@
+#ifndef MOBREP_CHAOS_PARTITION_SCHEDULER_H_
+#define MOBREP_CHAOS_PARTITION_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "mobrep/net/fault_model.h"
+
+namespace mobrep {
+
+// Which directions of the MC<->SC link a partition severs.
+enum class PartitionShape {
+  // Both directions down: the classic disconnection (out of coverage).
+  kSymmetric,
+  // Only MC->SC down: the SC goes deaf (heartbeats and renewals are lost)
+  // while its own propagation still reaches the MC.
+  kUplinkOnly,
+  // Only SC->MC down: the MC goes deaf (grants, acks and renewal acks are
+  // lost) while its heartbeats keep the SC's failure detector quiet — the
+  // shape where only the holder's self-fencing provides safety.
+  kDownlinkOnly,
+};
+
+const char* PartitionShapeName(PartitionShape shape);
+// Parses "symmetric" / "uplink" / "downlink"; returns false on anything
+// else.
+bool ParsePartitionShape(const std::string& text, PartitionShape* shape);
+
+// One scheduled partition: `shape` from `start` for `duration` simulation
+// time units. A non-finite (or negative) duration means never-heal.
+struct PartitionPlan {
+  PartitionShape shape = PartitionShape::kSymmetric;
+  double start = 0.0;
+  double duration = 0.0;
+
+  bool never_heals() const;
+  // start + duration, or +infinity for never-heal.
+  double heal_time() const;
+};
+
+// Turns a PartitionPlan into per-direction outage windows for the two
+// FaultyChannels of a protocol pair — the same outage machinery PR 1's
+// doze windows use, so partitions compose with random loss, duplication
+// and jitter. Deterministic: the plan alone fixes every window.
+class PartitionScheduler {
+ public:
+  explicit PartitionScheduler(const PartitionPlan& plan);
+
+  // Outage windows to append to the MC->SC (uplink) / SC->MC (downlink)
+  // channel's FaultConfig. Empty when the plan leaves that direction up.
+  std::vector<OutageWindow> UplinkOutages() const;
+  std::vector<OutageWindow> DownlinkOutages() const;
+
+  // True while at least one direction is severed at `now`.
+  bool Partitioned(double now) const;
+
+  const PartitionPlan& plan() const { return plan_; }
+
+ private:
+  PartitionPlan plan_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CHAOS_PARTITION_SCHEDULER_H_

@@ -1,0 +1,416 @@
+#include "mobrep/chaos/partitioned_sim.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+#include "mobrep/protocol/diagnosis.h"
+
+namespace mobrep {
+namespace {
+
+// Same per-direction fault-stream salts as ProtocolSimulation, so a
+// plan-free PartitionedSimulation sees the identical random fault sequence.
+constexpr uint64_t kUplinkFaultSalt = 0x4d432d3e5343ULL;    // "MC->SC"
+constexpr uint64_t kDownlinkFaultSalt = 0x53432d3e4d43ULL;  // "SC->MC"
+
+void AppendOutages(FaultConfig* fault, std::vector<OutageWindow> outages) {
+  for (OutageWindow& window : outages) {
+    fault->outages.push_back(window);
+  }
+}
+
+}  // namespace
+
+PartitionedSimulation::PartitionedSimulation(const PartitionSimConfig& config)
+    : config_(config), scheduler_(config.plan), detector_(config.detector) {
+  MOBREP_CHECK(config_.lease.term > 0.0);
+  MOBREP_CHECK(config_.heartbeat_interval > 0.0);
+  renew_interval_ = config_.renew_interval > 0.0 ? config_.renew_interval
+                                                 : config_.lease.term / 3.0;
+  MOBREP_CHECK_MSG(renew_interval_ < config_.lease.term,
+                   "renewals slower than the lease term lapse every time");
+
+  // For healing plans the timed workload must outlive the heal so the
+  // post-heal renewal ticks can drive the revoke/conflict/regrant cycle.
+  // A plan starting at or after the configured horizon never activates:
+  // the run is a fault-free liveness baseline and keeps its horizon.
+  horizon_ = config_.horizon;
+  const double base_rto = config_.fault.arq.initial_rto > 0.0
+                              ? config_.fault.arq.initial_rto
+                              : 4.0 * config_.link_latency +
+                                    2.0 * config_.fault.max_jitter + 1e-6;
+  if (!config_.plan.never_heals() && config_.plan.start < config_.horizon) {
+    // Post-heal convergence budget: the marooned frames re-probe within
+    // one capped backoff (8 * rto, with room for re-drops on a lossy
+    // link), then the renewal-driven revoke / conflict / regrant cycle
+    // runs on the renewal cadence.
+    const double margin = 2.0 * (config_.lease.term + config_.lease.grace) +
+                          5.0 * renew_interval_ +
+                          20.0 * config_.link_latency + 32.0 * base_rto;
+    horizon_ = std::max(horizon_, config_.plan.heal_time() + margin);
+  }
+
+  store_.Put(config_.key, config_.initial_value);
+
+  FaultConfig uplink = config_.fault;
+  uplink.force_reliable = true;  // the lease layer assumes ARQ endpoints
+  FaultConfig downlink = uplink;
+  AppendOutages(&uplink, scheduler_.UplinkOutages());
+  AppendOutages(&downlink, scheduler_.DownlinkOutages());
+  mc_to_sc_ = std::make_unique<FaultyChannel>(
+      &queue_, config_.link_latency, "MC->SC", uplink, kUplinkFaultSalt);
+  sc_to_mc_ = std::make_unique<FaultyChannel>(
+      &queue_, config_.link_latency, "SC->MC", downlink, kDownlinkFaultSalt);
+
+  ArqConfig arq = config_.fault.arq;
+  if (arq.initial_rto <= 0.0) {
+    arq.initial_rto =
+        4.0 * config_.link_latency + 2.0 * config_.fault.max_jitter + 1e-6;
+  }
+  if (arq.rto_jitter <= 0.0) arq.rto_jitter = config_.rto_jitter;
+  if (arq.max_rto <= 0.0) {
+    // A tight RTO ceiling (the deterministic jitter desynchronizes the
+    // probes): frames marooned by the partition re-probe the healed link
+    // within a bounded gap instead of sitting out a long backoff, and a
+    // never-heal run's retry budget is spent early enough to observe the
+    // abandonment path before the horizon.
+    arq.max_rto = 8.0 * arq.initial_rto;
+  }
+  if (config_.plan.never_heals() && arq.retry_budget <= 0) {
+    // A permanent partition retransmits forever without a budget.
+    arq.retry_budget = config_.never_heal_retry_budget;
+  }
+
+  // The settle tail: long enough for the last frames in flight (including
+  // one retransmission round under random loss) to deliver and ack before
+  // the final checks at the horizon.
+  const double tail = 6.0 * arq.initial_rto + 8.0 * config_.link_latency;
+  liveness_end_ = horizon_ - tail;
+  workload_end_ = horizon_ - 2.0 * tail;
+  MOBREP_CHECK_MSG(workload_end_ > 0.0, "horizon shorter than the settle tail");
+  MOBREP_CHECK_MSG(tail < config_.lease.term,
+                   "settle tail exceeds the lease term; the final renewal "
+                   "cannot carry the lease past the horizon");
+  mc_link_ = std::make_unique<ReliableLink>(&queue_, mc_to_sc_.get(), arq,
+                                            "MC-arq");
+  sc_link_ = std::make_unique<ReliableLink>(&queue_, sc_to_mc_.get(), arq,
+                                            "SC-arq");
+  mc_link_->EnableEpochFencing(1, 1);
+  sc_link_->EnableEpochFencing(1, 1);
+
+  mc_to_sc_->set_receiver(
+      [this](const Message& frame) { sc_link_->HandleFrame(frame); });
+  sc_to_mc_->set_receiver(
+      [this](const Message& frame) { mc_link_->HandleFrame(frame); });
+  mc_link_->set_receiver(
+      [this](const Message& m) { client_->HandleMessage(m); });
+  sc_link_->set_receiver(
+      [this](const Message& m) { server_->HandleMessage(m); });
+  sc_link_->set_on_idle([this] { server_->FlushPending(); });
+  // The SC-side liveness feed: every frame arriving from the MC's live
+  // incarnation (heartbeats included) refreshes the detector.
+  sc_link_->set_on_peer_heard([this](double now) { detector_.OnHeard(now); });
+  // Abandoned frames are survivable here (the end-state checks account for
+  // them); without these hooks a give-up aborts the process.
+  mc_link_->set_on_give_up(
+      [this](const Message&) { ++abandoned_frames_; });
+  sc_link_->set_on_give_up(
+      [this](const Message&) { ++abandoned_frames_; });
+
+  client_ = std::make_unique<MobileClient>(config_.key, config_.spec,
+                                           mc_link_.get(), &cache_);
+  client_->set_tolerates_link_faults(true);
+  server_ = std::make_unique<StationaryServer>(config_.key, config_.spec,
+                                               sc_link_.get(), &store_);
+  if (client_->in_charge()) {
+    cache_.Install(config_.key, *store_.Get(config_.key));
+  }
+
+  LeaseConfig lease = config_.lease;
+  lease.enabled = true;
+  client_->EnableLeases(&queue_, lease);
+  server_->EnableLeases(&queue_, lease, &detector_);
+}
+
+void PartitionedSimulation::Fail(const Status& status) {
+  if (first_error_.ok()) first_error_ = status;
+}
+
+void PartitionedSimulation::ScheduleWorkload() {
+  // Heartbeats ride the uplink only: the SC watches the MC. Offset by half
+  // an interval so heartbeat and renewal ticks never collide.
+  for (double t = config_.heartbeat_interval / 2.0; t < liveness_end_;
+       t += config_.heartbeat_interval) {
+    queue_.ScheduleAt(t, [this] { mc_link_->SendHeartbeat(); });
+  }
+  for (double t = renew_interval_; t < liveness_end_; t += renew_interval_) {
+    queue_.ScheduleAt(t, [this] { client_->SendLeaseRenewal(); });
+  }
+  // One final liveness round at exactly liveness_end_: the lease and the
+  // detector's last-heard both provably outlive the horizon, so the final
+  // checks never race the post-workload lapse.
+  queue_.ScheduleAt(liveness_end_, [this] {
+    mc_link_->SendHeartbeat();
+    client_->SendLeaseRenewal();
+  });
+  for (double t = config_.write_interval; t < workload_end_;
+       t += config_.write_interval) {
+    queue_.ScheduleAt(t, [this] { WriteTick(); });
+  }
+  for (double t = config_.read_interval; t < workload_end_;
+       t += config_.read_interval) {
+    queue_.ScheduleAt(t, [this] { ReadTick(); });
+  }
+  for (double t = config_.probe_interval; t < workload_end_;
+       t += config_.probe_interval) {
+    queue_.ScheduleAt(t, [this] { ProbeTick(); });
+  }
+  // Snapshot the lease state the instant the partition begins — the
+  // precondition deciding which end-state bounds apply. (For a plan
+  // starting past the horizon the event never runs.)
+  queue_.ScheduleAt(config_.plan.start, [this] {
+    lease_live_at_partition_ =
+        server_->lease_held() && !server_->lease_reclaimed();
+    client_charged_at_partition_ = client_->in_charge();
+  });
+}
+
+void PartitionedSimulation::WriteTick() {
+  ++write_sequence_;
+  server_->IssueWrite(
+      StrFormat("v%lld", static_cast<long long>(write_sequence_)));
+  acked_version_ = store_.Get(config_.key)->version;
+}
+
+void PartitionedSimulation::ReadTick() {
+  // Reads are serialized (paper workload); while the partition holds a
+  // forwarded read hostage, later ticks skip instead of piling up.
+  if (client_->has_pending_read()) {
+    ++reads_skipped_;
+    return;
+  }
+  ++reads_issued_;
+  client_->IssueRead([this](const VersionedValue&) { ++reads_completed_; });
+}
+
+void PartitionedSimulation::ProbeTick() {
+  const ObserverRead read = server_->ServeObserverRead();
+  PartitionProbe probe;
+  probe.at = queue_.now();
+  probe.mode = read.mode;
+  probe.staleness_bound = read.staleness_bound;
+  probes_.push_back(probe);
+  if (read.mode == ReadServiceMode::kDegraded) ++degraded_probes_;
+  // Bounded unavailability: reclamation restores authoritative service;
+  // no probe after it may still be degraded.
+  if (server_->lease_reclaimed() &&
+      read.mode != ReadServiceMode::kAuthoritative) {
+    Fail(InternalError(StrFormat(
+        "probe at %.4f served %s after reclamation", probe.at,
+        ReadServiceModeName(read.mode))));
+  }
+  CheckSafety("probe");
+}
+
+void PartitionedSimulation::CheckSafety(const char* when) {
+  const double now = queue_.now();
+  // At most one valid fencing token: once the SC reclaims, the MC is
+  // demoted or self-lapsed — never still serving on a live lease.
+  if (server_->lease_reclaimed() && client_->in_charge() &&
+      !client_->LeaseLapsed()) {
+    Fail(InternalError(StrFormat(
+        "%s at %.4f: split brain — SC reclaimed (token %llu) while the MC "
+        "still serves on a live lease (token %llu)",
+        when, now, static_cast<unsigned long long>(server_->lease_token()),
+        static_cast<unsigned long long>(client_->lease_token()))));
+  }
+  // Tokens are issued by the SC in increasing order; the MC can never hold
+  // a newer one than the SC has issued.
+  if (client_->lease_token() > server_->lease_token()) {
+    Fail(InternalError(StrFormat(
+        "%s at %.4f: MC token %llu ahead of SC token %llu", when, now,
+        static_cast<unsigned long long>(client_->lease_token()),
+        static_cast<unsigned long long>(server_->lease_token()))));
+  }
+  // No acked write lost: the authoritative store never rolls back.
+  const Result<VersionedValue> authoritative = store_.Get(config_.key);
+  if (!authoritative.ok()) return Fail(authoritative.status());
+  if (authoritative->version < last_seen_version_ ||
+      authoritative->version < acked_version_) {
+    Fail(DataLossError(StrFormat(
+        "%s at %.4f: store rolled back to version %llu (acked %llu, "
+        "previously observed %llu)",
+        when, now, static_cast<unsigned long long>(authoritative->version),
+        static_cast<unsigned long long>(acked_version_),
+        static_cast<unsigned long long>(last_seen_version_))));
+  }
+  last_seen_version_ = authoritative->version;
+  // The replica only ever holds versions the store committed first.
+  if (client_->has_copy()) {
+    const Result<VersionedValue> replica = cache_.Get(config_.key);
+    if (replica.ok() && replica->version > authoritative->version) {
+      Fail(DataLossError(StrFormat(
+          "%s at %.4f: replica version %llu ahead of the store (%llu)", when,
+          now, static_cast<unsigned long long>(replica->version),
+          static_cast<unsigned long long>(authoritative->version))));
+    }
+  }
+}
+
+Status PartitionedSimulation::CheckFinal() {
+  if (!first_error_.ok()) return first_error_;
+  CheckSafety("end of run");
+  if (!first_error_.ok()) return first_error_;
+
+  const PartitionPlan& plan = config_.plan;
+  const bool renewals_blocked =
+      plan.shape != PartitionShape::kDownlinkOnly;  // uplink severed
+  const double slack =
+      config_.link_latency + config_.fault.max_jitter + 1e-6;
+  const double reclaim_bound =
+      plan.start + config_.lease.term + config_.lease.grace + slack;
+
+  if (plan.never_heals()) {
+    if (lease_live_at_partition_ && renewals_blocked) {
+      // The provable convergence bound: with renewals unable to reach the
+      // SC, the lease expires and the reclamation timer fires within
+      // term + grace + one link delay of the partition onset.
+      if (!server_->lease_reclaimed()) {
+        return InternalError(StrFormat(
+            "never-heal %s partition: the SC never reclaimed a lease that "
+            "stopped renewing at %.4f (now %.4f)",
+            PartitionShapeName(plan.shape), plan.start, queue_.now()));
+      }
+      if (server_->last_reclaim_time() > reclaim_bound) {
+        return InternalError(StrFormat(
+            "reclamation at %.4f exceeded the bound %.4f (= start %.4f + "
+            "term %.4g + grace %.4g + slack %.4g)",
+            server_->last_reclaim_time(), reclaim_bound, plan.start,
+            config_.lease.term, config_.lease.grace, slack));
+      }
+      if (!server_->operationally_in_charge()) {
+        return InternalError(
+            "reclaimed SC does not consider itself operationally in charge");
+      }
+    }
+    // The strict steady-state claims below assume renewals actually keep
+    // arriving — true only when the uplink loses nothing. Under random
+    // loss a renewal chain can genuinely miss the term (first
+    // transmissions dropped while the exhausted budget forbids retries),
+    // making a reclaim legitimate; the safety invariants in CheckSafety
+    // still hold unconditionally.
+    const bool lossless_uplink = config_.fault.drop_probability == 0.0 &&
+                                 config_.fault.duplicate_probability == 0.0;
+    if (lease_live_at_partition_ &&
+        plan.shape == PartitionShape::kDownlinkOnly && lossless_uplink) {
+      // The safe asymmetric steady state: renewals keep arriving, so the
+      // SC must never reclaim; the deaf holder self-lapses and forwards.
+      if (server_->lease_reclaims() != 0) {
+        return InternalError(StrFormat(
+            "downlink-only partition reclaimed %lld time(s); renewals were "
+            "still arriving",
+            static_cast<long long>(server_->lease_reclaims())));
+      }
+      if (client_->in_charge() && !client_->LeaseLapsed()) {
+        return InternalError(
+            "deaf holder still trusts its lease after the acks stopped");
+      }
+      if (degraded_probes_ != 0) {
+        return InternalError(StrFormat(
+            "%lld observer probe(s) degraded although the uplink (and thus "
+            "the liveness feed) stayed up",
+            static_cast<long long>(degraded_probes_)));
+      }
+    }
+    return OkStatus();
+  }
+
+  // Healed plans must fully reconverge.
+  if (abandoned_frames_ != 0) {
+    return InternalError(StrFormat(
+        "healing run abandoned %lld frame(s); the retry schedule should "
+        "survive a bounded partition",
+        static_cast<long long>(abandoned_frames_)));
+  }
+  if (client_->resync_pending() || server_->resync_pending() ||
+      mc_link_->outstanding_frames() + sc_link_->outstanding_frames() > 0) {
+    return InternalError(StrFormat(
+        "healed run did not settle: %s",
+        DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
+                                sc_link_.get(), queue_.now())
+            .c_str()));
+  }
+  if (client_->in_charge() == server_->in_charge()) {
+    return InternalError(StrFormat(
+        "healed run: %s in charge",
+        client_->in_charge() ? "both nodes" : "neither node"));
+  }
+  if (server_->mc_has_copy() != client_->has_copy()) {
+    return InternalError("healed run: subscription views diverged");
+  }
+  if (server_->lease_reclaimed()) {
+    return InternalError(
+        "healed run left the reclamation overlay in place; the stale "
+        "holder's conflict report never resolved into a regrant");
+  }
+  if (client_->has_pending_read()) {
+    return InternalError("healed run left a read in flight forever");
+  }
+  if (reads_completed_ != reads_issued_) {
+    return InternalError(StrFormat(
+        "healed run completed %lld of %lld issued reads",
+        static_cast<long long>(reads_completed_),
+        static_cast<long long>(reads_issued_)));
+  }
+  if (client_->in_charge()) {
+    if (!server_->lease_held() ||
+        client_->lease_token() != server_->lease_token()) {
+      return InternalError(StrFormat(
+          "healed run: owner MC holds token %llu but the SC records "
+          "held=%d token=%llu",
+          static_cast<unsigned long long>(client_->lease_token()),
+          server_->lease_held() ? 1 : 0,
+          static_cast<unsigned long long>(server_->lease_token())));
+    }
+    const Result<VersionedValue> replica = cache_.Get(config_.key);
+    const Result<VersionedValue> authoritative = store_.Get(config_.key);
+    if (!replica.ok()) return replica.status();
+    if (!authoritative.ok()) return authoritative.status();
+    if (!server_->has_pending_propagation() &&
+        !(*replica == *authoritative)) {
+      return DataLossError(StrFormat(
+          "healed run: replica at version %llu diverged from the store at "
+          "%llu",
+          static_cast<unsigned long long>(replica->version),
+          static_cast<unsigned long long>(authoritative->version)));
+    }
+  }
+  return OkStatus();
+}
+
+Status PartitionedSimulation::Run() {
+  ScheduleWorkload();
+  // Run the clock to the horizon and stop: events scheduled past it —
+  // notably the lease expiry timer re-armed by the workload's last
+  // renewal, and retransmission timers probing a permanent partition —
+  // are deliberately left unrun. The final checks describe the system at
+  // the horizon, not after an artificial post-workload lapse.
+  int64_t events_run = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon_) {
+    if (++events_run > config_.max_events) {
+      return InternalError(StrFormat(
+          "partition run exceeded %lld events before the horizon; %s",
+          static_cast<long long>(config_.max_events),
+          DescribeQuiescenceStall(client_.get(), server_.get(),
+                                  mc_link_.get(), sc_link_.get(),
+                                  queue_.now())
+              .c_str()));
+    }
+    queue_.RunNext();
+  }
+  return CheckFinal();
+}
+
+}  // namespace mobrep

@@ -1,0 +1,177 @@
+#ifndef MOBREP_CHAOS_PARTITIONED_SIM_H_
+#define MOBREP_CHAOS_PARTITIONED_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobrep/chaos/partition_scheduler.h"
+#include "mobrep/common/status.h"
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/failure_detector.h"
+#include "mobrep/net/fault_model.h"
+#include "mobrep/net/reliable_link.h"
+#include "mobrep/protocol/lease.h"
+#include "mobrep/protocol/mobile_client.h"
+#include "mobrep/protocol/stationary_server.h"
+#include "mobrep/store/replica_cache.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+
+struct PartitionSimConfig {
+  PolicySpec spec;
+  std::string key = "x";
+  std::string initial_value = "v0";
+  double link_latency = 0.001;
+  // Optional random faults on top of the partition; the plan's outage
+  // windows are appended per direction and force_reliable is implied.
+  FaultConfig fault;
+  PartitionPlan plan;
+  // Lease term/grace; `enabled` is forced on by the harness.
+  LeaseConfig lease;
+  FailureDetectorConfig detector;
+  // Timed workload cadences (simulation time). Renew <= 0 derives term/3.
+  double heartbeat_interval = 0.01;
+  double renew_interval = 0.0;
+  double write_interval = 0.03;   // SC commits
+  double read_interval = 0.05;    // MC reads (skipped while one is pending)
+  double probe_interval = 0.02;   // SC observer reads + safety checks
+  // End of the timed workload AND of the simulated clock: the run stops
+  // here (it does not drain to quiescence, which would always include the
+  // lease lapsing after the workload's last renewal). For healing plans
+  // the harness extends it past heal time so the post-heal reconciliation
+  // (revoke / conflict / regrant) always has renewal ticks to ride on; a
+  // plan starting at or after the horizon never activates (fault-free
+  // baseline). Workload ticks end early enough that everything in flight
+  // settles before the final checks at the horizon.
+  double horizon = 1.5;
+  // Deterministic RTO jitter applied when fault.arq leaves it unset.
+  double rto_jitter = 0.1;
+  // Per-conversation retransmission budget installed for never-heal plans
+  // (caps the retransmission spend into a dead link, and makes the
+  // abandonment path observable within the horizon); healing plans run
+  // with an unlimited budget and must abandon nothing.
+  int64_t never_heal_retry_budget = 48;
+  int64_t max_events = 4'000'000;
+};
+
+// One SC observer read taken by the probe tick.
+struct PartitionProbe {
+  double at = 0.0;
+  ReadServiceMode mode = ReadServiceMode::kAuthoritative;
+  double staleness_bound = 0.0;
+};
+
+// The partition harness (DESIGN.md §10): one MC and one SC over faulty
+// channels with ARQ endpoints, a heartbeat-fed failure detector on the SC,
+// and the lease layer enabled, driven through a scheduled partition of the
+// wireless link (symmetric or asymmetric, healing or permanent).
+//
+// Unlike the serialized crash harness, the workload here is concurrent
+// wall-clock ticks — heartbeats, lease renewals, SC writes, MC reads and
+// SC observer probes — because the failure modes under test are *timing*
+// failures. Safety is checked at every probe and once more at the
+// horizon, where the run stops (timers scheduled past it — notably the
+// lease expiring after the workload's last renewal — never run):
+//
+//  - at most one valid fencing token: once the SC has reclaimed, the MC
+//    is demoted or self-lapsed (never both sides serving authoritatively);
+//  - no acked write lost: the store version never rolls back past an
+//    acknowledged commit, reclamation or not;
+//  - bounded unavailability: when the lease was live at partition onset
+//    and renewals cannot reach the SC, reclamation lands within
+//    term + grace + one link delay of the partition start, and every
+//    observer probe after it is served authoritatively;
+//  - healed runs reconverge: exactly one node in charge, subscription
+//    views and fencing tokens agreeing, no reclamation overlay left, and
+//    a surviving replica equal to the store.
+class PartitionedSimulation {
+ public:
+  explicit PartitionedSimulation(const PartitionSimConfig& config);
+
+  PartitionedSimulation(const PartitionedSimulation&) = delete;
+  PartitionedSimulation& operator=(const PartitionedSimulation&) = delete;
+
+  // Runs the timed workload through the partition up to the horizon.
+  // Returns the first invariant violation (sticky — later checks cannot
+  // mask it).
+  Status Run();
+
+  // Probes.
+  const MobileClient& client() const { return *client_; }
+  const StationaryServer& server() const { return *server_; }
+  const VersionedStore& store() const { return store_; }
+  const ReliableLink& mc_link() const { return *mc_link_; }
+  const ReliableLink& sc_link() const { return *sc_link_; }
+  const FailureDetector& detector() const { return detector_; }
+  const PartitionScheduler& scheduler() const { return scheduler_; }
+  double now() const { return queue_.now(); }
+
+  // Workload accounting.
+  const std::vector<PartitionProbe>& probes() const { return probes_; }
+  int64_t degraded_probes() const { return degraded_probes_; }
+  int64_t reads_issued() const { return reads_issued_; }
+  int64_t reads_completed() const { return reads_completed_; }
+  // Read ticks skipped because the previous read was still in flight
+  // (expected while the partition holds a forwarded read hostage).
+  int64_t reads_skipped() const { return reads_skipped_; }
+  // Frames abandoned by either link (give-up path; never-heal only).
+  int64_t abandoned_frames() const { return abandoned_frames_; }
+  // Whether the MC held a live lease when the partition started — the
+  // precondition for the reclamation-bound invariant.
+  bool lease_live_at_partition() const { return lease_live_at_partition_; }
+  // The workload horizon actually used (extended past heal time).
+  double effective_horizon() const { return horizon_; }
+
+ private:
+  void ScheduleWorkload();
+  void WriteTick();
+  void ReadTick();
+  void ProbeTick();
+  // The per-probe safety invariants; records the first violation.
+  void CheckSafety(const char* when);
+  // End-of-run convergence and bound checks.
+  Status CheckFinal();
+  void Fail(const Status& status);
+
+  PartitionSimConfig config_;
+  PartitionScheduler scheduler_;
+  double renew_interval_ = 0.0;
+  double horizon_ = 0.0;
+  // Tick end times, staggered so the final checks at the horizon see a
+  // settled system: workload (writes/reads/probes) stops two settle-tails
+  // early, liveness (heartbeats/renewals) one — with a final renewal at
+  // exactly liveness_end_ so the lease provably outlives the horizon.
+  double workload_end_ = 0.0;
+  double liveness_end_ = 0.0;
+  EventQueue queue_;
+  VersionedStore store_;
+  ReplicaCache cache_;
+  FailureDetector detector_;
+  std::unique_ptr<FaultyChannel> mc_to_sc_;
+  std::unique_ptr<FaultyChannel> sc_to_mc_;
+  std::unique_ptr<ReliableLink> mc_link_;
+  std::unique_ptr<ReliableLink> sc_link_;
+  std::unique_ptr<MobileClient> client_;
+  std::unique_ptr<StationaryServer> server_;
+
+  uint64_t acked_version_ = 0;  // newest version whose commit was acked
+  uint64_t last_seen_version_ = 0;
+  int64_t write_sequence_ = 0;
+  std::vector<PartitionProbe> probes_;
+  int64_t degraded_probes_ = 0;
+  int64_t reads_issued_ = 0;
+  int64_t reads_completed_ = 0;
+  int64_t reads_skipped_ = 0;
+  int64_t abandoned_frames_ = 0;
+  bool lease_live_at_partition_ = false;
+  bool client_charged_at_partition_ = false;
+  Status first_error_;  // sticky
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_CHAOS_PARTITIONED_SIM_H_

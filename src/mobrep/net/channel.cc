@@ -20,11 +20,28 @@ void Channel::Meter(const Message& message) {
                        queue_->now(), static_cast<int64_t>(message.seq));
     return;
   }
+  if (message.type == MessageType::kHeartbeat) {
+    // Fire-and-forget liveness probe: never retransmitted, never part of
+    // any protocol exchange, never in the paper's counters.
+    heartbeats_sent_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kHeartbeat, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(message.seq));
+    return;
+  }
   if (message.retransmit) {
     retransmissions_sent_.Increment();
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kRetransmit, name_.c_str(),
                        queue_->now(), static_cast<int64_t>(message.seq),
                        static_cast<int64_t>(message.type));
+    return;
+  }
+  if (IsLeaseMessage(message.type)) {
+    // Lease traffic only exists with leases enabled; like recovery
+    // traffic it prices availability, not a replication scheme.
+    lease_messages_sent_.Increment();
+    MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageSend, name_.c_str(),
+                       queue_->now(), static_cast<int64_t>(message.seq),
+                       static_cast<int64_t>(message.type), 0);
     return;
   }
   if (message.type == MessageType::kResyncRequest ||

@@ -56,6 +56,14 @@ class Channel : public Link {
   int64_t recovery_messages_sent() const {
     return recovery_messages_sent_.value();
   }
+  // Liveness-layer traffic (DESIGN.md §10), outside the paper's cost
+  // models for the same reason as recovery traffic: heartbeats
+  // (kHeartbeat probes) and lease-protocol control messages
+  // (kLeaseRenew/.../kLeaseRegrant). Always 0 with leases disabled.
+  int64_t heartbeats_sent() const { return heartbeats_sent_.value(); }
+  int64_t lease_messages_sent() const {
+    return lease_messages_sent_.value();
+  }
   const std::string& name() const override { return name_; }
   double latency() const { return latency_; }
 
@@ -83,6 +91,8 @@ class Channel : public Link {
   obs::Counter acks_sent_;
   obs::Counter retransmissions_sent_;
   obs::Counter recovery_messages_sent_;
+  obs::Counter heartbeats_sent_;
+  obs::Counter lease_messages_sent_;
 };
 
 }  // namespace mobrep

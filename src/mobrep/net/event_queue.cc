@@ -1,5 +1,6 @@
 #include "mobrep/net/event_queue.h"
 
+#include <limits>
 #include <utility>
 
 #include "mobrep/common/check.h"
@@ -33,6 +34,11 @@ int64_t EventQueue::RunUntilQuiescent(int64_t max_events) {
   MOBREP_CHECK_MSG(quiescent,
                    "event cascade exceeded max_events; livelock?");
   return ran;
+}
+
+double EventQueue::next_time() const {
+  if (events_.empty()) return std::numeric_limits<double>::infinity();
+  return events_.top().time;
 }
 
 bool EventQueue::TryRunUntilQuiescent(int64_t max_events,

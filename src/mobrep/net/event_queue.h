@@ -47,6 +47,11 @@ class EventQueue {
   bool empty() const { return events_.empty(); }
   size_t pending() const { return events_.size(); }
 
+  // Timestamp of the earliest pending event; +infinity when the queue is
+  // empty. Lets bounded-horizon harnesses stop the clock at a deadline
+  // instead of draining timers scheduled past it.
+  double next_time() const;
+
  private:
   struct Event {
     double time;

@@ -1,0 +1,41 @@
+#include "mobrep/net/failure_detector.h"
+
+#include <algorithm>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+
+FailureDetector::FailureDetector(const FailureDetectorConfig& config)
+    : config_(config) {
+  MOBREP_CHECK_MSG(config_.timeout > 0.0,
+                   "failure detector timeout must be positive");
+  MOBREP_CHECK(config_.backoff >= 1.0);
+  if (config_.max_timeout <= 0.0) config_.max_timeout = 8.0 * config_.timeout;
+  config_.max_timeout = std::max(config_.max_timeout, config_.timeout);
+  current_timeout_ = config_.timeout;
+}
+
+void FailureDetector::OnHeard(double now) {
+  if (suspicion_latched_) {
+    // The suspected peer spoke again: the suspicion was false. Back the
+    // timeout off so a slow or flappy link earns more patience instead of
+    // oscillating in and out of suspicion.
+    false_suspicions_.Increment();
+    current_timeout_ =
+        std::min(current_timeout_ * config_.backoff, config_.max_timeout);
+    suspicion_latched_ = false;
+  }
+  last_heard_ = std::max(last_heard_, now);
+}
+
+bool FailureDetector::Suspected(double now) const {
+  const bool suspected = (now - last_heard_) > current_timeout_;
+  if (suspected && !suspicion_latched_) {
+    suspicion_latched_ = true;
+    suspicions_.Increment();
+  }
+  return suspected;
+}
+
+}  // namespace mobrep

@@ -1,0 +1,70 @@
+#ifndef MOBREP_NET_FAILURE_DETECTOR_H_
+#define MOBREP_NET_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+
+#include "mobrep/obs/metrics.h"
+
+namespace mobrep {
+
+// Tuning knobs of the per-peer failure detector. All times are simulation
+// time units, so every decision is deterministic under the simulated clock.
+struct FailureDetectorConfig {
+  // Silence longer than this marks the peer suspected. Must exceed the
+  // heartbeat interval plus the one-way latency bound or a healthy peer is
+  // suspected between consecutive heartbeats.
+  double timeout = 0.05;
+  // Multiplicative backoff applied to the effective timeout after every
+  // false suspicion (the peer was suspected, then heard again). A flappy
+  // link thereby earns a longer timeout instead of oscillating. >= 1.
+  double backoff = 2.0;
+  // Ceiling on the backed-off timeout. <= 0 means 8 * timeout.
+  double max_timeout = 0.0;
+};
+
+// Timeout-with-backoff failure detector for a single peer, fed by the
+// liveness layer: every frame heard from the peer's current incarnation
+// (heartbeats included) refreshes `last_heard`. The detector never acts on
+// its own — it is a pure predicate the SC consults when deciding whether to
+// serve degraded reads or reclaim a lease. Deterministic: same clock, same
+// OnHeard sequence, same verdicts.
+//
+// Like every failure detector over an asynchronous link, it is only
+// eventually accurate: a suspicion can be false (the peer is merely slow or
+// the path one-way dead). The lease layer, not the detector, supplies
+// safety — a suspected-but-alive holder has self-fenced by lease expiry
+// before the SC acts on the suspicion.
+class FailureDetector {
+ public:
+  explicit FailureDetector(const FailureDetectorConfig& config);
+
+  // A frame from the peer's live incarnation arrived at `now`. Clears any
+  // standing suspicion; if that suspicion turns out to have been false,
+  // the effective timeout backs off.
+  void OnHeard(double now);
+
+  // True when the peer has been silent longer than the current timeout.
+  bool Suspected(double now) const;
+
+  // Silence duration — the staleness bound a degraded read advertises.
+  double SilenceDuration(double now) const { return now - last_heard_; }
+
+  double last_heard() const { return last_heard_; }
+  double current_timeout() const { return current_timeout_; }
+  int64_t suspicions() const { return suspicions_.value(); }
+  int64_t false_suspicions() const { return false_suspicions_.value(); }
+
+ private:
+  FailureDetectorConfig config_;
+  double last_heard_ = 0.0;
+  double current_timeout_ = 0.0;
+  // Suspected() is const; suspicion onset is latched here on the next
+  // OnHeard so false suspicions can back the timeout off.
+  mutable bool suspicion_latched_ = false;
+  mutable obs::Counter suspicions_;
+  obs::Counter false_suspicions_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_FAILURE_DETECTOR_H_

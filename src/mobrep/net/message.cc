@@ -20,6 +20,18 @@ const char* MessageTypeName(MessageType type) {
       return "resync_request";
     case MessageType::kResyncResponse:
       return "resync_response";
+    case MessageType::kHeartbeat:
+      return "heartbeat";
+    case MessageType::kLeaseRenew:
+      return "lease_renew";
+    case MessageType::kLeaseRenewAck:
+      return "lease_renew_ack";
+    case MessageType::kLeaseRevoke:
+      return "lease_revoke";
+    case MessageType::kLeaseConflict:
+      return "lease_conflict";
+    case MessageType::kLeaseRegrant:
+      return "lease_regrant";
   }
   return "unknown";
 }
@@ -27,6 +39,19 @@ const char* MessageTypeName(MessageType type) {
 bool IsDataMessage(MessageType type) {
   return type == MessageType::kDataResponse ||
          type == MessageType::kWritePropagate;
+}
+
+bool IsLeaseMessage(MessageType type) {
+  switch (type) {
+    case MessageType::kLeaseRenew:
+    case MessageType::kLeaseRenewAck:
+    case MessageType::kLeaseRevoke:
+    case MessageType::kLeaseConflict:
+    case MessageType::kLeaseRegrant:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace mobrep

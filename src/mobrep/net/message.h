@@ -41,6 +41,36 @@ enum class MessageType : uint8_t {
   // committed version (and, on a re-grant, `window`/`transferred_state`
   // re-ship the control state).
   kResyncResponse,
+  // --- Liveness layer (docs/RECOVERY.md, DESIGN.md §10). All of these are
+  // absent unless leases are enabled and are metered outside the paper's
+  // cost models (heartbeat / lease counters on the Channel). ---
+  //
+  // MC -> SC: unreliable "I am alive" probe feeding the SC's failure
+  // detector. Fire-and-forget: never acked, never retransmitted, never
+  // delivered to the protocol endpoints.
+  kHeartbeat,
+  // MC -> SC: extends the MC's ownership lease. Carries `lease_token` (the
+  // fencing token of the lease being renewed) and `lease_anchor` (the
+  // MC-side send time the renewed term is measured from).
+  kLeaseRenew,
+  // SC -> MC: a successful renewal. Echoes `lease_anchor`; the MC's new
+  // local expiry is anchor + term, which the single simulated clock makes
+  // strictly earlier than the SC-side expiry (receipt + term) — the holder
+  // always self-fences before the grantor reclaims.
+  kLeaseRenewAck,
+  // SC -> MC: fences a stale lease holder. `lease_token` carries the SC's
+  // *current* fencing token; the receiver demotes itself (drops its copy
+  // and its in-charge bit) and reports its unsynced claim back as a
+  // kLeaseConflict instead of silently dropping it.
+  kLeaseRevoke,
+  // MC -> SC: the demoted holder's conflict report: the stale token it
+  // held (`lease_token`), its request window at demotion time (`window`)
+  // and whether it still claimed ownership (`claims_charge`).
+  kLeaseConflict,
+  // SC -> MC: re-establishes the subscription after a conflict report
+  // resolved a reclaimed lease: ships the latest item, the retained
+  // window/state (like a resync re-grant) and a fresh fencing token.
+  kLeaseRegrant,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -48,6 +78,11 @@ const char* MessageTypeName(MessageType type);
 // True for messages that carry the data item (charged 1 in the message
 // model); false for control messages (charged omega).
 bool IsDataMessage(MessageType type);
+
+// True for lease-protocol control traffic (kLeaseRenew .. kLeaseRegrant).
+// Lease traffic, like recovery traffic, is metered outside the paper's
+// cost models: it prices availability, not a replication scheme.
+bool IsLeaseMessage(MessageType type);
 
 struct Message {
   MessageType type = MessageType::kReadRequest;
@@ -73,8 +108,19 @@ struct Message {
   uint32_t peer_epoch = 0;
 
   // Resync handshake payload (kResyncRequest): whether the sender's
-  // recovered state claims window ownership.
+  // recovered state claims window ownership. Also reused by kLeaseConflict
+  // to say whether the demoted holder still claimed ownership.
   bool claims_charge = false;
+
+  // Lease / fencing payload (DESIGN.md §10); all zero unless leases are
+  // enabled. `lease_token` is the monotonically increasing fencing token of
+  // the lease a grant/renewal/revocation talks about. `lease_term` is the
+  // granted term in simulation time units. `lease_anchor` is the sender-side
+  // time the term is measured from, so the holder's local expiry
+  // (anchor + term) is never later than the grantor's (receipt + term).
+  uint64_t lease_token = 0;
+  double lease_term = 0.0;
+  double lease_anchor = 0.0;
 
   // Payload for data messages.
   VersionedValue item;

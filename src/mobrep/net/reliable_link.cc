@@ -1,12 +1,29 @@
 #include "mobrep/net/reliable_link.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/common/random.h"
 #include "mobrep/obs/trace.h"
 
 namespace mobrep {
+
+namespace {
+
+// FNV-1a 64, matching the WAL's checksum choice: a stable per-link salt
+// that does not depend on std::hash implementation details.
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 ReliableLink::ReliableLink(EventQueue* queue, Channel* transport,
                            const ArqConfig& config, std::string name)
@@ -20,8 +37,10 @@ ReliableLink::ReliableLink(EventQueue* queue, Channel* transport,
                    "ArqConfig::initial_rto must be derived before use");
   MOBREP_CHECK(config_.backoff >= 1.0);
   MOBREP_CHECK(config_.max_retries >= 0);
+  MOBREP_CHECK(config_.rto_jitter >= 0.0);
   if (config_.max_rto <= 0.0) config_.max_rto = 64.0 * config_.initial_rto;
   config_.max_rto = std::max(config_.max_rto, config_.initial_rto);
+  jitter_salt_ = Fnv1a64(name_);
 }
 
 void ReliableLink::EnableEpochFencing(uint32_t local_epoch,
@@ -44,6 +63,7 @@ void ReliableLink::Restart(uint32_t new_local_epoch) {
   reorder_buffer_.clear();
   next_send_seq_ = 1;
   next_deliver_seq_ = 1;
+  budget_used_ = 0;
   ++conversation_;
 }
 
@@ -60,6 +80,7 @@ void ReliableLink::AdoptPeerEpoch(uint32_t epoch) {
   reorder_buffer_.clear();
   next_send_seq_ = 1;
   next_deliver_seq_ = 1;
+  budget_used_ = 0;
   ++conversation_;
 }
 
@@ -77,6 +98,36 @@ void ReliableLink::Send(Message message) {
   ArmTimer(seq, config_.initial_rto);
 }
 
+double ReliableLink::JitterFactor(uint64_t seq, int attempt) const {
+  if (config_.rto_jitter <= 0.0) return 1.0;
+  // Stateless hash of (link, seq, attempt): the same frame gets the same
+  // timeout on every run, but neither two frames nor two attempts (nor the
+  // two directions of a link pair) back off in lockstep.
+  SplitMix64 mix(jitter_salt_ ^ (seq * 0x9e3779b97f4a7c15ULL) ^
+                 static_cast<uint64_t>(attempt));
+  const double unit =
+      static_cast<double>(mix.Next() >> 11) * (1.0 / 9007199254740992.0);
+  return 1.0 + config_.rto_jitter * unit;
+}
+
+void ReliableLink::GiveUp(std::map<uint64_t, Outstanding>::iterator it,
+                          const char* why) {
+  const Message abandoned = it->second.frame;
+  outstanding_.erase(it);
+  give_ups_.Increment();
+  if (on_give_up_ == nullptr) {
+    // An unsurvivable link with nobody watching is a harness
+    // misconfiguration, not a recoverable condition; abort with context.
+    std::fprintf(stderr,
+                 "reliable link %s abandoned %s frame seq=%llu: %s\n",
+                 name_.c_str(), MessageTypeName(abandoned.type),
+                 static_cast<unsigned long long>(abandoned.seq), why);
+    MOBREP_CHECK_MSG(false, why);
+  }
+  on_give_up_(abandoned);
+  if (outstanding_.empty() && on_idle_ != nullptr) on_idle_();
+}
+
 void ReliableLink::ArmTimer(uint64_t seq, double rto) {
   queue_->ScheduleAfter(rto, [this, seq, rto, gen = conversation_]() {
     if (gen != conversation_) return;  // conversation died; stale timer
@@ -87,22 +138,39 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
                        queue_->now(), static_cast<int64_t>(seq),
                        it->second.attempts);
     if (it->second.attempts >= config_.max_retries) {
-      const Message abandoned = it->second.frame;
-      outstanding_.erase(it);
-      give_ups_.Increment();
-      MOBREP_CHECK_MSG(on_give_up_ != nullptr,
-                       "reliable link exhausted its retry cap");
-      on_give_up_(abandoned);
-      if (outstanding_.empty() && on_idle_ != nullptr) on_idle_();
+      GiveUp(it, "reliable link exhausted its per-frame retry cap");
+      return;
+    }
+    if (config_.retry_budget > 0 && budget_used_ >= config_.retry_budget) {
+      // The conversation's total retransmission spend is exhausted (the
+      // peer is most plausibly gone for good): abandon instead of probing
+      // forever. Surfaced as a dedicated counter plus the give-up hook.
+      budget_exhausted_frames_.Increment();
+      GiveUp(it, "reliable link exhausted its per-conversation retry budget");
       return;
     }
     ++it->second.attempts;
+    ++budget_used_;
     Message copy = it->second.frame;
     copy.retransmit = true;
     transport_->Send(std::move(copy));
     retransmissions_.Increment();
-    ArmTimer(seq, std::min(rto * config_.backoff, config_.max_rto));
+    const double next =
+        std::min(rto * config_.backoff, config_.max_rto) *
+        JitterFactor(seq, it->second.attempts);
+    ArmTimer(seq, next);
   });
+}
+
+void ReliableLink::SendHeartbeat() {
+  Message probe;
+  probe.type = MessageType::kHeartbeat;
+  probe.seq = next_heartbeat_seq_++;
+  if (epochs_enabled_) {
+    probe.epoch = local_epoch_;
+    probe.peer_epoch = peer_epoch_;
+  }
+  transport_->Send(std::move(probe));
 }
 
 void ReliableLink::HandleFrame(const Message& frame) {
@@ -130,6 +198,16 @@ void ReliableLink::HandleFrame(const Message& frame) {
       return;
     }
     if (frame.epoch > peer_epoch_) AdoptPeerEpoch(frame.epoch);
+  }
+  // Any frame from the peer's live incarnation proves it is up — the
+  // failure-detector feed. Fires after fencing so a dead incarnation's
+  // stragglers cannot keep the detector quiet about a restarted peer.
+  if (on_peer_heard_ != nullptr) on_peer_heard_(queue_->now());
+  if (frame.type == MessageType::kHeartbeat) {
+    // Fire-and-forget liveness probe: its only job was the on_peer_heard
+    // call above. Not acked, not delivered, not sequenced with data.
+    heartbeats_received_.Increment();
+    return;
   }
   if (frame.type == MessageType::kAck) {
     const auto it = outstanding_.find(frame.seq);

@@ -29,6 +29,21 @@ struct ArqConfig {
   // abandoned (the give-up hook fires, or the process aborts). Sized so
   // that bounded outages and heavy loss are always survived.
   int max_retries = 60;
+  // Deterministic jitter fraction applied on top of the (capped) backoff:
+  // each retransmission timeout is stretched by up to this fraction, with
+  // the stretch derived from a stateless hash of (seq, attempt) — same
+  // frame, same attempt, same timeout on every run. Desynchronizes frames
+  // that would otherwise probe a healed link in lockstep at max_rto.
+  // 0 (the default) reproduces the un-jittered timer schedule exactly.
+  double rto_jitter = 0.0;
+  // Total retransmissions this link may spend across all frames of one
+  // conversation (a conversation ends at Restart/AdoptPeerEpoch, which
+  // reset the spend). Once exhausted, every timed-out frame is abandoned
+  // through the give-up path immediately instead of retrying — the
+  // mechanism that lets a never-healing partition drain to quiescence in
+  // bounded work. <= 0 (the default) means unlimited (per-frame
+  // max_retries still applies).
+  int64_t retry_budget = 0;
 };
 
 // Reliable-delivery (ARQ) endpoint: exactly-once, in-order delivery on top
@@ -84,6 +99,22 @@ class ReliableLink : public Link {
   bool busy() const override { return !outstanding_.empty(); }
   const std::string& name() const override { return name_; }
 
+  // --- Liveness layer (DESIGN.md §10) ---
+  //
+  // Sends one unreliable kHeartbeat probe: own sequence space, never
+  // outstanding, never acked, never delivered to the application. The
+  // peer's link feeds it (like every live frame) to on_peer_heard and
+  // drops it. Carries the sender's epochs so a stale incarnation cannot
+  // keep a failure detector alive.
+  void SendHeartbeat();
+
+  // Fires with the arrival time of every frame that passes epoch fencing
+  // (data, ack or heartbeat) — the failure-detector feed: any live-
+  // incarnation traffic proves the peer is up.
+  void set_on_peer_heard(std::function<void(double now)> on_peer_heard) {
+    on_peer_heard_ = std::move(on_peer_heard);
+  }
+
   // Entry point for every frame arriving at this node (installed as the
   // incoming channel's receiver).
   void HandleFrame(const Message& frame);
@@ -130,6 +161,18 @@ class ReliableLink : public Link {
   int64_t fenced_frames() const { return fenced_frames_.value(); }
   // Outstanding frames voided because the peer restarted under them.
   int64_t voided_frames() const { return voided_frames_.value(); }
+  // Heartbeat probes received (and dropped) by this endpoint.
+  int64_t heartbeats_received() const { return heartbeats_received_.value(); }
+  // Frames abandoned because the per-conversation retry budget ran out
+  // (a subset of give_ups; see ArqConfig::retry_budget).
+  int64_t budget_exhausted_frames() const {
+    return budget_exhausted_frames_.value();
+  }
+  // Retransmissions spent against the budget in the current conversation.
+  int64_t retry_budget_used() const { return budget_used_; }
+  bool retry_budget_exhausted() const {
+    return config_.retry_budget > 0 && budget_used_ >= config_.retry_budget;
+  }
   size_t outstanding_frames() const { return outstanding_.size(); }
   size_t buffered_frames() const { return reorder_buffer_.size(); }
 
@@ -140,9 +183,14 @@ class ReliableLink : public Link {
   };
 
   void ArmTimer(uint64_t seq, double rto);
+  // Deterministic per-(seq, attempt) jitter factor in [1, 1 + rto_jitter].
+  double JitterFactor(uint64_t seq, int attempt) const;
   // The peer restarted at incarnation `epoch`: void the old conversation
   // and start a fresh one toward the new incarnation.
   void AdoptPeerEpoch(uint32_t epoch);
+  // Abandons the outstanding frame at `it` through the give-up path;
+  // `why` names the cause in the no-hook abort message.
+  void GiveUp(std::map<uint64_t, Outstanding>::iterator it, const char* why);
 
   EventQueue* queue_;
   Channel* transport_;
@@ -151,12 +199,24 @@ class ReliableLink : public Link {
   Receiver receiver_;
   std::function<void()> on_idle_;
   std::function<void(const Message&)> on_give_up_;
+  std::function<void(double)> on_peer_heard_;
   std::function<void(const char*)> crash_hook_;
 
   uint64_t next_send_seq_ = 1;
   uint64_t next_deliver_seq_ = 1;
+  // Heartbeats live in their own sequence space (they are never acked, so
+  // sharing the ARQ space would leave permanent holes in the reorder
+  // window).
+  uint64_t next_heartbeat_seq_ = 1;
+  // Retransmissions spent against ArqConfig::retry_budget this
+  // conversation.
+  int64_t budget_used_ = 0;
   std::map<uint64_t, Outstanding> outstanding_;
   std::map<uint64_t, Message> reorder_buffer_;
+
+  // FNV-1a of `name_`, mixed into the jitter hash so the two directions
+  // of a link pair never jitter in lockstep.
+  uint64_t jitter_salt_ = 0;
 
   bool epochs_enabled_ = false;
   uint32_t local_epoch_ = 0;
@@ -172,6 +232,8 @@ class ReliableLink : public Link {
   obs::Counter give_ups_;
   obs::Counter fenced_frames_;
   obs::Counter voided_frames_;
+  obs::Counter heartbeats_received_;
+  obs::Counter budget_exhausted_frames_;
 };
 
 }  // namespace mobrep

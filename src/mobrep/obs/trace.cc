@@ -71,6 +71,20 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "resync";
     case TraceEventKind::kFencedFrame:
       return "fenced_frame";
+    case TraceEventKind::kHeartbeat:
+      return "heartbeat";
+    case TraceEventKind::kLeaseGrant:
+      return "lease_grant";
+    case TraceEventKind::kLeaseRenew:
+      return "lease_renew";
+    case TraceEventKind::kLeaseReclaim:
+      return "lease_reclaim";
+    case TraceEventKind::kLeaseRevoke:
+      return "lease_revoke";
+    case TraceEventKind::kDegradedRead:
+      return "degraded_read";
+    case TraceEventKind::kPartition:
+      return "partition";
   }
   return "unknown";
 }

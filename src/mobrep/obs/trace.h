@@ -59,6 +59,14 @@ enum class TraceEventKind : uint8_t {
   kResync,               // a0=CrashNode initiating, a1=incarnation,
                          // a2=1 when resolved (0 when initiated)
   kFencedFrame,          // a0=frame seq, a1=frame epoch, a2=local epoch
+  kHeartbeat,            // a0=probe seq
+  kLeaseGrant,           // a0=fencing token, a1=1 on a regrant, d0=term
+  kLeaseRenew,           // a0=fencing token, a1=1 at SC (0 at MC), d0=new
+                         // time-to-expiry at the observer
+  kLeaseReclaim,         // a0=new fencing token, d0=silence duration
+  kLeaseRevoke,          // a0=current token, a1=stale token fenced
+  kDegradedRead,         // a0=served version, d0=staleness bound
+  kPartition,            // a0=1 start / 0 heal, a1=PartitionShape
 };
 
 // Stable lowercase name, e.g. "policy_decision".

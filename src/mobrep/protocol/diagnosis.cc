@@ -17,10 +17,51 @@ void AppendF(std::string* out, const char* format, ...) {
 
 }  // namespace
 
+namespace {
+
+// One line naming the lease state on both ends: who holds it, under which
+// fencing token, for how much longer (when `now` is known).
+void AppendLeaseState(std::string* out, const MobileClient* client,
+                      const StationaryServer* server, double now) {
+  if (server == nullptr || !server->lease_enabled()) return;
+  const char* holder = server->lease_reclaimed() ? "SC (reclaimed)"
+                       : server->lease_held()    ? "MC"
+                                                 : "none";
+  AppendF(out,
+          "; lease: holder=%s token=%llu term=%.4g", holder,
+          static_cast<unsigned long long>(server->lease_token()),
+          server->lease_config().term);
+  if (server->lease_held() && !server->lease_reclaimed() && now >= 0.0) {
+    AppendF(out, " expires_in=%.4g", server->lease_expiry() - now);
+  }
+  if (client != nullptr && client->lease_enabled() &&
+      client->lease_token() != server->lease_token()) {
+    AppendF(out, " (MC still holds stale token %llu)",
+            static_cast<unsigned long long>(client->lease_token()));
+  }
+}
+
+// Names exhausted per-conversation retry budgets: frames on that side are
+// being abandoned, so "still draining" will never finish on its own.
+void AppendBudgetState(std::string* out, const ReliableLink* mc_link,
+                       const ReliableLink* sc_link) {
+  if (mc_link != nullptr && mc_link->retry_budget_exhausted()) {
+    AppendF(out, "; MC link retry budget exhausted (%lld frames abandoned)",
+            static_cast<long long>(mc_link->budget_exhausted_frames()));
+  }
+  if (sc_link != nullptr && sc_link->retry_budget_exhausted()) {
+    AppendF(out, "; SC link retry budget exhausted (%lld frames abandoned)",
+            static_cast<long long>(sc_link->budget_exhausted_frames()));
+  }
+}
+
+}  // namespace
+
 std::string DescribeQuiescenceStall(const MobileClient* client,
                                     const StationaryServer* server,
                                     const ReliableLink* mc_link,
-                                    const ReliableLink* sc_link) {
+                                    const ReliableLink* sc_link,
+                                    double now) {
   std::string out;
 
   // A pending resync is the serious diagnosis: the handshake has one
@@ -40,6 +81,8 @@ std::string DescribeQuiescenceStall(const MobileClient* client,
   }
   if (!out.empty()) {
     out += "the handshake is stuck, not slow";
+    AppendLeaseState(&out, client, server, now);
+    AppendBudgetState(&out, mc_link, sc_link);
     return out;
   }
 
@@ -52,11 +95,17 @@ std::string DescribeQuiescenceStall(const MobileClient* client,
             "likely too small for the injected outage",
             mc_out, mc_link != nullptr ? mc_link->local_epoch() : 0, sc_out,
             sc_link != nullptr ? sc_link->local_epoch() : 0);
+    AppendLeaseState(&out, client, server, now);
+    AppendBudgetState(&out, mc_link, sc_link);
     return out;
   }
 
-  return "no resync pending and no unacked frames on either link; the event "
-         "loop itself is livelocked";
+  out =
+      "no resync pending and no unacked frames on either link; the event "
+      "loop itself is livelocked";
+  AppendLeaseState(&out, client, server, now);
+  AppendBudgetState(&out, mc_link, sc_link);
+  return out;
 }
 
 }  // namespace mobrep

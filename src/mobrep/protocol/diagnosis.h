@@ -15,10 +15,18 @@ namespace mobrep {
 // outstanding on either ARQ endpoint) usually means the cap is too small
 // for the injected outage. Any argument may be null (fault-free wiring has
 // no ARQ endpoints; non-crash harnesses may not expose the nodes).
+//
+// With leases enabled (DESIGN.md §10) the report also names the lease
+// state — holder, fencing token, term and time-to-expiry at `now` — and
+// whether either link abandoned frames to an exhausted retry budget, so a
+// stall during a partition pinpoints which side of the reclamation path is
+// stuck. Pass `now` < 0 (the default) when no clock is available; the
+// time-to-expiry line is then omitted.
 std::string DescribeQuiescenceStall(const MobileClient* client,
                                     const StationaryServer* server,
                                     const ReliableLink* mc_link,
-                                    const ReliableLink* sc_link);
+                                    const ReliableLink* sc_link,
+                                    double now = -1.0);
 
 }  // namespace mobrep
 

@@ -1,0 +1,17 @@
+#include "mobrep/protocol/lease.h"
+
+namespace mobrep {
+
+const char* ReadServiceModeName(ReadServiceMode mode) {
+  switch (mode) {
+    case ReadServiceMode::kAuthoritative:
+      return "authoritative";
+    case ReadServiceMode::kCoordinated:
+      return "coordinated";
+    case ReadServiceMode::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+}  // namespace mobrep

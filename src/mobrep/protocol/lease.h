@@ -1,0 +1,75 @@
+#ifndef MOBREP_PROTOCOL_LEASE_H_
+#define MOBREP_PROTOCOL_LEASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mobrep/core/schedule.h"
+#include "mobrep/store/versioned_store.h"
+
+namespace mobrep {
+
+// Tuning knobs of the lease layer (DESIGN.md §10). All times are simulation
+// time units. Leases are disabled by default: no lease traffic, no timers,
+// and the protocol endpoints behave byte-identically to the seed.
+struct LeaseConfig {
+  // Master switch. EnableLeases on the endpoints turns it on.
+  bool enabled = false;
+  // Lease term: how long one grant/renewal authorizes the MC to serve
+  // local reads. The MC's local expiry is measured from the grantor's
+  // anchor time, the SC's from its own receipt time, so under the single
+  // simulated clock the holder always self-fences no later than the
+  // grantor reclaims.
+  double term = 0.1;
+  // Extra slack the SC waits past its own expiry before reclaiming, so a
+  // renewal that raced the expiry timer by one event still wins.
+  double grace = 0.01;
+};
+
+// One fenced ownership claim, recorded by the SC when a stale-token MU
+// returns: the demotion is surfaced as data, never silently dropped.
+struct LeaseConflict {
+  // The stale fencing token the late holder still carried.
+  uint64_t stale_token = 0;
+  // The SC's token at the time the conflict was recorded.
+  uint64_t current_token = 0;
+  // Whether the holder still claimed ownership when fenced (false when it
+  // had already deallocated and only its delete-request went stale).
+  bool claimed_charge = false;
+  // The holder's request window at demotion time — the unsynced control
+  // state that would otherwise be lost.
+  std::vector<Op> window;
+  // Simulation time the conflict was recorded at the SC.
+  double recorded_at = 0.0;
+};
+
+// How a read served at the SC relates to the one-copy protocol.
+enum class ReadServiceMode {
+  // The SC is in charge (or has reclaimed the lease): the store is the
+  // only live copy, the read is as fresh as any read can be.
+  kAuthoritative,
+  // The MC holds a live lease: the store is still write-fresh (writes
+  // commit here first), but the lease holder may serve concurrent local
+  // reads — the read is coordinated with the protocol, not degraded.
+  kCoordinated,
+  // The owner is partitioned or suspected and not yet reclaimed: served
+  // anyway, flagged possibly-stale with an explicit staleness bound.
+  kDegraded,
+};
+
+const char* ReadServiceModeName(ReadServiceMode mode);
+
+// The result of a read served at the SC during (or outside) an owner
+// partition. Always served: the store is the authority for writes, so
+// graceful degradation means labelling the read, not refusing it.
+struct ObserverRead {
+  VersionedValue value;
+  ReadServiceMode mode = ReadServiceMode::kAuthoritative;
+  // For kDegraded: how long the owner has been silent — the upper bound on
+  // how far the owner's view may have diverged. 0 otherwise.
+  double staleness_bound = 0.0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_PROTOCOL_LEASE_H_

@@ -27,11 +27,64 @@ void MobileClient::Persist(const char* reason) {
   if (journal_ != nullptr) journal_->Persist(reason);
 }
 
+void MobileClient::EnableLeases(EventQueue* clock, const LeaseConfig& config) {
+  MOBREP_CHECK(clock != nullptr);
+  MOBREP_CHECK_MSG(config.enabled, "EnableLeases with a disabled config");
+  MOBREP_CHECK(config.term > 0.0);
+  clock_ = clock;
+  lease_config_ = config;
+  if (in_charge_) {
+    // Policies whose initial state replicates the item (ST2, T2m) start
+    // with this node holding the lease: token 1, anchored at now. The SC
+    // mirrors this in its own EnableLeases — no wire traffic.
+    lease_token_ = 1;
+    lease_expiry_ = clock_->now() + lease_config_.term;
+  }
+}
+
+bool MobileClient::LeaseLapsed() const {
+  return lease_config_.enabled && in_charge_ &&
+         clock_->now() >= lease_expiry_;
+}
+
+void MobileClient::SendLeaseRenewal() {
+  if (!lease_config_.enabled || !in_charge_) return;
+  const double now = clock_->now();
+  ++lease_renewals_sent_;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRenew, "MC", now,
+                     static_cast<int64_t>(lease_token_), 0, 0,
+                     lease_expiry_ - now);
+  Message renew;
+  renew.type = MessageType::kLeaseRenew;
+  renew.key = key_;
+  renew.lease_token = lease_token_;
+  // The renewed term is measured from this send time, never from the ack's
+  // arrival: under the single simulated clock the SC's expiry (receipt +
+  // term) is then always >= this node's (anchor + term), so the holder
+  // self-fences before the grantor reclaims.
+  renew.lease_anchor = now;
+  to_sc_->Send(std::move(renew));
+}
+
 void MobileClient::IssueRead(ReadCallback callback) {
   MOBREP_CHECK_MSG(pending_read_ == nullptr,
                    "reads are serialized; one is already outstanding");
   if (has_copy()) {
     MOBREP_CHECK_MSG(in_charge_, "copy held while not in charge");
+    if (LeaseLapsed()) {
+      // Graceful degradation at the holder: a lapsed lease no longer
+      // authorizes local serving (the SC may have reclaimed and committed
+      // writes this replica never saw). Forward to the SC — authoritative
+      // for writes — without consulting the policy: lease-lapse traffic
+      // is availability cost, not part of the paper's workload.
+      ++lapsed_remote_reads_;
+      pending_read_ = std::move(callback);
+      Message request;
+      request.type = MessageType::kReadRequest;
+      request.key = key_;
+      to_sc_->Send(std::move(request));
+      return;
+    }
     const ActionKind action = policy_->OnRequest(Op::kRead);
     MOBREP_CHECK(action == ActionKind::kLocalRead);
     ++local_reads_;
@@ -88,6 +141,13 @@ void MobileClient::HandleMessage(const Message& message) {
         last_transfer_window_ = message.window;
         in_charge_ = true;
         ++allocations_;
+        if (lease_config_.enabled) {
+          // The grant carries the lease: adopt its fencing token and the
+          // term measured from the grantor's anchor time.
+          lease_token_ = message.lease_token;
+          lease_expiry_ = message.lease_anchor + message.lease_term;
+          conflict_reported_ = false;
+        }
         Persist("mc.alloc");
       }
       CompleteRead(message.item);
@@ -122,6 +182,10 @@ void MobileClient::HandleMessage(const Message& message) {
         del.key = key_;
         del.window = ExtractWindow(spec_, *policy_);
         del.transferred_state = ShipState(*policy_);
+        // The hand-over names the lease it retires; a stale token here is
+        // fenced by the SC like a stale epoch (conflict report, not a
+        // silent adoption).
+        del.lease_token = lease_token_;
         last_transfer_window_ = del.window;
         in_charge_ = false;
         Persist("mc.dealloc");
@@ -232,9 +296,92 @@ void MobileClient::HandleMessage(const Message& message) {
       }
       return;
     }
+    case MessageType::kLeaseRenewAck: {
+      // A renewal round trip completed. Ignore acks for a token this node
+      // no longer holds (e.g. the ack of a renewal that raced a revoke).
+      if (!lease_config_.enabled || !in_charge_ ||
+          message.lease_token != lease_token_) {
+        return;
+      }
+      ++lease_renew_acks_;
+      // Extend from the renewal's send-time anchor (echoed by the SC), so
+      // this expiry stays conservative against the SC's receipt-anchored
+      // one. max(): a reordered older ack must never shorten the lease.
+      lease_expiry_ =
+          std::max(lease_expiry_, message.lease_anchor + message.lease_term);
+      return;
+    }
+    case MessageType::kLeaseRevoke: {
+      // This node returned with a stale fencing token: the SC reclaimed
+      // the lease (or re-issued it) while we were away. Fenced exactly
+      // like a stale epoch — demote, then surface the unsynced claim as a
+      // conflict report rather than dropping it silently.
+      MOBREP_CHECK_MSG(lease_config_.enabled,
+                       "lease revoke with leases disabled");
+      // The revoke itself is fenced by token order: it names the SC's
+      // current token at send time. If this node has since adopted an
+      // equal-or-newer lease (a regrant overtook this revoke in the
+      // queue), the revoke is the stale artifact — ignore it.
+      if (message.lease_token <= lease_token_) {
+        ++stale_revokes_ignored_;
+        return;
+      }
+      const bool claimed = in_charge_;
+      if (in_charge_) {
+        if (has_copy()) {
+          MOBREP_CHECK(cache_->Evict(key_).ok());
+        }
+        in_charge_ = false;
+        ++lease_revocations_;
+        // The policy object keeps its copy-holding state; like after a
+        // crash, it is dead weight until the next hand-over replaces it.
+        Persist("mc.lease.revoke");
+      }
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRevoke, "MC",
+                         clock_ != nullptr ? clock_->now() : 0.0,
+                         static_cast<int64_t>(message.lease_token),
+                         static_cast<int64_t>(lease_token_));
+      if (!conflict_reported_) {
+        conflict_reported_ = true;
+        Message conflict;
+        conflict.type = MessageType::kLeaseConflict;
+        conflict.key = key_;
+        conflict.lease_token = lease_token_;  // the stale token we held
+        conflict.claims_charge = claimed;
+        conflict.window = ExtractWindow(spec_, *policy_);
+        to_sc_->Send(std::move(conflict));
+      }
+      return;
+    }
+    case MessageType::kLeaseRegrant: {
+      // The SC reconciled our conflict report: the subscription is
+      // re-established from its retained control state under a fresh
+      // token (mirrors the crash resync re-grant).
+      MOBREP_CHECK_MSG(lease_config_.enabled,
+                       "lease regrant with leases disabled");
+      cache_->Install(key_, message.item);
+      policy_ = AdoptState(message.transferred_state);
+      MOBREP_CHECK_MSG(policy_->has_copy(), "re-grant with a no-copy state");
+      last_transfer_window_ = message.window;
+      in_charge_ = true;
+      ++allocations_;
+      ++lease_regrants_adopted_;
+      lease_token_ = message.lease_token;
+      lease_expiry_ = message.lease_anchor + message.lease_term;
+      conflict_reported_ = false;
+      // A pending remote read stays pending: the in-flight read-request
+      // is answered by the SC independently of the regrant.
+      Persist("mc.lease.regrant");
+      return;
+    }
     case MessageType::kReadRequest:
     case MessageType::kDeleteRequest:
+    case MessageType::kLeaseRenew:
+    case MessageType::kLeaseConflict:
       MOBREP_CHECK_MSG(false, "SC-bound message delivered to the MC");
+      return;
+    case MessageType::kHeartbeat:
+      MOBREP_CHECK_MSG(false, "heartbeat delivered past the link layer");
       return;
     case MessageType::kAck:
       MOBREP_CHECK_MSG(false, "link-level ack delivered to the MC");

@@ -9,9 +9,11 @@
 
 #include "mobrep/core/policy.h"
 #include "mobrep/core/policy_factory.h"
+#include "mobrep/net/event_queue.h"
 #include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
 #include "mobrep/protocol/journal.h"
+#include "mobrep/protocol/lease.h"
 #include "mobrep/store/replica_cache.h"
 
 namespace mobrep {
@@ -73,6 +75,31 @@ class MobileClient {
   // handshake is pending until the SC's resolution arrives.
   void BeginResync();
 
+  // --- Leases (DESIGN.md §10) ---
+
+  // Turns the lease layer on (`config.enabled` must be true; `clock` must
+  // outlive the client). If this client starts in charge, it holds the
+  // initial lease under fencing token 1, term anchored at now — mirrored
+  // by the SC's EnableLeases, with no wire traffic. Must be called before
+  // any traffic flows.
+  void EnableLeases(EventQueue* clock, const LeaseConfig& config);
+
+  // Sends one kLeaseRenew if this client currently claims the lease; a
+  // no-op otherwise. Driven by the harness's renewal ticks. A lapsed
+  // holder keeps renewing — on heal the SC either extends (still valid)
+  // or revokes (already reclaimed).
+  void SendLeaseRenewal();
+
+  // True when leases are on, this client is in charge, and its local
+  // lease term has run out: it must stop serving local reads (they are
+  // forwarded to the SC) until a renewal ack or a fresh grant arrives.
+  bool LeaseLapsed() const;
+
+  bool lease_enabled() const { return lease_config_.enabled; }
+  uint64_t lease_token() const { return lease_token_; }
+  double lease_expiry() const { return lease_expiry_; }
+  const LeaseConfig& lease_config() const { return lease_config_; }
+
   bool has_copy() const { return cache_->Contains(key_); }
   bool in_charge() const { return in_charge_; }
   const AllocationPolicy& policy() const { return *policy_; }
@@ -103,6 +130,19 @@ class MobileClient {
   int64_t resyncs() const { return resyncs_; }
   // Reads re-driven because a crash interrupted their round trip.
   int64_t resync_read_retries() const { return resync_read_retries_; }
+  // Lease-layer counters (0 unless leases are enabled).
+  int64_t lease_renewals_sent() const { return lease_renewals_sent_; }
+  int64_t lease_renew_acks() const { return lease_renew_acks_; }
+  // Demotions by kLeaseRevoke — this node returned with a stale token.
+  int64_t lease_revocations() const { return lease_revocations_; }
+  // Subscriptions re-established by kLeaseRegrant after a conflict report.
+  int64_t lease_regrants_adopted() const { return lease_regrants_adopted_; }
+  // Local reads this node refused to serve because its lease had lapsed
+  // (forwarded to the SC instead — graceful degradation at the holder).
+  int64_t lapsed_remote_reads() const { return lapsed_remote_reads_; }
+  // Revokes ignored because this node already held an equal-or-newer
+  // token (the revoke was overtaken by a regrant).
+  int64_t stale_revokes_ignored() const { return stale_revokes_ignored_; }
 
  private:
   void CompleteRead(const VersionedValue& value);
@@ -124,6 +164,14 @@ class MobileClient {
   uint32_t peer_incarnation_ = 1;
   bool resync_pending_ = false;
 
+  // Lease state (all inert while lease_config_.enabled is false).
+  EventQueue* clock_ = nullptr;
+  LeaseConfig lease_config_;
+  uint64_t lease_token_ = 0;
+  double lease_expiry_ = 0.0;
+  // One conflict report per revocation episode; reset by the next grant.
+  bool conflict_reported_ = false;
+
   int64_t local_reads_ = 0;
   int64_t remote_reads_ = 0;
   int64_t updates_applied_ = 0;
@@ -132,6 +180,12 @@ class MobileClient {
   int64_t stale_propagates_dropped_ = 0;
   int64_t resyncs_ = 0;
   int64_t resync_read_retries_ = 0;
+  int64_t lease_renewals_sent_ = 0;
+  int64_t lease_renew_acks_ = 0;
+  int64_t lease_revocations_ = 0;
+  int64_t lease_regrants_adopted_ = 0;
+  int64_t lapsed_remote_reads_ = 0;
+  int64_t stale_revokes_ignored_ = 0;
 };
 
 }  // namespace mobrep

@@ -161,7 +161,7 @@ void ProtocolSimulation::RunExchange(const char* what) {
       what, static_cast<long long>(config_.max_events_per_exchange),
       queue_.now(), queue_.pending(),
       DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
-                              sc_link_.get())
+                              sc_link_.get(), queue_.now())
           .c_str());
   MOBREP_CHECK_MSG(false, context.c_str());
 }
@@ -279,7 +279,7 @@ Status ProtocolSimulation::RunTimed(const TimedSchedule& schedule) {
         static_cast<long long>(config_.max_events_per_exchange), queue_.now(),
         queue_.pending(),
         DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
-                                sc_link_.get())
+                                sc_link_.get(), queue_.now())
             .c_str()));
   }
   if (!timed_error_.ok()) return timed_error_;

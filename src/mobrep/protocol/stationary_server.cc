@@ -28,6 +28,126 @@ void StationaryServer::Persist(const char* reason) {
   if (journal_ != nullptr) journal_->Persist(reason);
 }
 
+void StationaryServer::EnableLeases(EventQueue* queue,
+                                    const LeaseConfig& config,
+                                    const FailureDetector* detector) {
+  MOBREP_CHECK(queue != nullptr);
+  MOBREP_CHECK_MSG(config.enabled, "EnableLeases with a disabled config");
+  MOBREP_CHECK(config.term > 0.0);
+  MOBREP_CHECK(config.grace >= 0.0);
+  queue_ = queue;
+  lease_config_ = config;
+  detector_ = detector;
+  staleness_hist_ = obs::MetricsRegistry::Global()->GetHistogram(
+      "mobrep_lease_degraded_staleness",
+      {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0},
+      "staleness bound attached to degraded reads served at the SC",
+      "sim_seconds");
+  if (mc_has_copy_) {
+    // Mirror of the MC's initial self-grant: token 1, term from now.
+    lease_held_ = true;
+    lease_token_ = 1;
+    lease_expiry_ = queue_->now() + lease_config_.term;
+    ++lease_grants_;
+    ArmLeaseTimer();
+  }
+}
+
+void StationaryServer::ArmLeaseTimer() {
+  const uint64_t gen = ++lease_timer_gen_;
+  queue_->ScheduleAt(lease_expiry_ + lease_config_.grace, [this, gen]() {
+    if (gen != lease_timer_gen_) return;  // renewed or released since
+    if (!lease_held_ || lease_reclaimed_) return;
+    MOBREP_DCHECK(queue_->now() >= lease_expiry_);
+    ReclaimLease();
+  });
+}
+
+void StationaryServer::ReclaimLease() {
+  const double now = queue_->now();
+  lease_reclaimed_ = true;
+  // Bump the fencing token: every message still carrying the dead lease's
+  // token is now provably stale, however late it returns.
+  ++lease_token_;
+  ++lease_reclaims_;
+  last_reclaim_time_ = now;
+  if (pending_propagation_) {
+    // Propagating to a fenced holder is pointless; the regrant's item
+    // carries the latest version if it ever returns.
+    pending_propagation_ = false;
+    ++discarded_propagations_;
+  }
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseReclaim, "SC", now,
+                     static_cast<int64_t>(lease_token_), 0, 0,
+                     detector_ != nullptr ? detector_->SilenceDuration(now)
+                                          : 0.0);
+  Persist("sc.lease.reclaim");
+}
+
+void StationaryServer::AttachLease(Message* grant, bool regrant) {
+  const double now = queue_->now();
+  lease_held_ = true;
+  lease_reclaimed_ = false;
+  ++lease_token_;
+  lease_expiry_ = now + lease_config_.term;
+  ArmLeaseTimer();
+  ++lease_grants_;
+  if (regrant) ++lease_regrants_;
+  grant->lease_token = lease_token_;
+  grant->lease_term = lease_config_.term;
+  grant->lease_anchor = now;
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseGrant, "SC", now,
+                     static_cast<int64_t>(lease_token_), regrant ? 1 : 0, 0,
+                     lease_config_.term);
+}
+
+void StationaryServer::RecordLeaseConflict(uint64_t stale_token,
+                                           const std::vector<Op>& window,
+                                           bool claimed_charge) {
+  LeaseConflict conflict;
+  conflict.stale_token = stale_token;
+  conflict.current_token = lease_token_;
+  conflict.claimed_charge = claimed_charge;
+  conflict.window = window;
+  conflict.recorded_at = queue_->now();
+  lease_conflicts_.push_back(std::move(conflict));
+}
+
+ObserverRead StationaryServer::ServeObserverRead() {
+  ObserverRead read;
+  read.value = *store_->Get(key_);
+  if (in_charge_ || lease_reclaimed_) {
+    // This side holds the only live copy: as fresh as reads get.
+    read.mode = ReadServiceMode::kAuthoritative;
+    return read;
+  }
+  if (lease_config_.enabled) {
+    const double now = queue_->now();
+    const bool lease_lapsed = now >= lease_expiry_;
+    const bool suspected = detector_ != nullptr && detector_->Suspected(now);
+    if (lease_lapsed || suspected) {
+      // Owner partition, not yet reclaimed: serve anyway (the store is
+      // write-authoritative), flagged possibly-stale w.r.t. the one-copy
+      // request serialization, with the owner's silence as the bound.
+      read.mode = ReadServiceMode::kDegraded;
+      read.staleness_bound =
+          detector_ != nullptr ? detector_->SilenceDuration(now) : 0.0;
+      ++degraded_reads_;
+      max_staleness_served_ =
+          std::max(max_staleness_served_, read.staleness_bound);
+      if (staleness_hist_ != nullptr) {
+        staleness_hist_->Record(read.staleness_bound);
+      }
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kDegradedRead, "SC", now,
+                         static_cast<int64_t>(read.value.version), 0, 0,
+                         read.staleness_bound);
+      return read;
+    }
+  }
+  read.mode = ReadServiceMode::kCoordinated;
+  return read;
+}
+
 void StationaryServer::Restore(bool in_charge, bool mc_has_copy,
                                bool pending_propagation,
                                std::unique_ptr<AllocationPolicy> policy,
@@ -82,6 +202,15 @@ void StationaryServer::OnCommittedWrite() {
 
   // The MC subscribes to updates of this item.
   MOBREP_CHECK(mc_has_copy_);
+  if (lease_reclaimed_) {
+    // Reclamation overlay: the subscription's holder is fenced. The store
+    // is the only live copy — commit without propagation and without
+    // consulting the frozen policy (it is retained verbatim for the
+    // regrant). The holder catches up from the regrant's item.
+    ++writes_while_reclaimed_;
+    Persist("sc.write");
+    return;
+  }
   if (spec_.kind == PolicyKind::kSw1) {
     // SW1 (paper §4): a window of one write always deallocates, so instead
     // of shipping the data the SC sends only the delete-request and
@@ -94,6 +223,13 @@ void StationaryServer::OnCommittedWrite() {
     mc_has_copy_ = false;
     in_charge_ = true;
     ++invalidations_;
+    if (lease_config_.enabled) {
+      // Taking charge retires the MC's lease (the invalidate is the
+      // paper-level demotion; no fencing needed — the token stays
+      // current and the next grant bumps it).
+      lease_held_ = false;
+      ++lease_timer_gen_;
+    }
     Persist("sc.sw1.take");
     Message invalidate;
     invalidate.type = MessageType::kInvalidate;
@@ -128,7 +264,7 @@ void StationaryServer::OnCommittedWrite() {
 
 void StationaryServer::FlushPending() {
   if (!pending_propagation_ || to_mc_->busy()) return;
-  if (in_charge_ || !mc_has_copy_) {
+  if (in_charge_ || !mc_has_copy_ || lease_reclaimed_) {
     // The MC deallocated while the propagate was pending; it no longer
     // subscribes to updates.
     pending_propagation_ = false;
@@ -148,8 +284,22 @@ void StationaryServer::HandleMessage(const Message& message) {
   MOBREP_CHECK(message.key == key_);
   switch (message.type) {
     case MessageType::kReadRequest: {
-      MOBREP_CHECK_MSG(in_charge_,
-                       "read-request received while the MC is in charge");
+      if (!in_charge_) {
+        // Only legal in lease mode: a lapsed (or fenced) holder forwards
+        // reads it may no longer serve locally. Answer from the store
+        // without consulting the frozen policy and without an allocation —
+        // the subscription is reconciled by the lease machinery, not by a
+        // read that happened to arrive mid-partition.
+        MOBREP_CHECK_MSG(lease_config_.enabled && mc_has_copy_,
+                         "read-request received while the MC is in charge");
+        ++degraded_remote_reads_;
+        Message response;
+        response.type = MessageType::kDataResponse;
+        response.key = key_;
+        response.item = *store_->Get(key_);
+        to_mc_->Send(std::move(response));
+        return;
+      }
       ++reads_served_;
       const ActionKind action = policy_->OnRequest(Op::kRead);
       Message response;
@@ -169,6 +319,11 @@ void StationaryServer::HandleMessage(const Message& message) {
         mc_has_copy_ = true;
         in_charge_ = false;
         ++allocations_granted_;
+        if (lease_config_.enabled) {
+          // Every hand-over carries a lease: a fresh fencing token and a
+          // term anchored at this send time.
+          AttachLease(&response, /*regrant=*/false);
+        }
         Persist("sc.grant");
       } else {
         MOBREP_CHECK(action == ActionKind::kRemoteRead);
@@ -178,9 +333,36 @@ void StationaryServer::HandleMessage(const Message& message) {
       return;
     }
     case MessageType::kDeleteRequest: {
+      if (lease_config_.enabled &&
+          (lease_reclaimed_ || message.lease_token != lease_token_)) {
+        // A late-returning holder hands over under a stale fencing token:
+        // fenced exactly like a stale epoch. Its unsynced control state is
+        // surfaced as a conflict report — never silently adopted, never
+        // silently dropped — and the revoke teaches it the current token.
+        ++stale_lease_fenced_;
+        RecordLeaseConflict(message.lease_token, message.window,
+                            /*claimed_charge=*/false);
+        MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRevoke, "SC",
+                           queue_->now(),
+                           static_cast<int64_t>(lease_token_),
+                           static_cast<int64_t>(message.lease_token));
+        Message revoke;
+        revoke.type = MessageType::kLeaseRevoke;
+        revoke.key = key_;
+        revoke.lease_token = lease_token_;
+        to_mc_->Send(std::move(revoke));
+        return;
+      }
       // The MC deallocated: stop propagating, adopt the shipped state.
       MOBREP_CHECK_MSG(!in_charge_ && mc_has_copy_,
                        "unexpected delete-request");
+      if (lease_config_.enabled) {
+        // The hand-over retires the lease; the expiry timer no-ops on the
+        // generation bump. The token stays current: nothing outstanding
+        // to fence, and the next grant bumps it anyway.
+        lease_held_ = false;
+        ++lease_timer_gen_;
+      }
       policy_ = AdoptState(message.transferred_state);
       MOBREP_CHECK_MSG(!policy_->has_copy(),
                        "deallocation hand-over with a copy-holding state");
@@ -243,11 +425,77 @@ void StationaryServer::HandleMessage(const Message& message) {
       to_mc_->Send(std::move(response));
       return;
     }
+    case MessageType::kLeaseRenew: {
+      MOBREP_CHECK_MSG(lease_config_.enabled,
+                       "lease renew with leases disabled");
+      const double now = queue_->now();
+      if (lease_reclaimed_ || !lease_held_ ||
+          message.lease_token != lease_token_) {
+        // A renewal under a dead token: the holder does not know it was
+        // fenced. Teach it the current token; it demotes itself and
+        // reports its claim back as a conflict.
+        ++stale_lease_fenced_;
+        MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRevoke, "SC", now,
+                           static_cast<int64_t>(lease_token_),
+                           static_cast<int64_t>(message.lease_token));
+        Message revoke;
+        revoke.type = MessageType::kLeaseRevoke;
+        revoke.key = key_;
+        revoke.lease_token = lease_token_;
+        to_mc_->Send(std::move(revoke));
+        return;
+      }
+      // Valid renewal: extend from receipt time (>= the holder's anchor,
+      // so this expiry is never earlier than the holder's) and re-arm.
+      lease_expiry_ = now + lease_config_.term;
+      ArmLeaseTimer();
+      ++lease_renewals_;
+      MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRenew, "SC", now,
+                         static_cast<int64_t>(lease_token_), 1, 0,
+                         lease_expiry_ - now);
+      Message ack;
+      ack.type = MessageType::kLeaseRenewAck;
+      ack.key = key_;
+      ack.lease_token = lease_token_;
+      ack.lease_term = lease_config_.term;
+      ack.lease_anchor = message.lease_anchor;  // echo the send-time anchor
+      to_mc_->Send(std::move(ack));
+      return;
+    }
+    case MessageType::kLeaseConflict: {
+      // A fenced holder's demotion report: the stale claim it held, on
+      // the record. If this side reclaimed, the holder's return ends the
+      // overlay — re-establish the subscription from the retained control
+      // state under a fresh token (mirrors the crash resync re-grant).
+      MOBREP_CHECK_MSG(lease_config_.enabled,
+                       "lease conflict with leases disabled");
+      RecordLeaseConflict(message.lease_token, message.window,
+                          message.claims_charge);
+      if (!lease_reclaimed_) return;  // late duplicate; already reconciled
+      MOBREP_DCHECK(mc_has_copy_ && policy_->has_copy());
+      Message regrant;
+      regrant.type = MessageType::kLeaseRegrant;
+      regrant.key = key_;
+      regrant.item = *store_->Get(key_);
+      regrant.window = ExtractWindow(spec_, *policy_);
+      regrant.transferred_state = ShipState(*policy_);
+      last_transfer_window_ = regrant.window;
+      AttachLease(&regrant, /*regrant=*/true);
+      Persist("sc.lease.regrant");
+      to_mc_->Send(std::move(regrant));
+      return;
+    }
     case MessageType::kDataResponse:
     case MessageType::kWritePropagate:
     case MessageType::kInvalidate:
     case MessageType::kResyncResponse:
+    case MessageType::kLeaseRenewAck:
+    case MessageType::kLeaseRevoke:
+    case MessageType::kLeaseRegrant:
       MOBREP_CHECK_MSG(false, "MC-bound message delivered to the SC");
+      return;
+    case MessageType::kHeartbeat:
+      MOBREP_CHECK_MSG(false, "heartbeat delivered past the link layer");
       return;
     case MessageType::kAck:
       MOBREP_CHECK_MSG(false, "link-level ack delivered to the SC");

@@ -8,9 +8,13 @@
 
 #include "mobrep/core/policy.h"
 #include "mobrep/core/policy_factory.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/failure_detector.h"
 #include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
+#include "mobrep/obs/metrics.h"
 #include "mobrep/protocol/journal.h"
+#include "mobrep/protocol/lease.h"
 #include "mobrep/store/versioned_store.h"
 #include "mobrep/store/write_ahead_log.h"
 
@@ -76,6 +80,48 @@ class StationaryServer {
   // authority) in its kResyncRequest handler.
   void BeginResync();
 
+  // --- Leases and fenced reclamation (DESIGN.md §10) ---
+
+  // Turns the lease layer on (`config.enabled` must be true; `queue` must
+  // outlive the server; `detector`, may be null, is the failure detector
+  // fed by this node's link — consulted read-only for degraded reads).
+  // If the MC starts with a copy, the initial lease (token 1) is held
+  // from now, mirroring the MC's EnableLeases; the expiry timer is armed.
+  // Must be called before any traffic flows.
+  void EnableLeases(EventQueue* queue, const LeaseConfig& config,
+                    const FailureDetector* detector);
+
+  // Serves one read at the SC itself (a fixed-network observer). Always
+  // served — the store is write-authoritative — but labelled: degraded
+  // (with an explicit staleness bound) when the owner is suspected or its
+  // lease has lapsed, authoritative when this side owns or has reclaimed,
+  // coordinated otherwise. Never consults the allocation policy, so it
+  // cannot perturb the paper's protocol or cost accounting.
+  ObserverRead ServeObserverRead();
+
+  // True when this side either owns the window in the paper's sense or
+  // has reclaimed a dead holder's lease (the reclamation overlay keeps
+  // the paper-level bookkeeping frozen for the eventual regrant).
+  bool operationally_in_charge() const {
+    return in_charge_ || lease_reclaimed_;
+  }
+
+  bool lease_enabled() const { return lease_config_.enabled; }
+  // The lease overlay: `lease_held` while the MC's subscription carries a
+  // live lease; `lease_reclaimed` after this side fenced an expired one.
+  bool lease_held() const { return lease_held_; }
+  bool lease_reclaimed() const { return lease_reclaimed_; }
+  // The current (highest issued) fencing token; any lower token is stale.
+  uint64_t lease_token() const { return lease_token_; }
+  double lease_expiry() const { return lease_expiry_; }
+  const LeaseConfig& lease_config() const { return lease_config_; }
+  // Simulation time of the most recent reclamation (-1 if none).
+  double last_reclaim_time() const { return last_reclaim_time_; }
+  // Fenced ownership claims recorded from late-returning stale holders.
+  const std::vector<LeaseConflict>& lease_conflicts() const {
+    return lease_conflicts_;
+  }
+
   bool in_charge() const { return in_charge_; }
   bool mc_has_copy() const { return mc_has_copy_; }
   const AllocationPolicy& policy() const { return *policy_; }
@@ -106,11 +152,43 @@ class StationaryServer {
   int64_t resyncs_served() const { return resyncs_served_; }
   // Resolutions that re-issued an allocation lost in a crash.
   int64_t regrants() const { return regrants_; }
+  // Lease-layer counters (0 unless leases are enabled).
+  int64_t lease_grants() const { return lease_grants_; }
+  int64_t lease_renewals() const { return lease_renewals_; }
+  int64_t lease_reclaims() const { return lease_reclaims_; }
+  // Subscriptions re-established after a conflict report (kLeaseRegrant).
+  int64_t lease_regrants() const { return lease_regrants_; }
+  // Messages fenced because they carried a stale fencing token.
+  int64_t stale_lease_fenced() const { return stale_lease_fenced_; }
+  // Observer reads served in degraded mode, and the largest staleness
+  // bound ever attached to one.
+  int64_t degraded_reads() const { return degraded_reads_; }
+  double max_staleness_served() const { return max_staleness_served_; }
+  // Remote reads served for a lapsed/fenced holder (no policy consult).
+  int64_t degraded_remote_reads() const { return degraded_remote_reads_; }
+  // Writes committed while the lease was reclaimed (no propagation; the
+  // fenced holder learns the final state from the regrant's item).
+  int64_t writes_while_reclaimed() const { return writes_while_reclaimed_; }
 
  private:
   // Journals the node's state if a journal is installed (may throw
   // CrashSignal from an armed crash point).
   void Persist(const char* reason);
+
+  // Arms (or re-arms) the lease expiry timer at expiry + grace; stale
+  // timers notice the generation bump and no-op.
+  void ArmLeaseTimer();
+  // The lease expired unrenewed: fence every outstanding token (bump) and
+  // take over service. The paper-level bookkeeping (subscription bit,
+  // retained policy) stays frozen for the regrant that follows the
+  // holder's eventual conflict report — static policies like ST2 have no
+  // representable no-copy state to rewrite it with.
+  void ReclaimLease();
+  // Attaches a fresh lease (new token, term from now) to an outgoing
+  // grant/regrant and arms the expiry timer.
+  void AttachLease(Message* grant, bool regrant);
+  void RecordLeaseConflict(uint64_t stale_token, const std::vector<Op>& window,
+                           bool claimed_charge);
 
   std::string key_;
   PolicySpec spec_;
@@ -127,6 +205,21 @@ class StationaryServer {
   uint32_t peer_incarnation_ = 1;
   bool resync_pending_ = false;
 
+  // Lease state (all inert while lease_config_.enabled is false).
+  EventQueue* queue_ = nullptr;
+  LeaseConfig lease_config_;
+  const FailureDetector* detector_ = nullptr;
+  bool lease_held_ = false;
+  bool lease_reclaimed_ = false;
+  uint64_t lease_token_ = 0;
+  double lease_expiry_ = 0.0;
+  double last_reclaim_time_ = -1.0;
+  // Bumped on every (re-)arm so only the newest expiry timer fires.
+  uint64_t lease_timer_gen_ = 0;
+  std::vector<LeaseConflict> lease_conflicts_;
+  // Degraded-read staleness, also exported to the global metrics registry.
+  obs::Histogram* staleness_hist_ = nullptr;
+
   int64_t writes_committed_ = 0;
   int64_t reads_served_ = 0;
   int64_t propagations_ = 0;
@@ -137,6 +230,15 @@ class StationaryServer {
   int64_t discarded_propagations_ = 0;
   int64_t resyncs_served_ = 0;
   int64_t regrants_ = 0;
+  int64_t lease_grants_ = 0;
+  int64_t lease_renewals_ = 0;
+  int64_t lease_reclaims_ = 0;
+  int64_t lease_regrants_ = 0;
+  int64_t stale_lease_fenced_ = 0;
+  int64_t degraded_reads_ = 0;
+  int64_t degraded_remote_reads_ = 0;
+  int64_t writes_while_reclaimed_ = 0;
+  double max_staleness_served_ = 0.0;
 };
 
 }  // namespace mobrep

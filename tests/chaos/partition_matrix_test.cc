@@ -1,0 +1,78 @@
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/chaos/partition_explorer.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep {
+namespace {
+
+// The full partition matrix (ctest label `slow`; the fast smoke subset
+// lives in partition_sim_test.cc): every policy family x seeds, each cell
+// sweeping shape (symmetric / uplink-only / downlink-only) x duration
+// (sub-term / multi-term / never-heal). A cell passes only if every run
+// holds the reclamation invariants — at most one valid fencing token, no
+// acked write lost, reclamation within term + grace + one link delay for
+// permanent partitions, full reconvergence (tokens agreeing, overlay
+// cleared, replica caught up) for healed ones.
+
+constexpr const char* kAllPolicies[] = {"st1", "st2", "sw1",
+                                        "sw:5", "t1:3", "t2:3"};
+constexpr uint64_t kSeeds[] = {1, 2026, 0x6d6f62726570ULL};
+
+class PartitionMatrixTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(PartitionMatrixTest, EveryCellHoldsTheReclamationInvariants) {
+  const auto [spec_text, seed] = GetParam();
+  PartitionMatrixOptions options;
+  options.sim.spec = *ParsePolicySpec(spec_text);
+  options.seeds = {seed};
+  // Two onsets: one in the initial steady state, one late enough that
+  // threshold/window policies have crossed an ownership transfer.
+  options.starts = {0.2, 0.45};
+  const PartitionMatrixReport report = ExplorePartitions(options);
+  EXPECT_EQ(report.runs, 18);  // 3 shapes x 3 durations x 2 starts
+  EXPECT_TRUE(report.clean())
+      << report.Summary() << "\nfirst failure: "
+      << (report.failures.empty()
+              ? std::string("none")
+              : std::string(PartitionShapeName(report.failures[0].shape)) +
+                    "@" + std::to_string(report.failures[0].start) + " dur " +
+                    std::to_string(report.failures[0].duration) + ": " +
+                    report.failures[0].message);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PartitionMatrixTest,
+    ::testing::Combine(::testing::ValuesIn(kAllPolicies),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<PartitionMatrixTest::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param) % 10000);
+    });
+
+// The lease layer under random link faults on top of the partition: drops,
+// duplicates and jitter compose with the outage windows (the ARQ recovers
+// delivery; leases only gate what a delivered frame may do).
+TEST(PartitionMatrixFaultTest, SurvivesLossAndJitterOnTopOfThePartition) {
+  PartitionMatrixOptions options;
+  options.sim.spec = *ParsePolicySpec("t2:3");
+  options.sim.fault.drop_probability = 0.1;
+  options.sim.fault.duplicate_probability = 0.05;
+  options.sim.fault.max_jitter = 0.002;
+  options.seeds = {11, 12};
+  const PartitionMatrixReport report = ExplorePartitions(options);
+  EXPECT_TRUE(report.clean())
+      << report.Summary() << "\nfirst failure: "
+      << (report.failures.empty() ? "none" : report.failures[0].message);
+}
+
+}  // namespace
+}  // namespace mobrep

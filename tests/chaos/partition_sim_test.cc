@@ -1,0 +1,288 @@
+#include "mobrep/chaos/partitioned_sim.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/chaos/partition_explorer.h"
+#include "mobrep/chaos/partition_scheduler.h"
+#include "mobrep/core/policy_factory.h"
+
+namespace mobrep {
+namespace {
+
+PartitionSimConfig BaseConfig(const char* spec, PartitionShape shape,
+                              double start, double duration) {
+  PartitionSimConfig config;
+  config.spec = *ParsePolicySpec(spec);
+  config.plan.shape = shape;
+  config.plan.start = start;
+  config.plan.duration = duration;
+  return config;
+}
+
+// --- PartitionScheduler ---
+
+TEST(PartitionSchedulerTest, ShapeNamesRoundTrip) {
+  for (const PartitionShape shape :
+       {PartitionShape::kSymmetric, PartitionShape::kUplinkOnly,
+        PartitionShape::kDownlinkOnly}) {
+    PartitionShape parsed;
+    ASSERT_TRUE(ParsePartitionShape(PartitionShapeName(shape), &parsed));
+    EXPECT_EQ(parsed, shape);
+  }
+  PartitionShape parsed;
+  EXPECT_FALSE(ParsePartitionShape("sideways", &parsed));
+}
+
+TEST(PartitionSchedulerTest, SymmetricSeversBothDirections) {
+  PartitionScheduler scheduler({PartitionShape::kSymmetric, 1.0, 0.5});
+  ASSERT_EQ(scheduler.UplinkOutages().size(), 1u);
+  ASSERT_EQ(scheduler.DownlinkOutages().size(), 1u);
+  EXPECT_DOUBLE_EQ(scheduler.UplinkOutages()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.UplinkOutages()[0].end, 1.5);
+  EXPECT_FALSE(scheduler.Partitioned(0.9));
+  EXPECT_TRUE(scheduler.Partitioned(1.0));
+  EXPECT_TRUE(scheduler.Partitioned(1.4));
+  EXPECT_FALSE(scheduler.Partitioned(1.5));
+}
+
+TEST(PartitionSchedulerTest, AsymmetricShapesSeverOneDirection) {
+  PartitionScheduler uplink({PartitionShape::kUplinkOnly, 1.0, 0.5});
+  EXPECT_EQ(uplink.UplinkOutages().size(), 1u);
+  EXPECT_TRUE(uplink.DownlinkOutages().empty());
+  PartitionScheduler downlink({PartitionShape::kDownlinkOnly, 1.0, 0.5});
+  EXPECT_TRUE(downlink.UplinkOutages().empty());
+  EXPECT_EQ(downlink.DownlinkOutages().size(), 1u);
+}
+
+TEST(PartitionSchedulerTest, NeverHealIsAnInfiniteOutage) {
+  PartitionScheduler scheduler({PartitionShape::kSymmetric, 1.0, -1.0});
+  ASSERT_TRUE(scheduler.plan().never_heals());
+  EXPECT_TRUE(std::isinf(scheduler.plan().heal_time()));
+  EXPECT_TRUE(std::isinf(scheduler.UplinkOutages()[0].end));
+  EXPECT_TRUE(scheduler.Partitioned(1e12));
+}
+
+// --- Healing partitions reconverge ---
+
+TEST(PartitionedSimTest, ShortSymmetricPartitionSurvivesOnArqAlone) {
+  // Shorter than the lease term: ARQ retransmission bridges the gap and
+  // the lease never lapses at the SC, so nothing is reclaimed or revoked.
+  PartitionedSimulation sim(
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.35, 0.05));
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_EQ(sim.server().lease_reclaims(), 0);
+  EXPECT_EQ(sim.client().lease_revocations(), 0);
+  EXPECT_EQ(sim.abandoned_frames(), 0);
+  EXPECT_TRUE(sim.lease_live_at_partition());
+  EXPECT_GT(sim.client().lease_renew_acks(), 0);
+}
+
+TEST(PartitionedSimTest, LongSymmetricPartitionReclaimsThenRegrants) {
+  // Several lease terms long: the SC reclaims behind a bumped fencing
+  // token; the stale holder returning at heal is fenced, reports its
+  // conflict, and is re-granted under the fresh token.
+  PartitionedSimulation sim(
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.35, 0.4));
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_TRUE(sim.lease_live_at_partition());
+  EXPECT_GE(sim.server().lease_reclaims(), 1);
+  EXPECT_GE(sim.server().stale_lease_fenced(), 1);
+  EXPECT_GE(sim.client().lease_revocations(), 1);
+  EXPECT_GE(sim.server().lease_regrants(), 1);
+  ASSERT_FALSE(sim.server().lease_conflicts().empty());
+  // The conflict report names the stale token it fenced.
+  EXPECT_LT(sim.server().lease_conflicts()[0].stale_token,
+            sim.server().lease_token());
+  // Converged: tokens agree and the overlay is gone.
+  EXPECT_FALSE(sim.server().lease_reclaimed());
+  EXPECT_GT(sim.degraded_probes(), 0);
+}
+
+TEST(PartitionedSimTest, HealWithinDegradedWindowResumesWithoutReclaim) {
+  // The stale-holder-returns-mid-degraded-read case: the partition heals
+  // after the failure detector suspects the MC but before the reclamation
+  // timer fires (term 0.2 + grace 0.05 vs detector timeout 0.05). The SC
+  // serves degraded observer reads in that window; the returning holder's
+  // next renewal is still valid, so service resumes with no fencing.
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.35, 0.1);
+  config.lease.term = 0.2;
+  config.lease.grace = 0.05;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_GT(sim.degraded_probes(), 0);
+  EXPECT_EQ(sim.server().lease_reclaims(), 0);
+  EXPECT_EQ(sim.client().lease_revocations(), 0);
+  EXPECT_GE(sim.detector().false_suspicions(), 1);
+  // Every degraded probe advertised a bound no larger than the partition
+  // plus one heartbeat gap.
+  for (const PartitionProbe& probe : sim.probes()) {
+    if (probe.mode == ReadServiceMode::kDegraded) {
+      EXPECT_LE(probe.staleness_bound, 0.1 + 0.02);
+    }
+  }
+}
+
+TEST(PartitionedSimTest, RenewalRacingExpiryNeverSplitsTheBrain) {
+  // Renewals at 90% of the term leave every renewal racing the expiry
+  // timer; with a tiny grace the reclaim timer and the renewal round trip
+  // interleave at sub-latency distances around the heal. Whichever side
+  // wins, the probe-time safety checks must hold.
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.2, 0.06);
+  config.lease.term = 0.05;
+  config.lease.grace = 0.002;
+  config.renew_interval = 0.045;
+  config.detector.timeout = 0.03;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_FALSE(sim.server().lease_reclaimed());
+}
+
+TEST(PartitionedSimTest, HealExactlyAtLeaseExpiryIsABoundaryNotABug) {
+  // The heal instant coincides with term + grace after the onset — the
+  // reclaim timer and the first healed renewal land within one link delay
+  // of each other. Either resolution (reclaim-then-regrant or
+  // renewed-in-time) must satisfy the invariants.
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.35, 0.11);
+  config.lease.term = 0.1;
+  config.lease.grace = 0.01;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_FALSE(sim.server().lease_reclaimed());
+  EXPECT_EQ(sim.client().lease_token(), sim.server().lease_token());
+}
+
+TEST(PartitionedSimTest, ReclamationConcurrentWithInflightHandover) {
+  // Uplink-only partition against a write-deallocation policy: the SC's
+  // writes keep propagating (downlink up), the MC crosses its threshold
+  // and sends the hand-over — which is marooned on the dead uplink while
+  // the unrenewed lease is reclaimed. At heal the delete-request arrives
+  // bearing the retired token: it must be fenced into a conflict report
+  // (never silently adopted), then reconciled by a regrant.
+  PartitionSimConfig config =
+      BaseConfig("t2:3", PartitionShape::kUplinkOnly, 0.05, 0.3);
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_TRUE(sim.lease_live_at_partition());
+  EXPECT_GE(sim.server().lease_reclaims(), 1);
+  EXPECT_GE(sim.server().stale_lease_fenced(), 1);
+  ASSERT_FALSE(sim.server().lease_conflicts().empty());
+  EXPECT_GE(sim.server().lease_regrants(), 1);
+  // The marooned hand-over's window was surfaced, not dropped.
+  EXPECT_FALSE(sim.server().lease_conflicts().empty());
+}
+
+// --- Permanent partitions converge to a reachable owner ---
+
+TEST(PartitionedSimTest, NeverHealSymmetricConvergesToReclaimedOwner) {
+  PartitionedSimulation sim(BaseConfig(
+      "st2", PartitionShape::kSymmetric, 0.35,
+      -std::numeric_limits<double>::infinity()));
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_TRUE(sim.lease_live_at_partition());
+  EXPECT_TRUE(sim.server().lease_reclaimed());
+  EXPECT_TRUE(sim.server().operationally_in_charge());
+  // The provable bound: term + grace + one link delay past the onset.
+  EXPECT_LE(sim.server().last_reclaim_time(), 0.35 + 0.1 + 0.01 + 0.002);
+  // Degraded service was bounded: probes after reclamation are
+  // authoritative (enforced inside the harness), and some probes in the
+  // detection window were served degraded with a staleness bound.
+  EXPECT_GT(sim.degraded_probes(), 0);
+  EXPECT_GT(sim.server().max_staleness_served(), 0.0);
+  // The marooned retransmissions were abandoned through the retry budget,
+  // which is what let the run drain.
+  EXPECT_GT(sim.abandoned_frames(), 0);
+  // Writes committed after reclamation were acked without propagation.
+  EXPECT_GT(sim.server().writes_while_reclaimed(), 0);
+}
+
+TEST(PartitionedSimTest, NeverHealUplinkOnlyStillReclaims) {
+  // The SC goes deaf while its own propagations still deliver: renewals
+  // cannot arrive, so the lease lapses and reclamation proceeds exactly
+  // as in the symmetric case.
+  PartitionedSimulation sim(BaseConfig(
+      "st2", PartitionShape::kUplinkOnly, 0.35,
+      -std::numeric_limits<double>::infinity()));
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_TRUE(sim.server().lease_reclaimed());
+  EXPECT_LE(sim.server().last_reclaim_time(), 0.35 + 0.1 + 0.01 + 0.002);
+}
+
+TEST(PartitionedSimTest, NeverHealDownlinkOnlyIsASafeSteadyState) {
+  // The MC goes deaf but its renewals and heartbeats still arrive: the SC
+  // must never reclaim (the holder is provably alive), the holder
+  // self-lapses when the acks stop, and its reads are forwarded to and
+  // served by the SC without consulting the policy.
+  PartitionedSimulation sim(BaseConfig(
+      "st2", PartitionShape::kDownlinkOnly, 0.35,
+      -std::numeric_limits<double>::infinity()));
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_TRUE(sim.lease_live_at_partition());
+  EXPECT_EQ(sim.server().lease_reclaims(), 0);
+  EXPECT_EQ(sim.degraded_probes(), 0);
+  EXPECT_TRUE(sim.client().LeaseLapsed());
+  EXPECT_GT(sim.client().lapsed_remote_reads(), 0);
+  EXPECT_GE(sim.server().degraded_remote_reads(), 1);
+}
+
+// --- Cross-cutting properties ---
+
+TEST(PartitionedSimTest, RunsAreDeterministic) {
+  const auto run = [] {
+    PartitionedSimulation sim(
+        BaseConfig("t1:3", PartitionShape::kSymmetric, 0.35, 0.4));
+    EXPECT_TRUE(sim.Run().ok());
+    return std::make_tuple(
+        sim.now(), sim.probes().size(), sim.degraded_probes(),
+        sim.server().lease_reclaims(), sim.server().lease_token(),
+        sim.reads_completed(), sim.store().Get("x")->version);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PartitionedSimTest, FaultFreeRunNeverDegrades) {
+  // A plan that never starts within the horizon: pure liveness traffic.
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 100.0, 1.0);
+  config.horizon = 1.0;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  EXPECT_EQ(sim.degraded_probes(), 0);
+  EXPECT_EQ(sim.server().lease_reclaims(), 0);
+  EXPECT_EQ(sim.detector().suspicions(), 0);
+  EXPECT_GT(sim.client().lease_renew_acks(), 0);
+  EXPECT_GT(sim.sc_link().heartbeats_received(), 0);
+}
+
+// Fast smoke over the explorer; the full 6-policy x seed matrix carries
+// the `slow` label in partition_matrix_test.cc.
+TEST(PartitionMatrixSmokeTest, DefaultMatrixIsCleanForOnePolicy) {
+  PartitionMatrixOptions options;
+  options.sim.spec = *ParsePolicySpec("st2");
+  options.seeds = {7};
+  const PartitionMatrixReport report = ExplorePartitions(options);
+  EXPECT_TRUE(report.clean())
+      << report.Summary() << "\nfirst failure: "
+      << (report.failures.empty() ? "none" : report.failures[0].message);
+  EXPECT_EQ(report.runs, 9);  // 3 shapes x 3 durations
+  EXPECT_GT(report.reclaims, 0);
+  EXPECT_GT(report.regrants, 0);
+}
+
+}  // namespace
+}  // namespace mobrep

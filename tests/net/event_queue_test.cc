@@ -1,5 +1,6 @@
 #include "mobrep/net/event_queue.h"
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -98,6 +99,31 @@ TEST(EventQueueTest, TryRunUntilQuiescentNullEventCount) {
   EventQueue queue;
   queue.ScheduleAt(1.0, [] {});
   EXPECT_TRUE(queue.TryRunUntilQuiescent(10));
+}
+
+TEST(EventQueueTest, NextTimePeeksTheEarliestEvent) {
+  EventQueue queue;
+  EXPECT_TRUE(std::isinf(queue.next_time()));
+  queue.ScheduleAt(3.0, [] {});
+  queue.ScheduleAt(1.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
+  queue.RunNext();
+  EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
+  queue.RunNext();
+  EXPECT_TRUE(std::isinf(queue.next_time()));
+}
+
+// The bounded-horizon drive pattern used by the partition harness: run
+// events up to a deadline, leaving later timers unrun.
+TEST(EventQueueTest, NextTimeBoundsARunToADeadline) {
+  EventQueue queue;
+  std::vector<double> fired;
+  for (double t : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    queue.ScheduleAt(t, [&fired, &queue] { fired.push_back(queue.now()); });
+  }
+  while (!queue.empty() && queue.next_time() <= 1.5) queue.RunNext();
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 1.0, 1.5}));
+  EXPECT_EQ(queue.pending(), 2u);
 }
 
 TEST(EventQueueDeathTest, RejectsPastScheduling) {

@@ -1,0 +1,109 @@
+#include "mobrep/net/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+FailureDetectorConfig Config(double timeout, double backoff = 2.0,
+                             double max_timeout = 0.0) {
+  FailureDetectorConfig config;
+  config.timeout = timeout;
+  config.backoff = backoff;
+  config.max_timeout = max_timeout;
+  return config;
+}
+
+TEST(FailureDetectorTest, QuietUntilTheTimeoutElapses) {
+  FailureDetector detector(Config(0.05));
+  detector.OnHeard(0.0);
+  EXPECT_FALSE(detector.Suspected(0.04));
+  EXPECT_FALSE(detector.Suspected(0.05));  // boundary: silence must exceed
+  EXPECT_TRUE(detector.Suspected(0.051));
+  EXPECT_EQ(detector.suspicions(), 1);
+}
+
+TEST(FailureDetectorTest, RegularHeartbeatsNeverTripIt) {
+  FailureDetector detector(Config(0.05));
+  for (int i = 0; i < 100; ++i) {
+    const double now = 0.01 * i;
+    EXPECT_FALSE(detector.Suspected(now));
+    detector.OnHeard(now);
+  }
+  EXPECT_EQ(detector.suspicions(), 0);
+  EXPECT_EQ(detector.false_suspicions(), 0);
+}
+
+TEST(FailureDetectorTest, SilenceDurationIsTheStalenessBound) {
+  FailureDetector detector(Config(0.05));
+  detector.OnHeard(1.0);
+  EXPECT_DOUBLE_EQ(detector.SilenceDuration(1.3), 0.3);
+}
+
+TEST(FailureDetectorTest, FalseSuspicionBacksTheTimeoutOff) {
+  FailureDetector detector(Config(0.05, 2.0));
+  detector.OnHeard(0.0);
+  EXPECT_TRUE(detector.Suspected(0.1));  // suspected...
+  detector.OnHeard(0.1);                 // ...then heard again: false alarm
+  EXPECT_EQ(detector.false_suspicions(), 1);
+  EXPECT_DOUBLE_EQ(detector.current_timeout(), 0.1);
+  // The same silence no longer trips the backed-off detector.
+  EXPECT_FALSE(detector.Suspected(0.2));
+  EXPECT_TRUE(detector.Suspected(0.21));
+}
+
+TEST(FailureDetectorTest, BackoffIsCappedAtMaxTimeout) {
+  FailureDetector detector(Config(0.05, 2.0, 0.12));
+  double now = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    detector.OnHeard(now);
+    now += 10.0;  // long silence: suspected every round
+    EXPECT_TRUE(detector.Suspected(now));
+    detector.OnHeard(now);  // false alarm, backs off
+  }
+  EXPECT_DOUBLE_EQ(detector.current_timeout(), 0.12);
+  EXPECT_EQ(detector.false_suspicions(), 10);
+}
+
+TEST(FailureDetectorTest, DefaultCapIsEightTimeouts) {
+  FailureDetector detector(Config(0.05, 4.0));
+  double now = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    detector.OnHeard(now);
+    now += 10.0;
+    EXPECT_TRUE(detector.Suspected(now));
+    detector.OnHeard(now);
+  }
+  EXPECT_DOUBLE_EQ(detector.current_timeout(), 0.4);
+}
+
+TEST(FailureDetectorTest, SuspicionIsCountedOncePerEpisode) {
+  FailureDetector detector(Config(0.05));
+  detector.OnHeard(0.0);
+  EXPECT_TRUE(detector.Suspected(0.1));
+  EXPECT_TRUE(detector.Suspected(0.2));
+  EXPECT_TRUE(detector.Suspected(0.3));
+  EXPECT_EQ(detector.suspicions(), 1);
+  detector.OnHeard(0.3);
+  EXPECT_TRUE(detector.Suspected(0.6));
+  EXPECT_EQ(detector.suspicions(), 2);
+}
+
+TEST(FailureDetectorTest, ReorderedOldTimestampsNeverRewindLastHeard) {
+  FailureDetector detector(Config(0.05));
+  detector.OnHeard(1.0);
+  detector.OnHeard(0.5);  // jitter-reordered stale arrival
+  EXPECT_DOUBLE_EQ(detector.last_heard(), 1.0);
+  EXPECT_FALSE(detector.Suspected(1.04));
+}
+
+TEST(FailureDetectorDeathTest, RejectsNonPositiveTimeout) {
+  EXPECT_DEATH(FailureDetector(Config(0.0)), "timeout");
+}
+
+TEST(FailureDetectorDeathTest, RejectsShrinkingBackoff) {
+  EXPECT_DEATH(FailureDetector(Config(0.05, 0.5)), "backoff");
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,5 +1,6 @@
 #include "mobrep/net/reliable_link.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -319,6 +320,161 @@ TEST(ReliableLinkEpochTest, AdoptingThePeerEpochVoidsOutstandingFrames) {
   EXPECT_GT(rig.a->voided_frames(), 0);
   EXPECT_FALSE(rig.a->busy());
   EXPECT_TRUE(rig.received_at_b.empty());
+}
+
+// --- Liveness layer (DESIGN.md §10) ---
+
+TEST(ReliableLinkHeartbeatTest, HeartbeatsReachThePeerButNeverTheApp) {
+  Rig rig(FastArq());
+  std::vector<double> heard_at;
+  rig.b->set_on_peer_heard([&](double now) { heard_at.push_back(now); });
+  rig.a->SendHeartbeat();
+  rig.a->SendHeartbeat();
+  rig.queue.RunUntilQuiescent();
+  // Heard twice, delivered nowhere, acked never, sender never busy.
+  EXPECT_EQ(heard_at.size(), 2u);
+  EXPECT_TRUE(rig.received_at_b.empty());
+  EXPECT_EQ(rig.b->heartbeats_received(), 2);
+  EXPECT_EQ(rig.b->delivered(), 0);
+  EXPECT_EQ(rig.b_to_a->acks_sent(), 0);
+  EXPECT_FALSE(rig.a->busy());
+  // Metered outside the paper counters.
+  EXPECT_EQ(rig.a_to_b->messages_sent(), 0);
+  EXPECT_EQ(rig.a_to_b->heartbeats_sent(), 2);
+}
+
+TEST(ReliableLinkHeartbeatTest, EveryLiveFrameFeedsThePeerHeardHook) {
+  Rig rig(FastArq());
+  int heard = 0;
+  rig.b->set_on_peer_heard([&](double) { ++heard; });
+  rig.a->Send(TestMessage("m1"));  // data frames prove liveness too
+  rig.a->SendHeartbeat();
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(heard, 2);
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m1"}));
+}
+
+TEST(ReliableLinkHeartbeatTest, StaleIncarnationHeartbeatsCannotFeedLiveness) {
+  FencedRig rig(FastArq());
+  int heard = 0;
+  rig.b->set_on_peer_heard([&](double) { ++heard; });
+  rig.b->Restart(2);  // A's heartbeats now come from a dead believed-epoch
+  rig.a->SendHeartbeat();
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(heard, 0);
+  EXPECT_GT(rig.b->fenced_frames(), 0);
+}
+
+TEST(ReliableLinkHeartbeatTest, HeartbeatsAreLostInAnOutageWithoutRetry) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 1.0});
+  Rig rig(FastArq(), faults);
+  int heard = 0;
+  rig.b->set_on_peer_heard([&](double) { ++heard; });
+  rig.a->SendHeartbeat();
+  rig.queue.RunUntilQuiescent();
+  // Unreliable by design: no retransmission timer, no delivery, no abort.
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(rig.a->retransmissions(), 0);
+  EXPECT_FALSE(rig.a->busy());
+}
+
+TEST(ReliableLinkBudgetTest, BudgetExhaustionAbandonsInsteadOfRetrying) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 100.0});
+  ArqConfig arq = FastArq();
+  arq.retry_budget = 5;  // far below the per-frame cap of 60
+  Rig rig(arq, faults);
+  std::vector<std::string> abandoned;
+  rig.a->set_on_give_up([&](const Message& m) { abandoned.push_back(m.key); });
+  rig.a->Send(TestMessage("m1"));
+  rig.a->Send(TestMessage("m2"));
+  rig.queue.RunUntilQuiescent();
+  // The budget is shared across the conversation: once the 5 paid
+  // retransmissions are spent, every frame's next timeout gives up (in
+  // timer order, which depends on the interleaved backoff schedules).
+  EXPECT_EQ(rig.a->retry_budget_used(), 5);
+  EXPECT_TRUE(rig.a->retry_budget_exhausted());
+  EXPECT_EQ(rig.a->budget_exhausted_frames(), 2);
+  std::sort(abandoned.begin(), abandoned.end());
+  EXPECT_EQ(abandoned, (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_FALSE(rig.a->busy());
+}
+
+TEST(ReliableLinkBudgetTest, BudgetIsInvisibleOnAHealthyLink) {
+  ArqConfig arq = FastArq();
+  arq.retry_budget = 1;
+  Rig rig(arq);
+  for (int i = 0; i < 10; ++i) rig.a->Send(TestMessage("m"));
+  rig.queue.RunUntilQuiescent();
+  EXPECT_EQ(rig.received_at_b.size(), 10u);
+  EXPECT_EQ(rig.a->retry_budget_used(), 0);
+  EXPECT_FALSE(rig.a->retry_budget_exhausted());
+  EXPECT_EQ(rig.a->budget_exhausted_frames(), 0);
+}
+
+TEST(ReliableLinkBudgetTest, RestartResetsTheConversationBudget) {
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 0.5});
+  ArqConfig arq = FastArq();
+  // Large enough for m2 to ride out the outage after the restart, but the
+  // doomed frame burns 3 of it first.
+  arq.retry_budget = 8;
+  FencedRig rig(arq, faults);
+  rig.a->set_on_give_up([](const Message&) {});
+  rig.a->Send(TestMessage("doomed"));
+  while (rig.a->retry_budget_used() < 3) {
+    ASSERT_TRUE(rig.queue.RunNext());
+  }
+  rig.a->Restart(2);  // new conversation, fresh budget
+  EXPECT_EQ(rig.a->retry_budget_used(), 0);
+  rig.a->Send(TestMessage("m2"));
+  rig.queue.RunUntilQuiescent();
+  // m2 spent 6 retransmissions crossing the outage — more than the budget
+  // remainder had the restart not reset the spend.
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m2"}));
+  EXPECT_GT(rig.a->retry_budget_used(), 8 - 3);
+  EXPECT_EQ(rig.a->budget_exhausted_frames(), 0);
+}
+
+TEST(ReliableLinkJitterTest, JitterIsDeterministicAcrossRuns) {
+  const auto run = [] {
+    FaultConfig faults;
+    faults.outages.push_back({0.0, 0.5});
+    ArqConfig arq = FastArq();
+    arq.rto_jitter = 0.3;
+    Rig rig(arq, faults);
+    rig.a->Send(TestMessage("m1"));
+    rig.queue.RunUntilQuiescent();
+    return rig.queue.now();
+  };
+  const double first = run();
+  EXPECT_DOUBLE_EQ(first, run());
+}
+
+TEST(ReliableLinkJitterTest, JitterStretchesButNeverShrinksTheTimeout) {
+  // Un-jittered baseline vs jittered run through the same outage: every
+  // jittered timer fires no earlier than its baseline counterpart (the
+  // stretch factor is >= 1), so the quiescence time can only grow — and
+  // with a 30% bound the retry schedule keeps the same shape (the same
+  // number of retransmissions fall inside the outage).
+  FaultConfig faults;
+  faults.outages.push_back({0.0, 0.2});
+  ArqConfig plain = FastArq();
+  Rig baseline(plain, faults);
+  baseline.a->Send(TestMessage("m1"));
+  baseline.queue.RunUntilQuiescent();
+
+  ArqConfig jittered = FastArq();
+  jittered.rto_jitter = 0.3;
+  Rig rig(jittered, faults);
+  rig.a->Send(TestMessage("m1"));
+  rig.queue.RunUntilQuiescent();
+
+  EXPECT_EQ(rig.received_at_b, (std::vector<std::string>{"m1"}));
+  EXPECT_GE(rig.queue.now(), baseline.queue.now());
+  EXPECT_EQ(rig.a->retransmissions(), baseline.a->retransmissions());
+  EXPECT_EQ(rig.a->give_ups(), 0);
 }
 
 TEST(ReliableLinkDeathTest, GiveUpWithoutHookAborts) {

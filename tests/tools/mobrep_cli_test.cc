@@ -174,5 +174,42 @@ TEST(MobrepCliTest, CrashRejectsBadPolicySpec) {
   EXPECT_EQ(RunCli({"crash", "--policy", "bogus"}, &out), 1);
 }
 
+TEST(MobrepCliTest, PartitionSweepsTheDefaultMatrixClean) {
+  std::string out;
+  ASSERT_EQ(RunCli({"partition", "--policy", "st2", "--seed", "7"}, &out), 0)
+      << out;
+  EXPECT_NE(out.find("runs              9"), std::string::npos);
+  EXPECT_NE(out.find("violations        0"), std::string::npos);
+  EXPECT_NE(out.find("all partition cells hold the invariants"),
+            std::string::npos);
+  // The default matrix includes multi-term and never-heal cells, so
+  // reclamation and the regrant cycle both show up in the counters.
+  EXPECT_EQ(out.find("reclamations      0"), std::string::npos);
+  EXPECT_EQ(out.find("re-grants         0"), std::string::npos);
+}
+
+TEST(MobrepCliTest, PartitionRunsASingleNeverHealCell) {
+  std::string out;
+  ASSERT_EQ(RunCli({"partition", "--policy", "st2", "--shape", "uplink",
+                    "--duration", "never", "--verbose", "1"},
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("runs              1"), std::string::npos);
+  EXPECT_NE(out.find("1 partition runs"), std::string::npos);  // --verbose
+}
+
+TEST(MobrepCliTest, PartitionRejectsBadShape) {
+  std::string out;
+  EXPECT_EQ(RunCli({"partition", "--policy", "st2", "--shape", "sideways"},
+                   &out),
+            1);
+}
+
+TEST(MobrepCliTest, PartitionRejectsBadPolicySpec) {
+  std::string out;
+  EXPECT_EQ(RunCli({"partition", "--policy", "bogus"}, &out), 1);
+}
+
 }  // namespace
 }  // namespace mobrep::cli

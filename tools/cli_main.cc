@@ -14,6 +14,8 @@
 //             decision audit log (optionally exporting a Chrome trace).
 //   crash     Explore every reachable crash point of a protocol run and
 //             verify recovery (docs/RECOVERY.md).
+//   partition Sweep network partitions over the leased protocol and verify
+//             the reclamation invariants (DESIGN.md §10).
 //
 // Run with no arguments for usage.
 
@@ -29,6 +31,8 @@
 
 #include "mobrep/analysis/advisor.h"
 #include "mobrep/chaos/crash_explorer.h"
+#include "mobrep/chaos/partition_explorer.h"
+#include "mobrep/chaos/partition_scheduler.h"
 #include "mobrep/analysis/average_cost.h"
 #include "mobrep/analysis/competitive.h"
 #include "mobrep/analysis/expected_cost.h"
@@ -70,6 +74,12 @@ commands and their flags:
              [--trace-in FILE] [--chrome-out FILE]
   crash      --policy <spec> [--theta T] [--requests N (default 12)]
              [--seed S] [--wal-dir DIR (default /tmp)] [--verbose 1]
+  partition  --policy <spec> [--seed S]
+             [--shape symmetric|uplink|downlink (default: all)]
+             [--start T (default: 0.35)]
+             [--duration D|never (default: 0.05, 0.4 and never)]
+             [--term T] [--grace T] [--detector-timeout T]
+             [--drop P] [--verbose 1]
 
 policy specs: st1, st2, sw1, sw:<k>, t1:<m>, t2:<m>
 defaults: --model connection, --omega 0.5, --theta 0.5,
@@ -428,6 +438,82 @@ int RunCrash(const Flags& flags) {
   return report->clean() ? 0 : 1;
 }
 
+int RunPartition(const Flags& flags) {
+  const auto spec = ParsePolicySpec(flags.GetString("policy", "st2"));
+  if (!spec.ok()) return Fail(spec.status().ToString());
+
+  PartitionMatrixOptions options;
+  options.sim.spec = *spec;
+  options.sim.lease.term =
+      flags.GetDouble("term", options.sim.lease.term);
+  options.sim.lease.grace =
+      flags.GetDouble("grace", options.sim.lease.grace);
+  options.sim.detector.timeout =
+      flags.GetDouble("detector-timeout", options.sim.detector.timeout);
+  options.sim.fault.drop_probability = flags.GetDouble("drop", 0.0);
+  options.seeds = {static_cast<uint64_t>(flags.GetInt("seed", 42))};
+  if (flags.Has("shape")) {
+    PartitionShape shape;
+    if (!ParsePartitionShape(flags.GetString("shape", ""), &shape)) {
+      return Fail("unknown --shape (symmetric | uplink | downlink)");
+    }
+    options.shapes = {shape};
+  }
+  if (flags.Has("start")) {
+    options.starts = {flags.GetDouble("start", 0.35)};
+  }
+  if (flags.Has("duration")) {
+    const std::string text = flags.GetString("duration", "");
+    options.durations = {text == "never" ? -1.0
+                                         : flags.GetDouble("duration", 0.4)};
+  }
+
+  const PartitionMatrixReport report = ExplorePartitions(options);
+  std::printf("policy            %s\n", spec->ToString().c_str());
+  std::printf("lease             term %.4g + grace %.4g, detector timeout "
+              "%.4g\n",
+              options.sim.lease.term, options.sim.lease.grace,
+              options.sim.detector.timeout);
+  std::printf("matrix            %zu shape(s) x %zu duration(s) x %zu "
+              "start(s)\n",
+              options.shapes.size(), options.durations.size(),
+              options.starts.size());
+  std::printf("runs              %lld\n", static_cast<long long>(report.runs));
+  std::printf("reclamations      %lld\n",
+              static_cast<long long>(report.reclaims));
+  std::printf("re-grants         %lld\n",
+              static_cast<long long>(report.regrants));
+  std::printf("revocations       %lld\n",
+              static_cast<long long>(report.revocations));
+  std::printf("conflict reports  %lld\n",
+              static_cast<long long>(report.conflicts));
+  std::printf("degraded probes   %lld (max staleness %.4g)\n",
+              static_cast<long long>(report.degraded_probes),
+              report.max_staleness);
+  std::printf("forwarded reads   %lld\n",
+              static_cast<long long>(report.degraded_remote_reads));
+  std::printf("abandoned frames  %lld\n",
+              static_cast<long long>(report.abandoned_frames));
+  std::printf("violations        %lld\n",
+              static_cast<long long>(report.violations));
+  if (flags.GetInt("verbose", 0) != 0) {
+    std::printf("\n%s\n", report.Summary().c_str());
+  }
+  for (const PartitionRunFailure& failure : report.failures) {
+    std::printf("FAILED %s start %.4g %s seed %llu: %s\n",
+                PartitionShapeName(failure.shape), failure.start,
+                failure.duration < 0.0
+                    ? "never-heal"
+                    : StrFormat("duration %.4g", failure.duration).c_str(),
+                static_cast<unsigned long long>(failure.seed),
+                failure.message.c_str());
+  }
+  std::printf("verdict           %s\n",
+              report.clean() ? "all partition cells hold the invariants"
+                             : "invariant violations found");
+  return report.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -446,6 +532,7 @@ int Main(int argc, char** argv) {
   if (command == "compare") return RunCompare(flags);
   if (command == "trace") return RunTrace(flags);
   if (command == "crash") return RunCrash(flags);
+  if (command == "partition") return RunPartition(flags);
   std::printf("%s", kUsage);
   return command == "help" ? 0 : 1;
 }
