@@ -13,6 +13,10 @@
 #include "mobrep/core/offline_optimal.h"
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/core/window_tracker.h"
+#include "mobrep/net/event_queue.h"
+#include "mobrep/net/message.h"
+#include "mobrep/net/message_pool.h"
+#include "mobrep/obs/alloc_stats.h"
 #include "mobrep/obs/metrics.h"
 #include "mobrep/obs/trace.h"
 #include "mobrep/protocol/protocol_sim.h"
@@ -222,6 +226,87 @@ void BM_ParallelSweepCells(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSweepCells)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---- Protocol-plane engine hot paths (DESIGN.md §11) ----------------------
+// The per-hop costs the pooled engine optimizes: scheduling + dispatching
+// one event, acquiring + releasing one in-flight message, and handing a
+// request window over at an ownership transfer. Each reports its true
+// callback-heap-spill rate via the mobrep_alloc_* thread-local counters.
+
+void BM_EventScheduleDispatch(benchmark::State& state) {
+  EventQueue queue;
+  int64_t sink = 0;
+  const obs::AllocCounters& counters = obs::LocalAllocCounters();
+  const int64_t heap_before = counters.event_heap;
+  for (auto _ : state) {
+    queue.ScheduleAfter(0.001, [&sink]() { ++sink; });
+    queue.RunNext();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["callback_heap_spills_per_op"] = benchmark::Counter(
+      static_cast<double>(counters.event_heap - heap_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventScheduleDispatch);
+
+void BM_MessagePoolAcquireRelease(benchmark::State& state, bool pooled) {
+  MessagePool::SetPoolingEnabled(pooled);
+  MessagePool* pool = MessagePool::ThreadLocal();
+  Message prototype;
+  prototype.type = MessageType::kWritePropagate;
+  prototype.key = "x";
+  prototype.seq = 1;
+  prototype.item.version = 7;
+  prototype.item.value = "propagated-payload-beyond-sso-size";
+  for (int i = 0; i < 9; ++i) {
+    prototype.window.push_back((i & 1) != 0 ? Op::kWrite : Op::kRead);
+  }
+  const obs::AllocCounters& counters = obs::LocalAllocCounters();
+  const int64_t fresh_before =
+      counters.msg_slab_allocs + counters.msg_legacy_allocs;
+  for (auto _ : state) {
+    // Acquire a slot holding a copy of the prototype, then release it on
+    // scope exit — one simulated in-flight hop. Pooled mode reuses the
+    // same warm slot (string/window capacities included); legacy mode
+    // pays a fresh Message + payload allocation every hop.
+    PooledMessage slot = pool->AcquireCopy(prototype);
+    benchmark::DoNotOptimize(slot.get());
+  }
+  state.counters["fresh_messages_per_op"] = benchmark::Counter(
+      static_cast<double>(counters.msg_slab_allocs +
+                          counters.msg_legacy_allocs - fresh_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+  MessagePool::SetPoolingEnabled(true);
+}
+BENCHMARK_CAPTURE(BM_MessagePoolAcquireRelease, pooled, true);
+BENCHMARK_CAPTURE(BM_MessagePoolAcquireRelease, legacy, false);
+
+void BM_WindowHandover(benchmark::State& state, bool small) {
+  // The §4 ownership-transfer data path: export the window from one
+  // tracker, install it in the other. The Window (SmallVector) form is
+  // heap-free up to 16 ops; the std::vector form is the pre-engine
+  // baseline.
+  const int k = static_cast<int>(state.range(0));
+  WindowTracker from(k);
+  WindowTracker to(k);
+  from.Fill(Op::kRead);
+  for (int i = 0; i < k; i += 2) from.Push(Op::kWrite);
+  for (auto _ : state) {
+    if (small) {
+      const Window window = from.SmallContents();
+      to.SetContents(window);
+    } else {
+      const std::vector<Op> window = from.Contents();
+      to.SetContents(window);
+    }
+    benchmark::DoNotOptimize(&to);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_WindowHandover, small_vector, true)->Arg(9)->Arg(101);
+BENCHMARK_CAPTURE(BM_WindowHandover, heap_vector, false)->Arg(9)->Arg(101);
 
 // ---- Observability hot paths ----------------------------------------------
 // The instrumentation budget: a counter bump and a disabled trace site must

@@ -163,7 +163,7 @@ NodeSnapshot CrashableSimulation::SnapshotClient() const {
     snapshot.replica_version = replica->version;
     snapshot.replica_value = replica->value;
   }
-  snapshot.window = ExtractWindow(config_.spec, client_->policy());
+  snapshot.window = ExtractWindow(config_.spec, client_->policy()).ToVector();
   snapshot.counter = ExtractCounter(config_.spec, client_->policy());
   return snapshot;
 }
@@ -176,7 +176,7 @@ NodeSnapshot CrashableSimulation::SnapshotServer() const {
   snapshot.pending_propagation = server_->has_pending_propagation();
   snapshot.incarnation = server_->incarnation();
   snapshot.peer_incarnation = server_->peer_incarnation();
-  snapshot.window = ExtractWindow(config_.spec, server_->policy());
+  snapshot.window = ExtractWindow(config_.spec, server_->policy()).ToVector();
   snapshot.counter = ExtractCounter(config_.spec, server_->policy());
   return snapshot;
 }

@@ -1,0 +1,142 @@
+#ifndef MOBREP_COMMON_INLINE_FUNCTION_H_
+#define MOBREP_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mobrep {
+
+// Move-only type-erased callable with small-buffer optimization.
+//
+// Captures up to `InlineBytes` bytes (and nothrow-move-constructible) live in
+// the object itself; larger or throwing-move captures fall back to a single
+// heap allocation. Compared to std::function this is move-only (so it can own
+// move-only captures like pooled message handles) and exposes is_inline() so
+// the event queue can count which path a scheduled event took.
+template <typename Sig, size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = &InvokeInline<Fn>;
+      manage_ = &ManageInline<Fn>;
+      inline_flag_ = true;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      invoke_ = &InvokeHeap<Fn>;
+      manage_ = &ManageHeap<Fn>;
+      inline_flag_ = false;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  // True when the capture lives in the inline buffer (false also when empty).
+  bool is_inline() const noexcept {
+    return invoke_ != nullptr && manage_ != nullptr && inline_flag_;
+  }
+
+ private:
+  enum class Op { kMoveDestroy, kDestroy };
+
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(void* self, void* other, Op op);
+
+  template <typename Fn>
+  static R InvokeInline(void* storage, Args&&... args) {
+    return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+        std::forward<Args>(args)...);
+  }
+
+  template <typename Fn>
+  static void ManageInline(void* self, void* other, Op op) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(self));
+    if (op == Op::kMoveDestroy) {
+      ::new (other) Fn(std::move(*fn));
+    }
+    fn->~Fn();
+  }
+
+  template <typename Fn>
+  static R InvokeHeap(void* storage, Args&&... args) {
+    Fn* fn = *std::launder(reinterpret_cast<Fn**>(storage));
+    return (*fn)(std::forward<Args>(args)...);
+  }
+
+  template <typename Fn>
+  static void ManageHeap(void* self, void* other, Op op) {
+    Fn** slot = std::launder(reinterpret_cast<Fn**>(self));
+    if (op == Op::kMoveDestroy) {
+      *reinterpret_cast<Fn**>(other) = *slot;
+      *slot = nullptr;
+    } else {
+      delete *slot;
+    }
+  }
+
+  void Reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(storage_, nullptr, Op::kDestroy);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    inline_flag_ = false;
+  }
+
+  void MoveFrom(InlineFunction&& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(other.storage_, storage_, Op::kMoveDestroy);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      inline_flag_ = other.inline_flag_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+      other.inline_flag_ = false;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes < sizeof(void*)
+                                                       ? sizeof(void*)
+                                                       : InlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  bool inline_flag_ = false;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_INLINE_FUNCTION_H_

@@ -1,0 +1,97 @@
+#ifndef MOBREP_COMMON_OBJECT_ARRAY_H_
+#define MOBREP_COMMON_OBJECT_ARRAY_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace mobrep {
+
+// A fixed-capacity contiguous array of T constructed in place, for types that
+// are neither movable nor copyable (e.g. Channel, whose obs::Counter members
+// are atomics). Unlike std::vector this never relocates, so references handed
+// out by Emplace stay valid for the array's lifetime — the property the
+// struct-of-arrays multi-client state relies on.
+template <typename T>
+class ObjectArray {
+ public:
+  ObjectArray() = default;
+  explicit ObjectArray(size_t capacity) { Reserve(capacity); }
+
+  ObjectArray(const ObjectArray&) = delete;
+  ObjectArray& operator=(const ObjectArray&) = delete;
+
+  ObjectArray(ObjectArray&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+
+  ObjectArray& operator=(ObjectArray&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  ~ObjectArray() { Destroy(); }
+
+  // Allocates raw storage for exactly `capacity` elements. Must be called
+  // before Emplace, and only on an empty array.
+  void Reserve(size_t capacity) {
+    assert(data_ == nullptr && "ObjectArray::Reserve called twice");
+    capacity_ = capacity;
+    if (capacity > 0) {
+      data_ = std::allocator<T>().allocate(capacity);
+    }
+  }
+
+  template <typename... A>
+  T& Emplace(A&&... args) {
+    assert(size_ < capacity_ && "ObjectArray capacity exceeded");
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<A>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void Destroy() noexcept {
+    for (size_t i = size_; i > 0; --i) {
+      data_[i - 1].~T();
+    }
+    if (data_ != nullptr) {
+      std::allocator<T>().deallocate(data_, capacity_);
+    }
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_OBJECT_ARRAY_H_

@@ -1,0 +1,157 @@
+#ifndef MOBREP_COMMON_SMALL_VECTOR_H_
+#define MOBREP_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace mobrep {
+
+// A vector with inline storage for small element counts, restricted to
+// trivially copyable element types (it memcpys on growth and copy).
+//
+// Purpose-built for the protocol plane's piggybacked request windows
+// (DESIGN.md §11): a window of up to `N` ops travels inside the Message
+// itself, so copying a hand-over message never touches the heap. Larger
+// windows (e.g. sw:101) spill to a heap buffer exactly like std::vector.
+//
+// The API is the subset of std::vector the repository uses; ToVector() and
+// assign() bridge to call sites that still traffic in std::vector.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+  explicit SmallVector(const std::vector<T>& v) { assign(v.begin(), v.end()); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVector() { FreeHeap(); }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow();
+    data()[size_++] = value;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void pop_back() noexcept { --size_; }
+
+  size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  size_t capacity() const noexcept { return capacity_; }
+  // True once the contents outgrew the inline buffer (diagnostics only).
+  bool spilled() const noexcept { return heap_ != nullptr; }
+
+  T* data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const noexcept { return heap_ != nullptr ? heap_ : inline_; }
+
+  T& operator[](size_t i) noexcept { return data()[i]; }
+  const T& operator[](size_t i) const noexcept { return data()[i]; }
+  T& back() noexcept { return data()[size_ - 1]; }
+  const T& back() const noexcept { return data()[size_ - 1]; }
+  T& front() noexcept { return data()[0]; }
+  const T& front() const noexcept { return data()[0]; }
+
+  iterator begin() noexcept { return data(); }
+  iterator end() noexcept { return data() + size_; }
+  const_iterator begin() const noexcept { return data(); }
+  const_iterator end() const noexcept { return data() + size_; }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+  friend bool operator==(const SmallVector& a, const std::vector<T>& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<T>& a, const SmallVector& b) {
+    return b == a;
+  }
+  friend bool operator!=(const SmallVector& a, const std::vector<T>& b) {
+    return !(a == b);
+  }
+  friend bool operator!=(const std::vector<T>& a, const SmallVector& b) {
+    return !(b == a);
+  }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    T* fresh = new T[new_capacity];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    FreeHeap();
+    heap_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void FreeHeap() noexcept {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = N;
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+      other.size_ = 0;
+    }
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_COMMON_SMALL_VECTOR_H_

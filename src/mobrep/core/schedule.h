@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mobrep/common/small_vector.h"
 #include "mobrep/common/status.h"
 
 namespace mobrep {
@@ -23,6 +24,13 @@ char OpToChar(Op op);
 
 // A schedule is a finite sequence of relevant requests (paper §3).
 using Schedule = std::vector<Op>;
+
+// A piggybacked request window (paper §4): the last k relevant requests
+// shipped inside allocation/deallocation hand-over messages. Windows are
+// short (k = 9 in the paper's tables), so they get inline storage — copying
+// a hand-over message does not touch the heap until the window outgrows 16
+// ops (e.g. the sw:101 stress configurations, which spill like std::vector).
+using Window = SmallVector<Op, 16>;
 
 // Compact textual form, e.g. "wrrrwrw".
 std::string ScheduleToString(const Schedule& schedule);

@@ -72,7 +72,7 @@ std::unique_ptr<AllocationPolicy> SlidingWindowPolicy::Clone() const {
 }
 
 void SlidingWindowPolicy::SetState(bool has_copy,
-                                   const std::vector<Op>& window_contents) {
+                                   std::span<const Op> window_contents) {
   window_.SetContents(window_contents);
   has_copy_ = has_copy;
 }

@@ -1,7 +1,9 @@
 #ifndef MOBREP_CORE_SLIDING_WINDOW_POLICY_H_
 #define MOBREP_CORE_SLIDING_WINDOW_POLICY_H_
 
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "mobrep/core/policy.h"
@@ -51,8 +53,16 @@ class SlidingWindowPolicy final : public AllocationPolicy {
   const WindowTracker& window() const { return window_; }
 
   // Overrides the initial/current state; used by tests and by the protocol
-  // layer when reconstructing state from a piggybacked window.
-  void SetState(bool has_copy, const std::vector<Op>& window_contents);
+  // layer when reconstructing state from a piggybacked window. The span
+  // form accepts any contiguous Op sequence (std::vector, Window) without
+  // materializing a copy; the initializer_list form keeps braced literals
+  // working (a braced list does not convert to std::span).
+  void SetState(bool has_copy, std::span<const Op> window_contents);
+  void SetState(bool has_copy, std::initializer_list<Op> window_contents) {
+    SetState(has_copy,
+             std::span<const Op>(window_contents.begin(),
+                                 window_contents.size()));
+  }
 
  private:
   WindowTracker window_;

@@ -26,19 +26,36 @@ void WindowTracker::Fill(Op op) {
   write_count_ = write ? size_ : 0;
 }
 
+namespace {
+
+// Walks the ring oldest-first into any push_back-able container.
+template <typename Out>
+void AppendContents(const std::vector<uint64_t>& words, int size, int head,
+                    Out& out) {
+  int i = head;
+  for (int n = 0; n < size; ++n) {
+    const uint64_t word = words[static_cast<size_t>(i >> 6)];
+    out.push_back(static_cast<Op>((word >> (i & 63)) & 1u));
+    i = i + 1 == size ? 0 : i + 1;
+  }
+}
+
+}  // namespace
+
 std::vector<Op> WindowTracker::Contents() const {
   std::vector<Op> out;
   out.reserve(static_cast<size_t>(size_));
-  int i = head_;
-  for (int n = 0; n < size_; ++n) {
-    const uint64_t word = words_[static_cast<size_t>(i >> 6)];
-    out.push_back(static_cast<Op>((word >> (i & 63)) & 1u));
-    i = i + 1 == size_ ? 0 : i + 1;
-  }
+  AppendContents(words_, size_, head_, out);
   return out;
 }
 
-void WindowTracker::SetContents(const std::vector<Op>& ops) {
+Window WindowTracker::SmallContents() const {
+  Window out;
+  AppendContents(words_, size_, head_, out);
+  return out;
+}
+
+void WindowTracker::SetContents(std::span<const Op> ops) {
   MOBREP_CHECK_MSG(static_cast<int>(ops.size()) == size_,
                    "window transfer must preserve the window size");
   for (auto& word : words_) word = 0;

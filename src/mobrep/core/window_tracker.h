@@ -2,6 +2,7 @@
 #define MOBREP_CORE_WINDOW_TRACKER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mobrep/core/schedule.h"
@@ -57,8 +58,12 @@ class WindowTracker {
   // Window contents, oldest first.
   std::vector<Op> Contents() const;
 
+  // Same contents as a Window (inline storage up to 16 ops) — the form the
+  // protocol hand-over piggybacks, heap-free at the paper's k = 9.
+  Window SmallContents() const;
+
   // Replaces the contents (oldest first). `ops` must have exactly k entries.
-  void SetContents(const std::vector<Op>& ops);
+  void SetContents(std::span<const Op> ops);
 
  private:
   std::vector<uint64_t> words_;  // ring of size_ bits, set = write

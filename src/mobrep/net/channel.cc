@@ -66,20 +66,30 @@ void Channel::Meter(const Message& message) {
                      IsDataMessage(message.type) ? 1 : 0);
 }
 
-void Channel::ScheduleDelivery(Message message, double delay) {
+void Channel::ScheduleDelivery(PooledMessage slot, double delay) {
   MOBREP_CHECK_MSG(receiver_ != nullptr,
                    "channel has no receiver installed");
-  queue_->ScheduleAfter(delay, [this, msg = std::move(message)]() {
+  queue_->ScheduleAfter(delay, [this, slot = std::move(slot)]() {
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageRecv, name_.c_str(),
-                       queue_->now(), static_cast<int64_t>(msg.seq),
-                       static_cast<int64_t>(msg.type));
-    receiver_(msg);
+                       queue_->now(), static_cast<int64_t>(slot->seq),
+                       static_cast<int64_t>(slot->type));
+    receiver_(*slot);
   });
 }
 
+void Channel::Transmit(PooledMessage slot) {
+  Meter(*slot);
+  ScheduleDelivery(std::move(slot), latency_);
+}
+
 void Channel::Send(Message message) {
-  Meter(message);
-  ScheduleDelivery(std::move(message), latency_);
+  Transmit(MessagePool::ThreadLocal()->Acquire(std::move(message)));
+}
+
+void Channel::SendRetransmit(const Message& frame) {
+  PooledMessage slot = MessagePool::ThreadLocal()->AcquireCopy(frame);
+  slot->retransmit = true;
+  Transmit(std::move(slot));
 }
 
 }  // namespace mobrep

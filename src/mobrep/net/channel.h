@@ -9,6 +9,7 @@
 #include "mobrep/net/event_queue.h"
 #include "mobrep/net/link.h"
 #include "mobrep/net/message.h"
+#include "mobrep/net/message_pool.h"
 #include "mobrep/obs/metrics.h"
 
 namespace mobrep {
@@ -27,6 +28,14 @@ namespace mobrep {
 // injected by a ReliableLink — is metered separately (`acks_sent`,
 // `retransmissions_sent`) so the ARQ machinery never perturbs the paper's
 // cost models.
+//
+// Hot path (DESIGN.md §11): Send moves the caller's Message into a pooled
+// slot once at the link boundary; everything downstream — fault decisions,
+// the scheduled delivery event, the receiver callback — works on that one
+// slot by reference or by moving the handle. The delivery capture
+// [this, PooledMessage] is 24 bytes, inside the event queue's inline
+// buffer, so a fault-free hop performs zero heap allocations at steady
+// state.
 class Channel : public Link {
  public:
   using Receiver = std::function<void(const Message&)>;
@@ -39,6 +48,12 @@ class Channel : public Link {
 
   // Enqueues delivery at now() + latency.
   void Send(Message message) override;
+
+  // Re-sends an ARQ frame the sender still owns: copies `frame` into a
+  // pooled slot (reusing warm buffer capacities), marks the copy as a
+  // retransmission and transmits it. The stored frame itself is untouched,
+  // so a later GiveUp can still hand it back unmodified.
+  void SendRetransmit(const Message& frame);
 
   int64_t messages_sent() const { return messages_sent_.value(); }
   int64_t data_messages_sent() const { return data_messages_sent_.value(); }
@@ -68,13 +83,21 @@ class Channel : public Link {
   double latency() const { return latency_; }
 
  protected:
+  // One transmission attempt of the owned slot: meter, decide its fate
+  // (subclasses inject faults here), schedule surviving deliveries.
+  // Send/SendRetransmit funnel through this after acquiring the slot.
+  virtual void Transmit(PooledMessage slot);
+
   // Updates the appropriate counter for one transmission attempt of
   // `message` (paper counters for first sends, overhead counters for acks
   // and retransmissions).
   void Meter(const Message& message);
 
-  // Hands `message` to the receiver `delay` time units from now.
-  void ScheduleDelivery(Message message, double delay);
+  // Hands the slot to the receiver `delay` time units from now. The slot
+  // is released (returned to its pool) when the delivery event is
+  // destroyed — after the receiver returns, or during unwind if the
+  // receiver throws a CrashSignal.
+  void ScheduleDelivery(PooledMessage slot, double delay);
 
   EventQueue* queue() const { return queue_; }
 

@@ -1,15 +1,70 @@
 #include "mobrep/net/event_queue.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/common/strings.h"
+#include "mobrep/obs/alloc_stats.h"
 
 namespace mobrep {
 
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
+
+EventQueue::EventQueue() : alloc_counters_(&obs::LocalAllocCounters()) {}
+
+void EventQueue::PushHeap(Event event) {
+  // Sift a hole up from the end; one move per level, the new event is
+  // materialized exactly once at its final position.
+  size_t hole = events_.size();
+  events_.emplace_back();
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / kArity;
+    if (!Before(event, events_[parent])) break;
+    events_[hole] = std::move(events_[parent]);
+    hole = parent;
+  }
+  events_[hole] = std::move(event);
+}
+
+EventQueue::Event EventQueue::PopHeap() {
+  Event top = std::move(events_.front());
+  Event last = std::move(events_.back());
+  events_.pop_back();
+  const size_t n = events_.size();
+  if (n > 0) {
+    // Sift the hole at the root down, pulling the earliest child up each
+    // level, then drop `last` into the final hole.
+    size_t hole = 0;
+    while (true) {
+      const size_t first_child = kArity * hole + 1;
+      if (first_child >= n) break;
+      const size_t end_child = std::min(first_child + kArity, n);
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < end_child; ++c) {
+        if (Before(events_[c], events_[best])) best = c;
+      }
+      if (!Before(events_[best], last)) break;
+      events_[hole] = std::move(events_[best]);
+      hole = best;
+    }
+    events_[hole] = std::move(last);
+  }
+  return top;
+}
+
 void EventQueue::ScheduleAt(double time, EventFn fn) {
   MOBREP_CHECK_MSG(time >= now_, "cannot schedule an event in the past");
-  events_.push(Event{time, next_sequence_++, std::move(fn)});
+  if (fn.is_inline()) {
+    ++alloc_counters_->event_inline;
+  } else {
+    ++alloc_counters_->event_heap;
+  }
+  PushHeap(Event{time, next_sequence_++, std::move(fn)});
+  peak_pending_ = std::max(peak_pending_, events_.size());
 }
 
 void EventQueue::ScheduleAfter(double delay, EventFn fn) {
@@ -19,32 +74,51 @@ void EventQueue::ScheduleAfter(double delay, EventFn fn) {
 
 bool EventQueue::RunNext() {
   if (events_.empty()) return false;
-  // priority_queue::top() is const; the event is copied out, then popped,
-  // so the handler may schedule further events safely.
-  Event event = events_.top();
-  events_.pop();
+  // The event is moved out before it runs, so the handler may schedule
+  // further events safely; its capture (e.g. a pooled message slot) is
+  // destroyed when `event` goes out of scope, even if the handler throws
+  // (CrashSignal unwinds through here).
+  Event event = PopHeap();
   now_ = event.time;
+  ++executed_;
   event.fn();
   return true;
 }
 
+int64_t EventQueue::AutoEventBudget(int64_t pending_at_entry) {
+  return std::max<int64_t>(1'000'000, 64 * pending_at_entry + 4096);
+}
+
 int64_t EventQueue::RunUntilQuiescent(int64_t max_events) {
+  const int64_t pending_at_entry = static_cast<int64_t>(events_.size());
+  const int64_t budget =
+      max_events <= 0 ? AutoEventBudget(pending_at_entry) : max_events;
   int64_t ran = 0;
-  const bool quiescent = TryRunUntilQuiescent(max_events, &ran);
-  MOBREP_CHECK_MSG(quiescent,
-                   "event cascade exceeded max_events; livelock?");
+  const bool quiescent = TryRunUntilQuiescent(budget, &ran);
+  MOBREP_CHECK_MSG(
+      quiescent,
+      StrFormat("event cascade exceeded budget of %lld events "
+                "(%lld pending at entry, %lld ran, %zu still pending); "
+                "livelock, or pass a larger explicit budget for this sim size",
+                static_cast<long long>(budget),
+                static_cast<long long>(pending_at_entry),
+                static_cast<long long>(ran), events_.size())
+          .c_str());
   return ran;
 }
 
 double EventQueue::next_time() const {
   if (events_.empty()) return std::numeric_limits<double>::infinity();
-  return events_.top().time;
+  return events_.front().time;
 }
 
 bool EventQueue::TryRunUntilQuiescent(int64_t max_events,
                                       int64_t* events_run) {
+  const int64_t budget =
+      max_events <= 0 ? AutoEventBudget(static_cast<int64_t>(events_.size()))
+                      : max_events;
   int64_t ran = 0;
-  while (ran < max_events && RunNext()) ++ran;
+  while (ran < budget && RunNext()) ++ran;
   if (events_run != nullptr) *events_run = ran;
   return events_.empty();
 }

@@ -2,21 +2,41 @@
 #define MOBREP_NET_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "mobrep/common/inline_function.h"
+
 namespace mobrep {
+
+namespace obs {
+struct AllocCounters;
+}  // namespace obs
 
 // Discrete-event simulation core: a time-ordered queue of callbacks.
 //
 // Events at equal timestamps run in scheduling (FIFO) order, which is what
-// makes fixed-latency channels order-preserving.
+// makes fixed-latency channels order-preserving. The (time, sequence) key is
+// a *total* order, so the heap layout below is an implementation detail:
+// every correct heap pops the same sequence of events.
+//
+// Hot-path engineering (DESIGN.md §11): the per-event callback is an
+// InlineFunction — captures up to 48 bytes live inside the event record, so
+// scheduling a typical delivery ([this, pooled-slot]) allocates nothing. The
+// records sit in a 4-ary array heap; push and pop sift a hole with moves
+// (no copy-out-on-pop, no std::function clone). A 4-ary heap halves tree
+// depth vs. binary and keeps children of a node in one cache line.
 class EventQueue {
  public:
-  using EventFn = std::function<void()>;
+  // 48 inline bytes covers every capture in the repo today (largest is
+  // [this, PooledMessage] at 24 bytes); bigger captures fall back to one
+  // heap allocation and are counted in mobrep_alloc_event_heap.
+  using EventFn = InlineFunction<void(), 48>;
 
-  EventQueue() = default;
+  // Sentinel for RunUntilQuiescent/TryRunUntilQuiescent: size the event
+  // budget from the workload pending at entry instead of a fixed cap.
+  static constexpr int64_t kAutoEventBudget = 0;
+
+  EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -29,23 +49,37 @@ class EventQueue {
   // Runs the earliest event, advancing the clock. False if queue was empty.
   bool RunNext();
 
-  // Runs events until the queue drains or `max_events` have run.
+  // Runs events until the queue drains or the budget is exhausted.
   // Returns the number of events run. Aborts (CHECK) if the cap is hit
   // with events still pending — a silent half-delivered exchange must
-  // never masquerade as quiescence.
-  int64_t RunUntilQuiescent(int64_t max_events = 1'000'000);
+  // never masquerade as quiescence. `max_events <= 0` (kAutoEventBudget)
+  // scales the budget with the workload pending at entry, so large sims
+  // (a million clients) are not silently capped at a fixed constant.
+  int64_t RunUntilQuiescent(int64_t max_events = kAutoEventBudget);
 
-  // Non-aborting variant: runs until the queue drains or `max_events`
-  // have run, storing the count in `*events_run` (if non-null), and
+  // Non-aborting variant: runs until the queue drains or the budget is
+  // exhausted, storing the count in `*events_run` (if non-null), and
   // returns true iff the queue is quiescent (drained). Callers that can
   // loop forever (retransmission timers) use this to surface the cap as a
   // Status instead of proceeding with a half-delivered exchange.
+  // `max_events <= 0` selects the auto-scaled budget as above.
   bool TryRunUntilQuiescent(int64_t max_events,
                             int64_t* events_run = nullptr);
+
+  // The budget RunUntilQuiescent would use for a given pending count:
+  // max(1M, 64 * pending + 4096). Exposed so cap-hit diagnostics can name
+  // the number that was exceeded.
+  static int64_t AutoEventBudget(int64_t pending_at_entry);
 
   double now() const { return now_; }
   bool empty() const { return events_.empty(); }
   size_t pending() const { return events_.size(); }
+
+  // Total events executed over the queue's lifetime.
+  int64_t executed() const { return executed_; }
+
+  // High-water mark of pending events (live event records).
+  size_t peak_pending() const { return peak_pending_; }
 
   // Timestamp of the earliest pending event; +infinity when the queue is
   // empty. Lets bounded-horizon harnesses stop the clock at a deadline
@@ -58,16 +92,22 @@ class EventQueue {
     uint64_t sequence;  // FIFO tie-break
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  // Strict-weak "fires earlier" on the total (time, sequence) key.
+  static bool Before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.sequence < b.sequence;
+  }
+
+  void PushHeap(Event event);
+  Event PopHeap();
+
+  std::vector<Event> events_;  // 4-ary min-heap: children of i at 4i+1..4i+4
   double now_ = 0.0;
   uint64_t next_sequence_ = 0;
+  int64_t executed_ = 0;
+  size_t peak_pending_ = 0;
+  obs::AllocCounters* alloc_counters_;  // cached; queue is single-threaded
 };
 
 }  // namespace mobrep

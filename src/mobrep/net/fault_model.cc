@@ -73,8 +73,8 @@ FaultyChannel::FaultyChannel(EventQueue* queue, double latency,
     : Channel(queue, latency, std::move(name)),
       model_(config, stream_salt) {}
 
-void FaultyChannel::Send(Message message) {
-  Meter(message);
+void FaultyChannel::Transmit(PooledMessage slot) {
+  Meter(*slot);
   const LinkFaultModel::Decision decision = model_.Decide(queue()->now());
   if (decision.drop) {
     if (decision.in_outage) {
@@ -83,17 +83,20 @@ void FaultyChannel::Send(Message message) {
       injected_drops_.Increment();
     }
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageDrop, name().c_str(),
-                       queue()->now(), static_cast<int64_t>(message.seq),
-                       static_cast<int64_t>(message.type),
+                       queue()->now(), static_cast<int64_t>(slot->seq),
+                       static_cast<int64_t>(slot->type),
                        decision.in_outage ? 1 : 0);
-    return;
+    return;  // releasing the slot: the frame is lost
   }
   if (decision.duplicate) {
     injected_duplicates_.Increment();
-    ScheduleDelivery(message, latency() + decision.duplicate_jitter);
+    // The duplicate copy is scheduled *before* the primary, preserving the
+    // historical event ordering at equal delivery times.
+    ScheduleDelivery(MessagePool::ThreadLocal()->AcquireCopy(*slot),
+                     latency() + decision.duplicate_jitter);
   }
   if (decision.jitter > 0.0) jittered_deliveries_.Increment();
-  ScheduleDelivery(std::move(message), latency() + decision.jitter);
+  ScheduleDelivery(std::move(slot), latency() + decision.jitter);
 }
 
 }  // namespace mobrep

@@ -90,8 +90,6 @@ class FaultyChannel : public Channel {
   FaultyChannel(EventQueue* queue, double latency, std::string name,
                 const FaultConfig& config, uint64_t stream_salt);
 
-  void Send(Message message) override;
-
   bool InOutage(double now) const { return model_.InOutage(now); }
   const LinkFaultModel& fault_model() const { return model_; }
 
@@ -101,6 +99,12 @@ class FaultyChannel : public Channel {
   int64_t outage_drops() const { return outage_drops_.value(); }
   int64_t injected_duplicates() const { return injected_duplicates_.value(); }
   int64_t jittered_deliveries() const { return jittered_deliveries_.value(); }
+
+ protected:
+  // Fault injection happens per transmission attempt: first sends and
+  // retransmissions both funnel through here (via Channel::Send /
+  // Channel::SendRetransmit), each consuming one fault decision.
+  void Transmit(PooledMessage slot) override;
 
  private:
   LinkFaultModel model_;

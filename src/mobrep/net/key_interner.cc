@@ -1,0 +1,53 @@
+#include "mobrep/net/key_interner.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep {
+namespace {
+
+struct Interner {
+  std::mutex mu;
+  std::unordered_map<std::string, uint32_t> ids;
+  // deque: element references stay valid as later keys are interned, so
+  // InternedKeyName can hand out stable const std::string&.
+  std::deque<std::string> names;  // names[id - 1]
+};
+
+Interner& GlobalInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+}  // namespace
+
+uint32_t InternKey(std::string_view key) {
+  Interner& interner = GlobalInterner();
+  std::lock_guard<std::mutex> lock(interner.mu);
+  auto [it, inserted] =
+      interner.ids.try_emplace(std::string(key), 0);
+  if (inserted) {
+    interner.names.emplace_back(it->first);
+    it->second = static_cast<uint32_t>(interner.names.size());
+  }
+  return it->second;
+}
+
+const std::string& InternedKeyName(uint32_t id) {
+  Interner& interner = GlobalInterner();
+  std::lock_guard<std::mutex> lock(interner.mu);
+  MOBREP_CHECK_MSG(id >= 1 && id <= interner.names.size(),
+                   "InternedKeyName: id was never interned");
+  return interner.names[id - 1];
+}
+
+uint32_t InternedKeyCount() {
+  Interner& interner = GlobalInterner();
+  std::lock_guard<std::mutex> lock(interner.mu);
+  return static_cast<uint32_t>(interner.names.size());
+}
+
+}  // namespace mobrep

@@ -1,0 +1,37 @@
+#ifndef MOBREP_NET_KEY_INTERNER_H_
+#define MOBREP_NET_KEY_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mobrep {
+
+// Process-wide string-key interner for protocol demultiplexing.
+//
+// Endpoints intern their key once at construction and stamp the id on every
+// outgoing Message (Message::key_id); multi-object receivers index an array
+// by id instead of probing a map<string, ...> per delivery.
+//
+// Ids are small integers >= 1 assigned in first-intern order. That order
+// depends on which thread constructs which simulation first, so ids are NOT
+// deterministic across MOBREP_THREADS values: they are a runtime demux hint
+// only and must never appear in traces, the wire format, or any output that
+// participates in determinism diffs. The string key stays authoritative —
+// a Message with key_id == 0 is always handled via the string map.
+//
+// Thread-safe; an intern is a mutex acquire + hash lookup, paid once per
+// endpoint, not per message.
+uint32_t InternKey(std::string_view key);
+
+// The string a previously returned id names. Aborts on an id never handed
+// out (including 0).
+const std::string& InternedKeyName(uint32_t id);
+
+// Number of distinct keys interned so far (upper bound for id-indexed
+// arrays; ids are in [1, InternedKeyCount()]).
+uint32_t InternedKeyCount();
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_KEY_INTERNER_H_

@@ -88,6 +88,14 @@ struct Message {
   MessageType type = MessageType::kReadRequest;
   std::string key;
 
+  // Interned id of `key` (see net/key_interner.h), or 0 when the sender did
+  // not stamp one. Purely a fast-path demultiplexing hint alongside the
+  // authoritative string key: ids are assigned in first-intern order, which
+  // is not deterministic across thread counts, so the id must never reach
+  // traces, the wire format, or any deterministic output — receivers fall
+  // back to the string key whenever the id is 0.
+  uint32_t key_id = 0;
+
   // Link-layer header, used only when the message travels through a
   // ReliableLink. `seq` is the per-direction sequence number (1-based; 0
   // means the message never passed through an ARQ sender). For kAck frames
@@ -129,8 +137,9 @@ struct Message {
   bool allocate = false;
 
   // Piggybacked request window, oldest first (allocation / deallocation
-  // hand-over). Empty when no window travels.
-  std::vector<Op> window;
+  // hand-over). Empty when no window travels. Window has inline storage
+  // (core/schedule.h), so copying a typical hand-over (k = 9) is heap-free.
+  Window window;
 
   // Simulator-level convenience: the in-charge policy state transferred
   // alongside `window`. On the wire this is redundant with `window` (plus a

@@ -1,0 +1,125 @@
+#include "mobrep/net/message_pool.h"
+
+#include <atomic>
+
+#include "mobrep/common/check.h"
+#include "mobrep/obs/alloc_stats.h"
+
+namespace mobrep {
+namespace {
+
+std::atomic<bool> g_pooling_enabled{true};
+
+// Scrubs a slot for reuse: values cleared, buffer capacities kept so the
+// next occupant's assignments land in warm memory.
+void Scrub(Message* m) {
+  m->type = MessageType::kReadRequest;
+  m->key.clear();
+  m->key_id = 0;
+  m->seq = 0;
+  m->retransmit = false;
+  m->epoch = 0;
+  m->peer_epoch = 0;
+  m->claims_charge = false;
+  m->lease_token = 0;
+  m->lease_term = 0.0;
+  m->lease_anchor = 0.0;
+  m->item.value.clear();
+  m->item.version = 0;
+  m->allocate = false;
+  m->window.clear();
+  m->transferred_state.reset();
+}
+
+}  // namespace
+
+void PooledMessage::Reset() {
+  if (message_ == nullptr) return;
+  if (pool_ != nullptr) {
+    pool_->Release(message_);
+  } else {
+    delete message_;
+  }
+  message_ = nullptr;
+  pool_ = nullptr;
+}
+
+MessagePool::MessagePool() : alloc_counters_(&obs::LocalAllocCounters()) {}
+
+MessagePool::~MessagePool() = default;
+
+MessagePool* MessagePool::ThreadLocal() {
+  thread_local MessagePool pool;
+  return &pool;
+}
+
+Message* MessagePool::AcquireSlot() {
+  Message* slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    MOBREP_CHECK_MSG(slot->seq == kPoisonSeq,
+                     "MessagePool: freelist slot lost its poison — a stale "
+                     "handle wrote through a released message");
+    Scrub(slot);
+    ++alloc_counters_->msg_reuses;
+  } else {
+    auto slab = std::make_unique<Message[]>(kSlabSize);
+    slot = &slab[0];
+    for (size_t i = kSlabSize - 1; i >= 1; --i) {
+      slab[i].seq = kPoisonSeq;
+      free_.push_back(&slab[i]);
+    }
+    slabs_.push_back(std::move(slab));
+    ++alloc_counters_->msg_slab_allocs;
+  }
+  ++live_;
+  return slot;
+}
+
+PooledMessage MessagePool::Acquire() {
+  if (!pooling_enabled()) {
+    ++alloc_counters_->msg_legacy_allocs;
+    return PooledMessage(new Message(), nullptr);
+  }
+  return PooledMessage(AcquireSlot(), this);
+}
+
+PooledMessage MessagePool::Acquire(Message&& message) {
+  if (!pooling_enabled()) {
+    ++alloc_counters_->msg_legacy_allocs;
+    return PooledMessage(new Message(std::move(message)), nullptr);
+  }
+  Message* slot = AcquireSlot();
+  *slot = std::move(message);
+  return PooledMessage(slot, this);
+}
+
+PooledMessage MessagePool::AcquireCopy(const Message& message) {
+  if (!pooling_enabled()) {
+    ++alloc_counters_->msg_legacy_allocs;
+    return PooledMessage(new Message(message), nullptr);
+  }
+  Message* slot = AcquireSlot();
+  *slot = message;
+  return PooledMessage(slot, this);
+}
+
+void MessagePool::Release(Message* message) {
+  MOBREP_CHECK_MSG(message->seq != kPoisonSeq,
+                   "MessagePool: double release of a message slot");
+  Scrub(message);
+  message->seq = kPoisonSeq;
+  free_.push_back(message);
+  --live_;
+}
+
+void MessagePool::SetPoolingEnabled(bool enabled) {
+  g_pooling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MessagePool::pooling_enabled() {
+  return g_pooling_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace mobrep

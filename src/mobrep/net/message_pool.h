@@ -1,0 +1,138 @@
+#ifndef MOBREP_NET_MESSAGE_POOL_H_
+#define MOBREP_NET_MESSAGE_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mobrep/net/message.h"
+
+namespace mobrep {
+
+namespace obs {
+struct AllocCounters;
+}  // namespace obs
+
+class MessagePool;
+
+// RAII handle to a pooled in-flight Message (DESIGN.md §11). Move-only;
+// releases the slot back to its pool on destruction. A handle whose pool is
+// null owns a plain heap-allocated Message instead (the legacy path used
+// when pooling is disabled) and deletes it on destruction — callers never
+// need to know which mode produced the handle.
+class PooledMessage {
+ public:
+  PooledMessage() = default;
+  PooledMessage(Message* message, MessagePool* pool)
+      : message_(message), pool_(pool) {}
+
+  PooledMessage(PooledMessage&& other) noexcept
+      : message_(other.message_), pool_(other.pool_) {
+    other.message_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  PooledMessage& operator=(PooledMessage&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      message_ = other.message_;
+      pool_ = other.pool_;
+      other.message_ = nullptr;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  PooledMessage(const PooledMessage&) = delete;
+  PooledMessage& operator=(const PooledMessage&) = delete;
+
+  ~PooledMessage() { Reset(); }
+
+  Message& operator*() const { return *message_; }
+  Message* operator->() const { return message_; }
+  Message* get() const { return message_; }
+  explicit operator bool() const { return message_ != nullptr; }
+
+ private:
+  void Reset();
+
+  Message* message_ = nullptr;
+  MessagePool* pool_ = nullptr;  // null => heap-owned (legacy mode)
+};
+
+// Thread-local slab allocator for in-flight protocol messages.
+//
+// A Message is fat (string key, window, VersionedValue, shared_ptr), so the
+// old per-hop pattern — construct on the stack, move into a std::function
+// capture, destroy on delivery — paid a heap round trip per hop for the
+// capture alone plus churn on the string/vector buffers. The pool instead
+// recycles fully constructed Message slots: Release scrubs values but keeps
+// the key/window/value capacities, so a reused slot's assignments are pure
+// memcpy once the sim warms up.
+//
+// Discipline (enforced, not advisory):
+//  - Slots are acquired and released on the pool's owning thread (each
+//    thread gets its own pool via ThreadLocal(); a sweep cell's messages
+//    never cross threads).
+//  - A released slot is poisoned (seq = kPoisonSeq). Acquire checks the
+//    poison (catching stray writes through dangling slot pointers) and
+//    Release checks it is absent (catching double-release). The ASan
+//    pool-reuse test drives both.
+//
+// Pooling can be disabled process-wide (SetPoolingEnabled(false)): Acquire
+// then heap-allocates a fresh Message per call and handles delete on release.
+// The legacy path exists so tests can assert pooled and legacy runs produce
+// byte-identical traces and counters, and so benches can A/B the allocation
+// savings in one binary.
+class MessagePool {
+ public:
+  // Poison stamped into Message::seq while a slot sits in the freelist. Real
+  // seqs are small; collision would need ~1.7e19 frames on one link.
+  static constexpr uint64_t kPoisonSeq = 0xDEADDEADDEADDEADull;
+
+  MessagePool();
+  ~MessagePool();
+
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  // This thread's pool. First use constructs it; it lives until thread exit.
+  static MessagePool* ThreadLocal();
+
+  // Acquires a default-constructed (scrubbed) slot.
+  PooledMessage Acquire();
+
+  // Acquires a slot holding the moved-from contents of `message`.
+  PooledMessage Acquire(Message&& message);
+
+  // Acquires a slot holding a copy of `message` (duplicate delivery,
+  // retransmission). With a warm slot this reuses existing buffer
+  // capacities instead of fresh allocations.
+  PooledMessage AcquireCopy(const Message& message);
+
+  // Returns `message` (previously handed out by this pool) to the freelist.
+  // Called by ~PooledMessage; not part of the public API surface.
+  void Release(Message* message);
+
+  // Process-wide switch between pooled and legacy (heap-per-message)
+  // acquisition. Flip only while no PooledMessage handles are live.
+  static void SetPoolingEnabled(bool enabled);
+  static bool pooling_enabled();
+
+  // Slots currently handed out (pooled mode only; diagnostics).
+  int64_t live() const { return live_; }
+
+ private:
+  Message* AcquireSlot();
+
+  static constexpr size_t kSlabSize = 64;
+
+  std::vector<std::unique_ptr<Message[]>> slabs_;
+  std::vector<Message*> free_;
+  int64_t live_ = 0;
+  obs::AllocCounters* alloc_counters_;
+};
+
+}  // namespace mobrep
+
+#endif  // MOBREP_NET_MESSAGE_POOL_H_

@@ -151,9 +151,9 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
     }
     ++it->second.attempts;
     ++budget_used_;
-    Message copy = it->second.frame;
-    copy.retransmit = true;
-    transport_->Send(std::move(copy));
+    // The transport copies the stored frame straight into a pooled slot
+    // and marks the copy; the original stays pristine for GiveUp.
+    transport_->SendRetransmit(it->second.frame);
     retransmissions_.Increment();
     const double next =
         std::min(rto * config_.backoff, config_.max_rto) *
@@ -223,6 +223,7 @@ void ReliableLink::HandleFrame(const Message& frame) {
   Message ack;
   ack.type = MessageType::kAck;
   ack.key = frame.key;
+  ack.key_id = frame.key_id;
   ack.seq = frame.seq;
   if (epochs_enabled_) {
     ack.epoch = local_epoch_;
@@ -237,15 +238,31 @@ void ReliableLink::HandleFrame(const Message& frame) {
                        queue_->now(), static_cast<int64_t>(frame.seq));
     return;
   }
-  reorder_buffer_.emplace(frame.seq, frame);
+  if (frame.seq == next_deliver_seq_) {
+    // In-order fast path — the common case on a healthy link: deliver the
+    // frame straight from the channel's slot, no reorder-buffer copy. The
+    // buffer only ever holds seqs > next_deliver_seq_ (the drain loop
+    // empties anything at the boundary before returning), so skipping the
+    // buffer cannot reorder or duplicate.
+    ++next_deliver_seq_;
+    delivered_.Increment();
+    // The crash window a real kill -9 exposes: the frame is acked and
+    // dequeued but the application never processed it.
+    if (crash_hook_ != nullptr) crash_hook_("recv");
+    MOBREP_CHECK_MSG(receiver_ != nullptr,
+                     "reliable link has no receiver installed");
+    receiver_(frame);
+  } else {
+    // Out of order: this is where the ARQ layer's one owned copy lives
+    // until the gap fills.
+    reorder_buffer_.emplace(frame.seq, frame);
+  }
   while (!reorder_buffer_.empty() &&
          reorder_buffer_.begin()->first == next_deliver_seq_) {
     Message next = std::move(reorder_buffer_.begin()->second);
     reorder_buffer_.erase(reorder_buffer_.begin());
     ++next_deliver_seq_;
     delivered_.Increment();
-    // The crash window a real kill -9 exposes: the frame is acked and
-    // dequeued but the application never processed it.
     if (crash_hook_ != nullptr) crash_hook_("recv");
     MOBREP_CHECK_MSG(receiver_ != nullptr,
                      "reliable link has no receiver installed");

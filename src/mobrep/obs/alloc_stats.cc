@@ -1,0 +1,69 @@
+#include "mobrep/obs/alloc_stats.h"
+
+#include <mutex>
+#include <vector>
+
+#include "mobrep/obs/metrics.h"
+
+namespace mobrep::obs {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // Owned blocks; never freed so aggregation after thread exit is safe.
+  std::vector<AllocCounters*> blocks;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+AllocCounters& LocalAllocCounters() {
+  thread_local AllocCounters* block = [] {
+    auto* fresh = new AllocCounters();
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.blocks.push_back(fresh);
+    return fresh;
+  }();
+  return *block;
+}
+
+AllocCounters AggregateAllocCounters() {
+  AllocCounters total;
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const AllocCounters* block : r.blocks) {
+    total += *block;
+  }
+  return total;
+}
+
+void ResetAllocCounters() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (AllocCounters* block : r.blocks) {
+    *block = AllocCounters();
+  }
+}
+
+void PublishAllocMetrics(MetricsRegistry* registry) {
+  const AllocCounters total = AggregateAllocCounters();
+  registry->GetGauge("mobrep_alloc_event_inline")
+      ->Set(static_cast<double>(total.event_inline));
+  registry->GetGauge("mobrep_alloc_event_heap")
+      ->Set(static_cast<double>(total.event_heap));
+  registry->GetGauge("mobrep_alloc_msg_reuses")
+      ->Set(static_cast<double>(total.msg_reuses));
+  registry->GetGauge("mobrep_alloc_msg_slab_allocs")
+      ->Set(static_cast<double>(total.msg_slab_allocs));
+  registry->GetGauge("mobrep_alloc_msg_legacy_allocs")
+      ->Set(static_cast<double>(total.msg_legacy_allocs));
+  registry->GetGauge("mobrep_alloc_window_spills")
+      ->Set(static_cast<double>(total.window_spills));
+}
+
+}  // namespace mobrep::obs

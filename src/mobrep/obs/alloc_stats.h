@@ -1,0 +1,65 @@
+#ifndef MOBREP_OBS_ALLOC_STATS_H_
+#define MOBREP_OBS_ALLOC_STATS_H_
+
+#include <cstdint>
+
+namespace mobrep::obs {
+
+class MetricsRegistry;
+
+// Allocation accounting for the protocol-plane hot path (DESIGN.md §11).
+//
+// The event queue, message pool and window small-vector each record how often
+// they stayed on their fast path (inline capture, pooled slot, inline window)
+// versus fell back to the heap. Counters are plain thread-local int64s — a
+// bump is a single non-atomic increment, cheap enough to leave on in release
+// builds — and are aggregated across threads on demand.
+//
+// Like the trace rings, a thread's counter block is registered globally on
+// first use and kept alive after the thread exits so late aggregation never
+// reads freed memory. Aggregated values are published as `mobrep_alloc_*`
+// gauges, which land in the "metrics" member of BENCH_*.json — excluded from
+// determinism diffs, since per-thread work division shifts which counter a
+// given increment lands in (totals are deterministic; the split is not).
+struct AllocCounters {
+  // Events whose callback fit the EventQueue inline buffer.
+  int64_t event_inline = 0;
+  // Events whose callback spilled to a heap allocation.
+  int64_t event_heap = 0;
+  // Message-slot acquisitions served from the pool freelist (reuse).
+  int64_t msg_reuses = 0;
+  // Message-slot acquisitions that grew a new slab.
+  int64_t msg_slab_allocs = 0;
+  // Message allocations taken on the legacy (pooling-disabled) heap path.
+  int64_t msg_legacy_allocs = 0;
+  // Piggybacked windows that outgrew the inline buffer.
+  int64_t window_spills = 0;
+
+  AllocCounters& operator+=(const AllocCounters& o) {
+    event_inline += o.event_inline;
+    event_heap += o.event_heap;
+    msg_reuses += o.msg_reuses;
+    msg_slab_allocs += o.msg_slab_allocs;
+    msg_legacy_allocs += o.msg_legacy_allocs;
+    window_spills += o.window_spills;
+    return *this;
+  }
+};
+
+// This thread's counter block. The first call on a thread registers the block
+// in the global aggregation list. Cache the pointer in hot objects.
+AllocCounters& LocalAllocCounters();
+
+// Sum of every thread's counters (including exited threads).
+AllocCounters AggregateAllocCounters();
+
+// Zeroes every registered block. Only safe when no other thread is actively
+// incrementing (benches call it between phases, after joining workers).
+void ResetAllocCounters();
+
+// Publishes the aggregate as `mobrep_alloc_*` gauges on `registry`.
+void PublishAllocMetrics(MetricsRegistry* registry);
+
+}  // namespace mobrep::obs
+
+#endif  // MOBREP_OBS_ALLOC_STATS_H_

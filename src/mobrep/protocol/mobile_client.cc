@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/net/key_interner.h"
 #include "mobrep/obs/trace.h"
 #include "mobrep/protocol/transfer.h"
 
@@ -12,6 +13,7 @@ namespace mobrep {
 MobileClient::MobileClient(std::string key, const PolicySpec& spec,
                            Link* to_sc, ReplicaCache* cache)
     : key_(std::move(key)),
+      key_id_(InternKey(key_)),
       spec_(spec),
       to_sc_(to_sc),
       cache_(cache),
@@ -25,6 +27,14 @@ MobileClient::MobileClient(std::string key, const PolicySpec& spec,
 
 void MobileClient::Persist(const char* reason) {
   if (journal_ != nullptr) journal_->Persist(reason);
+}
+
+Message MobileClient::NewMessage(MessageType type) const {
+  Message message;
+  message.type = type;
+  message.key = key_;
+  message.key_id = key_id_;
+  return message;
 }
 
 void MobileClient::EnableLeases(EventQueue* clock, const LeaseConfig& config) {
@@ -54,9 +64,7 @@ void MobileClient::SendLeaseRenewal() {
   MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRenew, "MC", now,
                      static_cast<int64_t>(lease_token_), 0, 0,
                      lease_expiry_ - now);
-  Message renew;
-  renew.type = MessageType::kLeaseRenew;
-  renew.key = key_;
+  Message renew = NewMessage(MessageType::kLeaseRenew);
   renew.lease_token = lease_token_;
   // The renewed term is measured from this send time, never from the ack's
   // arrival: under the single simulated clock the SC's expiry (receipt +
@@ -79,10 +87,7 @@ void MobileClient::IssueRead(ReadCallback callback) {
       // is availability cost, not part of the paper's workload.
       ++lapsed_remote_reads_;
       pending_read_ = std::move(callback);
-      Message request;
-      request.type = MessageType::kReadRequest;
-      request.key = key_;
-      to_sc_->Send(std::move(request));
+      to_sc_->Send(NewMessage(MessageType::kReadRequest));
       return;
     }
     const ActionKind action = policy_->OnRequest(Op::kRead);
@@ -96,10 +101,7 @@ void MobileClient::IssueRead(ReadCallback callback) {
   // to piggyback an allocation on the response.
   pending_read_ = std::move(callback);
   ++remote_reads_;
-  Message request;
-  request.type = MessageType::kReadRequest;
-  request.key = key_;
-  to_sc_->Send(std::move(request));
+  to_sc_->Send(NewMessage(MessageType::kReadRequest));
 }
 
 void MobileClient::Restore(bool in_charge,
@@ -118,9 +120,7 @@ void MobileClient::BeginResync() {
   resync_pending_ = true;
   MOBREP_TRACE_EVENT(obs::TraceEventKind::kResync, "MC", 0.0,
                      0, static_cast<int64_t>(incarnation_), 0);
-  Message request;
-  request.type = MessageType::kResyncRequest;
-  request.key = key_;
+  Message request = NewMessage(MessageType::kResyncRequest);
   request.claims_charge = in_charge_;
   request.epoch = incarnation_;
   request.peer_epoch = peer_incarnation_;
@@ -177,9 +177,7 @@ void MobileClient::HandleMessage(const Message& message) {
         // a deallocated-but-unannounced state the resync re-grants.
         MOBREP_CHECK(cache_->Evict(key_).ok());
         ++deallocations_;
-        Message del;
-        del.type = MessageType::kDeleteRequest;
-        del.key = key_;
+        Message del = NewMessage(MessageType::kDeleteRequest);
         del.window = ExtractWindow(spec_, *policy_);
         del.transferred_state = ShipState(*policy_);
         // The hand-over names the lease it retires; a stale token here is
@@ -218,9 +216,7 @@ void MobileClient::HandleMessage(const Message& message) {
       // The SC restarted and announces its new incarnation: report this
       // node's live ownership claim so the SC can resolve.
       peer_incarnation_ = std::max(peer_incarnation_, message.epoch);
-      Message reply;
-      reply.type = MessageType::kResyncRequest;
-      reply.key = key_;
+      Message reply = NewMessage(MessageType::kResyncRequest);
       reply.claims_charge = in_charge_;
       reply.epoch = incarnation_;
       reply.peer_epoch = peer_incarnation_;
@@ -288,10 +284,7 @@ void MobileClient::HandleMessage(const Message& message) {
           // A read round trip died with the crash; re-drive it against
           // the resynced SC.
           ++resync_read_retries_;
-          Message request;
-          request.type = MessageType::kReadRequest;
-          request.key = key_;
-          to_sc_->Send(std::move(request));
+          to_sc_->Send(NewMessage(MessageType::kReadRequest));
         }
       }
       return;
@@ -343,9 +336,7 @@ void MobileClient::HandleMessage(const Message& message) {
                          static_cast<int64_t>(lease_token_));
       if (!conflict_reported_) {
         conflict_reported_ = true;
-        Message conflict;
-        conflict.type = MessageType::kLeaseConflict;
-        conflict.key = key_;
+        Message conflict = NewMessage(MessageType::kLeaseConflict);
         conflict.lease_token = lease_token_;  // the stale token we held
         conflict.claims_charge = claimed;
         conflict.window = ExtractWindow(spec_, *policy_);

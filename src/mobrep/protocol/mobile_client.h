@@ -111,7 +111,7 @@ class MobileClient {
 
   // Window piggybacked on the most recent ownership transfer in either
   // direction observed by this node; empty for window-less policies.
-  const std::vector<Op>& last_transfer_window() const {
+  const Window& last_transfer_window() const {
     return last_transfer_window_;
   }
 
@@ -146,11 +146,16 @@ class MobileClient {
 
  private:
   void CompleteRead(const VersionedValue& value);
+  // A fresh outgoing message with the type/key/key_id header stamped.
+  Message NewMessage(MessageType type) const;
   // Journals the node's state if a journal is installed (may throw
   // CrashSignal from an armed crash point).
   void Persist(const char* reason);
 
   std::string key_;
+  // Interned id of key_, stamped on every outgoing message (demux hint;
+  // see net/key_interner.h).
+  uint32_t key_id_ = 0;
   PolicySpec spec_;
   Link* to_sc_;
   ReplicaCache* cache_;
@@ -159,7 +164,7 @@ class MobileClient {
   bool in_charge_ = false;
   bool tolerates_link_faults_ = false;
   ReadCallback pending_read_;
-  std::vector<Op> last_transfer_window_;
+  Window last_transfer_window_;
   uint32_t incarnation_ = 1;
   uint32_t peer_incarnation_ = 1;
   bool resync_pending_ = false;

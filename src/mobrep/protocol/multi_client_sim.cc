@@ -1,5 +1,6 @@
 #include "mobrep/protocol/multi_client_sim.h"
 
+#include <cstddef>
 #include <utility>
 
 #include "mobrep/common/check.h"
@@ -12,44 +13,62 @@ MultiClientSimulation::MultiClientSimulation(const Options& options)
   MOBREP_CHECK(options.num_clients >= 1);
   store_.Put(options_.key, options_.initial_value);
 
-  pairs_.resize(static_cast<size_t>(options.num_clients));
+  const size_t n = static_cast<size_t>(options.num_clients);
+  up_.Reserve(n);
+  down_.Reserve(n);
+  caches_.Reserve(n);
+  clients_.Reserve(n);
+  servers_.Reserve(n);
   for (int i = 0; i < options.num_clients; ++i) {
-    Pair& pair = pairs_[static_cast<size_t>(i)];
-    pair.up = std::make_unique<Channel>(
-        &queue_, options.link_latency, StrFormat("MC%d->SC", i));
-    pair.down = std::make_unique<Channel>(
-        &queue_, options.link_latency, StrFormat("SC->MC%d", i));
-    pair.cache = std::make_unique<ReplicaCache>();
-    pair.client = std::make_unique<MobileClient>(
-        options_.key, options_.spec, pair.up.get(), pair.cache.get());
-    pair.server = std::make_unique<StationaryServer>(
-        options_.key, options_.spec, pair.down.get(), &store_);
-    MobileClient* client = pair.client.get();
-    StationaryServer* server = pair.server.get();
-    pair.up->set_receiver(
-        [server](const Message& m) { server->HandleMessage(m); });
-    pair.down->set_receiver(
-        [client](const Message& m) { client->HandleMessage(m); });
-    if (pair.client->in_charge()) {
-      pair.cache->Install(options_.key, *store_.Get(options_.key));
+    Channel& up = up_.Emplace(&queue_, options.link_latency,
+                              StrFormat("MC%d->SC", i));
+    Channel& down = down_.Emplace(&queue_, options.link_latency,
+                                  StrFormat("SC->MC%d", i));
+    ReplicaCache& cache = caches_.Emplace();
+    MobileClient& client =
+        clients_.Emplace(options_.key, options_.spec, &up, &cache);
+    StationaryServer& server =
+        servers_.Emplace(options_.key, options_.spec, &down, &store_);
+    up.set_receiver(
+        [server = &server](const Message& m) { server->HandleMessage(m); });
+    down.set_receiver(
+        [client = &client](const Message& m) { client->HandleMessage(m); });
+    if (client.in_charge()) {
+      cache.Install(options_.key, *store_.Get(options_.key));
     }
+  }
+}
+
+void MultiClientSimulation::RunToQuiescence(const char* what) {
+  int64_t ran = 0;
+  const int64_t budget =
+      EventQueue::AutoEventBudget(static_cast<int64_t>(queue_.pending()));
+  if (!queue_.TryRunUntilQuiescent(EventQueue::kAutoEventBudget, &ran)) {
+    MOBREP_CHECK_MSG(
+        false,
+        StrFormat("multi-client %s cascade exceeded its event budget of "
+                  "%lld (%d clients, %lld events ran, %zu still pending); "
+                  "livelock, or the auto budget needs raising for this size",
+                  what, static_cast<long long>(budget), num_clients(),
+                  static_cast<long long>(ran), queue_.pending())
+            .c_str());
   }
 }
 
 void MultiClientSimulation::StepRead(int client) {
   MOBREP_CHECK(client >= 0 && client < num_clients());
-  Pair& pair = pairs_[static_cast<size_t>(client)];
+  const size_t i = static_cast<size_t>(client);
   bool completed = false;
   VersionedValue seen;
-  pair.client->IssueRead([&](const VersionedValue& value) {
+  clients_[i].IssueRead([&](const VersionedValue& value) {
     completed = true;
     seen = value;
   });
-  queue_.RunUntilQuiescent();
+  RunToQuiescence("read");
   MOBREP_CHECK_MSG(completed, "read did not complete");
   MOBREP_CHECK_MSG(seen == *store_.Get(options_.key),
                    "a mobile computer observed a stale value");
-  MOBREP_CHECK(pair.client->in_charge() != pair.server->in_charge());
+  MOBREP_CHECK(clients_[i].in_charge() != servers_[i].in_charge());
 }
 
 void MultiClientSimulation::StepWrite() {
@@ -57,15 +76,15 @@ void MultiClientSimulation::StepWrite() {
   // One commit, then every per-MC half honours its own subscription.
   store_.Put(options_.key,
              StrFormat("v%lld", static_cast<long long>(write_sequence_)));
-  for (Pair& pair : pairs_) {
-    pair.server->OnCommittedWrite();
+  for (StationaryServer& server : servers_) {
+    server.OnCommittedWrite();
   }
-  queue_.RunUntilQuiescent();
-  for (const Pair& pair : pairs_) {
-    MOBREP_CHECK(pair.client->in_charge() != pair.server->in_charge());
+  RunToQuiescence("write");
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    MOBREP_CHECK(clients_[i].in_charge() != servers_[i].in_charge());
     // Subscribers' replicas are in step with the store.
-    if (pair.client->has_copy()) {
-      MOBREP_CHECK(*pair.cache->Get(options_.key) ==
+    if (clients_[i].has_copy()) {
+      MOBREP_CHECK(*caches_[i].Get(options_.key) ==
                    *store_.Get(options_.key));
     }
   }
@@ -73,45 +92,44 @@ void MultiClientSimulation::StepWrite() {
 
 bool MultiClientSimulation::HasCopy(int client) const {
   MOBREP_CHECK(client >= 0 && client < num_clients());
-  return pairs_[static_cast<size_t>(client)].client->has_copy();
+  return clients_[static_cast<size_t>(client)].has_copy();
 }
 
 int MultiClientSimulation::SubscriberCount() const {
   int count = 0;
-  for (const Pair& pair : pairs_) {
-    count += pair.client->has_copy() ? 1 : 0;
+  for (const MobileClient& client : clients_) {
+    count += client.has_copy() ? 1 : 0;
   }
   return count;
 }
 
 int64_t MultiClientSimulation::data_messages() const {
   int64_t total = 0;
-  for (const Pair& pair : pairs_) {
-    total += pair.up->data_messages_sent() + pair.down->data_messages_sent();
+  for (size_t i = 0; i < up_.size(); ++i) {
+    total += up_[i].data_messages_sent() + down_[i].data_messages_sent();
   }
   return total;
 }
 
 int64_t MultiClientSimulation::control_messages() const {
   int64_t total = 0;
-  for (const Pair& pair : pairs_) {
-    total += pair.up->control_messages_sent() +
-             pair.down->control_messages_sent();
+  for (size_t i = 0; i < up_.size(); ++i) {
+    total += up_[i].control_messages_sent() +
+             down_[i].control_messages_sent();
   }
   return total;
 }
 
 int64_t MultiClientSimulation::client_data_messages(int client) const {
   MOBREP_CHECK(client >= 0 && client < num_clients());
-  const Pair& pair = pairs_[static_cast<size_t>(client)];
-  return pair.up->data_messages_sent() + pair.down->data_messages_sent();
+  const size_t i = static_cast<size_t>(client);
+  return up_[i].data_messages_sent() + down_[i].data_messages_sent();
 }
 
 int64_t MultiClientSimulation::client_control_messages(int client) const {
   MOBREP_CHECK(client >= 0 && client < num_clients());
-  const Pair& pair = pairs_[static_cast<size_t>(client)];
-  return pair.up->control_messages_sent() +
-         pair.down->control_messages_sent();
+  const size_t i = static_cast<size_t>(client);
+  return up_[i].control_messages_sent() + down_[i].control_messages_sent();
 }
 
 }  // namespace mobrep

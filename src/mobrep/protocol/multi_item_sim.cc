@@ -4,6 +4,7 @@
 
 #include "mobrep/common/check.h"
 #include "mobrep/common/strings.h"
+#include "mobrep/net/key_interner.h"
 
 namespace mobrep {
 
@@ -13,17 +14,22 @@ MultiItemSimulation::MultiItemSimulation(const Options& options)
                                         "MC->SC (shared)");
   sc_to_mc_ = std::make_unique<Channel>(&queue_, options.link_latency,
                                         "SC->MC (shared)");
-  // Demultiplex by item key: every message names its item.
-  mc_to_sc_->set_receiver([this](const Message& m) {
-    const auto it = items_.find(m.key);
-    MOBREP_CHECK_MSG(it != items_.end(), "message for unknown item");
-    it->second.server->HandleMessage(m);
-  });
-  sc_to_mc_->set_receiver([this](const Message& m) {
-    const auto it = items_.find(m.key);
-    MOBREP_CHECK_MSG(it != items_.end(), "message for unknown item");
-    it->second.client->HandleMessage(m);
-  });
+  // Demultiplex by item: every message names its item by key, and the
+  // endpoints additionally stamp the interned key id for O(1) dispatch.
+  mc_to_sc_->set_receiver(
+      [this](const Message& m) { ItemFor(m).server->HandleMessage(m); });
+  sc_to_mc_->set_receiver(
+      [this](const Message& m) { ItemFor(m).client->HandleMessage(m); });
+}
+
+MultiItemSimulation::Item& MultiItemSimulation::ItemFor(const Message& m) {
+  if (m.key_id != 0 && m.key_id < items_by_id_.size() &&
+      items_by_id_[m.key_id] != nullptr) {
+    return *items_by_id_[m.key_id];
+  }
+  const auto it = items_.find(m.key);
+  MOBREP_CHECK_MSG(it != items_.end(), "message for unknown item");
+  return it->second;
 }
 
 void MultiItemSimulation::AddItem(const std::string& key,
@@ -40,7 +46,11 @@ void MultiItemSimulation::AddItem(const std::string& key,
   if (item.client->in_charge()) {
     cache_.Install(key, *store_.Get(key));
   }
-  items_.emplace(key, std::move(item));
+  const auto [it, inserted] = items_.emplace(key, std::move(item));
+  MOBREP_CHECK(inserted);
+  const uint32_t id = InternKey(key);
+  if (items_by_id_.size() <= id) items_by_id_.resize(id + 1, nullptr);
+  items_by_id_[id] = &it->second;
 }
 
 MultiItemSimulation::Item& MultiItemSimulation::GetOrCreate(

@@ -1,6 +1,7 @@
 #ifndef MOBREP_PROTOCOL_MULTI_ITEM_SIM_H_
 #define MOBREP_PROTOCOL_MULTI_ITEM_SIM_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +69,9 @@ class MultiItemSimulation {
   };
 
   Item& GetOrCreate(const std::string& key);
+  // Demultiplexes an incoming message to its item: O(1) through the
+  // interned key id when stamped, string-map lookup when key_id == 0.
+  Item& ItemFor(const Message& m);
 
   Options options_;
   EventQueue queue_;
@@ -76,6 +80,9 @@ class MultiItemSimulation {
   std::unique_ptr<Channel> mc_to_sc_;
   std::unique_ptr<Channel> sc_to_mc_;
   std::map<std::string, Item> items_;
+  // Interned-key fast path: global key id -> this sim's item (nullptr for
+  // ids interned by other sims). map nodes are stable, so Item* is safe.
+  std::vector<Item*> items_by_id_;
 };
 
 }  // namespace mobrep

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mobrep/common/check.h"
+#include "mobrep/net/key_interner.h"
 #include "mobrep/obs/trace.h"
 #include "mobrep/protocol/transfer.h"
 
@@ -12,6 +13,7 @@ namespace mobrep {
 StationaryServer::StationaryServer(std::string key, const PolicySpec& spec,
                                    Link* to_mc, VersionedStore* store)
     : key_(std::move(key)),
+      key_id_(InternKey(key_)),
       spec_(spec),
       to_mc_(to_mc),
       store_(store),
@@ -26,6 +28,14 @@ StationaryServer::StationaryServer(std::string key, const PolicySpec& spec,
 
 void StationaryServer::Persist(const char* reason) {
   if (journal_ != nullptr) journal_->Persist(reason);
+}
+
+Message StationaryServer::NewMessage(MessageType type) const {
+  Message message;
+  message.type = type;
+  message.key = key_;
+  message.key_id = key_id_;
+  return message;
 }
 
 void StationaryServer::EnableLeases(EventQueue* queue,
@@ -102,13 +112,13 @@ void StationaryServer::AttachLease(Message* grant, bool regrant) {
 }
 
 void StationaryServer::RecordLeaseConflict(uint64_t stale_token,
-                                           const std::vector<Op>& window,
+                                           std::span<const Op> window,
                                            bool claimed_charge) {
   LeaseConflict conflict;
   conflict.stale_token = stale_token;
   conflict.current_token = lease_token_;
   conflict.claimed_charge = claimed_charge;
-  conflict.window = window;
+  conflict.window.assign(window.begin(), window.end());
   conflict.recorded_at = queue_->now();
   lease_conflicts_.push_back(std::move(conflict));
 }
@@ -170,9 +180,7 @@ void StationaryServer::BeginResync() {
   resync_pending_ = true;
   MOBREP_TRACE_EVENT(obs::TraceEventKind::kResync, "SC", 0.0,
                      1, static_cast<int64_t>(incarnation_), 0);
-  Message request;
-  request.type = MessageType::kResyncRequest;
-  request.key = key_;
+  Message request = NewMessage(MessageType::kResyncRequest);
   request.claims_charge = in_charge_;
   request.epoch = incarnation_;
   request.peer_epoch = peer_incarnation_;
@@ -231,10 +239,7 @@ void StationaryServer::OnCommittedWrite() {
       ++lease_timer_gen_;
     }
     Persist("sc.sw1.take");
-    Message invalidate;
-    invalidate.type = MessageType::kInvalidate;
-    invalidate.key = key_;
-    to_mc_->Send(std::move(invalidate));
+    to_mc_->Send(NewMessage(MessageType::kInvalidate));
     return;
   }
 
@@ -254,9 +259,7 @@ void StationaryServer::OnCommittedWrite() {
 
   // Generic propagation; the in-charge MC may answer with a delete-request.
   Persist("sc.write");
-  Message propagate;
-  propagate.type = MessageType::kWritePropagate;
-  propagate.key = key_;
+  Message propagate = NewMessage(MessageType::kWritePropagate);
   propagate.item = *store_->Get(key_);
   to_mc_->Send(std::move(propagate));
   ++propagations_;
@@ -272,9 +275,7 @@ void StationaryServer::FlushPending() {
     return;
   }
   pending_propagation_ = false;
-  Message propagate;
-  propagate.type = MessageType::kWritePropagate;
-  propagate.key = key_;
+  Message propagate = NewMessage(MessageType::kWritePropagate);
   propagate.item = *store_->Get(key_);
   to_mc_->Send(std::move(propagate));
   ++propagations_;
@@ -293,18 +294,14 @@ void StationaryServer::HandleMessage(const Message& message) {
         MOBREP_CHECK_MSG(lease_config_.enabled && mc_has_copy_,
                          "read-request received while the MC is in charge");
         ++degraded_remote_reads_;
-        Message response;
-        response.type = MessageType::kDataResponse;
-        response.key = key_;
+        Message response = NewMessage(MessageType::kDataResponse);
         response.item = *store_->Get(key_);
         to_mc_->Send(std::move(response));
         return;
       }
       ++reads_served_;
       const ActionKind action = policy_->OnRequest(Op::kRead);
-      Message response;
-      response.type = MessageType::kDataResponse;
-      response.key = key_;
+      Message response = NewMessage(MessageType::kDataResponse);
       response.item = *store_->Get(key_);
       if (action == ActionKind::kRemoteReadAllocate) {
         // Majority reads: allocate. The indication, the window and the
@@ -346,9 +343,7 @@ void StationaryServer::HandleMessage(const Message& message) {
                            queue_->now(),
                            static_cast<int64_t>(lease_token_),
                            static_cast<int64_t>(message.lease_token));
-        Message revoke;
-        revoke.type = MessageType::kLeaseRevoke;
-        revoke.key = key_;
+        Message revoke = NewMessage(MessageType::kLeaseRevoke);
         revoke.lease_token = lease_token_;
         to_mc_->Send(std::move(revoke));
         return;
@@ -389,9 +384,7 @@ void StationaryServer::HandleMessage(const Message& message) {
       // (docs/RECOVERY.md).
       peer_incarnation_ = std::max(peer_incarnation_, message.epoch);
       ++resyncs_served_;
-      Message response;
-      response.type = MessageType::kResyncResponse;
-      response.key = key_;
+      Message response = NewMessage(MessageType::kResyncResponse);
       response.epoch = incarnation_;
       response.peer_epoch = peer_incarnation_;
       if (in_charge_) {
@@ -438,9 +431,7 @@ void StationaryServer::HandleMessage(const Message& message) {
         MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRevoke, "SC", now,
                            static_cast<int64_t>(lease_token_),
                            static_cast<int64_t>(message.lease_token));
-        Message revoke;
-        revoke.type = MessageType::kLeaseRevoke;
-        revoke.key = key_;
+        Message revoke = NewMessage(MessageType::kLeaseRevoke);
         revoke.lease_token = lease_token_;
         to_mc_->Send(std::move(revoke));
         return;
@@ -453,9 +444,7 @@ void StationaryServer::HandleMessage(const Message& message) {
       MOBREP_TRACE_EVENT(obs::TraceEventKind::kLeaseRenew, "SC", now,
                          static_cast<int64_t>(lease_token_), 1, 0,
                          lease_expiry_ - now);
-      Message ack;
-      ack.type = MessageType::kLeaseRenewAck;
-      ack.key = key_;
+      Message ack = NewMessage(MessageType::kLeaseRenewAck);
       ack.lease_token = lease_token_;
       ack.lease_term = lease_config_.term;
       ack.lease_anchor = message.lease_anchor;  // echo the send-time anchor
@@ -473,9 +462,7 @@ void StationaryServer::HandleMessage(const Message& message) {
                           message.claims_charge);
       if (!lease_reclaimed_) return;  // late duplicate; already reconciled
       MOBREP_DCHECK(mc_has_copy_ && policy_->has_copy());
-      Message regrant;
-      regrant.type = MessageType::kLeaseRegrant;
-      regrant.key = key_;
+      Message regrant = NewMessage(MessageType::kLeaseRegrant);
       regrant.item = *store_->Get(key_);
       regrant.window = ExtractWindow(spec_, *policy_);
       regrant.transferred_state = ShipState(*policy_);

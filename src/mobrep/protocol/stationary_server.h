@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -130,7 +131,7 @@ class StationaryServer {
   uint32_t peer_incarnation() const { return peer_incarnation_; }
   bool resync_pending() const { return resync_pending_; }
 
-  const std::vector<Op>& last_transfer_window() const {
+  const Window& last_transfer_window() const {
     return last_transfer_window_;
   }
 
@@ -187,10 +188,15 @@ class StationaryServer {
   // Attaches a fresh lease (new token, term from now) to an outgoing
   // grant/regrant and arms the expiry timer.
   void AttachLease(Message* grant, bool regrant);
-  void RecordLeaseConflict(uint64_t stale_token, const std::vector<Op>& window,
+  void RecordLeaseConflict(uint64_t stale_token, std::span<const Op> window,
                            bool claimed_charge);
+  // A fresh outgoing message with the type/key/key_id header stamped.
+  Message NewMessage(MessageType type) const;
 
   std::string key_;
+  // Interned id of key_, stamped on every outgoing message (demux hint;
+  // see net/key_interner.h).
+  uint32_t key_id_ = 0;
   PolicySpec spec_;
   Link* to_mc_;
   VersionedStore* store_;
@@ -200,7 +206,7 @@ class StationaryServer {
   bool in_charge_ = false;
   bool mc_has_copy_ = false;
   bool pending_propagation_ = false;
-  std::vector<Op> last_transfer_window_;
+  Window last_transfer_window_;
   uint32_t incarnation_ = 1;
   uint32_t peer_incarnation_ = 1;
   bool resync_pending_ = false;

@@ -1,21 +1,24 @@
 #include "mobrep/protocol/transfer.h"
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "mobrep/common/check.h"
+#include "mobrep/obs/alloc_stats.h"
 #include "mobrep/core/sliding_window_policy.h"
 #include "mobrep/core/threshold_policies.h"
 
 namespace mobrep {
 
-std::vector<Op> ExtractWindow(const PolicySpec& spec,
-                              const AllocationPolicy& policy) {
+Window ExtractWindow(const PolicySpec& spec, const AllocationPolicy& policy) {
   if (spec.kind == PolicyKind::kSw || spec.kind == PolicyKind::kSw1) {
     // The concrete type is pinned by the spec; no RTTI needed.
     const auto& window_policy =
         static_cast<const SlidingWindowPolicy&>(policy);
-    return window_policy.window().Contents();
+    Window window = window_policy.window().SmallContents();
+    if (window.spilled()) ++obs::LocalAllocCounters().window_spills;
+    return window;
   }
   return {};
 }
@@ -47,7 +50,7 @@ int ExtractCounter(const PolicySpec& spec, const AllocationPolicy& policy) {
 }
 
 std::unique_ptr<AllocationPolicy> ReconstructPolicy(
-    const PolicySpec& spec, bool has_copy, const std::vector<Op>& window,
+    const PolicySpec& spec, bool has_copy, std::span<const Op> window,
     int counter) {
   std::unique_ptr<AllocationPolicy> policy = CreatePolicy(spec);
   switch (spec.kind) {

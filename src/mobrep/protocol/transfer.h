@@ -2,6 +2,7 @@
 #define MOBREP_PROTOCOL_TRANSFER_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "mobrep/core/policy.h"
@@ -16,11 +17,12 @@ namespace mobrep {
 // the simulator additionally ships the policy object so that every policy
 // family (including the window-less T-policies) rides the same protocol.
 
-// The piggybackable window of `policy`, or an empty vector for policies
+// The piggybackable window of `policy`, or an empty window for policies
 // that keep no window (statics, T1m/T2m). `spec` identifies the concrete
-// type; `policy` must have been created from `spec`.
-std::vector<Op> ExtractWindow(const PolicySpec& spec,
-                              const AllocationPolicy& policy);
+// type; `policy` must have been created from `spec`. Returns the
+// inline-storage Window (heap-free at the paper's k = 9; larger windows
+// spill and are counted in mobrep_alloc_window_spills).
+Window ExtractWindow(const PolicySpec& spec, const AllocationPolicy& policy);
 
 // Clones `policy` for shipment in a Message::transferred_state.
 std::shared_ptr<AllocationPolicy> ShipState(const AllocationPolicy& policy);
@@ -39,7 +41,7 @@ int ExtractCounter(const PolicySpec& spec, const AllocationPolicy& policy);
 // (crash recovery; see docs/RECOVERY.md). The inverse of
 // (ExtractWindow, ExtractCounter, has_copy()).
 std::unique_ptr<AllocationPolicy> ReconstructPolicy(
-    const PolicySpec& spec, bool has_copy, const std::vector<Op>& window,
+    const PolicySpec& spec, bool has_copy, std::span<const Op> window,
     int counter);
 
 }  // namespace mobrep

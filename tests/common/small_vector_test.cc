@@ -1,0 +1,116 @@
+#include "mobrep/common/small_vector.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobrep {
+namespace {
+
+using IntVec = SmallVector<int32_t, 4>;
+
+TEST(SmallVectorTest, StartsEmptyAndInline) {
+  IntVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVectorTest, PushBackWithinInlineCapacity) {
+  IntVec v;
+  for (int32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.spilled());
+  for (int32_t i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, SpillsToHeapPastInlineCapacity) {
+  IntVec v;
+  for (int32_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_GE(v.capacity(), 100u);
+  for (int32_t i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, InitializerListAndFrontBack) {
+  IntVec v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVectorTest, CopyPreservesContentsInlineAndSpilled) {
+  IntVec small{1, 2};
+  IntVec small_copy(small);
+  EXPECT_EQ(small_copy, small);
+
+  IntVec big;
+  for (int32_t i = 0; i < 50; ++i) big.push_back(i);
+  IntVec big_copy(big);
+  EXPECT_EQ(big_copy, big);
+  big_copy.push_back(999);  // independent storage
+  EXPECT_NE(big_copy, big);
+}
+
+TEST(SmallVectorTest, MoveStealsHeapAndCopiesInline) {
+  IntVec big;
+  for (int32_t i = 0; i < 50; ++i) big.push_back(i);
+  const int32_t* heap_data = big.data();
+  IntVec moved(std::move(big));
+  EXPECT_EQ(moved.data(), heap_data);  // heap buffer stolen, not copied
+  EXPECT_EQ(moved.size(), 50u);
+
+  IntVec small{7, 8};
+  IntVec small_moved(std::move(small));
+  EXPECT_EQ(small_moved.size(), 2u);
+  EXPECT_EQ(small_moved[0], 7);
+}
+
+TEST(SmallVectorTest, AssignAndClearReuseStorage) {
+  IntVec v;
+  const std::vector<int32_t> source = {5, 6, 7, 8, 9, 10};
+  v.assign(source.begin(), source.end());
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_TRUE(v.spilled());
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.spilled());  // capacity kept: clear is not shrink_to_fit
+  v.push_back(42);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVectorTest, EqualityAgainstStdVectorBothOrders) {
+  IntVec v{1, 2, 3};
+  const std::vector<int32_t> same = {1, 2, 3};
+  const std::vector<int32_t> different = {1, 2, 4};
+  EXPECT_TRUE(v == same);
+  EXPECT_TRUE(same == v);
+  EXPECT_TRUE(v != different);
+  EXPECT_TRUE(different != v);
+}
+
+TEST(SmallVectorTest, ConversionRoundTripsThroughStdVector) {
+  IntVec v;
+  for (int32_t i = 0; i < 20; ++i) v.push_back(i * i);
+  const std::vector<int32_t> as_vector = v.ToVector();
+  const IntVec back(as_vector);
+  EXPECT_EQ(back, v);
+}
+
+TEST(SmallVectorTest, RangeForIteratesInOrder) {
+  IntVec v{10, 20, 30};
+  int32_t expected = 10;
+  for (const int32_t x : v) {
+    EXPECT_EQ(x, expected);
+    expected += 10;
+  }
+}
+
+}  // namespace
+}  // namespace mobrep

@@ -1,6 +1,7 @@
 #include "mobrep/net/event_queue.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -124,6 +125,114 @@ TEST(EventQueueTest, NextTimeBoundsARunToADeadline) {
   while (!queue.empty() && queue.next_time() <= 1.5) queue.RunNext();
   EXPECT_EQ(fired, (std::vector<double>{0.5, 1.0, 1.5}));
   EXPECT_EQ(queue.pending(), 2u);
+}
+
+// The 4-ary heap swap's load-bearing property: (time, sequence) is a
+// total order, so FIFO tie-break must hold for ANY number of events at
+// one timestamp — not just the handful the unit test above covers. 100k
+// same-timestamp events is deep enough to exercise every sift path.
+TEST(EventQueueTest, FifoTieBreakPropertyAt100kSameTimestampEvents) {
+  constexpr int kEvents = 100'000;
+  EventQueue queue;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    queue.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(queue.peak_pending(), static_cast<size_t>(kEvents));
+  const int64_t ran = queue.RunUntilQuiescent();
+  ASSERT_EQ(ran, kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(order[static_cast<size_t>(i)], i) << "FIFO violated at " << i;
+  }
+}
+
+// Interleaved timestamps: equal-time runs embedded in a non-monotone
+// schedule still pop FIFO within each timestamp.
+TEST(EventQueueTest, FifoTieBreakWithinInterleavedTimestamps) {
+  EventQueue queue;
+  std::vector<std::pair<double, int>> order;
+  for (int i = 0; i < 3000; ++i) {
+    const double time = static_cast<double>(i % 7);
+    queue.ScheduleAt(time, [&order, time, i] { order.emplace_back(time, i); });
+  }
+  queue.RunUntilQuiescent();
+  for (size_t i = 1; i < order.size(); ++i) {
+    ASSERT_TRUE(order[i - 1].first < order[i].first ||
+                (order[i - 1].first == order[i].first &&
+                 order[i - 1].second < order[i].second))
+        << "order violated at " << i;
+  }
+}
+
+TEST(EventQueueTest, AutoBudgetScalesWithPendingAtEntry) {
+  // The fixed historical cap was 1M events regardless of sim size; the
+  // auto budget keeps that floor and scales up with the workload.
+  EXPECT_EQ(EventQueue::AutoEventBudget(0), 1'000'000);
+  EXPECT_EQ(EventQueue::AutoEventBudget(1000), 1'000'000);
+  EXPECT_EQ(EventQueue::AutoEventBudget(100'000), 6'404'096);
+  EXPECT_GT(EventQueue::AutoEventBudget(5'000'000),
+            static_cast<int64_t>(5'000'000) * 64);
+}
+
+struct CascadeChain {
+  EventQueue* queue;
+  int64_t fired = 0;
+};
+
+void FireChain(CascadeChain* chain, int remaining) {
+  ++chain->fired;
+  if (remaining > 0) {
+    chain->queue->ScheduleAfter(1.0, [chain, remaining] {
+      FireChain(chain, remaining - 1);
+    });
+  }
+}
+
+// A cascade that exceeds the old fixed 1M cap but stays within the
+// workload-scaled budget: 30k entry events, each chaining 40 follow-ups
+// (1.23M events total; auto budget = 64 * 30000 + 4096 = 1.92M+ floor).
+TEST(EventQueueTest, AutoBudgetAdmitsCascadesPastTheOldFixedCap) {
+  EventQueue queue;
+  CascadeChain chain{&queue};
+  constexpr int kEntryEvents = 30'000;
+  constexpr int kChain = 40;
+  for (int i = 0; i < kEntryEvents; ++i) {
+    queue.ScheduleAt(1.0, [&chain] { FireChain(&chain, kChain); });
+  }
+  const int64_t ran = queue.RunUntilQuiescent();
+  EXPECT_EQ(ran, static_cast<int64_t>(kEntryEvents) * (kChain + 1));
+  EXPECT_GT(ran, 1'000'000);  // the old fixed cap would have aborted
+  EXPECT_EQ(chain.fired, ran);
+}
+
+TEST(EventQueueTest, ExecutedAndPeakPendingAccounting) {
+  EventQueue queue;
+  queue.ScheduleAt(1.0, [] {});
+  queue.ScheduleAt(2.0, [] {});
+  queue.ScheduleAt(3.0, [] {});
+  EXPECT_EQ(queue.peak_pending(), 3u);
+  queue.RunNext();
+  queue.ScheduleAt(4.0, [] {});  // pending back to 3: peak unchanged
+  EXPECT_EQ(queue.peak_pending(), 3u);
+  queue.RunUntilQuiescent();
+  EXPECT_EQ(queue.executed(), 4);
+  EXPECT_EQ(queue.peak_pending(), 3u);
+}
+
+// Captures larger than the inline buffer must still work (one heap
+// allocation, counted, behaviour unchanged).
+TEST(EventQueueTest, OversizedCapturesFallBackToHeap) {
+  EventQueue queue;
+  struct Fat {
+    double pad[12];  // 96 bytes > 48-byte inline buffer
+  };
+  Fat fat{};
+  fat.pad[11] = 7.0;
+  double seen = 0.0;
+  queue.ScheduleAt(1.0, [fat, &seen] { seen = fat.pad[11]; });
+  queue.RunUntilQuiescent();
+  EXPECT_DOUBLE_EQ(seen, 7.0);
 }
 
 TEST(EventQueueDeathTest, RejectsPastScheduling) {
