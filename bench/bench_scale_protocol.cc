@@ -36,7 +36,9 @@
 #include "mobrep/common/strings.h"
 #include "mobrep/net/message_pool.h"
 #include "mobrep/obs/alloc_stats.h"
+#include "mobrep/obs/analysis/analyzer.h"
 #include "mobrep/obs/metrics.h"
+#include "mobrep/obs/trace.h"
 #include "mobrep/protocol/multi_client_sim.h"
 #include "mobrep/protocol/multi_item_sim.h"
 #include "mobrep/runner/parallel_sweep.h"
@@ -377,13 +379,62 @@ void PrintMultiObjectGrid() {
       "cross-item interference.\n");
 }
 
+// ---------------------------------------------------------------------------
+// Optional self-audit (--analyze): re-run one bounded 64-client shard under
+// the deterministic trace recorder and pass the merged stream through the
+// causal analyzer (obs/analysis). Everything it prints goes to stderr —
+// stdout and the JSON cells are byte-identical with and without the flag.
+
+void RunTraceSelfAudit() {
+  if (!obs::kTracingCompiled) {
+    std::fprintf(stderr,
+                 "[scale_protocol] --analyze: tracing compiled out; rebuild "
+                 "with -DMOBREP_TRACING=ON\n");
+    return;
+  }
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  recorder->Clear();
+  recorder->SetCapacityPerThread(size_t{1} << 17);
+  obs::TraceRecorder::SetRuntimeEnabled(true);
+  {
+    MultiClientSimulation::Options options;
+    options.num_clients = 64;
+    options.spec = *ParsePolicySpec("sw:9");
+    MultiClientSimulation sim(options);
+    Rng rng(24681357);
+    for (int c = 0; c < 64; ++c) sim.StepRead(c);
+    for (int step = 0; step < 2000; ++step) {
+      if (rng.NextDouble() < 0.3) {
+        sim.StepWrite();
+      } else {
+        sim.StepRead(static_cast<int>(rng.UniformInt(64)));
+      }
+    }
+  }
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder->MergedEvents();
+  obs::analysis::AnalyzerOptions options;
+  options.audit.recorder_dropped = recorder->dropped();
+  recorder->Clear();
+  const obs::analysis::AnalysisReport report =
+      obs::analysis::AnalyzeTrace(events, options);
+  std::fprintf(stderr, "[scale_protocol] causal self-audit:\n%s",
+               report.ToText().c_str());
+  // Fault-free channels: any error-severity finding means the engine broke
+  // the protocol's causality, and the bench should say so loudly.
+  MOBREP_CHECK_MSG(report.clean(),
+                   "causal self-audit found error-severity anomalies");
+}
+
 }  // namespace
 }  // namespace mobrep::bench
 
 int main(int argc, char** argv) {
   bool full = false;
+  bool analyze = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--analyze") == 0) analyze = true;
   }
   const char* env = std::getenv("MOBREP_SCALE_FULL");
   if (env != nullptr && env[0] != '\0' && env[0] != '0') full = true;
@@ -392,6 +443,7 @@ int main(int argc, char** argv) {
   mobrep::bench::PrintAllocationAudit();
   mobrep::bench::PrintScaleLadder(full);
   mobrep::bench::PrintMultiObjectGrid();
+  if (analyze) mobrep::bench::RunTraceSelfAudit();
   mobrep::obs::PublishAllocMetrics(mobrep::obs::MetricsRegistry::Global());
   mobrep::bench::FinishGlobalReport();
   return 0;

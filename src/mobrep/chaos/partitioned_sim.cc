@@ -5,6 +5,7 @@
 
 #include "mobrep/common/check.h"
 #include "mobrep/common/strings.h"
+#include "mobrep/obs/trace.h"
 #include "mobrep/protocol/diagnosis.h"
 
 namespace mobrep {
@@ -390,7 +391,7 @@ Status PartitionedSimulation::CheckFinal() {
   return OkStatus();
 }
 
-Status PartitionedSimulation::Run() {
+Status PartitionedSimulation::RunToHorizon() {
   ScheduleWorkload();
   // Run the clock to the horizon and stop: events scheduled past it —
   // notably the lease expiry timer re-armed by the workload's last
@@ -411,6 +412,49 @@ Status PartitionedSimulation::Run() {
     queue_.RunNext();
   }
   return CheckFinal();
+}
+
+Status PartitionedSimulation::Run() {
+  const bool audit = config_.audit_trace && obs::kTracingCompiled;
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  if (audit) {
+    recorder->Clear();
+    recorder->SetCapacityPerThread(size_t{1} << 16);
+    obs::TraceRecorder::SetRuntimeEnabled(true);
+  }
+  const Status result = RunToHorizon();
+  if (!audit) return result;
+
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder->MergedEvents();
+  obs::analysis::AnalyzerOptions options;
+  options.audit.recorder_dropped = recorder->dropped();
+  recorder->Clear();
+  // A healed plan that left frames outstanding is a stall worth a finding
+  // in the report too, with the protocol-level diagnosis attached; a
+  // never-heal plan is *expected* to end with traffic in flight.
+  if (!config_.plan.never_heals() &&
+      (client_->resync_pending() || server_->resync_pending() ||
+       mc_link_->outstanding_frames() + sc_link_->outstanding_frames() > 0)) {
+    options.audit.stall_context =
+        DescribeQuiescenceStall(client_.get(), server_.get(), mc_link_.get(),
+                                sc_link_.get(), queue_.now());
+  }
+  audit_report_ = std::make_unique<obs::analysis::AnalysisReport>(
+      obs::analysis::AnalyzeTrace(events, options));
+
+  if (!result.ok()) return result;  // the invariant violation wins
+  if (!audit_report_->clean()) {
+    for (const obs::analysis::Finding& finding : audit_report_->findings) {
+      if (finding.severity == obs::analysis::Severity::kError) {
+        return InternalError(StrFormat(
+            "causal audit: %lld error finding(s); first: [%s] %s",
+            static_cast<long long>(audit_report_->errors),
+            finding.cls.c_str(), finding.detail.c_str()));
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace mobrep

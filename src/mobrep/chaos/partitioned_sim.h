@@ -8,6 +8,7 @@
 
 #include "mobrep/chaos/partition_scheduler.h"
 #include "mobrep/common/status.h"
+#include "mobrep/obs/analysis/analyzer.h"
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/net/event_queue.h"
 #include "mobrep/net/failure_detector.h"
@@ -56,6 +57,13 @@ struct PartitionSimConfig {
   // with an unlimited budget and must abandon nothing.
   int64_t never_heal_retry_budget = 48;
   int64_t max_events = 4'000'000;
+  // Record the run's deterministic trace and pass it through the causal
+  // analyzer (obs/analysis) at the end: error-severity findings — broken
+  // send->outcome causality the invariant probes cannot see — fail the run
+  // like any other violation. Warnings and infos (retransmit storms,
+  // abandoned frames, drops) are expected consequences of the injected
+  // partition and are only reported. No-op when tracing is compiled out.
+  bool audit_trace = false;
 };
 
 // One SC observer read taken by the probe tick.
@@ -125,9 +133,17 @@ class PartitionedSimulation {
   bool lease_live_at_partition() const { return lease_live_at_partition_; }
   // The workload horizon actually used (extended past heal time).
   double effective_horizon() const { return horizon_; }
+  // The causal analysis of the run's trace; null unless config.audit_trace
+  // was set and tracing is compiled in.
+  const obs::analysis::AnalysisReport* audit_report() const {
+    return audit_report_.get();
+  }
 
  private:
   void ScheduleWorkload();
+  // The event loop + final checks, factored out so Run() can bracket it
+  // with trace recording when config.audit_trace is set.
+  Status RunToHorizon();
   void WriteTick();
   void ReadTick();
   void ProbeTick();
@@ -170,6 +186,7 @@ class PartitionedSimulation {
   bool lease_live_at_partition_ = false;
   bool client_charged_at_partition_ = false;
   Status first_error_;  // sticky
+  std::unique_ptr<obs::analysis::AnalysisReport> audit_report_;
 };
 
 }  // namespace mobrep

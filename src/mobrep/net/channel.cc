@@ -14,10 +14,14 @@ Channel::Channel(EventQueue* queue, double latency, std::string name)
 }
 
 void Channel::Meter(const Message& message) {
+  // Sender-incarnation enrichment of the network-plane payloads (see
+  // trace.h): epoch is 0 everywhere outside the chaos harness and is the
+  // same at any thread count, so packing it keeps trace diffs byte-stable.
   if (message.type == MessageType::kAck) {
     acks_sent_.Increment();
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kAckSend, name_.c_str(),
-                       queue_->now(), static_cast<int64_t>(message.seq));
+                       queue_->now(), static_cast<int64_t>(message.seq),
+                       static_cast<int64_t>(message.epoch));
     return;
   }
   if (message.type == MessageType::kHeartbeat) {
@@ -25,14 +29,16 @@ void Channel::Meter(const Message& message) {
     // any protocol exchange, never in the paper's counters.
     heartbeats_sent_.Increment();
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kHeartbeat, name_.c_str(),
-                       queue_->now(), static_cast<int64_t>(message.seq));
+                       queue_->now(), static_cast<int64_t>(message.seq),
+                       static_cast<int64_t>(message.epoch));
     return;
   }
   if (message.retransmit) {
     retransmissions_sent_.Increment();
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kRetransmit, name_.c_str(),
                        queue_->now(), static_cast<int64_t>(message.seq),
-                       static_cast<int64_t>(message.type));
+                       static_cast<int64_t>(message.type),
+                       static_cast<int64_t>(message.epoch));
     return;
   }
   if (IsLeaseMessage(message.type)) {
@@ -41,7 +47,8 @@ void Channel::Meter(const Message& message) {
     lease_messages_sent_.Increment();
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageSend, name_.c_str(),
                        queue_->now(), static_cast<int64_t>(message.seq),
-                       static_cast<int64_t>(message.type), 0);
+                       static_cast<int64_t>(message.type),
+                       static_cast<int64_t>(message.epoch) << 1);
     return;
   }
   if (message.type == MessageType::kResyncRequest ||
@@ -51,7 +58,8 @@ void Channel::Meter(const Message& message) {
     recovery_messages_sent_.Increment();
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageSend, name_.c_str(),
                        queue_->now(), static_cast<int64_t>(message.seq),
-                       static_cast<int64_t>(message.type), 0);
+                       static_cast<int64_t>(message.type),
+                       static_cast<int64_t>(message.epoch) << 1);
     return;
   }
   messages_sent_.Increment();
@@ -63,7 +71,8 @@ void Channel::Meter(const Message& message) {
   MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageSend, name_.c_str(),
                      queue_->now(), static_cast<int64_t>(message.seq),
                      static_cast<int64_t>(message.type),
-                     IsDataMessage(message.type) ? 1 : 0);
+                     (IsDataMessage(message.type) ? 1 : 0) |
+                         (static_cast<int64_t>(message.epoch) << 1));
 }
 
 void Channel::ScheduleDelivery(PooledMessage slot, double delay) {
@@ -72,7 +81,8 @@ void Channel::ScheduleDelivery(PooledMessage slot, double delay) {
   queue_->ScheduleAfter(delay, [this, slot = std::move(slot)]() {
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageRecv, name_.c_str(),
                        queue_->now(), static_cast<int64_t>(slot->seq),
-                       static_cast<int64_t>(slot->type));
+                       static_cast<int64_t>(slot->type),
+                       static_cast<int64_t>(slot->epoch));
     receiver_(*slot);
   });
 }

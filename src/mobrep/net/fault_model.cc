@@ -85,7 +85,8 @@ void FaultyChannel::Transmit(PooledMessage slot) {
     MOBREP_TRACE_EVENT(obs::TraceEventKind::kMessageDrop, name().c_str(),
                        queue()->now(), static_cast<int64_t>(slot->seq),
                        static_cast<int64_t>(slot->type),
-                       decision.in_outage ? 1 : 0);
+                       (decision.in_outage ? 1 : 0) |
+                           (static_cast<int64_t>(slot->epoch) << 1));
     return;  // releasing the slot: the frame is lost
   }
   if (decision.duplicate) {

@@ -111,10 +111,18 @@ double ReliableLink::JitterFactor(uint64_t seq, int attempt) const {
 }
 
 void ReliableLink::GiveUp(std::map<uint64_t, Outstanding>::iterator it,
-                          const char* why) {
+                          const char* why, bool budget_exhausted) {
   const Message abandoned = it->second.frame;
   outstanding_.erase(it);
   give_ups_.Increment();
+  // Labelled with the outgoing channel so the offline analyzer can close
+  // the conversation (direction, epoch, seq) the frame belonged to.
+  MOBREP_TRACE_EVENT(obs::TraceEventKind::kArqAbandon,
+                     transport_->name().c_str(), queue_->now(),
+                     static_cast<int64_t>(abandoned.seq),
+                     static_cast<int64_t>(abandoned.type),
+                     (budget_exhausted ? 1 : 0) |
+                         (static_cast<int64_t>(abandoned.epoch) << 1));
   if (on_give_up_ == nullptr) {
     // An unsurvivable link with nobody watching is a harness
     // misconfiguration, not a recoverable condition; abort with context.
@@ -138,7 +146,8 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
                        queue_->now(), static_cast<int64_t>(seq),
                        it->second.attempts);
     if (it->second.attempts >= config_.max_retries) {
-      GiveUp(it, "reliable link exhausted its per-frame retry cap");
+      GiveUp(it, "reliable link exhausted its per-frame retry cap",
+             /*budget_exhausted=*/false);
       return;
     }
     if (config_.retry_budget > 0 && budget_used_ >= config_.retry_budget) {
@@ -146,7 +155,8 @@ void ReliableLink::ArmTimer(uint64_t seq, double rto) {
       // peer is most plausibly gone for good): abandon instead of probing
       // forever. Surfaced as a dedicated counter plus the give-up hook.
       budget_exhausted_frames_.Increment();
-      GiveUp(it, "reliable link exhausted its per-conversation retry budget");
+      GiveUp(it, "reliable link exhausted its per-conversation retry budget",
+             /*budget_exhausted=*/true);
       return;
     }
     ++it->second.attempts;

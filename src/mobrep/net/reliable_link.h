@@ -189,8 +189,11 @@ class ReliableLink : public Link {
   // and start a fresh one toward the new incarnation.
   void AdoptPeerEpoch(uint32_t epoch);
   // Abandons the outstanding frame at `it` through the give-up path;
-  // `why` names the cause in the no-hook abort message.
-  void GiveUp(std::map<uint64_t, Outstanding>::iterator it, const char* why);
+  // `why` names the cause in the no-hook abort message and
+  // `budget_exhausted` marks the per-conversation-budget cause in the
+  // kArqAbandon trace payload.
+  void GiveUp(std::map<uint64_t, Outstanding>::iterator it, const char* why,
+              bool budget_exhausted);
 
   EventQueue* queue_;
   Channel* transport_;

@@ -1,0 +1,297 @@
+#include "mobrep/obs/analysis/analyzer.h"
+
+#include <map>
+#include <sstream>
+
+#include "mobrep/common/strings.h"
+#include "mobrep/obs/trace_export.h"
+
+namespace mobrep::obs::analysis {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeTrace(const std::vector<TraceEvent>& events,
+                            const AnalyzerOptions& options) {
+  AnalysisReport report;
+  report.graph = BuildCausalGraph(events);
+  report.anatomy = ComputeLatencyAnatomy(report.graph, events);
+  report.findings = RunAnomalyAudit(report.graph, options.audit);
+  report.recorder_dropped = options.audit.recorder_dropped;
+
+  for (const Conversation& conv : report.graph.conversations) {
+    if (conv.space != ConversationSpace::kData) continue;
+    ++report.data_conversations;
+    switch (conv.outcome) {
+      case ConversationOutcome::kDelivered:
+        ++report.delivered;
+        break;
+      case ConversationOutcome::kAbandoned:
+        ++report.abandoned;
+        break;
+      case ConversationOutcome::kAllAttemptsDropped:
+        ++report.all_attempts_dropped;
+        break;
+      case ConversationOutcome::kInFlight:
+        ++report.in_flight;
+        break;
+    }
+  }
+  const int64_t terminal =
+      report.delivered + report.abandoned + report.all_attempts_dropped;
+  report.match_rate =
+      report.data_conversations > 0
+          ? static_cast<double>(terminal) /
+                static_cast<double>(report.data_conversations)
+          : 1.0;
+
+  for (const Finding& finding : report.findings) {
+    switch (finding.severity) {
+      case Severity::kError:
+        ++report.errors;
+        break;
+      case Severity::kWarning:
+        ++report.warnings;
+        break;
+      case Severity::kInfo:
+        ++report.infos;
+        break;
+    }
+  }
+
+  if (options.registry != nullptr) {
+    PublishAnatomy(report.anatomy, options.registry);
+    options.registry
+        ->GetCounter("mobrep_analysis_findings_error",
+                     "error-severity causal-analysis findings")
+        ->Increment(report.errors);
+    options.registry
+        ->GetCounter("mobrep_analysis_findings_warning",
+                     "warning-severity causal-analysis findings")
+        ->Increment(report.warnings);
+    options.registry
+        ->GetCounter("mobrep_analysis_findings_info",
+                     "info-severity causal-analysis findings")
+        ->Increment(report.infos);
+    options.registry
+        ->GetCounter("mobrep_analysis_conversations",
+                     "conversations reconstructed by the causal analyzer")
+        ->Increment(static_cast<int64_t>(report.graph.conversations.size()));
+  }
+  return report;
+}
+
+std::string AnalysisReport::ToText() const {
+  std::ostringstream out;
+  out << "== causal trace analysis ==\n";
+  out << StrFormat("events: %lld",
+                   static_cast<long long>(graph.total_events));
+  if (recorder_dropped > 0) {
+    out << StrFormat("  (TRUNCATED: %lld dropped at record time)",
+                     static_cast<long long>(recorder_dropped));
+  }
+  out << "\n";
+  int64_t heartbeat_convs = 0;
+  for (const Conversation& c : graph.conversations) {
+    if (c.space == ConversationSpace::kHeartbeat) ++heartbeat_convs;
+  }
+  const int64_t ack_convs = static_cast<int64_t>(graph.conversations.size()) -
+                            data_conversations - heartbeat_convs;
+  out << StrFormat(
+      "conversations: %lld data, %lld ack, %lld heartbeat across %lld "
+      "scope(s)\n",
+      static_cast<long long>(data_conversations),
+      static_cast<long long>(ack_convs),
+      static_cast<long long>(heartbeat_convs),
+      static_cast<long long>(graph.scopes.size()));
+  out << StrFormat(
+      "attempts: %lld send(s) + %lld retransmission(s); %lld "
+      "delivery(ies), %lld drop(s) (%lld in outages)\n",
+      static_cast<long long>(graph.sends),
+      static_cast<long long>(graph.retransmits),
+      static_cast<long long>(graph.deliveries),
+      static_cast<long long>(graph.drops),
+      static_cast<long long>(graph.outage_drops));
+  out << StrFormat(
+      "outcomes: %lld delivered, %lld abandoned, %lld all-attempts-dropped, "
+      "%lld in-flight\n",
+      static_cast<long long>(delivered), static_cast<long long>(abandoned),
+      static_cast<long long>(all_attempts_dropped),
+      static_cast<long long>(in_flight));
+  out << StrFormat("send->outcome match rate: %.1f%% (%lld of %lld)\n",
+                   match_rate * 100.0,
+                   static_cast<long long>(delivered + abandoned +
+                                          all_attempts_dropped),
+                   static_cast<long long>(data_conversations));
+  out << "latency anatomy (sim time):\n" << AnatomyToText(anatomy);
+  out << StrFormat("findings: %lld error(s), %lld warning(s), %lld info\n",
+                   static_cast<long long>(errors),
+                   static_cast<long long>(warnings),
+                   static_cast<long long>(infos));
+  for (const Finding& finding : findings) {
+    out << StrFormat("  [%s] %s scope=%lld span=%llu..%llu ts=%.6g: %s\n",
+                     SeverityName(finding.severity), finding.cls.c_str(),
+                     static_cast<long long>(finding.scope),
+                     static_cast<unsigned long long>(finding.seq_begin),
+                     static_cast<unsigned long long>(finding.seq_end),
+                     finding.ts, finding.detail.c_str());
+  }
+  return out.str();
+}
+
+std::string AnalysisReport::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  out << StrFormat("\"events\": %lld, \"recorder_dropped\": %lld, ",
+                   static_cast<long long>(graph.total_events),
+                   static_cast<long long>(recorder_dropped));
+  out << StrFormat(
+      "\"conversations\": {\"data\": %lld, \"total\": %lld, "
+      "\"delivered\": %lld, \"abandoned\": %lld, "
+      "\"all_attempts_dropped\": %lld, \"in_flight\": %lld}, ",
+      static_cast<long long>(data_conversations),
+      static_cast<long long>(graph.conversations.size()),
+      static_cast<long long>(delivered), static_cast<long long>(abandoned),
+      static_cast<long long>(all_attempts_dropped),
+      static_cast<long long>(in_flight));
+  out << StrFormat(
+      "\"attempts\": {\"sends\": %lld, \"retransmits\": %lld, "
+      "\"deliveries\": %lld, \"drops\": %lld, \"outage_drops\": %lld, "
+      "\"acks\": %lld, \"heartbeats\": %lld}, ",
+      static_cast<long long>(graph.sends),
+      static_cast<long long>(graph.retransmits),
+      static_cast<long long>(graph.deliveries),
+      static_cast<long long>(graph.drops),
+      static_cast<long long>(graph.outage_drops),
+      static_cast<long long>(graph.acks_sent),
+      static_cast<long long>(graph.heartbeats_sent));
+  out << StrFormat("\"match_rate\": %.17g, ", match_rate);
+  out << "\"anatomy\": " << AnatomyToJson(anatomy) << ", ";
+  out << StrFormat(
+      "\"finding_counts\": {\"error\": %lld, \"warning\": %lld, "
+      "\"info\": %lld}, ",
+      static_cast<long long>(errors), static_cast<long long>(warnings),
+      static_cast<long long>(infos));
+  out << "\"findings\": [";
+  bool first = true;
+  for (const Finding& finding : findings) {
+    out << (first ? "" : ", ")
+        << StrFormat(
+               "{\"severity\": \"%s\", \"class\": \"%s\", \"scope\": %lld, "
+               "\"seq_begin\": %llu, \"seq_end\": %llu, \"ts\": %.17g, "
+               "\"detail\": \"%s\"}",
+               SeverityName(finding.severity),
+               JsonEscape(finding.cls).c_str(),
+               static_cast<long long>(finding.scope),
+               static_cast<unsigned long long>(finding.seq_begin),
+               static_cast<unsigned long long>(finding.seq_end), finding.ts,
+               JsonEscape(finding.detail).c_str());
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string ExportAnnotatedChromeTrace(const std::vector<TraceEvent>& events,
+                                       const AnalysisReport& report) {
+  std::vector<std::string> extra;
+  extra.push_back(
+      "{\"ph\": \"M\", \"pid\": 3, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"causal analysis\"}}");
+  extra.push_back(
+      "{\"ph\": \"M\", \"pid\": 3, \"tid\": 0, \"name\": \"thread_name\", "
+      "\"args\": {\"name\": \"anomalies\"}}");
+
+  // One lane per channel direction, in conversation-sorted (deterministic)
+  // order; lane 0 is the anomaly marker lane.
+  std::map<std::string, int> lanes;
+  const auto lane = [&](const std::string& direction) {
+    auto [it, inserted] =
+        lanes.emplace(direction, static_cast<int>(lanes.size()) + 1);
+    if (inserted) {
+      extra.push_back(StrFormat(
+          "{\"ph\": \"M\", \"pid\": 3, \"tid\": %d, \"name\": "
+          "\"thread_name\", \"args\": {\"name\": \"%s\"}}",
+          it->second, JsonEscape(direction).c_str()));
+    }
+    return it->second;
+  };
+
+  const auto slice_ts = [](double sim_ts) { return sim_ts * 1e6; };
+
+  for (const Conversation& conv : report.graph.conversations) {
+    if (conv.space == ConversationSpace::kHeartbeat) continue;
+    if (conv.attempts() == 0) continue;
+    const double begin = conv.first_send_ts;
+    const double end =
+        conv.outcome == ConversationOutcome::kDelivered
+            ? conv.first_delivery_ts
+            : (conv.last_attempt_ts > begin ? conv.last_attempt_ts : begin);
+    extra.push_back(StrFormat(
+        "{\"ph\": \"X\", \"pid\": 3, \"tid\": %d, \"ts\": %.17g, "
+        "\"dur\": %.17g, \"name\": \"%s seq %llu\", \"args\": "
+        "{\"outcome\": \"%s\", \"attempts\": %d, \"retransmits\": %d, "
+        "\"drops\": %d, \"epoch\": %lld}}",
+        lane(conv.direction), slice_ts(begin), slice_ts(end) - slice_ts(begin),
+        MessageTypeLabel(static_cast<int>(conv.message_type)),
+        static_cast<unsigned long long>(conv.link_seq),
+        ConversationOutcomeName(conv.outcome), conv.attempts(),
+        conv.retransmits, conv.drops, static_cast<long long>(conv.epoch)));
+  }
+
+  // Flow arrows along recovered causal chains. The "s" step sits on the
+  // cause's slice, the "f" (bp=e) step on the effect's; Perfetto draws the
+  // arrow between them when the ids match.
+  int next_flow_id = 1;
+  const auto emit_flow = [&](const std::vector<std::pair<int, int>>& pairs,
+                             const char* name) {
+    for (const auto& [cause_index, effect_index] : pairs) {
+      const Conversation& cause = report.graph.conversations[cause_index];
+      const Conversation& effect = report.graph.conversations[effect_index];
+      const int id = next_flow_id++;
+      extra.push_back(StrFormat(
+          "{\"ph\": \"s\", \"pid\": 3, \"tid\": %d, \"ts\": %.17g, "
+          "\"id\": %d, \"name\": \"%s\", \"cat\": \"causal\"}",
+          lane(cause.direction), slice_ts(cause.first_send_ts), id, name));
+      extra.push_back(StrFormat(
+          "{\"ph\": \"f\", \"bp\": \"e\", \"pid\": 3, \"tid\": %d, "
+          "\"ts\": %.17g, \"id\": %d, \"name\": \"%s\", \"cat\": "
+          "\"causal\"}",
+          lane(effect.direction), slice_ts(effect.first_send_ts), id, name));
+    }
+  };
+  emit_flow(report.anatomy.request_response_pairs, "request_response");
+  emit_flow(report.anatomy.resync_pairs, "resync");
+
+  for (const Finding& finding : report.findings) {
+    extra.push_back(StrFormat(
+        "{\"ph\": \"i\", \"s\": \"g\", \"pid\": 3, \"tid\": 0, "
+        "\"ts\": %.17g, \"name\": \"%s\", \"args\": {\"severity\": \"%s\", "
+        "\"scope\": %lld, \"detail\": \"%s\"}}",
+        slice_ts(finding.ts), JsonEscape(finding.cls).c_str(),
+        SeverityName(finding.severity), static_cast<long long>(finding.scope),
+        JsonEscape(finding.detail).c_str()));
+  }
+
+  return ExportChromeTrace(events, extra);
+}
+
+}  // namespace mobrep::obs::analysis

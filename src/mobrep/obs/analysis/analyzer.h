@@ -1,0 +1,70 @@
+#ifndef MOBREP_OBS_ANALYSIS_ANALYZER_H_
+#define MOBREP_OBS_ANALYSIS_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/obs/analysis/anomaly_audit.h"
+#include "mobrep/obs/analysis/causal_graph.h"
+#include "mobrep/obs/analysis/latency_anatomy.h"
+#include "mobrep/obs/metrics.h"
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs::analysis {
+
+// The offline causal analyzer: one call over a merged deterministic trace
+// produces the happens-before graph, the latency anatomy and the anomaly
+// findings, packaged as a report with deterministic text/JSON renderings.
+// Consumed by `mobrep_cli analyze`, the chaos harnesses (fault-free runs
+// must be clean) and the scale bench's --analyze self-audit.
+
+struct AnalyzerOptions {
+  AuditConfig audit;
+  // When set, every anatomy series is also recorded into
+  // mobrep_analysis_* histograms on this registry.
+  MetricsRegistry* registry = nullptr;
+};
+
+struct AnalysisReport {
+  CausalGraph graph;
+  LatencyAnatomy anatomy;
+  std::vector<Finding> findings;
+
+  // Conversations by outcome (data space only — the protocol's own frames;
+  // acks and heartbeats are accounted inside the graph counters).
+  int64_t data_conversations = 0;
+  int64_t delivered = 0;
+  int64_t abandoned = 0;
+  int64_t all_attempts_dropped = 0;
+  int64_t in_flight = 0;
+  // delivered+abandoned+all_attempts_dropped over data conversations with
+  // at least one attempt: the "every send has a terminal outcome" rate.
+  double match_rate = 1.0;
+
+  int64_t errors = 0;
+  int64_t warnings = 0;
+  int64_t infos = 0;
+  int64_t recorder_dropped = 0;
+
+  bool clean() const { return errors == 0; }
+  bool truncated() const { return recorder_dropped > 0; }
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+AnalysisReport AnalyzeTrace(const std::vector<TraceEvent>& events,
+                            const AnalyzerOptions& options = {});
+
+// Chrome trace-event JSON of the raw trace plus the analyzer's annotations
+// on pid 3: per-conversation "X" slices (one lane per channel direction),
+// "s"/"f" flow arrows along recovered request->response and
+// resync-request->response chains (paired ids), and an instant marker per
+// anomaly finding. Validated by tools/validate_trace.py --require-flows.
+std::string ExportAnnotatedChromeTrace(const std::vector<TraceEvent>& events,
+                                       const AnalysisReport& report);
+
+}  // namespace mobrep::obs::analysis
+
+#endif  // MOBREP_OBS_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,255 @@
+#include "mobrep/obs/analysis/anomaly_audit.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "mobrep/common/strings.h"
+#include "mobrep/obs/trace_export.h"
+
+namespace mobrep::obs::analysis {
+namespace {
+
+// Aggregated per-site evidence for the info-level fault classes.
+struct SiteAggregate {
+  int count = 0;
+  int outage = 0;
+  uint64_t seq_begin = 0;
+  uint64_t seq_end = 0;
+  double first_ts = 0.0;
+  bool any = false;
+
+  void Fold(const Conversation& conv, int n, int outage_n) {
+    count += n;
+    outage += outage_n;
+    if (!any) {
+      seq_begin = conv.first_trace_seq;
+      seq_end = conv.last_trace_seq;
+      first_ts = conv.first_send_ts;
+      any = true;
+    } else {
+      seq_begin = std::min(seq_begin, conv.first_trace_seq);
+      seq_end = std::max(seq_end, conv.last_trace_seq);
+    }
+  }
+};
+
+Finding MakeFinding(Severity severity, const char* cls, std::string detail,
+                    int64_t scope, uint64_t seq_begin, uint64_t seq_end,
+                    double ts) {
+  Finding finding;
+  finding.severity = severity;
+  finding.cls = cls;
+  finding.detail = std::move(detail);
+  finding.scope = scope;
+  finding.seq_begin = seq_begin;
+  finding.seq_end = seq_end;
+  finding.ts = ts;
+  return finding;
+}
+
+Finding FromConversation(Severity severity, const char* cls,
+                         std::string detail, const Conversation& conv) {
+  return MakeFinding(severity, cls, std::move(detail), conv.scope,
+                     conv.first_trace_seq, conv.last_trace_seq,
+                     conv.first_send_ts);
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::vector<Finding> RunAnomalyAudit(const CausalGraph& graph,
+                                     const AuditConfig& config) {
+  std::vector<Finding> findings;
+
+  // Highest delivered data seq per (scope, direction, epoch): an undelivered
+  // earlier seq was passed over — with no abandon on record, the trace lost
+  // its terminal outcome.
+  std::map<std::tuple<int64_t, std::string, int64_t>, uint64_t>
+      max_delivered_seq;
+  // Data conversations by (scope, direction, seq), any epoch — the
+  // ack_without_send probe (the ack carries the receiver's incarnation, so
+  // epochs don't line up across a crash).
+  std::set<std::tuple<int64_t, std::string, uint64_t>> data_seqs;
+  for (const Conversation& conv : graph.conversations) {
+    if (conv.space != ConversationSpace::kData || conv.link_seq == 0) continue;
+    if (conv.attempts() > 0) {
+      data_seqs.insert({conv.scope, conv.direction, conv.link_seq});
+    }
+    if (conv.outcome == ConversationOutcome::kDelivered) {
+      uint64_t& max_seq =
+          max_delivered_seq[{conv.scope, conv.direction, conv.epoch}];
+      max_seq = std::max(max_seq, conv.link_seq);
+    }
+  }
+
+  // Per-conversation classes.
+  std::map<std::tuple<int64_t, std::string>, SiteAggregate> drop_sites;
+  std::map<std::tuple<int64_t, std::string>, SiteAggregate> dup_sites;
+  for (const Conversation& conv : graph.conversations) {
+    const std::string where = StrFormat(
+        "%s %s seq=%llu epoch=%lld", conv.direction.c_str(),
+        MessageTypeLabel(static_cast<int>(conv.message_type)),
+        static_cast<unsigned long long>(conv.link_seq),
+        static_cast<long long>(conv.epoch));
+
+    if (conv.attempts() == 0 && conv.deliveries > 0) {
+      findings.push_back(FromConversation(
+          Severity::kError, "recv_without_send",
+          StrFormat("arrival with no recorded send: %s (%d deliveries)",
+                    where.c_str(), conv.deliveries),
+          conv));
+      continue;
+    }
+
+    if (conv.space == ConversationSpace::kAck && conv.attempts() > 0 &&
+        conv.link_seq != 0 &&
+        data_seqs.count({conv.scope, ReverseDirection(conv.direction),
+                         conv.link_seq}) == 0) {
+      findings.push_back(FromConversation(
+          Severity::kError, "ack_without_send",
+          StrFormat("ack for a frame the trace never sent: %s",
+                    where.c_str()),
+          conv));
+    }
+
+    if (conv.retransmits >= config.retransmit_storm_threshold) {
+      findings.push_back(FromConversation(
+          Severity::kWarning, "retransmit_storm",
+          StrFormat("%d retransmissions (threshold %d): %s", conv.retransmits,
+                    config.retransmit_storm_threshold, where.c_str()),
+          conv));
+    }
+
+    if (conv.abandoned) {
+      findings.push_back(FromConversation(
+          Severity::kWarning, "abandoned_frame",
+          StrFormat("ARQ abandoned the frame after %d attempts (%s): %s",
+                    conv.attempts(),
+                    conv.abandoned_for_budget ? "retry budget exhausted"
+                                              : "per-frame retry cap",
+                    where.c_str()),
+          conv));
+    }
+
+    if (conv.space == ConversationSpace::kData &&
+        conv.outcome != ConversationOutcome::kDelivered && !conv.abandoned &&
+        conv.attempts() > 0 && conv.link_seq != 0) {
+      const auto it = max_delivered_seq.find(
+          {conv.scope, conv.direction, conv.epoch});
+      const bool passed_over =
+          it != max_delivered_seq.end() && it->second > conv.link_seq;
+      if (passed_over) {
+        findings.push_back(FromConversation(
+            Severity::kError, "unmatched_send",
+            StrFormat("send without terminal outcome, later frames "
+                      "delivered past it: %s (outcome %s)",
+                      where.c_str(), ConversationOutcomeName(conv.outcome)),
+            conv));
+      } else {
+        findings.push_back(FromConversation(
+            Severity::kInfo, "in_flight_at_end",
+            StrFormat("trace ended before a terminal outcome: %s "
+                      "(%d attempts, %d drops)",
+                      where.c_str(), conv.attempts(), conv.drops),
+            conv));
+      }
+    }
+
+    if (conv.drops > 0) {
+      drop_sites[{conv.scope, conv.direction}].Fold(conv, conv.drops,
+                                                    conv.outage_drops);
+    }
+    const int surplus = conv.surplus_deliveries();
+    if (surplus > 0) {
+      dup_sites[{conv.scope, conv.direction}].Fold(conv, surplus, 0);
+    }
+  }
+
+  // Aggregated injected-fault evidence.
+  for (const auto& [key, agg] : drop_sites) {
+    const auto& [scope, direction] = key;
+    findings.push_back(MakeFinding(
+        Severity::kInfo, "dropped_frame",
+        StrFormat("%d frame(s) dropped on %s (%d during outages)", agg.count,
+                  direction.c_str(), agg.outage),
+        scope, agg.seq_begin, agg.seq_end, agg.first_ts));
+  }
+  for (const auto& [key, agg] : dup_sites) {
+    const auto& [scope, direction] = key;
+    findings.push_back(MakeFinding(
+        Severity::kInfo, "duplicate_frame",
+        StrFormat("%d surplus arrival(s) on %s (injected duplicates)",
+                  agg.count, direction.c_str()),
+        scope, agg.seq_begin, agg.seq_end, agg.first_ts));
+  }
+
+  // Lease fencing churn: reclaim/revoke cycles are individually expected
+  // under partitions (info) but repeated flapping is a warning.
+  if (graph.lease_reclaims + graph.lease_revokes > 0) {
+    findings.push_back(MakeFinding(
+        Severity::kInfo, "lease_reclaim",
+        StrFormat("%lld lease reclaim(s), %lld revoke(s), %lld grant(s)",
+                  static_cast<long long>(graph.lease_reclaims),
+                  static_cast<long long>(graph.lease_revokes),
+                  static_cast<long long>(graph.lease_grants)),
+        0, 0, 0, 0.0));
+    const int64_t cycles = graph.lease_reclaims + graph.lease_revokes;
+    if (cycles >= config.lease_churn_threshold) {
+      findings.push_back(MakeFinding(
+          Severity::kWarning, "lease_churn",
+          StrFormat("%lld ownership reclaim/revoke cycle(s) (threshold %d): "
+                    "fencing is flapping",
+                    static_cast<long long>(cycles),
+                    config.lease_churn_threshold),
+          0, 0, 0, 0.0));
+    }
+  }
+
+  // Quiescence stall diagnosed by the harness that drove the run.
+  if (!config.stall_context.empty()) {
+    findings.push_back(MakeFinding(Severity::kWarning, "quiescence_stall",
+                                   config.stall_context, 0, 0, 0, 0.0));
+  }
+
+  // Trace completeness: ring overflow (global) and per-scope seq gaps.
+  if (config.recorder_dropped > 0) {
+    findings.push_back(MakeFinding(
+        Severity::kWarning, "truncated_trace",
+        StrFormat("recorder dropped %lld event(s) to ring overflow; "
+                  "absence-based findings are low-confidence",
+                  static_cast<long long>(config.recorder_dropped)),
+        0, 0, 0, 0.0));
+  }
+  for (const ScopeStats& stats : graph.scopes) {
+    if (stats.missing() == 0) continue;
+    findings.push_back(MakeFinding(
+        Severity::kWarning, "truncated_trace",
+        StrFormat("scope %lld: %lld of %lld event(s) missing from the ring",
+                  static_cast<long long>(stats.scope),
+                  static_cast<long long>(stats.missing()),
+                  static_cast<long long>(stats.max_seq) + 1),
+        stats.scope, 0, stats.max_seq, 0.0));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.scope, a.seq_begin, a.cls, a.detail) <
+                     std::tie(b.scope, b.seq_begin, b.cls, b.detail);
+            });
+  return findings;
+}
+
+}  // namespace mobrep::obs::analysis

@@ -1,0 +1,62 @@
+#ifndef MOBREP_OBS_ANALYSIS_ANOMALY_AUDIT_H_
+#define MOBREP_OBS_ANALYSIS_ANOMALY_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/obs/analysis/causal_graph.h"
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs::analysis {
+
+// Anomaly audit over a reconstructed causal graph. Every finding names its
+// class (the anomaly taxonomy in docs/OBSERVABILITY.md), a severity, and
+// the exact trace span (scope + seq range) the evidence lives in, so a
+// reader can jump from the report into the deterministic trace dump.
+//
+// Severity contract:
+//   error   — causality is broken: a send the trace never resolves, or an
+//             effect with no cause. A fault-free run must produce none
+//             (asserted by harnesses and CI).
+//   warning — the protocol survived but burned visible work: retransmit
+//             storms, abandoned frames, lease churn, quiescence stalls,
+//             truncated rings.
+//   info    — expected consequences of injected faults (drops, duplicates,
+//             lease reclaims), aggregated per site.
+
+enum class Severity : uint8_t { kInfo = 0, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+struct Finding {
+  Severity severity = Severity::kInfo;
+  std::string cls;     // stable class slug, e.g. "unmatched_send"
+  std::string detail;  // human-readable evidence
+  int64_t scope = 0;
+  uint64_t seq_begin = 0;  // trace span (scope-local seq range)
+  uint64_t seq_end = 0;
+  double ts = 0.0;  // sim time of the anchor event
+};
+
+struct AuditConfig {
+  // A conversation with at least this many retransmissions is a storm.
+  int retransmit_storm_threshold = 8;
+  // At least this many lease reclaim/revoke cycles in one scope is churn.
+  int lease_churn_threshold = 3;
+  // Non-empty when the driving harness diagnosed a quiescence stall
+  // (protocol/diagnosis.cc's DescribeQuiescenceStall); folded into the
+  // report as a warning so trace evidence and live diagnosis land together.
+  std::string stall_context;
+  // Events dropped by the recorder's rings (TraceRecorder::dropped());
+  // nonzero degrades every absence-based claim the audit makes.
+  int64_t recorder_dropped = 0;
+};
+
+// Deterministic: findings sorted by (scope, seq_begin, class, detail).
+std::vector<Finding> RunAnomalyAudit(const CausalGraph& graph,
+                                     const AuditConfig& config);
+
+}  // namespace mobrep::obs::analysis
+
+#endif  // MOBREP_OBS_ANALYSIS_ANOMALY_AUDIT_H_

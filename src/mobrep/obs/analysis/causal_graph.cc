@@ -1,0 +1,306 @@
+#include "mobrep/obs/analysis/causal_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "mobrep/obs/trace_kinds.h"
+
+namespace mobrep::obs::analysis {
+namespace {
+
+ConversationSpace SpaceForMessageType(int64_t type) {
+  if (type == kTraceMsgAck) return ConversationSpace::kAck;
+  if (type == kTraceMsgHeartbeat) return ConversationSpace::kHeartbeat;
+  return ConversationSpace::kData;
+}
+
+// Builder state: conversations accumulate in creation order; the key maps
+// hold indices into that vector. Keyed lookup covers numbered (ARQ) frames;
+// the FIFO queues cover unnumbered plain-channel frames.
+struct Builder {
+  std::vector<Conversation> conversations;
+  // (scope, direction, space, epoch, link seq) -> conversation index.
+  std::map<std::tuple<int64_t, std::string, int, int64_t, uint64_t>, size_t>
+      keyed;
+  // (scope, direction, message type) -> indices of unnumbered conversations
+  // awaiting their delivery, in send order.
+  std::map<std::tuple<int64_t, std::string, int64_t>, std::deque<size_t>>
+      fifo_pending;
+
+  size_t NewConversation(const TraceEvent& event, ConversationSpace space,
+                         int64_t epoch, int64_t type) {
+    Conversation conv;
+    conv.scope = event.scope;
+    conv.direction = event.label;
+    conv.space = space;
+    conv.epoch = epoch;
+    conv.link_seq = static_cast<uint64_t>(event.a0);
+    conv.message_type = type;
+    conv.first_trace_seq = event.seq;
+    conv.last_trace_seq = event.seq;
+    conversations.push_back(std::move(conv));
+    return conversations.size() - 1;
+  }
+
+  size_t FindOrCreateKeyed(const TraceEvent& event, ConversationSpace space,
+                           int64_t epoch, int64_t type) {
+    const auto key = std::make_tuple(
+        event.scope, std::string(event.label), static_cast<int>(space), epoch,
+        static_cast<uint64_t>(event.a0));
+    const auto it = keyed.find(key);
+    if (it != keyed.end()) return it->second;
+    const size_t index = NewConversation(event, space, epoch, type);
+    keyed.emplace(key, index);
+    return index;
+  }
+
+  void Touch(size_t index, const TraceEvent& event) {
+    conversations[index].last_trace_seq = event.seq;
+  }
+};
+
+void RecordAttempt(Conversation* conv, const TraceEvent& event,
+                   bool retransmit) {
+  if (retransmit) {
+    ++conv->retransmits;
+  } else {
+    ++conv->sends;
+  }
+  if (conv->attempts() == 1) conv->first_send_ts = event.ts;
+  conv->last_attempt_ts = event.ts;
+}
+
+void RecordDelivery(Conversation* conv, const TraceEvent& event) {
+  if (conv->deliveries == 0) {
+    conv->first_delivery_ts = event.ts;
+    // The attempt that reached the peer is the latest one not after the
+    // arrival; last_attempt_ts tracks exactly that while deliveries == 0
+    // (an attempt emitted after this arrival is handled below).
+    conv->delivering_attempt_ts =
+        conv->last_attempt_ts <= event.ts ? conv->last_attempt_ts
+                                          : conv->first_send_ts;
+  }
+  ++conv->deliveries;
+}
+
+}  // namespace
+
+const char* ConversationSpaceName(ConversationSpace space) {
+  switch (space) {
+    case ConversationSpace::kData:
+      return "data";
+    case ConversationSpace::kAck:
+      return "ack";
+    case ConversationSpace::kHeartbeat:
+      return "heartbeat";
+  }
+  return "unknown";
+}
+
+const char* ConversationOutcomeName(ConversationOutcome outcome) {
+  switch (outcome) {
+    case ConversationOutcome::kDelivered:
+      return "delivered";
+    case ConversationOutcome::kAbandoned:
+      return "abandoned";
+    case ConversationOutcome::kAllAttemptsDropped:
+      return "all_attempts_dropped";
+    case ConversationOutcome::kInFlight:
+      return "in_flight";
+  }
+  return "unknown";
+}
+
+std::string ReverseDirection(const std::string& direction) {
+  const size_t arrow = direction.find("->");
+  if (arrow == std::string::npos) return direction;
+  const std::string left = direction.substr(0, arrow);
+  std::string right = direction.substr(arrow + 2);
+  std::string suffix;
+  const size_t space = right.find(' ');
+  if (space != std::string::npos) {
+    suffix = right.substr(space);
+    right = right.substr(0, space);
+  }
+  return right + "->" + left + suffix;
+}
+
+CausalGraph BuildCausalGraph(std::vector<TraceEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.scope != b.scope) return a.scope < b.scope;
+                     return a.seq < b.seq;
+                   });
+
+  CausalGraph graph;
+  graph.total_events = static_cast<int64_t>(events.size());
+  Builder builder;
+  std::map<int64_t, ScopeStats> scopes;
+
+  for (const TraceEvent& event : events) {
+    ScopeStats& stats = scopes[event.scope];
+    stats.scope = event.scope;
+    ++stats.observed;
+    stats.max_seq = std::max(stats.max_seq, event.seq);
+
+    switch (event.kind) {
+      case TraceEventKind::kMessageSend: {
+        ++graph.sends;
+        const int64_t epoch = TraceEventEpoch(event);
+        const uint64_t seq = static_cast<uint64_t>(event.a0);
+        size_t index;
+        if (seq == 0) {
+          index = builder.NewConversation(event, ConversationSpace::kData,
+                                          epoch, event.a1);
+          builder
+              .fifo_pending[std::make_tuple(
+                  event.scope, std::string(event.label), event.a1)]
+              .push_back(index);
+        } else {
+          index = builder.FindOrCreateKeyed(event, ConversationSpace::kData,
+                                            epoch, event.a1);
+        }
+        RecordAttempt(&builder.conversations[index], event,
+                      /*retransmit=*/false);
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kRetransmit: {
+        ++graph.retransmits;
+        const size_t index = builder.FindOrCreateKeyed(
+            event, ConversationSpace::kData, TraceEventEpoch(event), event.a1);
+        RecordAttempt(&builder.conversations[index], event,
+                      /*retransmit=*/true);
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kAckSend: {
+        ++graph.acks_sent;
+        const size_t index = builder.FindOrCreateKeyed(
+            event, ConversationSpace::kAck, TraceEventEpoch(event),
+            kTraceMsgAck);
+        RecordAttempt(&builder.conversations[index], event,
+                      /*retransmit=*/false);
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kHeartbeat: {
+        ++graph.heartbeats_sent;
+        const size_t index = builder.FindOrCreateKeyed(
+            event, ConversationSpace::kHeartbeat, TraceEventEpoch(event),
+            kTraceMsgHeartbeat);
+        RecordAttempt(&builder.conversations[index], event,
+                      /*retransmit=*/false);
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kMessageRecv: {
+        ++graph.deliveries;
+        const ConversationSpace space = SpaceForMessageType(event.a1);
+        const uint64_t seq = static_cast<uint64_t>(event.a0);
+        size_t index;
+        if (seq == 0) {
+          auto& queue = builder.fifo_pending[std::make_tuple(
+              event.scope, std::string(event.label), event.a1)];
+          if (queue.empty()) {
+            // Arrival with no matching send: surfaces as recv_without_send.
+            index = builder.NewConversation(event, space,
+                                            TraceEventEpoch(event), event.a1);
+          } else {
+            index = queue.front();
+            queue.pop_front();
+          }
+        } else {
+          index = builder.FindOrCreateKeyed(event, space,
+                                            TraceEventEpoch(event), event.a1);
+        }
+        RecordDelivery(&builder.conversations[index], event);
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kMessageDrop: {
+        ++graph.drops;
+        const bool in_outage = (event.a2 & 1) != 0;
+        if (in_outage) ++graph.outage_drops;
+        const ConversationSpace space = SpaceForMessageType(event.a1);
+        const size_t index = builder.FindOrCreateKeyed(
+            event, space, TraceEventEpoch(event), event.a1);
+        Conversation* conv = &builder.conversations[index];
+        ++conv->drops;
+        if (in_outage) ++conv->outage_drops;
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kArqAbandon: {
+        ++graph.abandons;
+        const size_t index = builder.FindOrCreateKeyed(
+            event, ConversationSpace::kData, TraceEventEpoch(event), event.a1);
+        Conversation* conv = &builder.conversations[index];
+        conv->abandoned = true;
+        if ((event.a2 & 1) != 0) conv->abandoned_for_budget = true;
+        builder.Touch(index, event);
+        break;
+      }
+      case TraceEventKind::kArqTimeout:
+        ++graph.arq_timeouts;
+        break;
+      case TraceEventKind::kDuplicateDropped:
+        ++graph.arq_duplicates_dropped;
+        break;
+      case TraceEventKind::kFencedFrame:
+        ++graph.fenced_frames;
+        break;
+      case TraceEventKind::kLeaseReclaim:
+        ++graph.lease_reclaims;
+        break;
+      case TraceEventKind::kLeaseRevoke:
+        ++graph.lease_revokes;
+        break;
+      case TraceEventKind::kLeaseGrant:
+        ++graph.lease_grants;
+        break;
+      case TraceEventKind::kDegradedRead:
+        ++graph.degraded_reads;
+        break;
+      case TraceEventKind::kResync:
+        if (event.a2 == 0) {
+          ++graph.resync_initiated;
+        } else {
+          ++graph.resync_resolved;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Terminal outcomes.
+  for (Conversation& conv : builder.conversations) {
+    if (conv.deliveries > 0) {
+      conv.outcome = ConversationOutcome::kDelivered;
+    } else if (conv.abandoned) {
+      conv.outcome = ConversationOutcome::kAbandoned;
+    } else if (conv.attempts() > 0 && conv.drops >= conv.attempts()) {
+      conv.outcome = ConversationOutcome::kAllAttemptsDropped;
+    } else {
+      conv.outcome = ConversationOutcome::kInFlight;
+    }
+  }
+
+  graph.conversations = std::move(builder.conversations);
+  std::sort(graph.conversations.begin(), graph.conversations.end(),
+            [](const Conversation& a, const Conversation& b) {
+              return std::tie(a.scope, a.direction, a.space, a.epoch,
+                              a.link_seq, a.first_trace_seq) <
+                     std::tie(b.scope, b.direction, b.space, b.epoch,
+                              b.link_seq, b.first_trace_seq);
+            });
+  graph.scopes.reserve(scopes.size());
+  for (auto& [scope, stats] : scopes) graph.scopes.push_back(stats);
+  return graph;
+}
+
+}  // namespace mobrep::obs::analysis

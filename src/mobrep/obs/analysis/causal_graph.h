@@ -1,0 +1,141 @@
+#ifndef MOBREP_OBS_ANALYSIS_CAUSAL_GRAPH_H_
+#define MOBREP_OBS_ANALYSIS_CAUSAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs::analysis {
+
+// Offline happens-before reconstruction over a merged deterministic trace
+// (docs/OBSERVABILITY.md "Analysis").
+//
+// The unit of reconstruction is the *conversation*: one frame's life on one
+// channel direction — its send, its retransmissions, its channel-level
+// deliveries and its injected drops, ending in a terminal outcome. Matching
+// is purely channel-level: kMessageRecv is emitted by the channel when the
+// frame arrives at the receiving node, before the ARQ dedups or fences it,
+// so the balance equations hold independently of ARQ policy:
+//
+//   attempts  = sends + retransmits
+//   attempts  = deliveries + drops - injected duplicates
+//
+// Conversations are keyed by (scope, direction, space, epoch, link seq) —
+// the direction is the channel name the frames traveled on (both the send
+// and the recv side of a channel emit under the channel's own label), the
+// epoch is the sender incarnation packed into the payload (0 outside the
+// chaos harness) and the space separates the three link-seq numbering
+// domains (data/control frames, acks keyed by the seq they ack, and
+// heartbeat probes, which own a private sequence space). Unnumbered frames
+// (plain channels without an ARQ assign no seq) are matched FIFO per
+// (scope, direction, message type), which is exact because plain channels
+// are loss-free and deliver in send order.
+//
+// Keys never involve key_id: intern order is thread-count-dependent and
+// must not leak into analysis results.
+
+enum class ConversationSpace : uint8_t { kData = 0, kAck, kHeartbeat };
+
+const char* ConversationSpaceName(ConversationSpace space);
+
+enum class ConversationOutcome : uint8_t {
+  kDelivered = 0,       // at least one channel-level delivery
+  kAbandoned,           // ARQ gave the frame up (kArqAbandon observed)
+  kAllAttemptsDropped,  // every attempt met a kMessageDrop; no delivery
+  kInFlight,            // trace ended before a terminal outcome
+};
+
+const char* ConversationOutcomeName(ConversationOutcome outcome);
+
+struct Conversation {
+  int64_t scope = 0;
+  std::string direction;  // channel name the frames traveled on
+  ConversationSpace space = ConversationSpace::kData;
+  int64_t epoch = 0;      // sender incarnation (0 outside chaos)
+  uint64_t link_seq = 0;  // 0 for unnumbered (plain-channel) traffic
+  int64_t message_type = -1;  // MessageType integer of the first attempt
+
+  int sends = 0;
+  int retransmits = 0;
+  int deliveries = 0;
+  int drops = 0;
+  int outage_drops = 0;  // subset of drops
+  bool abandoned = false;
+  bool abandoned_for_budget = false;
+
+  double first_send_ts = 0.0;
+  double last_attempt_ts = 0.0;
+  double first_delivery_ts = 0.0;
+  // Timestamp of the last attempt at or before the first delivery — the
+  // attempt that actually reached the peer; transit time is measured from
+  // here, retransmission stall is everything before it.
+  double delivering_attempt_ts = 0.0;
+
+  // Trace span anchors: (scope, seq) of the first and last event folded
+  // into this conversation — the exact span an anomaly finding points at.
+  uint64_t first_trace_seq = 0;
+  uint64_t last_trace_seq = 0;
+
+  ConversationOutcome outcome = ConversationOutcome::kInFlight;
+
+  int attempts() const { return sends + retransmits; }
+  // Channel arrivals beyond attempted copies: injected duplicates.
+  int surplus_deliveries() const {
+    const int expected = attempts() - drops;
+    return deliveries > expected ? deliveries - (expected > 0 ? expected : 0)
+                                 : 0;
+  }
+};
+
+// Per-scope completeness: scope sequence numbers are assigned contiguously
+// from 0 by TraceScope, so any gap means the ring dropped events.
+struct ScopeStats {
+  int64_t scope = 0;
+  int64_t observed = 0;
+  uint64_t max_seq = 0;
+  int64_t missing() const {
+    const int64_t expected = static_cast<int64_t>(max_seq) + 1;
+    return observed < expected ? expected - observed : 0;
+  }
+};
+
+struct CausalGraph {
+  // Sorted by (scope, direction, space, epoch, link seq, first trace seq):
+  // deterministic at any thread count.
+  std::vector<Conversation> conversations;
+  std::vector<ScopeStats> scopes;  // sorted by scope
+
+  int64_t total_events = 0;
+  int64_t sends = 0;
+  int64_t retransmits = 0;
+  int64_t deliveries = 0;
+  int64_t drops = 0;
+  int64_t outage_drops = 0;
+  int64_t acks_sent = 0;
+  int64_t heartbeats_sent = 0;
+  int64_t abandons = 0;
+  int64_t arq_timeouts = 0;
+  int64_t arq_duplicates_dropped = 0;
+  int64_t fenced_frames = 0;
+  int64_t lease_reclaims = 0;
+  int64_t lease_revokes = 0;
+  int64_t lease_grants = 0;
+  int64_t degraded_reads = 0;
+  int64_t resync_initiated = 0;
+  int64_t resync_resolved = 0;
+};
+
+// Reconstructs the conversation graph from a trace. The input may be any
+// permutation of a merged stream; it is re-sorted by (scope, seq) first.
+CausalGraph BuildCausalGraph(std::vector<TraceEvent> events);
+
+// "MC->SC" -> "SC->MC", preserving any suffix after the right endpoint
+// ("MC->SC (shared)" -> "SC->MC (shared)"). Returns the input unchanged
+// when it has no "->".
+std::string ReverseDirection(const std::string& direction);
+
+}  // namespace mobrep::obs::analysis
+
+#endif  // MOBREP_OBS_ANALYSIS_CAUSAL_GRAPH_H_

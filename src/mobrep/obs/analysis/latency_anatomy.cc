@@ -1,0 +1,232 @@
+#include "mobrep/obs/analysis/latency_anatomy.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "mobrep/common/strings.h"
+#include "mobrep/obs/trace_kinds.h"
+
+namespace mobrep::obs::analysis {
+namespace {
+
+double QuantileFromSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct NamedSeries {
+  const char* name;
+  const std::vector<double>* samples;
+};
+
+std::vector<NamedSeries> AllSeries(const LatencyAnatomy& anatomy) {
+  return {{"transit", &anatomy.transit},
+          {"retrans_stall", &anatomy.retrans_stall},
+          {"ack_wait", &anatomy.ack_wait},
+          {"turnaround", &anatomy.turnaround},
+          {"request_rtt", &anatomy.request_rtt},
+          {"lease_wait", &anatomy.lease_wait},
+          {"resync_detour", &anatomy.resync_detour}};
+}
+
+// FIFO pairing of cause conversations with effect conversations: the i-th
+// delivered cause (in arrival order) pairs with the i-th effect sent at or
+// after that arrival (in send order). Holds for the single-threaded event
+// loops here because the server issues effects in cause-arrival order.
+void PairChains(const CausalGraph& graph, int64_t cause_type,
+                int64_t effect_type, std::vector<std::pair<int, int>>* pairs,
+                std::vector<double>* gap, std::vector<double>* end_to_end) {
+  // (scope, cause direction) -> conversation indices.
+  std::map<std::tuple<int64_t, std::string>, std::vector<int>> causes;
+  std::map<std::tuple<int64_t, std::string>, std::vector<int>> effects;
+  for (int i = 0; i < static_cast<int>(graph.conversations.size()); ++i) {
+    const Conversation& conv = graph.conversations[i];
+    if (conv.space != ConversationSpace::kData) continue;
+    if (conv.message_type == cause_type &&
+        conv.outcome == ConversationOutcome::kDelivered) {
+      causes[{conv.scope, conv.direction}].push_back(i);
+    } else if (conv.message_type == effect_type && conv.attempts() > 0) {
+      effects[{conv.scope, ReverseDirection(conv.direction)}].push_back(i);
+    }
+  }
+  for (auto& [key, cause_list] : causes) {
+    auto it = effects.find(key);
+    if (it == effects.end()) continue;
+    std::vector<int>& effect_list = it->second;
+    std::sort(cause_list.begin(), cause_list.end(), [&](int a, int b) {
+      return graph.conversations[a].first_delivery_ts <
+             graph.conversations[b].first_delivery_ts;
+    });
+    std::sort(effect_list.begin(), effect_list.end(), [&](int a, int b) {
+      return graph.conversations[a].first_send_ts <
+             graph.conversations[b].first_send_ts;
+    });
+    size_t next_effect = 0;
+    for (const int cause : cause_list) {
+      const Conversation& req = graph.conversations[cause];
+      while (next_effect < effect_list.size() &&
+             graph.conversations[effect_list[next_effect]].first_send_ts <
+                 req.first_delivery_ts) {
+        ++next_effect;  // effect predates this cause: spoken for already
+      }
+      if (next_effect >= effect_list.size()) break;
+      const int effect = effect_list[next_effect];
+      ++next_effect;
+      const Conversation& resp = graph.conversations[effect];
+      pairs->emplace_back(cause, effect);
+      if (gap != nullptr) {
+        gap->push_back(resp.first_send_ts - req.first_delivery_ts);
+      }
+      if (end_to_end != nullptr &&
+          resp.outcome == ConversationOutcome::kDelivered) {
+        end_to_end->push_back(resp.first_delivery_ts - req.first_send_ts);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SeriesSummary Summarize(const std::vector<double>& samples) {
+  SeriesSummary summary;
+  summary.n = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return summary;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double s : sorted) sum += s;
+  summary.mean = sum / static_cast<double>(sorted.size());
+  summary.p50 = QuantileFromSorted(sorted, 0.50);
+  summary.p90 = QuantileFromSorted(sorted, 0.90);
+  summary.p99 = QuantileFromSorted(sorted, 0.99);
+  summary.max = sorted.back();
+  return summary;
+}
+
+LatencyAnatomy ComputeLatencyAnatomy(const CausalGraph& graph,
+                                     const std::vector<TraceEvent>& events) {
+  LatencyAnatomy anatomy;
+
+  // Per-conversation components.
+  for (const Conversation& conv : graph.conversations) {
+    if (conv.outcome != ConversationOutcome::kDelivered) continue;
+    if (conv.space == ConversationSpace::kHeartbeat) continue;
+    if (conv.attempts() == 0) continue;
+    anatomy.transit.push_back(conv.first_delivery_ts -
+                              conv.delivering_attempt_ts);
+    if (conv.space == ConversationSpace::kData && conv.retransmits > 0) {
+      anatomy.retrans_stall.push_back(conv.delivering_attempt_ts -
+                                      conv.first_send_ts);
+    }
+  }
+
+  // Ack wait: data conversation -> the ack conversation whose acked seq
+  // matches, traveling the reverse direction. Epoch is deliberately not part
+  // of the key (the ack carries the *receiver's* incarnation); acks are
+  // consumed in order per (scope, direction, seq).
+  std::map<std::tuple<int64_t, std::string, uint64_t>, std::deque<int>> acks;
+  for (int i = 0; i < static_cast<int>(graph.conversations.size()); ++i) {
+    const Conversation& conv = graph.conversations[i];
+    if (conv.space != ConversationSpace::kAck) continue;
+    if (conv.outcome != ConversationOutcome::kDelivered) continue;
+    acks[{conv.scope, conv.direction, conv.link_seq}].push_back(i);
+  }
+  for (const Conversation& conv : graph.conversations) {
+    if (conv.space != ConversationSpace::kData || conv.link_seq == 0) continue;
+    if (conv.attempts() == 0) continue;
+    const auto it = acks.find(
+        {conv.scope, ReverseDirection(conv.direction), conv.link_seq});
+    if (it == acks.end() || it->second.empty()) continue;
+    const Conversation& ack = graph.conversations[it->second.front()];
+    it->second.pop_front();
+    const double wait = ack.first_delivery_ts - conv.first_send_ts;
+    if (wait >= 0.0) anatomy.ack_wait.push_back(wait);
+  }
+
+  // Request/response and resync chains.
+  PairChains(graph, kTraceMsgReadRequest, kTraceMsgDataResponse,
+             &anatomy.request_response_pairs, &anatomy.turnaround,
+             &anatomy.request_rtt);
+  std::vector<double> resync_gap;  // server-side resync turnaround (unused)
+  PairChains(graph, kTraceMsgResyncRequest, kTraceMsgResyncResponse,
+             &anatomy.resync_pairs, &resync_gap, &anatomy.resync_detour);
+
+  // Lease wait: an ownership gap opens at a reclaim (SC takes over after
+  // detector silence) or a revoke, and closes at the next regrant
+  // (kLeaseGrant with a1 == 1) in the same scope.
+  std::map<int64_t, std::deque<double>> open_gaps;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEventKind::kLeaseReclaim ||
+        event.kind == TraceEventKind::kLeaseRevoke) {
+      open_gaps[event.scope].push_back(event.ts);
+    } else if (event.kind == TraceEventKind::kLeaseGrant && event.a1 == 1) {
+      auto it = open_gaps.find(event.scope);
+      if (it == open_gaps.end() || it->second.empty()) continue;
+      const double opened = it->second.front();
+      it->second.pop_front();
+      if (event.ts >= opened) anatomy.lease_wait.push_back(event.ts - opened);
+    }
+  }
+
+  return anatomy;
+}
+
+void PublishAnatomy(const LatencyAnatomy& anatomy, MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  // Sim-time-unit bounds wide enough for sub-latency transit up to
+  // multi-outage stalls.
+  const std::vector<double> bounds = {1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+                                      1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,
+                                      1.0,  2.0,  5.0,  10.0, 50.0};
+  for (const NamedSeries& series : AllSeries(anatomy)) {
+    Histogram* histogram = registry->GetHistogram(
+        std::string("mobrep_analysis_") + series.name, bounds,
+        "causal-analysis latency anatomy component", "simtime");
+    for (const double sample : *series.samples) histogram->Record(sample);
+  }
+}
+
+std::string AnatomyToText(const LatencyAnatomy& anatomy) {
+  std::ostringstream out;
+  bool any = false;
+  for (const NamedSeries& series : AllSeries(anatomy)) {
+    if (series.samples->empty()) continue;
+    any = true;
+    const SeriesSummary s = Summarize(*series.samples);
+    out << StrFormat(
+        "  %-14s n=%-6lld mean=%-10.6g p50=%-10.6g p90=%-10.6g "
+        "p99=%-10.6g max=%.6g\n",
+        series.name, static_cast<long long>(s.n), s.mean, s.p50, s.p90, s.p99,
+        s.max);
+  }
+  if (!any) out << "  (no samples)\n";
+  return out.str();
+}
+
+std::string AnatomyToJson(const LatencyAnatomy& anatomy) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const NamedSeries& series : AllSeries(anatomy)) {
+    if (series.samples->empty()) continue;
+    const SeriesSummary s = Summarize(*series.samples);
+    out << (first ? "" : ", ")
+        << StrFormat(
+               "\"%s\": {\"n\": %lld, \"mean\": %.17g, \"p50\": %.17g, "
+               "\"p90\": %.17g, \"p99\": %.17g, \"max\": %.17g}",
+               series.name, static_cast<long long>(s.n), s.mean, s.p50, s.p90,
+               s.p99, s.max);
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace mobrep::obs::analysis

@@ -1,0 +1,77 @@
+#ifndef MOBREP_OBS_ANALYSIS_LATENCY_ANATOMY_H_
+#define MOBREP_OBS_ANALYSIS_LATENCY_ANATOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mobrep/obs/analysis/causal_graph.h"
+#include "mobrep/obs/metrics.h"
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs::analysis {
+
+// Per-request latency anatomy: decomposes every reconstructed conversation
+// (and the request/response, lease and resync chains layered over them)
+// into named delay components, all in simulation time units.
+//
+//   transit       — delivering attempt -> arrival (raw channel latency+jitter)
+//   retrans stall — first send -> delivering attempt (time lost to loss)
+//   ack wait      — data first send -> its ack's arrival (sender-perceived)
+//   turnaround    — read_request arrival -> data_response send (server queue)
+//   request rtt   — read_request first send -> data_response arrival
+//   lease wait    — reclaim/revoke -> next regrant (ownership gap)
+//   resync detour — resync_request send -> resync_response arrival
+//
+// Sample vectors are in deterministic (conversation-sorted) order, so the
+// anatomy is byte-stable across thread counts.
+
+struct SeriesSummary {
+  int64_t n = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Exact quantiles by sorting a copy (linear interpolation between order
+// statistics, matching Histogram::Quantile's convention).
+SeriesSummary Summarize(const std::vector<double>& samples);
+
+struct LatencyAnatomy {
+  std::vector<double> transit;
+  std::vector<double> retrans_stall;
+  std::vector<double> ack_wait;
+  std::vector<double> turnaround;
+  std::vector<double> request_rtt;
+  std::vector<double> lease_wait;
+  std::vector<double> resync_detour;
+
+  // Causal chains recovered while pairing, as indices into
+  // CausalGraph::conversations: request conversation -> the response
+  // conversation it caused. Feed the annotated-Perfetto flow arrows.
+  std::vector<std::pair<int, int>> request_response_pairs;
+  std::vector<std::pair<int, int>> resync_pairs;
+};
+
+// `events` must be the same trace `graph` was built from (lease events are
+// read off the raw stream; conversations come from the graph).
+LatencyAnatomy ComputeLatencyAnatomy(const CausalGraph& graph,
+                                     const std::vector<TraceEvent>& events);
+
+// Records every sample into mobrep_analysis_* histograms on `registry`
+// (created on first use; bounds shared across all anatomy series).
+void PublishAnatomy(const LatencyAnatomy& anatomy, MetricsRegistry* registry);
+
+// One "name n=.. mean=.. p50=.. p90=.. p99=.. max=.." line per non-empty
+// series, deterministic; "  (no samples)" when everything is empty.
+std::string AnatomyToText(const LatencyAnatomy& anatomy);
+
+// {"transit": {"n":..,"mean":..,...}, ...} over the non-empty series.
+std::string AnatomyToJson(const LatencyAnatomy& anatomy);
+
+}  // namespace mobrep::obs::analysis
+
+#endif  // MOBREP_OBS_ANALYSIS_LATENCY_ANATOMY_H_

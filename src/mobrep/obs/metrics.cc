@@ -80,6 +80,25 @@ std::vector<int64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
+double Histogram::Quantile(double q) const {
+  const int64_t total = count_.load(std::memory_order_relaxed);
+  if (total <= 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket > 0 &&
+        cumulative + static_cast<double>(in_bucket) >= target) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac =
+          (target - cumulative) / static_cast<double>(in_bucket);
+      return lower + (bounds_[i] - lower) * (frac < 0.0 ? 0.0 : frac);
+    }
+    cumulative += static_cast<double>(in_bucket);
+  }
+  return bounds_.back();
+}
+
 void Histogram::Reset() noexcept {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -162,6 +181,9 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
         sample.histogram_counts = entry.histogram->bucket_counts();
         sample.histogram_count = entry.histogram->count();
         sample.histogram_sum = entry.histogram->sum();
+        sample.histogram_p50 = entry.histogram->Quantile(0.50);
+        sample.histogram_p90 = entry.histogram->Quantile(0.90);
+        sample.histogram_p99 = entry.histogram->Quantile(0.99);
         break;
     }
     samples.push_back(std::move(sample));
@@ -204,7 +226,10 @@ std::string MetricsRegistry::ExportText() const {
         break;
       case MetricKind::kHistogram: {
         out << "count=" << sample.histogram_count
-            << " sum=" << NumberToJson(sample.histogram_sum) << " buckets=";
+            << " sum=" << NumberToJson(sample.histogram_sum)
+            << " p50=" << NumberToJson(sample.histogram_p50)
+            << " p90=" << NumberToJson(sample.histogram_p90)
+            << " p99=" << NumberToJson(sample.histogram_p99) << " buckets=";
         for (size_t i = 0; i < sample.histogram_counts.size(); ++i) {
           if (i > 0) out << ",";
           if (i < sample.histogram_bounds.size()) {
@@ -244,6 +269,9 @@ std::string MetricsRegistry::ExportJsonObject() const {
       case MetricKind::kHistogram: {
         out << ", \"count\": " << sample.histogram_count
             << ", \"sum\": " << NumberToJson(sample.histogram_sum)
+            << ", \"p50\": " << NumberToJson(sample.histogram_p50)
+            << ", \"p90\": " << NumberToJson(sample.histogram_p90)
+            << ", \"p99\": " << NumberToJson(sample.histogram_p99)
             << ", \"bounds\": [";
         for (size_t i = 0; i < sample.histogram_bounds.size(); ++i) {
           out << (i == 0 ? "" : ", ")

@@ -77,6 +77,11 @@ class Histogram {
   const std::vector<double>& upper_bounds() const { return bounds_; }
   // bounds_.size() + 1 entries; the last is the overflow bucket.
   std::vector<int64_t> bucket_counts() const;
+  // Quantile estimate from the bucket counts: linear interpolation inside
+  // the bucket holding the q-th sample, with 0 as the first bucket's lower
+  // edge. Samples in the overflow bucket clamp to the last bound (the
+  // estimate is a lower bound there). 0 when empty. q in [0, 1].
+  double Quantile(double q) const;
   int64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
@@ -106,6 +111,9 @@ struct MetricSample {
   std::vector<int64_t> histogram_counts;    // kHistogram (bounds + overflow)
   int64_t histogram_count = 0;              // kHistogram
   double histogram_sum = 0.0;               // kHistogram
+  double histogram_p50 = 0.0;               // kHistogram (Quantile(0.50))
+  double histogram_p90 = 0.0;               // kHistogram (Quantile(0.90))
+  double histogram_p99 = 0.0;               // kHistogram (Quantile(0.99))
 };
 
 // Owns named metric cells. Registration takes a lock and returns a stable

@@ -85,6 +85,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "degraded_read";
     case TraceEventKind::kPartition:
       return "partition";
+    case TraceEventKind::kArqAbandon:
+      return "arq_abandon";
   }
   return "unknown";
 }

@@ -39,14 +39,22 @@ namespace mobrep::obs {
 // reported via dropped()). Wall-clock fields (wall_ns, tid) exist for
 // profiling exports only and are excluded from deterministic output.
 
+// Network-plane events pack the sender's crash-recovery incarnation
+// (Message::epoch, 0 outside the chaos harness) into the payload so the
+// offline causal analyzer (obs/analysis/) can key conversations by
+// (direction, epoch, seq) across link restarts. The packing is
+// deterministic — both the 1-thread and the N-thread run of a workload see
+// the same epochs — so enriching the payload never perturbs trace diffs.
 enum class TraceEventKind : uint8_t {
   kPolicyDecision = 0,   // a0=request idx, a1=packed op/action/copy,
                          // a2=packed window (-1 if none), d0=cost
-  kMessageSend,          // a0=link seq, a1=MessageType, a2=is_data
-  kMessageRecv,          // a0=link seq, a1=MessageType
-  kMessageDrop,          // a0=link seq, a1=MessageType, a2=1 if outage
-  kRetransmit,           // a0=link seq, a1=MessageType
-  kAckSend,              // a0=acked seq
+  kMessageSend,          // a0=link seq, a1=MessageType,
+                         // a2=is_data | epoch<<1
+  kMessageRecv,          // a0=link seq, a1=MessageType, a2=epoch
+  kMessageDrop,          // a0=link seq, a1=MessageType,
+                         // a2=outage-bit | epoch<<1
+  kRetransmit,           // a0=link seq, a1=MessageType, a2=epoch
+  kAckSend,              // a0=acked seq, a1=epoch
   kArqTimeout,           // a0=frame seq, a1=attempts so far
   kDuplicateDropped,     // a0=frame seq
   kWalAppend,            // a0=version, a1=record idx
@@ -59,7 +67,7 @@ enum class TraceEventKind : uint8_t {
   kResync,               // a0=CrashNode initiating, a1=incarnation,
                          // a2=1 when resolved (0 when initiated)
   kFencedFrame,          // a0=frame seq, a1=frame epoch, a2=local epoch
-  kHeartbeat,            // a0=probe seq
+  kHeartbeat,            // a0=probe seq, a1=epoch
   kLeaseGrant,           // a0=fencing token, a1=1 on a regrant, d0=term
   kLeaseRenew,           // a0=fencing token, a1=1 at SC (0 at MC), d0=new
                          // time-to-expiry at the observer
@@ -67,7 +75,15 @@ enum class TraceEventKind : uint8_t {
   kLeaseRevoke,          // a0=current token, a1=stale token fenced
   kDegradedRead,         // a0=served version, d0=staleness bound
   kPartition,            // a0=1 start / 0 heal, a1=PartitionShape
+  kArqAbandon,           // a0=frame seq, a1=MessageType,
+                         // a2=budget-bit | epoch<<1; label = the outgoing
+                         // channel the frame was abandoned on
 };
+
+// One past the last enumerator — the size of any table indexed by kind
+// (asserted against the metadata table in trace_kinds.h by tests).
+inline constexpr int kTraceEventKindCount =
+    static_cast<int>(TraceEventKind::kArqAbandon) + 1;
 
 // Stable lowercase name, e.g. "policy_decision".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -200,9 +216,20 @@ class TraceScope {
     }                                                               \
   } while (0)
 #else
-#define MOBREP_TRACE_EVENT(...) \
-  do {                          \
+// Compiled out: the arguments are never evaluated, but they stay
+// odr-used inside the dead branch so a value referenced only by a trace
+// site doesn't trip -Werror=unused-parameter in OFF builds.
+#define MOBREP_TRACE_EVENT(...)                       \
+  do {                                                \
+    if (false) {                                      \
+      ::mobrep::obs::internal::Sink(__VA_ARGS__);     \
+    }                                                 \
   } while (0)
+
+namespace internal {
+template <typename... Args>
+inline void Sink(Args&&...) {}
+}  // namespace internal
 #endif
 
 }  // namespace mobrep::obs

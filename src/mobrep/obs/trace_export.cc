@@ -65,9 +65,12 @@ const char* ActionName(int action) {
 
 const char* MessageTypeLabel(int type) {
   // Mirrors mobrep::MessageTypeName over mobrep::MessageType.
-  static const char* kNames[] = {"read_request", "data_response",
-                                 "write_propagate", "delete_request",
-                                 "invalidate", "ack"};
+  static const char* kNames[] = {
+      "read_request",  "data_response",   "write_propagate",
+      "delete_request", "invalidate",     "ack",
+      "resync_request", "resync_response", "heartbeat",
+      "lease_renew",    "lease_renew_ack", "lease_revoke",
+      "lease_conflict", "lease_regrant"};
   if (type < 0 || type >= static_cast<int>(std::size(kNames))) {
     return "unknown_message";
   }
@@ -118,6 +121,11 @@ PolicyDecision DecodePolicyDecision(const TraceEvent& event) {
 }
 
 std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  return ExportChromeTrace(events, {});
+}
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<std::string>& extra_events) {
   std::ostringstream out;
   out << "{\"traceEvents\": [\n";
   bool first = true;
@@ -218,6 +226,7 @@ std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
       }
     }
   }
+  for (const std::string& json : extra_events) emit(json);
   out << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out.str();
 }

@@ -52,6 +52,11 @@ const char* ActionName(int action);
 const char* MessageTypeLabel(int type);
 
 std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+// As above, with pre-rendered extra JSON trace events (no trailing commas)
+// appended after the per-event stream — the hook the causal analyzer uses
+// to add conversation slices, flow arrows and anomaly markers.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<std::string>& extra_events);
 std::string ExportAuditLog(const std::vector<TraceEvent>& events);
 std::string ExportDeterministicText(const std::vector<TraceEvent>& events);
 

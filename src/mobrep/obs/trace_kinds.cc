@@ -1,0 +1,120 @@
+#include "mobrep/obs/trace_kinds.h"
+
+#include <iterator>
+
+#include "mobrep/common/check.h"
+
+namespace mobrep::obs {
+namespace {
+
+using K = TraceEventKind;
+using C = TraceKindCategory;
+
+// clang-format off
+constexpr TraceKindInfo kTable[] = {
+    {K::kPolicyDecision, "policy_decision", C::kPolicy, "request index",
+     "request index", "packed op/action/copy", "packed window (-1 if none)",
+     "charged cost"},
+    {K::kMessageSend, "message_send", C::kNet, "sim time",
+     "link seq", "MessageType", "is_data | epoch<<1", "-"},
+    {K::kMessageRecv, "message_recv", C::kNet, "sim time",
+     "link seq", "MessageType", "sender epoch", "-"},
+    {K::kMessageDrop, "message_drop", C::kNet, "sim time",
+     "link seq", "MessageType", "outage-bit | epoch<<1", "-"},
+    {K::kRetransmit, "retransmit", C::kNet, "sim time",
+     "link seq", "MessageType", "sender epoch", "-"},
+    {K::kAckSend, "ack_send", C::kNet, "sim time",
+     "acked seq", "sender epoch", "-", "-"},
+    {K::kArqTimeout, "arq_timeout", C::kArq, "sim time",
+     "frame seq", "attempts so far", "-", "-"},
+    {K::kDuplicateDropped, "duplicate_dropped", C::kArq, "sim time",
+     "frame seq", "-", "-", "-"},
+    {K::kWalAppend, "wal_append", C::kWal, "record index",
+     "version", "record index", "-", "-"},
+    {K::kWalSync, "wal_sync", C::kWal, "sync index",
+     "records synced so far", "-", "-", "-"},
+    {K::kSweepCellBegin, "sweep_cell_begin", C::kSweep, "cell index",
+     "cell index", "-", "-", "-"},
+    {K::kSweepCellEnd, "sweep_cell_end", C::kSweep, "cell index",
+     "cell index", "-", "-", "-"},
+    {K::kWalSnapshot, "wal_snapshot", C::kWal, "record index",
+     "payload bytes", "record index", "-", "-"},
+    {K::kNodeCrash, "node_crash", C::kCrash, "sim time",
+     "CrashNode", "crash point index", "-", "-"},
+    {K::kNodeRestart, "node_restart", C::kCrash, "sim time",
+     "CrashNode", "new incarnation", "-", "-"},
+    {K::kResync, "resync", C::kCrash, "sim time",
+     "initiating CrashNode", "incarnation", "1 when resolved", "-"},
+    {K::kFencedFrame, "fenced_frame", C::kArq, "sim time",
+     "frame seq", "frame epoch", "local epoch", "-"},
+    {K::kHeartbeat, "heartbeat", C::kNet, "sim time",
+     "probe seq", "sender epoch", "-", "-"},
+    {K::kLeaseGrant, "lease_grant", C::kLease, "sim time",
+     "fencing token", "1 on a regrant", "-", "term"},
+    {K::kLeaseRenew, "lease_renew", C::kLease, "sim time",
+     "fencing token", "1 at SC (0 at MC)", "-", "new time-to-expiry"},
+    {K::kLeaseReclaim, "lease_reclaim", C::kLease, "sim time",
+     "new fencing token", "-", "-", "detector silence"},
+    {K::kLeaseRevoke, "lease_revoke", C::kLease, "sim time",
+     "current token", "stale token fenced", "-", "-"},
+    {K::kDegradedRead, "degraded_read", C::kLease, "sim time",
+     "served version", "-", "-", "staleness bound"},
+    {K::kPartition, "partition", C::kCrash, "sim time",
+     "1 start / 0 heal", "PartitionShape", "-", "-"},
+    {K::kArqAbandon, "arq_abandon", C::kArq, "sim time",
+     "frame seq", "MessageType", "budget-bit | epoch<<1", "-"},
+};
+// clang-format on
+
+static_assert(static_cast<int>(std::size(kTable)) == kTraceEventKindCount,
+              "trace kind metadata table out of sync with TraceEventKind");
+
+}  // namespace
+
+const char* TraceKindCategoryName(TraceKindCategory category) {
+  switch (category) {
+    case TraceKindCategory::kPolicy:
+      return "policy";
+    case TraceKindCategory::kNet:
+      return "net";
+    case TraceKindCategory::kArq:
+      return "arq";
+    case TraceKindCategory::kWal:
+      return "wal";
+    case TraceKindCategory::kCrash:
+      return "crash";
+    case TraceKindCategory::kLease:
+      return "lease";
+    case TraceKindCategory::kSweep:
+      return "sweep";
+  }
+  return "unknown";
+}
+
+const TraceKindInfo* AllTraceKinds() { return kTable; }
+
+const TraceKindInfo& TraceKindInfoFor(TraceEventKind kind) {
+  const int index = static_cast<int>(kind);
+  MOBREP_CHECK_MSG(index >= 0 && index < kTraceEventKindCount,
+                   "trace kind out of range");
+  return kTable[index];
+}
+
+int64_t TraceEventEpoch(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kMessageSend:
+    case TraceEventKind::kMessageDrop:
+    case TraceEventKind::kArqAbandon:
+      return event.a2 >> 1;
+    case TraceEventKind::kMessageRecv:
+    case TraceEventKind::kRetransmit:
+      return event.a2;
+    case TraceEventKind::kAckSend:
+    case TraceEventKind::kHeartbeat:
+      return event.a1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace mobrep::obs

@@ -1,0 +1,65 @@
+#ifndef MOBREP_OBS_TRACE_KINDS_H_
+#define MOBREP_OBS_TRACE_KINDS_H_
+
+#include <cstdint>
+
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs {
+
+// Machine-readable metadata for every TraceEventKind: its stable name, the
+// subsystem that emits it, the meaning of the logical timestamp and of each
+// payload slot. This is the one table the offline analyzer, the exporters
+// and the docs share; tests/obs/trace_kinds_test.cc asserts it covers every
+// enumerator and stays in lockstep with TraceEventKindName.
+
+// Broad grouping used by exporters and the analyzer to route events.
+enum class TraceKindCategory : uint8_t {
+  kPolicy,   // cost-simulator decisions
+  kNet,      // channel-level send/recv/drop/retransmit/ack/heartbeat
+  kArq,      // reliable-link internals (timeout, dedup, fencing, abandon)
+  kWal,      // write-ahead-log appends/syncs/snapshots
+  kCrash,    // crash/restart/resync lifecycle
+  kLease,    // lease grants/renewals/reclaims/revocations, degraded reads
+  kSweep,    // parallel-sweep cell spans
+};
+
+const char* TraceKindCategoryName(TraceKindCategory category);
+
+struct TraceKindInfo {
+  TraceEventKind kind;
+  const char* name;          // == TraceEventKindName(kind)
+  TraceKindCategory category;
+  const char* ts;            // meaning of TraceEvent::ts
+  const char* a0;            // meaning of each payload slot; "-" if unused
+  const char* a1;
+  const char* a2;
+  const char* d0;
+};
+
+// Indexed by static_cast<int>(kind); exactly kTraceEventKindCount entries.
+const TraceKindInfo* AllTraceKinds();
+
+// Metadata for one kind (CHECKs the kind is in range).
+const TraceKindInfo& TraceKindInfoFor(TraceEventKind kind);
+
+// --- Integer payload values mirrored from mobrep::MessageType ---
+//
+// obs sits below net in the layering, so the analyzer cannot name the
+// MessageType enumerators; these constants replicate the integer values it
+// keys on (asserted in lockstep with net/message.h by
+// tests/obs/trace_kinds_test.cc, like the MessageTypeLabel name table).
+inline constexpr int64_t kTraceMsgReadRequest = 0;
+inline constexpr int64_t kTraceMsgDataResponse = 1;
+inline constexpr int64_t kTraceMsgAck = 5;
+inline constexpr int64_t kTraceMsgResyncRequest = 6;
+inline constexpr int64_t kTraceMsgResyncResponse = 7;
+inline constexpr int64_t kTraceMsgHeartbeat = 8;
+
+// Decodes the epoch packed into the network-plane payloads (see the
+// per-kind comments in trace.h). Returns 0 for kinds without an epoch.
+int64_t TraceEventEpoch(const TraceEvent& event);
+
+}  // namespace mobrep::obs
+
+#endif  // MOBREP_OBS_TRACE_KINDS_H_

@@ -10,6 +10,8 @@
 #include "mobrep/common/crash_signal.h"
 #include "mobrep/core/policy_factory.h"
 #include "mobrep/core/schedule.h"
+#include "mobrep/obs/analysis/analyzer.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 namespace {
@@ -119,6 +121,62 @@ TEST(CrashRecoveryTest, EveryCrashPointRecoversOnStaticPolicy) {
                                        ? std::string("none")
                                        : report->failures[0].site + ": " +
                                              report->failures[0].message);
+}
+
+// Runs a simulation with the global recorder bracketed around it and
+// returns the causal analysis of the merged trace.
+obs::analysis::AnalysisReport AuditRun(CrashableSimulation& sim,
+                                       const Schedule& schedule,
+                                       Status* run_status) {
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  recorder->Clear();
+  recorder->SetCapacityPerThread(size_t{1} << 16);
+  obs::TraceRecorder::SetRuntimeEnabled(true);
+  *run_status = sim.Run(schedule);
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder->MergedEvents();
+  obs::analysis::AnalyzerOptions options;
+  options.audit.recorder_dropped = recorder->dropped();
+  recorder->Clear();
+  return obs::analysis::AnalyzeTrace(events, options);
+}
+
+TEST(CrashRecoveryTest, CausalAuditOfCrashFreeRunIsClean) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  CrashScheduler counting;
+  CrashableSimulation sim(MakeConfig("sw:3", "audit_clean"), &counting);
+  Status run = OkStatus();
+  const obs::analysis::AnalysisReport report =
+      AuditRun(sim, *ScheduleFromString("wrwwrrwr"), &run);
+  ASSERT_TRUE(run.ok()) << run.ToString();
+  EXPECT_EQ(report.errors, 0) << report.ToText();
+  EXPECT_EQ(report.warnings, 0) << report.ToText();
+  EXPECT_EQ(report.infos, 0) << report.ToText();
+  EXPECT_DOUBLE_EQ(report.match_rate, 1.0);
+  EXPECT_GT(report.data_conversations, 0);
+}
+
+TEST(CrashRecoveryTest, CausalAuditOfCrashedRunSeesOnlyExpectedClasses) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  CrashScheduler scheduler;
+  scheduler.Arm(5);
+  CrashableSimulation sim(MakeConfig("sw:3", "audit_crash"), &scheduler);
+  Status run = OkStatus();
+  const obs::analysis::AnalysisReport report =
+      AuditRun(sim, *ScheduleFromString("wrwwrrwr"), &run);
+  ASSERT_TRUE(run.ok()) << run.ToString();
+  ASSERT_TRUE(scheduler.fired());
+  // A crash must never look like broken causality: epochs keep the dying
+  // incarnation's conversations separate, so the worst legal residue is
+  // benign (the voided in-flight frame, retransmissions into the down
+  // window, the resync handshake's bookkeeping).
+  EXPECT_EQ(report.errors, 0) << report.ToText();
+  for (const obs::analysis::Finding& finding : report.findings) {
+    EXPECT_TRUE(finding.cls == "in_flight_at_end" ||
+                finding.cls == "abandoned_frame" ||
+                finding.cls == "retransmit_storm")
+        << finding.cls << ": " << finding.detail;
+  }
 }
 
 TEST(CrashRecoveryTest, ExplorationIsDeterministic) {

@@ -8,6 +8,7 @@
 #include "mobrep/chaos/partition_explorer.h"
 #include "mobrep/chaos/partition_scheduler.h"
 #include "mobrep/core/policy_factory.h"
+#include "mobrep/obs/trace.h"
 
 namespace mobrep {
 namespace {
@@ -267,6 +268,84 @@ TEST(PartitionedSimTest, FaultFreeRunNeverDegrades) {
   EXPECT_EQ(sim.detector().suspicions(), 0);
   EXPECT_GT(sim.client().lease_renew_acks(), 0);
   EXPECT_GT(sim.sc_link().heartbeats_received(), 0);
+}
+
+// --- Causal trace audit (config.audit_trace) ---
+
+bool HasFindingClass(const obs::analysis::AnalysisReport& report,
+                     const std::string& cls) {
+  for (const obs::analysis::Finding& finding : report.findings) {
+    if (finding.cls == cls) return true;
+  }
+  return false;
+}
+
+TEST(PartitionedSimTest, AuditTraceFaultFreeRunIsClean) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  // A plan that never starts within the horizon: the audit must find no
+  // broken causality and no burned work in pure liveness traffic.
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 100.0, 1.0);
+  config.horizon = 1.0;
+  config.audit_trace = true;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  ASSERT_NE(sim.audit_report(), nullptr);
+  const obs::analysis::AnalysisReport& report = *sim.audit_report();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.warnings, 0) << report.ToText();
+  EXPECT_EQ(report.recorder_dropped, 0);
+  EXPECT_GT(report.graph.heartbeats_sent, 0);
+}
+
+TEST(PartitionedSimTest, AuditTraceUnderPartitionSeesOnlyExpectedClasses) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  // A reclaiming symmetric partition burns real work — outage drops,
+  // retransmissions, a lease reclaim/regrant cycle — but must never break
+  // send->outcome causality.
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.35, 0.4);
+  config.audit_trace = true;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  ASSERT_NE(sim.audit_report(), nullptr);
+  const obs::analysis::AnalysisReport& report = *sim.audit_report();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_TRUE(HasFindingClass(report, "dropped_frame")) << report.ToText();
+  EXPECT_TRUE(HasFindingClass(report, "lease_reclaim")) << report.ToText();
+  for (const obs::analysis::Finding& finding : report.findings) {
+    EXPECT_TRUE(finding.cls == "dropped_frame" ||
+                finding.cls == "duplicate_frame" ||
+                finding.cls == "retransmit_storm" ||
+                finding.cls == "lease_reclaim" ||
+                finding.cls == "lease_churn" ||
+                finding.cls == "abandoned_frame" ||
+                finding.cls == "in_flight_at_end")
+        << "unexpected finding class under a partition: " << finding.cls
+        << " — " << finding.detail;
+  }
+}
+
+TEST(PartitionedSimTest, AuditTraceNeverHealRunReportsAbandonment) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  PartitionSimConfig config =
+      BaseConfig("st2", PartitionShape::kSymmetric, 0.35,
+                 -std::numeric_limits<double>::infinity());
+  config.audit_trace = true;
+  PartitionedSimulation sim(config);
+  const Status run = sim.Run();
+  EXPECT_TRUE(run.ok()) << run.message();
+  ASSERT_NE(sim.audit_report(), nullptr);
+  const obs::analysis::AnalysisReport& report = *sim.audit_report();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  // The capped retry budget shows up as abandoned-frame warnings, matched
+  // one-to-one with the harness's own abandonment counter.
+  EXPECT_GT(sim.abandoned_frames(), 0);
+  EXPECT_TRUE(HasFindingClass(report, "abandoned_frame")) << report.ToText();
+  EXPECT_EQ(report.graph.abandons, sim.abandoned_frames());
 }
 
 // Fast smoke over the explorer; the full 6-policy x seed matrix carries

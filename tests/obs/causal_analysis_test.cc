@@ -1,0 +1,464 @@
+// The offline causal analyzer (obs/analysis/): happens-before
+// reconstruction, anomaly audit and latency anatomy, exercised both on
+// hand-built synthetic traces (every anomaly class in isolation) and on
+// real ProtocolSimulation runs (fault-free => 100% matched and zero
+// findings; injected faults => exactly the expected classes,
+// deterministically).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mobrep/core/policy_factory.h"
+#include "mobrep/core/schedule.h"
+#include "mobrep/obs/analysis/analyzer.h"
+#include "mobrep/obs/analysis/anomaly_audit.h"
+#include "mobrep/obs/analysis/causal_graph.h"
+#include "mobrep/obs/analysis/latency_anatomy.h"
+#include "mobrep/obs/trace.h"
+#include "mobrep/obs/trace_kinds.h"
+#include "mobrep/protocol/protocol_sim.h"
+
+namespace mobrep::obs::analysis {
+namespace {
+
+// --- Synthetic-trace helpers -------------------------------------------
+
+// MessageType::kWritePropagate's integer value (net enum, by value).
+constexpr int64_t kMsgWritePropagate = 2;
+
+class SyntheticTrace {
+ public:
+  // Appends an event in scope 0 with the next program-order seq.
+  TraceEvent& Add(TraceEventKind kind, const char* label, double ts,
+                  int64_t a0 = 0, int64_t a1 = 0, int64_t a2 = 0) {
+    TraceEvent event = MakeEvent(kind, label, ts, a0, a1, a2);
+    event.scope = 0;
+    event.seq = next_seq_++;
+    events_.push_back(event);
+    return events_.back();
+  }
+
+  // One numbered data frame: send at `t`, arrival at `t + dt`.
+  void SendRecv(const char* dir, uint64_t seq, int64_t type, double t,
+                double dt, int64_t epoch = 0) {
+    Add(TraceEventKind::kMessageSend, dir, t, static_cast<int64_t>(seq), type,
+        (type == kTraceMsgDataResponse ? 1 : 0) | (epoch << 1));
+    Add(TraceEventKind::kMessageRecv, dir, t + dt, static_cast<int64_t>(seq),
+        type, epoch);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint64_t next_seq_ = 0;
+};
+
+std::vector<std::string> FindingClasses(const AnalysisReport& report) {
+  std::vector<std::string> classes;
+  for (const Finding& finding : report.findings) {
+    classes.push_back(finding.cls);
+  }
+  return classes;
+}
+
+bool HasFinding(const AnalysisReport& report, const std::string& cls,
+                Severity severity) {
+  for (const Finding& finding : report.findings) {
+    if (finding.cls == cls && finding.severity == severity) return true;
+  }
+  return false;
+}
+
+// --- ReverseDirection ---------------------------------------------------
+
+TEST(ReverseDirectionTest, HandlesEveryChannelNamingConvention) {
+  EXPECT_EQ(ReverseDirection("MC->SC"), "SC->MC");
+  EXPECT_EQ(ReverseDirection("SC->MC"), "MC->SC");
+  EXPECT_EQ(ReverseDirection("MC42->SC"), "SC->MC42");
+  EXPECT_EQ(ReverseDirection("SC->MC42"), "MC42->SC");
+  EXPECT_EQ(ReverseDirection("MC->SC (shared)"), "SC->MC (shared)");
+  EXPECT_EQ(ReverseDirection("SC->MC (shared)"), "MC->SC (shared)");
+  EXPECT_EQ(ReverseDirection("no-arrow"), "no-arrow");
+}
+
+// --- Causal graph on synthetic traces ----------------------------------
+
+TEST(CausalGraphTest, CleanSendRecvMatchesIntoOneConversation) {
+  SyntheticTrace trace;
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 1.0, 0.001);
+  const CausalGraph graph = BuildCausalGraph(trace.events());
+  ASSERT_EQ(graph.conversations.size(), 1u);
+  const Conversation& conv = graph.conversations[0];
+  EXPECT_EQ(conv.outcome, ConversationOutcome::kDelivered);
+  EXPECT_EQ(conv.sends, 1);
+  EXPECT_EQ(conv.deliveries, 1);
+  EXPECT_EQ(conv.direction, "MC->SC");
+  EXPECT_DOUBLE_EQ(conv.first_send_ts, 1.0);
+  EXPECT_DOUBLE_EQ(conv.first_delivery_ts, 1.001);
+}
+
+TEST(CausalGraphTest, UnnumberedFramesMatchFifoPerDirectionAndType) {
+  SyntheticTrace trace;
+  // Two seq-0 (plain channel) frames of the same type: FIFO pairing.
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 1.0, 0,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 2.0, 0,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 1.001, 0,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 2.001, 0,
+            kTraceMsgReadRequest, 0);
+  const CausalGraph graph = BuildCausalGraph(trace.events());
+  ASSERT_EQ(graph.conversations.size(), 2u);
+  for (const Conversation& conv : graph.conversations) {
+    EXPECT_EQ(conv.outcome, ConversationOutcome::kDelivered);
+    EXPECT_NEAR(conv.first_delivery_ts - conv.first_send_ts, 0.001, 1e-12);
+  }
+}
+
+TEST(CausalGraphTest, DropThenRetransmitThenDeliveryBalances) {
+  SyntheticTrace trace;
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 1.0, 1,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageDrop, "MC->SC", 1.0, 1,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kRetransmit, "MC->SC", 1.5, 1,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 1.501, 1,
+            kTraceMsgReadRequest, 0);
+  const CausalGraph graph = BuildCausalGraph(trace.events());
+  ASSERT_EQ(graph.conversations.size(), 1u);
+  const Conversation& conv = graph.conversations[0];
+  EXPECT_EQ(conv.outcome, ConversationOutcome::kDelivered);
+  EXPECT_EQ(conv.attempts(), 2);
+  EXPECT_EQ(conv.drops, 1);
+  EXPECT_DOUBLE_EQ(conv.delivering_attempt_ts, 1.5);
+  // Anatomy: transit from the delivering attempt, stall before it.
+  const LatencyAnatomy anatomy = ComputeLatencyAnatomy(graph, trace.events());
+  ASSERT_EQ(anatomy.transit.size(), 1u);
+  EXPECT_NEAR(anatomy.transit[0], 0.001, 1e-12);
+  ASSERT_EQ(anatomy.retrans_stall.size(), 1u);
+  EXPECT_NEAR(anatomy.retrans_stall[0], 0.5, 1e-12);
+}
+
+TEST(CausalGraphTest, EpochSeparatesConversationsAcrossRestarts) {
+  SyntheticTrace trace;
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 1.0, 0.001, /*epoch=*/1);
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 2.0, 0.001, /*epoch=*/2);
+  const CausalGraph graph = BuildCausalGraph(trace.events());
+  ASSERT_EQ(graph.conversations.size(), 2u);
+  EXPECT_EQ(graph.conversations[0].epoch, 1);
+  EXPECT_EQ(graph.conversations[1].epoch, 2);
+  for (const Conversation& conv : graph.conversations) {
+    EXPECT_EQ(conv.outcome, ConversationOutcome::kDelivered);
+  }
+}
+
+// --- Anomaly audit on synthetic traces ---------------------------------
+
+TEST(AnomalyAuditTest, CleanTraceHasNoFindings) {
+  SyntheticTrace trace;
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 1.0, 0.001);
+  trace.SendRecv("SC->MC", 1, kTraceMsgDataResponse, 1.002, 0.001);
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.findings.empty()) << report.ToText();
+  EXPECT_DOUBLE_EQ(report.match_rate, 1.0);
+}
+
+TEST(AnomalyAuditTest, RecvWithoutSendIsAnError) {
+  SyntheticTrace trace;
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 1.0, 3,
+            kTraceMsgReadRequest, 0);
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(HasFinding(report, "recv_without_send", Severity::kError))
+      << report.ToText();
+}
+
+TEST(AnomalyAuditTest, AckWithoutSendIsAnError) {
+  SyntheticTrace trace;
+  // An ack travels SC->MC for a data frame that never crossed MC->SC.
+  trace.Add(TraceEventKind::kAckSend, "SC->MC", 1.0, /*acked seq=*/9,
+            /*epoch=*/0);
+  trace.Add(TraceEventKind::kMessageRecv, "SC->MC", 1.001, 9, kTraceMsgAck,
+            0);
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(HasFinding(report, "ack_without_send", Severity::kError))
+      << report.ToText();
+}
+
+TEST(AnomalyAuditTest, PassedOverSendIsAnUnmatchedSendError) {
+  SyntheticTrace trace;
+  // seq 1 never arrives and is never abandoned; seq 2 is delivered past it.
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 1.0, 1,
+            kTraceMsgReadRequest, 0);
+  trace.SendRecv("MC->SC", 2, kTraceMsgReadRequest, 2.0, 0.001);
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(HasFinding(report, "unmatched_send", Severity::kError))
+      << report.ToText();
+}
+
+TEST(AnomalyAuditTest, TrailingInFlightSendIsInfoNotError) {
+  SyntheticTrace trace;
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 1.0, 0.001);
+  // The trace ends with seq 2 still in flight: no later frame passed it.
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 2.0, 2,
+            kTraceMsgReadRequest, 0);
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_TRUE(HasFinding(report, "in_flight_at_end", Severity::kInfo));
+}
+
+TEST(AnomalyAuditTest, RetransmitStormRespectsThreshold) {
+  SyntheticTrace trace;
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 1.0, 1,
+            kTraceMsgReadRequest, 0);
+  for (int i = 0; i < 3; ++i) {
+    trace.Add(TraceEventKind::kMessageDrop, "MC->SC", 1.0 + i, 1,
+              kTraceMsgReadRequest, 0);
+    trace.Add(TraceEventKind::kRetransmit, "MC->SC", 1.5 + i, 1,
+              kTraceMsgReadRequest, 0);
+  }
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 5.0, 1,
+            kTraceMsgReadRequest, 0);
+
+  AnalyzerOptions strict;
+  strict.audit.retransmit_storm_threshold = 3;
+  const AnalysisReport stormy = AnalyzeTrace(trace.events(), strict);
+  EXPECT_TRUE(HasFinding(stormy, "retransmit_storm", Severity::kWarning))
+      << stormy.ToText();
+
+  AnalyzerOptions lax;
+  lax.audit.retransmit_storm_threshold = 4;
+  const AnalysisReport calm = AnalyzeTrace(trace.events(), lax);
+  EXPECT_FALSE(HasFinding(calm, "retransmit_storm", Severity::kWarning));
+  // The drops themselves stay visible as aggregated info evidence.
+  EXPECT_TRUE(HasFinding(calm, "dropped_frame", Severity::kInfo));
+}
+
+TEST(AnomalyAuditTest, AbandonedFrameIsAWarning) {
+  SyntheticTrace trace;
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 1.0, 1,
+            kMsgWritePropagate, 0);
+  trace.Add(TraceEventKind::kMessageDrop, "MC->SC", 1.0, 1,
+            kMsgWritePropagate, 0);
+  trace.Add(TraceEventKind::kArqAbandon, "MC->SC", 9.0, 1,
+            kMsgWritePropagate, /*budget-bit*/ 1);
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_TRUE(HasFinding(report, "abandoned_frame", Severity::kWarning));
+  ASSERT_EQ(report.graph.conversations.size(), 1u);
+  EXPECT_EQ(report.graph.conversations[0].outcome,
+            ConversationOutcome::kAbandoned);
+  EXPECT_TRUE(report.graph.conversations[0].abandoned_for_budget);
+}
+
+TEST(AnomalyAuditTest, SurplusDeliveryIsDuplicateInfo) {
+  SyntheticTrace trace;
+  trace.Add(TraceEventKind::kMessageSend, "MC->SC", 1.0, 1,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 1.001, 1,
+            kTraceMsgReadRequest, 0);
+  trace.Add(TraceEventKind::kMessageRecv, "MC->SC", 1.002, 1,
+            kTraceMsgReadRequest, 0);  // injected duplicate's arrival
+  const AnalysisReport report = AnalyzeTrace(trace.events());
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_TRUE(HasFinding(report, "duplicate_frame", Severity::kInfo));
+}
+
+TEST(AnomalyAuditTest, StallContextAndRecorderDropsBecomeWarnings) {
+  SyntheticTrace trace;
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 1.0, 0.001);
+  AnalyzerOptions options;
+  options.audit.stall_context = "liveness: both links idle, MC in charge";
+  options.audit.recorder_dropped = 17;
+  const AnalysisReport report = AnalyzeTrace(trace.events(), options);
+  EXPECT_TRUE(HasFinding(report, "quiescence_stall", Severity::kWarning));
+  EXPECT_TRUE(HasFinding(report, "truncated_trace", Severity::kWarning));
+  EXPECT_TRUE(report.truncated());
+  EXPECT_NE(report.ToText().find("TRUNCATED"), std::string::npos);
+}
+
+TEST(AnomalyAuditTest, ScopeSeqGapIsReportedAsTruncation) {
+  SyntheticTrace trace;
+  trace.SendRecv("MC->SC", 1, kTraceMsgReadRequest, 1.0, 0.001);
+  std::vector<TraceEvent> events = trace.events();
+  events[1].seq = 5;  // simulate ring overwrite: seqs 1..4 lost
+  const AnalysisReport report = AnalyzeTrace(events);
+  EXPECT_TRUE(HasFinding(report, "truncated_trace", Severity::kWarning))
+      << report.ToText();
+}
+
+// --- End-to-end over ProtocolSimulation --------------------------------
+
+std::vector<TraceEvent> TraceProtocolRun(const FaultConfig& fault,
+                                         const std::string& ops,
+                                         int64_t* dropped) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->Clear();
+  TraceRecorder::SetRuntimeEnabled(true);
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec("sw:3");
+  config.fault = fault;
+  ProtocolSimulation sim(config);
+  sim.Run(*ScheduleFromString(ops));
+  TraceRecorder::SetRuntimeEnabled(false);
+  std::vector<TraceEvent> events = recorder->MergedEvents();
+  if (dropped != nullptr) *dropped = recorder->dropped();
+  recorder->Clear();
+  return events;
+}
+
+TEST(EndToEndAnalysisTest, FaultFreeReliableRunIsFullyMatchedAndClean) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  FaultConfig fault;
+  fault.force_reliable = true;
+  int64_t dropped = 0;
+  const std::vector<TraceEvent> events =
+      TraceProtocolRun(fault, "rrwrwwrrrw", &dropped);
+  ASSERT_EQ(dropped, 0);
+
+  const AnalysisReport report = AnalyzeTrace(events);
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_TRUE(report.findings.empty()) << report.ToText();
+  EXPECT_DOUBLE_EQ(report.match_rate, 1.0);
+  EXPECT_EQ(report.in_flight, 0);
+  EXPECT_GT(report.delivered, 0);
+  // Anatomy is populated: transits, ack waits and request RTTs all seen.
+  EXPECT_FALSE(report.anatomy.transit.empty());
+  EXPECT_FALSE(report.anatomy.ack_wait.empty());
+  EXPECT_FALSE(report.anatomy.request_rtt.empty());
+  EXPECT_FALSE(report.anatomy.request_response_pairs.empty());
+  // Every remote read's RTT covers at least two one-way latencies.
+  for (const double rtt : report.anatomy.request_rtt) {
+    EXPECT_GE(rtt, 0.002 - 1e-12);
+  }
+}
+
+TEST(EndToEndAnalysisTest, FaultFreePlainRunIsFullyMatchedAndClean) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  int64_t dropped = 0;
+  const std::vector<TraceEvent> events =
+      TraceProtocolRun(FaultConfig{}, "rrwrwwrrrw", &dropped);
+  ASSERT_EQ(dropped, 0);
+  const AnalysisReport report = AnalyzeTrace(events);
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_TRUE(report.findings.empty()) << report.ToText();
+  EXPECT_DOUBLE_EQ(report.match_rate, 1.0);
+}
+
+TEST(EndToEndAnalysisTest, InjectedDropsYieldExpectedClassesOnly) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  FaultConfig fault;
+  fault.drop_probability = 0.2;
+  fault.duplicate_probability = 0.1;
+  fault.seed = 11;
+  const std::vector<TraceEvent> events =
+      TraceProtocolRun(fault, "rrwrwwrrrwwrrw", nullptr);
+  const AnalysisReport report = AnalyzeTrace(events);
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_DOUBLE_EQ(report.match_rate, 1.0);
+  EXPECT_GT(report.graph.drops + report.graph.retransmits, 0);
+  for (const std::string& cls : FindingClasses(report)) {
+    EXPECT_TRUE(cls == "dropped_frame" || cls == "duplicate_frame" ||
+                cls == "retransmit_storm")
+        << "unexpected class under drop/dup faults: " << cls;
+  }
+  if (report.graph.drops > 0) {
+    EXPECT_TRUE(HasFinding(report, "dropped_frame", Severity::kInfo));
+    EXPECT_FALSE(report.anatomy.retrans_stall.empty());
+  }
+}
+
+TEST(EndToEndAnalysisTest, ReportIsDeterministicAcrossRuns) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  FaultConfig fault;
+  fault.drop_probability = 0.15;
+  fault.seed = 5;
+  const std::vector<TraceEvent> first =
+      TraceProtocolRun(fault, "rrwrwwrrrw", nullptr);
+  const std::vector<TraceEvent> second =
+      TraceProtocolRun(fault, "rrwrwwrrrw", nullptr);
+  const AnalysisReport a = AnalyzeTrace(first);
+  const AnalysisReport b = AnalyzeTrace(second);
+  EXPECT_EQ(a.ToText(), b.ToText());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(EndToEndAnalysisTest, OverflowingRingDegradesConfidence) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->Clear();
+  recorder->SetCapacityPerThread(8);  // deliberately far too small
+  TraceRecorder::SetRuntimeEnabled(true);
+  ProtocolConfig config;
+  config.spec = *ParsePolicySpec("sw:3");
+  config.fault.force_reliable = true;
+  ProtocolSimulation sim(config);
+  sim.Run(*ScheduleFromString("rrwrwwrrrw"));
+  TraceRecorder::SetRuntimeEnabled(false);
+  const std::vector<TraceEvent> events = recorder->MergedEvents();
+  const int64_t dropped = recorder->dropped();
+  recorder->Clear();
+  recorder->SetCapacityPerThread(TraceRecorder::kDefaultCapacityPerThread);
+  ASSERT_GT(dropped, 0);
+
+  AnalyzerOptions options;
+  options.audit.recorder_dropped = dropped;
+  const AnalysisReport report = AnalyzeTrace(events, options);
+  EXPECT_TRUE(report.truncated());
+  EXPECT_TRUE(HasFinding(report, "truncated_trace", Severity::kWarning))
+      << report.ToText();
+}
+
+TEST(EndToEndAnalysisTest, AnnotatedExportCarriesFlowsAndMarkers) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  FaultConfig fault;
+  fault.force_reliable = true;
+  const std::vector<TraceEvent> events =
+      TraceProtocolRun(fault, "rrwr", nullptr);
+  const AnalysisReport report = AnalyzeTrace(events);
+  const std::string json = ExportAnnotatedChromeTrace(events, report);
+  EXPECT_NE(json.find("\"causal analysis\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("request_response"), std::string::npos);
+  // Every flow start has exactly one finish: count occurrences.
+  size_t starts = 0, finishes = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"s\"", pos)) != std::string::npos) {
+    ++starts;
+    pos += 1;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\": \"f\"", pos)) != std::string::npos) {
+    ++finishes;
+    pos += 1;
+  }
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);
+}
+
+TEST(EndToEndAnalysisTest, PublishesAnatomyHistogramsAndFindingCounters) {
+  if (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  FaultConfig fault;
+  fault.force_reliable = true;
+  const std::vector<TraceEvent> events =
+      TraceProtocolRun(fault, "rrwr", nullptr);
+  MetricsRegistry registry;
+  AnalyzerOptions options;
+  options.registry = &registry;
+  const AnalysisReport report = AnalyzeTrace(events, options);
+  ASSERT_TRUE(report.clean());
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("mobrep_analysis_transit"), std::string::npos);
+  EXPECT_NE(text.find("mobrep_analysis_findings_error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobrep::obs::analysis

@@ -70,6 +70,33 @@ TEST(HistogramTest, ConcurrentRecordsKeepExactCountAndSum) {
   EXPECT_EQ(h.bucket_counts()[0], int64_t{kThreads} * kPerThread);
 }
 
+TEST(HistogramTest, QuantileInterpolatesInsideBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Record(0.5);  // bucket <=1
+  h.Record(1.5);  // bucket <=2
+  h.Record(1.7);  // bucket <=2
+  h.Record(3.0);  // bucket <=4
+  // Counts: {1, 2, 1, 0}, total 4. target = q*4 lands in a bucket;
+  // the estimate interpolates between that bucket's edges.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 1.5);   // 1 + (2-1)*(2-1)/2
+  EXPECT_DOUBLE_EQ(h.Quantile(0.90), 3.2);   // 2 + (4-2)*(3.6-3)/1
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 3.92);  // 2 + (4-2)*(3.96-3)/1
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);  // first bucket's lower edge is 0
+}
+
+TEST(HistogramTest, QuantileClampsOverflowToLastBound) {
+  Histogram h({1.0});
+  h.Record(5.0);  // overflow bucket only
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
 TEST(HistogramTest, ResetZeroesEverything) {
   Histogram h({1.0});
   h.Record(0.5);
@@ -146,6 +173,30 @@ TEST(MetricsRegistryTest, ExportTextListsNameKindValue) {
   EXPECT_NE(text.find("counter"), std::string::npos);
   EXPECT_NE(text.find("7"), std::string::npos);
   EXPECT_NE(text.find("frames sent"), std::string::npos);
+}
+
+// Pins the histogram snapshot/export format, quantiles included: bench and
+// analysis tooling parse these strings, so a change here is a contract
+// change, not a cosmetic one.
+TEST(MetricsRegistryTest, HistogramExportPinsQuantileFormat) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0}, "latency", "s");
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(1.5);
+  h->Record(3.0);  // overflow: p90/p99 clamp to the last bound
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot[0].histogram_p50, 1.5);
+  EXPECT_DOUBLE_EQ(snapshot[0].histogram_p90, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot[0].histogram_p99, 2.0);
+  EXPECT_EQ(registry.ExportText(),
+            "lat histogram count=4 sum=6.5 p50=1.5 p90=2 p99=2 "
+            "buckets=le1:1,le2:2,inf:1 s  # latency\n");
+  EXPECT_EQ(registry.ExportJsonObject(),
+            "{\n    \"lat\": {\"kind\": \"histogram\", \"unit\": \"s\", "
+            "\"count\": 4, \"sum\": 6.5, \"p50\": 1.5, \"p90\": 2, "
+            "\"p99\": 2, \"bounds\": [1, 2], \"buckets\": [1, 2, 1]}\n  }");
 }
 
 TEST(MetricsRegistryTest, ExportJsonObjectIsDeterministic) {

@@ -74,7 +74,7 @@ TEST(NameTableTest, ActionNamesMatchCore) {
 }
 
 TEST(NameTableTest, MessageTypeLabelsMatchNet) {
-  for (int t = 0; t <= static_cast<int>(MessageType::kAck); ++t) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kLeaseRegrant); ++t) {
     EXPECT_STREQ(MessageTypeLabel(t),
                  MessageTypeName(static_cast<MessageType>(t)))
         << "MessageType " << t;

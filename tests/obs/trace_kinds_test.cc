@@ -1,0 +1,90 @@
+#include "mobrep/obs/trace_kinds.h"
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "mobrep/net/message.h"
+#include "mobrep/obs/trace.h"
+
+namespace mobrep::obs {
+namespace {
+
+TEST(TraceKindTableTest, CoversEveryKindInOrder) {
+  const TraceKindInfo* table = AllTraceKinds();
+  for (int i = 0; i < kTraceEventKindCount; ++i) {
+    const auto kind = static_cast<TraceEventKind>(i);
+    EXPECT_EQ(static_cast<int>(table[i].kind), i) << "row " << i;
+    EXPECT_STREQ(table[i].name, TraceEventKindName(kind)) << "row " << i;
+    EXPECT_STRNE(table[i].name, "unknown") << "row " << i;
+    EXPECT_NE(table[i].ts, nullptr) << "row " << i;
+    EXPECT_NE(table[i].a0, nullptr) << "row " << i;
+    EXPECT_NE(table[i].a1, nullptr) << "row " << i;
+    EXPECT_NE(table[i].a2, nullptr) << "row " << i;
+    EXPECT_NE(table[i].d0, nullptr) << "row " << i;
+  }
+}
+
+TEST(TraceKindTableTest, InfoForReturnsMatchingRow) {
+  const auto& info = TraceKindInfoFor(TraceEventKind::kArqAbandon);
+  EXPECT_EQ(info.kind, TraceEventKind::kArqAbandon);
+  EXPECT_STREQ(info.name, "arq_abandon");
+  EXPECT_EQ(info.category, TraceKindCategory::kArq);
+}
+
+TEST(TraceKindTableTest, CategoryNamesAreStable) {
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kPolicy), "policy");
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kNet), "net");
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kArq), "arq");
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kWal), "wal");
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kCrash), "crash");
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kLease), "lease");
+  EXPECT_STREQ(TraceKindCategoryName(TraceKindCategory::kSweep), "sweep");
+}
+
+// The analyzer keys on integer MessageType values it cannot name (obs sits
+// below net); these constants must track the enum forever.
+TEST(TraceKindTableTest, MessageTypeConstantsMatchNet) {
+  EXPECT_EQ(kTraceMsgReadRequest,
+            static_cast<int64_t>(MessageType::kReadRequest));
+  EXPECT_EQ(kTraceMsgDataResponse,
+            static_cast<int64_t>(MessageType::kDataResponse));
+  EXPECT_EQ(kTraceMsgAck, static_cast<int64_t>(MessageType::kAck));
+  EXPECT_EQ(kTraceMsgResyncRequest,
+            static_cast<int64_t>(MessageType::kResyncRequest));
+  EXPECT_EQ(kTraceMsgResyncResponse,
+            static_cast<int64_t>(MessageType::kResyncResponse));
+  EXPECT_EQ(kTraceMsgHeartbeat,
+            static_cast<int64_t>(MessageType::kHeartbeat));
+}
+
+TEST(TraceEventEpochTest, DecodesEveryNetPayloadShape) {
+  // kMessageSend / kMessageDrop / kArqAbandon pack epoch above a flag bit.
+  TraceEvent send = MakeEvent(TraceEventKind::kMessageSend, "MC->SC", 1.0,
+                              /*a0=*/7, /*a1=*/kTraceMsgDataResponse,
+                              /*a2=*/1 | (int64_t{5} << 1));
+  EXPECT_EQ(TraceEventEpoch(send), 5);
+  TraceEvent drop = MakeEvent(TraceEventKind::kMessageDrop, "MC->SC", 1.0,
+                              /*a0=*/7, /*a1=*/kTraceMsgDataResponse,
+                              /*a2=*/int64_t{3} << 1);
+  EXPECT_EQ(TraceEventEpoch(drop), 3);
+  TraceEvent abandon = MakeEvent(TraceEventKind::kArqAbandon, "MC->SC", 1.0,
+                                 /*a0=*/7, /*a1=*/kTraceMsgDataResponse,
+                                 /*a2=*/1 | (int64_t{2} << 1));
+  EXPECT_EQ(TraceEventEpoch(abandon), 2);
+  // kMessageRecv / kRetransmit carry the bare epoch in a2.
+  TraceEvent recv = MakeEvent(TraceEventKind::kMessageRecv, "MC->SC", 1.0,
+                              /*a0=*/7, /*a1=*/kTraceMsgDataResponse,
+                              /*a2=*/4);
+  EXPECT_EQ(TraceEventEpoch(recv), 4);
+  // kAckSend / kHeartbeat carry it in a1.
+  TraceEvent ack = MakeEvent(TraceEventKind::kAckSend, "SC->MC", 1.0,
+                             /*a0=*/7, /*a1=*/6);
+  EXPECT_EQ(TraceEventEpoch(ack), 6);
+  // Non-network kinds have no epoch.
+  TraceEvent wal = MakeEvent(TraceEventKind::kWalAppend, "wal", 1.0, 9, 9, 9);
+  EXPECT_EQ(TraceEventEpoch(wal), 0);
+}
+
+}  // namespace
+}  // namespace mobrep::obs

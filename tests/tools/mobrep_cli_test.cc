@@ -42,13 +42,43 @@ TEST(MobrepCliTest, NoArgumentsPrintsUsage) {
   EXPECT_NE(out.find("usage: mobrep_cli"), std::string::npos);
   EXPECT_NE(out.find("trace "), std::string::npos)
       << "usage must document the trace subcommand";
+  EXPECT_NE(out.find("analyze"), std::string::npos);
+  EXPECT_NE(out.find("expected"), std::string::npos);
+  EXPECT_NE(out.find("exit codes"), std::string::npos);
 }
 
-TEST(MobrepCliTest, HelpSucceedsUnknownCommandFails) {
+TEST(MobrepCliTest, HelpSucceedsUnknownCommandIsUsageError) {
   std::string out;
   EXPECT_EQ(RunCli({"help"}, &out), 0);
-  EXPECT_EQ(RunCli({"frobnicate"}, &out), 1);
   EXPECT_NE(out.find("usage: mobrep_cli"), std::string::npos);
+  EXPECT_EQ(RunCli({"frobnicate"}, &out), 2);
+}
+
+TEST(MobrepCliTest, EveryCommandAnswersHelpWithExitZero) {
+  const std::vector<std::string> commands = {
+      "simulate", "expected", "analyze", "offline",   "generate",
+      "protocol", "advise",   "compare", "trace",     "crash",
+      "partition"};
+  for (const std::string& command : commands) {
+    std::string out;
+    EXPECT_EQ(RunCli({command, "--help"}, &out), 0) << command;
+    EXPECT_NE(out.find("usage: mobrep_cli " + command), std::string::npos)
+        << command;
+    EXPECT_NE(out.find("flags:"), std::string::npos) << command;
+  }
+}
+
+TEST(MobrepCliTest, UnknownFlagIsUsageError) {
+  std::string out;
+  EXPECT_EQ(RunCli({"simulate", "--bogus", "1"}, &out), 2);
+  // The trace command takes --chrome-out but simulate does not: per-command
+  // validation, not one global flag pool.
+  EXPECT_EQ(RunCli({"simulate", "--chrome-out", "/tmp/x"}, &out), 2);
+}
+
+TEST(MobrepCliTest, DanglingFlagIsUsageError) {
+  std::string out;
+  EXPECT_EQ(RunCli({"simulate", "--policy"}, &out), 2);
 }
 
 TEST(MobrepCliTest, SimulateReportsBreakdownAndClosedForm) {
@@ -63,17 +93,91 @@ TEST(MobrepCliTest, SimulateReportsBreakdownAndClosedForm) {
   EXPECT_NE(out.find("closed-form EXP"), std::string::npos);
 }
 
-TEST(MobrepCliTest, SimulateRejectsBadPolicySpec) {
+TEST(MobrepCliTest, SimulateRejectsBadPolicySpecAsUsageError) {
   std::string out;
-  EXPECT_EQ(RunCli({"simulate", "--policy", "bogus"}, &out), 1);
+  EXPECT_EQ(RunCli({"simulate", "--policy", "bogus"}, &out), 2);
 }
 
-TEST(MobrepCliTest, AnalyzeSweepsThetaAndPrintsFactor) {
+TEST(MobrepCliTest, OutOfRangeNumericFlagsAreUsageErrorsNotAborts) {
+  // These values would trip CHECKs inside LinkFaultModel / the schedule
+  // generators; the CLI must catch them at the boundary and exit 2.
   std::string out;
-  ASSERT_EQ(RunCli({"analyze", "--policy", "sw:3"}, &out), 0);
+  EXPECT_EQ(RunCli({"analyze", "--drop", "2.0"}, &out), 2);
+  EXPECT_EQ(RunCli({"analyze", "--dup", "-0.1"}, &out), 2);
+  EXPECT_EQ(RunCli({"analyze", "--jitter", "-1"}, &out), 2);
+  EXPECT_EQ(RunCli({"protocol", "--theta", "1.5"}, &out), 2);
+  EXPECT_EQ(RunCli({"simulate", "--requests", "-5"}, &out), 2);
+}
+
+TEST(MobrepCliTest, ExpectedSweepsThetaAndPrintsFactor) {
+  std::string out;
+  ASSERT_EQ(RunCli({"expected", "--policy", "sw:3"}, &out), 0);
   EXPECT_NE(out.find("EXP(theta)"), std::string::npos);
   EXPECT_NE(out.find("AVG (theta ~ U[0,1])"), std::string::npos);
   EXPECT_NE(out.find("competitive factor:"), std::string::npos);
+}
+
+TEST(MobrepCliTest, AnalyzeFaultFreeRunIsCleanAndExitsZero) {
+  std::string out;
+  const int code =
+      RunCli({"analyze", "--policy", "sw:3", "--requests", "60"}, &out);
+  if (!obs::kTracingCompiled) {
+    EXPECT_EQ(code, 1);
+    return;
+  }
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("== causal trace analysis =="), std::string::npos);
+  EXPECT_NE(out.find("match rate: 100.0%"), std::string::npos);
+  EXPECT_NE(out.find("findings: 0 error(s), 0 warning(s), 0 info"),
+            std::string::npos);
+  EXPECT_NE(out.find("latency anatomy"), std::string::npos);
+}
+
+TEST(MobrepCliTest, AnalyzeUnderFaultsReportsInfosAndExitsZero) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  std::string out;
+  ASSERT_EQ(RunCli({"analyze", "--requests", "60", "--drop", "0.2", "--dup",
+                    "0.1"},
+                   &out),
+            0)
+      << out;
+  // Injected faults surface as info findings, never as errors.
+  EXPECT_NE(out.find("0 error(s)"), std::string::npos);
+  EXPECT_NE(out.find("dropped_frame"), std::string::npos);
+}
+
+TEST(MobrepCliTest, AnalyzeWritesJsonAndAnnotatedPerfettoTrace) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  const std::string path = TempPath("cli_analyze_annotated.json");
+  std::string out;
+  ASSERT_EQ(RunCli({"analyze", "--requests", "40", "--json", "1",
+                    "--perfetto-out", path},
+                   &out),
+            0);
+  EXPECT_NE(out.find("\"match_rate\""), std::string::npos);
+  EXPECT_NE(out.find("\"findings\""), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "annotated trace not written";
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"ph\": \"s\""), std::string::npos)
+      << "annotated trace must carry causal flow arrows";
+}
+
+TEST(MobrepCliTest, AnalyzeUndersizedRingReportsTruncation) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  std::string out;
+  ASSERT_EQ(RunCli({"analyze", "--requests", "80", "--ring", "16"}, &out), 0)
+      << out;
+  EXPECT_NE(out.find("TRUNCATED"), std::string::npos);
+  EXPECT_NE(out.find("truncated_trace"), std::string::npos);
+}
+
+TEST(MobrepCliTest, AnalyzeRejectsBadPolicySpecAsUsageError) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  std::string out;
+  EXPECT_EQ(RunCli({"analyze", "--policy", "bogus"}, &out), 2);
 }
 
 TEST(MobrepCliTest, GenerateThenOfflineRoundTrips) {
@@ -90,9 +194,15 @@ TEST(MobrepCliTest, GenerateThenOfflineRoundTrips) {
   EXPECT_NE(out.find("offline optimal"), std::string::npos);
 }
 
-TEST(MobrepCliTest, OfflineWithoutTraceFails) {
+TEST(MobrepCliTest, OfflineWithoutTraceIsUsageError) {
   std::string out;
-  EXPECT_EQ(RunCli({"offline"}, &out), 1);
+  EXPECT_EQ(RunCli({"offline"}, &out), 2);
+}
+
+TEST(MobrepCliTest, OfflineWithMissingFileIsRuntimeFailure) {
+  std::string out;
+  EXPECT_EQ(RunCli({"offline", "--trace-in", "/nonexistent/trace.txt"}, &out),
+            1);
 }
 
 TEST(MobrepCliTest, ProtocolReportsMessageCountsAndEndState) {
@@ -171,7 +281,7 @@ TEST(MobrepCliTest, CrashExploresEveryPointAndReportsClean) {
 
 TEST(MobrepCliTest, CrashRejectsBadPolicySpec) {
   std::string out;
-  EXPECT_EQ(RunCli({"crash", "--policy", "bogus"}, &out), 1);
+  EXPECT_EQ(RunCli({"crash", "--policy", "bogus"}, &out), 2);
 }
 
 TEST(MobrepCliTest, PartitionSweepsTheDefaultMatrixClean) {
@@ -203,12 +313,12 @@ TEST(MobrepCliTest, PartitionRejectsBadShape) {
   std::string out;
   EXPECT_EQ(RunCli({"partition", "--policy", "st2", "--shape", "sideways"},
                    &out),
-            1);
+            2);
 }
 
 TEST(MobrepCliTest, PartitionRejectsBadPolicySpec) {
   std::string out;
-  EXPECT_EQ(RunCli({"partition", "--policy", "bogus"}, &out), 1);
+  EXPECT_EQ(RunCli({"partition", "--policy", "bogus"}, &out), 2);
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compares two trees of BENCH_*.json reports (bench/support/bench_json.cc).
+
+Two layers, matching the repo's determinism contract:
+
+  1. Cells — every report's "cells" member is a pure function of the
+     seeds, so between a baseline and a candidate tree the cells must be
+     byte-identical (same keys in the same order, same %.17g-rendered
+     values). Any difference is a correctness regression and fails the
+     comparison unconditionally.
+  2. Timing — "timing.wall_ms" is wall-clock telemetry; the comparison
+     reports per-bench deltas, and with --fail-on-regression a slowdown
+     beyond --threshold (relative, default 0.25 = 25%) fails the run.
+     Timing on shared CI runners is noisy: the gate is off by default so
+     the cell check stays the hard contract and timing stays advisory.
+
+Reports present in only one tree are listed (and fail the run unless
+--allow-missing). Output is a deterministic per-bench table on stdout.
+
+Usage:
+  bench_compare.py baseline_dir candidate_dir
+      [--threshold 0.25] [--fail-on-regression] [--allow-missing]
+
+Exit code 0 when the trees agree, 1 on any cell mismatch / missing report
+/ (with --fail-on-regression) timing regression, 2 on usage errors.
+Stdlib only — runs anywhere CI has python3.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_reports(tree: pathlib.Path) -> dict:
+    if not tree.is_dir():
+        print(f"bench_compare: usage error: {tree} is not a directory",
+              file=sys.stderr)
+        sys.exit(2)
+    reports = {}
+    for path in sorted(tree.glob("BENCH_*.json")):
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: FAIL: cannot parse {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(1)
+        reports[path.name] = doc
+    return reports
+
+
+def cell_list(doc: dict) -> list:
+    cells = doc.get("cells", [])
+    return [(c.get("key"), c.get("value")) for c in cells]
+
+
+def first_cell_diff(base: list, cand: list):
+    """Returns a human description of the first difference, or None."""
+    for i, (b, c) in enumerate(zip(base, cand)):
+        if b != c:
+            if b[0] != c[0]:
+                return f"cell {i}: key {b[0]!r} vs {c[0]!r}"
+            return f"cell {i} ({b[0]!r}): value {b[1]!r} vs {c[1]!r}"
+    if len(base) != len(cand):
+        return f"cell count {len(base)} vs {len(cand)}"
+    return None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative wall_ms slowdown counted as a regression "
+             "(default 0.25)")
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when a timing regression exceeds the threshold "
+             "(cell mismatches always fail)")
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="tolerate reports present in only one tree")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        print("bench_compare: usage error: --threshold must be >= 0",
+              file=sys.stderr)
+        sys.exit(2)
+
+    base = load_reports(args.baseline)
+    cand = load_reports(args.candidate)
+
+    failures = []
+    regressions = []
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    for name in only_base:
+        print(f"  {name}: only in {args.baseline}")
+    for name in only_cand:
+        print(f"  {name}: only in {args.candidate}")
+    if (only_base or only_cand) and not args.allow_missing:
+        failures.append(f"{len(only_base) + len(only_cand)} report(s) "
+                        "present in only one tree")
+
+    common = sorted(set(base) & set(cand))
+    if not common and not failures:
+        print("bench_compare: FAIL: no common BENCH_*.json reports",
+              file=sys.stderr)
+        sys.exit(1)
+
+    width = max((len(n) for n in common), default=10)
+    for name in common:
+        diff = first_cell_diff(cell_list(base[name]), cell_list(cand[name]))
+        base_ms = base[name].get("timing", {}).get("wall_ms")
+        cand_ms = cand[name].get("timing", {}).get("wall_ms")
+        if isinstance(base_ms, (int, float)) and base_ms > 0 and \
+                isinstance(cand_ms, (int, float)):
+            rel = (cand_ms - base_ms) / base_ms
+            timing = f"{base_ms:9.1f} -> {cand_ms:9.1f} ms ({rel:+7.1%})"
+            if rel > args.threshold:
+                timing += "  REGRESSION"
+                regressions.append(
+                    f"{name}: wall_ms {base_ms:.1f} -> {cand_ms:.1f} "
+                    f"({rel:+.1%} > {args.threshold:.0%})")
+        else:
+            rel = None
+            timing = "timing n/a"
+        verdict = "cells OK" if diff is None else "CELL MISMATCH"
+        print(f"  {name:<{width}}  {verdict:<14} {timing}")
+        if diff is not None:
+            failures.append(f"{name}: {diff}")
+
+    for failure in failures:
+        print(f"bench_compare: FAIL: {failure}", file=sys.stderr)
+    for regression in regressions:
+        flag = "FAIL" if args.fail_on_regression else "WARN"
+        print(f"bench_compare: {flag}: timing regression: {regression}",
+              file=sys.stderr)
+
+    if failures or (args.fail_on_regression and regressions):
+        sys.exit(1)
+    print(f"bench_compare: OK: {len(common)} report(s), cells byte-identical"
+          + (f", {len(regressions)} timing regression(s) above "
+             f"{args.threshold:.0%} (advisory)" if regressions else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -3,8 +3,11 @@
 // Subcommands:
 //   simulate  Run a policy over a synthetic or recorded workload and print
 //             the cost breakdown (with the closed-form prediction).
-//   analyze   Print the closed-form expected cost, average expected cost
+//   expected  Print the closed-form expected cost, average expected cost
 //             and competitive factor of a policy.
+//   analyze   Run the protocol under tracing and print the causal trace
+//             analysis: happens-before reconstruction, latency anatomy and
+//             the anomaly audit (docs/OBSERVABILITY.md "Analysis").
 //   offline   Compute the offline-optimal (clairvoyant) cost of a trace.
 //   generate  Produce a workload trace file.
 //   protocol  Run the distributed MC/SC protocol simulation.
@@ -17,7 +20,10 @@
 //   partition Sweep network partitions over the leased protocol and verify
 //             the reclamation invariants (DESIGN.md §10).
 //
-// Run with no arguments for usage.
+// Run with no arguments for usage; every subcommand takes --help. Exit
+// codes: 0 success, 1 runtime failure (bad input file, invariant
+// violations, error-severity anomalies), 2 usage error (unknown command or
+// flag, malformed policy/shape spec, missing required flag).
 
 #include "cli_main.h"
 
@@ -41,6 +47,7 @@
 #include "mobrep/core/cost_simulator.h"
 #include "mobrep/core/offline_optimal.h"
 #include "mobrep/core/policy_factory.h"
+#include "mobrep/obs/analysis/analyzer.h"
 #include "mobrep/obs/trace.h"
 #include "mobrep/obs/trace_export.h"
 #include "mobrep/protocol/protocol_sim.h"
@@ -51,48 +58,159 @@
 namespace mobrep::cli {
 namespace {
 
-constexpr char kUsage[] = R"(mobrep_cli — data replication for mobile computers (SIGMOD '94)
+// One row per subcommand: the summary feeds the global usage index, the
+// flag help feeds `<command> --help` and doubles as the set of accepted
+// flags (a "--name " token in the help IS the allow-list entry, so help
+// text and validation cannot drift apart).
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  const char* flags;
+};
 
-usage: mobrep_cli <command> [--flag value ...]
+constexpr CommandSpec kCommands[] = {
+    {"simulate", "run a policy over a workload and print the cost breakdown",
+     "  --policy <spec>        policy spec (default sw:9)\n"
+     "  --model <name>         connection | message (default connection)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --requests <n>         workload length (default 100000)\n"
+     "  --seed <s>             workload RNG seed (default 42)\n"
+     "  --trace-in <file>      replay a recorded workload instead\n"},
+    {"expected",
+     "print a policy's closed-form EXP, AVG and competitive factor",
+     "  --policy <spec>        policy spec (default sw:9)\n"
+     "  --model <name>         connection | message (default connection)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"
+     "  --theta <t>            evaluate one theta instead of the sweep\n"},
+    {"analyze",
+     "run the protocol under tracing and print the causal analysis",
+     "  --policy <spec>        policy spec (default sw:3)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --requests <n>         workload length (default 200)\n"
+     "  --seed <s>             workload and fault RNG seed (default 42)\n"
+     "  --latency <l>          one-way link latency (default 0.001)\n"
+     "  --drop <p>             per-attempt drop probability (default 0)\n"
+     "  --dup <p>              delivery duplication probability (default 0)\n"
+     "  --jitter <j>           max extra per-frame latency (default 0)\n"
+     "  --reliable <0|1>       force the ARQ layer on a fault-free link\n"
+     "  --ring <n>             trace-ring capacity per thread\n"
+     "                         (default requests*128 + 8192)\n"
+     "  --storm-threshold <n>  retransmit-storm warning threshold "
+     "(default 8)\n"
+     "  --json <0|1>           print the JSON report instead of text\n"
+     "  --perfetto-out <file>  write the annotated Chrome trace\n"},
+    {"offline", "compute the clairvoyant offline-optimal cost of a trace",
+     "  --trace-in <file>      recorded workload (required)\n"
+     "  --model <name>         connection | message (default connection)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"},
+    {"generate", "produce a workload trace file",
+     "  --trace-out <file>     output path (required)\n"
+     "  --requests <n>         workload length (default 100000)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --periods <p>          period workload: number of periods\n"
+     "  --period-length <l>    period workload: requests per period\n"
+     "  --seed <s>             workload RNG seed (default 42)\n"},
+    {"protocol", "run the distributed MC/SC protocol simulation",
+     "  --policy <spec>        policy spec (default sw:9)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --requests <n>         workload length (default 10000)\n"
+     "  --seed <s>             workload RNG seed (default 42)\n"
+     "  --latency <l>          one-way link latency (default 0.001)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"},
+    {"advise", "recommend a policy for a workload description",
+     "  --model <name>         connection | message (default connection)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"
+     "  --theta <t>            known read probability, if any\n"
+     "  --max-factor <c>       cap on the competitive factor\n"
+     "  --max-parameter <p>    largest window/threshold to consider\n"},
+    {"compare", "simulate several policies on one workload side by side",
+     "  --policies <a,b,c>     comma-separated policy specs\n"
+     "  --model <name>         connection | message (default connection)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --requests <n>         workload length (default 100000)\n"
+     "  --seed <s>             workload RNG seed (default 42)\n"},
+    {"trace", "replay a schedule with tracing and print the decision audit",
+     "  --policy <spec>        policy spec (default sw:3)\n"
+     "  --model <name>         connection | message (default connection)\n"
+     "  --omega <w>            message-model control weight (default 0.5)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --requests <n>         workload length (default 50)\n"
+     "  --seed <s>             workload RNG seed (default 42)\n"
+     "  --trace-in <file>      replay a recorded workload instead\n"
+     "  --chrome-out <file>    write a Chrome trace (load in Perfetto)\n"},
+    {"crash", "explore every crash point of a protocol run, verify recovery",
+     "  --policy <spec>        policy spec (default sw:3)\n"
+     "  --theta <t>            Bernoulli read probability (default 0.5)\n"
+     "  --requests <n>         workload length (default 12)\n"
+     "  --seed <s>             workload RNG seed (default 42)\n"
+     "  --wal-dir <dir>        where the WALs live (default /tmp)\n"
+     "  --verbose <0|1>        list every crash point (default 0)\n"},
+    {"partition", "sweep partitions over the leased protocol, verify "
+                  "reclamation",
+     "  --policy <spec>        policy spec (default st2)\n"
+     "  --seed <s>             fault RNG seed (default 42)\n"
+     "  --shape <name>         symmetric | uplink | downlink (default: "
+     "all)\n"
+     "  --start <t>            partition start time (default 0.35)\n"
+     "  --duration <d|never>   partition length (default: 0.05, 0.4, "
+     "never)\n"
+     "  --term <t>             lease term\n"
+     "  --grace <t>            lease grace period\n"
+     "  --detector-timeout <t> failure-detector timeout\n"
+     "  --drop <p>             per-attempt drop probability (default 0)\n"
+     "  --verbose <0|1>        print the per-run summary (default 0)\n"},
+};
 
-commands and their flags:
-  simulate   --policy <spec> [--model connection|message] [--omega W]
-             [--theta T] [--requests N] [--seed S] [--trace-in FILE]
-  analyze    --policy <spec> [--model connection|message] [--omega W]
-             [--theta T]
-  offline    --trace-in FILE [--model connection|message] [--omega W]
-  generate   [--theta T | --periods P --period-length L] [--requests N]
-             [--seed S] --trace-out FILE
-  protocol   --policy <spec> [--theta T] [--requests N] [--seed S]
-             [--latency L]
-  advise     [--model connection|message] [--omega W] [--theta T]
-             [--max-factor C] [--max-parameter P]
-  compare    --policies a,b,c [--model connection|message] [--omega W]
-             [--theta T] [--requests N] [--seed S]
-  trace      --policy <spec> [--model connection|message] [--omega W]
-             [--theta T] [--requests N (default 50)] [--seed S]
-             [--trace-in FILE] [--chrome-out FILE]
-  crash      --policy <spec> [--theta T] [--requests N (default 12)]
-             [--seed S] [--wal-dir DIR (default /tmp)] [--verbose 1]
-  partition  --policy <spec> [--seed S]
-             [--shape symmetric|uplink|downlink (default: all)]
-             [--start T (default: 0.35)]
-             [--duration D|never (default: 0.05, 0.4 and never)]
-             [--term T] [--grace T] [--detector-timeout T]
-             [--drop P] [--verbose 1]
+const CommandSpec* FindCommand(const std::string& name) {
+  for (const CommandSpec& spec : kCommands) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
 
-policy specs: st1, st2, sw1, sw:<k>, t1:<m>, t2:<m>
-defaults: --model connection, --omega 0.5, --theta 0.5,
-          --requests 100000, --seed 42
-)";
+std::string GlobalUsage() {
+  std::string out =
+      "mobrep_cli — data replication for mobile computers (SIGMOD '94)\n"
+      "\n"
+      "usage: mobrep_cli <command> [--flag value ...]\n"
+      "       mobrep_cli <command> --help\n"
+      "\n"
+      "commands:\n";
+  for (const CommandSpec& spec : kCommands) {
+    out += StrFormat("  %-9s %s\n", spec.name, spec.summary);
+  }
+  out +=
+      "\n"
+      "policy specs: st1, st2, sw1, sw:<k>, t1:<m>, t2:<m>\n"
+      "exit codes:   0 success, 1 runtime failure, 2 usage error\n";
+  return out;
+}
+
+std::string CommandHelp(const CommandSpec& spec) {
+  return StrFormat("usage: mobrep_cli %s [--flag value ...]\n\n%s\n\nflags:\n%s",
+                   spec.name, spec.summary, spec.flags);
+}
+
+// A flag is accepted iff its "--name " token appears in the command's help
+// text — see CommandSpec.
+bool FlagAllowed(const CommandSpec& spec, const std::string& key) {
+  return std::string(spec.flags).find("--" + key + " ") != std::string::npos;
+}
 
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; i += 2) {
       std::string key = argv[i];
       if (key.rfind("--", 0) == 0) key = key.substr(2);
+      if (i + 1 >= argc) {
+        dangling_ = key;
+        break;
+      }
       values_[key] = argv[i + 1];
+      order_.push_back(key);
     }
   }
 
@@ -113,8 +231,15 @@ class Flags {
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  // Keys in command-line order, for validation against the command spec.
+  const std::vector<std::string>& keys() const { return order_; }
+  // Trailing flag with no value, empty if the command line was well-formed.
+  const std::string& dangling() const { return dangling_; }
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+  std::string dangling_;
 };
 
 CostModel ModelFromFlags(const Flags& flags) {
@@ -125,14 +250,51 @@ CostModel ModelFromFlags(const Flags& flags) {
   return CostModel::Connection();
 }
 
+// Runtime failure (bad input file, invariant violation): exit code 1.
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
 }
 
+// The caller misused the CLI (malformed spec, missing required flag):
+// exit code 2, distinct from runtime failures so scripts can tell "fix the
+// invocation" from "the run went wrong".
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "usage error: %s\n", message.c_str());
+  return 2;
+}
+
+// Range checks for numeric flags that are forwarded into CHECK-guarded
+// constructors (LinkFaultModel, the schedule generators): an out-of-range
+// value must surface as a usage error, not a CHECK abort. Absent flags
+// fall back to in-range defaults, so commands without a given flag pass
+// through untouched. Returns 0 when every value is legal.
+int ValidateNumericRanges(const Flags& flags) {
+  const double theta = flags.GetDouble("theta", 0.5);
+  if (theta < 0.0 || theta > 1.0) {
+    return UsageError("--theta must be in [0, 1]");
+  }
+  const double drop = flags.GetDouble("drop", 0.0);
+  if (drop < 0.0 || drop >= 1.0) {
+    return UsageError("--drop must be in [0, 1)");
+  }
+  const double dup = flags.GetDouble("dup", 0.0);
+  if (dup < 0.0 || dup > 1.0) {
+    return UsageError("--dup must be in [0, 1]");
+  }
+  if (flags.GetDouble("jitter", 0.0) < 0.0) {
+    return UsageError("--jitter must be >= 0");
+  }
+  if (flags.GetInt("requests", 1) <= 0) {
+    return UsageError("--requests must be positive");
+  }
+  return 0;
+}
+
 int RunSimulate(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   auto policy = CreatePolicyFromString(flags.GetString("policy", "sw:9"));
-  if (!policy.ok()) return Fail(policy.status().ToString());
+  if (!policy.ok()) return UsageError(policy.status().ToString());
   const CostModel model = ModelFromFlags(flags);
   const double theta = flags.GetDouble("theta", 0.5);
 
@@ -175,9 +337,10 @@ int RunSimulate(const Flags& flags) {
   return 0;
 }
 
-int RunAnalyze(const Flags& flags) {
+int RunExpected(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:9"));
-  if (!spec.ok()) return Fail(spec.status().ToString());
+  if (!spec.ok()) return UsageError(spec.status().ToString());
   const CostModel model = ModelFromFlags(flags);
 
   std::printf("policy  %s   model  %s\n\n", spec->ToString().c_str(),
@@ -207,8 +370,75 @@ int RunAnalyze(const Flags& flags) {
   return 0;
 }
 
+// The causal `analyze` subcommand: run the MC/SC protocol under tracing,
+// feed the merged trace through the offline analyzer and print the report
+// (docs/OBSERVABILITY.md "Analysis"). Exit 1 only on error-severity
+// findings — warnings (storms, truncation) and infos still exit 0.
+int RunAnalyze(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
+  if (!obs::kTracingCompiled) {
+    return Fail(
+        "tracing is compiled out; rebuild with -DMOBREP_TRACING=ON to use "
+        "the analyze command");
+  }
+  const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:3"));
+  if (!spec.ok()) return UsageError(spec.status().ToString());
+  const int64_t requests = flags.GetInt("requests", 200);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Rng rng(seed);
+  const Schedule schedule = GenerateBernoulliSchedule(
+      requests, flags.GetDouble("theta", 0.5), &rng);
+
+  ProtocolConfig config;
+  config.spec = *spec;
+  config.link_latency = flags.GetDouble("latency", 0.001);
+  config.fault.drop_probability = flags.GetDouble("drop", 0.0);
+  config.fault.duplicate_probability = flags.GetDouble("dup", 0.0);
+  config.fault.max_jitter = flags.GetDouble("jitter", 0.0);
+  config.fault.force_reliable = flags.GetInt("reliable", 0) != 0;
+  config.fault.seed = seed;
+
+  // Default ring size keeps the full run: each request costs a handful of
+  // channel events, so 128/request plus fixed headroom never wraps. An
+  // explicit --ring below that lets the user study truncated-trace
+  // behaviour on purpose.
+  obs::TraceRecorder* recorder = obs::TraceRecorder::Global();
+  recorder->Clear();
+  recorder->SetCapacityPerThread(static_cast<size_t>(
+      flags.GetInt("ring", requests * 128 + 8192)));
+  obs::TraceRecorder::SetRuntimeEnabled(true);
+  ProtocolSimulation sim(config);
+  sim.Run(schedule);
+  obs::TraceRecorder::SetRuntimeEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder->MergedEvents();
+
+  obs::analysis::AnalyzerOptions options;
+  options.audit.recorder_dropped = recorder->dropped();
+  options.audit.retransmit_storm_threshold =
+      static_cast<int>(flags.GetInt("storm-threshold", 8));
+  recorder->Clear();
+  const obs::analysis::AnalysisReport report =
+      obs::analysis::AnalyzeTrace(events, options);
+
+  if (flags.GetInt("json", 0) != 0) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("%s", report.ToText().c_str());
+  }
+  if (flags.Has("perfetto-out")) {
+    const std::string path = flags.GetString("perfetto-out", "");
+    const std::string annotated =
+        obs::analysis::ExportAnnotatedChromeTrace(events, report);
+    if (!obs::WriteFileOrWarn(path, annotated)) return 1;
+    std::fprintf(stderr,
+                 "wrote annotated Chrome trace to %s (load in Perfetto)\n",
+                 path.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int RunOffline(const Flags& flags) {
-  if (!flags.Has("trace-in")) return Fail("offline requires --trace-in");
+  if (!flags.Has("trace-in")) return UsageError("offline requires --trace-in");
   auto loaded = LoadScheduleFromFile(flags.GetString("trace-in", ""));
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   const CostModel model = ModelFromFlags(flags);
@@ -223,7 +453,10 @@ int RunOffline(const Flags& flags) {
 }
 
 int RunGenerate(const Flags& flags) {
-  if (!flags.Has("trace-out")) return Fail("generate requires --trace-out");
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
+  if (!flags.Has("trace-out")) {
+    return UsageError("generate requires --trace-out");
+  }
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
   Schedule schedule;
   if (flags.Has("periods")) {
@@ -243,8 +476,9 @@ int RunGenerate(const Flags& flags) {
 }
 
 int RunProtocol(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:9"));
-  if (!spec.ok()) return Fail(spec.status().ToString());
+  if (!spec.ok()) return UsageError(spec.status().ToString());
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
   const Schedule schedule = GenerateBernoulliSchedule(
       flags.GetInt("requests", 10000), flags.GetDouble("theta", 0.5), &rng);
@@ -285,6 +519,7 @@ int RunProtocol(const Flags& flags) {
 }
 
 int RunAdvise(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   AdvisorQuery query;
   query.model = ModelFromFlags(flags);
   if (flags.Has("theta")) query.theta = flags.GetDouble("theta", 0.5);
@@ -308,6 +543,7 @@ int RunAdvise(const Flags& flags) {
 }
 
 int RunCompare(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   const std::string list = flags.GetString("policies", "st1,st2,sw1,sw:9");
   const CostModel model = ModelFromFlags(flags);
   const double theta = flags.GetDouble("theta", 0.5);
@@ -319,7 +555,7 @@ int RunCompare(const Flags& flags) {
               "closed form", "AVG", "factor");
   for (const std::string& name : StrSplit(list, ',')) {
     auto policy = CreatePolicyFromString(name);
-    if (!policy.ok()) return Fail(policy.status().ToString());
+    if (!policy.ok()) return UsageError(policy.status().ToString());
     const CostBreakdown b = SimulateSchedule(policy->get(), schedule, model);
     const auto spec = ParsePolicySpec(name);
     const auto exp = ExpectedCost(*spec, model, theta);
@@ -335,13 +571,14 @@ int RunCompare(const Flags& flags) {
 }
 
 int RunTrace(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   if (!obs::kTracingCompiled) {
     return Fail(
         "tracing is compiled out; rebuild with -DMOBREP_TRACING=ON to use "
         "the trace command");
   }
   auto policy = CreatePolicyFromString(flags.GetString("policy", "sw:3"));
-  if (!policy.ok()) return Fail(policy.status().ToString());
+  if (!policy.ok()) return UsageError(policy.status().ToString());
   const CostModel model = ModelFromFlags(flags);
 
   Schedule schedule;
@@ -386,8 +623,9 @@ int RunTrace(const Flags& flags) {
 }
 
 int RunCrash(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   const auto spec = ParsePolicySpec(flags.GetString("policy", "sw:3"));
-  if (!spec.ok()) return Fail(spec.status().ToString());
+  if (!spec.ok()) return UsageError(spec.status().ToString());
 
   CrashMatrixOptions options;
   options.sim.spec = *spec;
@@ -439,8 +677,9 @@ int RunCrash(const Flags& flags) {
 }
 
 int RunPartition(const Flags& flags) {
+  if (const int rc = ValidateNumericRanges(flags)) return rc;
   const auto spec = ParsePolicySpec(flags.GetString("policy", "st2"));
-  if (!spec.ok()) return Fail(spec.status().ToString());
+  if (!spec.ok()) return UsageError(spec.status().ToString());
 
   PartitionMatrixOptions options;
   options.sim.spec = *spec;
@@ -455,7 +694,7 @@ int RunPartition(const Flags& flags) {
   if (flags.Has("shape")) {
     PartitionShape shape;
     if (!ParsePartitionShape(flags.GetString("shape", ""), &shape)) {
-      return Fail("unknown --shape (symmetric | uplink | downlink)");
+      return UsageError("unknown --shape (symmetric | uplink | downlink)");
     }
     options.shapes = {shape};
   }
@@ -518,12 +757,42 @@ int RunPartition(const Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("%s", kUsage);
+    std::printf("%s", GlobalUsage().c_str());
     return 0;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::printf("%s", GlobalUsage().c_str());
+    return 0;
+  }
+  const CommandSpec* spec = FindCommand(command);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "usage error: unknown command '%s'\n\n%s",
+                 command.c_str(), GlobalUsage().c_str());
+    return 2;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", CommandHelp(*spec).c_str());
+      return 0;
+    }
+  }
   const Flags flags(argc, argv, 2);
+  if (!flags.dangling().empty()) {
+    return UsageError(StrFormat("flag --%s expects a value (see mobrep_cli "
+                                "%s --help)",
+                                flags.dangling().c_str(), spec->name));
+  }
+  for (const std::string& key : flags.keys()) {
+    if (!FlagAllowed(*spec, key)) {
+      return UsageError(StrFormat("unknown flag --%s for '%s' (see "
+                                  "mobrep_cli %s --help)",
+                                  key.c_str(), spec->name, spec->name));
+    }
+  }
   if (command == "simulate") return RunSimulate(flags);
+  if (command == "expected") return RunExpected(flags);
   if (command == "analyze") return RunAnalyze(flags);
   if (command == "offline") return RunOffline(flags);
   if (command == "generate") return RunGenerate(flags);
@@ -532,9 +801,7 @@ int Main(int argc, char** argv) {
   if (command == "compare") return RunCompare(flags);
   if (command == "trace") return RunTrace(flags);
   if (command == "crash") return RunCrash(flags);
-  if (command == "partition") return RunPartition(flags);
-  std::printf("%s", kUsage);
-  return command == "help" ? 0 : 1;
+  return RunPartition(flags);
 }
 
 }  // namespace mobrep::cli

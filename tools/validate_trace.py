@@ -8,7 +8,12 @@ metadata ("M") events carrying a name payload. With --require-spans, at
 least one complete span must be present (the parallel sweep's per-thread
 cell spans).
 
-Usage: validate_trace.py [--require-spans] trace.json
+Flow events ("s"/"f" — the causal analyzer's happens-before arrows) are
+always checked for well-formedness when present: numeric ts, an id, and
+every flow id carrying both a start and a finish. With --require-flows, at
+least one complete flow pair must be present (annotated analyzer exports).
+
+Usage: validate_trace.py [--require-spans] [--require-flows] trace.json
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 Stdlib only — runs anywhere CI has python3.
 """
@@ -32,6 +37,11 @@ def main() -> None:
         action="store_true",
         help="fail unless at least one complete ('X') span is present",
     )
+    parser.add_argument(
+        "--require-flows",
+        action="store_true",
+        help="fail unless at least one matched 's'/'f' flow pair is present",
+    )
     args = parser.parse_args()
 
     try:
@@ -49,6 +59,8 @@ def main() -> None:
         fail("traceEvents is empty")
 
     phases = collections.Counter()
+    flow_starts = collections.Counter()
+    flow_finishes = collections.Counter()
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -77,10 +89,36 @@ def main() -> None:
         elif ph == "i":
             if not isinstance(event.get("ts"), (int, float)):
                 fail(f"{where} (instant) has no numeric ts")
+        elif ph in ("s", "f"):
+            if not isinstance(event.get("ts"), (int, float)):
+                fail(f"{where} (flow '{ph}') has no numeric ts")
+            flow_id = event.get("id")
+            if flow_id is None:
+                fail(f"{where} (flow '{ph}') has no id")
+            if not event.get("name"):
+                fail(f"{where} (flow '{ph}') has no name")
+            (flow_starts if ph == "s" else flow_finishes)[flow_id] += 1
 
     if args.require_spans and phases["X"] == 0:
         fail("no complete ('X') spans found — expected per-thread sweep "
              "cell spans")
+
+    # Every flow id must pair exactly one start with exactly one finish:
+    # a dangling arrow renders as garbage in Perfetto.
+    for flow_id, n in flow_starts.items():
+        if n != 1:
+            fail(f"flow id {flow_id!r} has {n} starts (want 1)")
+        if flow_finishes.get(flow_id, 0) != 1:
+            fail(f"flow id {flow_id!r} has a start but "
+                 f"{flow_finishes.get(flow_id, 0)} finishes (want 1)")
+    for flow_id, n in flow_finishes.items():
+        if flow_id not in flow_starts:
+            fail(f"flow id {flow_id!r} has a finish but no start")
+        if n != 1:
+            fail(f"flow id {flow_id!r} has {n} finishes (want 1)")
+    if args.require_flows and not flow_starts:
+        fail("no 's'/'f' flow pairs found — expected the analyzer's causal "
+             "arrows")
 
     span_threads = {
         e["tid"] for e in events if isinstance(e, dict) and e.get("ph") == "X"
